@@ -1,0 +1,75 @@
+// Design-choice ablation (beyond the paper's figures): sensitivity of the
+// learned cost model to the label measurement noise of the ground-truth
+// engine. For each noise level σ we collect a corpus, train, and report
+// q-errors against (a) noisy held-out labels and (b) the noiseless truth
+// for the same plans. The irreducible part of (a) should track the noise
+// floor median q-error E[max(X,1/X)] of lognormal measurement pairs,
+// while (b) shows the model recovering the systematic cost structure.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/statistics.h"
+#include "core/trainer.h"
+
+using namespace zerotune;
+
+int main() {
+  const auto scale = bench::BenchScale::FromEnv();
+  ThreadPool pool;
+  bench::Banner("Ablation — label-noise sensitivity of the cost model");
+
+  core::OptiSampleEnumerator enumerator;
+  TextTable table({"sigma", "Lat median (noisy labels)",
+                   "Lat median (noiseless truth)", "Noise floor (approx)"});
+
+  for (const double sigma : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    core::DatasetBuilderOptions opts;
+    opts.count = std::max<size_t>(800, scale.train_queries / 3);
+    opts.seed = 0x4015e;
+    opts.pool = &pool;
+    opts.cost_params.noise_sigma = sigma;
+    const workload::Dataset corpus =
+        core::BuildDataset(enumerator, opts).value();
+    Rng rng(11);
+    workload::Dataset train, val, test;
+    corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+
+    core::ModelConfig config;
+    config.hidden_dim = scale.hidden_dim;
+    core::ZeroTuneModel model(config);
+    core::TrainOptions topts;
+    topts.epochs = std::max<size_t>(20, scale.epochs / 2);
+    topts.pool = &pool;
+    core::Trainer(&model, topts).Train(train, val).value();
+
+    // (a) Against the noisy labels the corpus carries.
+    const auto noisy_eval = core::Trainer::Evaluate(model, test);
+
+    // (b) Against noiseless re-measurements of the same plans.
+    sim::CostParams clean = opts.cost_params;
+    clean.noise_sigma = 0.0;
+    const sim::CostEngine clean_engine(clean);
+    std::vector<double> clean_qerrors;
+    for (const auto& s : test.samples()) {
+      const auto truth = clean_engine.MeasureNoiseless(s.plan).value();
+      const auto pred = model.Predict(s.plan).value();
+      clean_qerrors.push_back(QError(truth.latency_ms, pred.latency_ms));
+    }
+
+    // The prediction-vs-noisy-label q-error floor for a perfect model is
+    // median(exp(|N(0,σ)|)) = exp(σ·Φ⁻¹(0.75)) ≈ exp(0.6745σ).
+    const double floor = std::exp(0.6745 * sigma);
+
+    table.AddRow({TextTable::Fmt(sigma),
+                  TextTable::Fmt(noisy_eval.latency.median),
+                  TextTable::Fmt(Median(clean_qerrors)),
+                  TextTable::Fmt(floor)});
+  }
+  bench::EmitTable("ablation_noise", table);
+  std::cout << "Expected shape: the noisy-label median tracks (and stays\n"
+               "above) the analytic noise floor, while the noiseless-truth\n"
+               "median stays flat — the model learns the systematic cost\n"
+               "structure, not the measurement noise.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 10: parallelism tuning with ZeroTune + optimizer.
+// (a) Mean latency/throughput speed-ups of ZeroTune-selected degrees vs
+//     the greedy auto-pipelining heuristic, per query structure.
+// (b) Weighted cost (Eq. 1) of ZeroTune vs the Dhalion-style controller.
+// Every selected deployment is executed on the ground-truth engine.
+#include <iostream>
+
+#include "baselines/dhalion.h"
+#include "baselines/greedy.h"
+#include "bench_util.h"
+#include "common/statistics.h"
+#include "core/optimizer.h"
+#include "workload/generator.h"
+
+using namespace zerotune;
+
+int main() {
+  const auto scale = bench::BenchScale::FromEnv();
+  const size_t queries_per_structure =
+      std::max<size_t>(20, scale.test_queries_per_type / 4);
+  ThreadPool pool;
+  bench::Banner("Fig. 10 — optimizer for parallelism tuning");
+
+  core::OptiSampleEnumerator enumerator;
+  bench::TrainedSetup setup =
+      bench::TrainModel(enumerator, scale, &pool, /*seed=*/606);
+
+  sim::CostParams noiseless;
+  noiseless.noise_sigma = 0.0;
+  const sim::CostEngine engine(noiseless);
+  // Dhalion's control loop observes real (noisy) executions.
+  const sim::CostEngine observed_engine{sim::CostParams()};
+
+  core::ParallelismOptimizer optimizer(setup.model.get());
+  baselines::GreedyHeuristicTuner greedy;
+  baselines::DhalionTuner dhalion;
+
+  const std::vector<workload::QueryStructure> structures = {
+      workload::QueryStructure::kLinear,
+      workload::QueryStructure::kTwoWayJoin,
+      workload::QueryStructure::kThreeWayJoin,
+      workload::QueryStructure::kThreeChainedFilters,
+      workload::QueryStructure::kFourWayJoin,
+      workload::QueryStructure::kFiveWayJoin};
+
+  TextTable fig10a({"Structure", "Seen?", "Mean lat speed-up x",
+                    "Mean tpt speed-up x", "#queries"});
+  TextTable fig10b({"Structure", "Weighted cost ZeroTune",
+                    "Weighted cost Dhalion", "Dhalion executions"});
+
+  for (auto structure : structures) {
+    const bool seen = structure == workload::QueryStructure::kLinear ||
+                      structure == workload::QueryStructure::kTwoWayJoin ||
+                      structure == workload::QueryStructure::kThreeWayJoin;
+    // Parallelism tuning matters under load: sample the heavy tail of the
+    // event-rate range (the paper's micro-benchmarks likewise drive the
+    // cluster towards full utilization).
+    const std::vector<double> heavy_rates = {50000, 100000, 250000, 500000,
+                                             1000000};
+    std::vector<double> lat_speedups, tpt_speedups;
+    std::vector<double> zt_costs, dh_costs;
+    double dh_execs = 0.0;
+    size_t count = 0;
+
+    for (size_t i = 0; i < queries_per_structure; ++i) {
+      workload::QueryGenerator::Options gen_opts;
+      gen_opts.overrides.event_rate = heavy_rates[i % heavy_rates.size()];
+      workload::QueryGenerator gen(
+          gen_opts, 0xa11 + static_cast<uint64_t>(structure) * 131 + i);
+      const auto g = gen.Generate(structure);
+      if (!g.ok()) continue;
+
+      const auto tuned = optimizer.Tune(g.value().plan, g.value().cluster);
+      if (!tuned.ok()) continue;
+      const auto zt = engine.MeasureNoiseless(tuned.value().plan);
+      const auto greedy_plan =
+          greedy.Tune(g.value().plan, g.value().cluster);
+      if (!zt.ok() || !greedy_plan.ok()) continue;
+      const auto gr = engine.MeasureNoiseless(greedy_plan.value());
+      const auto dh_outcome =
+          dhalion.Tune(g.value().plan, g.value().cluster, observed_engine);
+      if (!gr.ok() || !dh_outcome.ok()) continue;
+      const auto dh =
+          engine.MeasureNoiseless(dh_outcome.value().plan).value();
+
+      lat_speedups.push_back(gr.value().latency_ms /
+                             std::max(zt.value().latency_ms, 1e-9));
+      tpt_speedups.push_back(zt.value().throughput_tps /
+                             std::max(gr.value().throughput_tps, 1e-9));
+
+      // Eq. 1 weighted cost normalized over the head-to-head pair.
+      const double lat_min = std::min(zt.value().latency_ms, dh.latency_ms);
+      const double lat_max = std::max(zt.value().latency_ms, dh.latency_ms);
+      const double tpt_min =
+          std::min(zt.value().throughput_tps, dh.throughput_tps);
+      const double tpt_max =
+          std::max(zt.value().throughput_tps, dh.throughput_tps);
+      auto weighted = [&](double lat, double tpt) {
+        const double c_l = (lat - lat_min) / (lat_max - lat_min + 1e-9);
+        const double c_t = 1.0 - (tpt - tpt_min) / (tpt_max - tpt_min + 1e-9);
+        return 0.5 * c_l + 0.5 * c_t;
+      };
+      zt_costs.push_back(weighted(zt.value().latency_ms,
+                                  zt.value().throughput_tps));
+      dh_costs.push_back(weighted(dh.latency_ms, dh.throughput_tps));
+      dh_execs += dh_outcome.value().executions;
+      ++count;
+    }
+
+    fig10a.AddRow({workload::ToString(structure), seen ? "yes" : "no",
+                   TextTable::Fmt(Mean(lat_speedups)),
+                   TextTable::Fmt(Mean(tpt_speedups)),
+                   std::to_string(count)});
+    fig10b.AddRow({workload::ToString(structure),
+                   TextTable::Fmt(Mean(zt_costs)),
+                   TextTable::Fmt(Mean(dh_costs)),
+                   TextTable::Fmt(dh_execs / std::max<size_t>(1, count), 1)});
+  }
+
+  bench::Banner("Fig. 10a — mean speed-up vs greedy heuristic");
+  bench::EmitTable("fig10a_speedup_vs_greedy", fig10a);
+  bench::Banner("Fig. 10b — weighted cost (Eq. 1) vs Dhalion");
+  bench::EmitTable("fig10b_weighted_cost_vs_dhalion", fig10b);
+  std::cout << "Expected shape: largest speed-ups on simple/linear\n"
+               "structures, ~3x+ on complex joins; ZeroTune's weighted\n"
+               "cost at or below Dhalion's, widening with complexity —\n"
+               "and with zero trial executions vs Dhalion's several.\n";
+  return 0;
+}

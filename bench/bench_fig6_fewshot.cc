@@ -1,0 +1,82 @@
+// Figure 6 (and the few-shot part of Fig. 7d): few-shot learning with 500
+// extra training examples of complex join structures improves throughput
+// prediction on 4/5/6-way joins.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/trainer.h"
+
+using namespace zerotune;
+
+int main() {
+  const auto scale = bench::BenchScale::FromEnv();
+  ThreadPool pool;
+  bench::Banner("Fig. 6 — few-shot learning on complex unseen joins");
+
+  core::OptiSampleEnumerator enumerator;
+  bench::TrainedSetup setup =
+      bench::TrainModel(enumerator, scale, &pool, /*seed=*/808);
+
+  const std::vector<workload::QueryStructure> complex_joins = {
+      workload::QueryStructure::kFourWayJoin,
+      workload::QueryStructure::kFiveWayJoin,
+      workload::QueryStructure::kSixWayJoin};
+
+  // Held-out evaluation corpora per join arity.
+  std::vector<workload::Dataset> eval_sets;
+  for (auto s : complex_joins) {
+    core::DatasetBuilderOptions opts;
+    opts.count = scale.test_queries_per_type;
+    opts.seed = 0xfee + static_cast<uint64_t>(s);
+    opts.structures = {s};
+    opts.pool = &pool;
+    eval_sets.push_back(core::BuildDataset(enumerator, opts).value());
+  }
+
+  // 500 few-shot examples across all three arities (paper's number).
+  core::DatasetBuilderOptions fs_opts;
+  fs_opts.count = 500;
+  fs_opts.seed = 31337;
+  fs_opts.structures = complex_joins;
+  fs_opts.pool = &pool;
+  const auto fewshot_corpus =
+      core::BuildDataset(enumerator, fs_opts).value();
+  Rng rng(3);
+  workload::Dataset fs_train, fs_val, fs_test;
+  fewshot_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test);
+
+  TextTable table({"Join", "Zero-shot tpt median", "Zero-shot tpt 95th",
+                   "Few-shot tpt median", "Few-shot tpt 95th",
+                   "Improvement x"});
+
+  // Evaluate zero-shot, then fine-tune and re-evaluate.
+  std::vector<core::ModelEvaluation> zero_shot;
+  for (const auto& ds : eval_sets) {
+    zero_shot.push_back(core::Trainer::Evaluate(*setup.model, ds));
+  }
+
+  core::TrainOptions ft;
+  ft.epochs = std::max<size_t>(10, scale.epochs / 3);
+  ft.fit_target_stats = false;
+  ft.learning_rate = 3e-4;
+  ft.pool = &pool;
+  core::Trainer(setup.model.get(), ft).Train(fs_train, fs_val).value();
+
+  for (size_t i = 0; i < complex_joins.size(); ++i) {
+    const auto after = core::Trainer::Evaluate(*setup.model, eval_sets[i]);
+    const double improvement =
+        after.throughput.median > 0.0
+            ? zero_shot[i].throughput.median / after.throughput.median
+            : 0.0;
+    table.AddRow({workload::ToString(complex_joins[i]),
+                  TextTable::Fmt(zero_shot[i].throughput.median),
+                  TextTable::Fmt(zero_shot[i].throughput.p95),
+                  TextTable::Fmt(after.throughput.median),
+                  TextTable::Fmt(after.throughput.p95),
+                  TextTable::Fmt(improvement)});
+  }
+  bench::EmitTable("fig6_fewshot", table);
+  std::cout << "Expected shape: few-shot fine-tuning with 500 queries\n"
+               "tightens throughput q-errors, most for 6-way joins.\n";
+  return 0;
+}

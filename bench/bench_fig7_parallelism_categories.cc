@@ -1,0 +1,112 @@
+// Figure 7: q-errors per parallelism-degree category (XS/S/M/L/XL) for
+// (a) seen plans, (b) unseen benchmark plans, (c) plans on unseen
+// homogeneous/heterogeneous hardware, and (d) zero-shot vs few-shot on
+// unseen complex plans.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/trainer.h"
+#include "workload/generator.h"
+
+using namespace zerotune;
+
+namespace {
+
+const char* kCategories[] = {"XS", "S", "M", "L", "XL"};
+
+void AddCategoryRows(TextTable* table, const std::string& label,
+                     const core::ZeroTuneModel& model,
+                     const workload::Dataset& data) {
+  for (const char* cat : kCategories) {
+    const workload::Dataset subset = data.FilterCategory(cat);
+    if (subset.empty()) {
+      table->AddRow({label, cat, "-", "-", "-", "-", "0"});
+      continue;
+    }
+    const auto eval = core::Trainer::Evaluate(model, subset);
+    table->AddRow({label, cat, TextTable::Fmt(eval.latency.median),
+                   TextTable::Fmt(eval.latency.p95),
+                   TextTable::Fmt(eval.throughput.median),
+                   TextTable::Fmt(eval.throughput.p95),
+                   std::to_string(subset.size())});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = bench::BenchScale::FromEnv();
+  ThreadPool pool;
+  bench::Banner("Fig. 7 — fine-grained parallelism analysis (XS..XL)");
+
+  core::OptiSampleEnumerator enumerator;
+  bench::TrainedSetup setup =
+      bench::TrainModel(enumerator, scale, &pool, /*seed=*/1717);
+
+  TextTable table({"Plot", "Category", "Lat median", "Lat 95th",
+                   "Tpt median", "Tpt 95th", "#queries"});
+
+  // (a) Seen plans: the held-out test split.
+  AddCategoryRows(&table, "(a) seen", *setup.model, setup.test);
+
+  // (b) Unseen benchmark plans.
+  workload::Dataset bench_ds;
+  for (auto s : workload::BenchmarkStructures()) {
+    core::DatasetBuilderOptions opts;
+    opts.seed = 0x7b + static_cast<uint64_t>(s);
+    bench_ds.Append(core::BuildBenchmarkDataset(
+        s, scale.test_queries_per_type / 2, enumerator, opts).value());
+  }
+  AddCategoryRows(&table, "(b) benchmark", *setup.model, bench_ds);
+
+  // (c) Unseen hardware: training structures on unseen node types.
+  for (const auto& [label, types] :
+       std::vector<std::pair<std::string, std::vector<std::string>>>{
+           {"(c) unseen-Ho", {"c6420"}},
+           {"(c) unseen-He",
+            {"c8220x", "c8220", "dss7500", "c6320", "rs6525"}}}) {
+    core::DatasetBuilderOptions opts;
+    opts.count = scale.test_queries_per_type * 2;
+    opts.seed = 0xc0de + types.size();
+    opts.pool = &pool;
+    opts.generator.overrides.cluster_types = types;
+    workload::Dataset ds = core::BuildDataset(enumerator, opts).value();
+    AddCategoryRows(&table, label, *setup.model, ds);
+  }
+
+  // (d) Unseen complex plans, zero-shot then few-shot.
+  const std::vector<workload::QueryStructure> complex_joins = {
+      workload::QueryStructure::kFourWayJoin,
+      workload::QueryStructure::kFiveWayJoin,
+      workload::QueryStructure::kSixWayJoin};
+  core::DatasetBuilderOptions uopts;
+  uopts.count = scale.test_queries_per_type * 2;
+  uopts.seed = 0xd00d;
+  uopts.structures = complex_joins;
+  uopts.pool = &pool;
+  const workload::Dataset unseen_ds =
+      core::BuildDataset(enumerator, uopts).value();
+  AddCategoryRows(&table, "(d) zero-shot", *setup.model, unseen_ds);
+
+  core::DatasetBuilderOptions fopts;
+  fopts.count = 500;
+  fopts.seed = 0xf00;
+  fopts.structures = complex_joins;
+  fopts.pool = &pool;
+  const auto fs_corpus = core::BuildDataset(enumerator, fopts).value();
+  Rng rng(5);
+  workload::Dataset fs_train, fs_val, fs_test;
+  fs_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test);
+  core::TrainOptions ft;
+  ft.epochs = std::max<size_t>(10, scale.epochs / 3);
+  ft.fit_target_stats = false;
+  ft.learning_rate = 3e-4;
+  ft.pool = &pool;
+  core::Trainer(setup.model.get(), ft).Train(fs_train, fs_val).value();
+  AddCategoryRows(&table, "(d) few-shot", *setup.model, unseen_ds);
+
+  bench::EmitTable("fig7_parallelism_categories", table);
+  std::cout << "Expected shape: q-errors rise mildly towards XL; few-shot\n"
+               "tightens (d); benchmarks concentrate in XS/S (paper V-B).\n";
+  return 0;
+}

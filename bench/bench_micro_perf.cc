@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks for the library's hot paths: graph
+// encoding, GNN inference, analytical cost measurement, discrete-event
+// simulation, and optimizer search.
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "core/optimizer.h"
+#include "core/oracle_predictor.h"
+#include "sim/cost_engine.h"
+#include "sim/event_simulator.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace zerotune;
+
+dsp::ParallelQueryPlan MakePlan(workload::QueryStructure structure,
+                                int degree) {
+  workload::QueryGenerator gen({}, 99);
+  auto g = gen.Generate(structure).value();
+  dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
+  plan.SetUniformParallelism(degree);
+  plan.PlaceRoundRobin();
+  return plan;
+}
+
+void BM_BuildPlanGraph(benchmark::State& state) {
+  const auto plan = MakePlan(workload::QueryStructure::kThreeWayJoin,
+                             static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildPlanGraph(plan));
+  }
+}
+BENCHMARK(BM_BuildPlanGraph)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_ModelForward(benchmark::State& state) {
+  core::ModelConfig cfg;
+  cfg.hidden_dim = static_cast<size_t>(state.range(0));
+  core::ZeroTuneModel model(cfg);
+  const auto plan = MakePlan(workload::QueryStructure::kThreeWayJoin, 8);
+  const auto graph = core::BuildPlanGraph(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictFromGraph(graph));
+  }
+}
+BENCHMARK(BM_ModelForward)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_CostEngineMeasure(benchmark::State& state) {
+  const sim::CostEngine engine;
+  const auto plan = MakePlan(workload::QueryStructure::kThreeWayJoin,
+                             static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Measure(plan));
+  }
+}
+BENCHMARK(BM_CostEngineMeasure)->Arg(1)->Arg(16);
+
+void BM_EventSimulator(benchmark::State& state) {
+  sim::EventSimulator::Options opts;
+  opts.duration_s = 0.5;
+  opts.warmup_s = 0.1;
+  const sim::EventSimulator sim(opts);
+  workload::QueryGenerator::Options gopts;
+  gopts.overrides.event_rate = 2000.0;
+  workload::QueryGenerator gen(gopts, 7);
+  auto g = gen.Generate(workload::QueryStructure::kLinear).value();
+  dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
+  plan.SetUniformParallelism(2);
+  plan.PlaceRoundRobin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(plan));
+  }
+}
+BENCHMARK(BM_EventSimulator);
+
+void BM_OptimizerTune(benchmark::State& state) {
+  core::OraclePredictor oracle;
+  core::ParallelismOptimizer optimizer(&oracle);
+  workload::QueryGenerator gen({}, 13);
+  const auto g = gen.Generate(workload::QueryStructure::kTwoWayJoin).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.Tune(g.plan, g.cluster));
+  }
+}
+BENCHMARK(BM_OptimizerTune);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace zerotune::bench {
+
+namespace {
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) == "1";
+}
+
+}  // namespace
+
+BenchScale BenchScale::FromEnv() {
+  BenchScale s;
+  if (EnvFlag("ZEROTUNE_BENCH_FAST")) {
+    s.train_queries = 600;
+    s.test_queries_per_type = 40;
+    s.epochs = 15;
+    s.hidden_dim = 24;
+  } else if (EnvFlag("ZEROTUNE_BENCH_FULL")) {
+    s.train_queries = 19200;  // 24k total with the 80/10/10 split applied
+    s.test_queries_per_type = 200;
+    s.epochs = 80;
+    s.hidden_dim = 48;
+  }
+  return s;
+}
+
+bool BenchScale::CsvEnabled() { return EnvFlag("ZEROTUNE_BENCH_CSV"); }
+
+TrainedSetup TrainModel(const core::ParallelismEnumerator& enumerator,
+                        const BenchScale& scale, zerotune::ThreadPool* pool,
+                        uint64_t seed,
+                        const std::vector<workload::QueryStructure>& structures,
+                        const core::FeatureConfig& features) {
+  core::DatasetBuilderOptions build_opts;
+  build_opts.count = scale.train_queries;
+  build_opts.seed = seed;
+  build_opts.pool = pool;
+  build_opts.structures = structures;
+  const workload::Dataset corpus =
+      core::BuildDataset(enumerator, build_opts).value();
+
+  TrainedSetup setup;
+  Rng rng(seed ^ 0xabcdef);
+  corpus.Split(0.8, 0.1, &rng, &setup.train, &setup.val, &setup.test);
+
+  core::ModelConfig config;
+  config.hidden_dim = scale.hidden_dim;
+  config.seed = seed + 1;
+  config.features = features;
+  setup.model = std::make_unique<core::ZeroTuneModel>(config);
+
+  core::TrainOptions topts;
+  topts.epochs = scale.epochs;
+  topts.pool = pool;
+  topts.seed = seed + 2;
+  const auto report =
+      core::Trainer(setup.model.get(), topts).Train(setup.train, setup.val);
+  setup.train_seconds = report.ok() ? report.value().train_seconds : 0.0;
+  return setup;
+}
+
+void EmitTable(const std::string& name, const TextTable& table) {
+  table.Print(std::cout);
+  if (BenchScale::CsvEnabled()) {
+    const std::string path = name + ".csv";
+    const Status s = table.WriteCsv(path);
+    if (s.ok()) {
+      std::cout << "(wrote " << path << ")\n";
+    } else {
+      std::cerr << "csv write failed: " << s.ToString() << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void Banner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+}  // namespace zerotune::bench

@@ -1,0 +1,60 @@
+#ifndef ZEROTUNE_BENCH_BENCH_UTIL_H_
+#define ZEROTUNE_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "workload/dataset.h"
+
+namespace zerotune::bench {
+
+/// Scaling of the experiment harnesses. The paper's full corpus is 24k
+/// queries; the default here is sized so that every bench binary finishes
+/// in tens of seconds while preserving the reported trends. Set
+/// ZEROTUNE_BENCH_FAST=1 to shrink further (smoke run) or
+/// ZEROTUNE_BENCH_FULL=1 to approach paper scale.
+struct BenchScale {
+  size_t train_queries = 3000;
+  size_t test_queries_per_type = 120;
+  size_t epochs = 45;
+  size_t hidden_dim = 32;
+
+  static BenchScale FromEnv();
+  /// True when ZEROTUNE_BENCH_CSV=1: harnesses also write <name>.csv.
+  static bool CsvEnabled();
+};
+
+/// A trained ZeroTune model plus the datasets used to produce it.
+struct TrainedSetup {
+  std::unique_ptr<core::ZeroTuneModel> model;
+  workload::Dataset train;
+  workload::Dataset val;
+  workload::Dataset test;
+  double train_seconds = 0.0;
+};
+
+/// Collects a seen-range corpus with the given enumeration strategy and
+/// trains a model on it. `structures` empty = the paper's three training
+/// structures.
+TrainedSetup TrainModel(
+    const core::ParallelismEnumerator& enumerator, const BenchScale& scale,
+    zerotune::ThreadPool* pool, uint64_t seed = 2024,
+    const std::vector<workload::QueryStructure>& structures = {},
+    const core::FeatureConfig& features = core::FeatureConfig::All());
+
+/// Prints the table and optionally writes `<name>.csv` alongside.
+void EmitTable(const std::string& name, const TextTable& table);
+
+/// Prints a section banner.
+void Banner(const std::string& title);
+
+}  // namespace zerotune::bench
+
+#endif  // ZEROTUNE_BENCH_BENCH_UTIL_H_

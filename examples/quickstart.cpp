@@ -1,0 +1,118 @@
+// Quickstart: build a streaming query, collect a small training corpus on
+// the simulated cluster, train a ZeroTune cost model, and use it with the
+// optimizer to pick initial parallelism degrees.
+//
+// Run:  ./quickstart
+#include <iostream>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/optimizer.h"
+#include "core/trainer.h"
+#include "sim/cost_engine.h"
+
+using namespace zerotune;
+
+int main() {
+  // ------------------------------------------------------------------
+  // 1. Define a streaming query: source -> filter -> window agg -> sink.
+  // ------------------------------------------------------------------
+  dsp::QueryPlan query;
+  dsp::SourceProperties source;
+  source.event_rate = 200000.0;  // 200k events/s
+  source.schema = dsp::TupleSchema::Uniform(4, dsp::DataType::kDouble);
+  const int src = query.AddSource(source);
+
+  dsp::FilterProperties filter;
+  filter.function = dsp::FilterFunction::kLessEqual;
+  filter.selectivity = 0.6;
+  const int f = query.AddFilter(src, filter).value();
+
+  dsp::AggregateProperties agg;
+  agg.function = dsp::AggregateFunction::kAvg;
+  agg.window = dsp::WindowSpec{dsp::WindowType::kTumbling,
+                               dsp::WindowPolicy::kCount, 50, 50};
+  agg.selectivity = 0.2;
+  const int a = query.AddWindowAggregate(f, agg).value();
+  query.AddSink(a);
+
+  // A 4-node cluster of CloudLab m510 machines.
+  const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 4).value();
+  std::cout << "Query:\n" << query.DebugString() << "\n";
+  std::cout << "Cluster: " << cluster.num_nodes() << " nodes, "
+            << cluster.TotalCores() << " cores total\n\n";
+
+  // ------------------------------------------------------------------
+  // 2. Collect a training corpus with the OptiSample strategy.
+  // ------------------------------------------------------------------
+  std::cout << "Collecting 600 labeled training queries (OptiSample)...\n";
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions build_opts;
+  build_opts.count = 600;
+  build_opts.seed = 42;
+  ThreadPool pool;
+  build_opts.pool = &pool;
+  const workload::Dataset corpus =
+      core::BuildDataset(enumerator, build_opts).value();
+
+  Rng rng(7);
+  workload::Dataset train, val, test;
+  corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+
+  // ------------------------------------------------------------------
+  // 3. Train the zero-shot cost model.
+  // ------------------------------------------------------------------
+  std::cout << "Training ZeroTune GNN...\n";
+  core::ModelConfig config;
+  config.hidden_dim = 32;
+  core::ZeroTuneModel model(config);
+  core::TrainOptions train_opts;
+  train_opts.epochs = 40;
+  train_opts.pool = &pool;
+  core::Trainer trainer(&model, train_opts);
+  const auto report = trainer.Train(train, val).value();
+  std::cout << "  trained " << report.epochs_run << " epochs in "
+            << report.train_seconds << "s, final loss "
+            << report.final_train_loss << "\n";
+
+  const auto eval = core::Trainer::Evaluate(model, test);
+  std::cout << "  test median q-error: latency " << eval.latency.median
+            << ", throughput " << eval.throughput.median << "\n\n";
+
+  // ------------------------------------------------------------------
+  // 4. What-if prediction for a hand-picked deployment.
+  // ------------------------------------------------------------------
+  dsp::ParallelQueryPlan manual(query, cluster);
+  manual.SetParallelism(f, 8);
+  manual.SetParallelism(a, 4);
+  manual.DerivePartitioning();
+  manual.PlaceRoundRobin();
+  const auto what_if = model.Predict(manual).value();
+  std::cout << "What-if (filter P=8, agg P=4): predicted latency "
+            << what_if.latency_ms << " ms, throughput "
+            << what_if.throughput_tps << " tuples/s\n";
+
+  // ------------------------------------------------------------------
+  // 5. Let the optimizer pick initial parallelism degrees (Eq. 1).
+  // ------------------------------------------------------------------
+  core::ParallelismOptimizer optimizer(&model);
+  const auto tuned = optimizer.Tune(query, cluster).value();
+  std::cout << "\nOptimizer-selected degrees (over "
+            << tuned.candidates_evaluated << " candidates):\n";
+  for (const auto& op : query.operators()) {
+    std::cout << "  " << op.name << ": P="
+              << tuned.plan.parallelism(op.id) << "\n";
+  }
+  std::cout << "Predicted: latency " << tuned.predicted.latency_ms
+            << " ms, throughput " << tuned.predicted.throughput_tps
+            << " tuples/s\n";
+
+  // Validate against the ground-truth engine.
+  sim::CostEngine engine;
+  const auto measured = engine.Measure(tuned.plan).value();
+  std::cout << "Measured:  latency " << measured.latency_ms
+            << " ms, throughput " << measured.throughput_tps
+            << " tuples/s"
+            << (measured.backpressured ? " (backpressured)" : "") << "\n";
+  return 0;
+}

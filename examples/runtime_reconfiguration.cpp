@@ -1,0 +1,108 @@
+// Runtime re-tuning scenario: a query is deployed for its morning load,
+// the event rate spikes during the day, and the ReconfigurationPlanner
+// decides — from what-if predictions alone — whether relocating windowed
+// state is worth it. Every decision is validated against the ground-truth
+// engine.
+//
+// Run:  ./runtime_reconfiguration
+#include <iostream>
+
+#include "common/table.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/reconfiguration.h"
+#include "core/trainer.h"
+#include "sim/cost_engine.h"
+
+using namespace zerotune;
+
+int main() {
+  ThreadPool pool;
+  Rng rng(42);
+
+  std::cout << "Training the cost model...\n";
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions build_opts;
+  build_opts.count = 1500;
+  build_opts.seed = 7;
+  build_opts.pool = &pool;
+  const auto corpus = core::BuildDataset(enumerator, build_opts).value();
+  workload::Dataset train, val, test;
+  corpus.Split(0.85, 0.15, &rng, &train, &val, &test);
+  core::ModelConfig config;
+  config.hidden_dim = 32;
+  core::ZeroTuneModel model(config);
+  core::TrainOptions topts;
+  topts.epochs = 50;
+  topts.pool = &pool;
+  core::Trainer(&model, topts).Train(train, val).value();
+
+  // The monitored query: clickstream filter + 1 s sliding-window aggregation.
+  dsp::QueryPlan query;
+  dsp::SourceProperties src;
+  src.event_rate = 20000.0;  // morning load
+  src.schema = dsp::TupleSchema::Uniform(4, dsp::DataType::kDouble);
+  const int s = query.AddSource(src);
+  dsp::FilterProperties f;
+  f.selectivity = 0.5;
+  const int fid = query.AddFilter(s, f).value();
+  dsp::AggregateProperties agg;
+  agg.window = dsp::WindowSpec{dsp::WindowType::kSliding,
+                               dsp::WindowPolicy::kTime, 1000, 250};
+  agg.selectivity = 0.1;
+  const int aid = query.AddWindowAggregate(fid, agg).value();
+  query.AddSink(aid);
+  const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 6).value();
+
+  // Initial deployment via the optimizer.
+  core::ParallelismOptimizer optimizer(&model);
+  auto current = optimizer.Tune(query, cluster).value().plan;
+
+  sim::CostParams noiseless;
+  noiseless.noise_sigma = 0.0;
+  const sim::CostEngine engine(noiseless);
+  core::ReconfigurationPlanner planner(&model);
+
+  TextTable table({"Time", "Observed rate", "Action", "Migration ms",
+                   "Latency ms", "Throughput/s"});
+  const std::vector<std::pair<std::string, double>> day = {
+      {"06:00", 20000},  {"09:00", 60000},   {"12:00", 250000},
+      {"15:00", 600000}, {"18:00", 1200000}, {"22:00", 40000}};
+
+  for (const auto& [time, rate] : day) {
+    const auto decision = planner.Evaluate(current, {{0, rate}}).value();
+    std::string action = "keep";
+    if (decision.reconfigure) {
+      current = decision.new_plan;
+      action = "reconfigure -> P={";
+      bool first = true;
+      for (int d : current.ParallelismVector()) {
+        if (!first) action += ",";
+        action += std::to_string(d);
+        first = false;
+      }
+      action += "}";
+    }
+    // Validate: what the system actually delivers under the new rate.
+    dsp::QueryPlan live_query = current.logical();
+    live_query.mutable_op(0).source.event_rate = rate;
+    dsp::ParallelQueryPlan live(live_query, current.cluster());
+    for (const auto& op : live_query.operators()) {
+      live.SetParallelism(op.id, current.parallelism(op.id));
+    }
+    live.DerivePartitioning();
+    live.PlaceRoundRobin();
+    const auto measured = engine.MeasureNoiseless(live).value();
+    current = live;  // the running deployment now sees this rate
+
+    table.AddRow({time, TextTable::Fmt(rate, 0), action,
+                  TextTable::Fmt(decision.migration_pause_ms, 1),
+                  TextTable::Fmt(measured.latency_ms, 1),
+                  TextTable::Fmt(measured.throughput_tps, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe planner scales up through the midday spike and holds\n"
+               "steady (hysteresis) when the gain would not cover the\n"
+               "migration pause.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Smart-grid (DEBS'14): cost predictions for the local and global load
+// queries across a sweep of parallelism degrees, showing how the model's
+// what-if estimates track the ground-truth engine across event rates.
+//
+// Run:  ./smart_grid
+#include <iostream>
+
+#include "common/table.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/trainer.h"
+#include "sim/cost_engine.h"
+#include "workload/benchmarks.h"
+
+using namespace zerotune;
+
+int main() {
+  Rng rng(77);
+  ThreadPool pool;
+
+  std::cout << "Training ZeroTune on synthetic workloads...\n";
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions build_opts;
+  build_opts.count = 800;
+  build_opts.seed = 21;
+  build_opts.pool = &pool;
+  const auto corpus = core::BuildDataset(enumerator, build_opts).value();
+  workload::Dataset train, val, test;
+  corpus.Split(0.85, 0.15, &rng, &train, &val, &test);
+
+  core::ModelConfig config;
+  config.hidden_dim = 32;
+  core::ZeroTuneModel model(config);
+  core::TrainOptions topts;
+  topts.epochs = 40;
+  topts.pool = &pool;
+  core::Trainer(&model, topts).Train(train, val).value();
+
+  sim::CostEngine engine;
+
+  for (const auto structure : {workload::QueryStructure::kSmartGridLocal,
+                               workload::QueryStructure::kSmartGridGlobal}) {
+    std::cout << "\n=== " << workload::ToString(structure) << " ===\n";
+    workload::BenchmarkQueries::Options bopts;
+    bopts.event_rate = 15000.0;
+    const auto g =
+        workload::BenchmarkQueries::Build(structure, bopts, &rng).value();
+
+    TextTable table({"Uniform P", "Pred. latency ms", "Meas. latency ms",
+                     "Pred. tput/s", "Meas. tput/s", "q-err(lat)"});
+    for (int degree : {1, 2, 4, 8, 16}) {
+      dsp::ParallelQueryPlan plan(g.plan, g.cluster);
+      if (!plan.SetUniformParallelism(degree).ok()) continue;
+      if (degree > plan.cluster().TotalCores()) continue;
+      if (!plan.PlaceRoundRobin().ok()) continue;
+
+      const auto pred = model.Predict(plan).value();
+      const auto meas = engine.Measure(plan).value();
+      table.AddRow({std::to_string(degree),
+                    TextTable::Fmt(pred.latency_ms),
+                    TextTable::Fmt(meas.latency_ms),
+                    TextTable::Fmt(pred.throughput_tps, 0),
+                    TextTable::Fmt(meas.throughput_tps, 0),
+                    TextTable::Fmt(QError(meas.latency_ms, pred.latency_ms))});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nThe model has never seen these benchmark queries, the "
+               "unseen-type hardware, or their window configurations.\n";
+  return 0;
+}

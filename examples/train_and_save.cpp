@@ -1,0 +1,75 @@
+// Offline training pipeline: collect a corpus, train, evaluate, and save
+// the model to disk; reload it and verify the predictions are identical.
+// Mirrors the paper's Fig. 2 "training phase" / "inference phase" split.
+//
+// Run:  ./train_and_save [corpus_size] [epochs] [model_path]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/trainer.h"
+
+using namespace zerotune;
+
+int main(int argc, char** argv) {
+  const size_t corpus_size = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                      : 1000;
+  const size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50;
+  const std::string path = argc > 3 ? argv[3] : "/tmp/zerotune_model.txt";
+
+  ThreadPool pool;
+  std::cout << "Collecting " << corpus_size
+            << " labeled queries with OptiSample...\n";
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions build_opts;
+  build_opts.count = corpus_size;
+  build_opts.seed = 13;
+  build_opts.pool = &pool;
+  const auto corpus = core::BuildDataset(enumerator, build_opts).value();
+
+  Rng rng(1);
+  workload::Dataset train, val, test;
+  corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+  std::cout << "  train/val/test = " << train.size() << "/" << val.size()
+            << "/" << test.size() << "\n";
+
+  core::ZeroTuneModel model;
+  core::TrainOptions topts;
+  topts.epochs = epochs;
+  topts.pool = &pool;
+  topts.verbose = false;
+  const auto report = core::Trainer(&model, topts).Train(train, val).value();
+  std::cout << "Trained " << report.epochs_run << " epochs in "
+            << report.train_seconds << " s (best val loss "
+            << report.best_val_loss << ")\n";
+
+  const auto eval = core::Trainer::Evaluate(model, test);
+  std::cout << "Test q-errors: latency median " << eval.latency.median
+            << " / p95 " << eval.latency.p95 << "; throughput median "
+            << eval.throughput.median << " / p95 " << eval.throughput.p95
+            << "\n";
+
+  const Status saved = model.Save(path);
+  if (!saved.ok()) {
+    std::cerr << "save failed: " << saved.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Saved model (" << model.params().num_parameters()
+            << " parameters) to " << path << "\n";
+
+  // Inference phase: a fresh process would construct the same config and
+  // Load(); verify the round trip preserves predictions.
+  core::ZeroTuneModel reloaded;
+  if (!reloaded.Load(path).ok()) {
+    std::cerr << "reload failed\n";
+    return 1;
+  }
+  const auto& sample = test.sample(0);
+  const auto a = model.Predict(sample.plan).value();
+  const auto b = reloaded.Predict(sample.plan).value();
+  std::cout << "Round-trip check: " << a.latency_ms << " ms == "
+            << b.latency_ms << " ms -> "
+            << (a.latency_ms == b.latency_ms ? "OK" : "MISMATCH") << "\n";
+  return a.latency_ms == b.latency_ms ? 0 : 1;
+}

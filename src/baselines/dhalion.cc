@@ -1,0 +1,84 @@
+#include "baselines/dhalion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerotune::baselines {
+
+Result<DhalionTuner::Outcome> DhalionTuner::Tune(
+    const dsp::QueryPlan& logical, const dsp::Cluster& cluster,
+    const sim::CostEngine& engine) const {
+  ZT_RETURN_IF_ERROR(logical.Validate());
+  dsp::ParallelQueryPlan plan(logical, cluster);
+  const int cap =
+      std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
+  ZT_RETURN_IF_ERROR(plan.SetUniformParallelism(1, /*pin_endpoints=*/false));
+  ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
+
+  Outcome outcome(plan);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Observe an actual execution of the current configuration (with
+    // whatever measurement noise the engine carries).
+    ZT_ASSIGN_OR_RETURN(const sim::CostMeasurement m,
+                        engine.Measure(outcome.plan));
+    ++outcome.executions;
+
+    // Dhalion's health manager diagnoses symptoms and applies *one*
+    // resolution per policy invocation, then re-observes — fixing the most
+    // backpressured stage first. Simple topologies converge in a few
+    // rounds; deep parallel plans need more rounds than the control-loop
+    // budget allows, which is exactly the complexity cliff Fig. 10b shows.
+    bool changed = false;
+    int worst_op = -1;
+    double worst_overload = 1.0;
+    for (const dsp::Operator& op : logical.operators()) {
+      if (op.type == dsp::OperatorType::kSink) continue;
+      const auto& diag = m.per_operator[static_cast<size_t>(op.id)];
+      if (!diag.saturated) continue;
+      const double overload =
+          diag.input_rate_tps / std::max(diag.capacity_tps, 1e-9);
+      if (overload > worst_overload) {
+        worst_overload = overload;
+        worst_op = op.id;
+      }
+    }
+    if (worst_op >= 0) {
+      const int degree = outcome.plan.parallelism(worst_op);
+      // The symptom is binary (backpressure observed); the resolution is a
+      // fixed hand-tuned scale-up step, not a cost-model-derived degree.
+      const int new_degree = std::clamp(
+          std::max(degree + 1,
+                   static_cast<int>(std::ceil(degree * options_.scale_up_step))),
+          1, cap);
+      if (new_degree != degree) {
+        ZT_RETURN_IF_ERROR(outcome.plan.SetParallelism(worst_op, new_degree));
+        changed = true;
+      }
+    } else {
+      // Healthy: reclaim the single most wasteful operator, one instance
+      // at a time (conservative scale-down avoids oscillation).
+      int idle_op = -1;
+      double idle_util = options_.underutilization_threshold;
+      for (const dsp::Operator& op : logical.operators()) {
+        if (op.type == dsp::OperatorType::kSink) continue;
+        if (outcome.plan.parallelism(op.id) <= 1) continue;
+        const auto& diag = m.per_operator[static_cast<size_t>(op.id)];
+        if (diag.utilization < idle_util) {
+          idle_util = diag.utilization;
+          idle_op = op.id;
+        }
+      }
+      if (idle_op >= 0) {
+        ZT_RETURN_IF_ERROR(outcome.plan.SetParallelism(
+            idle_op, outcome.plan.parallelism(idle_op) - 1));
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    outcome.plan.DerivePartitioning();
+    ZT_RETURN_IF_ERROR(outcome.plan.PlaceRoundRobin());
+  }
+  return outcome;
+}
+
+}  // namespace zerotune::baselines

@@ -1,0 +1,57 @@
+#ifndef ZEROTUNE_BASELINES_DHALION_H_
+#define ZEROTUNE_BASELINES_DHALION_H_
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::baselines {
+
+/// Dhalion-style self-regulating controller (Floratou et al. [19]), the
+/// comparison point of Fig. 10b. Unlike ZeroTune it is an *online*
+/// policy: it deploys the query, observes symptoms (backpressure /
+/// under-utilization diagnosed from an execution), and iteratively applies
+/// resolutions — scale saturated operators up proportionally to their
+/// overload, scale deeply idle operators down — until the topology is
+/// healthy or the iteration budget is spent.
+///
+/// Each Tune() therefore consumes several *executions* of the query (the
+/// convergence cost the paper's C1 challenge describes), and its final
+/// configuration only targets backpressure health, not the combined
+/// latency/throughput objective.
+class DhalionTuner {
+ public:
+  struct Options {
+    int max_iterations = 8;
+    /// Fixed multiplicative scale-up step applied to a backpressured
+    /// operator. Dhalion's policies react to symptoms with hand-tuned
+    /// resolutions rather than a cost model, so the step is generic.
+    double scale_up_step = 2.0;
+    /// Instances below this utilization are considered wasteful.
+    double underutilization_threshold = 0.25;
+    int max_parallelism = 128;
+  };
+
+  DhalionTuner() : DhalionTuner(Options()) {}
+  explicit DhalionTuner(Options options) : options_(options) {}
+
+  struct Outcome {
+    dsp::ParallelQueryPlan plan;
+    int executions = 0;  // how many trial deployments were observed
+
+    explicit Outcome(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
+  };
+
+  /// Runs the control loop against the ground-truth engine (standing in
+  /// for observing a live Flink/Heron deployment).
+  Result<Outcome> Tune(const dsp::QueryPlan& logical,
+                       const dsp::Cluster& cluster,
+                       const sim::CostEngine& engine) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_DHALION_H_

@@ -1,0 +1,52 @@
+#ifndef ZEROTUNE_BASELINES_DS2_H_
+#define ZEROTUNE_BASELINES_DS2_H_
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::baselines {
+
+/// DS2-style scaling controller (Kalavri et al., OSDI'18 — "three steps is
+/// all you need"), the analytical policy whose rate/selectivity reasoning
+/// inspired OptiSample (paper Sec. IV). From one observed execution it
+/// estimates each operator's *true* (useful-time) processing rate, derives
+/// the optimal degree as observed-load / true-rate-per-instance, applies
+/// it, and re-observes; convergence typically takes 1–3 steps.
+///
+/// Like Dhalion it is an online policy (needs trial executions) and only
+/// targets rate health — it is blind to chaining, window-fill, and
+/// placement latency effects. Provided as a library extension; the paper's
+/// Fig. 10 comparison uses greedy [20] and Dhalion [19].
+class Ds2Tuner {
+ public:
+  struct Options {
+    int max_steps = 3;
+    /// Target utilization of the provisioned instances.
+    double target_utilization = 0.8;
+    int max_parallelism = 128;
+  };
+
+  Ds2Tuner() : Ds2Tuner(Options()) {}
+  explicit Ds2Tuner(Options options) : options_(options) {}
+
+  struct Outcome {
+    dsp::ParallelQueryPlan plan;
+    int executions = 0;
+
+    explicit Outcome(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
+  };
+
+  /// Runs the scaling loop against the engine (standing in for metrics
+  /// instrumentation on a live deployment).
+  Result<Outcome> Tune(const dsp::QueryPlan& logical,
+                       const dsp::Cluster& cluster,
+                       const sim::CostEngine& engine) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_DS2_H_

@@ -1,0 +1,120 @@
+#include "baselines/flat_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerotune::baselines {
+
+namespace {
+
+using dsp::Operator;
+using dsp::OperatorType;
+
+double Log1p(double v) { return std::log1p(std::max(v, 0.0)); }
+
+}  // namespace
+
+size_t FlatVectorEncoder::Dim() { return 21; }
+
+std::vector<double> FlatVectorEncoder::Encode(
+    const dsp::ParallelQueryPlan& plan) {
+  const dsp::QueryPlan& q = plan.logical();
+
+  double n_sources = 0, n_filters = 0, n_aggs = 0, n_joins = 0;
+  double filter_sel_sum = 0, agg_sel_sum = 0, join_sel_sum = 0;
+  double event_rate_sum = 0;
+  double width_sum = 0;
+  double win_len_sum = 0, win_count = 0;
+  double par_sum = 0, par_max = 0, par_total = 0;
+  for (const Operator& op : q.operators()) {
+    const double p = plan.parallelism(op.id);
+    par_total += p;
+    if (op.type != OperatorType::kSource && op.type != OperatorType::kSink) {
+      par_sum += p;
+      par_max = std::max(par_max, p);
+    }
+    width_sum += static_cast<double>(op.output_schema.width());
+    switch (op.type) {
+      case OperatorType::kSource:
+        n_sources += 1;
+        event_rate_sum += op.source.event_rate;
+        break;
+      case OperatorType::kFilter:
+        n_filters += 1;
+        filter_sel_sum += op.filter.selectivity;
+        break;
+      case OperatorType::kWindowAggregate:
+        n_aggs += 1;
+        agg_sel_sum += op.aggregate.selectivity;
+        win_len_sum += op.aggregate.window.length;
+        win_count += 1;
+        break;
+      case OperatorType::kWindowJoin:
+        n_joins += 1;
+        join_sel_sum += op.join.selectivity;
+        win_len_sum += op.join.window.length;
+        win_count += 1;
+        break;
+      case OperatorType::kSink:
+        break;
+    }
+  }
+  const double n_ops = static_cast<double>(q.num_operators());
+  const double n_mid = std::max(1.0, n_ops - n_sources - 1.0);
+
+  const dsp::Cluster& cluster = plan.cluster();
+  double ghz_sum = 0;
+  for (const auto& n : cluster.nodes()) ghz_sum += n.cpu_ghz;
+
+  std::vector<double> f;
+  f.reserve(Dim());
+  f.push_back(n_sources);
+  f.push_back(n_filters);
+  f.push_back(n_aggs);
+  f.push_back(n_joins);
+  f.push_back(n_ops);
+  f.push_back(n_filters > 0 ? filter_sel_sum / n_filters : 0.0);
+  f.push_back(n_aggs > 0 ? agg_sel_sum / n_aggs : 0.0);
+  f.push_back(n_joins > 0 ? join_sel_sum / n_joins : 0.0);
+  f.push_back(Log1p(event_rate_sum));
+  f.push_back(width_sum / std::max(1.0, n_ops));
+  f.push_back(win_count > 0 ? Log1p(win_len_sum / win_count) : 0.0);
+  f.push_back(win_count);
+  // Parallelism features (the paper's addition to [4]).
+  f.push_back(par_sum / n_mid);
+  f.push_back(Log1p(par_max));
+  f.push_back(Log1p(par_total));
+  // Resource totals.
+  f.push_back(static_cast<double>(cluster.num_nodes()));
+  f.push_back(Log1p(static_cast<double>(cluster.TotalCores())));
+  f.push_back(cluster.num_nodes() > 0
+                  ? ghz_sum / static_cast<double>(cluster.num_nodes())
+                  : 0.0);
+  f.push_back(Log1p(cluster.num_nodes() > 0 ? cluster.node(0).network_gbps
+                                            : 0.0));
+  // Coarse shape: plan depth (longest path length).
+  std::vector<double> depth(q.num_operators(), 1.0);
+  double max_depth = 1.0;
+  for (int id : q.TopologicalOrder()) {
+    for (int u : q.upstreams(id)) {
+      depth[static_cast<size_t>(id)] = std::max(
+          depth[static_cast<size_t>(id)], depth[static_cast<size_t>(u)] + 1.0);
+    }
+    max_depth = std::max(max_depth, depth[static_cast<size_t>(id)]);
+  }
+  f.push_back(max_depth);
+  f.push_back(1.0);  // bias slot (used by the linear model)
+  return f;
+}
+
+std::vector<std::string> FlatVectorEncoder::FeatureNames() {
+  return {"n_sources",      "n_filters",     "n_aggs",
+          "n_joins",        "n_ops",         "avg_filter_sel",
+          "avg_agg_sel",    "avg_join_sel",  "sum_event_rate(log)",
+          "avg_width",      "avg_win_len(log)", "n_windows",
+          "avg_parallelism", "max_parallelism(log)", "total_parallelism(log)",
+          "n_workers",      "total_cores(log)", "avg_ghz",
+          "network(log)",   "plan_depth",    "bias"};
+}
+
+}  // namespace zerotune::baselines

@@ -1,0 +1,32 @@
+#ifndef ZEROTUNE_BASELINES_FLAT_VECTOR_H_
+#define ZEROTUNE_BASELINES_FLAT_VECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::baselines {
+
+/// The non-transferable flat-vector plan representation the paper compares
+/// against (Ganapathi et al. [4], plus the paper's addition of parallelism
+/// features): per-type operator counts and average selectivities, data
+/// rates, window statistics, parallelism aggregates, and cluster totals —
+/// with *no structural information* about the plan graph. This is what
+/// caps its generalization to unseen query structures (Fig. 5).
+class FlatVectorEncoder {
+ public:
+  /// Fixed width of the encoding.
+  static size_t Dim();
+
+  /// Encodes a placed plan.
+  static std::vector<double> Encode(const dsp::ParallelQueryPlan& plan);
+
+  /// Slot names, aligned with Encode()'s output.
+  static std::vector<std::string> FeatureNames();
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_FLAT_VECTOR_H_

@@ -1,0 +1,51 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+
+namespace zerotune::baselines {
+
+Result<dsp::ParallelQueryPlan> GreedyHeuristicTuner::Tune(
+    const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
+  ZT_RETURN_IF_ERROR(logical.Validate());
+  dsp::ParallelQueryPlan plan(logical, cluster);
+  const std::vector<double> rates = logical.EstimatedInputRates();
+  const int cap =
+      std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
+  const int budget = cluster.TotalCores();
+
+  std::vector<int> degrees(logical.num_operators(), 1);
+  int total = static_cast<int>(logical.num_operators());
+
+  auto utilization = [&](int id) {
+    return rates[static_cast<size_t>(id)] /
+           (static_cast<double>(degrees[static_cast<size_t>(id)]) *
+            options_.assumed_per_instance_rate);
+  };
+
+  for (;;) {
+    int worst = -1;
+    double worst_util = options_.target_utilization;
+    for (const dsp::Operator& op : logical.operators()) {
+      if (op.type == dsp::OperatorType::kSink) continue;
+      if (degrees[static_cast<size_t>(op.id)] >= cap) continue;
+      const double u = utilization(op.id);
+      if (u > worst_util) {
+        worst_util = u;
+        worst = op.id;
+      }
+    }
+    if (worst < 0 || total >= budget) break;
+    ++degrees[static_cast<size_t>(worst)];
+    ++total;
+  }
+
+  for (const dsp::Operator& op : logical.operators()) {
+    ZT_RETURN_IF_ERROR(
+        plan.SetParallelism(op.id, degrees[static_cast<size_t>(op.id)]));
+  }
+  plan.DerivePartitioning();
+  ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
+  return plan;
+}
+
+}  // namespace zerotune::baselines

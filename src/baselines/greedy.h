@@ -1,0 +1,45 @@
+#ifndef ZEROTUNE_BASELINES_GREEDY_H_
+#define ZEROTUNE_BASELINES_GREEDY_H_
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::baselines {
+
+/// Greedy parallelism heuristic in the spirit of auto-pipelining (Tang &
+/// Gedik [20]), the comparison point of Fig. 10a: it assumes every
+/// operator instance sustains a fixed per-core tuple rate, starts all
+/// degrees at 1, and repeatedly increments the degree of the operator with
+/// the highest estimated utilization until everything is below the target
+/// utilization or the core budget is exhausted.
+///
+/// Its blind spots — identical per-core rate for cheap filters and heavy
+/// window joins, no chaining/serde awareness, no window-fill or placement
+/// effects — are what the learned model exploits.
+class GreedyHeuristicTuner {
+ public:
+  struct Options {
+    /// Assumed sustainable tuples/s per operator instance. Deliberately
+    /// generic (and optimistic for heavy window operators): the heuristic
+    /// has no cost model, which is exactly its published blind spot —
+    /// cheap filters get over-provisioned, expensive joins/aggregations
+    /// get under-provisioned and backpressure.
+    double assumed_per_instance_rate = 500000.0;
+    double target_utilization = 0.9;
+    int max_parallelism = 128;
+  };
+
+  GreedyHeuristicTuner() : GreedyHeuristicTuner(Options()) {}
+  explicit GreedyHeuristicTuner(Options options) : options_(options) {}
+
+  /// Produces a placed plan with greedy degrees.
+  Result<dsp::ParallelQueryPlan> Tune(const dsp::QueryPlan& logical,
+                                      const dsp::Cluster& cluster) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_GREEDY_H_

@@ -1,0 +1,45 @@
+#ifndef ZEROTUNE_BASELINES_LINEAR_MODEL_H_
+#define ZEROTUNE_BASELINES_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "core/cost_predictor.h"
+#include "workload/dataset.h"
+
+namespace zerotune::baselines {
+
+/// "Linear Regression" baseline of Fig. 5: ridge regression from the flat
+/// plan vector to log-space latency and throughput. Fitted in closed form
+/// via the normal equations (Gaussian elimination with partial pivoting).
+class LinearRegressionModel : public core::CostPredictor {
+ public:
+  struct Options {
+    double l2 = 1e-2;  // ridge strength on standardized features
+  };
+
+  LinearRegressionModel() : LinearRegressionModel(Options()) {}
+  explicit LinearRegressionModel(Options options) : options_(options) {}
+
+  /// Fits both targets on a labeled corpus.
+  Status Fit(const workload::Dataset& train);
+
+  Result<core::CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override;
+  std::string name() const override { return "LinearRegression"; }
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  std::vector<double> mean_, std_;       // feature standardization
+  std::vector<double> w_latency_;        // weights incl. bias
+  std::vector<double> w_throughput_;
+};
+
+/// Solves A·x = b in place (A is n×n row-major, overwritten). Returns
+/// false when A is singular. Exposed for tests.
+bool SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
+                       size_t n);
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_LINEAR_MODEL_H_

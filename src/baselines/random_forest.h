@@ -1,0 +1,66 @@
+#ifndef ZEROTUNE_BASELINES_RANDOM_FOREST_H_
+#define ZEROTUNE_BASELINES_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_predictor.h"
+#include "workload/dataset.h"
+
+namespace zerotune::baselines {
+
+/// Random-forest regression baseline on the flat plan vector (Fig. 5):
+/// bagged CART trees with per-split feature subsampling, two-output
+/// leaves (log latency, log throughput), variance-reduction splits.
+class RandomForestModel : public core::CostPredictor {
+ public:
+  struct Options {
+    size_t num_trees = 40;
+    size_t max_depth = 12;
+    size_t min_samples_leaf = 3;
+    /// Fraction of features considered per split.
+    double feature_fraction = 0.7;
+    uint64_t seed = 23;
+  };
+
+  RandomForestModel() : RandomForestModel(Options()) {}
+  explicit RandomForestModel(Options options) : options_(options) {}
+
+  Status Fit(const workload::Dataset& train);
+
+  Result<core::CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override;
+  std::string name() const override { return "RandomForest"; }
+
+  size_t num_nodes() const;  // across all trees, for tests
+
+ private:
+  /// Flattened binary tree node. Leaves have feature == -1.
+  struct TreeNode {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double leaf_latency = 0.0;     // mean log1p latency
+    double leaf_throughput = 0.0;  // mean log1p throughput
+  };
+  using Tree = std::vector<TreeNode>;
+
+  struct TrainData {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y_lat;  // log1p space
+    std::vector<double> y_tpt;
+  };
+
+  int BuildNode(Tree* tree, const TrainData& data,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                size_t depth, zerotune::Rng* rng) const;
+
+  Options options_;
+  bool fitted_ = false;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_RANDOM_FOREST_H_

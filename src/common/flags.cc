@@ -1,0 +1,79 @@
+#include "common/flags.h"
+
+namespace zerotune {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name,
+                                   int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    return static_cast<int64_t>(std::stoll(it->second));
+  } catch (...) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second.empty() || it->second == "1" || it->second == "true";
+}
+
+Status FlagParser::CheckAllowed(
+    const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : flags_) {
+    bool ok = false;
+    for (const std::string& a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return Status::InvalidArgument("unknown flag: --" + key);
+  }
+  return Status::OK();
+}
+
+}  // namespace zerotune

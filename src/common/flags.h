@@ -1,0 +1,43 @@
+#ifndef ZEROTUNE_COMMON_FLAGS_H_
+#define ZEROTUNE_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerotune {
+
+/// Minimal command-line flag parser for the CLI tool and examples.
+/// Supports `--key=value`, `--key value`, boolean `--key`, and free
+/// positional arguments (the first of which is typically a subcommand).
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const {
+    return flags_.count(name) > 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  /// A bare `--flag` or `--flag=true/1` reads as true.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Returns an error naming any flag not in `allowed` (catches typos).
+  Status CheckAllowed(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_FLAGS_H_

@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace zerotune {
+
+Histogram::Histogram(double min_value, double max_value,
+                     size_t buckets_per_decade)
+    : min_value_(min_value), max_value_(max_value) {
+  log_min_ = std::log10(min_value_);
+  bucket_width_ = 1.0 / static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(max_value_) - log_min_;
+  const size_t n =
+      static_cast<size_t>(std::ceil(decades / bucket_width_)) + 1;
+  buckets_.assign(n, 0);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  value = std::clamp(value, min_value_, max_value_);
+  const double pos = (std::log10(value) - log_min_) / bucket_width_;
+  return std::min(buckets_.size() - 1,
+                  static_cast<size_t>(std::max(0.0, pos)));
+}
+
+double Histogram::BucketUpperEdge(size_t bucket) const {
+  return std::pow(10.0, log_min_ + bucket_width_ *
+                                      static_cast<double>(bucket + 1));
+}
+
+void Histogram::Record(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return;  // ignore junk
+  ++buckets_[BucketFor(value)];
+  if (count_ == 0) {
+    observed_min_ = observed_max_ = value;
+  } else {
+    observed_min_ = std::min(observed_min_, value);
+    observed_max_ = std::max(observed_max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  // Layout must match; a mismatch is a programming error.
+  if (buckets_.size() != other.buckets_.size()) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    observed_min_ = other.observed_min_;
+    observed_max_ = other.observed_max_;
+  } else {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : observed_min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : observed_max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(BucketUpperEdge(i), observed_max_);
+    }
+  }
+  return observed_max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace zerotune

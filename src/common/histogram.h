@@ -1,0 +1,56 @@
+#ifndef ZEROTUNE_COMMON_HISTOGRAM_H_
+#define ZEROTUNE_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zerotune {
+
+/// Log-bucketed histogram for latency-style positive measurements,
+/// HdrHistogram-flavored: buckets grow geometrically so the structure
+/// covers nanoseconds to minutes with bounded relative error and O(1)
+/// recording. Used by the discrete-event simulator to report full latency
+/// distributions without storing every sample.
+class Histogram {
+ public:
+  /// `min_value`/`max_value` bound the tracked range (values are clamped);
+  /// `buckets_per_decade` controls resolution (relative error ≈
+  /// 10^(1/buckets)−1).
+  Histogram(double min_value = 1e-3, double max_value = 1e6,
+            size_t buckets_per_decade = 20);
+
+  void Record(double value);
+  /// Merges another histogram with identical bucket layout.
+  void Merge(const Histogram& other);
+
+  size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  /// p in [0, 100]; returns the upper edge of the bucket holding the
+  /// quantile (within one bucket of the exact order statistic).
+  double Percentile(double p) const;
+
+  /// Compact textual summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketUpperEdge(size_t bucket) const;
+
+  double min_value_;
+  double max_value_;
+  double log_min_;
+  double bucket_width_;  // in log10 space
+  std::vector<uint64_t> buckets_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double observed_min_ = 0.0;
+  double observed_max_ = 0.0;
+};
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_HISTOGRAM_H_

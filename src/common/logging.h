@@ -1,0 +1,42 @@
+#ifndef ZEROTUNE_COMMON_LOGGING_H_
+#define ZEROTUNE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace zerotune {
+
+/// Minimal leveled logging. Levels: 0 = quiet, 1 = info (default),
+/// 2 = verbose (per-epoch training traces).
+class Log {
+ public:
+  static int& Level() {
+    static int level = 1;
+    return level;
+  }
+
+  /// Streams a single info line when level >= 1.
+  template <typename... Args>
+  static void Info(const Args&... args) {
+    Emit(1, args...);
+  }
+
+  /// Streams a single verbose line when level >= 2.
+  template <typename... Args>
+  static void Verbose(const Args&... args) {
+    Emit(2, args...);
+  }
+
+ private:
+  template <typename... Args>
+  static void Emit(int min_level, const Args&... args) {
+    if (Level() < min_level) return;
+    std::ostringstream os;
+    (os << ... << args);
+    std::cerr << "[zerotune] " << os.str() << '\n';
+  }
+};
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef ZEROTUNE_COMMON_RNG_H_
+#define ZEROTUNE_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace zerotune {
+
+/// Deterministic random number generator used across the library.
+///
+/// Every stochastic component (query generator, cost-engine noise, model
+/// initialization, training shuffles) takes an explicit Rng so experiments
+/// are reproducible bit-for-bit given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Multiplicative lognormal factor with median 1 and shape sigma.
+  double LogNormalFactor(double sigma) {
+    return std::exp(Gaussian(0.0, sigma));
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// Derives an independent child generator; used to give each worker
+  /// thread / query its own stream without correlation.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerotune {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double Median(const std::vector<double>& xs) { return Percentile(xs, 50.0); }
+
+double QError(double truth, double prediction) {
+  constexpr double kEps = 1e-9;
+  const double c = std::max(std::abs(truth), kEps);
+  const double cp = std::max(std::abs(prediction), kEps);
+  return std::max(c / cp, cp / c);
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(std::max(x, 1e-12));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors) {
+  QErrorSummary s;
+  s.count = qerrors.size();
+  if (qerrors.empty()) return s;
+  s.median = Median(qerrors);
+  s.p95 = Percentile(qerrors, 95.0);
+  s.mean = Mean(qerrors);
+  s.max = *std::max_element(qerrors.begin(), qerrors.end());
+  return s;
+}
+
+}  // namespace zerotune

@@ -1,0 +1,47 @@
+#ifndef ZEROTUNE_COMMON_STATISTICS_H_
+#define ZEROTUNE_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace zerotune {
+
+/// Order statistics and summary helpers shared by the evaluation harnesses.
+/// All functions tolerate unsorted input and do not modify it.
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+/// Returns 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// Median == Percentile(xs, 50).
+double Median(const std::vector<double>& xs);
+
+/// Q-error between a true cost and a prediction, as defined by Leis et al.
+/// and used throughout the paper: q = max(c/c', c'/c) >= 1. Values are
+/// clamped away from zero to keep the metric finite.
+double QError(double truth, double prediction);
+
+/// Geometric mean; 0 for empty input. Inputs must be positive.
+double GeometricMean(const std::vector<double>& xs);
+
+/// Summary of a q-error distribution as reported in the paper's tables.
+struct QErrorSummary {
+  size_t count = 0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary over per-query q-errors.
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors);
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_STATISTICS_H_

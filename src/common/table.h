@@ -1,0 +1,44 @@
+#ifndef ZEROTUNE_COMMON_TABLE_H_
+#define ZEROTUNE_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerotune {
+
+/// A small text/CSV table builder used by the experiment harnesses to print
+/// the same rows/series as the paper's tables and figures.
+///
+///   TextTable t({"Query", "Median", "95th"});
+///   t.AddRow({"Linear", "1.21", "2.51"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats helper: fixed-precision double.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Pretty-prints with aligned columns and a separator line.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_TABLE_H_

@@ -1,0 +1,54 @@
+#ifndef ZEROTUNE_COMMON_THREAD_POOL_H_
+#define ZEROTUNE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zerotune {
+
+/// Fixed-size worker pool used for data-parallel gradient computation and
+/// batched query labeling. Tasks are plain std::function<void()>; use
+/// ParallelFor for the common indexed-loop case.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (defaults to hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) distributed over the pool in contiguous
+/// chunks, blocking until done. With a null pool, runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,35 @@
+#ifndef ZEROTUNE_CORE_COST_PREDICTOR_H_
+#define ZEROTUNE_CORE_COST_PREDICTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::core {
+
+/// Predicted costs of one parallel query plan deployment.
+struct CostPrediction {
+  double latency_ms = 0.0;
+  double throughput_tps = 0.0;
+};
+
+/// Interface implemented by every cost model in this repo: the ZeroTune
+/// GNN, the flat-vector baselines, and the oracle wrapper around the
+/// ground-truth engine. The parallelism optimizer works against this
+/// interface, so any model can drive parallelism tuning.
+class CostPredictor {
+ public:
+  virtual ~CostPredictor() = default;
+
+  /// What-if cost estimate for a (hypothetical) deployment.
+  virtual Result<CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const = 0;
+
+  /// Display name used in experiment tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_COST_PREDICTOR_H_

@@ -1,0 +1,91 @@
+#include "core/dataset_builder.h"
+
+#include <mutex>
+
+namespace zerotune::core {
+
+namespace {
+
+using workload::Dataset;
+using workload::GeneratedQuery;
+using workload::LabeledQuery;
+using workload::QueryStructure;
+
+}  // namespace
+
+Result<LabeledQuery> LabelPlan(dsp::ParallelQueryPlan plan,
+                               QueryStructure structure,
+                               const sim::CostEngine& engine) {
+  ZT_ASSIGN_OR_RETURN(const sim::CostMeasurement m, engine.Measure(plan));
+  return LabeledQuery(std::move(plan), m.latency_ms, m.throughput_tps,
+                      structure);
+}
+
+Result<Dataset> BuildDataset(const ParallelismEnumerator& enumerator,
+                             const DatasetBuilderOptions& options) {
+  const std::vector<QueryStructure> structures =
+      options.structures.empty() ? workload::TrainingStructures()
+                                 : options.structures;
+  const sim::CostEngine engine(options.cost_params);
+
+  // Pre-draw per-sample seeds so parallel labeling stays deterministic.
+  zerotune::Rng root(options.seed);
+  std::vector<uint64_t> seeds(options.count);
+  for (auto& s : seeds) s = root.engine()();
+
+  std::vector<Result<LabeledQuery>> results(
+      options.count, Result<LabeledQuery>(Status::Internal("not built")));
+  auto build_one = [&](size_t i) {
+    zerotune::Rng rng(seeds[i]);
+    workload::QueryGenerator gen(options.generator, rng.engine()());
+    const QueryStructure structure = rng.Choice(structures);
+    Result<GeneratedQuery> g = gen.Generate(structure);
+    if (!g.ok()) {
+      results[i] = g.status();
+      return;
+    }
+    dsp::ParallelQueryPlan plan(std::move(g.value().plan),
+                                std::move(g.value().cluster));
+    Status s = enumerator.Assign(&plan, &rng);
+    if (!s.ok()) {
+      results[i] = s;
+      return;
+    }
+    results[i] = LabelPlan(std::move(plan), structure, engine);
+  };
+
+  ParallelFor(options.pool, options.count, build_one);
+
+  Dataset out;
+  for (auto& r : results) {
+    if (!r.ok()) return r.status();
+    out.Add(std::move(r).value());
+  }
+  return out;
+}
+
+Result<Dataset> BuildBenchmarkDataset(QueryStructure structure, size_t count,
+                                      const ParallelismEnumerator& enumerator,
+                                      const DatasetBuilderOptions& options) {
+  const sim::CostEngine engine(options.cost_params);
+  zerotune::Rng rng(options.seed);
+  Dataset out;
+  for (size_t i = 0; i < count; ++i) {
+    workload::BenchmarkQueries::Options bopts;
+    // Benchmarks run at arbitrarily low incoming event rates (paper
+    // Exp. 2); sample a modest rate band.
+    bopts.event_rate = std::exp(rng.Uniform(std::log(500.0),
+                                            std::log(20000.0)));
+    ZT_ASSIGN_OR_RETURN(
+        GeneratedQuery g,
+        workload::BenchmarkQueries::Build(structure, bopts, &rng));
+    dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
+    ZT_RETURN_IF_ERROR(enumerator.Assign(&plan, &rng));
+    ZT_ASSIGN_OR_RETURN(LabeledQuery q,
+                        LabelPlan(std::move(plan), structure, engine));
+    out.Add(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace zerotune::core

@@ -1,0 +1,53 @@
+#ifndef ZEROTUNE_CORE_DATASET_BUILDER_H_
+#define ZEROTUNE_CORE_DATASET_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/enumeration.h"
+#include "sim/cost_engine.h"
+#include "workload/benchmarks.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+
+namespace zerotune::core {
+
+/// Drives training-corpus collection: generate a query (structure +
+/// parameters + cluster), assign parallelism with an enumeration strategy,
+/// deploy, and measure it with the ground-truth engine — the offline data
+/// collection phase of Fig. 2 (left).
+struct DatasetBuilderOptions {
+  size_t count = 1000;
+  uint64_t seed = 2024;
+  workload::QueryGenerator::Options generator;
+  sim::CostParams cost_params;
+  /// Optional pool for parallel labeling; null = sequential.
+  zerotune::ThreadPool* pool = nullptr;
+  /// Restricts generation to these structures; empty = the paper's three
+  /// training structures.
+  std::vector<workload::QueryStructure> structures;
+};
+
+/// Builds a labeled corpus of `options.count` queries using `enumerator`
+/// for the parallelism degrees. Deterministic given options.seed.
+Result<workload::Dataset> BuildDataset(
+    const ParallelismEnumerator& enumerator,
+    const DatasetBuilderOptions& options);
+
+/// Labels one prepared plan with the engine and wraps it as a sample.
+Result<workload::LabeledQuery> LabelPlan(dsp::ParallelQueryPlan plan,
+                                         workload::QueryStructure structure,
+                                         const sim::CostEngine& engine);
+
+/// Builds a labeled corpus of benchmark queries (spike detection /
+/// smart-grid), each deployed with the enumerator at several event rates.
+Result<workload::Dataset> BuildBenchmarkDataset(
+    workload::QueryStructure structure, size_t count,
+    const ParallelismEnumerator& enumerator,
+    const DatasetBuilderOptions& options);
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_DATASET_BUILDER_H_

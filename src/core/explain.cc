@@ -1,0 +1,77 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace zerotune::core {
+
+namespace {
+
+/// Log-space view of a raw forward output (normalized units are already
+/// log-linear, so differences are relative-cost shifts).
+std::pair<double, double> LogOutputs(const ZeroTuneModel& model,
+                                     const PlanGraph& graph) {
+  const nn::NodePtr out = model.Forward(graph);
+  return {out->value(0, 0), out->value(0, 1)};
+}
+
+}  // namespace
+
+Result<std::vector<FeatureAttribution>> PredictionExplainer::Explain(
+    const dsp::ParallelQueryPlan& plan) const {
+  ZT_RETURN_IF_ERROR(plan.Validate());
+  const FeatureConfig& config = model_->config().features;
+  PlanGraph graph = BuildPlanGraph(plan, config);
+  const auto [base_lat, base_tpt] = LogOutputs(*model_, graph);
+  const std::vector<std::string> names =
+      FeatureEncoder::OperatorFeatureNames();
+
+  std::vector<FeatureAttribution> attrs;
+  for (size_t node = 0; node < graph.num_operators(); ++node) {
+    for (size_t slot = 0; slot < graph.operator_features[node].size();
+         ++slot) {
+      const double value = graph.operator_features[node][slot];
+      if (value == 0.0) continue;  // occluding a zero is a no-op
+      graph.operator_features[node][slot] = 0.0;
+      const auto [lat, tpt] = LogOutputs(*model_, graph);
+      graph.operator_features[node][slot] = value;
+
+      FeatureAttribution a;
+      a.operator_id = static_cast<int>(node);
+      a.feature_name = slot < names.size() ? names[slot] : "?";
+      a.feature_value = value;
+      a.latency_impact = base_lat - lat;
+      a.throughput_impact = base_tpt - tpt;
+      attrs.push_back(std::move(a));
+    }
+  }
+
+  std::sort(attrs.begin(), attrs.end(),
+            [](const FeatureAttribution& a, const FeatureAttribution& b) {
+              const double ma =
+                  std::abs(a.latency_impact) + std::abs(a.throughput_impact);
+              const double mb =
+                  std::abs(b.latency_impact) + std::abs(b.throughput_impact);
+              return ma > mb;
+            });
+  if (options_.top_k > 0 && attrs.size() > options_.top_k) {
+    attrs.resize(options_.top_k);
+  }
+  return attrs;
+}
+
+std::string PredictionExplainer::ToText(
+    const std::vector<FeatureAttribution>& attrs) {
+  std::ostringstream os;
+  os.precision(3);
+  for (const FeatureAttribution& a : attrs) {
+    os << "  op" << a.operator_id << " " << a.feature_name << " (value "
+       << a.feature_value << "): latency " << std::showpos
+       << a.latency_impact << ", throughput " << a.throughput_impact
+       << std::noshowpos << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace zerotune::core

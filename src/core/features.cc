@@ -1,0 +1,229 @@
+#include "core/features.h"
+
+#include <cmath>
+
+namespace zerotune::core {
+
+namespace {
+
+using dsp::DataType;
+using dsp::Operator;
+using dsp::OperatorType;
+using dsp::WindowSpec;
+
+double Log1p(double v) { return std::log1p(std::max(v, 0.0)); }
+
+void OneHot(std::vector<double>* out, int value, int cardinality,
+            bool enabled) {
+  for (int i = 0; i < cardinality; ++i) {
+    out->push_back(enabled && i == value ? 1.0 : 0.0);
+  }
+}
+
+void Push(std::vector<double>* out, double v, bool enabled) {
+  out->push_back(enabled ? v : 0.0);
+}
+
+/// Fractions of int/double/string fields in a schema.
+void SchemaComposition(std::vector<double>* out, const dsp::TupleSchema& s,
+                       bool enabled) {
+  double counts[3] = {0, 0, 0};
+  for (DataType t : s.fields) counts[static_cast<int>(t)] += 1.0;
+  const double total = std::max<double>(1.0, static_cast<double>(s.width()));
+  for (double c : counts) Push(out, c / total, enabled);
+}
+
+}  // namespace
+
+// Layout (see OperatorFeatureNames for the authoritative order):
+//   operator one-hot(5)
+//   parallelism: degree log1p(1), partitioning one-hot(3), grouping(1)
+//   data: width_in(1), width_out(1), composition(3), selectivity(1),
+//         event_rate(1), est_in_rate(1), est_out_rate(1),
+//         est_in_rate_per_instance(1)
+//   filter: function one-hot(6), literal class one-hot(3)
+//   window: type one-hot(2), policy one-hot(2), length(1), slide(1)
+//   join: key class one-hot(3)
+//   agg: class one-hot(3), function one-hot(5), key class one-hot(3)
+//
+// The estimated per-operator rates are derived purely from transferable
+// inputs (source event rates × operator selectivities, Def. 3) — the same
+// propagation OptiSample uses — so they preserve zero-shot transfer while
+// letting every node see its own load.
+size_t FeatureEncoder::OperatorDim() { return 5 + 5 + 10 + 9 + 6 + 3 + 11; }
+
+size_t FeatureEncoder::ResourceDim() { return 6; }
+
+size_t FeatureEncoder::MappingDim() { return 2; }
+
+std::vector<double> FeatureEncoder::EncodeOperator(
+    const dsp::ParallelQueryPlan& plan, int op_id,
+    const FeatureConfig& config) {
+  const dsp::QueryPlan& q = plan.logical();
+  const Operator& op = q.op(op_id);
+  const bool op_on = config.operator_features;
+  const bool par_on = config.parallelism_features;
+
+  std::vector<double> f;
+  f.reserve(OperatorDim());
+
+  // Operator type: structural, always on (the graph shape itself reveals
+  // it; masking it would only hide information the ablation keeps).
+  OneHot(&f, static_cast<int>(op.type), 5, /*enabled=*/true);
+
+  // Parallelism-related.
+  Push(&f, Log1p(plan.parallelism(op_id)), par_on);
+  OneHot(&f, static_cast<int>(plan.placement(op_id).partitioning), 3, par_on);
+  Push(&f, Log1p(plan.GroupingNumber(op_id)), par_on);
+
+  // Data-related.
+  double width_in = 0.0;
+  for (int u : q.upstreams(op_id)) {
+    width_in += static_cast<double>(q.op(u).output_schema.width());
+  }
+  if (op.type == OperatorType::kSource) {
+    width_in = static_cast<double>(op.source.schema.width());
+  }
+  Push(&f, Log1p(width_in), op_on);
+  Push(&f, Log1p(static_cast<double>(op.output_schema.width())), op_on);
+  SchemaComposition(&f, op.output_schema, op_on);
+  Push(&f, q.OperatorSelectivity(op_id), op_on);
+  Push(&f,
+       op.type == OperatorType::kSource ? Log1p(op.source.event_rate) : 0.0,
+       op_on);
+  const std::vector<double> est_in = q.EstimatedInputRates();
+  const std::vector<double> est_out = q.EstimatedOutputRates();
+  const double in_rate = est_in[static_cast<size_t>(op_id)];
+  Push(&f, Log1p(in_rate), op_on);
+  Push(&f, Log1p(est_out[static_cast<size_t>(op_id)]), op_on);
+  // Per-instance load mixes data and parallelism information, so it is
+  // only active when *both* groups are enabled (otherwise the
+  // operator-only ablation would see the parallelism degree through it).
+  Push(&f,
+       Log1p(in_rate / std::max(1.0, static_cast<double>(
+                                         plan.parallelism(op_id)))),
+       op_on && par_on);
+
+  // Filter-related.
+  const bool is_filter = op.type == OperatorType::kFilter;
+  OneHot(&f, is_filter ? static_cast<int>(op.filter.function) : -1, 6, op_on);
+  OneHot(&f, is_filter ? static_cast<int>(op.filter.literal_class) : -1, 3,
+         op_on);
+
+  // Window-related (aggregate or join).
+  const WindowSpec* w = nullptr;
+  if (op.type == OperatorType::kWindowAggregate) w = &op.aggregate.window;
+  if (op.type == OperatorType::kWindowJoin) w = &op.join.window;
+  OneHot(&f, w != nullptr ? static_cast<int>(w->type) : -1, 2, op_on);
+  OneHot(&f, w != nullptr ? static_cast<int>(w->policy) : -1, 2, op_on);
+  Push(&f, w != nullptr ? Log1p(w->length) : 0.0, op_on);
+  Push(&f, w != nullptr ? Log1p(w->slide) : 0.0, op_on);
+
+  // Join-related.
+  OneHot(&f,
+         op.type == OperatorType::kWindowJoin
+             ? static_cast<int>(op.join.key_class)
+             : -1,
+         3, op_on);
+
+  // Aggregation-related.
+  const bool is_agg = op.type == OperatorType::kWindowAggregate;
+  OneHot(&f, is_agg ? static_cast<int>(op.aggregate.aggregate_class) : -1, 3,
+         op_on);
+  OneHot(&f, is_agg ? static_cast<int>(op.aggregate.function) : -1, 5, op_on);
+  OneHot(&f, is_agg ? static_cast<int>(op.aggregate.key_class) : -1, 3, op_on);
+
+  return f;
+}
+
+std::vector<double> FeatureEncoder::EncodeResource(
+    const dsp::ParallelQueryPlan& plan, size_t node_idx,
+    const FeatureConfig& config) {
+  const dsp::NodeResources& n = plan.cluster().node(node_idx);
+  const bool on = config.resource_features;
+  std::vector<double> f;
+  f.reserve(ResourceDim());
+  // Hardware attributes are normalized against the fixed envelope of
+  // deployable node types (Table II tops out at 64 cores / 2.8 GHz /
+  // 384 GB / 10 Gbps). Training hardware has little variation in these
+  // slots, so keeping unseen hardware inside a bounded range is what
+  // keeps the encoder's extrapolation tame (Exp. 2, unseen resources).
+  Push(&f, static_cast<double>(n.cpu_cores) / 64.0, on);
+  Push(&f, n.cpu_ghz / 3.0, on);
+  Push(&f, n.memory_gb / 384.0, on);
+  Push(&f, n.network_gbps / 10.0, on);
+  // Normalized node identifier within the cluster plus cluster size —
+  // identity itself is not transferable, position/scale is.
+  const double count = static_cast<double>(plan.cluster().num_nodes());
+  Push(&f, count > 1 ? static_cast<double>(node_idx) / (count - 1) : 0.0, on);
+  Push(&f, count / 10.0, on);
+  return f;
+}
+
+std::vector<double> FeatureEncoder::EncodeMapping(
+    const dsp::ParallelQueryPlan& plan, int op_id, size_t node_idx,
+    const FeatureConfig& config) {
+  const bool on = config.resource_features || config.parallelism_features;
+  const auto& nodes = plan.placement(op_id).instance_nodes;
+  double instances_here = 0.0;
+  for (int n : nodes) {
+    if (n == static_cast<int>(node_idx)) instances_here += 1.0;
+  }
+  const double degree =
+      std::max(1.0, static_cast<double>(plan.parallelism(op_id)));
+  std::vector<double> f;
+  f.reserve(MappingDim());
+  Push(&f, Log1p(instances_here) / 5.0, on);  // log1p(128) ≈ 4.86
+  Push(&f, instances_here / degree, on);
+  return f;
+}
+
+std::vector<std::string> FeatureEncoder::OperatorFeatureNames() {
+  std::vector<std::string> names;
+  for (const char* t :
+       {"source", "filter", "window-agg", "window-join", "sink"}) {
+    names.push_back(std::string("type=") + t);
+  }
+  names.push_back("parallelism(log)");
+  for (const char* p : {"forward", "rebalance", "hash"}) {
+    names.push_back(std::string("partitioning=") + p);
+  }
+  names.push_back("grouping(log)");
+  names.push_back("tuple-width-in(log)");
+  names.push_back("tuple-width-out(log)");
+  names.push_back("frac-int");
+  names.push_back("frac-double");
+  names.push_back("frac-string");
+  names.push_back("selectivity");
+  names.push_back("event-rate(log)");
+  names.push_back("est-in-rate(log)");
+  names.push_back("est-out-rate(log)");
+  names.push_back("est-in-rate-per-instance(log)");
+  for (const char* fn : {"<", "<=", ">", ">=", "==", "!="}) {
+    names.push_back(std::string("filter-fn=") + fn);
+  }
+  for (const char* t : {"int", "double", "string"}) {
+    names.push_back(std::string("filter-literal=") + t);
+  }
+  names.push_back("window=tumbling");
+  names.push_back("window=sliding");
+  names.push_back("policy=count");
+  names.push_back("policy=time");
+  names.push_back("window-length(log)");
+  names.push_back("window-slide(log)");
+  for (const char* t : {"int", "double", "string"}) {
+    names.push_back(std::string("join-key=") + t);
+  }
+  for (const char* t : {"int", "double", "string"}) {
+    names.push_back(std::string("agg-class=") + t);
+  }
+  for (const char* fn : {"min", "max", "avg", "sum", "count"}) {
+    names.push_back(std::string("agg-fn=") + fn);
+  }
+  for (const char* t : {"int", "double", "string"}) {
+    names.push_back(std::string("agg-key=") + t);
+  }
+  return names;
+}
+
+}  // namespace zerotune::core

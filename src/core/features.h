@@ -1,0 +1,86 @@
+#ifndef ZEROTUNE_CORE_FEATURES_H_
+#define ZEROTUNE_CORE_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::core {
+
+/// Which groups of transferable features are active. Used by the feature
+/// ablation study (paper Exp. 6 / Fig. 11).
+struct FeatureConfig {
+  /// Operator- and data-related features (operator type, filter/window/
+  /// aggregation descriptors, selectivity, tuple widths, event rate).
+  bool operator_features = true;
+  /// Operator-parallelism features (parallelism degree, partitioning
+  /// strategy, grouping number).
+  bool parallelism_features = true;
+  /// Resource features on physical nodes (cores, frequency, memory,
+  /// network) and the operator→resource mapping edges.
+  bool resource_features = true;
+  /// Graph-representation choice (paper Sec. III-C2): false = the paper's
+  /// option 2 (one node per logical operator, instances collapsed); true =
+  /// option 1 (one node per operator *instance*), implemented for the
+  /// representation ablation that motivates the paper's choice.
+  bool per_instance_nodes = false;
+
+  static FeatureConfig All() { return FeatureConfig{}; }
+  static FeatureConfig OperatorOnly() {
+    return FeatureConfig{true, false, false};
+  }
+  static FeatureConfig ParallelismAndResource() {
+    return FeatureConfig{false, true, true};
+  }
+  static FeatureConfig PerInstance() {
+    FeatureConfig c;
+    c.per_instance_nodes = true;
+    return c;
+  }
+};
+
+/// Encodes the paper's Table I transferable features into fixed-width
+/// numeric vectors. Enumerations are one-hot encoded; unbounded numerics
+/// are log1p-scaled so that event rates spanning 50..4M and window
+/// lengths spanning 2..10k live on comparable scales.
+///
+/// All encoders are static and deterministic: the same plan always yields
+/// the same vectors, and the layout (dimension/order) is fixed so that a
+/// trained model can be serialized and reloaded.
+class FeatureEncoder {
+ public:
+  /// Width of an operator (logical node) feature vector.
+  static size_t OperatorDim();
+  /// Width of a resource (physical node) feature vector.
+  static size_t ResourceDim();
+  /// Width of an operator→resource mapping-edge feature vector.
+  static size_t MappingDim();
+
+  /// Features of logical operator `op_id` within the plan. Masked groups
+  /// (per `config`) are zeroed, keeping the dimension stable.
+  static std::vector<double> EncodeOperator(
+      const dsp::ParallelQueryPlan& plan, int op_id,
+      const FeatureConfig& config);
+
+  /// Features of cluster node `node_idx`.
+  static std::vector<double> EncodeResource(
+      const dsp::ParallelQueryPlan& plan, size_t node_idx,
+      const FeatureConfig& config);
+
+  /// Features of the mapping edge between operator `op_id` and cluster
+  /// node `node_idx`: how many of the operator's instances live there and
+  /// which share of the operator's parallelism that is.
+  static std::vector<double> EncodeMapping(const dsp::ParallelQueryPlan& plan,
+                                           int op_id, size_t node_idx,
+                                           const FeatureConfig& config);
+
+  /// Human-readable names of the operator feature slots (for debugging
+  /// and the ablation report).
+  static std::vector<std::string> OperatorFeatureNames();
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_FEATURES_H_

@@ -1,0 +1,112 @@
+#ifndef ZEROTUNE_CORE_MODEL_H_
+#define ZEROTUNE_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_predictor.h"
+#include "core/plan_graph.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace zerotune::core {
+
+/// Hyperparameters and feature configuration of the ZeroTune GNN.
+struct ModelConfig {
+  /// Width of every hidden state in the graph network.
+  size_t hidden_dim = 48;
+  /// Feature groups to encode (masked for the Exp. 6 ablation).
+  FeatureConfig features;
+  /// Parameter initialization seed.
+  uint64_t seed = 1;
+};
+
+/// Normalization statistics of the (log-transformed) training targets.
+struct TargetStats {
+  double latency_mean = 0.0;
+  double latency_std = 1.0;
+  double throughput_mean = 0.0;
+  double throughput_std = 1.0;
+};
+
+/// The ZeroTune zero-shot cost model (paper Sec. III-C): a graph neural
+/// network over the parallel plan graph.
+///
+/// Architecture (all blocks are 1-hidden-layer MLPs of width hidden_dim):
+///  1. node-type encoders embed operator and resource feature vectors;
+///  2. stage 1 — bottom-up message passing along data-flow edges
+///     (topological order, mean-aggregated upstream states);
+///  3. stage 2 — one exchange round among resource nodes;
+///  4. stage 3 — operator→resource mapping edges deliver resource states
+///     (with per-instance mapping features) into each operator state;
+///  5. stage 4 — a second bottom-up data-flow pass propagates the
+///     resource-aware states to the sink;
+///  6. a final regression MLP reads the sink state out into normalized
+///     log-space (latency, throughput) predictions.
+///
+/// Training targets are log1p-transformed and standardized with
+/// TargetStats; Predict() inverts the transform.
+class ZeroTuneModel : public CostPredictor {
+ public:
+  explicit ZeroTuneModel(ModelConfig config = ModelConfig());
+
+  ZeroTuneModel(const ZeroTuneModel&) = delete;
+  ZeroTuneModel& operator=(const ZeroTuneModel&) = delete;
+
+  /// Differentiable forward pass: returns the 1×2 output node
+  /// (normalized log latency, normalized log throughput).
+  nn::NodePtr Forward(const PlanGraph& graph) const;
+
+  /// Builds the graph for `plan` with this model's feature config and
+  /// predicts denormalized costs.
+  Result<CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override;
+  std::string name() const override { return "ZeroTune"; }
+
+  /// Prediction from a pre-built graph (the trainer caches graphs).
+  CostPrediction PredictFromGraph(const PlanGraph& graph) const;
+
+  /// Normalized 1×2 regression target for a measured (latency_ms, tps).
+  nn::Matrix EncodeTarget(double latency_ms, double throughput_tps) const;
+  /// Inverts EncodeTarget on a model output.
+  CostPrediction DecodeOutput(const nn::Matrix& out) const;
+
+  void set_target_stats(const TargetStats& stats) { stats_ = stats; }
+  const TargetStats& target_stats() const { return stats_; }
+  const ModelConfig& config() const { return config_; }
+
+  nn::ParameterStore* mutable_params() { return &params_; }
+  const nn::ParameterStore& params() const { return params_; }
+
+  /// Serializes config, target stats and all parameters to one file.
+  Status Save(const std::string& path) const;
+  /// Loads a model saved by Save(); the config in the file must match
+  /// this model's architecture-relevant fields.
+  Status Load(const std::string& path);
+
+  /// Constructs a model with the configuration stored in the file, then
+  /// loads it — for callers (e.g. the CLI) that don't know the saved
+  /// hidden size up front.
+  static Result<std::unique_ptr<ZeroTuneModel>> LoadFromFile(
+      const std::string& path);
+
+ private:
+  ModelConfig config_;
+  TargetStats stats_;
+  nn::ParameterStore params_;
+
+  // Architecture blocks (handles into params_).
+  std::unique_ptr<nn::Mlp> op_encoder_;
+  std::unique_ptr<nn::Mlp> res_encoder_;
+  std::unique_ptr<nn::Mlp> flow_update_;
+  std::unique_ptr<nn::Mlp> res_update_;
+  std::unique_ptr<nn::Mlp> map_message_;
+  std::unique_ptr<nn::Mlp> map_update_;
+  std::unique_ptr<nn::Mlp> flow_update2_;
+  std::unique_ptr<nn::Mlp> readout_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_MODEL_H_

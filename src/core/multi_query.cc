@@ -1,0 +1,110 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace zerotune::core {
+
+double MultiQueryOptimizer::Score(const CostPrediction& p) const {
+  return options_.weight * std::log(std::max(p.latency_ms, 1e-6)) -
+         (1.0 - options_.weight) * std::log(std::max(p.throughput_tps, 1e-6));
+}
+
+Result<ParallelismOptimizer::TuningResult> MultiQueryOptimizer::TuneOn(
+    const dsp::QueryPlan& query, const dsp::Cluster& cluster,
+    const std::vector<int>& nodes) const {
+  std::vector<dsp::NodeResources> subset;
+  subset.reserve(nodes.size());
+  for (int n : nodes) {
+    subset.push_back(cluster.node(static_cast<size_t>(n)));
+  }
+  ParallelismOptimizer::Options opts = options_.per_query;
+  opts.weight = options_.weight;
+  ParallelismOptimizer optimizer(predictor_, opts);
+  return optimizer.Tune(query, dsp::Cluster(std::move(subset)));
+}
+
+Result<MultiQueryOptimizer::Assignment> MultiQueryOptimizer::Tune(
+    const std::vector<dsp::QueryPlan>& queries,
+    const dsp::Cluster& cluster) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to tune");
+  }
+  if (queries.size() > cluster.num_nodes()) {
+    return Status::InvalidArgument(
+        "dedicated-node allocation needs at least one node per query (" +
+        std::to_string(queries.size()) + " queries, " +
+        std::to_string(cluster.num_nodes()) + " nodes)");
+  }
+  for (const dsp::QueryPlan& q : queries) {
+    ZT_RETURN_IF_ERROR(q.Validate());
+  }
+
+  // Seed: one node per query, remaining nodes in a free pool.
+  const size_t n_queries = queries.size();
+  std::vector<std::vector<int>> allocation(n_queries);
+  std::vector<int> free_nodes;
+  for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+    if (n < n_queries) {
+      allocation[n].push_back(static_cast<int>(n));
+    } else {
+      free_nodes.push_back(static_cast<int>(n));
+    }
+  }
+
+  // Current per-query scores under the seed allocation.
+  std::vector<double> scores(n_queries, 0.0);
+  for (size_t qi = 0; qi < n_queries; ++qi) {
+    ZT_ASSIGN_OR_RETURN(const auto tuned,
+                        TuneOn(queries[qi], cluster, allocation[qi]));
+    scores[qi] = Score(tuned.predicted);
+  }
+
+  // Greedy marginal gain: grant each free node (in order) to the query
+  // whose score improves most with it.
+  for (int node : free_nodes) {
+    double best_gain = 0.0;
+    size_t best_query = 0;
+    double best_new_score = 0.0;
+    bool granted = false;
+    for (size_t qi = 0; qi < n_queries; ++qi) {
+      std::vector<int> trial = allocation[qi];
+      trial.push_back(node);
+      ZT_ASSIGN_OR_RETURN(const auto tuned,
+                          TuneOn(queries[qi], cluster, trial));
+      const double new_score = Score(tuned.predicted);
+      const double gain = scores[qi] - new_score;
+      // Prefer the largest marginal gain; break ties toward the query
+      // holding the fewest nodes so spare capacity spreads evenly.
+      const bool wins =
+          !granted || gain > best_gain + 1e-9 ||
+          (gain > best_gain - 1e-9 &&
+           allocation[qi].size() < allocation[best_query].size());
+      if (wins) {
+        granted = true;
+        best_gain = gain;
+        best_query = qi;
+        best_new_score = new_score;
+      }
+    }
+    allocation[best_query].push_back(node);
+    scores[best_query] = best_new_score;
+  }
+
+  // Final pass: materialize each query's tuned deployment.
+  Assignment result;
+  result.queries.reserve(n_queries);
+  for (size_t qi = 0; qi < n_queries; ++qi) {
+    ZT_ASSIGN_OR_RETURN(auto tuned,
+                        TuneOn(queries[qi], cluster, allocation[qi]));
+    QueryAssignment qa(std::move(tuned.plan));
+    qa.node_indices = allocation[qi];
+    qa.predicted = tuned.predicted;
+    result.queries.push_back(std::move(qa));
+    result.total_score += Score(result.queries.back().predicted);
+  }
+  return result;
+}
+
+}  // namespace zerotune::core

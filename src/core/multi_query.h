@@ -1,0 +1,68 @@
+#ifndef ZEROTUNE_CORE_MULTI_QUERY_H_
+#define ZEROTUNE_CORE_MULTI_QUERY_H_
+
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace zerotune::core {
+
+/// Cluster-level tuning for several queries sharing one cluster — an
+/// application of the what-if cost model beyond the paper's single-query
+/// optimizer: the planner partitions worker nodes among queries
+/// (dedicated-node isolation, the common production setup) and tunes each
+/// query's parallelism on its partition.
+///
+/// Allocation is greedy marginal-gain: every query starts with one node;
+/// each remaining node goes to the query whose combined Eq.-1-style score
+/// improves most when re-tuned with that node added. The what-if model
+/// makes each trial allocation a prediction instead of a deployment.
+class MultiQueryOptimizer {
+ public:
+  struct Options {
+    /// Eq. 1 weight shared by all queries.
+    double weight = 0.5;
+    ParallelismOptimizer::Options per_query;
+  };
+
+  struct QueryAssignment {
+    /// Indices of the cluster nodes dedicated to this query.
+    std::vector<int> node_indices;
+    /// Tuned deployment on the dedicated sub-cluster.
+    dsp::ParallelQueryPlan plan;
+    CostPrediction predicted;
+
+    explicit QueryAssignment(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
+  };
+
+  struct Assignment {
+    std::vector<QueryAssignment> queries;
+    /// Sum of the per-query scores (lower is better).
+    double total_score = 0.0;
+  };
+
+  MultiQueryOptimizer(const CostPredictor* predictor, Options options)
+      : predictor_(predictor), options_(options) {}
+  explicit MultiQueryOptimizer(const CostPredictor* predictor)
+      : MultiQueryOptimizer(predictor, Options()) {}
+
+  /// Partitions `cluster` among `queries` and tunes each. Fails when
+  /// there are more queries than nodes.
+  Result<Assignment> Tune(const std::vector<dsp::QueryPlan>& queries,
+                          const dsp::Cluster& cluster) const;
+
+ private:
+  /// Tunes one query on a node subset; returns its score and plan.
+  Result<ParallelismOptimizer::TuningResult> TuneOn(
+      const dsp::QueryPlan& query, const dsp::Cluster& cluster,
+      const std::vector<int>& nodes) const;
+
+  double Score(const CostPrediction& p) const;
+
+  const CostPredictor* predictor_;
+  Options options_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_MULTI_QUERY_H_

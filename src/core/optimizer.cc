@@ -1,0 +1,156 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/enumeration.h"
+
+namespace zerotune::core {
+
+namespace {
+
+using dsp::Operator;
+using dsp::OperatorType;
+
+}  // namespace
+
+double ParallelismOptimizer::Score(const CostPrediction& p) const {
+  const double lat = std::log(std::max(p.latency_ms, 1e-6));
+  const double tpt = std::log(std::max(p.throughput_tps, 1e-6));
+  return options_.weight * lat - (1.0 - options_.weight) * tpt;
+}
+
+double ParallelismOptimizer::WeightedCost(
+    const CostPrediction& p, const std::vector<Candidate>& candidates,
+    double weight) {
+  double lat_min = p.latency_ms, lat_max = p.latency_ms;
+  double tpt_min = p.throughput_tps, tpt_max = p.throughput_tps;
+  for (const Candidate& c : candidates) {
+    lat_min = std::min(lat_min, c.predicted.latency_ms);
+    lat_max = std::max(lat_max, c.predicted.latency_ms);
+    tpt_min = std::min(tpt_min, c.predicted.throughput_tps);
+    tpt_max = std::max(tpt_max, c.predicted.throughput_tps);
+  }
+  const double eps = 1e-9;
+  const double c_l = (p.latency_ms - lat_min) / (lat_max - lat_min + eps);
+  const double c_t =
+      1.0 - (p.throughput_tps - tpt_min) / (tpt_max - tpt_min + eps);
+  return weight * c_l + (1.0 - weight) * c_t;
+}
+
+Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
+    const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
+  ZT_RETURN_IF_ERROR(logical.Validate());
+  const int cap =
+      std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
+
+  std::vector<Candidate> evaluated;
+  std::set<std::vector<int>> tried;
+
+  auto evaluate = [&](const std::vector<int>& degrees)
+      -> Result<CostPrediction> {
+    dsp::ParallelQueryPlan plan(logical, cluster);
+    for (const Operator& op : logical.operators()) {
+      ZT_RETURN_IF_ERROR(
+          plan.SetParallelism(op.id, degrees[static_cast<size_t>(op.id)]));
+    }
+    plan.DerivePartitioning();
+    ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
+    ZT_ASSIGN_OR_RETURN(CostPrediction p, predictor_->Predict(plan));
+    evaluated.push_back(Candidate{degrees, p});
+    return p;
+  };
+
+  auto try_candidate = [&](const std::vector<int>& degrees) -> Status {
+    if (!tried.insert(degrees).second) return Status::OK();
+    return evaluate(degrees).status();
+  };
+
+  // (a) OptiSample-derived candidates over a scaling-factor grid.
+  for (size_t i = 0; i < options_.num_scale_factors; ++i) {
+    const double t =
+        options_.num_scale_factors <= 1
+            ? 0.0
+            : static_cast<double>(i) /
+                  static_cast<double>(options_.num_scale_factors - 1);
+    const double sf =
+        std::exp(std::log(options_.min_scale_factor) +
+                 t * (std::log(options_.max_scale_factor) -
+                      std::log(options_.min_scale_factor)));
+    dsp::ParallelQueryPlan plan(logical, cluster);
+    ZT_RETURN_IF_ERROR(OptiSampleEnumerator::AssignWithScaleFactor(
+        &plan, sf, options_.max_parallelism));
+    ZT_RETURN_IF_ERROR(try_candidate(plan.ParallelismVector()));
+  }
+
+  // (b) Uniform degrees (sources/sinks pinned at 1).
+  for (int d : options_.uniform_degrees) {
+    if (d > cap) continue;
+    std::vector<int> degrees(logical.num_operators(), d);
+    for (const Operator& op : logical.operators()) {
+      if (op.type == OperatorType::kSource ||
+          op.type == OperatorType::kSink) {
+        degrees[static_cast<size_t>(op.id)] = 1;
+      }
+    }
+    ZT_RETURN_IF_ERROR(try_candidate(degrees));
+  }
+
+  if (evaluated.empty()) {
+    return Status::Internal("no parallelism candidate could be evaluated");
+  }
+
+  auto best_it = std::min_element(
+      evaluated.begin(), evaluated.end(),
+      [this](const Candidate& a, const Candidate& b) {
+        return Score(a.predicted) < Score(b.predicted);
+      });
+  std::vector<int> best = best_it->degrees;
+  double best_score = Score(best_it->predicted);
+
+  // (c) Hill climbing: double/halve individual operator degrees.
+  for (size_t pass = 0; pass < options_.refinement_passes; ++pass) {
+    bool improved = false;
+    for (const Operator& op : logical.operators()) {
+      if (op.type == OperatorType::kSink) continue;
+      for (const int factor : {2, -2}) {
+        std::vector<int> neighbor = best;
+        int& d = neighbor[static_cast<size_t>(op.id)];
+        d = factor > 0 ? std::min(cap, d * 2) : std::max(1, d / 2);
+        if (neighbor == best || tried.count(neighbor) > 0) continue;
+        tried.insert(neighbor);
+        auto p = evaluate(neighbor);
+        if (!p.ok()) continue;
+        const double s = Score(p.value());
+        if (s < best_score) {
+          best_score = s;
+          best = neighbor;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Materialize the winner.
+  dsp::ParallelQueryPlan final_plan(logical, cluster);
+  for (const Operator& op : logical.operators()) {
+    ZT_RETURN_IF_ERROR(final_plan.SetParallelism(
+        op.id, best[static_cast<size_t>(op.id)]));
+  }
+  final_plan.DerivePartitioning();
+  ZT_RETURN_IF_ERROR(final_plan.PlaceRoundRobin());
+  ZT_ASSIGN_OR_RETURN(const CostPrediction best_pred,
+                      predictor_->Predict(final_plan));
+
+  TuningResult result(std::move(final_plan));
+  result.predicted = best_pred;
+  result.weighted_cost =
+      WeightedCost(best_pred, evaluated, options_.weight);
+  result.candidates_evaluated = evaluated.size();
+  result.candidates = std::move(evaluated);
+  return result;
+}
+
+}  // namespace zerotune::core

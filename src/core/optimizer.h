@@ -1,0 +1,84 @@
+#ifndef ZEROTUNE_CORE_OPTIMIZER_H_
+#define ZEROTUNE_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_predictor.h"
+#include "dsp/cluster.h"
+#include "dsp/query_plan.h"
+
+namespace zerotune::core {
+
+/// Parallelism tuning with what-if cost predictions (paper Sec. III-C3):
+/// enumerate candidate parallelism assignments, predict their costs with a
+/// CostPredictor, and pick the assignment minimizing the combined
+/// objective of Eq. 1,
+///     C = wt · C_L + (1 − wt) · C_T,
+/// where C_L and C_T are the candidates' min-max-normalized latency and
+/// negated throughput, subject to P_i ≥ 1 and max P_i ≤ total cores.
+///
+/// Candidates come from (a) OptiSample-style assignments over a grid of
+/// scaling factors, (b) uniform degrees, and (c) a bounded hill-climbing
+/// refinement that doubles/halves individual operator degrees while the
+/// predicted objective improves.
+class ParallelismOptimizer {
+ public:
+  struct Options {
+    /// wt in Eq. 1 — relative weight of latency vs. (negated) throughput.
+    double weight = 0.5;
+    int max_parallelism = 128;
+    /// Number of log-spaced OptiSample scaling factors to enumerate.
+    size_t num_scale_factors = 12;
+    double min_scale_factor = 1e-6;
+    double max_scale_factor = 1e-3;
+    std::vector<int> uniform_degrees = {1, 2, 4, 8, 16, 32, 64};
+    /// Hill-climbing passes over the operators (0 disables refinement).
+    size_t refinement_passes = 2;
+  };
+
+  struct Candidate {
+    std::vector<int> degrees;  // indexed by operator id
+    CostPrediction predicted;
+  };
+
+  struct TuningResult {
+    dsp::ParallelQueryPlan plan;  // best deployment found
+    CostPrediction predicted;     // its predicted costs
+    /// Eq. 1 objective of the winner, normalized over all evaluated
+    /// candidates (0 = best possible among them).
+    double weighted_cost = 0.0;
+    size_t candidates_evaluated = 0;
+    std::vector<Candidate> candidates;  // everything evaluated
+
+    TuningResult(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
+  };
+
+  ParallelismOptimizer(const CostPredictor* predictor, Options options)
+      : predictor_(predictor), options_(options) {}
+  explicit ParallelismOptimizer(const CostPredictor* predictor)
+      : ParallelismOptimizer(predictor, Options()) {}
+
+  /// Finds the best parallelism assignment for `logical` on `cluster`.
+  Result<TuningResult> Tune(const dsp::QueryPlan& logical,
+                            const dsp::Cluster& cluster) const;
+
+  /// Eq. 1 weighted cost of (latency, throughput) normalized against the
+  /// ranges observed across `candidates`.
+  static double WeightedCost(const CostPrediction& p,
+                             const std::vector<Candidate>& candidates,
+                             double weight);
+
+ private:
+  /// Search score: wt·log(latency) − (1−wt)·log(throughput). Monotone in
+  /// both metrics, independent of the candidate set (unlike Eq. 1's
+  /// normalization), so hill climbing is well-defined.
+  double Score(const CostPrediction& p) const;
+
+  const CostPredictor* predictor_;
+  Options options_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_OPTIMIZER_H_

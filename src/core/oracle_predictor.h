@@ -1,0 +1,34 @@
+#ifndef ZEROTUNE_CORE_ORACLE_PREDICTOR_H_
+#define ZEROTUNE_CORE_ORACLE_PREDICTOR_H_
+
+#include "core/cost_predictor.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::core {
+
+/// CostPredictor that consults the ground-truth engine directly (without
+/// measurement noise). Provides an upper bound on what any learned model
+/// can achieve and a what-if oracle for tests. A real deployment has no
+/// such oracle — executing every candidate is exactly the cost the paper's
+/// zero-shot model avoids.
+class OraclePredictor : public CostPredictor {
+ public:
+  explicit OraclePredictor(sim::CostParams params = sim::CostParams())
+      : engine_(params) {}
+
+  Result<CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override {
+    ZT_ASSIGN_OR_RETURN(const sim::CostMeasurement m,
+                        engine_.MeasureNoiseless(plan));
+    return CostPrediction{m.latency_ms, m.throughput_tps};
+  }
+
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  sim::CostEngine engine_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_ORACLE_PREDICTOR_H_

@@ -1,0 +1,121 @@
+#include "core/reconfiguration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerotune::core {
+
+namespace {
+
+using dsp::Operator;
+using dsp::OperatorType;
+
+double Score(const CostPrediction& p, double weight) {
+  return weight * std::log(std::max(p.latency_ms, 1e-6)) -
+         (1.0 - weight) * std::log(std::max(p.throughput_tps, 1e-6));
+}
+
+}  // namespace
+
+double ReconfigurationPlanner::EstimateStateBytes(
+    const dsp::ParallelQueryPlan& plan) {
+  const dsp::QueryPlan& q = plan.logical();
+  const std::vector<double> in_rates = q.EstimatedInputRates();
+  double bytes = 0.0;
+  for (const Operator& op : q.operators()) {
+    if (!op.IsWindowed()) continue;
+    const dsp::WindowSpec& w = op.type == OperatorType::kWindowAggregate
+                                   ? op.aggregate.window
+                                   : op.join.window;
+    const int degree = plan.parallelism(op.id);
+    const double per_instance_rate =
+        in_rates[static_cast<size_t>(op.id)] /
+        std::max(1.0, static_cast<double>(degree));
+    // Tuples resident per instance × instances × input tuple size;
+    // sliding windows hold `length/slide` overlapping panes.
+    const double overlap = std::max(1.0, w.length / std::max(w.slide, 1e-9));
+    double tuple_bytes = 64.0;
+    const auto& ups = q.upstreams(op.id);
+    if (!ups.empty()) {
+      tuple_bytes = q.op(ups[0]).output_schema.SizeBytes();
+    }
+    bytes += w.ExpectedTuples(per_instance_rate) *
+             static_cast<double>(degree) * tuple_bytes * overlap;
+  }
+  return bytes;
+}
+
+Result<ReconfigurationDecision> ReconfigurationPlanner::Evaluate(
+    const dsp::ParallelQueryPlan& current,
+    const std::map<int, double>& new_source_rates) const {
+  ZT_RETURN_IF_ERROR(current.Validate());
+
+  // Updated logical plan with the observed rates.
+  dsp::QueryPlan updated = current.logical();
+  for (const auto& [op_id, rate] : new_source_rates) {
+    if (op_id < 0 || op_id >= static_cast<int>(updated.num_operators()) ||
+        updated.op(op_id).type != OperatorType::kSource) {
+      return Status::InvalidArgument(
+          "new_source_rates must reference source operators");
+    }
+    if (rate <= 0.0) {
+      return Status::InvalidArgument("observed rate must be positive");
+    }
+    updated.mutable_op(op_id).source.event_rate = rate;
+  }
+
+  // Option A: keep the current degrees under the new load.
+  dsp::ParallelQueryPlan keep(updated, current.cluster());
+  for (const Operator& op : updated.operators()) {
+    ZT_RETURN_IF_ERROR(
+        keep.SetParallelism(op.id, current.parallelism(op.id)));
+    ZT_RETURN_IF_ERROR(keep.SetPartitioning(
+        op.id, current.placement(op.id).partitioning));
+  }
+  ZT_RETURN_IF_ERROR(keep.PlaceRoundRobin());
+  ZT_ASSIGN_OR_RETURN(const CostPrediction keep_pred,
+                      predictor_->Predict(keep));
+
+  // Option B: re-tune from scratch under the new load.
+  ParallelismOptimizer::Options opt_options = options_.optimizer;
+  opt_options.weight = options_.weight;
+  ParallelismOptimizer optimizer(predictor_, opt_options);
+  ZT_ASSIGN_OR_RETURN(ParallelismOptimizer::TuningResult tuned,
+                      optimizer.Tune(updated, current.cluster()));
+
+  ReconfigurationDecision decision(std::move(tuned.plan));
+  decision.keep_predicted = keep_pred;
+  decision.new_predicted = tuned.predicted;
+
+  // Migration pause: relocate the *current* plan's windowed state plus
+  // restart every instance whose degree changes.
+  const double state_bytes = EstimateStateBytes(current);
+  const double link_gbps = current.cluster().num_nodes() > 0
+                               ? current.cluster().node(0).network_gbps
+                               : 10.0;
+  double restart_instances = 0.0;
+  for (const Operator& op : updated.operators()) {
+    if (decision.new_plan.parallelism(op.id) !=
+        current.parallelism(op.id)) {
+      restart_instances += static_cast<double>(
+          std::max(decision.new_plan.parallelism(op.id),
+                   current.parallelism(op.id)));
+    }
+  }
+  decision.migration_pause_ms =
+      state_bytes * 8.0 / (link_gbps * 1e9) * 1e3 +
+      restart_instances * options_.per_instance_restart_ms;
+
+  // Amortized decision: the score gain must clear the hysteresis band
+  // plus the migration pause spread over the horizon.
+  const double keep_score = Score(keep_pred, options_.weight);
+  const double new_score = Score(tuned.predicted, options_.weight);
+  const double amortized_pause =
+      decision.migration_pause_ms / 1e3 / options_.horizon_s;
+  decision.gain = (keep_score - new_score) -
+                  std::log1p(options_.min_relative_gain) - amortized_pause;
+  decision.reconfigure = decision.gain > 0.0;
+  return decision;
+}
+
+}  // namespace zerotune::core

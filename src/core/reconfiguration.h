@@ -1,0 +1,80 @@
+#ifndef ZEROTUNE_CORE_RECONFIGURATION_H_
+#define ZEROTUNE_CORE_RECONFIGURATION_H_
+
+#include <map>
+
+#include "core/optimizer.h"
+
+namespace zerotune::core {
+
+/// Outcome of a runtime what-if analysis.
+struct ReconfigurationDecision {
+  /// True when switching to `new_plan` is predicted to pay off after
+  /// accounting for the migration pause.
+  bool reconfigure = false;
+  /// The recommended deployment (valid when `reconfigure`).
+  dsp::ParallelQueryPlan new_plan;
+  /// Predicted costs of keeping the current degrees under the new rates.
+  CostPrediction keep_predicted;
+  /// Predicted costs of the recommended deployment.
+  CostPrediction new_predicted;
+  /// Estimated stop-the-world migration pause (state relocation +
+  /// restart) in milliseconds.
+  double migration_pause_ms = 0.0;
+  /// Net predicted gain in the combined log-cost score; positive favors
+  /// reconfiguring.
+  double gain = 0.0;
+
+  explicit ReconfigurationDecision(dsp::ParallelQueryPlan plan)
+      : new_plan(std::move(plan)) {}
+};
+
+/// Runtime parallelism re-tuning on top of the zero-shot cost model
+/// (paper Sec. II: "the proposed model can also be used to readjust
+/// parallelism degree at runtime"). Given the currently running
+/// deployment and freshly observed source rates, the planner predicts the
+/// cost of keeping the current degrees, asks the optimizer for the best
+/// deployment under the new rates, estimates the migration pause from the
+/// windowed state that would have to be relocated, and recommends a
+/// switch only when the amortized gain clears a hysteresis threshold —
+/// avoiding the oscillation the paper's C1 criticizes online controllers
+/// for.
+class ReconfigurationPlanner {
+ public:
+  struct Options {
+    /// Eq. 1 weight between latency and throughput.
+    double weight = 0.5;
+    /// Minimum relative predicted improvement before acting (hysteresis).
+    double min_relative_gain = 0.15;
+    /// Amortization horizon: the migration pause is charged against the
+    /// improvement over this many seconds of continued execution.
+    double horizon_s = 60.0;
+    /// Restart overhead per affected operator instance (ms).
+    double per_instance_restart_ms = 20.0;
+    ParallelismOptimizer::Options optimizer;
+  };
+
+  ReconfigurationPlanner(const CostPredictor* predictor, Options options)
+      : predictor_(predictor), options_(options) {}
+  explicit ReconfigurationPlanner(const CostPredictor* predictor)
+      : ReconfigurationPlanner(predictor, Options()) {}
+
+  /// Evaluates a potential reconfiguration of `current` under
+  /// `new_source_rates` (source operator id → newly observed event rate;
+  /// sources not listed keep their rate).
+  Result<ReconfigurationDecision> Evaluate(
+      const dsp::ParallelQueryPlan& current,
+      const std::map<int, double>& new_source_rates) const;
+
+  /// Estimated bytes of windowed operator state a deployment holds —
+  /// what a migration has to checkpoint and relocate.
+  static double EstimateStateBytes(const dsp::ParallelQueryPlan& plan);
+
+ private:
+  const CostPredictor* predictor_;
+  Options options_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_RECONFIGURATION_H_

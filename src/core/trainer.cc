@@ -1,0 +1,221 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace zerotune::core {
+
+namespace {
+
+using workload::Dataset;
+
+/// Snapshot of parameter values for best-epoch restoration.
+std::vector<nn::Matrix> SnapshotParams(const nn::ParameterStore& store) {
+  std::vector<nn::Matrix> snap;
+  snap.reserve(store.parameters().size());
+  for (const auto& p : store.parameters()) snap.push_back(p->value);
+  return snap;
+}
+
+void RestoreParams(nn::ParameterStore* store,
+                   const std::vector<nn::Matrix>& snap) {
+  for (size_t i = 0; i < snap.size(); ++i) {
+    store->parameters()[i]->value = snap[i];
+  }
+}
+
+TargetStats FitTargetStats(const Dataset& train) {
+  std::vector<double> lat, tpt;
+  lat.reserve(train.size());
+  tpt.reserve(train.size());
+  for (const auto& q : train.samples()) {
+    lat.push_back(std::log1p(std::max(q.latency_ms, 0.0)));
+    tpt.push_back(std::log1p(std::max(q.throughput_tps, 0.0)));
+  }
+  TargetStats s;
+  s.latency_mean = Mean(lat);
+  s.latency_std = std::max(StdDev(lat), 1e-3);
+  s.throughput_mean = Mean(tpt);
+  s.throughput_std = std::max(StdDev(tpt), 1e-3);
+  return s;
+}
+
+}  // namespace
+
+Trainer::Trainer(ZeroTuneModel* model, TrainOptions options)
+    : model_(model), options_(options) {}
+
+double Trainer::EpochLoss(const std::vector<PlanGraph>& graphs,
+                          const std::vector<nn::Matrix>& targets) const {
+  if (graphs.empty()) return 0.0;
+  std::vector<double> losses(graphs.size(), 0.0);
+  ParallelFor(options_.pool, graphs.size(), [&](size_t i) {
+    const nn::NodePtr out = model_->Forward(graphs[i]);
+    const nn::NodePtr loss = nn::MseLoss(out, targets[i]);
+    losses[i] = loss->value(0, 0);
+  });
+  return Mean(losses);
+}
+
+Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
+  if (train.empty()) return Status::InvalidArgument("empty training set");
+  const auto t_start = std::chrono::steady_clock::now();
+
+  if (options_.fit_target_stats) {
+    model_->set_target_stats(FitTargetStats(train));
+  }
+
+  // Encode graphs and targets once.
+  const FeatureConfig& fc = model_->config().features;
+  std::vector<PlanGraph> graphs;
+  std::vector<nn::Matrix> targets;
+  graphs.reserve(train.size());
+  targets.reserve(train.size());
+  for (const auto& q : train.samples()) {
+    graphs.push_back(BuildPlanGraph(q.plan, fc));
+    targets.push_back(model_->EncodeTarget(q.latency_ms, q.throughput_tps));
+  }
+  std::vector<PlanGraph> val_graphs;
+  std::vector<nn::Matrix> val_targets;
+  for (const auto& q : val.samples()) {
+    val_graphs.push_back(BuildPlanGraph(q.plan, fc));
+    val_targets.push_back(model_->EncodeTarget(q.latency_ms, q.throughput_tps));
+  }
+
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options_.learning_rate;
+  adam_opts.weight_decay = options_.weight_decay;
+  nn::Adam adam(model_->mutable_params(), adam_opts);
+
+  zerotune::Rng rng(options_.seed);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<nn::Matrix> best_params = SnapshotParams(model_->params());
+  size_t since_best = 0;
+
+  const size_t num_threads =
+      options_.pool != nullptr ? options_.pool->num_threads() : 1;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss_sum = 0.0;
+    size_t epoch_count = 0;
+
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + options_.batch_size);
+      const size_t batch = end - start;
+
+      // Data-parallel gradient accumulation: each chunk owns a GradStore,
+      // merged under a mutex after its chunk finishes.
+      nn::GradStore total;
+      std::mutex merge_mu;
+      double batch_loss = 0.0;
+      const size_t chunks = std::min(batch, num_threads);
+      const size_t chunk_size = (batch + chunks - 1) / chunks;
+      auto run_chunk = [&](size_t c) {
+        nn::GradStore local;
+        double local_loss = 0.0;
+        const size_t lo = start + c * chunk_size;
+        const size_t hi = std::min(end, lo + chunk_size);
+        for (size_t k = lo; k < hi; ++k) {
+          const size_t idx = order[k];
+          const nn::NodePtr out = model_->Forward(graphs[idx]);
+          const nn::NodePtr loss = nn::MseLoss(out, targets[idx]);
+          local_loss += loss->value(0, 0);
+          nn::Backward(loss, &local);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        total.Merge(local);
+        batch_loss += local_loss;
+      };
+      if (options_.pool != nullptr && chunks > 1) {
+        for (size_t c = 0; c < chunks; ++c) {
+          options_.pool->Submit([&, c] { run_chunk(c); });
+        }
+        options_.pool->Wait();
+      } else {
+        for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+      }
+
+      total.Scale(1.0 / static_cast<double>(batch));
+      if (options_.grad_clip_norm > 0.0) {
+        total.ClipGlobalNorm(options_.grad_clip_norm);
+      }
+      adam.Step(total);
+      epoch_loss_sum += batch_loss;
+      epoch_count += batch;
+    }
+
+    const double train_loss =
+        epoch_loss_sum / static_cast<double>(std::max<size_t>(1, epoch_count));
+    report.epoch_train_losses.push_back(train_loss);
+    report.epochs_run = epoch + 1;
+
+    double val_loss = train_loss;
+    if (!val_graphs.empty()) {
+      val_loss = EpochLoss(val_graphs, val_targets);
+    }
+    if (options_.verbose) {
+      Log::Info("epoch ", epoch + 1, "/", options_.epochs, " train_loss=",
+                train_loss, " val_loss=", val_loss);
+    }
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_params = SnapshotParams(model_->params());
+      since_best = 0;
+    } else {
+      ++since_best;
+      if (options_.patience > 0 && !val_graphs.empty() &&
+          since_best >= options_.patience) {
+        break;
+      }
+    }
+  }
+
+  RestoreParams(model_->mutable_params(), best_params);
+  report.best_val_loss = best_val;
+  report.final_train_loss = report.epoch_train_losses.empty()
+                                ? 0.0
+                                : report.epoch_train_losses.back();
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return report;
+}
+
+void Trainer::QErrors(const ZeroTuneModel& model, const Dataset& test,
+                      std::vector<double>* latency_qerrors,
+                      std::vector<double>* throughput_qerrors) {
+  latency_qerrors->clear();
+  throughput_qerrors->clear();
+  for (const auto& q : test.samples()) {
+    const PlanGraph g = BuildPlanGraph(q.plan, model.config().features);
+    const CostPrediction p = model.PredictFromGraph(g);
+    latency_qerrors->push_back(QError(q.latency_ms, p.latency_ms));
+    throughput_qerrors->push_back(
+        QError(q.throughput_tps, p.throughput_tps));
+  }
+}
+
+ModelEvaluation Trainer::Evaluate(const ZeroTuneModel& model,
+                                  const Dataset& test) {
+  std::vector<double> lat, tpt;
+  QErrors(model, test, &lat, &tpt);
+  ModelEvaluation e;
+  e.latency = SummarizeQErrors(lat);
+  e.throughput = SummarizeQErrors(tpt);
+  return e;
+}
+
+}  // namespace zerotune::core

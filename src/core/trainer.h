@@ -1,0 +1,84 @@
+#ifndef ZEROTUNE_CORE_TRAINER_H_
+#define ZEROTUNE_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/thread_pool.h"
+#include "core/model.h"
+#include "workload/dataset.h"
+
+namespace zerotune::core {
+
+/// Supervised-training configuration for the ZeroTune model.
+struct TrainOptions {
+  size_t epochs = 80;
+  size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  double grad_clip_norm = 5.0;
+  /// Early stopping: abort after this many epochs without val improvement
+  /// (0 disables). The best-val parameters are restored on finish.
+  size_t patience = 15;
+  /// Shuffling / batching seed.
+  uint64_t seed = 99;
+  /// When true (fresh training), target normalization statistics are
+  /// (re)fit on the training set. Fine-tuning (few-shot, Exp. 1/Fig. 6)
+  /// keeps the original statistics.
+  bool fit_target_stats = true;
+  /// Optional pool for data-parallel gradient accumulation.
+  zerotune::ThreadPool* pool = nullptr;
+  bool verbose = false;
+};
+
+/// Outcome of a training run.
+struct TrainReport {
+  size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_val_loss = 0.0;
+  double train_seconds = 0.0;
+  std::vector<double> epoch_train_losses;
+};
+
+/// Per-metric q-error evaluation of a model on a dataset.
+struct ModelEvaluation {
+  QErrorSummary latency;
+  QErrorSummary throughput;
+};
+
+/// Trains and evaluates ZeroTune models. Graphs are encoded once and
+/// cached; each optimization step accumulates gradients over a mini-batch
+/// (in parallel across pool workers), clips the global norm, and applies
+/// Adam.
+class Trainer {
+ public:
+  Trainer(ZeroTuneModel* model, TrainOptions options);
+
+  /// Runs supervised training with early stopping on `val` (val may be
+  /// empty, disabling early stopping).
+  Result<TrainReport> Train(const workload::Dataset& train,
+                            const workload::Dataset& val);
+
+  /// Median/p95/... q-errors of the model's latency and throughput
+  /// predictions on a dataset.
+  static ModelEvaluation Evaluate(const ZeroTuneModel& model,
+                                  const workload::Dataset& test);
+
+  /// Per-sample latency / throughput q-errors (for scatter plots and
+  /// category breakdowns).
+  static void QErrors(const ZeroTuneModel& model,
+                      const workload::Dataset& test,
+                      std::vector<double>* latency_qerrors,
+                      std::vector<double>* throughput_qerrors);
+
+ private:
+  double EpochLoss(const std::vector<PlanGraph>& graphs,
+                   const std::vector<nn::Matrix>& targets) const;
+
+  ZeroTuneModel* model_;
+  TrainOptions options_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_TRAINER_H_

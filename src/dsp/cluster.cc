@@ -1,0 +1,108 @@
+#include "dsp/cluster.h"
+
+#include <algorithm>
+
+namespace zerotune::dsp {
+
+namespace {
+
+// Paper Table II. Memory/cores use the lower bound where a range is given.
+const NodeResources kCatalog[] = {
+    {"m510", 8, 2.0, 64.0, 10.0},
+    {"c6420", 32, 2.6, 384.0, 10.0},
+    {"rs620", 8, 2.2, 128.0, 10.0},
+    {"c8220x", 20, 2.2, 256.0, 10.0},
+    {"c8220", 20, 2.2, 256.0, 10.0},
+    {"dss7500", 12, 2.4, 128.0, 10.0},
+    {"c6320", 28, 2.0, 256.0, 10.0},
+    {"rs6525", 64, 2.8, 256.0, 10.0},
+};
+
+}  // namespace
+
+Result<NodeResources> HardwareCatalog::Get(const std::string& type_name) {
+  for (const NodeResources& n : kCatalog) {
+    if (n.type_name == type_name) return n;
+  }
+  return Status::NotFound("unknown node type: " + type_name);
+}
+
+std::vector<std::string> HardwareCatalog::SeenTypes() {
+  return {"m510", "rs620"};
+}
+
+std::vector<std::string> HardwareCatalog::UnseenTypes() {
+  return {"c6420", "c8220x", "c8220", "dss7500", "c6320", "rs6525"};
+}
+
+std::vector<std::string> HardwareCatalog::AllTypes() {
+  std::vector<std::string> out;
+  for (const NodeResources& n : kCatalog) out.push_back(n.type_name);
+  return out;
+}
+
+Result<Cluster> Cluster::Homogeneous(const std::string& type_name, int count,
+                                     double network_gbps) {
+  if (count <= 0) return Status::InvalidArgument("node count must be positive");
+  auto node = HardwareCatalog::Get(type_name);
+  if (!node.ok()) return node.status();
+  std::vector<NodeResources> nodes;
+  nodes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    NodeResources n = node.value();
+    n.network_gbps = network_gbps;
+    nodes.push_back(n);
+  }
+  return Cluster(std::move(nodes));
+}
+
+Result<Cluster> Cluster::FromTypes(const std::vector<std::string>& type_names,
+                                   int count, double network_gbps,
+                                   zerotune::Rng* rng) {
+  if (count <= 0) return Status::InvalidArgument("node count must be positive");
+  if (type_names.empty()) {
+    return Status::InvalidArgument("no node types given");
+  }
+  std::vector<NodeResources> nodes;
+  nodes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string& type = rng != nullptr
+                                  ? rng->Choice(type_names)
+                                  : type_names[static_cast<size_t>(i) %
+                                               type_names.size()];
+    auto node = HardwareCatalog::Get(type);
+    if (!node.ok()) return node.status();
+    NodeResources n = node.value();
+    n.network_gbps = network_gbps;
+    nodes.push_back(n);
+  }
+  return Cluster(std::move(nodes));
+}
+
+int Cluster::TotalCores() const {
+  int total = 0;
+  for (const NodeResources& n : nodes_) total += n.cpu_cores;
+  return total;
+}
+
+double Cluster::MaxGhz() const {
+  double best = 0.0;
+  for (const NodeResources& n : nodes_) best = std::max(best, n.cpu_ghz);
+  return best;
+}
+
+double Cluster::MinGhz() const {
+  if (nodes_.empty()) return 0.0;
+  double worst = nodes_[0].cpu_ghz;
+  for (const NodeResources& n : nodes_) worst = std::min(worst, n.cpu_ghz);
+  return worst;
+}
+
+bool Cluster::IsHeterogeneous() const {
+  for (const NodeResources& n : nodes_) {
+    if (n.type_name != nodes_[0].type_name) return true;
+  }
+  return false;
+}
+
+}  // namespace zerotune::dsp

@@ -1,0 +1,72 @@
+#ifndef ZEROTUNE_DSP_CLUSTER_H_
+#define ZEROTUNE_DSP_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace zerotune::dsp {
+
+/// Hardware description of one worker node (paper Table I resource
+/// features: CPU cores, CPU frequency, node identifier, total memory,
+/// network speed).
+struct NodeResources {
+  std::string type_name;     // e.g. "m510"
+  int cpu_cores = 8;
+  double cpu_ghz = 2.0;
+  double memory_gb = 64.0;
+  double network_gbps = 10.0;
+};
+
+/// Known CloudLab node types from paper Table II. The "seen" types are
+/// used for training-data generation; the rest exercise generalization to
+/// unseen hardware (Exp. 2).
+struct HardwareCatalog {
+  /// Returns the node description for a Table II type name.
+  static Result<NodeResources> Get(const std::string& type_name);
+  /// Node types used in the training range (m510, rs620).
+  static std::vector<std::string> SeenTypes();
+  /// Node types reserved for unseen-hardware evaluation.
+  static std::vector<std::string> UnseenTypes();
+  static std::vector<std::string> AllTypes();
+};
+
+/// A set of worker nodes a parallel query plan is deployed on.
+class Cluster {
+ public:
+  Cluster() = default;
+  explicit Cluster(std::vector<NodeResources> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  /// Homogeneous cluster of `count` nodes of a catalog type.
+  static Result<Cluster> Homogeneous(const std::string& type_name, int count,
+                                     double network_gbps = 10.0);
+  /// Cluster sampled from the given catalog types (round-robin) — used to
+  /// build heterogeneous training/testing clusters.
+  static Result<Cluster> FromTypes(const std::vector<std::string>& type_names,
+                                   int count, double network_gbps,
+                                   zerotune::Rng* rng);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const NodeResources& node(size_t i) const { return nodes_[i]; }
+  const std::vector<NodeResources>& nodes() const { return nodes_; }
+
+  /// Total processing cores across all nodes; upper bound on any
+  /// operator's parallelism degree (paper Sec. III-C3 constraint).
+  int TotalCores() const;
+
+  /// Fastest/slowest clock in the cluster (used by analytical baselines).
+  double MaxGhz() const;
+  double MinGhz() const;
+
+  bool IsHeterogeneous() const;
+
+ private:
+  std::vector<NodeResources> nodes_;
+};
+
+}  // namespace zerotune::dsp
+
+#endif  // ZEROTUNE_DSP_CLUSTER_H_

@@ -1,0 +1,116 @@
+#include "dsp/dot_export.h"
+
+#include <map>
+#include <sstream>
+
+namespace zerotune::dsp {
+
+namespace {
+
+const char* TypeColor(OperatorType t) {
+  switch (t) {
+    case OperatorType::kSource: return "#8ecae6";
+    case OperatorType::kFilter: return "#bde0a0";
+    case OperatorType::kWindowAggregate: return "#ffb703";
+    case OperatorType::kWindowJoin: return "#fb8500";
+    case OperatorType::kSink: return "#ced4da";
+  }
+  return "white";
+}
+
+std::string OperatorLabel(const Operator& op) {
+  std::ostringstream os;
+  os.precision(6);
+  os << op.name;
+  switch (op.type) {
+    case OperatorType::kSource:
+      os << "\\nrate=" << op.source.event_rate
+         << " width=" << op.source.schema.width();
+      break;
+    case OperatorType::kFilter:
+      os << "\\n" << ToString(op.filter.function)
+         << " sel=" << op.filter.selectivity;
+      break;
+    case OperatorType::kWindowAggregate:
+      os << "\\n" << ToString(op.aggregate.function) << " "
+         << ToString(op.aggregate.window.policy) << ":"
+         << ToString(op.aggregate.window.type) << "("
+         << op.aggregate.window.length << "/" << op.aggregate.window.slide
+         << ")\\nsel=" << op.aggregate.selectivity;
+      break;
+    case OperatorType::kWindowJoin:
+      os << "\\n" << ToString(op.join.window.policy) << ":"
+         << ToString(op.join.window.type) << "(" << op.join.window.length
+         << "/" << op.join.window.slide << ")\\nsel="
+         << op.join.selectivity;
+      break;
+    case OperatorType::kSink:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string DotExport::QueryPlanDot(const QueryPlan& plan) {
+  std::ostringstream os;
+  os << "digraph query {\n  rankdir=LR;\n"
+     << "  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+  for (const Operator& op : plan.operators()) {
+    os << "  op" << op.id << " [label=\"" << OperatorLabel(op)
+       << "\", fillcolor=\"" << TypeColor(op.type) << "\"];\n";
+  }
+  for (const Operator& op : plan.operators()) {
+    for (int d : plan.downstreams(op.id)) {
+      os << "  op" << op.id << " -> op" << d << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string DotExport::ParallelPlanDot(const ParallelQueryPlan& plan) {
+  const QueryPlan& q = plan.logical();
+  const std::vector<int> chains = plan.ComputeChains();
+
+  // Group operators by chain for subgraph clusters.
+  std::map<int, std::vector<int>> chain_ops;
+  for (const Operator& op : q.operators()) {
+    chain_ops[chains[static_cast<size_t>(op.id)]].push_back(op.id);
+  }
+
+  std::ostringstream os;
+  os << "digraph parallel_plan {\n  rankdir=LR;\n"
+     << "  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+  for (const auto& [chain_id, ops] : chain_ops) {
+    const bool boxed = ops.size() > 1;
+    if (boxed) {
+      os << "  subgraph cluster_chain" << chain_id << " {\n"
+         << "    label=\"chain " << chain_id << "\";\n"
+         << "    style=dashed;\n";
+    }
+    for (int id : ops) {
+      const Operator& op = q.op(id);
+      os << (boxed ? "    " : "  ") << "op" << id << " [label=\""
+         << OperatorLabel(op) << "\\nP=" << plan.parallelism(id)
+         << "\", fillcolor=\"" << TypeColor(op.type) << "\"];\n";
+    }
+    if (boxed) os << "  }\n";
+  }
+  for (const Operator& op : q.operators()) {
+    for (int d : q.downstreams(op.id)) {
+      os << "  op" << op.id << " -> op" << d << " [label=\""
+         << ToString(plan.placement(d).partitioning) << "\"];\n";
+    }
+  }
+  // Resource legend.
+  os << "  resources [shape=note, fillcolor=\"#f8f9fa\", label=\"cluster:";
+  for (const NodeResources& n : plan.cluster().nodes()) {
+    os << "\\n" << n.type_name << " (" << n.cpu_cores << " cores, "
+       << n.cpu_ghz << " GHz)";
+  }
+  os << "\"];\n}\n";
+  return os.str();
+}
+
+}  // namespace zerotune::dsp

@@ -1,0 +1,26 @@
+#ifndef ZEROTUNE_DSP_DOT_EXPORT_H_
+#define ZEROTUNE_DSP_DOT_EXPORT_H_
+
+#include <string>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::dsp {
+
+/// Graphviz DOT rendering of query plans for debugging and documentation.
+///
+///   dot -Tpng plan.dot -o plan.png
+struct DotExport {
+  /// Logical plan: one node per operator, labeled with its key properties
+  /// (rates, selectivities, window configs).
+  static std::string QueryPlanDot(const QueryPlan& plan);
+
+  /// Parallel plan: operators annotated with degree/partitioning, chains
+  /// grouped into clusters, edges labeled with the partitioning strategy,
+  /// and a resource legend.
+  static std::string ParallelPlanDot(const ParallelQueryPlan& plan);
+};
+
+}  // namespace zerotune::dsp
+
+#endif  // ZEROTUNE_DSP_DOT_EXPORT_H_

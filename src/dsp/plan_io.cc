@@ -1,0 +1,396 @@
+#include "dsp/plan_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace zerotune::dsp {
+
+namespace {
+
+constexpr char kPlanMagic[] = "zerotune-plan-v1";
+
+/// Parses "key=value" tokens of one line into a map.
+Result<std::map<std::string, std::string>> ParseFields(
+    std::istringstream& line) {
+  std::map<std::string, std::string> fields;
+  std::string token;
+  while (line >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed token: " + token);
+    }
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+Result<double> GetDouble(const std::map<std::string, std::string>& fields,
+                         const std::string& key) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return Status::InvalidArgument("bad number for " + key + ": " +
+                                   it->second);
+  }
+}
+
+Result<int> GetInt(const std::map<std::string, std::string>& fields,
+                   const std::string& key) {
+  ZT_ASSIGN_OR_RETURN(const double v, GetDouble(fields, key));
+  return static_cast<int>(v);
+}
+
+Result<std::string> GetString(
+    const std::map<std::string, std::string>& fields,
+    const std::string& key) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  return it->second;
+}
+
+Result<std::vector<int>> ParseIntList(const std::string& repr) {
+  std::vector<int> out;
+  std::istringstream is(repr);
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    try {
+      out.push_back(std::stoi(part));
+    } catch (...) {
+      return Status::InvalidArgument("bad int list: " + repr);
+    }
+  }
+  return out;
+}
+
+std::string JoinInts(const std::vector<int>& xs) {
+  std::string out;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  return out;
+}
+
+void WriteWindow(std::ostream& os, const WindowSpec& w) {
+  os << " wtype=" << static_cast<int>(w.type)
+     << " wpolicy=" << static_cast<int>(w.policy) << " wlen=" << w.length
+     << " wslide=" << w.slide;
+}
+
+Result<WindowSpec> ReadWindow(
+    const std::map<std::string, std::string>& fields) {
+  WindowSpec w;
+  ZT_ASSIGN_OR_RETURN(const int wtype, GetInt(fields, "wtype"));
+  ZT_ASSIGN_OR_RETURN(const int wpolicy, GetInt(fields, "wpolicy"));
+  ZT_ASSIGN_OR_RETURN(w.length, GetDouble(fields, "wlen"));
+  ZT_ASSIGN_OR_RETURN(w.slide, GetDouble(fields, "wslide"));
+  if (wtype < 0 || wtype > 1 || wpolicy < 0 || wpolicy > 1) {
+    return Status::InvalidArgument("bad window enum");
+  }
+  w.type = static_cast<WindowType>(wtype);
+  w.policy = static_cast<WindowPolicy>(wpolicy);
+  return w;
+}
+
+}  // namespace
+
+std::string PlanIO::SchemaToString(const TupleSchema& schema) {
+  std::string out;
+  out.reserve(schema.fields.size());
+  for (DataType t : schema.fields) {
+    switch (t) {
+      case DataType::kInt: out += 'i'; break;
+      case DataType::kDouble: out += 'd'; break;
+      case DataType::kString: out += 's'; break;
+    }
+  }
+  return out;
+}
+
+Result<TupleSchema> PlanIO::SchemaFromString(const std::string& repr) {
+  TupleSchema schema;
+  schema.fields.reserve(repr.size());
+  for (char c : repr) {
+    switch (c) {
+      case 'i': schema.fields.push_back(DataType::kInt); break;
+      case 'd': schema.fields.push_back(DataType::kDouble); break;
+      case 's': schema.fields.push_back(DataType::kString); break;
+      default:
+        return Status::InvalidArgument(std::string("bad schema char: ") + c);
+    }
+  }
+  return schema;
+}
+
+Status PlanIO::WriteQueryPlan(const QueryPlan& plan, std::ostream& os) {
+  os.precision(17);
+  os << kPlanMagic << "\n";
+  for (const Operator& op : plan.operators()) {
+    const auto& ups = plan.upstreams(op.id);
+    switch (op.type) {
+      case OperatorType::kSource:
+        os << "source id=" << op.id << " rate=" << op.source.event_rate
+           << " schema=" << SchemaToString(op.source.schema) << "\n";
+        break;
+      case OperatorType::kFilter:
+        os << "filter id=" << op.id << " in=" << ups[0]
+           << " fn=" << static_cast<int>(op.filter.function)
+           << " literal=" << static_cast<int>(op.filter.literal_class)
+           << " sel=" << op.filter.selectivity << "\n";
+        break;
+      case OperatorType::kWindowAggregate:
+        os << "aggregate id=" << op.id << " in=" << ups[0]
+           << " fn=" << static_cast<int>(op.aggregate.function)
+           << " agg_class=" << static_cast<int>(op.aggregate.aggregate_class)
+           << " key_class=" << static_cast<int>(op.aggregate.key_class)
+           << " keyed=" << (op.aggregate.keyed ? 1 : 0);
+        WriteWindow(os, op.aggregate.window);
+        os << " sel=" << op.aggregate.selectivity << "\n";
+        break;
+      case OperatorType::kWindowJoin:
+        os << "join id=" << op.id << " in=" << ups[0] << "," << ups[1]
+           << " key_class=" << static_cast<int>(op.join.key_class);
+        WriteWindow(os, op.join.window);
+        os << " sel=" << op.join.selectivity << "\n";
+        break;
+      case OperatorType::kSink:
+        os << "sink id=" << op.id << " in=" << ups[0] << "\n";
+        break;
+    }
+  }
+  return os ? Status::OK() : Status::IOError("plan write failed");
+}
+
+Result<QueryPlan> PlanIO::ReadQueryPlan(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kPlanMagic) {
+    return Status::InvalidArgument("bad plan header");
+  }
+  QueryPlan plan;
+  // Serialized ids are assigned in insertion order, so they map 1:1 onto
+  // the ids AddOperator assigns on replay; verify as we go.
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "cluster" || kind == "deploy") {
+      // Parallel-plan sections are handled by ReadParallelPlan; a logical
+      // reader stops here.
+      break;
+    }
+    ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
+    ZT_ASSIGN_OR_RETURN(const int id, GetInt(fields, "id"));
+    int new_id = -1;
+    if (kind == "source") {
+      SourceProperties s;
+      ZT_ASSIGN_OR_RETURN(s.event_rate, GetDouble(fields, "rate"));
+      ZT_ASSIGN_OR_RETURN(const std::string schema,
+                          GetString(fields, "schema"));
+      ZT_ASSIGN_OR_RETURN(s.schema, SchemaFromString(schema));
+      new_id = plan.AddSource(s);
+    } else if (kind == "filter") {
+      FilterProperties f;
+      ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+      ZT_ASSIGN_OR_RETURN(const int fn, GetInt(fields, "fn"));
+      ZT_ASSIGN_OR_RETURN(const int literal, GetInt(fields, "literal"));
+      ZT_ASSIGN_OR_RETURN(f.selectivity, GetDouble(fields, "sel"));
+      if (fn < 0 || fn > 5 || literal < 0 || literal > 2) {
+        return Status::InvalidArgument("bad filter enum");
+      }
+      f.function = static_cast<FilterFunction>(fn);
+      f.literal_class = static_cast<DataType>(literal);
+      ZT_ASSIGN_OR_RETURN(new_id, plan.AddFilter(in, f));
+    } else if (kind == "aggregate") {
+      AggregateProperties a;
+      ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+      ZT_ASSIGN_OR_RETURN(const int fn, GetInt(fields, "fn"));
+      ZT_ASSIGN_OR_RETURN(const int agg_class, GetInt(fields, "agg_class"));
+      ZT_ASSIGN_OR_RETURN(const int key_class, GetInt(fields, "key_class"));
+      ZT_ASSIGN_OR_RETURN(const int keyed, GetInt(fields, "keyed"));
+      ZT_ASSIGN_OR_RETURN(a.window, ReadWindow(fields));
+      ZT_ASSIGN_OR_RETURN(a.selectivity, GetDouble(fields, "sel"));
+      if (fn < 0 || fn > 4 || agg_class < 0 || agg_class > 2 ||
+          key_class < 0 || key_class > 2) {
+        return Status::InvalidArgument("bad aggregate enum");
+      }
+      a.function = static_cast<AggregateFunction>(fn);
+      a.aggregate_class = static_cast<DataType>(agg_class);
+      a.key_class = static_cast<DataType>(key_class);
+      a.keyed = keyed != 0;
+      ZT_ASSIGN_OR_RETURN(new_id, plan.AddWindowAggregate(in, a));
+    } else if (kind == "join") {
+      JoinProperties j;
+      ZT_ASSIGN_OR_RETURN(const std::string ins, GetString(fields, "in"));
+      ZT_ASSIGN_OR_RETURN(const std::vector<int> in_ids, ParseIntList(ins));
+      if (in_ids.size() != 2) {
+        return Status::InvalidArgument("join needs two inputs");
+      }
+      ZT_ASSIGN_OR_RETURN(const int key_class, GetInt(fields, "key_class"));
+      ZT_ASSIGN_OR_RETURN(j.window, ReadWindow(fields));
+      ZT_ASSIGN_OR_RETURN(j.selectivity, GetDouble(fields, "sel"));
+      if (key_class < 0 || key_class > 2) {
+        return Status::InvalidArgument("bad join key class");
+      }
+      j.key_class = static_cast<DataType>(key_class);
+      ZT_ASSIGN_OR_RETURN(new_id,
+                          plan.AddWindowJoin(in_ids[0], in_ids[1], j));
+    } else if (kind == "sink") {
+      ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+      ZT_ASSIGN_OR_RETURN(new_id, plan.AddSink(in));
+    } else {
+      return Status::InvalidArgument("unknown plan line kind: " + kind);
+    }
+    if (new_id != id) {
+      return Status::InvalidArgument(
+          "operator ids must be contiguous in insertion order (got " +
+          std::to_string(id) + ", expected " + std::to_string(new_id) + ")");
+    }
+  }
+  ZT_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Status PlanIO::WriteParallelPlan(const ParallelQueryPlan& plan,
+                                 std::ostream& os) {
+  ZT_RETURN_IF_ERROR(WriteQueryPlan(plan.logical(), os));
+  for (const NodeResources& n : plan.cluster().nodes()) {
+    os << "cluster node=" << n.type_name << " cores=" << n.cpu_cores
+       << " ghz=" << n.cpu_ghz << " mem=" << n.memory_gb
+       << " net=" << n.network_gbps << "\n";
+  }
+  for (const Operator& op : plan.logical().operators()) {
+    const OperatorPlacement& p = plan.placement(op.id);
+    os << "deploy id=" << op.id << " p=" << p.parallelism
+       << " part=" << static_cast<int>(p.partitioning);
+    if (!p.instance_nodes.empty()) {
+      os << " nodes=" << JoinInts(p.instance_nodes);
+    }
+    os << "\n";
+  }
+  return os ? Status::OK() : Status::IOError("parallel plan write failed");
+}
+
+Result<ParallelQueryPlan> PlanIO::ReadParallelPlan(std::istream& is) {
+  // First pass: buffer the whole stream and split logical/physical parts,
+  // because ReadQueryPlan consumes up to the first physical line.
+  std::vector<std::string> logical_lines;
+  std::vector<std::string> physical_lines;
+  std::string line;
+  bool in_physical = false;
+  while (std::getline(is, line)) {
+    if (line.rfind("cluster ", 0) == 0 || line.rfind("deploy ", 0) == 0) {
+      in_physical = true;
+    }
+    (in_physical ? physical_lines : logical_lines).push_back(line);
+  }
+  std::stringstream logical_stream;
+  for (const auto& l : logical_lines) logical_stream << l << "\n";
+  ZT_ASSIGN_OR_RETURN(QueryPlan logical, ReadQueryPlan(logical_stream));
+
+  std::vector<NodeResources> nodes;
+  struct Deployment {
+    int id = 0;
+    int parallelism = 1;
+    int partitioning = 0;
+    std::vector<int> instance_nodes;
+  };
+  std::vector<Deployment> deployments;
+  for (const auto& l : physical_lines) {
+    if (l.empty()) continue;
+    std::istringstream ls(l);
+    std::string kind;
+    ls >> kind;
+    ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
+    if (kind == "cluster") {
+      NodeResources n;
+      ZT_ASSIGN_OR_RETURN(n.type_name, GetString(fields, "node"));
+      ZT_ASSIGN_OR_RETURN(n.cpu_cores, GetInt(fields, "cores"));
+      ZT_ASSIGN_OR_RETURN(n.cpu_ghz, GetDouble(fields, "ghz"));
+      ZT_ASSIGN_OR_RETURN(n.memory_gb, GetDouble(fields, "mem"));
+      ZT_ASSIGN_OR_RETURN(n.network_gbps, GetDouble(fields, "net"));
+      nodes.push_back(n);
+    } else if (kind == "deploy") {
+      Deployment d;
+      ZT_ASSIGN_OR_RETURN(d.id, GetInt(fields, "id"));
+      ZT_ASSIGN_OR_RETURN(d.parallelism, GetInt(fields, "p"));
+      ZT_ASSIGN_OR_RETURN(d.partitioning, GetInt(fields, "part"));
+      if (fields.count("nodes") > 0) {
+        ZT_ASSIGN_OR_RETURN(const std::string ns, GetString(fields, "nodes"));
+        ZT_ASSIGN_OR_RETURN(d.instance_nodes, ParseIntList(ns));
+      }
+      deployments.push_back(std::move(d));
+    } else {
+      return Status::InvalidArgument("unknown physical line kind: " + kind);
+    }
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("parallel plan has no cluster section");
+  }
+
+  ParallelQueryPlan plan(std::move(logical), Cluster(std::move(nodes)));
+  for (const auto& d : deployments) {
+    ZT_RETURN_IF_ERROR(plan.SetParallelism(d.id, d.parallelism));
+    if (d.partitioning < 0 || d.partitioning > 2) {
+      return Status::InvalidArgument("bad partitioning enum");
+    }
+    ZT_RETURN_IF_ERROR(plan.SetPartitioning(
+        d.id, static_cast<PartitioningStrategy>(d.partitioning)));
+  }
+  // Placements are restored after degrees/partitioning so SetParallelism's
+  // placement reset cannot clobber them.
+  for (const auto& d : deployments) {
+    if (d.instance_nodes.empty()) continue;
+    if (static_cast<int>(d.instance_nodes.size()) != d.parallelism) {
+      return Status::InvalidArgument("placement size != parallelism");
+    }
+    // Validate node indices against the cluster before applying.
+    for (int n : d.instance_nodes) {
+      if (n < 0 || n >= static_cast<int>(plan.cluster().num_nodes())) {
+        return Status::InvalidArgument("placement references invalid node");
+      }
+    }
+    // There is no public per-instance placement setter; re-derive with
+    // PlaceRoundRobin when any placement is present. Round-robin placement
+    // is deterministic, so write->read->write round-trips are stable.
+    ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
+    break;
+  }
+  ZT_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Status PlanIO::SaveQueryPlan(const QueryPlan& plan, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  return WriteQueryPlan(plan, f);
+}
+
+Result<QueryPlan> PlanIO::LoadQueryPlan(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  return ReadQueryPlan(f);
+}
+
+Status PlanIO::SaveParallelPlan(const ParallelQueryPlan& plan,
+                                const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  return WriteParallelPlan(plan, f);
+}
+
+Result<ParallelQueryPlan> PlanIO::LoadParallelPlan(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  return ReadParallelPlan(f);
+}
+
+}  // namespace zerotune::dsp

@@ -1,0 +1,59 @@
+#ifndef ZEROTUNE_DSP_PLAN_IO_H_
+#define ZEROTUNE_DSP_PLAN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::dsp {
+
+/// Text serialization of logical and parallel query plans.
+///
+/// The format is a line-oriented, versioned description — one operator or
+/// directive per line — that is stable across releases and diff-friendly:
+///
+///   zerotune-plan-v1
+///   source id=0 rate=100000 schema=ddi
+///   filter id=1 in=0 fn=2 literal=1 sel=0.5
+///   aggregate id=2 in=1 fn=2 agg_class=1 key_class=0 keyed=1 \
+///       wtype=0 wpolicy=0 wlen=50 wslide=50 sel=0.1
+///   join id=3 in=1,2 key_class=0 wtype=0 wpolicy=1 wlen=2000 \
+///       wslide=2000 sel=0.01
+///   sink id=4 in=3
+///
+/// ParallelQueryPlan additionally serializes the cluster and placement:
+///
+///   cluster node=m510 cores=8 ghz=2.0 mem=64 net=10
+///   deploy id=1 p=8 part=2 nodes=0,1,0,1,0,1,0,1
+///
+/// Schemas are encoded as one character per field: i=int, d=double,
+/// s=string.
+struct PlanIO {
+  /// Writes a logical plan.
+  static Status WriteQueryPlan(const QueryPlan& plan, std::ostream& os);
+  static Status SaveQueryPlan(const QueryPlan& plan, const std::string& path);
+
+  /// Parses a logical plan written by WriteQueryPlan.
+  static Result<QueryPlan> ReadQueryPlan(std::istream& is);
+  static Result<QueryPlan> LoadQueryPlan(const std::string& path);
+
+  /// Writes a parallel plan (logical plan + cluster + deployment).
+  static Status WriteParallelPlan(const ParallelQueryPlan& plan,
+                                  std::ostream& os);
+  static Status SaveParallelPlan(const ParallelQueryPlan& plan,
+                                 const std::string& path);
+
+  /// Parses a parallel plan written by WriteParallelPlan.
+  static Result<ParallelQueryPlan> ReadParallelPlan(std::istream& is);
+  static Result<ParallelQueryPlan> LoadParallelPlan(const std::string& path);
+
+  /// Schema <-> compact string helpers ("ddi" = double,double,int).
+  static std::string SchemaToString(const TupleSchema& schema);
+  static Result<TupleSchema> SchemaFromString(const std::string& repr);
+};
+
+}  // namespace zerotune::dsp
+
+#endif  // ZEROTUNE_DSP_PLAN_IO_H_

@@ -1,0 +1,379 @@
+#include "dsp/query_dsl.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "dsp/plan_io.h"
+
+namespace zerotune::dsp {
+
+namespace {
+
+/// One parsed stage: a call like `filter(sel=0.5)` or a bare identifier
+/// (either a no-arg stage like `sink` or a named-stream reference).
+struct Stage {
+  std::string name;
+  bool had_parens = false;
+  std::vector<std::string> positional;           // join inputs
+  std::map<std::string, std::string> arguments;  // key=value pairs
+};
+
+struct Statement {
+  std::string assign_to;  // empty for anonymous pipelines
+  std::vector<Stage> stages;
+};
+
+/// Splits the program into statements on newlines and semicolons,
+/// dropping blank lines and '#' comments.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n' || c == ';') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  std::vector<std::string> cleaned;
+  for (std::string& s : out) {
+    const size_t hash = s.find('#');
+    if (hash != std::string::npos) s.resize(hash);
+    size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = s.find_last_not_of(" \t\r");
+    cleaned.push_back(s.substr(begin, end - begin + 1));
+  }
+  // Continuation support: a statement starting with '|' glues onto the
+  // previous one, enabling multi-line pipelines.
+  std::vector<std::string> merged;
+  for (const std::string& s : cleaned) {
+    if (!merged.empty() && s[0] == '|') {
+      merged.back() += " " + s;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses one statement into assignment + stages.
+Result<Statement> ParseStatement(const std::string& text) {
+  Statement stmt;
+  std::string rest = text;
+
+  // Optional "name =" prefix (but not "==" which cannot start a stage).
+  const size_t eq = rest.find('=');
+  if (eq != std::string::npos && rest.find('(') > eq &&
+      rest.find('|') > eq && (eq + 1 >= rest.size() || rest[eq + 1] != '=')) {
+    std::string name = rest.substr(0, eq);
+    const size_t b = name.find_first_not_of(" \t");
+    const size_t e = name.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      return Status::InvalidArgument("empty assignment name: " + text);
+    }
+    stmt.assign_to = name.substr(b, e - b + 1);
+    for (char c : stmt.assign_to) {
+      if (!IsIdentChar(c)) {
+        return Status::InvalidArgument("bad stream name: " + stmt.assign_to);
+      }
+    }
+    rest = rest.substr(eq + 1);
+  }
+
+  // Split into stages on '|' at paren depth 0.
+  std::vector<std::string> stage_texts;
+  std::string current;
+  int depth = 0;
+  for (char c : rest) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == '|' && depth == 0) {
+      stage_texts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stage_texts.push_back(current);
+
+  for (const std::string& st : stage_texts) {
+    Stage stage;
+    size_t i = st.find_first_not_of(" \t");
+    if (i == std::string::npos) {
+      return Status::InvalidArgument("empty stage in: " + text);
+    }
+    while (i < st.size() && IsIdentChar(st[i])) {
+      stage.name += st[i++];
+    }
+    if (stage.name.empty()) {
+      return Status::InvalidArgument("stage must start with a name: " + st);
+    }
+    while (i < st.size() && std::isspace(static_cast<unsigned char>(st[i]))) {
+      ++i;
+    }
+    if (i < st.size() && st[i] == '(') {
+      stage.had_parens = true;
+      const size_t close = st.rfind(')');
+      if (close == std::string::npos || close < i) {
+        return Status::InvalidArgument("unbalanced parens in: " + st);
+      }
+      const std::string args = st.substr(i + 1, close - i - 1);
+      std::string arg;
+      std::istringstream as(args);
+      while (std::getline(as, arg, ',')) {
+        const size_t b = arg.find_first_not_of(" \t");
+        if (b == std::string::npos) continue;
+        const size_t e = arg.find_last_not_of(" \t");
+        const std::string trimmed = arg.substr(b, e - b + 1);
+        const size_t aeq = trimmed.find('=');
+        // Comparison operators (<=, ==, ...) appear as *values* only, so
+        // a bare '=' inside "fn=<=" must split at the first '='.
+        if (aeq == std::string::npos) {
+          stage.positional.push_back(trimmed);
+        } else {
+          stage.arguments[trimmed.substr(0, aeq)] = trimmed.substr(aeq + 1);
+        }
+      }
+      // Anything after ')' must be whitespace.
+      for (size_t k = close + 1; k < st.size(); ++k) {
+        if (!std::isspace(static_cast<unsigned char>(st[k]))) {
+          return Status::InvalidArgument("trailing junk after stage: " + st);
+        }
+      }
+    } else {
+      for (size_t k = i; k < st.size(); ++k) {
+        if (!std::isspace(static_cast<unsigned char>(st[k]))) {
+          return Status::InvalidArgument("trailing junk after stage: " + st);
+        }
+      }
+    }
+    stmt.stages.push_back(std::move(stage));
+  }
+  return stmt;
+}
+
+Result<double> ArgDouble(const Stage& s, const std::string& key) {
+  auto it = s.arguments.find(key);
+  if (it == s.arguments.end()) {
+    return Status::InvalidArgument(s.name + " requires " + key + "=");
+  }
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return Status::InvalidArgument("bad number for " + key + ": " +
+                                   it->second);
+  }
+}
+
+std::optional<std::string> ArgString(const Stage& s, const std::string& key) {
+  auto it = s.arguments.find(key);
+  if (it == s.arguments.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<DataType> ParseDataType(const std::string& repr) {
+  if (repr == "int") return DataType::kInt;
+  if (repr == "double") return DataType::kDouble;
+  if (repr == "string") return DataType::kString;
+  return Status::InvalidArgument("bad data type: " + repr);
+}
+
+Result<FilterFunction> ParseFilterFn(const std::string& repr) {
+  if (repr == "<") return FilterFunction::kLess;
+  if (repr == "<=") return FilterFunction::kLessEqual;
+  if (repr == ">") return FilterFunction::kGreater;
+  if (repr == ">=") return FilterFunction::kGreaterEqual;
+  if (repr == "==") return FilterFunction::kEqual;
+  if (repr == "!=") return FilterFunction::kNotEqual;
+  return Status::InvalidArgument("bad filter fn: " + repr);
+}
+
+Result<AggregateFunction> ParseAggFn(const std::string& repr) {
+  if (repr == "min") return AggregateFunction::kMin;
+  if (repr == "max") return AggregateFunction::kMax;
+  if (repr == "avg") return AggregateFunction::kAvg;
+  if (repr == "sum") return AggregateFunction::kSum;
+  if (repr == "count") return AggregateFunction::kCount;
+  return Status::InvalidArgument("bad aggregate fn: " + repr);
+}
+
+/// window=<count|time>:<tumbling|sliding>:<length>[:<slide>]
+Result<WindowSpec> ParseWindow(const std::string& repr) {
+  std::vector<std::string> parts;
+  std::istringstream is(repr);
+  std::string p;
+  while (std::getline(is, p, ':')) parts.push_back(p);
+  if (parts.size() < 3 || parts.size() > 4) {
+    return Status::InvalidArgument("bad window spec: " + repr);
+  }
+  WindowSpec w;
+  if (parts[0] == "count") {
+    w.policy = WindowPolicy::kCount;
+  } else if (parts[0] == "time") {
+    w.policy = WindowPolicy::kTime;
+  } else {
+    return Status::InvalidArgument("bad window policy: " + parts[0]);
+  }
+  if (parts[1] == "tumbling") {
+    w.type = WindowType::kTumbling;
+  } else if (parts[1] == "sliding") {
+    w.type = WindowType::kSliding;
+  } else {
+    return Status::InvalidArgument("bad window type: " + parts[1]);
+  }
+  try {
+    w.length = std::stod(parts[2]);
+    w.slide = parts.size() == 4 ? std::stod(parts[3]) : w.length;
+  } catch (...) {
+    return Status::InvalidArgument("bad window numbers: " + repr);
+  }
+  if (w.type == WindowType::kTumbling && parts.size() == 4 &&
+      w.slide != w.length) {
+    return Status::InvalidArgument("tumbling window cannot have a slide");
+  }
+  return w;
+}
+
+class DslBuilder {
+ public:
+  Result<QueryPlan> Build(const std::string& text) {
+    for (const std::string& stmt_text : SplitStatements(text)) {
+      ZT_ASSIGN_OR_RETURN(const Statement stmt, ParseStatement(stmt_text));
+      ZT_ASSIGN_OR_RETURN(const int tail, BuildPipeline(stmt));
+      if (!stmt.assign_to.empty()) {
+        if (streams_.count(stmt.assign_to) > 0) {
+          return Status::InvalidArgument("stream redefined: " +
+                                         stmt.assign_to);
+        }
+        streams_[stmt.assign_to] = tail;
+      }
+    }
+    ZT_RETURN_IF_ERROR(plan_.Validate());
+    return std::move(plan_);
+  }
+
+ private:
+  Result<int> BuildPipeline(const Statement& stmt) {
+    int tail = -1;
+    for (const Stage& stage : stmt.stages) {
+      ZT_ASSIGN_OR_RETURN(tail, BuildStage(stage, tail));
+    }
+    return tail;
+  }
+
+  Result<int> BuildStage(const Stage& stage, int upstream) {
+    if (stage.name == "source") {
+      if (upstream >= 0) {
+        return Status::InvalidArgument("source must start a pipeline");
+      }
+      SourceProperties s;
+      ZT_ASSIGN_OR_RETURN(s.event_rate, ArgDouble(stage, "rate"));
+      const auto schema = ArgString(stage, "schema");
+      if (!schema) {
+        return Status::InvalidArgument("source requires schema=");
+      }
+      ZT_ASSIGN_OR_RETURN(s.schema, PlanIO::SchemaFromString(*schema));
+      return plan_.AddSource(s);
+    }
+    if (stage.name == "filter") {
+      if (upstream < 0) {
+        return Status::InvalidArgument("filter needs an upstream");
+      }
+      FilterProperties f;
+      ZT_ASSIGN_OR_RETURN(f.selectivity, ArgDouble(stage, "sel"));
+      if (const auto fn = ArgString(stage, "fn")) {
+        ZT_ASSIGN_OR_RETURN(f.function, ParseFilterFn(*fn));
+      }
+      if (const auto lit = ArgString(stage, "literal")) {
+        ZT_ASSIGN_OR_RETURN(f.literal_class, ParseDataType(*lit));
+      }
+      return plan_.AddFilter(upstream, f);
+    }
+    if (stage.name == "aggregate") {
+      if (upstream < 0) {
+        return Status::InvalidArgument("aggregate needs an upstream");
+      }
+      AggregateProperties a;
+      ZT_ASSIGN_OR_RETURN(a.selectivity, ArgDouble(stage, "sel"));
+      const auto win = ArgString(stage, "window");
+      if (!win) {
+        return Status::InvalidArgument("aggregate requires window=");
+      }
+      ZT_ASSIGN_OR_RETURN(a.window, ParseWindow(*win));
+      if (const auto fn = ArgString(stage, "fn")) {
+        ZT_ASSIGN_OR_RETURN(a.function, ParseAggFn(*fn));
+      }
+      if (const auto key = ArgString(stage, "key")) {
+        ZT_ASSIGN_OR_RETURN(a.key_class, ParseDataType(*key));
+      }
+      if (const auto cls = ArgString(stage, "class")) {
+        ZT_ASSIGN_OR_RETURN(a.aggregate_class, ParseDataType(*cls));
+      }
+      if (const auto keyed = ArgString(stage, "keyed")) {
+        a.keyed = *keyed != "0";
+      }
+      return plan_.AddWindowAggregate(upstream, a);
+    }
+    if (stage.name == "join") {
+      if (upstream >= 0) {
+        return Status::InvalidArgument(
+            "join starts a pipeline; name its inputs instead");
+      }
+      if (stage.positional.size() != 2) {
+        return Status::InvalidArgument(
+            "join requires two named input streams");
+      }
+      ZT_ASSIGN_OR_RETURN(const int left, Lookup(stage.positional[0]));
+      ZT_ASSIGN_OR_RETURN(const int right, Lookup(stage.positional[1]));
+      JoinProperties j;
+      ZT_ASSIGN_OR_RETURN(j.selectivity, ArgDouble(stage, "sel"));
+      const auto win = ArgString(stage, "window");
+      if (!win) return Status::InvalidArgument("join requires window=");
+      ZT_ASSIGN_OR_RETURN(j.window, ParseWindow(*win));
+      if (const auto key = ArgString(stage, "key")) {
+        ZT_ASSIGN_OR_RETURN(j.key_class, ParseDataType(*key));
+      }
+      return plan_.AddWindowJoin(left, right, j);
+    }
+    if (stage.name == "sink") {
+      if (upstream < 0) {
+        return Status::InvalidArgument("sink needs an upstream");
+      }
+      return plan_.AddSink(upstream);
+    }
+    // A bare identifier at pipeline start references a named stream.
+    if (!stage.had_parens && upstream < 0) {
+      return Lookup(stage.name);
+    }
+    return Status::InvalidArgument("unknown stage: " + stage.name);
+  }
+
+  Result<int> Lookup(const std::string& name) {
+    auto it = streams_.find(name);
+    if (it == streams_.end()) {
+      return Status::InvalidArgument("unknown stream: " + name);
+    }
+    return it->second;
+  }
+
+  QueryPlan plan_;
+  std::map<std::string, int> streams_;
+};
+
+}  // namespace
+
+Result<QueryPlan> QueryDsl::Parse(const std::string& text) {
+  return DslBuilder().Build(text);
+}
+
+}  // namespace zerotune::dsp

@@ -1,0 +1,53 @@
+#ifndef ZEROTUNE_DSP_QUERY_DSL_H_
+#define ZEROTUNE_DSP_QUERY_DSL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dsp/query_plan.h"
+
+namespace zerotune::dsp {
+
+/// A compact pipe-syntax front-end for building query plans, used by the
+/// command-line tool and the examples:
+///
+///   source(rate=100000, schema=ddi)
+///     | filter(sel=0.5, fn=<=, literal=double)
+///     | aggregate(fn=avg, key=int, window=count:tumbling:50, sel=0.1)
+///     | sink
+///
+/// Multi-stream plans name their branches and join them:
+///
+///   left  = source(rate=10000, schema=dd) | filter(sel=0.8)
+///   right = source(rate=5000, schema=ii)
+///   join(left, right, key=int, window=time:sliding:10000:3000, sel=0.01)
+///     | aggregate(fn=max, key=int, window=count:tumbling:50, sel=0.2)
+///     | sink
+///
+/// Grammar (newline- or ';'-separated statements):
+///   statement := [name "="] pipeline
+///   pipeline  := stage ("|" stage)*
+///   stage     := ident ["(" arg ("," arg)* ")"] | name-reference
+///   arg       := key "=" value
+///
+/// Stage reference:
+///   source(rate=<double>, schema=<[ids]+>)
+///   filter(sel=<double> [, fn=(<|<=|>|>=|==|!=)] [, literal=(int|double|string)])
+///   aggregate(sel=<double>, window=<win> [, fn=(min|max|avg|sum|count)]
+///             [, key=(int|double|string)] [, class=(int|double|string)]
+///             [, keyed=(0|1)])
+///   join(<stream>, <stream>, sel=<double>, window=<win>
+///        [, key=(int|double|string)])
+///   sink
+///   <win> := (count|time):(tumbling|sliding):<length>[:<slide>]
+///
+/// Every plan must end in exactly one `sink`.
+class QueryDsl {
+ public:
+  /// Parses a DSL program into a validated logical plan.
+  static Result<QueryPlan> Parse(const std::string& text);
+};
+
+}  // namespace zerotune::dsp
+
+#endif  // ZEROTUNE_DSP_QUERY_DSL_H_

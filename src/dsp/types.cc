@@ -1,0 +1,73 @@
+#include "dsp/types.h"
+
+namespace zerotune::dsp {
+
+const char* ToString(DataType t) {
+  switch (t) {
+    case DataType::kInt: return "int";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+  }
+  return "?";
+}
+
+const char* ToString(OperatorType t) {
+  switch (t) {
+    case OperatorType::kSource: return "source";
+    case OperatorType::kFilter: return "filter";
+    case OperatorType::kWindowAggregate: return "window-aggregate";
+    case OperatorType::kWindowJoin: return "window-join";
+    case OperatorType::kSink: return "sink";
+  }
+  return "?";
+}
+
+const char* ToString(PartitioningStrategy s) {
+  switch (s) {
+    case PartitioningStrategy::kForward: return "forward";
+    case PartitioningStrategy::kRebalance: return "rebalance";
+    case PartitioningStrategy::kHash: return "hash";
+  }
+  return "?";
+}
+
+const char* ToString(FilterFunction f) {
+  switch (f) {
+    case FilterFunction::kLess: return "<";
+    case FilterFunction::kLessEqual: return "<=";
+    case FilterFunction::kGreater: return ">";
+    case FilterFunction::kGreaterEqual: return ">=";
+    case FilterFunction::kEqual: return "==";
+    case FilterFunction::kNotEqual: return "!=";
+  }
+  return "?";
+}
+
+const char* ToString(WindowType t) {
+  switch (t) {
+    case WindowType::kTumbling: return "tumbling";
+    case WindowType::kSliding: return "sliding";
+  }
+  return "?";
+}
+
+const char* ToString(WindowPolicy p) {
+  switch (p) {
+    case WindowPolicy::kCount: return "count";
+    case WindowPolicy::kTime: return "time";
+  }
+  return "?";
+}
+
+const char* ToString(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kMin: return "min";
+    case AggregateFunction::kMax: return "max";
+    case AggregateFunction::kAvg: return "avg";
+    case AggregateFunction::kSum: return "sum";
+    case AggregateFunction::kCount: return "count";
+  }
+  return "?";
+}
+
+}  // namespace zerotune::dsp

@@ -1,0 +1,163 @@
+#ifndef ZEROTUNE_DSP_TYPES_H_
+#define ZEROTUNE_DSP_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zerotune::dsp {
+
+/// Field types carried in stream tuples (paper Table III: str/double/int).
+enum class DataType {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Streaming operator kinds supported by the plan model (paper Table III
+/// operator types: Source, Filter, Window-Join, Window-Aggregation; the
+/// sink terminates every query).
+enum class OperatorType {
+  kSource = 0,
+  kFilter = 1,
+  kWindowAggregate = 2,
+  kWindowJoin = 3,
+  kSink = 4,
+};
+
+/// How an operator's input is distributed over its parallel instances
+/// (paper Sec. III-B1: forward, rebalance, hashing).
+enum class PartitioningStrategy {
+  kForward = 0,    // instance i of upstream feeds instance i (no shuffle)
+  kRebalance = 1,  // round-robin across instances
+  kHash = 2,       // key-hash (required by keyed windows)
+};
+
+/// Comparison used by filter operators (transferable "filter function").
+enum class FilterFunction {
+  kLess = 0,
+  kLessEqual = 1,
+  kGreater = 2,
+  kGreaterEqual = 3,
+  kEqual = 4,
+  kNotEqual = 5,
+};
+
+/// Window shifting strategy (tumbling/sliding).
+enum class WindowType {
+  kTumbling = 0,
+  kSliding = 1,
+};
+
+/// Windowing strategy (count-based or time-based).
+enum class WindowPolicy {
+  kCount = 0,
+  kTime = 1,
+};
+
+/// Aggregation functions (paper: min, max, avg; we add sum/count).
+enum class AggregateFunction {
+  kMin = 0,
+  kMax = 1,
+  kAvg = 2,
+  kSum = 3,
+  kCount = 4,
+};
+
+/// Schema of a stream: the data types of one tuple's fields.
+/// "Tuple width" in the paper is the number of fields.
+struct TupleSchema {
+  std::vector<DataType> fields;
+
+  size_t width() const { return fields.size(); }
+
+  /// Approximate wire size of one tuple in bytes (ints 8, doubles 8,
+  /// strings 24 average) — drives (de)serialization and network costs.
+  double SizeBytes() const {
+    double total = 8.0;  // timestamp header
+    for (DataType t : fields) {
+      total += t == DataType::kString ? 24.0 : 8.0;
+    }
+    return total;
+  }
+
+  /// Schema with `width` fields of uniform type `type`.
+  static TupleSchema Uniform(size_t width, DataType type) {
+    TupleSchema s;
+    s.fields.assign(width, type);
+    return s;
+  }
+};
+
+/// Window specification shared by window-aggregate and window-join.
+/// `length` and `slide` are in tuples for count windows and in
+/// milliseconds for time windows; slide == length means tumbling.
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  WindowPolicy policy = WindowPolicy::kCount;
+  double length = 10.0;
+  double slide = 10.0;
+
+  bool IsTumbling() const { return type == WindowType::kTumbling; }
+
+  /// Expected number of tuples resident in one window instance given the
+  /// per-key-partition arrival rate (tuples/sec).
+  double ExpectedTuples(double arrival_rate) const {
+    if (policy == WindowPolicy::kCount) return length;
+    return arrival_rate * (length / 1000.0);
+  }
+
+  /// Expected time (seconds) until a window fires after the first tuple
+  /// arrives; contributes to end-to-end latency.
+  double FireDelaySeconds(double arrival_rate) const {
+    const double effective = slide > 0.0 ? slide : length;
+    if (policy == WindowPolicy::kTime) return effective / 1000.0;
+    // Count window: need `effective` tuples at `arrival_rate` per second.
+    if (arrival_rate <= 0.0) return 0.0;
+    return effective / arrival_rate;
+  }
+};
+
+/// Properties of a source operator.
+struct SourceProperties {
+  double event_rate = 1000.0;  // tuples/sec emitted
+  TupleSchema schema;
+};
+
+/// Properties of a filter operator.
+struct FilterProperties {
+  FilterFunction function = FilterFunction::kLessEqual;
+  DataType literal_class = DataType::kDouble;
+  double selectivity = 0.5;  // fraction of tuples passing (Def. 4)
+};
+
+/// Properties of a window-aggregation operator.
+struct AggregateProperties {
+  AggregateFunction function = AggregateFunction::kAvg;
+  DataType aggregate_class = DataType::kDouble;
+  DataType key_class = DataType::kInt;
+  WindowSpec window;
+  /// Distinct group-by keys per window over window size (Def. 6).
+  double selectivity = 0.1;
+  bool keyed = true;  // keyed streams require hash partitioning
+};
+
+/// Properties of a window-join operator.
+struct JoinProperties {
+  DataType key_class = DataType::kInt;
+  WindowSpec window;
+  /// Join partners over cartesian product of the two windows (Def. 5).
+  double selectivity = 0.01;
+};
+
+const char* ToString(DataType t);
+const char* ToString(OperatorType t);
+const char* ToString(PartitioningStrategy s);
+const char* ToString(FilterFunction f);
+const char* ToString(WindowType t);
+const char* ToString(WindowPolicy p);
+const char* ToString(AggregateFunction f);
+
+}  // namespace zerotune::dsp
+
+#endif  // ZEROTUNE_DSP_TYPES_H_

@@ -1,0 +1,76 @@
+#ifndef ZEROTUNE_NN_MATRIX_H_
+#define ZEROTUNE_NN_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zerotune::nn {
+
+/// Dense row-major matrix of doubles. This is the only numeric container in
+/// the neural-network library; vectors are 1×n or n×1 matrices. Sizes in
+/// this project are tiny (feature vectors and hidden states of width ≤ 256),
+/// so the implementation favors clarity over blocking/vectorization tricks.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a 1×n row vector from values.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// this += other (shapes must match).
+  void Add(const Matrix& other);
+  /// this += scale * other.
+  void AddScaled(const Matrix& other, double scale);
+  /// this *= scale.
+  void Scale(double scale);
+  /// Sets all entries to zero, keeping the shape.
+  void SetZero();
+
+  /// Frobenius-norm squared; used for gradient clipping and tests.
+  double SquaredNorm() const;
+
+  /// Returns a . b (naive triple loop, i-k-j order for locality).
+  static Matrix MatMul(const Matrix& a, const Matrix& b);
+  /// Returns aᵀ . b without materializing the transpose.
+  static Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+  /// Returns a . bᵀ without materializing the transpose.
+  static Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+  Matrix Transposed() const;
+
+  std::string DebugString(size_t max_entries = 16) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace zerotune::nn
+
+#endif  // ZEROTUNE_NN_MATRIX_H_

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace zerotune::nn {
+
+Adam::Adam(ParameterStore* store, Options options)
+    : store_(store), options_(options) {
+  Reset();
+}
+
+void Adam::Reset() {
+  m_.clear();
+  v_.clear();
+  step_count_ = 0;
+  for (const auto& p : store_->parameters()) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step(const GradStore& grads) {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_count_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_count_);
+  const auto& params = store_->parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix* g = grads.Find(params[i]->param_id);
+    if (g == nullptr) continue;
+    Matrix& value = params[i]->value;
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t k = 0; k < value.size(); ++k) {
+      const double gk = g->data()[k];
+      m.data()[k] = options_.beta1 * m.data()[k] + (1.0 - options_.beta1) * gk;
+      v.data()[k] =
+          options_.beta2 * v.data()[k] + (1.0 - options_.beta2) * gk * gk;
+      const double mhat = m.data()[k] / bc1;
+      const double vhat = v.data()[k] / bc2;
+      double update = mhat / (std::sqrt(vhat) + options_.epsilon);
+      if (options_.weight_decay > 0.0) {
+        update += options_.weight_decay * value.data()[k];
+      }
+      value.data()[k] -= options_.learning_rate * update;
+    }
+  }
+}
+
+Sgd::Sgd(ParameterStore* store, Options options)
+    : store_(store), options_(options) {
+  for (const auto& p : store_->parameters()) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step(const GradStore& grads) {
+  const auto& params = store_->parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix* g = grads.Find(params[i]->param_id);
+    if (g == nullptr) continue;
+    Matrix& value = params[i]->value;
+    if (options_.momentum > 0.0) {
+      Matrix& vel = velocity_[i];
+      for (size_t k = 0; k < value.size(); ++k) {
+        vel.data()[k] =
+            options_.momentum * vel.data()[k] - options_.learning_rate * g->data()[k];
+        value.data()[k] += vel.data()[k];
+      }
+    } else {
+      value.AddScaled(*g, -options_.learning_rate);
+    }
+  }
+}
+
+}  // namespace zerotune::nn

@@ -1,0 +1,152 @@
+#include "sim/calibration.h"
+
+#include <cmath>
+#include <functional>
+
+namespace zerotune::sim {
+
+namespace {
+
+using dsp::Cluster;
+using dsp::DataType;
+using dsp::ParallelQueryPlan;
+using dsp::QueryPlan;
+using dsp::TupleSchema;
+
+/// A probe deployment isolating one operator type at a stable load.
+ParallelQueryPlan MakeProbe(dsp::OperatorType type, double rate) {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = rate;
+  s.schema = TupleSchema::Uniform(3, DataType::kDouble);
+  const int src = q.AddSource(s);
+  int tail = src;
+  switch (type) {
+    case dsp::OperatorType::kFilter: {
+      dsp::FilterProperties f;
+      f.selectivity = 0.9;
+      tail = q.AddFilter(src, f).value();
+      break;
+    }
+    case dsp::OperatorType::kWindowAggregate: {
+      dsp::AggregateProperties a;
+      a.window = dsp::WindowSpec{dsp::WindowType::kTumbling,
+                                 dsp::WindowPolicy::kCount, 10, 10};
+      a.selectivity = 0.2;
+      tail = q.AddWindowAggregate(src, a).value();
+      break;
+    }
+    case dsp::OperatorType::kWindowJoin: {
+      dsp::SourceProperties s2 = s;
+      const int src2 = q.AddSource(s2);
+      dsp::JoinProperties j;
+      j.window = dsp::WindowSpec{dsp::WindowType::kTumbling,
+                                 dsp::WindowPolicy::kCount, 10, 10};
+      j.selectivity = 0.01;
+      tail = q.AddWindowJoin(src, src2, j).value();
+      break;
+    }
+    default:
+      break;
+  }
+  q.AddSink(tail);
+  ParallelQueryPlan plan(q, Cluster::Homogeneous("m510", 2).value());
+  plan.SetUniformParallelism(2, /*pin_endpoints=*/false);
+  plan.PlaceRoundRobin();
+  return plan;
+}
+
+/// Golden-section minimization of a 1-D convex-ish objective.
+double GoldenSearch(double lo, double hi, int iterations,
+                    const std::function<double(double)>& f) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < iterations; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return fc < fd ? c : d;
+}
+
+}  // namespace
+
+Result<CalibrationReport> EngineCalibrator::Calibrate(
+    const CostParams& initial) const {
+  CalibrationReport report;
+  report.params = initial;
+
+  struct Target {
+    dsp::OperatorType probe_type;
+    double* constant;  // into report.params
+    double des_latency_ms = 0.0;
+  };
+  std::vector<Target> targets = {
+      {dsp::OperatorType::kFilter, &report.params.filter_work_us},
+      {dsp::OperatorType::kWindowAggregate,
+       &report.params.aggregate_work_us},
+      {dsp::OperatorType::kWindowJoin, &report.params.join_work_us},
+  };
+
+  // Ground-truth probes from the discrete-event simulator.
+  EventSimulator::Options sim_opts;
+  sim_opts.duration_s = options_.sim_duration_s;
+  sim_opts.warmup_s = options_.sim_duration_s / 4.0;
+  sim_opts.seed = options_.seed;
+  sim_opts.params = initial;
+  const EventSimulator des(sim_opts);
+  for (Target& t : targets) {
+    const auto plan = MakeProbe(t.probe_type, options_.probe_rate);
+    ZT_ASSIGN_OR_RETURN(const SimMeasurement m, des.Run(plan));
+    if (m.tuples_completed == 0) {
+      return Status::Internal("calibration probe produced no tuples");
+    }
+    t.des_latency_ms = m.mean_latency_ms;
+    ++report.probes;
+  }
+
+  auto gap = [&](const CostParams& params) {
+    double err = 0.0;
+    const CostEngine engine(params);
+    for (const Target& t : targets) {
+      const auto plan = MakeProbe(t.probe_type, options_.probe_rate);
+      const auto m = engine.MeasureNoiseless(plan);
+      const double lat = m.ok() ? m.value().latency_ms : 1e9;
+      const double d = std::log(std::max(lat, 1e-9)) -
+                       std::log(std::max(t.des_latency_ms, 1e-9));
+      err += d * d;
+    }
+    return err / static_cast<double>(targets.size());
+  };
+
+  report.initial_error = gap(report.params);
+
+  // Coordinate descent: fit each constant with golden-section search.
+  for (Target& t : targets) {
+    const double center = *t.constant;
+    const double lo = center / options_.range_factor;
+    const double hi = center * options_.range_factor;
+    *t.constant = GoldenSearch(lo, hi, options_.search_iterations,
+                               [&](double candidate) {
+                                 *t.constant = candidate;
+                                 return gap(report.params);
+                               });
+  }
+  report.final_error = gap(report.params);
+  return report;
+}
+
+}  // namespace zerotune::sim

@@ -1,0 +1,54 @@
+#ifndef ZEROTUNE_SIM_CALIBRATION_H_
+#define ZEROTUNE_SIM_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cost_engine.h"
+#include "sim/event_simulator.h"
+
+namespace zerotune::sim {
+
+/// Fit report of one calibration run.
+struct CalibrationReport {
+  CostParams params;           // the fitted parameters
+  double initial_error = 0.0;  // mean log-latency gap before fitting
+  double final_error = 0.0;    // mean log-latency gap after fitting
+  size_t probes = 0;           // simulator runs consumed
+};
+
+/// Calibrates the analytical engine's per-operator work constants against
+/// the discrete-event simulator (or, in a real deployment, against
+/// measured executions). Probe plans isolate one operator type each at a
+/// stable load; a golden-section search per constant minimizes the mean
+/// squared log-latency gap between engine and simulator. This is the
+/// offline step a practitioner would run once per engine version to keep
+/// the label generator honest.
+class EngineCalibrator {
+ public:
+  struct Options {
+    /// Probe event rate (kept well below capacity so queueing is mild and
+    /// the service-time term dominates).
+    double probe_rate = 20000.0;
+    double sim_duration_s = 2.0;
+    /// Search iterations per constant.
+    int search_iterations = 12;
+    /// Search range as a multiple of the current constant.
+    double range_factor = 3.0;
+    uint64_t seed = 17;
+  };
+
+  EngineCalibrator() : EngineCalibrator(Options()) {}
+  explicit EngineCalibrator(Options options) : options_(options) {}
+
+  /// Fits {source, filter, aggregate, join, sink} work constants starting
+  /// from `initial`, returning the fitted parameters and error reduction.
+  Result<CalibrationReport> Calibrate(const CostParams& initial) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_CALIBRATION_H_

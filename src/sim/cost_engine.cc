@@ -1,0 +1,392 @@
+#include "sim/cost_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace zerotune::sim {
+
+namespace {
+
+using dsp::DataType;
+using dsp::Operator;
+using dsp::OperatorType;
+using dsp::PartitioningStrategy;
+
+double TypeWorkFactor(DataType t, const CostParams& p) {
+  switch (t) {
+    case DataType::kString: return p.string_work_factor;
+    case DataType::kDouble: return p.double_work_factor;
+    case DataType::kInt: return 1.0;
+  }
+  return 1.0;
+}
+
+double AggFnFactor(dsp::AggregateFunction f) {
+  switch (f) {
+    case dsp::AggregateFunction::kAvg: return 1.2;
+    case dsp::AggregateFunction::kCount: return 0.8;
+    case dsp::AggregateFunction::kMin:
+    case dsp::AggregateFunction::kMax:
+    case dsp::AggregateFunction::kSum:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+uint64_t HashDouble(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Fraction of (upstream instance, downstream instance) communicating
+/// pairs placed on different cluster nodes.
+double RemotePairFraction(const dsp::ParallelQueryPlan& plan, int up_id,
+                          int down_id) {
+  const auto& up = plan.placement(up_id);
+  const auto& down = plan.placement(down_id);
+  if (up.instance_nodes.empty() || down.instance_nodes.empty()) {
+    const size_t n = plan.cluster().num_nodes();
+    return n <= 1 ? 0.0 : 1.0 - 1.0 / static_cast<double>(n);
+  }
+  const bool forward =
+      down.partitioning == PartitioningStrategy::kForward &&
+      up.instance_nodes.size() == down.instance_nodes.size();
+  size_t remote = 0;
+  size_t total = 0;
+  if (forward) {
+    for (size_t i = 0; i < up.instance_nodes.size(); ++i) {
+      ++total;
+      if (up.instance_nodes[i] != down.instance_nodes[i]) ++remote;
+    }
+  } else {
+    for (int un : up.instance_nodes) {
+      for (int dn : down.instance_nodes) {
+        ++total;
+        if (un != dn) ++remote;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+/// Average clock speed (GHz) over the nodes hosting an operator's
+/// instances; cluster average when unplaced.
+double AvgInstanceGhz(const dsp::ParallelQueryPlan& plan, int op_id) {
+  const auto& p = plan.placement(op_id);
+  const dsp::Cluster& cluster = plan.cluster();
+  if (p.instance_nodes.empty()) {
+    double sum = 0.0;
+    for (const auto& n : cluster.nodes()) sum += n.cpu_ghz;
+    return cluster.num_nodes() == 0
+               ? 1.0
+               : sum / static_cast<double>(cluster.num_nodes());
+  }
+  double sum = 0.0;
+  for (int n : p.instance_nodes) {
+    sum += cluster.node(static_cast<size_t>(n)).cpu_ghz;
+  }
+  return sum / static_cast<double>(p.instance_nodes.size());
+}
+
+double MinLinkGbps(const dsp::Cluster& cluster) {
+  double g = 10.0;
+  for (const auto& n : cluster.nodes()) g = std::min(g, n.network_gbps);
+  return g;
+}
+
+}  // namespace
+
+CostEngine::CostEngine(CostParams params, uint64_t noise_seed)
+    : params_(params), noise_seed_(noise_seed) {}
+
+Result<CostMeasurement> CostEngine::Measure(
+    const dsp::ParallelQueryPlan& plan) const {
+  return MeasureImpl(plan, /*with_noise=*/params_.noise_sigma > 0.0);
+}
+
+Result<CostMeasurement> CostEngine::MeasureNoiseless(
+    const dsp::ParallelQueryPlan& plan) const {
+  return MeasureImpl(plan, /*with_noise=*/false);
+}
+
+uint64_t CostEngine::PlanFingerprint(const dsp::ParallelQueryPlan& plan) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const dsp::QueryPlan& q = plan.logical();
+  for (const Operator& op : q.operators()) {
+    h = FnvMix(h, static_cast<uint64_t>(op.type));
+    h = FnvMix(h, static_cast<uint64_t>(plan.parallelism(op.id)));
+    h = FnvMix(h, static_cast<uint64_t>(plan.placement(op.id).partitioning));
+    h = FnvMix(h, static_cast<uint64_t>(op.output_schema.width()));
+    switch (op.type) {
+      case OperatorType::kSource:
+        h = FnvMix(h, HashDouble(op.source.event_rate));
+        break;
+      case OperatorType::kFilter:
+        h = FnvMix(h, HashDouble(op.filter.selectivity));
+        break;
+      case OperatorType::kWindowAggregate:
+        h = FnvMix(h, HashDouble(op.aggregate.window.length));
+        h = FnvMix(h, HashDouble(op.aggregate.selectivity));
+        break;
+      case OperatorType::kWindowJoin:
+        h = FnvMix(h, HashDouble(op.join.window.length));
+        h = FnvMix(h, HashDouble(op.join.selectivity));
+        break;
+      case OperatorType::kSink:
+        break;
+    }
+  }
+  for (const auto& n : plan.cluster().nodes()) {
+    h = FnvMix(h, static_cast<uint64_t>(n.cpu_cores));
+    h = FnvMix(h, HashDouble(n.cpu_ghz));
+  }
+  return h;
+}
+
+double CostEngine::PerTupleWorkUs(const dsp::ParallelQueryPlan& plan,
+                                  int op_id, const CostParams& params) {
+  const dsp::QueryPlan& q = plan.logical();
+  const std::vector<double> offered_in = q.EstimatedInputRates();
+  const std::vector<double> offered_out = q.EstimatedOutputRates();
+  const Operator& op = q.op(op_id);
+  const auto& ups = q.upstreams(op_id);
+  const int degree = plan.parallelism(op_id);
+
+  // Rate-weighted mean input tuple size; serde applies on unchained edges.
+  const double in_rate = offered_in[static_cast<size_t>(op_id)];
+  double weighted_bytes = 0.0;
+  double serde_bytes = 0.0;
+  if (op.type == OperatorType::kSource) {
+    weighted_bytes = op.source.schema.SizeBytes();
+  } else if (in_rate > 0.0) {
+    for (int u : ups) {
+      const double share = offered_out[static_cast<size_t>(u)] / in_rate;
+      const double bytes = q.op(u).output_schema.SizeBytes();
+      weighted_bytes += share * bytes;
+      serde_bytes += share * bytes;
+    }
+    if (plan.IsChainedWithUpstream(op_id)) serde_bytes = 0.0;
+  }
+
+  double work_us = 0.0;
+  switch (op.type) {
+    case OperatorType::kSource:
+      work_us = params.source_work_us;
+      break;
+    case OperatorType::kFilter:
+      work_us = params.filter_work_us *
+                TypeWorkFactor(op.filter.literal_class, params);
+      break;
+    case OperatorType::kWindowAggregate: {
+      const auto& agg = op.aggregate;
+      const double overlap =
+          std::max(1.0, agg.window.length / std::max(agg.window.slide, 1e-9));
+      // Sliding windows maintain `overlap` concurrent panes; tumbling = 1.
+      work_us = params.aggregate_work_us * AggFnFactor(agg.function) *
+                (0.5 + 0.5 * overlap);
+      work_us *= TypeWorkFactor(agg.aggregate_class, params);
+      if (agg.keyed) {
+        work_us +=
+            params.keyed_state_work_us * TypeWorkFactor(agg.key_class, params);
+      }
+      break;
+    }
+    case OperatorType::kWindowJoin: {
+      const auto& join = op.join;
+      work_us = params.join_work_us;
+      work_us +=
+          params.keyed_state_work_us * TypeWorkFactor(join.key_class, params);
+      // Probe cost against the opposite window's content per instance.
+      double window_tuples = 0.0;
+      for (int u : ups) {
+        const double inst_rate =
+            offered_out[static_cast<size_t>(u)] / std::max(1, degree);
+        window_tuples += join.window.ExpectedTuples(inst_rate);
+      }
+      const double overlap = std::max(
+          1.0, join.window.length / std::max(join.window.slide, 1e-9));
+      work_us += params.probe_work_us_per_candidate *
+                 params.join_bucket_fraction * 0.5 * window_tuples * overlap;
+      break;
+    }
+    case OperatorType::kSink:
+      work_us = params.sink_work_us;
+      break;
+  }
+
+  work_us += params.touch_work_us_per_byte * weighted_bytes;
+  work_us += params.serde_work_us_per_byte * serde_bytes;
+
+  // Fan-in merge overhead: an instance multiplexes streams from all
+  // upstream instances.
+  int upstream_instances = 0;
+  for (int u : ups) upstream_instances += plan.parallelism(u);
+  if (upstream_instances > 1) {
+    work_us += params.merge_overhead_us *
+               std::log2(1.0 + static_cast<double>(upstream_instances));
+  }
+  return work_us;
+}
+
+Result<CostMeasurement> CostEngine::MeasureImpl(
+    const dsp::ParallelQueryPlan& plan, bool with_noise) const {
+  ZT_RETURN_IF_ERROR(plan.Validate());
+
+  const dsp::QueryPlan& q = plan.logical();
+  const size_t n_ops = q.num_operators();
+  const std::vector<int> topo = q.TopologicalOrder();
+  const std::vector<double> offered_in = q.EstimatedInputRates();
+  const std::vector<double> offered_out = q.EstimatedOutputRates();
+
+  CostMeasurement m;
+  m.per_operator.resize(n_ops);
+
+  // Pass 1: per-operator service work, capacity, bottleneck detection.
+  std::vector<double> service_s(n_ops, 0.0);
+  std::vector<double> skew(n_ops, 1.0);
+  double bottleneck = 1.0;  // sustainable fraction of the offered load
+
+  for (int id : topo) {
+    const auto& placement = plan.placement(id);
+    const int degree = placement.parallelism;
+
+    const double in_rate = offered_in[static_cast<size_t>(id)];
+    const double work_us = PerTupleWorkUs(plan, id, params_);
+    const double ghz = AvgInstanceGhz(plan, id);
+    const double s = work_us * 1e-6 / std::max(ghz, 0.1);
+    service_s[static_cast<size_t>(id)] = s;
+
+    double op_skew = 1.0;
+    if (placement.partitioning == PartitioningStrategy::kHash && degree > 1) {
+      op_skew = 1.0 + params_.hash_skew_coefficient *
+                          std::log(static_cast<double>(degree));
+    }
+    skew[static_cast<size_t>(id)] = op_skew;
+
+    const double capacity =
+        static_cast<double>(degree) / s * params_.max_utilization / op_skew;
+
+    auto& diag = m.per_operator[static_cast<size_t>(id)];
+    diag.op_id = id;
+    diag.input_rate_tps = in_rate;
+    diag.service_time_us = work_us / std::max(ghz, 0.1);
+    diag.capacity_tps = capacity;
+
+    if (in_rate > 0.0) {
+      bottleneck = std::min(bottleneck, capacity / in_rate);
+    }
+  }
+
+  m.sustained_fraction = std::min(1.0, bottleneck);
+  m.backpressured = bottleneck < 1.0;
+
+  double total_source_rate = 0.0;
+  for (int sid : q.Sources()) {
+    total_source_rate += q.op(sid).source.event_rate;
+  }
+  m.throughput_tps = m.sustained_fraction * total_source_rate;
+
+  // Pass 2: per-operator delays under the throttled (actual) rates, then
+  // critical-path aggregation.
+  const double link_gbps = MinLinkGbps(plan.cluster());
+  std::vector<double> op_delay_ms(n_ops, 0.0);
+  for (int id : topo) {
+    const Operator& op = q.op(id);
+    const int degree = plan.parallelism(id);
+    const double actual_in =
+        offered_in[static_cast<size_t>(id)] * m.sustained_fraction;
+    auto& diag = m.per_operator[static_cast<size_t>(id)];
+    diag.actual_input_rate_tps = actual_in;
+
+    const double s = service_s[static_cast<size_t>(id)];
+    const double mu = 1.0 / s;
+    const double inst_rate =
+        actual_in / static_cast<double>(degree) * skew[static_cast<size_t>(id)];
+    double rho = inst_rate * s;
+    // Saturation is judged on the *offered* load: an operator whose
+    // capacity is below its pre-throttling input rate is the reason the
+    // sources were throttled (robust against FP rounding of the
+    // throttled rate landing exactly on max_utilization).
+    diag.saturated =
+        diag.input_rate_tps > diag.capacity_tps * (1.0 + 1e-9);
+    rho = std::min(rho, params_.saturated_utilization);
+    diag.utilization = rho;
+
+    // M/M/1 waiting time W_q = ρ / (µ (1 − ρ)) while stable; a saturated
+    // instance runs with a full input buffer instead, so tuples wait for
+    // the whole buffer to drain ahead of them (the backpressure latency
+    // cliff).
+    double queue_s = diag.saturated
+                         ? params_.buffer_tuples_per_instance / mu
+                         : rho / (mu * (1.0 - rho));
+    queue_s = std::min(queue_s, params_.max_queue_delay_ms / 1e3);
+    diag.queue_delay_ms = queue_s * 1e3;
+
+    double window_ms = 0.0;
+    if (op.IsWindowed()) {
+      const dsp::WindowSpec& w = op.type == OperatorType::kWindowAggregate
+                                     ? op.aggregate.window
+                                     : op.join.window;
+      const double per_inst =
+          std::max(actual_in / static_cast<double>(degree), 1e-6);
+      // A tuple waits on average half a slide interval before its window
+      // fires.
+      window_ms = 0.5 * w.FireDelaySeconds(per_inst) * 1e3;
+      window_ms = std::min(window_ms, params_.max_queue_delay_ms);
+    }
+    diag.window_delay_ms = window_ms;
+
+    double network_ms = 0.0;
+    if (op.type != OperatorType::kSource &&
+        !(plan.IsChainedWithUpstream(id))) {
+      double in_rate = offered_in[static_cast<size_t>(id)];
+      for (int u : q.upstreams(id)) {
+        const double share =
+            in_rate > 0.0 ? offered_out[static_cast<size_t>(u)] / in_rate
+                          : 1.0;
+        const double remote = RemotePairFraction(plan, u, id);
+        const double bytes = q.op(u).output_schema.SizeBytes();
+        const double transfer_ms = bytes * 8.0 / (link_gbps * 1e9) * 1e3;
+        network_ms +=
+            share * remote * (params_.network_base_latency_ms + transfer_ms);
+      }
+    }
+    diag.network_delay_ms = network_ms;
+
+    op_delay_ms[static_cast<size_t>(id)] =
+        s * 1e3 + diag.queue_delay_ms + window_ms + network_ms;
+  }
+
+  // Critical path: longest source→sink chain of operator delays.
+  std::vector<double> path_ms(n_ops, 0.0);
+  for (int id : topo) {
+    double best_upstream = 0.0;
+    for (int u : q.upstreams(id)) {
+      best_upstream = std::max(best_upstream, path_ms[static_cast<size_t>(u)]);
+    }
+    path_ms[static_cast<size_t>(id)] =
+        best_upstream + op_delay_ms[static_cast<size_t>(id)];
+  }
+  m.latency_ms = path_ms[static_cast<size_t>(q.sink())] +
+                 2.0 * params_.external_io_latency_ms;
+
+  if (with_noise) {
+    Rng noise_rng(PlanFingerprint(plan) ^ noise_seed_);
+    m.latency_ms *= noise_rng.LogNormalFactor(params_.noise_sigma);
+    m.throughput_tps *= noise_rng.LogNormalFactor(params_.noise_sigma);
+  }
+  return m;
+}
+
+}  // namespace zerotune::sim

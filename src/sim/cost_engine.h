@@ -1,0 +1,92 @@
+#ifndef ZEROTUNE_SIM_COST_ENGINE_H_
+#define ZEROTUNE_SIM_COST_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+#include "sim/cost_params.h"
+
+namespace zerotune::sim {
+
+/// Per-operator diagnostics exposed for tests and analysis tools.
+struct OperatorCostBreakdown {
+  int op_id = -1;
+  double input_rate_tps = 0.0;      // offered (pre-backpressure) input rate
+  double actual_input_rate_tps = 0.0;
+  double service_time_us = 0.0;     // per tuple on the average instance
+  double capacity_tps = 0.0;        // sustainable rate across instances
+  double utilization = 0.0;         // hottest-instance utilization
+  double queue_delay_ms = 0.0;
+  double window_delay_ms = 0.0;
+  double network_delay_ms = 0.0;
+  bool saturated = false;
+};
+
+/// Ground-truth style performance measurement of a parallel query plan.
+/// Stands in for the paper's observed Flink executions.
+struct CostMeasurement {
+  /// End-to-end latency (ms): critical path from source ingestion to sink
+  /// emission including processing, queueing, window-fire, network, and
+  /// external I/O delays (paper Def. 1).
+  double latency_ms = 0.0;
+  /// Sustained processed-record rate (tuples/s) — the ingestion rate the
+  /// plan keeps up with after backpressure throttling (paper Def. 2).
+  double throughput_tps = 0.0;
+  /// True when any operator saturated and the sources were throttled.
+  bool backpressured = false;
+  /// Fraction of the offered source rate actually sustained, in (0, 1].
+  double sustained_fraction = 1.0;
+
+  std::vector<OperatorCostBreakdown> per_operator;
+};
+
+/// Analytical queueing-based performance model of a Flink-like DSP engine.
+///
+/// Given a placed ParallelQueryPlan the engine derives, per operator:
+/// per-tuple service work (operator type, tuple width, window config,
+/// key/literal classes, chaining-dependent serde), per-instance load
+/// (partitioning and hash skew aware), capacity and backpressure, queueing
+/// and window-fire delays, and network hop costs — then aggregates the
+/// critical-path latency and sustained throughput. A deterministic,
+/// plan-keyed lognormal noise models measurement variance so that labels
+/// behave like observations rather than a closed-form oracle.
+class CostEngine {
+ public:
+  explicit CostEngine(CostParams params = {}, uint64_t noise_seed = 0x5eed);
+
+  /// Measures the plan. Fails when the plan does not validate or has no
+  /// placement for some operator with parallelism > available nodes' info.
+  Result<CostMeasurement> Measure(const dsp::ParallelQueryPlan& plan) const;
+
+  /// Measurement without the stochastic noise term (used by tests that
+  /// check exact monotonicity properties).
+  Result<CostMeasurement> MeasureNoiseless(
+      const dsp::ParallelQueryPlan& plan) const;
+
+  const CostParams& params() const { return params_; }
+
+  /// Per-tuple processing work (µs at 1 GHz) of one operator under the
+  /// plan's current degrees/partitioning — the shared "hardware" model
+  /// used by both the analytical engine and the discrete-event simulator.
+  /// Includes type-dependent base work, byte-touch, serde on unchained
+  /// edges, window/probe maintenance and fan-in merge overhead.
+  static double PerTupleWorkUs(const dsp::ParallelQueryPlan& plan, int op_id,
+                               const CostParams& params);
+
+ private:
+  Result<CostMeasurement> MeasureImpl(const dsp::ParallelQueryPlan& plan,
+                                      bool with_noise) const;
+
+  /// Stable 64-bit fingerprint of the plan configuration; keys the noise
+  /// so repeated measurements of the same deployment agree.
+  static uint64_t PlanFingerprint(const dsp::ParallelQueryPlan& plan);
+
+  CostParams params_;
+  uint64_t noise_seed_;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_COST_ENGINE_H_

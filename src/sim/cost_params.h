@@ -1,0 +1,81 @@
+#ifndef ZEROTUNE_SIM_COST_PARAMS_H_
+#define ZEROTUNE_SIM_COST_PARAMS_H_
+
+namespace zerotune::sim {
+
+/// Calibration constants of the analytical performance model. All
+/// per-tuple work figures are in microseconds on a reference 1 GHz core;
+/// actual service times divide by the hosting node's clock. The values are
+/// chosen so that the emergent behaviour matches the phenomena the paper
+/// reports (Fig. 3 latency/throughput-vs-parallelism curves with a
+/// chaining discontinuity, backpressure under high event rates, window
+/// fill delays), not to match CloudLab absolute numbers.
+struct CostParams {
+  // Base per-tuple work by operator type (µs at 1 GHz).
+  double source_work_us = 5.0;
+  double filter_work_us = 7.0;
+  double aggregate_work_us = 15.0;
+  double join_work_us = 24.0;
+  double sink_work_us = 4.0;
+
+  /// Extra work per tuple byte touched while processing (µs/byte).
+  double touch_work_us_per_byte = 0.01;
+
+  /// Serialization + deserialization work charged on an edge that crosses
+  /// operator chains (µs/byte). Chained edges skip this entirely — this
+  /// term produces the Fig. 3 chaining discontinuity.
+  double serde_work_us_per_byte = 0.1;
+
+  /// Keyed-window hash/state maintenance per tuple (µs).
+  double keyed_state_work_us = 1.5;
+
+  /// Join probe work per candidate tuple scanned in the opposite window
+  /// (µs); candidates ≈ bucket_fraction · window size per instance.
+  double probe_work_us_per_candidate = 0.05;
+  double join_bucket_fraction = 0.02;
+
+  /// Multiplier on per-tuple work for string-typed comparisons/keys.
+  double string_work_factor = 2.5;
+  double double_work_factor = 1.2;
+
+  /// Maximum sustainable utilization before an instance backpressures.
+  double max_utilization = 0.95;
+
+  /// Hash partitioning load imbalance: hottest instance carries
+  /// (1 + skew_coefficient · ln P) × the mean share.
+  double hash_skew_coefficient = 0.08;
+
+  /// Per-tuple dispatch overhead that grows with the fan-in an instance
+  /// merges, work_us += merge_overhead_us · log2(1 + upstream instances).
+  double merge_overhead_us = 0.3;
+
+  /// One-way network latency for a remote hop (ms) plus per-byte transfer
+  /// at the link speed; charged on unchained edges scaled by the fraction
+  /// of instance pairs living on different nodes.
+  double network_base_latency_ms = 0.5;
+
+  /// Fixed read/write latency against external systems at source and sink
+  /// (paper Def. 1 L_in / L_out), in ms.
+  double external_io_latency_ms = 0.8;
+
+  /// Upper bound on modeled queueing delay per operator (ms); keeps
+  /// backpressured plans finite.
+  double max_queue_delay_ms = 5000.0;
+
+  /// Input-buffer capacity per instance (tuples). A saturated instance
+  /// runs with a full buffer, so its queueing delay is buffer/μ — the
+  /// latency cliff real backpressured deployments exhibit.
+  double buffer_tuples_per_instance = 20000.0;
+
+  /// Residual utilization used for the queueing term when an operator is
+  /// saturated (ρ clamps here).
+  double saturated_utilization = 0.98;
+
+  /// Lognormal sigma of the multiplicative measurement noise applied to
+  /// both metrics; 0 disables noise.
+  double noise_sigma = 0.10;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_COST_PARAMS_H_

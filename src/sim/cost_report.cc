@@ -1,0 +1,66 @@
+#include "sim/cost_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace zerotune::sim {
+
+int CostReport::BottleneckOperator(const CostMeasurement& measurement) {
+  int worst = -1;
+  double worst_headroom = 0.0;
+  for (const OperatorCostBreakdown& diag : measurement.per_operator) {
+    if (diag.input_rate_tps <= 0.0) continue;
+    const double headroom = diag.capacity_tps / diag.input_rate_tps;
+    if (worst < 0 || headroom < worst_headroom) {
+      worst = diag.op_id;
+      worst_headroom = headroom;
+    }
+  }
+  return worst;
+}
+
+std::string CostReport::Render(const dsp::ParallelQueryPlan& plan,
+                               const CostMeasurement& m) {
+  std::ostringstream os;
+  os << "end-to-end latency " << TextTable::Fmt(m.latency_ms)
+     << " ms, throughput " << TextTable::Fmt(m.throughput_tps, 0)
+     << " tuples/s";
+  if (m.backpressured) {
+    os << " (backpressured, sustaining "
+       << TextTable::Fmt(m.sustained_fraction * 100.0, 1)
+       << "% of the offered load)";
+  }
+  os << "\n\n";
+
+  TextTable table({"Operator", "P", "Offered/s", "Capacity/s", "Util",
+                   "Service us", "Queue ms", "Window ms", "Net ms"});
+  const dsp::QueryPlan& q = plan.logical();
+  for (const OperatorCostBreakdown& diag : m.per_operator) {
+    const dsp::Operator& op = q.op(diag.op_id);
+    table.AddRow({op.name, std::to_string(plan.parallelism(op.id)),
+                  TextTable::Fmt(diag.input_rate_tps, 0),
+                  TextTable::Fmt(diag.capacity_tps, 0),
+                  TextTable::Fmt(diag.utilization, 2) +
+                      (diag.saturated ? "!" : ""),
+                  TextTable::Fmt(diag.service_time_us, 1),
+                  TextTable::Fmt(diag.queue_delay_ms, 2),
+                  TextTable::Fmt(diag.window_delay_ms, 2),
+                  TextTable::Fmt(diag.network_delay_ms, 2)});
+  }
+  table.Print(os);
+
+  const int bottleneck = BottleneckOperator(m);
+  if (bottleneck >= 0) {
+    const auto& diag =
+        m.per_operator[static_cast<size_t>(bottleneck)];
+    os << "\nbottleneck: " << q.op(bottleneck).name << " ("
+       << TextTable::Fmt(diag.capacity_tps, 0) << " tuples/s capacity vs "
+       << TextTable::Fmt(diag.input_rate_tps, 0) << " offered"
+       << (diag.saturated ? ", saturated" : "") << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace zerotune::sim

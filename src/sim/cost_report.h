@@ -1,0 +1,27 @@
+#ifndef ZEROTUNE_SIM_COST_REPORT_H_
+#define ZEROTUNE_SIM_COST_REPORT_H_
+
+#include <string>
+
+#include "dsp/parallel_plan.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::sim {
+
+/// Human-readable decomposition of a cost measurement: where every
+/// millisecond of the end-to-end latency comes from (service, queueing,
+/// window fire, network) and which operator caps the throughput. The
+/// operator-level counterpart of the model-side PredictionExplainer.
+struct CostReport {
+  /// Renders a per-operator breakdown table plus a bottleneck summary.
+  static std::string Render(const dsp::ParallelQueryPlan& plan,
+                            const CostMeasurement& measurement);
+
+  /// Id of the operator with the smallest capacity/offered-load headroom
+  /// (the throughput bottleneck), or -1 when the plan is empty.
+  static int BottleneckOperator(const CostMeasurement& measurement);
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_COST_REPORT_H_

@@ -1,0 +1,405 @@
+#include "sim/event_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::sim {
+
+namespace {
+
+using dsp::Operator;
+using dsp::OperatorType;
+using dsp::PartitioningStrategy;
+using dsp::WindowPolicy;
+
+enum class EventKind {
+  kEmit = 0,     // a source instance generates the next raw tuple
+  kArrival = 1,  // a tuple lands in an instance's input queue
+  kDone = 2,     // an instance finishes servicing a tuple
+  kTimer = 3,    // a time-based window fires
+};
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  int op = -1;
+  int inst = -1;
+  int side = 0;           // upstream edge index (joins care)
+  double created_at = 0;  // original source emission time of the tuple
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct QueuedTuple {
+  double created_at = 0.0;
+  int side = 0;
+};
+
+struct InstanceState {
+  std::deque<QueuedTuple> queue;
+  bool busy = false;
+  QueuedTuple in_service;
+  double busy_seconds = 0.0;
+  size_t max_queue_depth = 0;
+  size_t processed = 0;
+  // Aggregate pane accumulation.
+  size_t pane_count = 0;
+  double pane_created_sum = 0.0;
+  // Join windows per side: (simulation arrival time, created_at).
+  std::deque<std::pair<double, double>> window[2];
+  double join_credit = 0.0;
+  uint64_t rr_counter = 0;  // rebalance routing
+  size_t dropped = 0;
+};
+
+struct OpContext {
+  const Operator* op = nullptr;
+  int degree = 1;
+  std::vector<double> service_mean_s;  // per instance
+  std::vector<InstanceState> instances;
+  std::vector<int> downstreams;
+  bool chained_input = false;  // single upstream in the same chain
+};
+
+double Expo(zerotune::Rng* rng, double mean) {
+  const double u = std::max(rng->Uniform(), 1e-12);
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+Result<SimMeasurement> EventSimulator::Run(
+    const dsp::ParallelQueryPlan& plan) const {
+  ZT_RETURN_IF_ERROR(plan.Validate());
+  const dsp::QueryPlan& q = plan.logical();
+  zerotune::Rng rng(options_.seed);
+
+  // Build per-operator contexts.
+  std::vector<OpContext> ops(q.num_operators());
+  for (const Operator& op : q.operators()) {
+    OpContext& ctx = ops[static_cast<size_t>(op.id)];
+    ctx.op = &op;
+    ctx.degree = plan.parallelism(op.id);
+    ctx.instances.resize(static_cast<size_t>(ctx.degree));
+    ctx.downstreams = q.downstreams(op.id);
+    ctx.chained_input = plan.IsChainedWithUpstream(op.id);
+    const double work_us =
+        CostEngine::PerTupleWorkUs(plan, op.id, options_.params);
+    const auto& nodes = plan.placement(op.id).instance_nodes;
+    ctx.service_mean_s.resize(static_cast<size_t>(ctx.degree));
+    for (int i = 0; i < ctx.degree; ++i) {
+      double ghz = 2.0;
+      if (!nodes.empty()) {
+        ghz = plan.cluster().node(static_cast<size_t>(nodes[static_cast<size_t>(i)])).cpu_ghz;
+      } else if (plan.cluster().num_nodes() > 0) {
+        ghz = plan.cluster().node(0).cpu_ghz;
+      }
+      ctx.service_mean_s[static_cast<size_t>(i)] =
+          work_us * 1e-6 / std::max(ghz, 0.1);
+    }
+  }
+
+  // Pre-compute per-edge remote probability (network hop likelihood).
+  auto remote_prob = [&](int up, int down) -> double {
+    const auto& un = plan.placement(up).instance_nodes;
+    const auto& dn = plan.placement(down).instance_nodes;
+    if (un.empty() || dn.empty()) {
+      const size_t n = plan.cluster().num_nodes();
+      return n <= 1 ? 0.0 : 1.0 - 1.0 / static_cast<double>(n);
+    }
+    size_t remote = 0;
+    for (int a : un) {
+      for (int b : dn) {
+        if (a != b) ++remote;
+      }
+    }
+    return static_cast<double>(remote) /
+           static_cast<double>(un.size() * dn.size());
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+
+  // Seed source emission events.
+  for (int sid : q.Sources()) {
+    const OpContext& ctx = ops[static_cast<size_t>(sid)];
+    const double inst_rate =
+        ctx.op->source.event_rate / static_cast<double>(ctx.degree);
+    for (int i = 0; i < ctx.degree; ++i) {
+      Event e;
+      e.kind = EventKind::kEmit;
+      e.op = sid;
+      e.inst = i;
+      e.time = Expo(&rng, 1.0 / std::max(inst_rate, 1e-9));
+      pq.push(e);
+    }
+  }
+
+  // Seed time-window timers.
+  for (const Operator& op : q.operators()) {
+    if (!op.IsWindowed()) continue;
+    const dsp::WindowSpec& w = op.type == OperatorType::kWindowAggregate
+                                   ? op.aggregate.window
+                                   : op.join.window;
+    if (op.type == OperatorType::kWindowAggregate &&
+        w.policy == WindowPolicy::kTime) {
+      const OpContext& ctx = ops[static_cast<size_t>(op.id)];
+      for (int i = 0; i < ctx.degree; ++i) {
+        Event e;
+        e.kind = EventKind::kTimer;
+        e.op = op.id;
+        e.inst = i;
+        e.time = w.slide / 1000.0;
+        pq.push(e);
+      }
+    }
+  }
+
+  SimMeasurement result;
+  std::vector<double> latencies_ms;
+  size_t source_completions = 0;
+  size_t sink_outputs = 0;
+  size_t events = 0;
+  const double measure_start = options_.warmup_s;
+
+  // Forward declarations via lambdas.
+  auto start_service = [&](int op_id, int inst, double now) {
+    OpContext& ctx = ops[static_cast<size_t>(op_id)];
+    InstanceState& st = ctx.instances[static_cast<size_t>(inst)];
+    if (st.busy || st.queue.empty()) return;
+    st.busy = true;
+    st.in_service = st.queue.front();
+    st.queue.pop_front();
+    const double service =
+        Expo(&rng, ctx.service_mean_s[static_cast<size_t>(inst)]);
+    st.busy_seconds += service;
+    ++st.processed;
+    Event e;
+    e.kind = EventKind::kDone;
+    e.op = op_id;
+    e.inst = inst;
+    e.time = now + service;
+    pq.push(e);
+  };
+
+  auto route_downstream = [&](int from_op, int from_inst, double now,
+                              double created_at) {
+    const OpContext& ctx = ops[static_cast<size_t>(from_op)];
+    for (int d : ctx.downstreams) {
+      OpContext& dctx = ops[static_cast<size_t>(d)];
+      const auto& dplace = plan.placement(d);
+      int target = 0;
+      switch (dplace.partitioning) {
+        case PartitioningStrategy::kForward:
+          target = from_inst % dctx.degree;
+          break;
+        case PartitioningStrategy::kRebalance: {
+          InstanceState& st = ops[static_cast<size_t>(from_op)]
+                                  .instances[static_cast<size_t>(from_inst)];
+          target = static_cast<int>(st.rr_counter++ %
+                                    static_cast<uint64_t>(dctx.degree));
+          break;
+        }
+        case PartitioningStrategy::kHash:
+          target = static_cast<int>(
+              rng.UniformInt(0, static_cast<int64_t>(dctx.degree) - 1));
+          break;
+      }
+      // Which side of a join does this edge feed?
+      int side = 0;
+      const auto& ups = q.upstreams(d);
+      for (size_t s = 0; s < ups.size(); ++s) {
+        if (ups[s] == from_op) side = static_cast<int>(s);
+      }
+      double delay = 0.0;
+      if (!dctx.chained_input) {
+        const double bytes = ctx.op->output_schema.SizeBytes();
+        const double gbps = 10.0;
+        const double transfer_s = bytes * 8.0 / (gbps * 1e9);
+        const bool remote = rng.Bernoulli(remote_prob(from_op, d));
+        delay = remote
+                    ? options_.params.network_base_latency_ms / 1e3 + transfer_s
+                    : 0.01e-3;
+      }
+      Event e;
+      e.kind = EventKind::kArrival;
+      e.op = d;
+      e.inst = target;
+      e.side = side;
+      e.created_at = created_at;
+      e.time = now + delay;
+      pq.push(e);
+    }
+  };
+
+  auto enqueue_tuple = [&](int op_id, int inst, int side, double now,
+                           double created_at) {
+    OpContext& ctx = ops[static_cast<size_t>(op_id)];
+    InstanceState& st = ctx.instances[static_cast<size_t>(inst)];
+    if (st.queue.size() >= options_.max_queue_per_instance) {
+      ++st.dropped;
+      result.backpressured = true;
+      return;
+    }
+    st.queue.push_back({created_at, side});
+    st.max_queue_depth = std::max(st.max_queue_depth, st.queue.size());
+    start_service(op_id, inst, now);
+  };
+
+  while (!pq.empty() && events < options_.max_events) {
+    Event ev = pq.top();
+    pq.pop();
+    if (ev.time > options_.duration_s) break;
+    ++events;
+    OpContext& ctx = ops[static_cast<size_t>(ev.op)];
+
+    switch (ev.kind) {
+      case EventKind::kEmit: {
+        // Source generator: the raw event enters the source's own queue
+        // (the source does serialization work per tuple), then schedules
+        // the next emission.
+        enqueue_tuple(ev.op, ev.inst, 0, ev.time, ev.time);
+        const double inst_rate = ctx.op->source.event_rate /
+                                 static_cast<double>(ctx.degree);
+        Event next = ev;
+        next.time = ev.time + Expo(&rng, 1.0 / std::max(inst_rate, 1e-9));
+        pq.push(next);
+        break;
+      }
+      case EventKind::kArrival:
+        enqueue_tuple(ev.op, ev.inst, ev.side, ev.time, ev.created_at);
+        break;
+      case EventKind::kTimer: {
+        // Time-based aggregate window fire.
+        InstanceState& st = ctx.instances[static_cast<size_t>(ev.inst)];
+        const auto& agg = ctx.op->aggregate;
+        if (st.pane_count > 0) {
+          const double overlap = std::max(
+              1.0, agg.window.length / std::max(agg.window.slide, 1e-9));
+          const size_t outputs = static_cast<size_t>(std::lround(
+              agg.selectivity * static_cast<double>(st.pane_count) * overlap));
+          const double mean_created =
+              st.pane_created_sum / static_cast<double>(st.pane_count);
+          for (size_t k = 0; k < outputs; ++k) {
+            route_downstream(ev.op, ev.inst, ev.time, mean_created);
+          }
+          st.pane_count = 0;
+          st.pane_created_sum = 0.0;
+        }
+        Event next = ev;
+        next.time = ev.time + agg.window.slide / 1000.0;
+        pq.push(next);
+        break;
+      }
+      case EventKind::kDone: {
+        InstanceState& st = ctx.instances[static_cast<size_t>(ev.inst)];
+        const QueuedTuple tup = st.in_service;
+        st.busy = false;
+        switch (ctx.op->type) {
+          case OperatorType::kSource:
+            if (ev.time >= measure_start) ++source_completions;
+            route_downstream(ev.op, ev.inst, ev.time, tup.created_at);
+            break;
+          case OperatorType::kFilter:
+            if (rng.Bernoulli(ctx.op->filter.selectivity)) {
+              route_downstream(ev.op, ev.inst, ev.time, tup.created_at);
+            }
+            break;
+          case OperatorType::kWindowAggregate: {
+            const auto& agg = ctx.op->aggregate;
+            st.pane_count += 1;
+            st.pane_created_sum += tup.created_at;
+            if (agg.window.policy == WindowPolicy::kCount &&
+                static_cast<double>(st.pane_count) >= agg.window.slide) {
+              const double overlap = std::max(
+                  1.0,
+                  agg.window.length / std::max(agg.window.slide, 1e-9));
+              const size_t outputs = static_cast<size_t>(std::lround(
+                  agg.selectivity * agg.window.slide * overlap));
+              const double mean_created =
+                  st.pane_created_sum / static_cast<double>(st.pane_count);
+              for (size_t k = 0; k < outputs; ++k) {
+                route_downstream(ev.op, ev.inst, ev.time, mean_created);
+              }
+              st.pane_count = 0;
+              st.pane_created_sum = 0.0;
+            }
+            break;
+          }
+          case OperatorType::kWindowJoin: {
+            const auto& join = ctx.op->join;
+            const int side = tup.side == 0 ? 0 : 1;
+            const int opp = 1 - side;
+            // Evict expired window content.
+            auto evict = [&](std::deque<std::pair<double, double>>& w) {
+              if (join.window.policy == WindowPolicy::kCount) {
+                while (static_cast<double>(w.size()) > join.window.length) {
+                  w.pop_front();
+                }
+              } else {
+                const double horizon = ev.time - join.window.length / 1000.0;
+                while (!w.empty() && w.front().first < horizon) w.pop_front();
+              }
+            };
+            st.window[side].emplace_back(ev.time, tup.created_at);
+            evict(st.window[side]);
+            evict(st.window[opp]);
+            st.join_credit += join.selectivity *
+                              static_cast<double>(st.window[opp].size());
+            while (st.join_credit >= 1.0) {
+              route_downstream(ev.op, ev.inst, ev.time, tup.created_at);
+              st.join_credit -= 1.0;
+            }
+            break;
+          }
+          case OperatorType::kSink:
+            if (ev.time >= measure_start) {
+              ++sink_outputs;
+              const double latency_ms = (ev.time - tup.created_at) * 1e3;
+              latencies_ms.push_back(latency_ms);
+              result.latency_histogram.Record(latency_ms);
+            }
+            break;
+        }
+        start_service(ev.op, ev.inst, ev.time);
+        break;
+      }
+    }
+  }
+
+  const double window_s = std::max(options_.duration_s - measure_start, 1e-9);
+  result.tuples_completed = latencies_ms.size();
+  result.mean_latency_ms = Mean(latencies_ms);
+  result.median_latency_ms = Median(latencies_ms);
+  result.p95_latency_ms = Percentile(latencies_ms, 95.0);
+  result.throughput_tps =
+      static_cast<double>(source_completions) / window_s;
+  result.sink_output_tps = static_cast<double>(sink_outputs) / window_s;
+  // Residual queue growth also signals backpressure; collect per-operator
+  // statistics for cross-checks against the analytical engine.
+  const double horizon = options_.duration_s;
+  for (const OpContext& ctx : ops) {
+    OperatorSimStats stats;
+    stats.op_id = ctx.op->id;
+    double busy_sum = 0.0;
+    for (const InstanceState& st : ctx.instances) {
+      if (st.dropped > 0 || st.queue.size() > 1000) result.backpressured = true;
+      busy_sum += std::min(st.busy_seconds, horizon) / horizon;
+      stats.max_queue_depth = std::max(stats.max_queue_depth,
+                                       st.max_queue_depth);
+      stats.tuples_processed += st.processed;
+    }
+    stats.avg_utilization =
+        busy_sum / static_cast<double>(std::max<size_t>(1, ctx.instances.size()));
+    result.per_operator.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace zerotune::sim

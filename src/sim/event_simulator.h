@@ -1,0 +1,77 @@
+#ifndef ZEROTUNE_SIM_EVENT_SIMULATOR_H_
+#define ZEROTUNE_SIM_EVENT_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+#include "sim/cost_params.h"
+
+namespace zerotune::sim {
+
+/// Per-operator statistics gathered during a simulation run; used to
+/// cross-check the analytical engine's utilization/backpressure model.
+struct OperatorSimStats {
+  int op_id = -1;
+  /// Mean busy fraction across the operator's instances.
+  double avg_utilization = 0.0;
+  /// Largest input-queue depth observed on any instance.
+  size_t max_queue_depth = 0;
+  /// Tuples serviced across all instances (whole run).
+  size_t tuples_processed = 0;
+};
+
+/// Result of a discrete-event simulation run.
+struct SimMeasurement {
+  double mean_latency_ms = 0.0;
+  double median_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  /// Source-side ingestion rate the plan sustained (tuples/s).
+  double throughput_tps = 0.0;
+  /// Tuples delivered at the sink per second.
+  double sink_output_tps = 0.0;
+  size_t tuples_completed = 0;
+  bool backpressured = false;
+  std::vector<OperatorSimStats> per_operator;
+  /// Full end-to-end latency distribution (ms).
+  zerotune::Histogram latency_histogram{1e-3, 1e7, 20};
+};
+
+/// Per-tuple discrete-event simulator of a parallel query plan.
+///
+/// Every operator instance is a single-server FIFO queue with exponential
+/// service times whose mean comes from the shared CostEngine work model.
+/// Sources emit Poisson arrivals; filters drop probabilistically; window
+/// operators buffer tuples and emit on window fire; joins probe the
+/// opposite window; unchained edges add network delay. The simulator is an
+/// independent cross-check of the analytical CostEngine: tests assert the
+/// two agree on ordering/trends (not exact values).
+///
+/// Intended for small/medium event rates — the event count is
+/// rate × duration × plan-size and is capped by `max_events`.
+class EventSimulator {
+ public:
+  struct Options {
+    double duration_s = 5.0;       // simulated horizon
+    double warmup_s = 1.0;         // latencies before this are discarded
+    uint64_t seed = 7;             // drives all stochastic choices
+    size_t max_events = 5'000'000; // hard safety cap
+    size_t max_queue_per_instance = 100'000;
+    CostParams params;
+  };
+
+  EventSimulator() : EventSimulator(Options()) {}
+  explicit EventSimulator(Options options) : options_(options) {}
+
+  /// Runs the simulation; fails when the plan does not validate.
+  Result<SimMeasurement> Run(const dsp::ParallelQueryPlan& plan) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_EVENT_SIMULATOR_H_

@@ -1,0 +1,154 @@
+#include "workload/benchmarks.h"
+
+namespace zerotune::workload {
+
+namespace {
+
+using dsp::AggregateFunction;
+using dsp::AggregateProperties;
+using dsp::DataType;
+using dsp::FilterFunction;
+using dsp::FilterProperties;
+using dsp::SourceProperties;
+using dsp::TupleSchema;
+using dsp::WindowPolicy;
+using dsp::WindowSpec;
+using dsp::WindowType;
+
+Result<dsp::Cluster> ResolveCluster(const BenchmarkQueries::Options& options,
+                                    zerotune::Rng* rng) {
+  if (options.cluster) return *options.cluster;
+  return dsp::Cluster::FromTypes(ParameterSpace::UnseenClusterTypes(),
+                                 /*count=*/3, /*network_gbps=*/10.0, rng);
+}
+
+WindowSpec SlidingTimeWindow(double length_ms, double slide_ms) {
+  WindowSpec w;
+  w.type = WindowType::kSliding;
+  w.policy = WindowPolicy::kTime;
+  w.length = length_ms;
+  w.slide = slide_ms;
+  return w;
+}
+
+}  // namespace
+
+Result<GeneratedQuery> BenchmarkQueries::SpikeDetection(Options options,
+                                                        zerotune::Rng* rng) {
+  GeneratedQuery g;
+  g.structure = QueryStructure::kSpikeDetection;
+
+  // Intel-lab sensor readings: (sensor id, temperature, humidity).
+  SourceProperties src;
+  src.event_rate = options.event_rate;
+  src.schema.fields = {DataType::kInt, DataType::kDouble, DataType::kDouble};
+  const int s = g.plan.AddSource(src);
+
+  // 2 s moving average per sensor, refreshed every 500 ms.
+  AggregateProperties avg;
+  avg.function = AggregateFunction::kAvg;
+  avg.aggregate_class = DataType::kDouble;
+  avg.key_class = DataType::kInt;
+  avg.window = SlidingTimeWindow(2000.0, 500.0);
+  avg.selectivity = 0.054;  // ~54 distinct sensors per 1000-tuple window
+  avg.keyed = true;
+  ZT_ASSIGN_OR_RETURN(const int a, g.plan.AddWindowAggregate(s, avg));
+
+  // Spike when the reading deviates >15% from the moving average.
+  FilterProperties spike;
+  spike.function = FilterFunction::kGreater;
+  spike.literal_class = DataType::kDouble;
+  spike.selectivity = 0.03;
+  ZT_ASSIGN_OR_RETURN(const int f, g.plan.AddFilter(a, spike));
+
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(f).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, ResolveCluster(options, rng));
+  return g;
+}
+
+Result<GeneratedQuery> BenchmarkQueries::SmartGridLocal(Options options,
+                                                        zerotune::Rng* rng) {
+  GeneratedQuery g;
+  g.structure = QueryStructure::kSmartGridLocal;
+
+  // DEBS'14 smart plugs: (house id, plug id, measurement type, load).
+  SourceProperties src;
+  src.event_rate = options.event_rate;
+  src.schema.fields = {DataType::kInt, DataType::kInt, DataType::kInt,
+                       DataType::kDouble};
+  const int s = g.plan.AddSource(src);
+
+  // Keep only load measurements.
+  FilterProperties load_only;
+  load_only.function = FilterFunction::kEqual;
+  load_only.literal_class = DataType::kInt;
+  load_only.selectivity = 0.5;
+  ZT_ASSIGN_OR_RETURN(const int f, g.plan.AddFilter(s, load_only));
+
+  // Per-plug average load, 10 s window sliding by 3 s.
+  AggregateProperties per_plug;
+  per_plug.function = AggregateFunction::kAvg;
+  per_plug.aggregate_class = DataType::kDouble;
+  per_plug.key_class = DataType::kInt;
+  per_plug.window = SlidingTimeWindow(10000.0, 3000.0);
+  per_plug.selectivity = 0.08;
+  per_plug.keyed = true;
+  ZT_ASSIGN_OR_RETURN(const int a, g.plan.AddWindowAggregate(f, per_plug));
+
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(a).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, ResolveCluster(options, rng));
+  return g;
+}
+
+Result<GeneratedQuery> BenchmarkQueries::SmartGridGlobal(Options options,
+                                                         zerotune::Rng* rng) {
+  GeneratedQuery g;
+  g.structure = QueryStructure::kSmartGridGlobal;
+
+  SourceProperties src;
+  src.event_rate = options.event_rate;
+  src.schema.fields = {DataType::kInt, DataType::kInt, DataType::kInt,
+                       DataType::kDouble};
+  const int s = g.plan.AddSource(src);
+
+  // Per-house average load, 10 s window sliding by 3 s.
+  AggregateProperties per_house;
+  per_house.function = AggregateFunction::kAvg;
+  per_house.window = SlidingTimeWindow(10000.0, 3000.0);
+  per_house.aggregate_class = DataType::kDouble;
+  per_house.key_class = DataType::kInt;
+  per_house.selectivity = 0.02;
+  per_house.keyed = true;
+  ZT_ASSIGN_OR_RETURN(const int a1, g.plan.AddWindowAggregate(s, per_house));
+
+  // Global average over the per-house averages.
+  AggregateProperties global;
+  global.function = AggregateFunction::kAvg;
+  global.aggregate_class = DataType::kDouble;
+  global.key_class = DataType::kInt;
+  global.window = SlidingTimeWindow(10000.0, 3000.0);
+  global.selectivity = 0.05;
+  global.keyed = false;  // single global group
+  ZT_ASSIGN_OR_RETURN(const int a2, g.plan.AddWindowAggregate(a1, global));
+
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(a2).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, ResolveCluster(options, rng));
+  return g;
+}
+
+Result<GeneratedQuery> BenchmarkQueries::Build(QueryStructure structure,
+                                               Options options,
+                                               zerotune::Rng* rng) {
+  switch (structure) {
+    case QueryStructure::kSpikeDetection:
+      return SpikeDetection(options, rng);
+    case QueryStructure::kSmartGridLocal:
+      return SmartGridLocal(options, rng);
+    case QueryStructure::kSmartGridGlobal:
+      return SmartGridGlobal(options, rng);
+    default:
+      return Status::InvalidArgument("not a benchmark structure");
+  }
+}
+
+}  // namespace zerotune::workload

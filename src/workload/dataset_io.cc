@@ -1,0 +1,115 @@
+#include "workload/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "dsp/plan_io.h"
+
+namespace zerotune::workload {
+
+namespace {
+
+constexpr char kMagic[] = "zerotune-dataset-v1";
+
+const QueryStructure kAllStructures[] = {
+    QueryStructure::kLinear,
+    QueryStructure::kTwoWayJoin,
+    QueryStructure::kThreeWayJoin,
+    QueryStructure::kTwoChainedFilters,
+    QueryStructure::kThreeChainedFilters,
+    QueryStructure::kFourChainedFilters,
+    QueryStructure::kFourWayJoin,
+    QueryStructure::kFiveWayJoin,
+    QueryStructure::kSixWayJoin,
+    QueryStructure::kSpikeDetection,
+    QueryStructure::kSmartGridLocal,
+    QueryStructure::kSmartGridGlobal,
+};
+
+}  // namespace
+
+Result<QueryStructure> QueryStructureFromString(const std::string& name) {
+  for (QueryStructure s : kAllStructures) {
+    if (name == ToString(s)) return s;
+  }
+  return Status::InvalidArgument("unknown query structure: " + name);
+}
+
+Status DatasetIO::Save(const Dataset& dataset, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  f.precision(17);
+  f << kMagic << " " << dataset.size() << "\n";
+  for (const LabeledQuery& q : dataset.samples()) {
+    f << "sample structure=" << ToString(q.structure)
+      << " latency_ms=" << q.latency_ms
+      << " throughput_tps=" << q.throughput_tps << "\n";
+    ZT_RETURN_IF_ERROR(dsp::PlanIO::WriteParallelPlan(q.plan, f));
+    f << "end\n";
+  }
+  return f ? Status::OK() : Status::IOError("dataset write failed");
+}
+
+Result<Dataset> DatasetIO::Load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string magic;
+  size_t count = 0;
+  f >> magic >> count;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad dataset header in " + path);
+  }
+  std::string line;
+  std::getline(f, line);  // finish header line
+
+  Dataset out;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(f, line)) {
+      return Status::InvalidArgument("truncated dataset (sample " +
+                                     std::to_string(i) + ")");
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind != "sample") {
+      return Status::InvalidArgument("expected sample line, got: " + line);
+    }
+    QueryStructure structure = QueryStructure::kLinear;
+    double latency = 0.0, throughput = 0.0;
+    std::string token;
+    while (ls >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("bad sample token: " + token);
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "structure") {
+        ZT_ASSIGN_OR_RETURN(structure, QueryStructureFromString(value));
+      } else if (key == "latency_ms") {
+        latency = std::stod(value);
+      } else if (key == "throughput_tps") {
+        throughput = std::stod(value);
+      }
+    }
+    // Collect the embedded plan up to the trailing "end".
+    std::stringstream plan_text;
+    bool closed = false;
+    while (std::getline(f, line)) {
+      if (line == "end") {
+        closed = true;
+        break;
+      }
+      plan_text << line << "\n";
+    }
+    if (!closed) {
+      return Status::InvalidArgument("sample missing end marker");
+    }
+    ZT_ASSIGN_OR_RETURN(dsp::ParallelQueryPlan plan,
+                        dsp::PlanIO::ReadParallelPlan(plan_text));
+    out.Add(LabeledQuery(std::move(plan), latency, throughput, structure));
+  }
+  return out;
+}
+
+}  // namespace zerotune::workload

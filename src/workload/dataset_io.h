@@ -1,0 +1,30 @@
+#ifndef ZEROTUNE_WORKLOAD_DATASET_IO_H_
+#define ZEROTUNE_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/dataset.h"
+
+namespace zerotune::workload {
+
+/// Persistence for labeled corpora, so data collection (expensive on a
+/// real cluster, cheap here) and training can run as separate steps — the
+/// paper's Fig. 2 pipeline, and what the CLI's `collect`/`train`
+/// subcommands exchange.
+///
+/// Format: a header line, then per sample
+///   sample structure=<name> latency_ms=<d> throughput_tps=<d>
+///   <embedded parallel plan: see dsp::PlanIO>
+///   end
+struct DatasetIO {
+  static Status Save(const Dataset& dataset, const std::string& path);
+  static Result<Dataset> Load(const std::string& path);
+};
+
+/// Structure tag <-> string helpers shared with the CLI.
+Result<QueryStructure> QueryStructureFromString(const std::string& name);
+
+}  // namespace zerotune::workload
+
+#endif  // ZEROTUNE_WORKLOAD_DATASET_IO_H_

@@ -1,0 +1,259 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+namespace zerotune::workload {
+
+namespace {
+
+using dsp::AggregateFunction;
+using dsp::AggregateProperties;
+using dsp::DataType;
+using dsp::FilterFunction;
+using dsp::FilterProperties;
+using dsp::JoinProperties;
+using dsp::TupleSchema;
+using dsp::WindowPolicy;
+using dsp::WindowSpec;
+using dsp::WindowType;
+
+double LogUniform(zerotune::Rng* rng, double lo, double hi) {
+  return std::exp(rng->Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(Options options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+double QueryGenerator::SampleEventRate() {
+  if (options_.overrides.event_rate) return *options_.overrides.event_rate;
+  const auto& rates = options_.unseen_ranges
+                          ? ParameterSpace::UnseenEventRates()
+                          : ParameterSpace::SeenEventRates();
+  return rng_.Choice(rates);
+}
+
+TupleSchema QueryGenerator::SampleSchema() {
+  int width = 0;
+  if (options_.overrides.tuple_width) {
+    width = *options_.overrides.tuple_width;
+  } else {
+    const auto& widths = options_.unseen_ranges
+                             ? ParameterSpace::UnseenTupleWidths()
+                             : ParameterSpace::SeenTupleWidths();
+    width = rng_.Choice(widths);
+  }
+  TupleSchema schema;
+  schema.fields.reserve(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    if (options_.overrides.tuple_type) {
+      schema.fields.push_back(*options_.overrides.tuple_type);
+    } else {
+      schema.fields.push_back(
+          static_cast<DataType>(rng_.UniformInt(0, 2)));
+    }
+  }
+  return schema;
+}
+
+WindowSpec QueryGenerator::SampleWindow() {
+  WindowSpec w;
+  w.policy = options_.overrides.window_policy
+                 ? *options_.overrides.window_policy
+                 : (rng_.Bernoulli(0.5) ? WindowPolicy::kCount
+                                        : WindowPolicy::kTime);
+  w.type = options_.overrides.window_type
+               ? *options_.overrides.window_type
+               : (rng_.Bernoulli(0.5) ? WindowType::kTumbling
+                                      : WindowType::kSliding);
+  if (w.policy == WindowPolicy::kCount) {
+    if (options_.overrides.window_length) {
+      w.length = *options_.overrides.window_length;
+    } else {
+      w.length = rng_.Choice(options_.unseen_ranges
+                                 ? ParameterSpace::UnseenWindowLengths()
+                                 : ParameterSpace::SeenWindowLengths());
+    }
+  } else {
+    if (options_.overrides.window_duration_ms) {
+      w.length = *options_.overrides.window_duration_ms;
+    } else {
+      w.length = rng_.Choice(options_.unseen_ranges
+                                 ? ParameterSpace::UnseenWindowDurations()
+                                 : ParameterSpace::SeenWindowDurations());
+    }
+  }
+  if (w.type == WindowType::kSliding) {
+    const double ratio = rng_.Choice(ParameterSpace::SlidingRatios());
+    w.slide = std::max(1.0, w.length * ratio);
+  } else {
+    w.slide = w.length;
+  }
+  return w;
+}
+
+FilterProperties QueryGenerator::SampleFilter() {
+  FilterProperties f;
+  f.function = static_cast<FilterFunction>(rng_.UniformInt(0, 5));
+  f.literal_class = static_cast<DataType>(rng_.UniformInt(0, 2));
+  f.selectivity = LogUniform(&rng_, 0.05, 1.0);
+  return f;
+}
+
+AggregateProperties QueryGenerator::SampleAggregate() {
+  AggregateProperties a;
+  a.function = static_cast<AggregateFunction>(rng_.UniformInt(0, 4));
+  a.aggregate_class =
+      rng_.Bernoulli(0.7) ? DataType::kDouble : DataType::kInt;
+  a.key_class = rng_.Bernoulli(0.7) ? DataType::kInt : DataType::kString;
+  a.window = SampleWindow();
+  a.selectivity = rng_.Uniform(0.02, 0.5);
+  a.keyed = true;
+  return a;
+}
+
+JoinProperties QueryGenerator::SampleJoin(int /*degree_hint*/) {
+  JoinProperties j;
+  j.key_class = rng_.Bernoulli(0.7) ? DataType::kInt : DataType::kString;
+  j.window = SampleWindow();
+  j.selectivity = LogUniform(&rng_, 1e-3, 5e-2);
+  return j;
+}
+
+Result<dsp::Cluster> QueryGenerator::SampleCluster() {
+  const std::vector<std::string> types =
+      options_.overrides.cluster_types
+          ? *options_.overrides.cluster_types
+          : (options_.unseen_ranges ? ParameterSpace::UnseenClusterTypes()
+                                    : ParameterSpace::SeenClusterTypes());
+  int workers = 0;
+  if (options_.overrides.num_workers) {
+    workers = *options_.overrides.num_workers;
+  } else {
+    workers = rng_.Choice(options_.unseen_ranges
+                              ? ParameterSpace::UnseenWorkerCounts()
+                              : ParameterSpace::SeenWorkerCounts());
+  }
+  const double gbps = options_.overrides.network_gbps
+                          ? *options_.overrides.network_gbps
+                          : rng_.Choice(ParameterSpace::NetworkSpeedsGbps());
+  return dsp::Cluster::FromTypes(types, workers, gbps, &rng_);
+}
+
+Result<GeneratedQuery> QueryGenerator::MakeLinear() {
+  // "Linear" covers the family of pipeline-shaped queries the paper's PQP
+  // generator produces: one or two filters, usually (but not always)
+  // topped with a keyed window aggregation. The variety matters — it is
+  // what lets the trained model generalize to longer unseen filter chains
+  // and window-less plans.
+  GeneratedQuery g;
+  g.structure = QueryStructure::kLinear;
+  dsp::SourceProperties src;
+  src.event_rate = SampleEventRate();
+  src.schema = SampleSchema();
+  int tail = g.plan.AddSource(src);
+  const int num_filters = static_cast<int>(rng_.UniformInt(1, 2));
+  for (int i = 0; i < num_filters; ++i) {
+    ZT_ASSIGN_OR_RETURN(tail, g.plan.AddFilter(tail, SampleFilter()));
+  }
+  if (rng_.Bernoulli(0.7)) {
+    ZT_ASSIGN_OR_RETURN(tail,
+                        g.plan.AddWindowAggregate(tail, SampleAggregate()));
+    // Post-aggregation filters (e.g. threshold alerts on windowed values)
+    // appear in real pipelines such as spike detection.
+    if (rng_.Bernoulli(0.3)) {
+      ZT_ASSIGN_OR_RETURN(tail, g.plan.AddFilter(tail, SampleFilter()));
+    }
+  }
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(tail).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, SampleCluster());
+  return g;
+}
+
+Result<GeneratedQuery> QueryGenerator::MakeChainedFilters(int num_filters) {
+  GeneratedQuery g;
+  dsp::SourceProperties src;
+  src.event_rate = SampleEventRate();
+  src.schema = SampleSchema();
+  int tail = g.plan.AddSource(src);
+  for (int i = 0; i < num_filters; ++i) {
+    ZT_ASSIGN_OR_RETURN(tail, g.plan.AddFilter(tail, SampleFilter()));
+  }
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(tail).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, SampleCluster());
+  return g;
+}
+
+Result<GeneratedQuery> QueryGenerator::MakeNWayJoin(int num_sources) {
+  GeneratedQuery g;
+  // Left-deep join tree over `num_sources` filtered streams, topped with a
+  // window aggregation — matches the paper's n-way-join templates.
+  std::vector<int> streams;
+  for (int i = 0; i < num_sources; ++i) {
+    dsp::SourceProperties src;
+    src.event_rate = SampleEventRate();
+    src.schema = SampleSchema();
+    const int s = g.plan.AddSource(src);
+    ZT_ASSIGN_OR_RETURN(const int f, g.plan.AddFilter(s, SampleFilter()));
+    streams.push_back(f);
+  }
+  int tail = streams[0];
+  for (int i = 1; i < num_sources; ++i) {
+    ZT_ASSIGN_OR_RETURN(
+        tail, g.plan.AddWindowJoin(tail, streams[static_cast<size_t>(i)],
+                                   SampleJoin(num_sources)));
+  }
+  ZT_ASSIGN_OR_RETURN(const int a,
+                      g.plan.AddWindowAggregate(tail, SampleAggregate()));
+  ZT_RETURN_IF_ERROR(g.plan.AddSink(a).status());
+  ZT_ASSIGN_OR_RETURN(g.cluster, SampleCluster());
+  return g;
+}
+
+Result<GeneratedQuery> QueryGenerator::Generate(QueryStructure structure) {
+  Result<GeneratedQuery> result = Status::Unimplemented("");
+  switch (structure) {
+    case QueryStructure::kLinear:
+      result = MakeLinear();
+      break;
+    case QueryStructure::kTwoWayJoin:
+      result = MakeNWayJoin(2);
+      break;
+    case QueryStructure::kThreeWayJoin:
+      result = MakeNWayJoin(3);
+      break;
+    case QueryStructure::kTwoChainedFilters:
+      result = MakeChainedFilters(2);
+      break;
+    case QueryStructure::kThreeChainedFilters:
+      result = MakeChainedFilters(3);
+      break;
+    case QueryStructure::kFourChainedFilters:
+      result = MakeChainedFilters(4);
+      break;
+    case QueryStructure::kFourWayJoin:
+      result = MakeNWayJoin(4);
+      break;
+    case QueryStructure::kFiveWayJoin:
+      result = MakeNWayJoin(5);
+      break;
+    case QueryStructure::kSixWayJoin:
+      result = MakeNWayJoin(6);
+      break;
+    case QueryStructure::kSpikeDetection:
+    case QueryStructure::kSmartGridLocal:
+    case QueryStructure::kSmartGridGlobal:
+      return Status::InvalidArgument(
+          "benchmark structures are built by workload/benchmarks.h");
+  }
+  if (result.ok()) result.value().structure = structure;
+  return result;
+}
+
+Result<GeneratedQuery> QueryGenerator::GenerateTraining() {
+  const auto structures = TrainingStructures();
+  return Generate(rng_.Choice(structures));
+}
+
+}  // namespace zerotune::workload

@@ -1,0 +1,83 @@
+#ifndef ZEROTUNE_WORKLOAD_GENERATOR_H_
+#define ZEROTUNE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dsp/cluster.h"
+#include "dsp/query_plan.h"
+#include "workload/parameter_space.h"
+
+namespace zerotune::workload {
+
+/// Pins individual workload parameters; anything unset is sampled from the
+/// configured (seen or unseen) Table III range. Used by the Exp. 3
+/// parameter sweeps (tuple width, event rate, window config, #workers).
+struct GeneratorOverrides {
+  std::optional<double> event_rate;
+  std::optional<int> tuple_width;
+  std::optional<dsp::DataType> tuple_type;
+  std::optional<double> window_length;        // count-based windows (tuples)
+  std::optional<double> window_duration_ms;   // time-based windows
+  std::optional<dsp::WindowPolicy> window_policy;
+  std::optional<dsp::WindowType> window_type;
+  std::optional<int> num_workers;
+  std::optional<std::vector<std::string>> cluster_types;
+  std::optional<double> network_gbps;
+};
+
+/// A generated logical query plus the cluster it is to be deployed on.
+/// Parallelism degrees are assigned later by an enumeration strategy
+/// (OptiSample or random — paper Sec. IV).
+struct GeneratedQuery {
+  dsp::QueryPlan plan;
+  dsp::Cluster cluster;
+  QueryStructure structure = QueryStructure::kLinear;
+};
+
+/// Random streaming-query generator mirroring the paper's PQP query
+/// generator on top of Flink: samples data-stream, operator and resource
+/// parameters from Table III and assembles plans for each query structure.
+class QueryGenerator {
+ public:
+  struct Options {
+    /// Samples from the unseen (testing) ranges instead of the seen ones.
+    bool unseen_ranges = false;
+    GeneratorOverrides overrides;
+  };
+
+  QueryGenerator(Options options, uint64_t seed);
+
+  /// Generates one query of the given structure (synthetic structures
+  /// only; benchmark structures live in workload/benchmarks.h).
+  Result<GeneratedQuery> Generate(QueryStructure structure);
+
+  /// Generates a uniformly chosen training structure (linear/2-way/3-way).
+  Result<GeneratedQuery> GenerateTraining();
+
+  zerotune::Rng& rng() { return rng_; }
+
+ private:
+  double SampleEventRate();
+  dsp::TupleSchema SampleSchema();
+  dsp::WindowSpec SampleWindow();
+  dsp::FilterProperties SampleFilter();
+  dsp::AggregateProperties SampleAggregate();
+  dsp::JoinProperties SampleJoin(int degree_hint);
+  Result<dsp::Cluster> SampleCluster();
+
+  Result<GeneratedQuery> MakeLinear();
+  Result<GeneratedQuery> MakeChainedFilters(int num_filters);
+  Result<GeneratedQuery> MakeNWayJoin(int num_sources);
+
+  Options options_;
+  zerotune::Rng rng_;
+};
+
+}  // namespace zerotune::workload
+
+#endif  // ZEROTUNE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,121 @@
+#include "workload/parameter_space.h"
+
+namespace zerotune::workload {
+
+const std::vector<double>& ParameterSpace::SeenEventRates() {
+  static const std::vector<double> kValues = {
+      100,   200,   400,   500,    700,    1000,  2000, 3000,
+      5000,  10000, 20000, 50000,  100000, 250000, 500000, 1000000};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::UnseenEventRates() {
+  static const std::vector<double> kValues = {
+      50,    75,     150,    300,    450,     600,     850,
+      1500,  4000,   7500,   15000,  35000,   175000,  375000,
+      750000, 1500000, 2000000, 3000000, 4000000};
+  return kValues;
+}
+
+const std::vector<int>& ParameterSpace::SeenTupleWidths() {
+  static const std::vector<int> kValues = {1, 2, 3, 4, 5};
+  return kValues;
+}
+
+const std::vector<int>& ParameterSpace::UnseenTupleWidths() {
+  static const std::vector<int> kValues = {6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::SeenWindowLengths() {
+  static const std::vector<double> kValues = {5, 10, 25, 50, 75, 100};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::UnseenWindowLengths() {
+  static const std::vector<double> kValues = {2,  3,   4,   7,   17,  37,  62,
+                                              82, 150, 200, 250, 300, 350, 400};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::SeenWindowDurations() {
+  static const std::vector<double> kValues = {250, 500, 1000, 2000, 3000};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::UnseenWindowDurations() {
+  static const std::vector<double> kValues = {50,   100,  150,  200,  325,
+                                              750,  1500, 2500, 4000, 5000,
+                                              6000, 7000, 8000, 9000, 10000};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::SlidingRatios() {
+  static const std::vector<double> kValues = {0.3, 0.4, 0.5, 0.6, 0.7};
+  return kValues;
+}
+
+const std::vector<double>& ParameterSpace::NetworkSpeedsGbps() {
+  static const std::vector<double> kValues = {1.0, 10.0};
+  return kValues;
+}
+
+const std::vector<int>& ParameterSpace::SeenWorkerCounts() {
+  static const std::vector<int> kValues = {2, 4, 6};
+  return kValues;
+}
+
+const std::vector<int>& ParameterSpace::UnseenWorkerCounts() {
+  static const std::vector<int> kValues = {3, 8, 10};
+  return kValues;
+}
+
+const std::vector<std::string>& ParameterSpace::SeenClusterTypes() {
+  static const std::vector<std::string> kValues = {"m510", "rs620"};
+  return kValues;
+}
+
+const std::vector<std::string>& ParameterSpace::UnseenClusterTypes() {
+  static const std::vector<std::string> kValues = {
+      "c6420", "c8220x", "c8220", "dss7500", "c6320", "rs6525"};
+  return kValues;
+}
+
+const char* ToString(QueryStructure s) {
+  switch (s) {
+    case QueryStructure::kLinear: return "linear";
+    case QueryStructure::kTwoWayJoin: return "2-way-join";
+    case QueryStructure::kThreeWayJoin: return "3-way-join";
+    case QueryStructure::kTwoChainedFilters: return "2-filter-chained";
+    case QueryStructure::kThreeChainedFilters: return "3-filter-chained";
+    case QueryStructure::kFourChainedFilters: return "4-filter-chained";
+    case QueryStructure::kFourWayJoin: return "4-way-join";
+    case QueryStructure::kFiveWayJoin: return "5-way-join";
+    case QueryStructure::kSixWayJoin: return "6-way-join";
+    case QueryStructure::kSpikeDetection: return "spike-detection";
+    case QueryStructure::kSmartGridLocal: return "smart-grid-local";
+    case QueryStructure::kSmartGridGlobal: return "smart-grid-global";
+  }
+  return "?";
+}
+
+std::vector<QueryStructure> TrainingStructures() {
+  return {QueryStructure::kLinear, QueryStructure::kTwoWayJoin,
+          QueryStructure::kThreeWayJoin};
+}
+
+std::vector<QueryStructure> UnseenSyntheticStructures() {
+  return {QueryStructure::kTwoChainedFilters,
+          QueryStructure::kThreeChainedFilters,
+          QueryStructure::kFourChainedFilters,
+          QueryStructure::kFourWayJoin,
+          QueryStructure::kFiveWayJoin,
+          QueryStructure::kSixWayJoin};
+}
+
+std::vector<QueryStructure> BenchmarkStructures() {
+  return {QueryStructure::kSpikeDetection, QueryStructure::kSmartGridLocal,
+          QueryStructure::kSmartGridGlobal};
+}
+
+}  // namespace zerotune::workload

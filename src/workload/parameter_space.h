@@ -1,0 +1,76 @@
+#ifndef ZEROTUNE_WORKLOAD_PARAMETER_SPACE_H_
+#define ZEROTUNE_WORKLOAD_PARAMETER_SPACE_H_
+
+#include <string>
+#include <vector>
+
+namespace zerotune::workload {
+
+/// The training ("seen") and testing ("unseen") parameter ranges of paper
+/// Table III, reproduced verbatim. The seen ranges drive training-data
+/// generation; the unseen ranges drive the generalization experiments
+/// (inter-/extrapolation in Exp. 3, unseen hardware in Exp. 2, unseen
+/// structures in Exp. 1).
+struct ParameterSpace {
+  // Event rate (events/sec).
+  static const std::vector<double>& SeenEventRates();
+  static const std::vector<double>& UnseenEventRates();
+
+  // Tuple width (number of fields).
+  static const std::vector<int>& SeenTupleWidths();    // 1..5
+  static const std::vector<int>& UnseenTupleWidths();  // 6..15
+
+  // Count-based window length (tuples).
+  static const std::vector<double>& SeenWindowLengths();
+  static const std::vector<double>& UnseenWindowLengths();
+
+  // Time-based window duration (ms).
+  static const std::vector<double>& SeenWindowDurations();
+  static const std::vector<double>& UnseenWindowDurations();
+
+  // Sliding length as a ratio of the window length (both ranges).
+  static const std::vector<double>& SlidingRatios();
+
+  // Network link speeds (Gbps, both ranges).
+  static const std::vector<double>& NetworkSpeedsGbps();
+
+  // Number of worker nodes.
+  static const std::vector<int>& SeenWorkerCounts();    // 2, 4, 6
+  static const std::vector<int>& UnseenWorkerCounts();  // 3, 8, 10
+
+  // Cluster (CloudLab) node types.
+  static const std::vector<std::string>& SeenClusterTypes();
+  static const std::vector<std::string>& UnseenClusterTypes();
+};
+
+/// Query plan structures. The first three are the training structures;
+/// the rest only appear at test time (paper Table III).
+enum class QueryStructure {
+  kLinear = 0,
+  kTwoWayJoin,
+  kThreeWayJoin,
+  // Unseen structures:
+  kTwoChainedFilters,
+  kThreeChainedFilters,
+  kFourChainedFilters,
+  kFourWayJoin,
+  kFiveWayJoin,
+  kSixWayJoin,
+  // Unseen public benchmarks:
+  kSpikeDetection,
+  kSmartGridLocal,
+  kSmartGridGlobal,
+};
+
+const char* ToString(QueryStructure s);
+
+/// The three structures used for training-data generation.
+std::vector<QueryStructure> TrainingStructures();
+/// The synthetic structures only used at test time.
+std::vector<QueryStructure> UnseenSyntheticStructures();
+/// The public benchmark queries (Exp. 1③).
+std::vector<QueryStructure> BenchmarkStructures();
+
+}  // namespace zerotune::workload
+
+#endif  // ZEROTUNE_WORKLOAD_PARAMETER_SPACE_H_

@@ -1,0 +1,65 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+namespace zerotune::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+const char* RateTrace::ToString(Shape shape) {
+  switch (shape) {
+    case Shape::kConstant: return "constant";
+    case Shape::kDiurnal: return "diurnal";
+    case Shape::kSpike: return "spike";
+    case Shape::kRamp: return "ramp";
+  }
+  return "?";
+}
+
+Result<std::vector<RateTrace::Point>> RateTrace::Generate(
+    const Options& options) {
+  if (options.base_rate <= 0.0 || options.peak_rate < options.base_rate) {
+    return Status::InvalidArgument(
+        "need 0 < base_rate <= peak_rate in a rate trace");
+  }
+  if (options.duration_s <= 0.0 || options.interval_s <= 0.0) {
+    return Status::InvalidArgument("duration and interval must be positive");
+  }
+  zerotune::Rng rng(options.seed);
+  std::vector<Point> points;
+  for (double t = 0.0; t <= options.duration_s; t += options.interval_s) {
+    const double progress = t / options.duration_s;
+    double rate = options.base_rate;
+    switch (options.shape) {
+      case Shape::kConstant:
+        break;
+      case Shape::kDiurnal: {
+        // Trough at the start/end, peak in the middle of the "day".
+        const double phase = 0.5 * (1.0 - std::cos(2.0 * kPi * progress));
+        rate = options.base_rate +
+               (options.peak_rate - options.base_rate) * phase;
+        break;
+      }
+      case Shape::kSpike: {
+        const double lo = 0.5 - options.spike_width_fraction / 2.0;
+        const double hi = 0.5 + options.spike_width_fraction / 2.0;
+        rate = (progress >= lo && progress <= hi) ? options.peak_rate
+                                                  : options.base_rate;
+        break;
+      }
+      case Shape::kRamp:
+        rate = options.base_rate +
+               (options.peak_rate - options.base_rate) * progress;
+        break;
+    }
+    if (options.jitter_sigma > 0.0) {
+      rate *= rng.LogNormalFactor(options.jitter_sigma);
+    }
+    points.push_back(Point{t, rate});
+  }
+  return points;
+}
+
+}  // namespace zerotune::workload

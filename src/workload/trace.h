@@ -1,0 +1,53 @@
+#ifndef ZEROTUNE_WORKLOAD_TRACE_H_
+#define ZEROTUNE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace zerotune::workload {
+
+/// A time-varying event-rate profile: the workload side of runtime
+/// re-tuning scenarios (rate spikes, diurnal load, ramps). Produces a
+/// sequence of (timestamp, rate) observations that drive the
+/// ReconfigurationPlanner in examples and tests.
+class RateTrace {
+ public:
+  struct Point {
+    double time_s = 0.0;
+    double rate_tps = 0.0;
+  };
+
+  enum class Shape {
+    kConstant,  // flat with jitter
+    kDiurnal,   // sinusoidal day curve between base and peak
+    kSpike,     // flat with a multiplicative burst in the middle
+    kRamp,      // linear growth from base to peak
+  };
+
+  struct Options {
+    Shape shape = Shape::kDiurnal;
+    double base_rate = 10000.0;
+    double peak_rate = 500000.0;
+    double duration_s = 86400.0;   // one simulated day
+    double interval_s = 3600.0;    // observation cadence
+    /// Multiplicative lognormal jitter applied to every observation.
+    double jitter_sigma = 0.05;
+    /// Spike shape only: burst width as a fraction of the duration.
+    double spike_width_fraction = 0.1;
+    uint64_t seed = 11;
+  };
+
+  /// Generates the observation sequence; fails on non-positive rates or
+  /// durations.
+  static Result<std::vector<Point>> Generate(const Options& options);
+
+  static const char* ToString(Shape shape);
+};
+
+}  // namespace zerotune::workload
+
+#endif  // ZEROTUNE_WORKLOAD_TRACE_H_

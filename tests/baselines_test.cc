@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dhalion.h"
+#include "baselines/ds2.h"
+#include "baselines/flat_mlp.h"
+#include "baselines/flat_vector.h"
+#include "baselines/greedy.h"
+#include "baselines/linear_model.h"
+#include "baselines/random_forest.h"
+#include "common/statistics.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+
+namespace zerotune::baselines {
+namespace {
+
+workload::Dataset SmallCorpus(size_t n, uint64_t seed = 31) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  return core::BuildDataset(enumerator, opts).value();
+}
+
+const dsp::ParallelQueryPlan& AnyPlan(const workload::Dataset& d) {
+  return d.sample(0).plan;
+}
+
+TEST(FlatVectorTest, DimMatchesEncodeAndNames) {
+  const auto corpus = SmallCorpus(3);
+  const auto v = FlatVectorEncoder::Encode(AnyPlan(corpus));
+  EXPECT_EQ(v.size(), FlatVectorEncoder::Dim());
+  EXPECT_EQ(FlatVectorEncoder::FeatureNames().size(),
+            FlatVectorEncoder::Dim());
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);  // bias slot
+}
+
+TEST(FlatVectorTest, EncodingIsStructureBlind) {
+  // Two different wirings with identical aggregate statistics encode the
+  // same — the very limitation Fig. 5 demonstrates.
+  dsp::QueryPlan q1, q2;
+  dsp::SourceProperties s;
+  s.event_rate = 1000;
+  s.schema = dsp::TupleSchema::Uniform(2, dsp::DataType::kInt);
+  // q1: src -> f1 -> f2 -> sink (chain).
+  {
+    const int src = q1.AddSource(s);
+    dsp::FilterProperties f;
+    f.selectivity = 0.5;
+    const int f1 = q1.AddFilter(src, f).value();
+    const int f2 = q1.AddFilter(f1, f).value();
+    q1.AddSink(f2);
+  }
+  // q2: same ops, same depth, same selectivities.
+  {
+    const int src = q2.AddSource(s);
+    dsp::FilterProperties f;
+    f.selectivity = 0.5;
+    const int f1 = q2.AddFilter(src, f).value();
+    const int f2 = q2.AddFilter(f1, f).value();
+    q2.AddSink(f2);
+  }
+  const dsp::Cluster c = dsp::Cluster::Homogeneous("m510", 2).value();
+  EXPECT_EQ(FlatVectorEncoder::Encode(dsp::ParallelQueryPlan(q1, c)),
+            FlatVectorEncoder::Encode(dsp::ParallelQueryPlan(q2, c)));
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3.
+  std::vector<double> a = {2, 1, 1, 3};
+  std::vector<double> b = {5, 10};
+  ASSERT_TRUE(SolveLinearSystem(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  std::vector<double> a = {1, 2, 2, 4};
+  std::vector<double> b = {1, 2};
+  EXPECT_FALSE(SolveLinearSystem(a, b, 2));
+}
+
+TEST(LinearRegressionTest, FitsAndPredicts) {
+  const auto corpus = SmallCorpus(80);
+  LinearRegressionModel model;
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  const auto p = model.Predict(AnyPlan(corpus));
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.value().latency_ms, 0.0);
+}
+
+TEST(LinearRegressionTest, PredictBeforeFitFails) {
+  const auto corpus = SmallCorpus(2);
+  LinearRegressionModel model;
+  EXPECT_FALSE(model.Predict(AnyPlan(corpus)).ok());
+}
+
+TEST(LinearRegressionTest, BetterThanConstantOnTrainSet) {
+  const auto corpus = SmallCorpus(120);
+  LinearRegressionModel model;
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  // Compare squared log-error against predicting the mean.
+  std::vector<double> logs;
+  for (const auto& s : corpus.samples()) {
+    logs.push_back(std::log1p(s.latency_ms));
+  }
+  const double mean_log = Mean(logs);
+  double model_se = 0.0, const_se = 0.0;
+  for (const auto& s : corpus.samples()) {
+    const double pred =
+        std::log1p(model.Predict(s.plan).value().latency_ms);
+    const double truth = std::log1p(s.latency_ms);
+    model_se += (pred - truth) * (pred - truth);
+    const_se += (mean_log - truth) * (mean_log - truth);
+  }
+  EXPECT_LT(model_se, const_se);
+}
+
+TEST(FlatMlpTest, FitsAndPredicts) {
+  const auto corpus = SmallCorpus(60);
+  FlatMlpModel::Options opts;
+  opts.epochs = 30;
+  FlatMlpModel model(opts);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  const auto p = model.Predict(AnyPlan(corpus));
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.value().throughput_tps, 0.0);
+}
+
+TEST(FlatMlpTest, PredictBeforeFitFails) {
+  const auto corpus = SmallCorpus(2);
+  FlatMlpModel model;
+  EXPECT_FALSE(model.Predict(AnyPlan(corpus)).ok());
+}
+
+TEST(RandomForestTest, FitsAndPredicts) {
+  const auto corpus = SmallCorpus(80);
+  RandomForestModel::Options opts;
+  opts.num_trees = 10;
+  RandomForestModel model(opts);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_GT(model.num_nodes(), 10u);
+  const auto p = model.Predict(AnyPlan(corpus));
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.value().latency_ms, 0.0);
+}
+
+TEST(RandomForestTest, InterpolatesTrainingData) {
+  const auto corpus = SmallCorpus(100);
+  RandomForestModel model;
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  // Median in-sample q-error should be moderate (forests memorize well).
+  std::vector<double> qerrors;
+  for (const auto& s : corpus.samples()) {
+    qerrors.push_back(
+        QError(s.latency_ms, model.Predict(s.plan).value().latency_ms));
+  }
+  EXPECT_LT(Median(qerrors), 3.0);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  const auto corpus = SmallCorpus(40);
+  RandomForestModel a, b;
+  ASSERT_TRUE(a.Fit(corpus).ok());
+  ASSERT_TRUE(b.Fit(corpus).ok());
+  EXPECT_DOUBLE_EQ(a.Predict(AnyPlan(corpus)).value().latency_ms,
+                   b.Predict(AnyPlan(corpus)).value().latency_ms);
+}
+
+dsp::QueryPlan HeavyQuery(double rate) {
+  dsp::QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = rate;
+  s.schema = dsp::TupleSchema::Uniform(4, dsp::DataType::kDouble);
+  const int src = q.AddSource(s);
+  dsp::FilterProperties f;
+  f.selectivity = 0.9;
+  const int fid = q.AddFilter(src, f).value();
+  dsp::AggregateProperties a;
+  a.selectivity = 0.3;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  return q;
+}
+
+TEST(GreedyTunerTest, ProducesValidPlan) {
+  GreedyHeuristicTuner tuner;
+  const auto plan = tuner.Tune(HeavyQuery(300000),
+                               dsp::Cluster::Homogeneous("m510", 4).value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().Validate().ok());
+}
+
+TEST(GreedyTunerTest, ScalesWithLoad) {
+  GreedyHeuristicTuner tuner;
+  const dsp::Cluster c = dsp::Cluster::Homogeneous("rs6525", 4).value();
+  const auto light = tuner.Tune(HeavyQuery(1000), c).value();
+  const auto heavy = tuner.Tune(HeavyQuery(2000000), c).value();
+  EXPECT_GE(heavy.parallelism(1), light.parallelism(1));
+  EXPECT_GT(heavy.parallelism(1), 1);
+}
+
+TEST(DhalionTunerTest, ResolvesBackpressure) {
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+  DhalionTuner tuner;
+  const auto outcome =
+      tuner.Tune(HeavyQuery(400000),
+                 dsp::Cluster::Homogeneous("rs6525", 4).value(), engine);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome.value().executions, 1);
+  const auto m = engine.MeasureNoiseless(outcome.value().plan).value();
+  EXPECT_FALSE(m.backpressured);
+}
+
+TEST(Ds2TunerTest, ResolvesBackpressureInFewSteps) {
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+  Ds2Tuner tuner;
+  const auto outcome =
+      tuner.Tune(HeavyQuery(400000),
+                 dsp::Cluster::Homogeneous("rs6525", 4).value(), engine);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome.value().executions, 3);
+  const auto m = engine.MeasureNoiseless(outcome.value().plan).value();
+  EXPECT_FALSE(m.backpressured);
+}
+
+TEST(Ds2TunerTest, ProportionalToLoad) {
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+  Ds2Tuner tuner;
+  const dsp::Cluster c = dsp::Cluster::Homogeneous("rs6525", 4).value();
+  const auto light = tuner.Tune(HeavyQuery(5000), c, engine).value();
+  const auto heavy = tuner.Tune(HeavyQuery(800000), c, engine).value();
+  // Aggregate degree scales with load.
+  EXPECT_GT(heavy.plan.parallelism(2), light.plan.parallelism(2));
+}
+
+TEST(Ds2TunerTest, RespectsCoreCap) {
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+  Ds2Tuner tuner;
+  const dsp::Cluster tiny = dsp::Cluster::Homogeneous("m510", 1).value();
+  const auto outcome = tuner.Tune(HeavyQuery(4000000), tiny, engine).value();
+  for (const auto& op : outcome.plan.logical().operators()) {
+    EXPECT_LE(outcome.plan.parallelism(op.id), 8);
+  }
+}
+
+TEST(DhalionTunerTest, LeavesLightQueriesAlone) {
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+  DhalionTuner tuner;
+  const auto outcome =
+      tuner.Tune(HeavyQuery(200),
+                 dsp::Cluster::Homogeneous("m510", 2).value(), engine)
+          .value();
+  for (const auto& op : outcome.plan.logical().operators()) {
+    EXPECT_LE(outcome.plan.parallelism(op.id), 2);
+  }
+}
+
+}  // namespace
+}  // namespace zerotune::baselines

@@ -1,0 +1,87 @@
+#include "workload/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::workload {
+namespace {
+
+TEST(BenchmarkQueriesTest, SpikeDetectionStructure) {
+  Rng rng(1);
+  const auto g = BenchmarkQueries::SpikeDetection({}, &rng);
+  ASSERT_TRUE(g.ok());
+  const auto& q = g.value().plan;
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.CountType(dsp::OperatorType::kWindowAggregate), 1u);
+  EXPECT_EQ(q.CountType(dsp::OperatorType::kFilter), 1u);
+  EXPECT_EQ(g.value().structure, QueryStructure::kSpikeDetection);
+}
+
+TEST(BenchmarkQueriesTest, SpikeDetectionUsesTwoSecondWindow) {
+  Rng rng(1);
+  const auto g = BenchmarkQueries::SpikeDetection({}, &rng).value();
+  bool found = false;
+  for (const auto& op : g.plan.operators()) {
+    if (op.type == dsp::OperatorType::kWindowAggregate) {
+      EXPECT_DOUBLE_EQ(op.aggregate.window.length, 2000.0);
+      EXPECT_EQ(op.aggregate.window.policy, dsp::WindowPolicy::kTime);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchmarkQueriesTest, SmartGridLocalStructure) {
+  Rng rng(2);
+  const auto g = BenchmarkQueries::SmartGridLocal({}, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.value().plan.Validate().ok());
+  // 10 s window with 3 s slide.
+  for (const auto& op : g.value().plan.operators()) {
+    if (op.type == dsp::OperatorType::kWindowAggregate) {
+      EXPECT_DOUBLE_EQ(op.aggregate.window.length, 10000.0);
+      EXPECT_DOUBLE_EQ(op.aggregate.window.slide, 3000.0);
+    }
+  }
+}
+
+TEST(BenchmarkQueriesTest, SmartGridGlobalHasTwoAggregations) {
+  Rng rng(3);
+  const auto g = BenchmarkQueries::SmartGridGlobal({}, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().plan.CountType(dsp::OperatorType::kWindowAggregate),
+            2u);
+}
+
+TEST(BenchmarkQueriesTest, BuildDispatch) {
+  Rng rng(4);
+  for (QueryStructure s : BenchmarkStructures()) {
+    const auto g = BenchmarkQueries::Build(s, {}, &rng);
+    ASSERT_TRUE(g.ok()) << ToString(s);
+    EXPECT_EQ(g.value().structure, s);
+  }
+  EXPECT_FALSE(
+      BenchmarkQueries::Build(QueryStructure::kLinear, {}, &rng).ok());
+}
+
+TEST(BenchmarkQueriesTest, DefaultClusterUsesUnseenTypes) {
+  Rng rng(5);
+  const auto g = BenchmarkQueries::SpikeDetection({}, &rng).value();
+  const auto unseen = ParameterSpace::UnseenClusterTypes();
+  for (const auto& n : g.cluster.nodes()) {
+    EXPECT_NE(std::find(unseen.begin(), unseen.end(), n.type_name),
+              unseen.end());
+  }
+}
+
+TEST(BenchmarkQueriesTest, ExplicitClusterRespected) {
+  Rng rng(6);
+  BenchmarkQueries::Options opts;
+  opts.cluster = dsp::Cluster::Homogeneous("m510", 2).value();
+  opts.event_rate = 999.0;
+  const auto g = BenchmarkQueries::SmartGridLocal(opts, &rng).value();
+  EXPECT_EQ(g.cluster.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(g.plan.op(0).source.event_rate, 999.0);
+}
+
+}  // namespace
+}  // namespace zerotune::workload

@@ -1,0 +1,55 @@
+#include "sim/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::sim {
+namespace {
+
+TEST(CalibrationTest, ReducesGapFromPerturbedConstants) {
+  // Start from deliberately wrong work constants; calibration against the
+  // DES must shrink the engine-vs-simulator latency gap.
+  CostParams wrong;
+  wrong.filter_work_us *= 3.0;
+  wrong.aggregate_work_us *= 0.3;
+  wrong.join_work_us *= 2.5;
+  wrong.noise_sigma = 0.0;
+
+  EngineCalibrator::Options opts;
+  opts.sim_duration_s = 1.0;
+  opts.search_iterations = 10;
+  EngineCalibrator calibrator(opts);
+  const auto report = calibrator.Calibrate(wrong);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LE(report.value().final_error, report.value().initial_error);
+  EXPECT_EQ(report.value().probes, 3u);
+}
+
+TEST(CalibrationTest, NearCorrectConstantsStayNear) {
+  CostParams good;
+  good.noise_sigma = 0.0;
+  EngineCalibrator::Options opts;
+  opts.sim_duration_s = 1.0;
+  opts.search_iterations = 8;
+  EngineCalibrator calibrator(opts);
+  const auto report = calibrator.Calibrate(good).value();
+  // Fitted constants remain within the search band of the originals.
+  EXPECT_GT(report.params.filter_work_us, good.filter_work_us / 3.0);
+  EXPECT_LT(report.params.filter_work_us, good.filter_work_us * 3.0);
+  EXPECT_GT(report.params.aggregate_work_us, good.aggregate_work_us / 3.0);
+  EXPECT_LT(report.params.aggregate_work_us, good.aggregate_work_us * 3.0);
+}
+
+TEST(CalibrationTest, FittedParamsImproveProbeAgreement) {
+  CostParams wrong;
+  wrong.filter_work_us *= 4.0;
+  wrong.noise_sigma = 0.0;
+  EngineCalibrator::Options opts;
+  opts.sim_duration_s = 1.0;
+  EngineCalibrator calibrator(opts);
+  const auto report = calibrator.Calibrate(wrong).value();
+  // The filter constant must have moved back toward sanity (downward).
+  EXPECT_LT(report.params.filter_work_us, wrong.filter_work_us);
+}
+
+}  // namespace
+}  // namespace zerotune::sim

@@ -1,0 +1,151 @@
+// End-to-end tests of the zerotune_cli binary: every subcommand is run as
+// a real subprocess against temp files, covering the full workflow
+// compile -> collect -> train -> evaluate -> tune -> predict -> simulate
+// -> explain -> dot. The binary path is injected by CMake.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+
+#ifndef ZT_CLI_PATH
+#error "ZT_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string cmd = std::string(ZT_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/zt_cli_" + name;
+}
+
+class CliWorkflowTest : public ::testing::Test {
+ protected:
+  // The heavy artifacts (corpus, model) are produced once per suite.
+  static void SetUpTestSuite() {
+    // DSL -> plan.
+    const std::string dsl = TempPath("query.dsl");
+    {
+      std::ofstream f(dsl);
+      f << "source(rate=150000, schema=ddi)\n"
+           "  | filter(sel=0.6)\n"
+           "  | aggregate(fn=avg, key=int, window=count:tumbling:50, "
+           "sel=0.2)\n"
+           "  | sink\n";
+    }
+    auto r = RunCli("compile --dsl " + dsl + " --out " + TempPath("q.plan"));
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+
+    r = RunCli("collect --count 80 --seed 5 --out " + TempPath("corpus.txt"));
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+
+    r = RunCli("train --corpus " + TempPath("corpus.txt") +
+               " --model-out " + TempPath("model.txt") +
+               " --epochs 6 --hidden 16");
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+  }
+
+  static void TearDownTestSuite() {
+    for (const char* f : {"query.dsl", "q.plan", "corpus.txt", "model.txt",
+                          "tuned.plan"}) {
+      std::remove(TempPath(f).c_str());
+    }
+  }
+};
+
+TEST_F(CliWorkflowTest, HelpListsCommands) {
+  const auto r = RunCli("help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("collect"), std::string::npos);
+  EXPECT_NE(r.output.find("tune"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, UnknownCommandFails) {
+  EXPECT_NE(RunCli("frobnicate").exit_code, 0);
+}
+
+TEST_F(CliWorkflowTest, CompileRejectsBadDsl) {
+  const std::string bad = TempPath("bad.dsl");
+  {
+    std::ofstream f(bad);
+    f << "source(rate=1) | sink\n";  // missing schema
+  }
+  const auto r = RunCli("compile --dsl " + bad + " --out /tmp/x.plan");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliWorkflowTest, EvaluateReportsQErrors) {
+  const auto r = RunCli("evaluate --corpus " + TempPath("corpus.txt") +
+                        " --model " + TempPath("model.txt"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("overall"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, TunePredictSimulateExplainChain) {
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:4 --out " +
+                  TempPath("tuned.plan"));
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("predicted latency"), std::string::npos);
+
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " +
+             TempPath("tuned.plan"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("predicted throughput"), std::string::npos);
+
+  r = RunCli("simulate --plan " + TempPath("tuned.plan"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("analytical"), std::string::npos);
+
+  r = RunCli("explain --model " + TempPath("model.txt") + " --plan " +
+             TempPath("tuned.plan") + " --top 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("attributions"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, DotRendersQueryAndDeployment) {
+  auto r = RunCli("dot --query " + TempPath("q.plan"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("digraph query"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, MissingFlagsProduceErrors) {
+  EXPECT_NE(RunCli("train").exit_code, 0);
+  EXPECT_NE(RunCli("predict --model /nonexistent").exit_code, 0);
+  EXPECT_NE(RunCli("tune --model x").exit_code, 0);
+}
+
+TEST_F(CliWorkflowTest, CollectRandomStrategy) {
+  const std::string out = TempPath("rand_corpus.txt");
+  const auto r =
+      RunCli("collect --count 10 --strategy random --out " + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream f(out);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_NE(header.find("zerotune-dataset-v1"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+}  // namespace

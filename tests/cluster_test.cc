@@ -1,0 +1,85 @@
+#include "dsp/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::dsp {
+namespace {
+
+TEST(HardwareCatalogTest, KnowsAllTableTwoTypes) {
+  for (const std::string& t : HardwareCatalog::AllTypes()) {
+    EXPECT_TRUE(HardwareCatalog::Get(t).ok()) << t;
+  }
+  EXPECT_EQ(HardwareCatalog::AllTypes().size(), 8u);
+}
+
+TEST(HardwareCatalogTest, UnknownTypeFails) {
+  EXPECT_FALSE(HardwareCatalog::Get("bogus").ok());
+}
+
+TEST(HardwareCatalogTest, SeenAndUnseenPartition) {
+  const auto seen = HardwareCatalog::SeenTypes();
+  const auto unseen = HardwareCatalog::UnseenTypes();
+  EXPECT_EQ(seen.size() + unseen.size(), HardwareCatalog::AllTypes().size());
+  for (const auto& s : seen) {
+    for (const auto& u : unseen) EXPECT_NE(s, u);
+  }
+}
+
+TEST(HardwareCatalogTest, M510MatchesPaper) {
+  const NodeResources n = HardwareCatalog::Get("m510").value();
+  EXPECT_EQ(n.cpu_cores, 8);
+  EXPECT_DOUBLE_EQ(n.cpu_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(n.memory_gb, 64.0);
+}
+
+TEST(ClusterTest, HomogeneousConstruction) {
+  const Cluster c = Cluster::Homogeneous("m510", 4).value();
+  EXPECT_EQ(c.num_nodes(), 4u);
+  EXPECT_EQ(c.TotalCores(), 32);
+  EXPECT_FALSE(c.IsHeterogeneous());
+}
+
+TEST(ClusterTest, HomogeneousRejectsBadInput) {
+  EXPECT_FALSE(Cluster::Homogeneous("m510", 0).ok());
+  EXPECT_FALSE(Cluster::Homogeneous("bogus", 2).ok());
+}
+
+TEST(ClusterTest, NetworkSpeedApplied) {
+  const Cluster c = Cluster::Homogeneous("rs620", 2, 1.0).value();
+  EXPECT_DOUBLE_EQ(c.node(0).network_gbps, 1.0);
+}
+
+TEST(ClusterTest, FromTypesDeterministicWithoutRng) {
+  const Cluster c =
+      Cluster::FromTypes({"m510", "rs6525"}, 4, 10.0, nullptr).value();
+  EXPECT_EQ(c.node(0).type_name, "m510");
+  EXPECT_EQ(c.node(1).type_name, "rs6525");
+  EXPECT_EQ(c.node(2).type_name, "m510");
+  EXPECT_TRUE(c.IsHeterogeneous());
+}
+
+TEST(ClusterTest, FromTypesWithRngSamplesGivenTypes) {
+  zerotune::Rng rng(5);
+  const Cluster c =
+      Cluster::FromTypes({"c8220", "c6320"}, 10, 10.0, &rng).value();
+  for (const auto& n : c.nodes()) {
+    EXPECT_TRUE(n.type_name == "c8220" || n.type_name == "c6320");
+  }
+}
+
+TEST(ClusterTest, GhzExtremes) {
+  const Cluster c =
+      Cluster::FromTypes({"m510", "rs6525"}, 2, 10.0, nullptr).value();
+  EXPECT_DOUBLE_EQ(c.MinGhz(), 2.0);
+  EXPECT_DOUBLE_EQ(c.MaxGhz(), 2.8);
+}
+
+TEST(ClusterTest, EmptyClusterEdgeCases) {
+  const Cluster c;
+  EXPECT_EQ(c.TotalCores(), 0);
+  EXPECT_DOUBLE_EQ(c.MinGhz(), 0.0);
+  EXPECT_DOUBLE_EQ(c.MaxGhz(), 0.0);
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

@@ -1,0 +1,312 @@
+#include "sim/cost_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::sim {
+namespace {
+
+using dsp::AggregateProperties;
+using dsp::Cluster;
+using dsp::DataType;
+using dsp::FilterProperties;
+using dsp::JoinProperties;
+using dsp::OperatorType;
+using dsp::ParallelQueryPlan;
+using dsp::QueryPlan;
+using dsp::SourceProperties;
+using dsp::TupleSchema;
+using dsp::WindowPolicy;
+using dsp::WindowSpec;
+using dsp::WindowType;
+
+QueryPlan LinearPlan(double rate, double window_len = 10.0) {
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = rate;
+  s.schema = TupleSchema::Uniform(3, DataType::kDouble);
+  const int src = q.AddSource(s);
+  FilterProperties f;
+  f.selectivity = 0.8;
+  const int fid = q.AddFilter(src, f).value();
+  AggregateProperties a;
+  a.window =
+      WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, window_len,
+                 window_len};
+  a.selectivity = 0.2;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  return q;
+}
+
+ParallelQueryPlan MakeUniform(const QueryPlan& q, const Cluster& c,
+                              int degree, bool pin_endpoints = true) {
+  ParallelQueryPlan p(q, c);
+  EXPECT_TRUE(p.SetUniformParallelism(degree, pin_endpoints).ok());
+  EXPECT_TRUE(p.PlaceRoundRobin().ok());
+  return p;
+}
+
+class CostEngineTest : public ::testing::Test {
+ protected:
+  Cluster cluster_ = Cluster::Homogeneous("m510", 4).value();
+  CostEngine engine_;
+};
+
+TEST_F(CostEngineTest, MeasureSucceedsOnValidPlan) {
+  const auto p = MakeUniform(LinearPlan(5000), cluster_, 2);
+  const auto m = engine_.Measure(p);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().latency_ms, 0.0);
+  EXPECT_GT(m.value().throughput_tps, 0.0);
+  EXPECT_EQ(m.value().per_operator.size(), 4u);
+}
+
+TEST_F(CostEngineTest, FailsOnInvalidPlan) {
+  QueryPlan q;
+  q.AddSource(SourceProperties{1000.0,
+                               TupleSchema::Uniform(2, DataType::kInt)});
+  // No sink.
+  ParallelQueryPlan p(q, cluster_);
+  EXPECT_FALSE(engine_.Measure(p).ok());
+}
+
+TEST_F(CostEngineTest, MeasurementsAreDeterministicPerPlan) {
+  const auto p = MakeUniform(LinearPlan(20000), cluster_, 4);
+  const auto a = engine_.Measure(p).value();
+  const auto b = engine_.Measure(p).value();
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+}
+
+TEST_F(CostEngineTest, NoiseChangesWithConfiguration) {
+  const auto p1 = MakeUniform(LinearPlan(20000), cluster_, 2);
+  const auto p2 = MakeUniform(LinearPlan(20000), cluster_, 4);
+  const auto m1 = engine_.Measure(p1).value();
+  const auto m2 = engine_.Measure(p2).value();
+  EXPECT_NE(m1.latency_ms, m2.latency_ms);
+}
+
+TEST_F(CostEngineTest, BackpressureUnderProvisioned) {
+  // 1M tuples/s through a single instance chain must saturate.
+  const auto p = MakeUniform(LinearPlan(1000000), cluster_, 1);
+  const auto m = engine_.MeasureNoiseless(p).value();
+  EXPECT_TRUE(m.backpressured);
+  EXPECT_LT(m.sustained_fraction, 1.0);
+  EXPECT_LT(m.throughput_tps, 1000000.0);
+}
+
+TEST_F(CostEngineTest, NoBackpressureWhenOverProvisioned) {
+  const auto p = MakeUniform(LinearPlan(500), cluster_, 4);
+  const auto m = engine_.MeasureNoiseless(p).value();
+  EXPECT_FALSE(m.backpressured);
+  EXPECT_DOUBLE_EQ(m.sustained_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.throughput_tps, 500.0);
+}
+
+TEST_F(CostEngineTest, ThroughputRisesWithParallelismUnderLoad) {
+  // Paper Fig. 3 trend: more parallelism -> more sustained throughput
+  // while the cluster is the bottleneck (sources scale too).
+  const QueryPlan q = LinearPlan(1000000);
+  double prev = 0.0;
+  for (int d : {1, 2, 4}) {
+    const auto m = engine_
+                       .MeasureNoiseless(MakeUniform(q, cluster_, d,
+                                                     /*pin_endpoints=*/false))
+                       .value();
+    EXPECT_GT(m.throughput_tps, prev) << "degree " << d;
+    prev = m.throughput_tps;
+  }
+  // Once nothing saturates, throughput plateaus at the offered rate.
+  const auto m8 = engine_
+                      .MeasureNoiseless(MakeUniform(q, cluster_, 8,
+                                                    /*pin_endpoints=*/false))
+                      .value();
+  EXPECT_GE(m8.throughput_tps, prev);
+}
+
+TEST_F(CostEngineTest, LatencyDropsWithParallelismUnderLoad) {
+  // At 500k ev/s a single-instance pipeline saturates (full buffers); the
+  // well-provisioned deployment avoids the backpressure latency cliff.
+  const QueryPlan q = LinearPlan(500000);
+  const auto m1 =
+      engine_.MeasureNoiseless(MakeUniform(q, cluster_, 1, false)).value();
+  const auto m8 =
+      engine_.MeasureNoiseless(MakeUniform(q, cluster_, 8, false)).value();
+  EXPECT_TRUE(m1.backpressured);
+  EXPECT_GT(m1.latency_ms, m8.latency_ms);
+}
+
+TEST_F(CostEngineTest, ChainingReducesLatency) {
+  // Two plans identical except filter degree matches (chains with nothing
+  // since source has P=1... use a filter chain).
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = 10000;
+  s.schema = TupleSchema::Uniform(4, DataType::kDouble);
+  int tail = q.AddSource(s);
+  FilterProperties f;
+  f.selectivity = 0.9;
+  const int f1 = q.AddFilter(tail, f).value();
+  const int f2 = q.AddFilter(f1, f).value();
+  q.AddSink(f2);
+
+  // Chained: equal degrees on both filters -> forward edge, one chain.
+  ParallelQueryPlan chained(q, cluster_);
+  ASSERT_TRUE(chained.SetParallelism(f1, 4).ok());
+  ASSERT_TRUE(chained.SetParallelism(f2, 4).ok());
+  chained.DerivePartitioning();
+  ASSERT_TRUE(chained.PlaceRoundRobin().ok());
+  ASSERT_TRUE(chained.IsChainedWithUpstream(f2));
+
+  // Broken chain: different degrees force a rebalance edge.
+  ParallelQueryPlan broken(q, cluster_);
+  ASSERT_TRUE(broken.SetParallelism(f1, 4).ok());
+  ASSERT_TRUE(broken.SetParallelism(f2, 5).ok());
+  broken.DerivePartitioning();
+  ASSERT_TRUE(broken.PlaceRoundRobin().ok());
+  ASSERT_FALSE(broken.IsChainedWithUpstream(f2));
+
+  const auto mc = engine_.MeasureNoiseless(chained).value();
+  const auto mb = engine_.MeasureNoiseless(broken).value();
+  EXPECT_LT(mc.latency_ms, mb.latency_ms);
+}
+
+TEST_F(CostEngineTest, FasterHardwareGivesMoreCapacity) {
+  const QueryPlan q = LinearPlan(1000000);
+  const Cluster slow = Cluster::Homogeneous("m510", 2).value();   // 2.0 GHz
+  const Cluster fast = Cluster::Homogeneous("rs6525", 2).value(); // 2.8 GHz
+  const auto ms = engine_.MeasureNoiseless(MakeUniform(q, slow, 4)).value();
+  const auto mf = engine_.MeasureNoiseless(MakeUniform(q, fast, 4)).value();
+  EXPECT_GT(mf.throughput_tps, ms.throughput_tps);
+}
+
+TEST_F(CostEngineTest, WiderTuplesCostMore) {
+  QueryPlan narrow = LinearPlan(200000);
+  QueryPlan wide;
+  SourceProperties s;
+  s.event_rate = 200000;
+  s.schema = TupleSchema::Uniform(15, DataType::kString);
+  const int src = wide.AddSource(s);
+  FilterProperties f;
+  f.selectivity = 0.8;
+  const int fid = wide.AddFilter(src, f).value();
+  AggregateProperties a;
+  a.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, 10, 10};
+  a.selectivity = 0.2;
+  const int aid = wide.AddWindowAggregate(fid, a).value();
+  wide.AddSink(aid);
+
+  const auto mn =
+      engine_.MeasureNoiseless(MakeUniform(narrow, cluster_, 2)).value();
+  const auto mw =
+      engine_.MeasureNoiseless(MakeUniform(wide, cluster_, 2)).value();
+  EXPECT_LT(mn.latency_ms, mw.latency_ms);
+}
+
+TEST_F(CostEngineTest, CountWindowDelayShrinksWithRate) {
+  // Larger windows at the same rate take longer to fill -> higher latency.
+  const auto m_small =
+      engine_.MeasureNoiseless(MakeUniform(LinearPlan(1000, 5), cluster_, 2))
+          .value();
+  const auto m_large =
+      engine_
+          .MeasureNoiseless(MakeUniform(LinearPlan(1000, 100), cluster_, 2))
+          .value();
+  EXPECT_LT(m_small.latency_ms, m_large.latency_ms);
+}
+
+TEST_F(CostEngineTest, PerOperatorDiagnosticsConsistent) {
+  const auto p = MakeUniform(LinearPlan(50000), cluster_, 4);
+  const auto m = engine_.MeasureNoiseless(p).value();
+  for (const auto& diag : m.per_operator) {
+    EXPECT_GE(diag.capacity_tps, 0.0);
+    EXPECT_GE(diag.utilization, 0.0);
+    EXPECT_LE(diag.utilization, 1.0);
+    EXPECT_GE(diag.queue_delay_ms, 0.0);
+  }
+  // Filter input = source output (selectivity applies at filter output).
+  EXPECT_DOUBLE_EQ(m.per_operator[1].input_rate_tps, 50000.0);
+}
+
+TEST_F(CostEngineTest, JoinProbeCostGrowsWithWindow) {
+  auto join_plan = [&](double window_len) {
+    QueryPlan q;
+    SourceProperties s;
+    s.event_rate = 50000;
+    s.schema = TupleSchema::Uniform(3, DataType::kDouble);
+    const int s1 = q.AddSource(s);
+    const int s2 = q.AddSource(s);
+    JoinProperties j;
+    j.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount,
+                          window_len, window_len};
+    j.selectivity = 0.001;
+    const int jid = q.AddWindowJoin(s1, s2, j).value();
+    q.AddSink(jid);
+    return q;
+  };
+  const auto small =
+      engine_.MeasureNoiseless(MakeUniform(join_plan(10), cluster_, 4))
+          .value();
+  const auto large =
+      engine_.MeasureNoiseless(MakeUniform(join_plan(400), cluster_, 4))
+          .value();
+  EXPECT_GT(small.per_operator[2].capacity_tps,
+            large.per_operator[2].capacity_tps);
+}
+
+TEST(CostEngineNoiseTest, SigmaZeroMatchesNoiseless) {
+  CostParams params;
+  params.noise_sigma = 0.0;
+  CostEngine engine(params);
+  const Cluster c = Cluster::Homogeneous("m510", 2).value();
+  const auto p = MakeUniform(LinearPlan(10000), c, 2);
+  const auto a = engine.Measure(p).value();
+  const auto b = engine.MeasureNoiseless(p).value();
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+}
+
+}  // namespace
+}  // namespace zerotune::sim
+
+#include "sim/cost_report.h"
+
+namespace zerotune::sim {
+namespace {
+
+TEST(CostReportTest, IdentifiesSaturatedBottleneck) {
+  const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 4).value();
+  const auto plan = MakeUniform(LinearPlan(1000000), cluster, 1, false);
+  CostParams params;
+  params.noise_sigma = 0.0;
+  const CostEngine engine(params);
+  const auto m = engine.MeasureNoiseless(plan).value();
+  ASSERT_TRUE(m.backpressured);
+  const int bottleneck = CostReport::BottleneckOperator(m);
+  ASSERT_GE(bottleneck, 0);
+  EXPECT_TRUE(m.per_operator[static_cast<size_t>(bottleneck)].saturated);
+}
+
+TEST(CostReportTest, RenderContainsEveryOperatorAndBottleneck) {
+  const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 2).value();
+  const auto plan = MakeUniform(LinearPlan(50000), cluster, 2);
+  CostParams params;
+  params.noise_sigma = 0.0;
+  const CostEngine engine(params);
+  const auto m = engine.MeasureNoiseless(plan).value();
+  const std::string report = CostReport::Render(plan, m);
+  for (const auto& op : plan.logical().operators()) {
+    EXPECT_NE(report.find(op.name), std::string::npos) << op.name;
+  }
+  EXPECT_NE(report.find("bottleneck:"), std::string::npos);
+  EXPECT_NE(report.find("end-to-end latency"), std::string::npos);
+}
+
+TEST(CostReportTest, BottleneckOnEmptyMeasurement) {
+  CostMeasurement empty;
+  EXPECT_EQ(CostReport::BottleneckOperator(empty), -1);
+}
+
+}  // namespace
+}  // namespace zerotune::sim

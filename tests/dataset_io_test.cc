@@ -1,0 +1,117 @@
+#include "workload/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/plan_graph.h"
+
+namespace zerotune::workload {
+namespace {
+
+Dataset SmallCorpus(size_t n) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = n;
+  opts.seed = 77;
+  opts.structures = {QueryStructure::kLinear, QueryStructure::kTwoWayJoin};
+  return core::BuildDataset(enumerator, opts).value();
+}
+
+TEST(QueryStructureFromStringTest, RoundTripsAllNames) {
+  for (QueryStructure s :
+       {QueryStructure::kLinear, QueryStructure::kSixWayJoin,
+        QueryStructure::kSpikeDetection, QueryStructure::kSmartGridGlobal}) {
+    const auto back = QueryStructureFromString(ToString(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), s);
+  }
+  EXPECT_FALSE(QueryStructureFromString("nonsense").ok());
+}
+
+TEST(DatasetIOTest, RoundTripPreservesLabelsAndPlans) {
+  const Dataset original = SmallCorpus(12);
+  const std::string path = ::testing::TempDir() + "/zt_dataset_io_test.txt";
+  ASSERT_TRUE(DatasetIO::Save(original, path).ok());
+
+  const auto loaded = DatasetIO::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const LabeledQuery& a = original.sample(i);
+    const LabeledQuery& b = loaded.value().sample(i);
+    EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+    EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+    EXPECT_EQ(a.structure, b.structure);
+    EXPECT_EQ(a.plan.ParallelismVector(), b.plan.ParallelismVector());
+    EXPECT_EQ(a.plan.logical().num_operators(),
+              b.plan.logical().num_operators());
+    EXPECT_EQ(a.plan.cluster().num_nodes(), b.plan.cluster().num_nodes());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIOTest, LoadedCorpusIsTrainable) {
+  // The round-tripped corpus must re-featurize identically: compare the
+  // plan-graph features of a sample before and after.
+  const Dataset original = SmallCorpus(4);
+  const std::string path = ::testing::TempDir() + "/zt_dataset_feat_test.txt";
+  ASSERT_TRUE(DatasetIO::Save(original, path).ok());
+  const auto loaded = DatasetIO::Load(path).value();
+
+  const auto ga = core::BuildPlanGraph(original.sample(0).plan);
+  const auto gb = core::BuildPlanGraph(loaded.sample(0).plan);
+  ASSERT_EQ(ga.operator_features.size(), gb.operator_features.size());
+  for (size_t i = 0; i < ga.operator_features.size(); ++i) {
+    EXPECT_EQ(ga.operator_features[i], gb.operator_features[i]) << i;
+  }
+  ASSERT_EQ(ga.mapping_edges.size(), gb.mapping_edges.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIOTest, RejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "/zt_dataset_bad.txt";
+  {
+    std::ofstream f(path);
+    f << "wrong-header 3\n";
+  }
+  EXPECT_FALSE(DatasetIO::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIOTest, RejectsTruncatedFile) {
+  const Dataset original = SmallCorpus(3);
+  const std::string path = ::testing::TempDir() + "/zt_dataset_trunc.txt";
+  ASSERT_TRUE(DatasetIO::Save(original, path).ok());
+  // Chop the file roughly in half.
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  in.close();
+  const std::string text = content.str();
+  {
+    std::ofstream out(path);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_FALSE(DatasetIO::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIOTest, MissingFileFails) {
+  EXPECT_FALSE(DatasetIO::Load("/nonexistent/zt_dataset.txt").ok());
+}
+
+TEST(DatasetIOTest, EmptyDatasetRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/zt_dataset_empty.txt";
+  ASSERT_TRUE(DatasetIO::Save(Dataset(), path).ok());
+  const auto loaded = DatasetIO::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zerotune::workload

@@ -1,0 +1,167 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+
+namespace zerotune::workload {
+namespace {
+
+LabeledQuery MakeSample(double latency, QueryStructure s,
+                        int degree = 1) {
+  dsp::QueryPlan q;
+  dsp::SourceProperties src;
+  src.event_rate = 1000;
+  src.schema = dsp::TupleSchema::Uniform(2, dsp::DataType::kInt);
+  const int sid = q.AddSource(src);
+  const int fid = q.AddFilter(sid, dsp::FilterProperties{}).value();
+  q.AddSink(fid);
+  dsp::ParallelQueryPlan plan(q, dsp::Cluster::Homogeneous("m510", 2).value());
+  EXPECT_TRUE(plan.SetParallelism(fid, degree).ok());
+  return LabeledQuery(std::move(plan), latency, 1000.0, s);
+}
+
+TEST(DatasetTest, AddAndSize) {
+  Dataset d;
+  EXPECT_TRUE(d.empty());
+  d.Add(MakeSample(1.0, QueryStructure::kLinear));
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DatasetTest, SplitFractions) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.Add(MakeSample(i, QueryStructure::kLinear));
+  }
+  Rng rng(1);
+  Dataset train, val, test;
+  ASSERT_TRUE(d.Split(0.8, 0.1, &rng, &train, &val, &test).ok());
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(val.size(), 10u);
+  EXPECT_EQ(test.size(), 10u);
+}
+
+TEST(DatasetTest, SplitRejectsBadFractions) {
+  Dataset d;
+  d.Add(MakeSample(1.0, QueryStructure::kLinear));
+  Rng rng(1);
+  Dataset a, b, c;
+  EXPECT_FALSE(d.Split(0.9, 0.2, &rng, &a, &b, &c).ok());
+  EXPECT_FALSE(d.Split(-0.1, 0.2, &rng, &a, &b, &c).ok());
+}
+
+TEST(DatasetTest, SplitIsAPartition) {
+  Dataset d;
+  for (int i = 0; i < 37; ++i) {
+    d.Add(MakeSample(i, QueryStructure::kLinear));
+  }
+  Rng rng(2);
+  Dataset train, val, test;
+  ASSERT_TRUE(d.Split(0.7, 0.15, &rng, &train, &val, &test).ok());
+  EXPECT_EQ(train.size() + val.size() + test.size(), 37u);
+  // Latencies were distinct; union must contain them all exactly once.
+  std::set<double> seen;
+  for (const Dataset* part : {&train, &val, &test}) {
+    for (const auto& s : part->samples()) seen.insert(s.latency_ms);
+  }
+  EXPECT_EQ(seen.size(), 37u);
+}
+
+TEST(DatasetTest, FilterStructure) {
+  Dataset d;
+  d.Add(MakeSample(1.0, QueryStructure::kLinear));
+  d.Add(MakeSample(2.0, QueryStructure::kTwoWayJoin));
+  d.Add(MakeSample(3.0, QueryStructure::kLinear));
+  EXPECT_EQ(d.FilterStructure(QueryStructure::kLinear).size(), 2u);
+  EXPECT_EQ(d.FilterStructure(QueryStructure::kSixWayJoin).size(), 0u);
+}
+
+TEST(DatasetTest, FilterCategory) {
+  Dataset d;
+  d.Add(MakeSample(1.0, QueryStructure::kLinear, 2));    // XS
+  d.Add(MakeSample(2.0, QueryStructure::kLinear, 12));   // S
+  EXPECT_EQ(d.FilterCategory("XS").size(), 1u);
+  EXPECT_EQ(d.FilterCategory("S").size(), 1u);
+  EXPECT_EQ(d.FilterCategory("XL").size(), 0u);
+}
+
+TEST(DatasetTest, TakeAndAppend) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) d.Add(MakeSample(i, QueryStructure::kLinear));
+  EXPECT_EQ(d.Take(3).size(), 3u);
+  EXPECT_EQ(d.Take(50).size(), 10u);
+  Dataset other = d.Take(2);
+  other.Append(d.Take(3));
+  EXPECT_EQ(other.size(), 5u);
+}
+
+TEST(DatasetBuilderTest, BuildsLabeledCorpus) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = 20;
+  opts.seed = 7;
+  const auto ds = core::BuildDataset(enumerator, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().size(), 20u);
+  for (const auto& s : ds.value().samples()) {
+    EXPECT_GT(s.latency_ms, 0.0);
+    EXPECT_GT(s.throughput_tps, 0.0);
+    EXPECT_TRUE(s.plan.Validate().ok());
+  }
+}
+
+TEST(DatasetBuilderTest, DeterministicGivenSeed) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = 10;
+  opts.seed = 99;
+  const auto a = core::BuildDataset(enumerator, opts).value();
+  const auto b = core::BuildDataset(enumerator, opts).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(i).latency_ms, b.sample(i).latency_ms);
+  }
+}
+
+TEST(DatasetBuilderTest, ParallelAndSequentialAgree) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = 12;
+  opts.seed = 5;
+  const auto seq = core::BuildDataset(enumerator, opts).value();
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  const auto par = core::BuildDataset(enumerator, opts).value();
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.sample(i).latency_ms, par.sample(i).latency_ms);
+  }
+}
+
+TEST(DatasetBuilderTest, RestrictsToRequestedStructures) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.count = 8;
+  opts.structures = {QueryStructure::kSixWayJoin};
+  const auto ds = core::BuildDataset(enumerator, opts).value();
+  for (const auto& s : ds.samples()) {
+    EXPECT_EQ(s.structure, QueryStructure::kSixWayJoin);
+  }
+}
+
+TEST(DatasetBuilderTest, BenchmarkCorpus) {
+  core::OptiSampleEnumerator enumerator;
+  core::DatasetBuilderOptions opts;
+  opts.seed = 3;
+  const auto ds = core::BuildBenchmarkDataset(
+      QueryStructure::kSpikeDetection, 5, enumerator, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().size(), 5u);
+  for (const auto& s : ds.value().samples()) {
+    EXPECT_EQ(s.structure, QueryStructure::kSpikeDetection);
+  }
+}
+
+}  // namespace
+}  // namespace zerotune::workload

@@ -1,0 +1,74 @@
+#include "dsp/dot_export.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::dsp {
+namespace {
+
+ParallelQueryPlan MakePlan() {
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = 1000;
+  s.schema = TupleSchema::Uniform(2, DataType::kDouble);
+  const int src = q.AddSource(s);
+  FilterProperties f;
+  f.selectivity = 0.5;
+  const int f1 = q.AddFilter(src, f).value();
+  const int f2 = q.AddFilter(f1, f).value();
+  q.AddSink(f2);
+  ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
+  p.SetUniformParallelism(4);
+  p.PlaceRoundRobin();
+  return p;
+}
+
+TEST(DotExportTest, LogicalPlanContainsAllOperators) {
+  const auto plan = MakePlan();
+  const std::string dot = DotExport::QueryPlanDot(plan.logical());
+  EXPECT_NE(dot.find("digraph query"), std::string::npos);
+  for (const auto& op : plan.logical().operators()) {
+    EXPECT_NE(dot.find("op" + std::to_string(op.id)), std::string::npos);
+  }
+  // Edges present.
+  EXPECT_NE(dot.find("op0 -> op1"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(DotExportTest, LogicalPlanShowsProperties) {
+  const auto plan = MakePlan();
+  const std::string dot = DotExport::QueryPlanDot(plan.logical());
+  EXPECT_NE(dot.find("rate=1000"), std::string::npos);
+  EXPECT_NE(dot.find("sel=0.5"), std::string::npos);
+}
+
+TEST(DotExportTest, ParallelPlanShowsDegreesAndChains) {
+  const auto plan = MakePlan();
+  const std::string dot = DotExport::ParallelPlanDot(plan);
+  EXPECT_NE(dot.find("P=4"), std::string::npos);
+  // The two equal-degree filters chain into a dashed cluster.
+  EXPECT_NE(dot.find("cluster_chain"), std::string::npos);
+  // Edge labels carry the partitioning strategy.
+  EXPECT_NE(dot.find("rebalance"), std::string::npos);
+  EXPECT_NE(dot.find("forward"), std::string::npos);
+}
+
+TEST(DotExportTest, ParallelPlanShowsClusterLegend) {
+  const auto plan = MakePlan();
+  const std::string dot = DotExport::ParallelPlanDot(plan);
+  EXPECT_NE(dot.find("m510"), std::string::npos);
+  EXPECT_NE(dot.find("8 cores"), std::string::npos);
+}
+
+TEST(DotExportTest, BalancedBracesAndQuotes) {
+  const auto plan = MakePlan();
+  for (const std::string& dot :
+       {DotExport::QueryPlanDot(plan.logical()),
+        DotExport::ParallelPlanDot(plan)}) {
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0);
+  }
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

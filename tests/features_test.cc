@@ -1,0 +1,144 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::core {
+namespace {
+
+using dsp::Cluster;
+using dsp::DataType;
+using dsp::ParallelQueryPlan;
+using dsp::QueryPlan;
+
+ParallelQueryPlan MakePlan() {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = 5000;
+  s.schema = dsp::TupleSchema::Uniform(4, DataType::kDouble);
+  const int src = q.AddSource(s);
+  dsp::FilterProperties f;
+  f.function = dsp::FilterFunction::kLessEqual;
+  f.literal_class = DataType::kInt;
+  f.selectivity = 0.4;
+  const int fid = q.AddFilter(src, f).value();
+  dsp::AggregateProperties a;
+  a.function = dsp::AggregateFunction::kAvg;
+  a.window = dsp::WindowSpec{dsp::WindowType::kSliding,
+                             dsp::WindowPolicy::kCount, 50, 25};
+  a.selectivity = 0.1;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
+  EXPECT_TRUE(p.SetParallelism(fid, 4).ok());
+  EXPECT_TRUE(p.SetParallelism(aid, 2).ok());
+  p.DerivePartitioning();
+  EXPECT_TRUE(p.PlaceRoundRobin().ok());
+  return p;
+}
+
+TEST(FeatureEncoderTest, DimensionsStable) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  for (const auto& op : p.logical().operators()) {
+    EXPECT_EQ(FeatureEncoder::EncodeOperator(p, op.id, cfg).size(),
+              FeatureEncoder::OperatorDim());
+  }
+  EXPECT_EQ(FeatureEncoder::EncodeResource(p, 0, cfg).size(),
+            FeatureEncoder::ResourceDim());
+  EXPECT_EQ(FeatureEncoder::EncodeMapping(p, 1, 0, cfg).size(),
+            FeatureEncoder::MappingDim());
+}
+
+TEST(FeatureEncoderTest, FeatureNamesMatchDim) {
+  EXPECT_EQ(FeatureEncoder::OperatorFeatureNames().size(),
+            FeatureEncoder::OperatorDim());
+}
+
+TEST(FeatureEncoderTest, OperatorTypeOneHot) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  // Source is operator 0; first five slots are the type one-hot.
+  const auto f_src = FeatureEncoder::EncodeOperator(p, 0, cfg);
+  EXPECT_DOUBLE_EQ(f_src[0], 1.0);
+  const auto f_filter = FeatureEncoder::EncodeOperator(p, 1, cfg);
+  EXPECT_DOUBLE_EQ(f_filter[1], 1.0);
+  EXPECT_DOUBLE_EQ(f_filter[0], 0.0);
+}
+
+TEST(FeatureEncoderTest, ParallelismEncodedLogScaled) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  const auto f = FeatureEncoder::EncodeOperator(p, 1, cfg);
+  // Slot 5 is log1p(parallelism) = log1p(4).
+  EXPECT_NEAR(f[5], std::log1p(4.0), 1e-12);
+}
+
+TEST(FeatureEncoderTest, SelectivityAndEventRatePresent) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  const auto names = FeatureEncoder::OperatorFeatureNames();
+  const auto sel_idx = static_cast<size_t>(
+      std::find(names.begin(), names.end(), "selectivity") - names.begin());
+  const auto rate_idx = static_cast<size_t>(
+      std::find(names.begin(), names.end(), "event-rate(log)") -
+      names.begin());
+  const auto f_filter = FeatureEncoder::EncodeOperator(p, 1, cfg);
+  EXPECT_DOUBLE_EQ(f_filter[sel_idx], 0.4);
+  EXPECT_DOUBLE_EQ(f_filter[rate_idx], 0.0);  // not a source
+  const auto f_src = FeatureEncoder::EncodeOperator(p, 0, cfg);
+  EXPECT_NEAR(f_src[rate_idx], std::log1p(5000.0), 1e-12);
+}
+
+TEST(FeatureEncoderTest, OperatorMaskZeroesOperatorGroup) {
+  const auto p = MakePlan();
+  const auto masked = FeatureConfig::ParallelismAndResource();
+  const auto names = FeatureEncoder::OperatorFeatureNames();
+  const auto f = FeatureEncoder::EncodeOperator(p, 1, masked);
+  const auto sel_idx = static_cast<size_t>(
+      std::find(names.begin(), names.end(), "selectivity") - names.begin());
+  EXPECT_DOUBLE_EQ(f[sel_idx], 0.0);
+  // Parallelism still encoded.
+  EXPECT_GT(f[5], 0.0);
+}
+
+TEST(FeatureEncoderTest, ParallelismMaskZeroesDegree) {
+  const auto p = MakePlan();
+  const auto masked = FeatureConfig::OperatorOnly();
+  const auto f = FeatureEncoder::EncodeOperator(p, 1, masked);
+  EXPECT_DOUBLE_EQ(f[5], 0.0);  // degree slot
+  // Operator features still on.
+  const auto names = FeatureEncoder::OperatorFeatureNames();
+  const auto sel_idx = static_cast<size_t>(
+      std::find(names.begin(), names.end(), "selectivity") - names.begin());
+  EXPECT_DOUBLE_EQ(f[sel_idx], 0.4);
+}
+
+TEST(FeatureEncoderTest, ResourceFeatures) {
+  const auto p = MakePlan();
+  const auto f = FeatureEncoder::EncodeResource(p, 0, FeatureConfig::All());
+  EXPECT_NEAR(f[0], 8.0 / 64.0, 1e-12);   // m510 cores over the envelope
+  EXPECT_NEAR(f[1], 2.0 / 3.0, 1e-12);    // 2.0 GHz over the envelope
+  const auto masked =
+      FeatureEncoder::EncodeResource(p, 0, FeatureConfig::OperatorOnly());
+  for (double v : masked) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FeatureEncoderTest, MappingSharesSumToOne) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  double share_sum = 0.0;
+  for (size_t n = 0; n < p.cluster().num_nodes(); ++n) {
+    share_sum += FeatureEncoder::EncodeMapping(p, 1, n, cfg)[1];
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-12);
+}
+
+TEST(FeatureEncoderTest, DeterministicEncoding) {
+  const auto p = MakePlan();
+  const auto cfg = FeatureConfig::All();
+  EXPECT_EQ(FeatureEncoder::EncodeOperator(p, 2, cfg),
+            FeatureEncoder::EncodeOperator(p, 2, cfg));
+}
+
+}  // namespace
+}  // namespace zerotune::core

@@ -1,0 +1,84 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune {
+namespace {
+
+FlagParser Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const auto f = Make({"train", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "train");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  const auto f = Make({"--count=42", "--name=corpus.txt"});
+  EXPECT_EQ(f.GetInt("count", 0).value(), 42);
+  EXPECT_EQ(f.GetString("name"), "corpus.txt");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  const auto f = Make({"--count", "42", "--rate", "2.5"});
+  EXPECT_EQ(f.GetInt("count", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0).value(), 2.5);
+}
+
+TEST(FlagParserTest, BareBooleans) {
+  const auto f = Make({"--verbose", "--des"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_TRUE(f.GetBool("des"));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, BooleanValues) {
+  const auto f = Make({"--a=1", "--b=true", "--c=0", "--d=false"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_TRUE(f.GetBool("b"));
+  EXPECT_FALSE(f.GetBool("c"));
+  EXPECT_FALSE(f.GetBool("d"));
+}
+
+TEST(FlagParserTest, MixedFlagsAndPositionals) {
+  const auto f = Make({"tune", "--model", "m.txt", "--weight=0.7"});
+  EXPECT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.GetString("model"), "m.txt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("weight", 0).value(), 0.7);
+}
+
+TEST(FlagParserTest, BareFlagFollowedByFlag) {
+  const auto f = Make({"--verbose", "--count", "5"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_EQ(f.GetInt("count", 0).value(), 5);
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const auto f = Make({});
+  EXPECT_EQ(f.GetString("x", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("x", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5).value(), 1.5);
+}
+
+TEST(FlagParserTest, BadNumbersAreErrors) {
+  const auto f = Make({"--count=abc"});
+  EXPECT_FALSE(f.GetInt("count", 0).ok());
+  EXPECT_FALSE(f.GetDouble("count", 0).ok());
+}
+
+TEST(FlagParserTest, CheckAllowed) {
+  const auto f = Make({"--count=1", "--typo=2"});
+  EXPECT_TRUE(f.CheckAllowed({"count", "typo"}).ok());
+  const Status s = f.CheckAllowed({"count"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("typo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,181 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "workload/parameter_space.h"
+
+namespace zerotune::workload {
+namespace {
+
+TEST(ParameterSpaceTest, SeenRangesMatchPaper) {
+  EXPECT_EQ(ParameterSpace::SeenEventRates().size(), 16u);
+  EXPECT_EQ(ParameterSpace::SeenEventRates().front(), 100);
+  EXPECT_EQ(ParameterSpace::SeenEventRates().back(), 1000000);
+  EXPECT_EQ(ParameterSpace::SeenTupleWidths(),
+            (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ParameterSpace::SeenWindowLengths().size(), 6u);
+  EXPECT_EQ(ParameterSpace::SeenWorkerCounts(),
+            (std::vector<int>{2, 4, 6}));
+}
+
+TEST(ParameterSpaceTest, UnseenRangesMatchPaper) {
+  EXPECT_EQ(ParameterSpace::UnseenEventRates().back(), 4000000);
+  EXPECT_EQ(ParameterSpace::UnseenTupleWidths().front(), 6);
+  EXPECT_EQ(ParameterSpace::UnseenTupleWidths().back(), 15);
+  EXPECT_EQ(ParameterSpace::UnseenWorkerCounts(),
+            (std::vector<int>{3, 8, 10}));
+}
+
+TEST(ParameterSpaceTest, StructureLists) {
+  EXPECT_EQ(TrainingStructures().size(), 3u);
+  EXPECT_EQ(UnseenSyntheticStructures().size(), 6u);
+  EXPECT_EQ(BenchmarkStructures().size(), 3u);
+}
+
+TEST(QueryGeneratorTest, LinearStructure) {
+  QueryGenerator gen({}, 1);
+  bool saw_agg = false, saw_no_agg = false, saw_two_filters = false;
+  for (int i = 0; i < 40; ++i) {
+    const auto g = gen.Generate(QueryStructure::kLinear);
+    ASSERT_TRUE(g.ok());
+    const auto& q = g.value().plan;
+    EXPECT_TRUE(q.Validate().ok());
+    EXPECT_EQ(q.CountType(dsp::OperatorType::kSource), 1u);
+    const size_t filters = q.CountType(dsp::OperatorType::kFilter);
+    EXPECT_GE(filters, 1u);
+    EXPECT_LE(filters, 3u);  // up to 2 pre-agg + 1 post-agg filter
+    const size_t aggs = q.CountType(dsp::OperatorType::kWindowAggregate);
+    EXPECT_LE(aggs, 1u);
+    saw_agg |= aggs == 1;
+    saw_no_agg |= aggs == 0;
+    saw_two_filters |= filters == 2;
+  }
+  // The linear template is a family: both window-topped and window-less
+  // pipelines must appear.
+  EXPECT_TRUE(saw_agg);
+  EXPECT_TRUE(saw_no_agg);
+  EXPECT_TRUE(saw_two_filters);
+}
+
+TEST(QueryGeneratorTest, NWayJoinStructure) {
+  QueryGenerator gen({}, 2);
+  for (auto [structure, sources] :
+       std::vector<std::pair<QueryStructure, size_t>>{
+           {QueryStructure::kTwoWayJoin, 2},
+           {QueryStructure::kThreeWayJoin, 3},
+           {QueryStructure::kSixWayJoin, 6}}) {
+    const auto g = gen.Generate(structure);
+    ASSERT_TRUE(g.ok());
+    const auto& q = g.value().plan;
+    EXPECT_TRUE(q.Validate().ok());
+    EXPECT_EQ(q.CountType(dsp::OperatorType::kSource), sources);
+    EXPECT_EQ(q.CountType(dsp::OperatorType::kWindowJoin), sources - 1);
+  }
+}
+
+TEST(QueryGeneratorTest, ChainedFiltersStructure) {
+  QueryGenerator gen({}, 3);
+  const auto g = gen.Generate(QueryStructure::kFourChainedFilters);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().plan.CountType(dsp::OperatorType::kFilter), 4u);
+  EXPECT_TRUE(g.value().plan.Validate().ok());
+}
+
+TEST(QueryGeneratorTest, BenchmarkStructuresRejected) {
+  QueryGenerator gen({}, 4);
+  EXPECT_FALSE(gen.Generate(QueryStructure::kSpikeDetection).ok());
+}
+
+TEST(QueryGeneratorTest, DeterministicGivenSeed) {
+  QueryGenerator a({}, 77), b({}, 77);
+  const auto ga = a.Generate(QueryStructure::kLinear).value();
+  const auto gb = b.Generate(QueryStructure::kLinear).value();
+  EXPECT_EQ(ga.plan.op(0).source.event_rate, gb.plan.op(0).source.event_rate);
+  EXPECT_EQ(ga.cluster.num_nodes(), gb.cluster.num_nodes());
+}
+
+TEST(QueryGeneratorTest, SeenRangesRespected) {
+  QueryGenerator gen({}, 5);
+  const auto& rates = ParameterSpace::SeenEventRates();
+  for (int i = 0; i < 30; ++i) {
+    const auto g = gen.Generate(QueryStructure::kLinear).value();
+    const double rate = g.plan.op(0).source.event_rate;
+    EXPECT_NE(std::find(rates.begin(), rates.end(), rate), rates.end());
+    const size_t width = g.plan.op(0).source.schema.width();
+    EXPECT_GE(width, 1u);
+    EXPECT_LE(width, 5u);
+    // Seen cluster types only.
+    for (const auto& n : g.cluster.nodes()) {
+      EXPECT_TRUE(n.type_name == "m510" || n.type_name == "rs620");
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, UnseenRangesRespected) {
+  QueryGenerator::Options opts;
+  opts.unseen_ranges = true;
+  QueryGenerator gen(opts, 6);
+  for (int i = 0; i < 20; ++i) {
+    const auto g = gen.Generate(QueryStructure::kLinear).value();
+    const size_t width = g.plan.op(0).source.schema.width();
+    EXPECT_GE(width, 6u);
+    EXPECT_LE(width, 15u);
+  }
+}
+
+TEST(QueryGeneratorTest, OverridesPinParameters) {
+  QueryGenerator::Options opts;
+  opts.overrides.event_rate = 12345.0;
+  opts.overrides.tuple_width = 7;
+  opts.overrides.tuple_type = dsp::DataType::kString;
+  opts.overrides.num_workers = 5;
+  opts.overrides.network_gbps = 1.0;
+  QueryGenerator gen(opts, 7);
+  const auto g = gen.Generate(QueryStructure::kLinear).value();
+  EXPECT_DOUBLE_EQ(g.plan.op(0).source.event_rate, 12345.0);
+  EXPECT_EQ(g.plan.op(0).source.schema.width(), 7u);
+  EXPECT_EQ(g.plan.op(0).source.schema.fields[0], dsp::DataType::kString);
+  EXPECT_EQ(g.cluster.num_nodes(), 5u);
+  EXPECT_DOUBLE_EQ(g.cluster.node(0).network_gbps, 1.0);
+}
+
+TEST(QueryGeneratorTest, WindowOverrides) {
+  QueryGenerator::Options opts;
+  opts.overrides.window_policy = dsp::WindowPolicy::kCount;
+  opts.overrides.window_type = dsp::WindowType::kTumbling;
+  opts.overrides.window_length = 37.0;
+  QueryGenerator gen(opts, 8);
+  const auto g = gen.Generate(QueryStructure::kLinear).value();
+  for (const auto& op : g.plan.operators()) {
+    if (op.type == dsp::OperatorType::kWindowAggregate) {
+      EXPECT_EQ(op.aggregate.window.policy, dsp::WindowPolicy::kCount);
+      EXPECT_DOUBLE_EQ(op.aggregate.window.length, 37.0);
+      EXPECT_DOUBLE_EQ(op.aggregate.window.slide, 37.0);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, SelectivitiesWithinBounds) {
+  QueryGenerator gen({}, 9);
+  for (int i = 0; i < 20; ++i) {
+    const auto g = gen.Generate(QueryStructure::kTwoWayJoin).value();
+    for (const auto& op : g.plan.operators()) {
+      const double sel = g.plan.OperatorSelectivity(op.id);
+      EXPECT_GE(sel, 0.0);
+      EXPECT_LE(sel, 1.0);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, TrainingGeneratorCoversAllStructures) {
+  QueryGenerator gen({}, 10);
+  std::set<QueryStructure> seen;
+  for (int i = 0; i < 60; ++i) {
+    seen.insert(gen.GenerateTraining().value().structure);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace zerotune::workload

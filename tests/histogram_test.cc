@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace zerotune {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  // Percentile is within one bucket (~12% relative error at 20/decade).
+  EXPECT_NEAR(h.Percentile(50), 42.0, 42.0 * 0.13);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  Histogram h(1e-3, 1e6, 20);
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.Gaussian(2.0, 1.0));
+    xs.push_back(v);
+    h.Record(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double exact = Percentile(xs, p);
+    // One log10/20 bucket ≈ 12.2% relative error.
+    EXPECT_NEAR(h.Percentile(p) / exact, 1.0, 0.13) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, IgnoresNonPositiveAndNonFinite) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-1.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(1.0, 1000.0, 10);
+  h.Record(1e-9);   // clamps into the lowest bucket
+  h.Record(1e12);   // clamps into the highest bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(100), 1000.0 * 0.75);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.Record(i);
+  for (int i = 101; i <= 200; ++i) b.Record(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_NEAR(a.Percentile(50) / 100.0, 1.0, 0.15);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a, b;
+  b.Record(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(10.0);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) h.Record(rng.Uniform(0.5, 500.0));
+  double prev = 0.0;
+  for (double p = 0; p <= 100; p += 10) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,203 @@
+// End-to-end integration tests: data collection -> training -> zero-shot
+// prediction on unseen structures -> optimizer-driven parallelism tuning.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/optimizer.h"
+#include "core/trainer.h"
+#include "workload/benchmarks.h"
+
+namespace zerotune {
+namespace {
+
+using core::BuildDataset;
+using core::DatasetBuilderOptions;
+using core::ModelConfig;
+using core::OptiSampleEnumerator;
+using core::TrainOptions;
+using core::Trainer;
+using core::ZeroTuneModel;
+using workload::Dataset;
+using workload::QueryStructure;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    OptiSampleEnumerator enumerator;
+    DatasetBuilderOptions opts;
+    opts.count = 400;
+    opts.seed = 1234;
+    pool_ = new ThreadPool(4);
+    opts.pool = pool_;
+    corpus_ = new Dataset(BuildDataset(enumerator, opts).value());
+
+    model_ = new ZeroTuneModel([] {
+      ModelConfig cfg;
+      cfg.hidden_dim = 32;
+      cfg.seed = 5;
+      return cfg;
+    }());
+    Rng rng(17);
+    train_ = new Dataset();
+    val_ = new Dataset();
+    test_ = new Dataset();
+    ASSERT_TRUE(corpus_->Split(0.8, 0.1, &rng, train_, val_, test_).ok());
+    TrainOptions topts;
+    topts.epochs = 40;
+    topts.patience = 10;
+    topts.pool = pool_;
+    Trainer trainer(model_, topts);
+    ASSERT_TRUE(trainer.Train(*train_, *val_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete corpus_;
+    delete train_;
+    delete val_;
+    delete test_;
+    delete pool_;
+  }
+
+  static ThreadPool* pool_;
+  static Dataset* corpus_;
+  static Dataset* train_;
+  static Dataset* val_;
+  static Dataset* test_;
+  static ZeroTuneModel* model_;
+};
+
+ThreadPool* IntegrationTest::pool_ = nullptr;
+Dataset* IntegrationTest::corpus_ = nullptr;
+Dataset* IntegrationTest::train_ = nullptr;
+Dataset* IntegrationTest::val_ = nullptr;
+Dataset* IntegrationTest::test_ = nullptr;
+ZeroTuneModel* IntegrationTest::model_ = nullptr;
+
+TEST_F(IntegrationTest, AccurateOnSeenTestSplit) {
+  const auto eval = Trainer::Evaluate(*model_, *test_);
+  // Realistic bar for a small training run: well under 10x median error.
+  EXPECT_LT(eval.latency.median, 5.0);
+  EXPECT_LT(eval.throughput.median, 5.0);
+}
+
+TEST_F(IntegrationTest, ZeroShotOnUnseenStructures) {
+  // Chained filters and 4-way joins never appear in training.
+  OptiSampleEnumerator enumerator;
+  DatasetBuilderOptions opts;
+  opts.count = 60;
+  opts.seed = 777;
+  opts.structures = {QueryStructure::kThreeChainedFilters,
+                     QueryStructure::kFourWayJoin};
+  const Dataset unseen = BuildDataset(enumerator, opts).value();
+  const auto eval = Trainer::Evaluate(*model_, unseen);
+  EXPECT_LT(eval.latency.median, 12.0);
+  EXPECT_GE(eval.latency.median, 1.0);
+}
+
+TEST_F(IntegrationTest, ZeroShotOnPublicBenchmarks) {
+  OptiSampleEnumerator enumerator;
+  DatasetBuilderOptions opts;
+  opts.seed = 31;
+  const Dataset bench = core::BuildBenchmarkDataset(
+      QueryStructure::kSpikeDetection, 20, enumerator, opts).value();
+  const auto eval = Trainer::Evaluate(*model_, bench);
+  EXPECT_LT(eval.latency.median, 15.0);
+}
+
+TEST_F(IntegrationTest, ModelDrivenTuningBeatsGreedyUnderLoad) {
+  // Use the trained model inside the optimizer and execute both its plan
+  // and the greedy plan on the ground-truth engine.
+  sim::CostParams params;
+  params.noise_sigma = 0.0;
+  sim::CostEngine engine(params);
+
+  workload::QueryGenerator::Options gopts;
+  gopts.overrides.event_rate = 500000.0;
+  workload::QueryGenerator gen(gopts, 4242);
+
+  core::ParallelismOptimizer optimizer(model_);
+  baselines::GreedyHeuristicTuner greedy;
+
+  // Average the combined objective over several queries: with this test's
+  // deliberately small training corpus, individual predictions are noisy.
+  auto score = [](const sim::CostMeasurement& m) {
+    return 0.5 * std::log(std::max(m.latency_ms, 1e-6)) -
+           0.5 * std::log(std::max(m.throughput_tps, 1e-6));
+  };
+  double tuned_sum = 0.0, greedy_sum = 0.0;
+  const int kQueries = 5;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto g = gen.Generate(QueryStructure::kLinear).value();
+    const auto tuned = optimizer.Tune(g.plan, g.cluster);
+    ASSERT_TRUE(tuned.ok());
+    tuned_sum +=
+        score(engine.MeasureNoiseless(tuned.value().plan).value());
+    const auto greedy_plan = greedy.Tune(g.plan, g.cluster).value();
+    greedy_sum += score(engine.MeasureNoiseless(greedy_plan).value());
+  }
+  // The learned-model plans should be no worse than greedy on average
+  // (usually much better on at least one metric).
+  EXPECT_LE(tuned_sum / kQueries, greedy_sum / kQueries + 0.3);
+}
+
+TEST_F(IntegrationTest, FewShotImprovesComplexJoins) {
+  OptiSampleEnumerator enumerator;
+  DatasetBuilderOptions opts;
+  opts.count = 80;
+  opts.seed = 555;
+  opts.structures = {QueryStructure::kFiveWayJoin};
+  const Dataset complex_corpus = BuildDataset(enumerator, opts).value();
+  Rng rng(3);
+  Dataset ft_train, ft_val, ft_test;
+  ASSERT_TRUE(
+      complex_corpus.Split(0.6, 0.2, &rng, &ft_train, &ft_val, &ft_test).ok());
+
+  const auto before = Trainer::Evaluate(*model_, ft_test);
+
+  // Fine-tune a copy so other tests keep the original model.
+  ZeroTuneModel tuned([] {
+    ModelConfig cfg;
+    cfg.hidden_dim = 32;
+    cfg.seed = 5;
+    return cfg;
+  }());
+  ASSERT_TRUE(tuned.mutable_params()->CopyFrom(model_->params()).ok());
+  tuned.set_target_stats(model_->target_stats());
+  TrainOptions ft;
+  ft.epochs = 15;
+  ft.fit_target_stats = false;
+  ft.learning_rate = 3e-4;
+  ASSERT_TRUE(Trainer(&tuned, ft).Train(ft_train, ft_val).ok());
+  // Fine-tuning must fit the few-shot distribution: accuracy on the
+  // fine-tune training split improves over zero-shot.
+  const auto before_fit = Trainer::Evaluate(*model_, ft_train);
+  const auto after_fit = Trainer::Evaluate(tuned, ft_train);
+  EXPECT_LT(after_fit.throughput.median, before_fit.throughput.median + 0.3);
+  // And generalization to held-out complex joins must not collapse
+  // (generous margins: the base model in this test is deliberately tiny).
+  const auto after = Trainer::Evaluate(tuned, ft_test);
+  EXPECT_LE(after.latency.median, before.latency.median * 3.0);
+  EXPECT_LT(after.throughput.median, before.throughput.median * 3.0 + 2.0);
+}
+
+TEST_F(IntegrationTest, SaveLoadPreservesAccuracy) {
+  const std::string path = ::testing::TempDir() + "/zt_integration_model.txt";
+  ASSERT_TRUE(model_->Save(path).ok());
+  ZeroTuneModel loaded([] {
+    ModelConfig cfg;
+    cfg.hidden_dim = 32;
+    cfg.seed = 999;
+    return cfg;
+  }());
+  ASSERT_TRUE(loaded.Load(path).ok());
+  const auto a = Trainer::Evaluate(*model_, *test_);
+  const auto b = Trainer::Evaluate(loaded, *test_);
+  EXPECT_DOUBLE_EQ(a.latency.median, b.latency.median);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,101 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zerotune::nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  zerotune::Rng rng(1);
+  ParameterStore store;
+  Linear layer(&store, 4, 3, &rng);
+  const NodePtr out = layer.Forward(Constant(Matrix(2, 4, 1.0)));
+  EXPECT_EQ(out->value.rows(), 2u);
+  EXPECT_EQ(out->value.cols(), 3u);
+}
+
+TEST(LinearTest, BiasStartsAtZero) {
+  zerotune::Rng rng(1);
+  ParameterStore store;
+  Linear layer(&store, 2, 2, &rng);
+  // With zero input, output equals bias (zero-initialized).
+  const NodePtr out = layer.Forward(Constant(Matrix(1, 2, 0.0)));
+  EXPECT_DOUBLE_EQ(out->value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out->value(0, 1), 0.0);
+}
+
+TEST(LinearTest, AllocatesTwoParameters) {
+  zerotune::Rng rng(1);
+  ParameterStore store;
+  Linear layer(&store, 5, 7, &rng);
+  EXPECT_EQ(store.parameters().size(), 2u);
+  EXPECT_EQ(store.num_parameters(), 5u * 7u + 7u);
+  (void)layer;
+}
+
+TEST(MlpTest, LayerSizesRespected) {
+  zerotune::Rng rng(2);
+  ParameterStore store;
+  Mlp mlp(&store, {6, 8, 3}, &rng);
+  EXPECT_EQ(mlp.in_features(), 6u);
+  EXPECT_EQ(mlp.out_features(), 3u);
+  const NodePtr out = mlp.Forward(Constant(Matrix(1, 6, 0.5)));
+  EXPECT_EQ(out->value.cols(), 3u);
+}
+
+TEST(MlpTest, ReluOutputActivationClampsNegatives) {
+  zerotune::Rng rng(3);
+  ParameterStore store;
+  Mlp::Options opts;
+  opts.activation = Activation::kRelu;
+  opts.activate_output = true;
+  Mlp mlp(&store, {2, 4, 4}, &rng, opts);
+  const NodePtr out = mlp.Forward(Constant(Matrix::RowVector({1.0, -1.0})));
+  for (size_t i = 0; i < out->value.size(); ++i) {
+    EXPECT_GE(out->value.data()[i], 0.0);
+  }
+}
+
+TEST(MlpTest, RegressionHeadCanGoNegative) {
+  zerotune::Rng rng(4);
+  ParameterStore store;
+  Mlp mlp(&store, {2, 8, 1}, &rng);  // no output activation
+  bool saw_negative = false;
+  for (int i = 0; i < 50 && !saw_negative; ++i) {
+    zerotune::Rng xr(static_cast<uint64_t>(i + 1));
+    const NodePtr out = mlp.Forward(Constant(
+        Matrix::RowVector({xr.Gaussian(0, 3), xr.Gaussian(0, 3)})));
+    saw_negative = out->value(0, 0) < 0.0;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(ActivateTest, AllKinds) {
+  const NodePtr x = Constant(Matrix::RowVector({-2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(Activate(x, Activation::kNone)->value(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(Activate(x, Activation::kRelu)->value(0, 0), 0.0);
+  EXPECT_NEAR(Activate(x, Activation::kLeakyRelu)->value(0, 0), -0.02, 1e-12);
+  EXPECT_NEAR(Activate(x, Activation::kTanh)->value(0, 1), std::tanh(2.0),
+              1e-12);
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid)->value(0, 1),
+              1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  auto build = [] {
+    zerotune::Rng rng(77);
+    auto store = std::make_unique<ParameterStore>();
+    Mlp mlp(store.get(), {3, 5, 2}, &rng);
+    return mlp.Forward(Constant(Matrix::RowVector({1, 2, 3})))->value;
+  };
+  const Matrix a = build();
+  const Matrix b = build();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace zerotune::nn

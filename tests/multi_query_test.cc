@@ -1,0 +1,106 @@
+#include "core/multi_query.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "core/oracle_predictor.h"
+
+namespace zerotune::core {
+namespace {
+
+using dsp::Cluster;
+using dsp::QueryPlan;
+
+QueryPlan MakeQuery(double rate) {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = rate;
+  s.schema = dsp::TupleSchema::Uniform(3, dsp::DataType::kDouble);
+  const int src = q.AddSource(s);
+  dsp::FilterProperties f;
+  f.selectivity = 0.7;
+  const int fid = q.AddFilter(src, f).value();
+  dsp::AggregateProperties a;
+  a.selectivity = 0.2;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  return q;
+}
+
+class MultiQueryTest : public ::testing::Test {
+ protected:
+  OraclePredictor oracle_;
+};
+
+TEST_F(MultiQueryTest, PartitionsAllNodesDisjointly) {
+  MultiQueryOptimizer opt(&oracle_);
+  const Cluster cluster = Cluster::Homogeneous("m510", 5).value();
+  const std::vector<QueryPlan> queries = {MakeQuery(1000), MakeQuery(50000)};
+  const auto result = opt.Tune(queries, cluster);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::set<int> used;
+  size_t total = 0;
+  for (const auto& qa : result.value().queries) {
+    EXPECT_FALSE(qa.node_indices.empty());
+    for (int n : qa.node_indices) {
+      EXPECT_TRUE(used.insert(n).second) << "node assigned twice";
+    }
+    total += qa.node_indices.size();
+    EXPECT_TRUE(qa.plan.Validate().ok());
+  }
+  EXPECT_EQ(total, cluster.num_nodes());
+}
+
+TEST_F(MultiQueryTest, HeavyQueryGetsMoreNodes) {
+  MultiQueryOptimizer opt(&oracle_);
+  const Cluster cluster = Cluster::Homogeneous("m510", 6).value();
+  const std::vector<QueryPlan> queries = {MakeQuery(500),
+                                          MakeQuery(2000000)};
+  const auto result = opt.Tune(queries, cluster).value();
+  EXPECT_LT(result.queries[0].node_indices.size(),
+            result.queries[1].node_indices.size());
+}
+
+TEST_F(MultiQueryTest, HeavyAllocationSustainsMoreThroughput) {
+  MultiQueryOptimizer opt(&oracle_);
+  const Cluster cluster = Cluster::Homogeneous("rs6525", 4).value();
+  const std::vector<QueryPlan> queries = {MakeQuery(1000),
+                                          MakeQuery(1500000)};
+  const auto result = opt.Tune(queries, cluster).value();
+  // The light query keeps full throughput; the heavy one sustains much
+  // more than a single-node deployment would.
+  EXPECT_NEAR(result.queries[0].predicted.throughput_tps, 1000.0, 200.0);
+  EXPECT_GT(result.queries[1].predicted.throughput_tps, 200000.0);
+}
+
+TEST_F(MultiQueryTest, MoreQueriesThanNodesRejected) {
+  MultiQueryOptimizer opt(&oracle_);
+  const Cluster cluster = Cluster::Homogeneous("m510", 1).value();
+  const std::vector<QueryPlan> queries = {MakeQuery(1000), MakeQuery(1000)};
+  EXPECT_FALSE(opt.Tune(queries, cluster).ok());
+}
+
+TEST_F(MultiQueryTest, EmptyQueryListRejected) {
+  MultiQueryOptimizer opt(&oracle_);
+  EXPECT_FALSE(
+      opt.Tune({}, Cluster::Homogeneous("m510", 2).value()).ok());
+}
+
+TEST_F(MultiQueryTest, InvalidQueryRejected) {
+  MultiQueryOptimizer opt(&oracle_);
+  QueryPlan bad;  // no sink
+  bad.AddSource({1000.0, dsp::TupleSchema::Uniform(1, dsp::DataType::kInt)});
+  EXPECT_FALSE(
+      opt.Tune({bad}, Cluster::Homogeneous("m510", 2).value()).ok());
+}
+
+TEST_F(MultiQueryTest, SingleQueryGetsWholeCluster) {
+  MultiQueryOptimizer opt(&oracle_);
+  const Cluster cluster = Cluster::Homogeneous("m510", 3).value();
+  const auto result = opt.Tune({MakeQuery(500000)}, cluster).value();
+  ASSERT_EQ(result.queries.size(), 1u);
+  EXPECT_EQ(result.queries[0].node_indices.size(), 3u);
+}
+
+}  // namespace
+}  // namespace zerotune::core

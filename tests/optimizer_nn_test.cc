@@ -1,0 +1,110 @@
+// Tests for the nn optimizers (Adam, SGD): convergence on small problems.
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace zerotune::nn {
+namespace {
+
+/// Trains y = 2x1 - 3x2 + 1 from samples; returns final MSE.
+template <typename Optimizer>
+double FitLinear(Optimizer* opt, ParameterStore* store, const Linear& layer,
+                 int steps) {
+  zerotune::Rng rng(10);
+  double last_loss = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    GradStore grads;
+    double loss_sum = 0.0;
+    for (int b = 0; b < 16; ++b) {
+      const double x1 = rng.Uniform(-1, 1);
+      const double x2 = rng.Uniform(-1, 1);
+      const Matrix target(1, 1, 2.0 * x1 - 3.0 * x2 + 1.0);
+      const NodePtr out =
+          layer.Forward(Constant(Matrix::RowVector({x1, x2})));
+      const NodePtr loss = MseLoss(out, target);
+      loss_sum += loss->value(0, 0);
+      Backward(loss, &grads);
+    }
+    grads.Scale(1.0 / 16.0);
+    opt->Step(grads);
+    last_loss = loss_sum / 16.0;
+  }
+  (void)store;
+  return last_loss;
+}
+
+TEST(AdamTest, FitsLinearFunction) {
+  zerotune::Rng rng(1);
+  ParameterStore store;
+  Linear layer(&store, 2, 1, &rng);
+  Adam::Options opts;
+  opts.learning_rate = 0.05;
+  Adam adam(&store, opts);
+  const double loss = FitLinear(&adam, &store, layer, 300);
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(SgdTest, FitsLinearFunction) {
+  zerotune::Rng rng(1);
+  ParameterStore store;
+  Linear layer(&store, 2, 1, &rng);
+  Sgd::Options opts;
+  opts.learning_rate = 0.1;
+  opts.momentum = 0.9;
+  Sgd sgd(&store, opts);
+  const double loss = FitLinear(&sgd, &store, layer, 300);
+  EXPECT_LT(loss, 1e-2);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  zerotune::Rng rng(2);
+  ParameterStore store;
+  const NodePtr w = store.CreateParameter(1, 1, &rng);
+  const NodePtr untouched = store.CreateParameter(1, 1, &rng);
+  const double before = untouched->value(0, 0);
+  Adam adam(&store);
+  GradStore grads;
+  grads.Accumulate(w->param_id, Matrix(1, 1, 1.0));
+  adam.Step(grads);
+  EXPECT_DOUBLE_EQ(untouched->value(0, 0), before);
+  EXPECT_NE(w->value(0, 0), 0.0);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  zerotune::Rng rng(3);
+  ParameterStore store;
+  const NodePtr w = store.CreateParameter(1, 1, &rng);
+  w->value(0, 0) = 10.0;
+  Adam::Options opts;
+  opts.learning_rate = 0.01;
+  opts.weight_decay = 1.0;
+  Adam adam(&store, opts);
+  GradStore grads;
+  grads.Accumulate(w->param_id, Matrix(1, 1, 0.0));
+  // Zero gradient: only decay acts (m/v stay 0 so the Adam term is 0).
+  adam.Step(grads);
+  EXPECT_LT(w->value(0, 0), 10.0);
+}
+
+TEST(AdamTest, ResetClearsMoments) {
+  zerotune::Rng rng(4);
+  ParameterStore store;
+  const NodePtr w = store.CreateParameter(1, 1, &rng);
+  Adam adam(&store);
+  GradStore grads;
+  grads.Accumulate(w->param_id, Matrix(1, 1, 5.0));
+  adam.Step(grads);
+  const double after_one = w->value(0, 0);
+  adam.Reset();
+  adam.Step(grads);
+  // After reset, the first-step bias correction applies again: the update
+  // magnitude matches a fresh optimizer's first step.
+  const double delta = after_one - w->value(0, 0);
+  EXPECT_NEAR(std::abs(delta), 1e-3, 1e-4);  // default lr = 1e-3
+}
+
+}  // namespace
+}  // namespace zerotune::nn

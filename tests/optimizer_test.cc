@@ -1,0 +1,142 @@
+// Tests for the parallelism optimizer (core/optimizer.h).
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle_predictor.h"
+#include "workload/generator.h"
+
+namespace zerotune::core {
+namespace {
+
+using dsp::Cluster;
+using dsp::QueryPlan;
+
+QueryPlan LoadedLinearPlan(double rate) {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = rate;
+  s.schema = dsp::TupleSchema::Uniform(3, dsp::DataType::kDouble);
+  const int src = q.AddSource(s);
+  dsp::FilterProperties f;
+  f.selectivity = 0.8;
+  const int fid = q.AddFilter(src, f).value();
+  dsp::AggregateProperties a;
+  a.selectivity = 0.2;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  return q;
+}
+
+TEST(ParallelismOptimizerTest, ProducesValidPlan) {
+  OraclePredictor oracle;
+  ParallelismOptimizer opt(&oracle);
+  const auto result =
+      opt.Tune(LoadedLinearPlan(100000), Cluster::Homogeneous("m510", 4).value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().plan.Validate().ok());
+  EXPECT_GT(result.value().candidates_evaluated, 5u);
+}
+
+TEST(ParallelismOptimizerTest, BeatsDegreeOneUnderLoad) {
+  OraclePredictor oracle;
+  ParallelismOptimizer opt(&oracle);
+  const Cluster cluster = Cluster::Homogeneous("m510", 4).value();
+  const QueryPlan q = LoadedLinearPlan(500000);
+  const auto result = opt.Tune(q, cluster).value();
+
+  dsp::ParallelQueryPlan naive(q, cluster);
+  ASSERT_TRUE(naive.SetUniformParallelism(1, false).ok());
+  ASSERT_TRUE(naive.PlaceRoundRobin().ok());
+  const auto naive_cost = oracle.Predict(naive).value();
+
+  // The tuned plan must dominate on throughput (the naive plan is
+  // heavily backpressured at 500k ev/s).
+  EXPECT_GT(result.predicted.throughput_tps, naive_cost.throughput_tps);
+}
+
+TEST(ParallelismOptimizerTest, RespectsCoreConstraint) {
+  OraclePredictor oracle;
+  ParallelismOptimizer opt(&oracle);
+  const Cluster tiny = Cluster::Homogeneous("m510", 1).value();  // 8 cores
+  const auto result = opt.Tune(LoadedLinearPlan(4000000), tiny).value();
+  for (const auto& op : result.plan.logical().operators()) {
+    EXPECT_LE(result.plan.parallelism(op.id), 8);
+  }
+}
+
+TEST(ParallelismOptimizerTest, WeightExtremesChangeSelection) {
+  OraclePredictor oracle;
+  const Cluster cluster = Cluster::Homogeneous("rs6525", 2).value();
+  const QueryPlan q = LoadedLinearPlan(250000);
+
+  ParallelismOptimizer::Options latency_only;
+  latency_only.weight = 1.0;
+  ParallelismOptimizer::Options throughput_only;
+  throughput_only.weight = 0.0;
+  const auto lat_result =
+      ParallelismOptimizer(&oracle, latency_only).Tune(q, cluster).value();
+  const auto tpt_result =
+      ParallelismOptimizer(&oracle, throughput_only).Tune(q, cluster).value();
+  // Latency-optimal picks must not have lower throughput weighting than
+  // the throughput-optimal pick's latency; at minimum the two objectives
+  // pick plans at least as good on their own metric.
+  EXPECT_LE(lat_result.predicted.latency_ms,
+            tpt_result.predicted.latency_ms + 1e-9);
+  EXPECT_GE(tpt_result.predicted.throughput_tps,
+            lat_result.predicted.throughput_tps - 1e-9);
+}
+
+TEST(ParallelismOptimizerTest, WeightedCostWithinUnitInterval) {
+  OraclePredictor oracle;
+  ParallelismOptimizer opt(&oracle);
+  const auto result =
+      opt.Tune(LoadedLinearPlan(50000), Cluster::Homogeneous("m510", 2).value())
+          .value();
+  EXPECT_GE(result.weighted_cost, 0.0);
+  EXPECT_LE(result.weighted_cost, 1.0);
+}
+
+TEST(ParallelismOptimizerTest, RefinementNeverWorsensScore) {
+  OraclePredictor oracle;
+  ParallelismOptimizer::Options no_refine;
+  no_refine.refinement_passes = 0;
+  ParallelismOptimizer::Options refine;
+  refine.refinement_passes = 3;
+  const Cluster cluster = Cluster::Homogeneous("m510", 4).value();
+  const QueryPlan q = LoadedLinearPlan(750000);
+  const auto base =
+      ParallelismOptimizer(&oracle, no_refine).Tune(q, cluster).value();
+  const auto refined =
+      ParallelismOptimizer(&oracle, refine).Tune(q, cluster).value();
+  const double base_score =
+      0.5 * std::log(std::max(base.predicted.latency_ms, 1e-6)) -
+      0.5 * std::log(std::max(base.predicted.throughput_tps, 1e-6));
+  const double refined_score =
+      0.5 * std::log(std::max(refined.predicted.latency_ms, 1e-6)) -
+      0.5 * std::log(std::max(refined.predicted.throughput_tps, 1e-6));
+  EXPECT_LE(refined_score, base_score + 1e-9);
+}
+
+TEST(ParallelismOptimizerTest, InvalidLogicalPlanRejected) {
+  OraclePredictor oracle;
+  ParallelismOptimizer opt(&oracle);
+  QueryPlan q;  // empty
+  EXPECT_FALSE(opt.Tune(q, Cluster::Homogeneous("m510", 1).value()).ok());
+}
+
+TEST(OraclePredictorTest, MatchesNoiselessEngine) {
+  OraclePredictor oracle;
+  sim::CostEngine engine{sim::CostParams()};
+  dsp::ParallelQueryPlan plan(LoadedLinearPlan(10000),
+                              Cluster::Homogeneous("m510", 2).value());
+  ASSERT_TRUE(plan.SetUniformParallelism(2).ok());
+  ASSERT_TRUE(plan.PlaceRoundRobin().ok());
+  const auto p = oracle.Predict(plan).value();
+  const auto m = engine.MeasureNoiseless(plan).value();
+  EXPECT_DOUBLE_EQ(p.latency_ms, m.latency_ms);
+  EXPECT_DOUBLE_EQ(p.throughput_tps, m.throughput_tps);
+}
+
+}  // namespace
+}  // namespace zerotune::core

@@ -1,0 +1,159 @@
+#include "dsp/parallel_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::dsp {
+namespace {
+
+QueryPlan LinearPlan() {
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = 10000;
+  s.schema = TupleSchema::Uniform(3, DataType::kDouble);
+  const int src = q.AddSource(s);
+  const int f = q.AddFilter(src, FilterProperties{}).value();
+  AggregateProperties a;
+  const int agg = q.AddWindowAggregate(f, a).value();
+  q.AddSink(agg);
+  return q;
+}
+
+QueryPlan FilterChain(int n) {
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = 5000;
+  s.schema = TupleSchema::Uniform(2, DataType::kInt);
+  int tail = q.AddSource(s);
+  for (int i = 0; i < n; ++i) {
+    tail = q.AddFilter(tail, FilterProperties{}).value();
+  }
+  q.AddSink(tail);
+  return q;
+}
+
+Cluster SmallCluster() { return Cluster::Homogeneous("m510", 2).value(); }
+
+TEST(ParallelPlanTest, DefaultsToDegreeOne) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  for (const Operator& op : p.logical().operators()) {
+    EXPECT_EQ(p.parallelism(op.id), 1);
+  }
+}
+
+TEST(ParallelPlanTest, SetParallelismValidation) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  EXPECT_TRUE(p.SetParallelism(1, 4).ok());
+  EXPECT_FALSE(p.SetParallelism(1, 0).ok());
+  EXPECT_FALSE(p.SetParallelism(99, 2).ok());
+}
+
+TEST(ParallelPlanTest, ValidateRejectsDegreeAboveCores) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());  // 16 cores total
+  ASSERT_TRUE(p.SetParallelism(1, 17).ok());
+  EXPECT_FALSE(p.Validate().ok());
+  ASSERT_TRUE(p.SetParallelism(1, 16).ok());
+  p.DerivePartitioning();
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ParallelPlanTest, DerivePartitioningKeyedGetsHash) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  p.DerivePartitioning();
+  // Operator 2 is the keyed window aggregate.
+  EXPECT_EQ(p.placement(2).partitioning, PartitioningStrategy::kHash);
+}
+
+TEST(ParallelPlanTest, DerivePartitioningForwardOnEqualDegrees) {
+  ParallelQueryPlan p(FilterChain(2), SmallCluster());
+  ASSERT_TRUE(p.SetUniformParallelism(4).ok());
+  // filter(1) after source(P=1): degrees differ -> rebalance;
+  // filter(2) after filter(1): both 4 -> forward.
+  EXPECT_EQ(p.placement(1).partitioning, PartitioningStrategy::kRebalance);
+  EXPECT_EQ(p.placement(2).partitioning, PartitioningStrategy::kForward);
+}
+
+TEST(ParallelPlanTest, ChainingGroupsForwardRuns) {
+  ParallelQueryPlan p(FilterChain(3), SmallCluster());
+  ASSERT_TRUE(p.SetUniformParallelism(4).ok());
+  // The three filters share one chain (forward edges, equal degree).
+  EXPECT_TRUE(p.IsChainedWithUpstream(2));
+  EXPECT_TRUE(p.IsChainedWithUpstream(3));
+  EXPECT_FALSE(p.IsChainedWithUpstream(1));  // rebalance from source
+  EXPECT_EQ(p.GroupingNumber(1), 3);
+  EXPECT_EQ(p.GroupingNumber(2), 3);
+}
+
+TEST(ParallelPlanTest, NoChainingAcrossDifferentDegrees) {
+  ParallelQueryPlan p(FilterChain(2), SmallCluster());
+  ASSERT_TRUE(p.SetParallelism(1, 4).ok());
+  ASSERT_TRUE(p.SetParallelism(2, 2).ok());
+  p.DerivePartitioning();
+  EXPECT_FALSE(p.IsChainedWithUpstream(2));
+  EXPECT_EQ(p.GroupingNumber(1), 1);
+}
+
+TEST(ParallelPlanTest, PlacementCoversAllInstances) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  ASSERT_TRUE(p.SetUniformParallelism(6).ok());
+  ASSERT_TRUE(p.PlaceRoundRobin().ok());
+  for (const Operator& op : p.logical().operators()) {
+    const auto& nodes = p.placement(op.id).instance_nodes;
+    EXPECT_EQ(static_cast<int>(nodes.size()), p.parallelism(op.id));
+    for (int n : nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 2);
+    }
+  }
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ParallelPlanTest, ChainedOperatorsColocated) {
+  ParallelQueryPlan p(FilterChain(3), SmallCluster());
+  ASSERT_TRUE(p.SetUniformParallelism(4).ok());
+  ASSERT_TRUE(p.PlaceRoundRobin().ok());
+  // Filters 1..3 are one chain: instance i of each must share a node.
+  const auto& n1 = p.placement(1).instance_nodes;
+  const auto& n2 = p.placement(2).instance_nodes;
+  const auto& n3 = p.placement(3).instance_nodes;
+  ASSERT_EQ(n1.size(), n2.size());
+  for (size_t i = 0; i < n1.size(); ++i) {
+    EXPECT_EQ(n1[i], n2[i]);
+    EXPECT_EQ(n2[i], n3[i]);
+  }
+}
+
+TEST(ParallelPlanTest, AvgParallelismExcludesEndpoints) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  ASSERT_TRUE(p.SetParallelism(1, 8).ok());
+  ASSERT_TRUE(p.SetParallelism(2, 4).ok());
+  EXPECT_DOUBLE_EQ(p.AvgParallelism(), 6.0);
+}
+
+TEST(ParallelPlanTest, ParallelismCategories) {
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(1), "XS");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(7.9), "XS");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(8), "S");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(16), "M");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(32), "L");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(64), "XL");
+  EXPECT_STREQ(ParallelQueryPlan::ParallelismCategory(200), "XL");
+}
+
+TEST(ParallelPlanTest, ParallelismVector) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  ASSERT_TRUE(p.SetParallelism(1, 3).ok());
+  const auto v = p.ParallelismVector();
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(ParallelPlanTest, KeyedOperatorRequiresHash) {
+  ParallelQueryPlan p(LinearPlan(), SmallCluster());
+  ASSERT_TRUE(p.SetParallelism(2, 4).ok());
+  ASSERT_TRUE(p.SetPartitioning(2, PartitioningStrategy::kRebalance).ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

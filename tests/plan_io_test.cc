@@ -1,0 +1,182 @@
+#include "dsp/plan_io.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "workload/generator.h"
+
+namespace zerotune::dsp {
+namespace {
+
+QueryPlan ComplexPlan() {
+  QueryPlan q;
+  SourceProperties s1;
+  s1.event_rate = 12345.5;
+  s1.schema.fields = {DataType::kDouble, DataType::kInt, DataType::kString};
+  const int a = q.AddSource(s1);
+  SourceProperties s2;
+  s2.event_rate = 500;
+  s2.schema = TupleSchema::Uniform(2, DataType::kInt);
+  const int b = q.AddSource(s2);
+  FilterProperties f;
+  f.function = FilterFunction::kNotEqual;
+  f.literal_class = DataType::kString;
+  f.selectivity = 0.333;
+  const int fa = q.AddFilter(a, f).value();
+  JoinProperties j;
+  j.key_class = DataType::kString;
+  j.window = WindowSpec{WindowType::kSliding, WindowPolicy::kTime, 2500, 750};
+  j.selectivity = 0.0123;
+  const int jj = q.AddWindowJoin(fa, b, j).value();
+  AggregateProperties agg;
+  agg.function = AggregateFunction::kSum;
+  agg.aggregate_class = DataType::kInt;
+  agg.key_class = DataType::kString;
+  agg.keyed = false;
+  agg.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, 75, 75};
+  agg.selectivity = 0.05;
+  const int ag = q.AddWindowAggregate(jj, agg).value();
+  q.AddSink(ag);
+  return q;
+}
+
+void ExpectPlansEqual(const QueryPlan& a, const QueryPlan& b) {
+  ASSERT_EQ(a.num_operators(), b.num_operators());
+  for (size_t i = 0; i < a.num_operators(); ++i) {
+    const Operator& oa = a.op(static_cast<int>(i));
+    const Operator& ob = b.op(static_cast<int>(i));
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_EQ(a.upstreams(oa.id), b.upstreams(ob.id));
+    EXPECT_EQ(oa.output_schema.fields, ob.output_schema.fields);
+    switch (oa.type) {
+      case OperatorType::kSource:
+        EXPECT_DOUBLE_EQ(oa.source.event_rate, ob.source.event_rate);
+        break;
+      case OperatorType::kFilter:
+        EXPECT_EQ(oa.filter.function, ob.filter.function);
+        EXPECT_DOUBLE_EQ(oa.filter.selectivity, ob.filter.selectivity);
+        break;
+      case OperatorType::kWindowAggregate:
+        EXPECT_EQ(oa.aggregate.function, ob.aggregate.function);
+        EXPECT_EQ(oa.aggregate.keyed, ob.aggregate.keyed);
+        EXPECT_DOUBLE_EQ(oa.aggregate.window.length,
+                         ob.aggregate.window.length);
+        EXPECT_DOUBLE_EQ(oa.aggregate.window.slide, ob.aggregate.window.slide);
+        EXPECT_EQ(oa.aggregate.window.policy, ob.aggregate.window.policy);
+        break;
+      case OperatorType::kWindowJoin:
+        EXPECT_EQ(oa.join.key_class, ob.join.key_class);
+        EXPECT_DOUBLE_EQ(oa.join.selectivity, ob.join.selectivity);
+        break;
+      case OperatorType::kSink:
+        break;
+    }
+  }
+}
+
+TEST(SchemaStringTest, RoundTrip) {
+  TupleSchema s;
+  s.fields = {DataType::kDouble, DataType::kInt, DataType::kString};
+  EXPECT_EQ(PlanIO::SchemaToString(s), "dis");
+  const auto back = PlanIO::SchemaFromString("dis");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().fields, s.fields);
+}
+
+TEST(SchemaStringTest, RejectsBadChars) {
+  EXPECT_FALSE(PlanIO::SchemaFromString("dx").ok());
+}
+
+TEST(PlanIOTest, LogicalRoundTrip) {
+  const QueryPlan original = ComplexPlan();
+  std::stringstream ss;
+  ASSERT_TRUE(PlanIO::WriteQueryPlan(original, ss).ok());
+  const auto loaded = PlanIO::ReadQueryPlan(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectPlansEqual(original, loaded.value());
+}
+
+TEST(PlanIOTest, GeneratedPlansRoundTrip) {
+  workload::QueryGenerator gen({}, 99);
+  for (auto structure : {workload::QueryStructure::kLinear,
+                         workload::QueryStructure::kThreeWayJoin,
+                         workload::QueryStructure::kFourChainedFilters}) {
+    const auto g = gen.Generate(structure).value();
+    std::stringstream ss;
+    ASSERT_TRUE(PlanIO::WriteQueryPlan(g.plan, ss).ok());
+    const auto loaded = PlanIO::ReadQueryPlan(ss);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectPlansEqual(g.plan, loaded.value());
+  }
+}
+
+TEST(PlanIOTest, RejectsBadHeader) {
+  std::stringstream ss("not-a-plan\n");
+  EXPECT_FALSE(PlanIO::ReadQueryPlan(ss).ok());
+}
+
+TEST(PlanIOTest, RejectsUnknownKind) {
+  std::stringstream ss("zerotune-plan-v1\nwidget id=0\n");
+  EXPECT_FALSE(PlanIO::ReadQueryPlan(ss).ok());
+}
+
+TEST(PlanIOTest, RejectsMissingField) {
+  std::stringstream ss("zerotune-plan-v1\nsource id=0 rate=100\n");
+  EXPECT_FALSE(PlanIO::ReadQueryPlan(ss).ok());  // no schema
+}
+
+TEST(PlanIOTest, RejectsInvalidPlanStructure) {
+  // Parses fine but has no sink -> Validate fails.
+  std::stringstream ss("zerotune-plan-v1\nsource id=0 rate=100 schema=d\n");
+  EXPECT_FALSE(PlanIO::ReadQueryPlan(ss).ok());
+}
+
+TEST(PlanIOTest, ParallelRoundTrip) {
+  const QueryPlan logical = ComplexPlan();
+  ParallelQueryPlan plan(logical,
+                         Cluster::Homogeneous("rs620", 3, 1.0).value());
+  ASSERT_TRUE(plan.SetParallelism(2, 4).ok());
+  ASSERT_TRUE(plan.SetParallelism(3, 6).ok());
+  plan.DerivePartitioning();
+  ASSERT_TRUE(plan.PlaceRoundRobin().ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(PlanIO::WriteParallelPlan(plan, ss).ok());
+  const auto loaded = PlanIO::ReadParallelPlan(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ParallelQueryPlan& lp = loaded.value();
+  ExpectPlansEqual(logical, lp.logical());
+  EXPECT_EQ(lp.cluster().num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(lp.cluster().node(0).network_gbps, 1.0);
+  EXPECT_EQ(lp.ParallelismVector(), plan.ParallelismVector());
+  for (const Operator& op : logical.operators()) {
+    EXPECT_EQ(lp.placement(op.id).partitioning,
+              plan.placement(op.id).partitioning);
+    EXPECT_EQ(lp.placement(op.id).instance_nodes,
+              plan.placement(op.id).instance_nodes);
+  }
+}
+
+TEST(PlanIOTest, ParallelRequiresCluster) {
+  std::stringstream ss(
+      "zerotune-plan-v1\nsource id=0 rate=100 schema=d\nsink id=1 in=0\n"
+      "deploy id=0 p=1 part=0\n");
+  EXPECT_FALSE(PlanIO::ReadParallelPlan(ss).ok());
+}
+
+TEST(PlanIOTest, FileRoundTrip) {
+  const QueryPlan original = ComplexPlan();
+  const std::string path = ::testing::TempDir() + "/zt_plan_io_test.plan";
+  ASSERT_TRUE(PlanIO::SaveQueryPlan(original, path).ok());
+  const auto loaded = PlanIO::LoadQueryPlan(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectPlansEqual(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(PlanIOTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(PlanIO::LoadQueryPlan("/nonexistent/zt.plan").ok());
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

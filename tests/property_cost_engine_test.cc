@@ -1,0 +1,150 @@
+// Parameterized property tests: cost-engine invariants must hold across
+// the full grid of query structures × parallelism degrees × event rates.
+#include <gtest/gtest.h>
+
+#include "sim/cost_engine.h"
+#include "workload/generator.h"
+
+namespace zerotune::sim {
+namespace {
+
+using workload::QueryStructure;
+
+struct Case {
+  QueryStructure structure;
+  int degree;
+  double rate;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = workload::ToString(info.param.structure);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s + "_P" + std::to_string(info.param.degree) + "_R" +
+         std::to_string(static_cast<long>(info.param.rate));
+}
+
+class CostEngineProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  dsp::ParallelQueryPlan MakePlan() {
+    workload::QueryGenerator::Options opts;
+    opts.overrides.event_rate = GetParam().rate;
+    workload::QueryGenerator gen(opts, 0xfeed);
+    auto g = gen.Generate(GetParam().structure).value();
+    dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
+    const int cap = plan.cluster().TotalCores();
+    EXPECT_TRUE(plan.SetUniformParallelism(std::min(GetParam().degree, cap),
+                                           /*pin_endpoints=*/false)
+                    .ok());
+    EXPECT_TRUE(plan.PlaceRoundRobin().ok());
+    return plan;
+  }
+};
+
+TEST_P(CostEngineProperty, MeasurementInvariants) {
+  const auto plan = MakePlan();
+  CostParams params;
+  params.noise_sigma = 0.0;
+  const CostEngine engine(params);
+  const auto result = engine.Measure(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CostMeasurement& m = result.value();
+
+  // Finite, positive costs.
+  EXPECT_TRUE(std::isfinite(m.latency_ms));
+  EXPECT_TRUE(std::isfinite(m.throughput_tps));
+  EXPECT_GT(m.latency_ms, 0.0);
+  EXPECT_GT(m.throughput_tps, 0.0);
+
+  // Throughput never exceeds the offered load (noiseless).
+  double offered = 0.0;
+  for (int sid : plan.logical().Sources()) {
+    offered += plan.logical().op(sid).source.event_rate;
+  }
+  EXPECT_LE(m.throughput_tps, offered * (1.0 + 1e-9));
+
+  // Sustained fraction consistent with the backpressure flag.
+  EXPECT_GT(m.sustained_fraction, 0.0);
+  EXPECT_LE(m.sustained_fraction, 1.0);
+  EXPECT_EQ(m.backpressured, m.sustained_fraction < 1.0);
+
+  // Per-operator diagnostics.
+  ASSERT_EQ(m.per_operator.size(), plan.logical().num_operators());
+  for (const auto& diag : m.per_operator) {
+    EXPECT_GT(diag.capacity_tps, 0.0);
+    EXPECT_GE(diag.utilization, 0.0);
+    EXPECT_LT(diag.utilization, 1.0);
+    EXPECT_GE(diag.queue_delay_ms, 0.0);
+    EXPECT_GE(diag.window_delay_ms, 0.0);
+    EXPECT_GE(diag.network_delay_ms, 0.0);
+    // Actual rate is the offered rate throttled by the sustained fraction.
+    EXPECT_NEAR(diag.actual_input_rate_tps,
+                diag.input_rate_tps * m.sustained_fraction,
+                1e-6 * std::max(1.0, diag.input_rate_tps));
+  }
+}
+
+TEST_P(CostEngineProperty, NoiselessIsDeterministic) {
+  const auto plan = MakePlan();
+  CostParams params;
+  params.noise_sigma = 0.0;
+  const CostEngine engine(params);
+  const auto a = engine.Measure(plan).value();
+  const auto b = engine.Measure(plan).value();
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_DOUBLE_EQ(a.throughput_tps, b.throughput_tps);
+}
+
+TEST_P(CostEngineProperty, NoiseIsBoundedAroundNoiseless) {
+  const auto plan = MakePlan();
+  const CostEngine noisy;  // default sigma 0.10
+  const auto m = noisy.Measure(plan).value();
+  const auto clean = noisy.MeasureNoiseless(plan).value();
+  // Lognormal(0.1) stays within a factor of ~1.6 at 5 sigma.
+  EXPECT_GT(m.latency_ms, clean.latency_ms / 2.0);
+  EXPECT_LT(m.latency_ms, clean.latency_ms * 2.0);
+}
+
+TEST_P(CostEngineProperty, CapacityMonotoneInDegree) {
+  if (GetParam().degree >= 16) GTEST_SKIP() << "needs headroom to double";
+  const auto plan = MakePlan();
+  dsp::ParallelQueryPlan bigger = plan;
+  const int cap = bigger.cluster().TotalCores();
+  ASSERT_TRUE(bigger
+                  .SetUniformParallelism(
+                      std::min(GetParam().degree * 2, cap), false)
+                  .ok());
+  ASSERT_TRUE(bigger.PlaceRoundRobin().ok());
+
+  CostParams params;
+  params.noise_sigma = 0.0;
+  const CostEngine engine(params);
+  const auto small_m = engine.Measure(plan).value();
+  const auto big_m = engine.Measure(bigger).value();
+  // Sustained throughput never drops when every operator gets more
+  // instances (capacity is monotone; merge overhead only affects work
+  // logarithmically and is dominated by the degree factor).
+  EXPECT_GE(big_m.throughput_tps, small_m.throughput_tps * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostEngineProperty,
+    ::testing::ValuesIn([] {
+      std::vector<Case> cases;
+      for (QueryStructure s :
+           {QueryStructure::kLinear, QueryStructure::kTwoWayJoin,
+            QueryStructure::kThreeChainedFilters,
+            QueryStructure::kFourWayJoin}) {
+        for (int degree : {1, 4, 16}) {
+          for (double rate : {1000.0, 100000.0, 1000000.0}) {
+            cases.push_back(Case{s, degree, rate});
+          }
+        }
+      }
+      return cases;
+    }()),
+    CaseName);
+
+}  // namespace
+}  // namespace zerotune::sim

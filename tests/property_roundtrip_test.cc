@@ -1,0 +1,125 @@
+// Parameterized property tests for the serialization layers: every
+// structure round-trips through PlanIO byte-identically on the second
+// write, and the DSL parser never crashes on mangled input.
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/enumeration.h"
+#include "dsp/plan_io.h"
+#include "dsp/query_dsl.h"
+#include "workload/generator.h"
+
+namespace zerotune::dsp {
+namespace {
+
+using workload::QueryStructure;
+
+std::string StructureName(
+    const ::testing::TestParamInfo<QueryStructure>& info) {
+  std::string s = workload::ToString(info.param);
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<QueryStructure> {};
+
+TEST_P(RoundTripProperty, LogicalWriteReadWriteIsStable) {
+  workload::QueryGenerator gen({}, 0x70707);
+  for (int i = 0; i < 5; ++i) {
+    const auto g = gen.Generate(GetParam()).value();
+    std::stringstream first;
+    ASSERT_TRUE(PlanIO::WriteQueryPlan(g.plan, first).ok());
+    const auto reloaded = PlanIO::ReadQueryPlan(first);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    std::stringstream second;
+    ASSERT_TRUE(PlanIO::WriteQueryPlan(reloaded.value(), second).ok());
+    EXPECT_EQ(first.str(), second.str());
+  }
+}
+
+TEST_P(RoundTripProperty, ParallelWriteReadWriteIsStable) {
+  workload::QueryGenerator gen({}, 0x80808);
+  zerotune::Rng rng(4);
+  core::OptiSampleEnumerator enumerator;
+  for (int i = 0; i < 5; ++i) {
+    auto g = gen.Generate(GetParam()).value();
+    ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
+    ASSERT_TRUE(enumerator.Assign(&plan, &rng).ok());
+    std::stringstream first;
+    ASSERT_TRUE(PlanIO::WriteParallelPlan(plan, first).ok());
+    const auto reloaded = PlanIO::ReadParallelPlan(first);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    std::stringstream second;
+    ASSERT_TRUE(PlanIO::WriteParallelPlan(reloaded.value(), second).ok());
+    EXPECT_EQ(first.str(), second.str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, RoundTripProperty,
+    ::testing::Values(QueryStructure::kLinear, QueryStructure::kTwoWayJoin,
+                      QueryStructure::kThreeWayJoin,
+                      QueryStructure::kFourChainedFilters,
+                      QueryStructure::kFiveWayJoin),
+    StructureName);
+
+// Fuzz: the DSL parser must return ok-or-error on arbitrary garbage, and
+// never crash or hang.
+TEST(DslFuzzTest, SurvivesMangledPrograms) {
+  const std::string valid =
+      "a = source(rate=1000, schema=dd) | filter(sel=0.5)\n"
+      "b = source(rate=500, schema=ii)\n"
+      "join(a, b, sel=0.01, window=count:tumbling:10) | sink\n";
+  zerotune::Rng rng(99);
+  const std::string charset = "abz019=|(),:.#\n ";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mangled = valid;
+    const int edits = static_cast<int>(rng.UniformInt(1, 12));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mangled.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // substitute
+          mangled[pos] = charset[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1))];
+          break;
+        case 1:  // delete
+          mangled.erase(pos, 1);
+          break;
+        default:  // duplicate
+          mangled.insert(pos, 1, mangled[pos]);
+          break;
+      }
+      if (mangled.empty()) mangled = "x";
+    }
+    const auto result = QueryDsl::Parse(mangled);
+    if (result.ok()) {
+      // If it parsed, the plan must be structurally valid.
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+TEST(DslFuzzTest, SurvivesRandomNoise) {
+  zerotune::Rng rng(123);
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789=|(),:.#\n\t ";
+  for (int trial = 0; trial < 300; ++trial) {
+    const int len = static_cast<int>(rng.UniformInt(0, 200));
+    std::string input;
+    for (int i = 0; i < len; ++i) {
+      input += charset[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1))];
+    }
+    const auto result = QueryDsl::Parse(input);  // must not crash
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

@@ -1,0 +1,139 @@
+#include "dsp/query_dsl.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::dsp {
+namespace {
+
+TEST(QueryDslTest, LinearPipeline) {
+  const auto plan = QueryDsl::Parse(
+      "source(rate=100000, schema=ddi)"
+      " | filter(sel=0.5, fn=<=, literal=double)"
+      " | aggregate(fn=avg, key=int, window=count:tumbling:50, sel=0.1)"
+      " | sink");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const QueryPlan& q = plan.value();
+  EXPECT_EQ(q.num_operators(), 4u);
+  EXPECT_DOUBLE_EQ(q.op(0).source.event_rate, 100000.0);
+  EXPECT_EQ(q.op(0).source.schema.width(), 3u);
+  EXPECT_EQ(q.op(1).filter.function, FilterFunction::kLessEqual);
+  EXPECT_DOUBLE_EQ(q.op(1).filter.selectivity, 0.5);
+  EXPECT_EQ(q.op(2).aggregate.function, AggregateFunction::kAvg);
+  EXPECT_DOUBLE_EQ(q.op(2).aggregate.window.length, 50.0);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryDslTest, MultiLineWithContinuationsAndComments) {
+  const auto plan = QueryDsl::Parse(
+      "# a streaming query\n"
+      "source(rate=1000, schema=dd)\n"
+      "  | filter(sel=0.8)   # keep most\n"
+      "  | sink\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().num_operators(), 3u);
+}
+
+TEST(QueryDslTest, JoinOverNamedStreams) {
+  const auto plan = QueryDsl::Parse(
+      "left = source(rate=10000, schema=dd) | filter(sel=0.8)\n"
+      "right = source(rate=5000, schema=ii)\n"
+      "join(left, right, key=int, window=time:sliding:10000:3000, "
+      "sel=0.01)\n"
+      "  | aggregate(fn=max, key=int, window=count:tumbling:50, sel=0.2)\n"
+      "  | sink\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const QueryPlan& q = plan.value();
+  EXPECT_EQ(q.CountType(OperatorType::kSource), 2u);
+  EXPECT_EQ(q.CountType(OperatorType::kWindowJoin), 1u);
+  const Operator& join = q.op(3);
+  EXPECT_EQ(join.type, OperatorType::kWindowJoin);
+  EXPECT_EQ(join.join.window.type, WindowType::kSliding);
+  EXPECT_EQ(join.join.window.policy, WindowPolicy::kTime);
+  EXPECT_DOUBLE_EQ(join.join.window.slide, 3000.0);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryDslTest, NamedStreamReferenceStartsPipeline) {
+  const auto plan = QueryDsl::Parse(
+      "base = source(rate=100, schema=i)\n"
+      "base | filter(sel=0.5) | sink\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().num_operators(), 3u);
+}
+
+TEST(QueryDslTest, SemicolonSeparators) {
+  const auto plan = QueryDsl::Parse(
+      "a = source(rate=100, schema=i); a | sink");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(QueryDslTest, UnkeyedAggregate) {
+  const auto plan = QueryDsl::Parse(
+      "source(rate=100, schema=d)"
+      " | aggregate(sel=0.1, window=time:tumbling:1000, keyed=0) | sink");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan.value().op(1).aggregate.keyed);
+}
+
+TEST(QueryDslTest, ErrorsAreDescriptive) {
+  // Unknown stage.
+  auto r = QueryDsl::Parse("source(rate=1, schema=i) | frobnicate | sink");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("frobnicate"), std::string::npos);
+
+  // Unknown stream in join.
+  r = QueryDsl::Parse(
+      "a = source(rate=1, schema=i)\n"
+      "join(a, ghost, sel=0.1, window=count:tumbling:10) | sink");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(QueryDslTest, RejectsMissingRequiredArgs) {
+  EXPECT_FALSE(QueryDsl::Parse("source(schema=i) | sink").ok());  // no rate
+  EXPECT_FALSE(QueryDsl::Parse("source(rate=1) | sink").ok());    // no schema
+  EXPECT_FALSE(
+      QueryDsl::Parse("source(rate=1, schema=i) | filter | sink").ok());
+}
+
+TEST(QueryDslTest, RejectsSourceMidPipeline) {
+  EXPECT_FALSE(QueryDsl::Parse(
+                   "source(rate=1, schema=i) | source(rate=2, schema=i) "
+                   "| sink")
+                   .ok());
+}
+
+TEST(QueryDslTest, RejectsTumblingWithSlide) {
+  EXPECT_FALSE(
+      QueryDsl::Parse("source(rate=1, schema=i)"
+                      " | aggregate(sel=0.1, window=count:tumbling:10:5)"
+                      " | sink")
+          .ok());
+}
+
+TEST(QueryDslTest, RejectsPlanWithoutSink) {
+  EXPECT_FALSE(QueryDsl::Parse("source(rate=1, schema=i)").ok());
+}
+
+TEST(QueryDslTest, RejectsRedefinedStream) {
+  EXPECT_FALSE(QueryDsl::Parse(
+                   "a = source(rate=1, schema=i)\n"
+                   "a = source(rate=2, schema=i)\n"
+                   "a | sink")
+                   .ok());
+}
+
+TEST(QueryDslTest, RejectsUnbalancedParens) {
+  EXPECT_FALSE(QueryDsl::Parse("source(rate=1, schema=i | sink").ok());
+}
+
+TEST(QueryDslTest, SlidingDefaultsSlideToLength) {
+  const auto plan = QueryDsl::Parse(
+      "source(rate=1, schema=i)"
+      " | aggregate(sel=0.1, window=count:sliding:40) | sink");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan.value().op(1).aggregate.window.slide, 40.0);
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

@@ -1,0 +1,189 @@
+#include "dsp/query_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::dsp {
+namespace {
+
+SourceProperties MakeSource(double rate = 1000.0, size_t width = 3) {
+  SourceProperties s;
+  s.event_rate = rate;
+  s.schema = TupleSchema::Uniform(width, DataType::kDouble);
+  return s;
+}
+
+TEST(QueryPlanTest, LinearPlanBuilds) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource());
+  auto f = q.AddFilter(src, FilterProperties{});
+  ASSERT_TRUE(f.ok());
+  auto a = q.AddWindowAggregate(f.value(), AggregateProperties{});
+  ASSERT_TRUE(a.ok());
+  auto sink = q.AddSink(a.value());
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(q.num_operators(), 4u);
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.sink(), sink.value());
+  EXPECT_EQ(q.Sources().size(), 1u);
+}
+
+TEST(QueryPlanTest, FilterPreservesSchema) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource(1000, 5));
+  const int f = q.AddFilter(src, FilterProperties{}).value();
+  EXPECT_EQ(q.op(f).output_schema.width(), 5u);
+}
+
+TEST(QueryPlanTest, AggregateOutputsKeyValueCount) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource());
+  const int a = q.AddWindowAggregate(src, AggregateProperties{}).value();
+  EXPECT_EQ(q.op(a).output_schema.width(), 3u);
+}
+
+TEST(QueryPlanTest, JoinConcatenatesSchemas) {
+  QueryPlan q;
+  const int s1 = q.AddSource(MakeSource(1000, 2));
+  const int s2 = q.AddSource(MakeSource(1000, 3));
+  const int j = q.AddWindowJoin(s1, s2, JoinProperties{}).value();
+  EXPECT_EQ(q.op(j).output_schema.width(), 5u);
+  EXPECT_EQ(q.upstreams(j).size(), 2u);
+}
+
+TEST(QueryPlanTest, RejectsBadIds) {
+  QueryPlan q;
+  EXPECT_FALSE(q.AddFilter(0, FilterProperties{}).ok());  // empty plan
+  const int src = q.AddSource(MakeSource());
+  EXPECT_FALSE(q.AddFilter(99, FilterProperties{}).ok());
+  EXPECT_FALSE(q.AddWindowJoin(src, src, JoinProperties{}).ok());
+}
+
+TEST(QueryPlanTest, RejectsConsumingFromSink) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource());
+  const int sink = q.AddSink(src).value();
+  EXPECT_FALSE(q.AddFilter(sink, FilterProperties{}).ok());
+}
+
+TEST(QueryPlanTest, RejectsSecondSink) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource());
+  ASSERT_TRUE(q.AddSink(src).ok());
+  EXPECT_FALSE(q.AddSink(src).ok());
+}
+
+TEST(QueryPlanTest, ValidateCatchesMissingSink) {
+  QueryPlan q;
+  q.AddSource(MakeSource());
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryPlanTest, ValidateCatchesBadSelectivity) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource());
+  FilterProperties f;
+  f.selectivity = 1.5;
+  const int fid = q.AddFilter(src, f).value();
+  q.AddSink(fid);
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryPlanTest, ValidateCatchesUnreachableOperator) {
+  QueryPlan q;
+  const int s1 = q.AddSource(MakeSource());
+  q.AddSource(MakeSource());  // dangling source never reaches the sink
+  q.AddSink(s1);
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryPlanTest, ValidateCatchesNonPositiveRate) {
+  QueryPlan q;
+  SourceProperties s = MakeSource();
+  s.event_rate = 0.0;
+  const int src = q.AddSource(s);
+  q.AddSink(src);
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryPlanTest, TopologicalOrderRespectsEdges) {
+  QueryPlan q;
+  const int s1 = q.AddSource(MakeSource());
+  const int s2 = q.AddSource(MakeSource());
+  const int j = q.AddWindowJoin(s1, s2, JoinProperties{}).value();
+  const int sink = q.AddSink(j).value();
+  const auto order = q.TopologicalOrder();
+  std::vector<size_t> pos(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<size_t>(order[i])] = i;
+  }
+  EXPECT_LT(pos[static_cast<size_t>(s1)], pos[static_cast<size_t>(j)]);
+  EXPECT_LT(pos[static_cast<size_t>(s2)], pos[static_cast<size_t>(j)]);
+  EXPECT_LT(pos[static_cast<size_t>(j)], pos[static_cast<size_t>(sink)]);
+}
+
+TEST(QueryPlanTest, RatePropagationLinear) {
+  QueryPlan q;
+  const int src = q.AddSource(MakeSource(1000.0));
+  FilterProperties f;
+  f.selectivity = 0.5;
+  const int fid = q.AddFilter(src, f).value();
+  AggregateProperties a;
+  a.selectivity = 0.1;
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  const int sink = q.AddSink(aid).value();
+
+  const auto in = q.EstimatedInputRates();
+  const auto out = q.EstimatedOutputRates();
+  EXPECT_DOUBLE_EQ(in[static_cast<size_t>(src)], 1000.0);
+  EXPECT_DOUBLE_EQ(in[static_cast<size_t>(fid)], 1000.0);
+  EXPECT_DOUBLE_EQ(out[static_cast<size_t>(fid)], 500.0);
+  EXPECT_DOUBLE_EQ(in[static_cast<size_t>(aid)], 500.0);
+  EXPECT_DOUBLE_EQ(out[static_cast<size_t>(aid)], 50.0);
+  EXPECT_DOUBLE_EQ(in[static_cast<size_t>(sink)], 50.0);
+}
+
+TEST(QueryPlanTest, RatePropagationJoinSumsBranches) {
+  QueryPlan q;
+  const int s1 = q.AddSource(MakeSource(1000.0));
+  const int s2 = q.AddSource(MakeSource(500.0));
+  JoinProperties j;
+  j.selectivity = 0.01;
+  const int jid = q.AddWindowJoin(s1, s2, j).value();
+  q.AddSink(jid);
+  const auto in = q.EstimatedInputRates();
+  EXPECT_DOUBLE_EQ(in[static_cast<size_t>(jid)], 1500.0);
+}
+
+TEST(QueryPlanTest, CountType) {
+  QueryPlan q;
+  const int s1 = q.AddSource(MakeSource());
+  const int f1 = q.AddFilter(s1, FilterProperties{}).value();
+  const int f2 = q.AddFilter(f1, FilterProperties{}).value();
+  q.AddSink(f2);
+  EXPECT_EQ(q.CountType(OperatorType::kFilter), 2u);
+  EXPECT_EQ(q.CountType(OperatorType::kWindowJoin), 0u);
+}
+
+TEST(TupleSchemaTest, SizeBytesCountsStringsWider) {
+  const TupleSchema ints = TupleSchema::Uniform(4, DataType::kInt);
+  const TupleSchema strs = TupleSchema::Uniform(4, DataType::kString);
+  EXPECT_GT(strs.SizeBytes(), ints.SizeBytes());
+}
+
+TEST(WindowSpecTest, ExpectedTuplesCountVsTime) {
+  WindowSpec count_w{WindowType::kTumbling, WindowPolicy::kCount, 50, 50};
+  EXPECT_DOUBLE_EQ(count_w.ExpectedTuples(123456.0), 50.0);
+  WindowSpec time_w{WindowType::kTumbling, WindowPolicy::kTime, 2000, 2000};
+  EXPECT_DOUBLE_EQ(time_w.ExpectedTuples(100.0), 200.0);
+}
+
+TEST(WindowSpecTest, FireDelay) {
+  WindowSpec time_w{WindowType::kSliding, WindowPolicy::kTime, 2000, 500};
+  EXPECT_DOUBLE_EQ(time_w.FireDelaySeconds(1000.0), 0.5);
+  WindowSpec count_w{WindowType::kTumbling, WindowPolicy::kCount, 100, 100};
+  EXPECT_DOUBLE_EQ(count_w.FireDelaySeconds(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(count_w.FireDelaySeconds(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

@@ -1,0 +1,136 @@
+#include "core/reconfiguration.h"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle_predictor.h"
+
+namespace zerotune::core {
+namespace {
+
+using dsp::Cluster;
+using dsp::OperatorType;
+using dsp::ParallelQueryPlan;
+using dsp::QueryPlan;
+
+QueryPlan MakeQuery(double rate) {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = rate;
+  s.schema = dsp::TupleSchema::Uniform(3, dsp::DataType::kDouble);
+  const int src = q.AddSource(s);
+  dsp::FilterProperties f;
+  f.selectivity = 0.8;
+  const int fid = q.AddFilter(src, f).value();
+  dsp::AggregateProperties a;
+  a.selectivity = 0.2;
+  a.window = dsp::WindowSpec{dsp::WindowType::kTumbling,
+                             dsp::WindowPolicy::kCount, 50, 50};
+  const int aid = q.AddWindowAggregate(fid, a).value();
+  q.AddSink(aid);
+  return q;
+}
+
+ParallelQueryPlan DeployUniform(const QueryPlan& q, int degree) {
+  ParallelQueryPlan p(q, Cluster::Homogeneous("rs6525", 2).value());
+  EXPECT_TRUE(p.SetUniformParallelism(degree, /*pin_endpoints=*/false).ok());
+  EXPECT_TRUE(p.PlaceRoundRobin().ok());
+  return p;
+}
+
+class ReconfigurationTest : public ::testing::Test {
+ protected:
+  OraclePredictor oracle_;
+};
+
+TEST_F(ReconfigurationTest, RateSpikeTriggersScaleUp) {
+  // Provisioned for 5k events/s; the rate jumps to 800k.
+  const auto current = DeployUniform(MakeQuery(5000), 1);
+  ReconfigurationPlanner planner(&oracle_);
+  const auto decision = planner.Evaluate(current, {{0, 800000.0}});
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_TRUE(decision.value().reconfigure);
+  // The new deployment actually provisions more instances somewhere.
+  int current_total = 0, new_total = 0;
+  for (const auto& op : current.logical().operators()) {
+    current_total += current.parallelism(op.id);
+    new_total += decision.value().new_plan.parallelism(op.id);
+  }
+  EXPECT_GT(new_total, current_total);
+  // And its predicted throughput dominates keeping the old degrees.
+  EXPECT_GT(decision.value().new_predicted.throughput_tps,
+            decision.value().keep_predicted.throughput_tps);
+}
+
+TEST_F(ReconfigurationTest, SmallChangeIsHysteresisFiltered) {
+  // Start from the optimizer's own pick at 5k events/s, then observe a
+  // 10% drift: keeping the already-good deployment should win.
+  const QueryPlan q = MakeQuery(5000);
+  ParallelismOptimizer optimizer(&oracle_);
+  const auto tuned =
+      optimizer.Tune(q, Cluster::Homogeneous("rs6525", 2).value()).value();
+  ReconfigurationPlanner planner(&oracle_);
+  const auto decision = planner.Evaluate(tuned.plan, {{0, 5500.0}});
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision.value().reconfigure);
+}
+
+TEST_F(ReconfigurationTest, RejectsNonSourceIds) {
+  const auto current = DeployUniform(MakeQuery(5000), 1);
+  ReconfigurationPlanner planner(&oracle_);
+  EXPECT_FALSE(planner.Evaluate(current, {{1, 1000.0}}).ok());  // filter
+  EXPECT_FALSE(planner.Evaluate(current, {{0, -5.0}}).ok());
+}
+
+TEST_F(ReconfigurationTest, MigrationPauseGrowsWithWindowState) {
+  // Larger windows hold more state -> costlier migration.
+  QueryPlan small_q = MakeQuery(100000);
+  QueryPlan big_q = MakeQuery(100000);
+  big_q.mutable_op(2).aggregate.window.length = 5000;
+  big_q.mutable_op(2).aggregate.window.slide = 5000;
+  const double small_state = ReconfigurationPlanner::EstimateStateBytes(
+      DeployUniform(small_q, 2));
+  const double big_state = ReconfigurationPlanner::EstimateStateBytes(
+      DeployUniform(big_q, 2));
+  EXPECT_GT(big_state, small_state);
+}
+
+TEST_F(ReconfigurationTest, StatelessPlanHasNoWindowState) {
+  QueryPlan q;
+  dsp::SourceProperties s;
+  s.event_rate = 1000;
+  s.schema = dsp::TupleSchema::Uniform(2, dsp::DataType::kInt);
+  const int src = q.AddSource(s);
+  const int f = q.AddFilter(src, dsp::FilterProperties{}).value();
+  q.AddSink(f);
+  ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
+  EXPECT_DOUBLE_EQ(ReconfigurationPlanner::EstimateStateBytes(p), 0.0);
+}
+
+TEST_F(ReconfigurationTest, AmortizationPenalizesShortHorizons) {
+  const auto current = DeployUniform(MakeQuery(5000), 1);
+  // Moderate spike whose gain is real but bounded.
+  const double rate = 120000.0;
+
+  ReconfigurationPlanner::Options long_horizon;
+  long_horizon.horizon_s = 600.0;
+  ReconfigurationPlanner::Options short_horizon = long_horizon;
+  short_horizon.horizon_s = 0.05;  // migration pause dominates
+
+  const auto relaxed = ReconfigurationPlanner(&oracle_, long_horizon)
+                           .Evaluate(current, {{0, rate}})
+                           .value();
+  const auto strict = ReconfigurationPlanner(&oracle_, short_horizon)
+                          .Evaluate(current, {{0, rate}})
+                          .value();
+  EXPECT_GT(relaxed.gain, strict.gain);
+}
+
+TEST_F(ReconfigurationTest, InvalidCurrentPlanRejected) {
+  QueryPlan q;  // not even a source
+  ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 1).value());
+  ReconfigurationPlanner planner(&oracle_);
+  EXPECT_FALSE(planner.Evaluate(p, {}).ok());
+}
+
+}  // namespace
+}  // namespace zerotune::core

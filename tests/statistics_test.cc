@@ -1,0 +1,132 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zerotune {
+namespace {
+
+TEST(StatisticsTest, MeanOfEmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(StatisticsTest, MeanSimple) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatisticsTest, StdDevSimple) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatisticsTest, StdDevOfSingletonIsZero) {
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatisticsTest, PercentileBounds) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(StatisticsTest, PercentileClampsOutOfRangeP) {
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0}, 150.0), 2.0);
+}
+
+TEST(StatisticsTest, QErrorIsSymmetricAndAtLeastOne) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(10.0, 20.0), 2.0);
+  EXPECT_DOUBLE_EQ(QError(20.0, 10.0), 2.0);
+}
+
+TEST(StatisticsTest, QErrorHandlesZero) {
+  EXPECT_GE(QError(0.0, 5.0), 1.0);
+  EXPECT_TRUE(std::isfinite(QError(0.0, 0.0)));
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, SummaryFields) {
+  const QErrorSummary s = SummarizeQErrors({1.0, 1.5, 2.0, 10.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.median, 1.75);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_GT(s.p95, 2.0);
+  EXPECT_LE(s.p95, 10.0);
+}
+
+// Property: percentile is monotone in p.
+TEST(StatisticsTest, PercentileMonotoneInP) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Uniform(-50, 50));
+  double prev = Percentile(xs, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = Percentile(xs, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+// Property: q-error of random positive pairs is always >= 1.
+TEST(StatisticsTest, QErrorAlwaysAtLeastOneProperty) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.Uniform(1e-6, 1e6);
+    const double b = rng.Uniform(1e-6, 1e6);
+    EXPECT_GE(QError(a, b), 1.0);
+  }
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, LogNormalFactorMedianNearOne) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.LogNormalFactor(0.2));
+  EXPECT_NEAR(Median(xs), 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent's next values.
+  Rng b(42);
+  b.Fork();
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  (void)child;
+}
+
+}  // namespace
+}  // namespace zerotune

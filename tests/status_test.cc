@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad degree");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad degree");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad degree");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("too big"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+namespace helpers {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  ZT_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::OK();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ZT_ASSIGN_OR_RETURN(const int h, Half(x));
+  ZT_ASSIGN_OR_RETURN(const int q, Half(h));
+  return q;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnChainsInOneScope) {
+  const Result<int> ok = helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(helpers::Quarter(6).ok());  // 6/2=3 is odd
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace zerotune {
+namespace {
+
+TEST(TextTableTest, PrintAlignsColumns) {
+  TextTable t({"Query", "Median"});
+  t.AddRow({"linear", "1.21"});
+  t.AddRow({"2-way-join", "1.37"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Query"), std::string::npos);
+  EXPECT_NE(out.find("2-way-join"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, FmtPrecision) {
+  EXPECT_EQ(TextTable::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Fmt(2.0, 1), "2.0");
+}
+
+TEST(TextTableTest, WriteCsvRoundTrips) {
+  TextTable t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"with\"quote", "x"});
+  const std::string path = ::testing::TempDir() + "/zt_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "plain,\"with,comma\"");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"with\"\"quote\",x");
+  std::remove(path.c_str());
+}
+
+TEST(TextTableTest, WriteCsvFailsOnBadPath) {
+  TextTable t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-zt/x.csv").ok());
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,67 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <vector>
+
+namespace zerotune {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, WorksWithoutPool) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  ParallelFor(&pool, 0, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace zerotune

@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace zerotune::workload {
+namespace {
+
+RateTrace::Options Base(RateTrace::Shape shape) {
+  RateTrace::Options o;
+  o.shape = shape;
+  o.base_rate = 1000;
+  o.peak_rate = 100000;
+  o.duration_s = 1000;
+  o.interval_s = 100;
+  o.jitter_sigma = 0.0;  // deterministic unless a test wants jitter
+  return o;
+}
+
+TEST(RateTraceTest, PointCountMatchesCadence) {
+  const auto trace = RateTrace::Generate(Base(RateTrace::Shape::kConstant));
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().size(), 11u);  // 0..1000 inclusive by 100
+  EXPECT_DOUBLE_EQ(trace.value().front().time_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace.value().back().time_s, 1000.0);
+}
+
+TEST(RateTraceTest, ConstantStaysAtBase) {
+  const auto trace =
+      RateTrace::Generate(Base(RateTrace::Shape::kConstant)).value();
+  for (const auto& p : trace) EXPECT_DOUBLE_EQ(p.rate_tps, 1000.0);
+}
+
+TEST(RateTraceTest, DiurnalPeaksMidday) {
+  const auto trace =
+      RateTrace::Generate(Base(RateTrace::Shape::kDiurnal)).value();
+  EXPECT_NEAR(trace.front().rate_tps, 1000.0, 1.0);
+  EXPECT_NEAR(trace.back().rate_tps, 1000.0, 1.0);
+  EXPECT_NEAR(trace[5].rate_tps, 100000.0, 1.0);  // middle of the day
+  // Monotone up to the peak.
+  for (size_t i = 1; i <= 5; ++i) {
+    EXPECT_GE(trace[i].rate_tps, trace[i - 1].rate_tps);
+  }
+}
+
+TEST(RateTraceTest, SpikeConfinedToWindow) {
+  auto opts = Base(RateTrace::Shape::kSpike);
+  opts.spike_width_fraction = 0.2;
+  const auto trace = RateTrace::Generate(opts).value();
+  size_t at_peak = 0;
+  for (const auto& p : trace) {
+    if (p.rate_tps > 50000.0) ++at_peak;
+  }
+  EXPECT_GE(at_peak, 1u);
+  EXPECT_LE(at_peak, 4u);
+}
+
+TEST(RateTraceTest, RampIsMonotone) {
+  const auto trace =
+      RateTrace::Generate(Base(RateTrace::Shape::kRamp)).value();
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].rate_tps, trace[i - 1].rate_tps);
+  }
+  EXPECT_NEAR(trace.back().rate_tps, 100000.0, 1.0);
+}
+
+TEST(RateTraceTest, JitterPreservesScaleAndDeterminism) {
+  auto opts = Base(RateTrace::Shape::kConstant);
+  opts.jitter_sigma = 0.1;
+  const auto a = RateTrace::Generate(opts).value();
+  const auto b = RateTrace::Generate(opts).value();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].rate_tps, b[i].rate_tps);  // same seed
+    EXPECT_GT(a[i].rate_tps, 1000.0 * 0.5);
+    EXPECT_LT(a[i].rate_tps, 1000.0 * 2.0);
+  }
+}
+
+TEST(RateTraceTest, RejectsBadOptions) {
+  auto opts = Base(RateTrace::Shape::kConstant);
+  opts.base_rate = -1;
+  EXPECT_FALSE(RateTrace::Generate(opts).ok());
+  opts = Base(RateTrace::Shape::kConstant);
+  opts.peak_rate = 10;  // below base
+  EXPECT_FALSE(RateTrace::Generate(opts).ok());
+  opts = Base(RateTrace::Shape::kConstant);
+  opts.interval_s = 0;
+  EXPECT_FALSE(RateTrace::Generate(opts).ok());
+}
+
+TEST(RateTraceTest, ShapeNames) {
+  EXPECT_STREQ(RateTrace::ToString(RateTrace::Shape::kDiurnal), "diurnal");
+  EXPECT_STREQ(RateTrace::ToString(RateTrace::Shape::kSpike), "spike");
+}
+
+}  // namespace
+}  // namespace zerotune::workload

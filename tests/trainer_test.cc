@@ -1,0 +1,159 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+
+namespace zerotune::core {
+namespace {
+
+workload::Dataset SmallCorpus(size_t n, uint64_t seed = 11) {
+  OptiSampleEnumerator enumerator;
+  DatasetBuilderOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  return BuildDataset(enumerator, opts).value();
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new workload::Dataset(SmallCorpus(160));
+    Rng rng(5);
+    train_ = new workload::Dataset();
+    val_ = new workload::Dataset();
+    test_ = new workload::Dataset();
+    ASSERT_TRUE(corpus_->Split(0.8, 0.1, &rng, train_, val_, test_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete train_;
+    delete val_;
+    delete test_;
+  }
+
+  static workload::Dataset* corpus_;
+  static workload::Dataset* train_;
+  static workload::Dataset* val_;
+  static workload::Dataset* test_;
+};
+
+workload::Dataset* TrainerTest::corpus_ = nullptr;
+workload::Dataset* TrainerTest::train_ = nullptr;
+workload::Dataset* TrainerTest::val_ = nullptr;
+workload::Dataset* TrainerTest::test_ = nullptr;
+
+TEST_F(TrainerTest, LossDecreasesOverTraining) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 24;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 12;
+  opts.patience = 0;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report.value().epoch_train_losses.size(), 2u);
+  EXPECT_LT(report.value().epoch_train_losses.back(),
+            report.value().epoch_train_losses.front());
+}
+
+TEST_F(TrainerTest, TrainedModelBeatsUntrainedOnQError) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 24;
+  cfg.seed = 2;
+  ZeroTuneModel untrained(cfg);
+  // Untrained model needs target stats to produce sane magnitudes.
+  ZeroTuneModel trained(cfg);
+  TrainOptions opts;
+  opts.epochs = 25;
+  Trainer trainer(&trained, opts);
+  ASSERT_TRUE(trainer.Train(*train_, *val_).ok());
+  untrained.set_target_stats(trained.target_stats());
+
+  const auto eval_trained = Trainer::Evaluate(trained, *test_);
+  const auto eval_untrained = Trainer::Evaluate(untrained, *test_);
+  EXPECT_LT(eval_trained.latency.median, eval_untrained.latency.median);
+  EXPECT_GE(eval_trained.latency.median, 1.0);
+}
+
+TEST_F(TrainerTest, ParallelTrainingMatchesSequentialLoss) {
+  // Thread-pool gradient accumulation must not break learning (exact
+  // equality is not expected because merge order affects FP rounding).
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  ThreadPool pool(4);
+  TrainOptions opts;
+  opts.epochs = 6;
+  opts.pool = &pool;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().epoch_train_losses.back(),
+            report.value().epoch_train_losses.front());
+}
+
+TEST_F(TrainerTest, EarlyStoppingStopsBeforeEpochBudget) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 8;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 200;
+  opts.patience = 3;
+  opts.learning_rate = 5e-2;  // aggressive: overfits and plateaus fast
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().epochs_run, 200u);
+}
+
+TEST_F(TrainerTest, EvaluateProducesFiniteSummaries) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 5;
+  ASSERT_TRUE(Trainer(&model, opts).Train(*train_, *val_).ok());
+  const auto eval = Trainer::Evaluate(model, *test_);
+  EXPECT_EQ(eval.latency.count, test_->size());
+  EXPECT_GE(eval.latency.median, 1.0);
+  EXPECT_GE(eval.throughput.p95, eval.throughput.median);
+}
+
+TEST_F(TrainerTest, QErrorsPerSample) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 3;
+  ASSERT_TRUE(Trainer(&model, opts).Train(*train_, *val_).ok());
+  std::vector<double> lat, tpt;
+  Trainer::QErrors(model, *test_, &lat, &tpt);
+  EXPECT_EQ(lat.size(), test_->size());
+  for (double q : lat) EXPECT_GE(q, 1.0);
+}
+
+TEST_F(TrainerTest, FineTuningKeepsTargetStats) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 4;
+  ASSERT_TRUE(Trainer(&model, opts).Train(*train_, *val_).ok());
+  const TargetStats before = model.target_stats();
+
+  TrainOptions ft;
+  ft.epochs = 2;
+  ft.fit_target_stats = false;
+  ASSERT_TRUE(Trainer(&model, ft).Train(*train_, *val_).ok());
+  EXPECT_DOUBLE_EQ(model.target_stats().latency_mean, before.latency_mean);
+}
+
+TEST(TrainerStandaloneTest, EmptyTrainingSetRejected) {
+  ZeroTuneModel model;
+  TrainOptions opts;
+  workload::Dataset empty;
+  EXPECT_FALSE(Trainer(&model, opts).Train(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace zerotune::core

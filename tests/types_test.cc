@@ -1,0 +1,91 @@
+#include "dsp/types.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+
+namespace zerotune::dsp {
+namespace {
+
+TEST(ToStringTest, DataTypesDistinctAndNamed) {
+  std::set<std::string> names;
+  for (DataType t : {DataType::kInt, DataType::kDouble, DataType::kString}) {
+    const std::string s = ToString(t);
+    EXPECT_NE(s, "?");
+    EXPECT_TRUE(names.insert(s).second);
+  }
+}
+
+TEST(ToStringTest, OperatorTypesDistinctAndNamed) {
+  std::set<std::string> names;
+  for (OperatorType t :
+       {OperatorType::kSource, OperatorType::kFilter,
+        OperatorType::kWindowAggregate, OperatorType::kWindowJoin,
+        OperatorType::kSink}) {
+    const std::string s = ToString(t);
+    EXPECT_NE(s, "?");
+    EXPECT_TRUE(names.insert(s).second);
+  }
+}
+
+TEST(ToStringTest, PartitioningMatchesPaperTerms) {
+  EXPECT_STREQ(ToString(PartitioningStrategy::kForward), "forward");
+  EXPECT_STREQ(ToString(PartitioningStrategy::kRebalance), "rebalance");
+  EXPECT_STREQ(ToString(PartitioningStrategy::kHash), "hash");
+}
+
+TEST(ToStringTest, FilterFunctionsMatchComparisonSymbols) {
+  EXPECT_STREQ(ToString(FilterFunction::kLess), "<");
+  EXPECT_STREQ(ToString(FilterFunction::kLessEqual), "<=");
+  EXPECT_STREQ(ToString(FilterFunction::kGreater), ">");
+  EXPECT_STREQ(ToString(FilterFunction::kGreaterEqual), ">=");
+  EXPECT_STREQ(ToString(FilterFunction::kEqual), "==");
+  EXPECT_STREQ(ToString(FilterFunction::kNotEqual), "!=");
+}
+
+TEST(ToStringTest, WindowAndAggregateNames) {
+  EXPECT_STREQ(ToString(WindowType::kTumbling), "tumbling");
+  EXPECT_STREQ(ToString(WindowType::kSliding), "sliding");
+  EXPECT_STREQ(ToString(WindowPolicy::kCount), "count");
+  EXPECT_STREQ(ToString(WindowPolicy::kTime), "time");
+  EXPECT_STREQ(ToString(AggregateFunction::kAvg), "avg");
+  EXPECT_STREQ(ToString(AggregateFunction::kCount), "count");
+}
+
+TEST(TupleSchemaTest, UniformConstruction) {
+  const TupleSchema s = TupleSchema::Uniform(4, DataType::kString);
+  EXPECT_EQ(s.width(), 4u);
+  for (DataType t : s.fields) EXPECT_EQ(t, DataType::kString);
+}
+
+TEST(TupleSchemaTest, SizeBytesIncludesHeader) {
+  const TupleSchema empty;
+  EXPECT_DOUBLE_EQ(empty.SizeBytes(), 8.0);  // timestamp header only
+  const TupleSchema one_int = TupleSchema::Uniform(1, DataType::kInt);
+  EXPECT_DOUBLE_EQ(one_int.SizeBytes(), 16.0);
+  const TupleSchema one_str = TupleSchema::Uniform(1, DataType::kString);
+  EXPECT_DOUBLE_EQ(one_str.SizeBytes(), 32.0);
+}
+
+TEST(WindowSpecTest, TumblingDetection) {
+  WindowSpec tumbling{WindowType::kTumbling, WindowPolicy::kCount, 10, 10};
+  WindowSpec sliding{WindowType::kSliding, WindowPolicy::kCount, 10, 5};
+  EXPECT_TRUE(tumbling.IsTumbling());
+  EXPECT_FALSE(sliding.IsTumbling());
+}
+
+TEST(WindowSpecTest, ExpectedTuplesScalesWithRateOnlyForTime) {
+  WindowSpec count_w{WindowType::kTumbling, WindowPolicy::kCount, 25, 25};
+  EXPECT_DOUBLE_EQ(count_w.ExpectedTuples(10.0),
+                   count_w.ExpectedTuples(100000.0));
+  WindowSpec time_w{WindowType::kTumbling, WindowPolicy::kTime, 1000, 1000};
+  EXPECT_GT(time_w.ExpectedTuples(2000.0), time_w.ExpectedTuples(100.0));
+}
+
+TEST(WindowSpecTest, FireDelayUsesSlideNotLength) {
+  WindowSpec w{WindowType::kSliding, WindowPolicy::kTime, 10000, 2000};
+  EXPECT_DOUBLE_EQ(w.FireDelaySeconds(12345.0), 2.0);
+}
+
+}  // namespace
+}  // namespace zerotune::dsp

@@ -1,0 +1,425 @@
+// Command-line interface for the ZeroTune library: collect labeled
+// corpora, train and evaluate cost models, compile DSL queries, predict
+// what-if costs, tune parallelism, and simulate deployments.
+//
+//   zerotune_cli collect  --count 5000 --out corpus.txt [--strategy random]
+//                         [--structures linear,2-way-join] [--seed 42]
+//   zerotune_cli train    --corpus corpus.txt --model-out model.txt
+//                         [--epochs 60] [--hidden 48] [--lr 0.001]
+//   zerotune_cli evaluate --corpus test.txt --model model.txt
+//   zerotune_cli compile  --dsl query.dsl --out query.plan
+//   zerotune_cli predict  --model model.txt --plan deployment.plan
+//   zerotune_cli tune     --model model.txt --query query.plan
+//                         --cluster m510:4[:10] [--weight 0.5]
+//                         [--out tuned.plan]
+//   zerotune_cli simulate --plan deployment.plan [--des]
+//                         [--duration 5.0]
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/explain.h"
+#include "core/optimizer.h"
+#include "core/trainer.h"
+#include "dsp/dot_export.h"
+#include "dsp/plan_io.h"
+#include "dsp/query_dsl.h"
+#include "sim/cost_report.h"
+#include "sim/event_simulator.h"
+#include "workload/dataset_io.h"
+
+namespace zerotune {
+namespace {
+
+int Fail(const Status& s) {
+  std::cerr << "error: " << s.ToString() << "\n";
+  return 1;
+}
+
+/// Like ZT_ASSIGN_OR_RETURN but exits the subcommand with a CLI error.
+#define ZT_ASSIGN_OR_RETURN_CLI(lhs, expr)                             \
+  ZT_ASSIGN_OR_RETURN_CLI_IMPL(ZT_CONCAT(_zt_cli_, __LINE__), lhs, expr)
+#define ZT_ASSIGN_OR_RETURN_CLI_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return Fail(tmp.status());          \
+  lhs = std::move(tmp).value();
+
+void PrintUsage() {
+  std::cout <<
+      "usage: zerotune_cli <command> [flags]\n\n"
+      "commands:\n"
+      "  collect   generate + deploy + measure a labeled query corpus\n"
+      "  train     train a ZeroTune model on a corpus\n"
+      "  evaluate  q-error report of a model on a corpus\n"
+      "  compile   compile a DSL query into a plan file\n"
+      "  predict   what-if cost prediction for a deployed plan\n"
+      "  tune      pick parallelism degrees for a logical plan\n"
+      "  simulate  measure a deployed plan (analytical and/or DES)\n"
+      "  explain   feature attributions for a prediction\n"
+      "  dot       Graphviz rendering of a plan\n"
+      "  help      this message\n\n"
+      "run a command with wrong flags to see its flag list.\n";
+}
+
+Result<dsp::Cluster> ParseClusterSpec(const std::string& spec) {
+  // "type:count[:gbps]", e.g. "m510:4" or "rs6525:2:1".
+  std::vector<std::string> parts;
+  std::istringstream is(spec);
+  std::string p;
+  while (std::getline(is, p, ':')) parts.push_back(p);
+  if (parts.size() < 2 || parts.size() > 3) {
+    return Status::InvalidArgument("bad --cluster spec: " + spec +
+                                   " (want type:count[:gbps])");
+  }
+  try {
+    const int count = std::stoi(parts[1]);
+    const double gbps = parts.size() == 3 ? std::stod(parts[2]) : 10.0;
+    return dsp::Cluster::Homogeneous(parts[0], count, gbps);
+  } catch (...) {
+    return Status::InvalidArgument("bad numbers in --cluster spec: " + spec);
+  }
+}
+
+/// Loads a logical plan from either a plan file or a DSL file.
+Result<dsp::QueryPlan> LoadLogicalPlan(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string first_line;
+  std::getline(f, first_line);
+  f.seekg(0);
+  if (first_line == "zerotune-plan-v1") {
+    return dsp::PlanIO::ReadQueryPlan(f);
+  }
+  std::stringstream text;
+  text << f.rdbuf();
+  return dsp::QueryDsl::Parse(text.str());
+}
+
+int CmdCollect(const FlagParser& flags) {
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t count, flags.GetInt("count", 1000));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t seed, flags.GetInt("seed", 42));
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+
+  core::DatasetBuilderOptions opts;
+  opts.count = static_cast<size_t>(count);
+  opts.seed = static_cast<uint64_t>(seed);
+  opts.generator.unseen_ranges = flags.GetBool("unseen");
+  const std::string structures = flags.GetString("structures");
+  if (!structures.empty()) {
+    std::istringstream is(structures);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+      auto s = workload::QueryStructureFromString(name);
+      if (!s.ok()) return Fail(s.status());
+      opts.structures.push_back(s.value());
+    }
+  }
+  ThreadPool pool;
+  opts.pool = &pool;
+
+  const std::string strategy = flags.GetString("strategy", "optisample");
+  Result<workload::Dataset> corpus = Status::Internal("unreachable");
+  if (strategy == "optisample") {
+    corpus = core::BuildDataset(core::OptiSampleEnumerator(), opts);
+  } else if (strategy == "random") {
+    corpus = core::BuildDataset(core::RandomEnumerator(), opts);
+  } else {
+    return Fail(Status::InvalidArgument("--strategy must be optisample or "
+                                        "random"));
+  }
+  if (!corpus.ok()) return Fail(corpus.status());
+  const Status saved = workload::DatasetIO::Save(corpus.value(), out);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "wrote " << corpus.value().size() << " labeled queries to "
+            << out << "\n";
+  return 0;
+}
+
+int CmdTrain(const FlagParser& flags) {
+  const std::string corpus_path = flags.GetString("corpus");
+  const std::string model_out = flags.GetString("model-out");
+  if (corpus_path.empty() || model_out.empty()) {
+    return Fail(
+        Status::InvalidArgument("--corpus and --model-out are required"));
+  }
+  auto corpus = workload::DatasetIO::Load(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t epochs, flags.GetInt("epochs", 60));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t hidden, flags.GetInt("hidden", 48));
+  ZT_ASSIGN_OR_RETURN_CLI(const double lr, flags.GetDouble("lr", 1e-3));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t seed, flags.GetInt("seed", 1));
+
+  Rng rng(static_cast<uint64_t>(seed));
+  workload::Dataset train, val, test;
+  auto split = corpus.value().Split(0.8, 0.1, &rng, &train, &val, &test);
+  if (!split.ok()) return Fail(split);
+
+  core::ModelConfig config;
+  config.hidden_dim = static_cast<size_t>(hidden);
+  config.seed = static_cast<uint64_t>(seed);
+  core::ZeroTuneModel model(config);
+  core::TrainOptions topts;
+  topts.epochs = static_cast<size_t>(epochs);
+  topts.learning_rate = lr;
+  topts.verbose = flags.GetBool("verbose");
+  ThreadPool pool;
+  topts.pool = &pool;
+  auto report = core::Trainer(&model, topts).Train(train, val);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << "trained " << report.value().epochs_run << " epochs in "
+            << TextTable::Fmt(report.value().train_seconds, 1)
+            << " s (best val loss "
+            << TextTable::Fmt(report.value().best_val_loss, 4) << ")\n";
+
+  const auto eval = core::Trainer::Evaluate(model, test);
+  std::cout << "held-out q-error: latency median "
+            << TextTable::Fmt(eval.latency.median) << " p95 "
+            << TextTable::Fmt(eval.latency.p95) << "; throughput median "
+            << TextTable::Fmt(eval.throughput.median) << " p95 "
+            << TextTable::Fmt(eval.throughput.p95) << "\n";
+
+  const Status saved = model.Save(model_out);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "saved model to " << model_out << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  const std::string corpus_path = flags.GetString("corpus");
+  const std::string model_path = flags.GetString("model");
+  if (corpus_path.empty() || model_path.empty()) {
+    return Fail(Status::InvalidArgument("--corpus and --model are required"));
+  }
+  auto corpus = workload::DatasetIO::Load(corpus_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  auto model = core::ZeroTuneModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  TextTable table({"Structure", "Lat median", "Lat 95th", "Tpt median",
+                   "Tpt 95th", "#queries"});
+  std::set<workload::QueryStructure> structures;
+  for (const auto& s : corpus.value().samples()) structures.insert(s.structure);
+  for (auto s : structures) {
+    const auto subset = corpus.value().FilterStructure(s);
+    const auto eval = core::Trainer::Evaluate(*model.value(), subset);
+    table.AddRow({workload::ToString(s), TextTable::Fmt(eval.latency.median),
+                  TextTable::Fmt(eval.latency.p95),
+                  TextTable::Fmt(eval.throughput.median),
+                  TextTable::Fmt(eval.throughput.p95),
+                  std::to_string(subset.size())});
+  }
+  const auto overall = core::Trainer::Evaluate(*model.value(), corpus.value());
+  table.AddRow({"overall", TextTable::Fmt(overall.latency.median),
+                TextTable::Fmt(overall.latency.p95),
+                TextTable::Fmt(overall.throughput.median),
+                TextTable::Fmt(overall.throughput.p95),
+                std::to_string(corpus.value().size())});
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdCompile(const FlagParser& flags) {
+  const std::string dsl_path = flags.GetString("dsl");
+  const std::string out = flags.GetString("out");
+  if (dsl_path.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--dsl and --out are required"));
+  }
+  std::ifstream f(dsl_path);
+  if (!f) return Fail(Status::IOError("cannot open " + dsl_path));
+  std::stringstream text;
+  text << f.rdbuf();
+  auto plan = dsp::QueryDsl::Parse(text.str());
+  if (!plan.ok()) return Fail(plan.status());
+  const Status saved = dsp::PlanIO::SaveQueryPlan(plan.value(), out);
+  if (!saved.ok()) return Fail(saved);
+  std::cout << "compiled " << plan.value().num_operators()
+            << " operators to " << out << "\n";
+  return 0;
+}
+
+int CmdPredict(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string plan_path = flags.GetString("plan");
+  if (model_path.empty() || plan_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --plan are required"));
+  }
+  auto model = core::ZeroTuneModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+  auto cost = model.value()->Predict(plan.value());
+  if (!cost.ok()) return Fail(cost.status());
+  std::cout << "predicted latency:    "
+            << TextTable::Fmt(cost.value().latency_ms) << " ms\n"
+            << "predicted throughput: "
+            << TextTable::Fmt(cost.value().throughput_tps, 0)
+            << " tuples/s\n";
+  return 0;
+}
+
+int CmdTune(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string query_path = flags.GetString("query");
+  const std::string cluster_spec = flags.GetString("cluster");
+  if (model_path.empty() || query_path.empty() || cluster_spec.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--model, --query and --cluster are required"));
+  }
+  auto model = core::ZeroTuneModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto logical = LoadLogicalPlan(query_path);
+  if (!logical.ok()) return Fail(logical.status());
+  auto cluster = ParseClusterSpec(cluster_spec);
+  if (!cluster.ok()) return Fail(cluster.status());
+  ZT_ASSIGN_OR_RETURN_CLI(const double weight,
+                          flags.GetDouble("weight", 0.5));
+
+  core::ParallelismOptimizer::Options opts;
+  opts.weight = weight;
+  core::ParallelismOptimizer optimizer(model.value().get(), opts);
+  auto tuned = optimizer.Tune(logical.value(), cluster.value());
+  if (!tuned.ok()) return Fail(tuned.status());
+
+  TextTable table({"Operator", "Parallelism", "Partitioning"});
+  for (const auto& op : logical.value().operators()) {
+    table.AddRow({op.name,
+                  std::to_string(tuned.value().plan.parallelism(op.id)),
+                  dsp::ToString(tuned.value().plan.placement(op.id)
+                                    .partitioning)});
+  }
+  table.Print(std::cout);
+  std::cout << "predicted latency " << TextTable::Fmt(tuned.value().predicted.latency_ms)
+            << " ms, throughput "
+            << TextTable::Fmt(tuned.value().predicted.throughput_tps, 0)
+            << " tuples/s (over " << tuned.value().candidates_evaluated
+            << " candidates)\n";
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    const Status saved =
+        dsp::PlanIO::SaveParallelPlan(tuned.value().plan, out);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "wrote tuned deployment to " << out << "\n";
+  }
+  return 0;
+}
+
+int CmdSimulate(const FlagParser& flags) {
+  const std::string plan_path = flags.GetString("plan");
+  if (plan_path.empty()) {
+    return Fail(Status::InvalidArgument("--plan is required"));
+  }
+  auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+
+  sim::CostEngine engine;
+  auto m = engine.Measure(plan.value());
+  if (!m.ok()) return Fail(m.status());
+  if (flags.GetBool("breakdown")) {
+    std::cout << sim::CostReport::Render(plan.value(), m.value());
+  } else {
+    std::cout << "analytical: latency "
+              << TextTable::Fmt(m.value().latency_ms) << " ms, throughput "
+              << TextTable::Fmt(m.value().throughput_tps, 0) << " tuples/s"
+              << (m.value().backpressured ? " [backpressured]" : "")
+              << "\n";
+  }
+
+  if (flags.GetBool("des")) {
+    ZT_ASSIGN_OR_RETURN_CLI(const double duration,
+                            flags.GetDouble("duration", 5.0));
+    sim::EventSimulator::Options sopts;
+    sopts.duration_s = duration;
+    sopts.warmup_s = duration / 5.0;
+    sim::EventSimulator des(sopts);
+    auto dm = des.Run(plan.value());
+    if (!dm.ok()) return Fail(dm.status());
+    std::cout << "discrete-event: mean latency "
+              << TextTable::Fmt(dm.value().mean_latency_ms) << " ms (p95 "
+              << TextTable::Fmt(dm.value().p95_latency_ms)
+              << "), throughput "
+              << TextTable::Fmt(dm.value().throughput_tps, 0) << " tuples/s"
+              << (dm.value().backpressured ? " [backpressured]" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdExplain(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string plan_path = flags.GetString("plan");
+  if (model_path.empty() || plan_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --plan are required"));
+  }
+  auto model = core::ZeroTuneModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t top_k, flags.GetInt("top", 10));
+
+  auto cost = model.value()->Predict(plan.value());
+  if (!cost.ok()) return Fail(cost.status());
+  std::cout << "prediction: latency "
+            << TextTable::Fmt(cost.value().latency_ms) << " ms, throughput "
+            << TextTable::Fmt(cost.value().throughput_tps, 0)
+            << " tuples/s\n";
+
+  core::PredictionExplainer::Options opts;
+  opts.top_k = static_cast<size_t>(top_k);
+  core::PredictionExplainer explainer(model.value().get(), opts);
+  auto attrs = explainer.Explain(plan.value());
+  if (!attrs.ok()) return Fail(attrs.status());
+  std::cout << "top feature attributions (impact of zeroing the slot, in\n"
+               "normalized log-cost units):\n"
+            << core::PredictionExplainer::ToText(attrs.value());
+  return 0;
+}
+
+int CmdDot(const FlagParser& flags) {
+  const std::string deployed = flags.GetString("deployed");
+  const std::string query = flags.GetString("query");
+  if (!deployed.empty()) {
+    auto plan = dsp::PlanIO::LoadParallelPlan(deployed);
+    if (!plan.ok()) return Fail(plan.status());
+    std::cout << dsp::DotExport::ParallelPlanDot(plan.value());
+    return 0;
+  }
+  if (!query.empty()) {
+    auto plan = LoadLogicalPlan(query);
+    if (!plan.ok()) return Fail(plan.status());
+    std::cout << dsp::DotExport::QueryPlanDot(plan.value());
+    return 0;
+  }
+  return Fail(Status::InvalidArgument("--query or --deployed is required"));
+}
+
+}  // namespace
+}  // namespace zerotune
+
+int main(int argc, char** argv) {
+  using namespace zerotune;
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "collect") return CmdCollect(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "compile") return CmdCompile(flags);
+  if (command == "predict") return CmdPredict(flags);
+  if (command == "tune") return CmdTune(flags);
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "dot") return CmdDot(flags);
+  PrintUsage();
+  return command == "help" ? 0 : 1;
+}
