@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fewshot.dir/bench_fig6_fewshot.cc.o"
+  "CMakeFiles/bench_fig6_fewshot.dir/bench_fig6_fewshot.cc.o.d"
+  "bench_fig6_fewshot"
+  "bench_fig6_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

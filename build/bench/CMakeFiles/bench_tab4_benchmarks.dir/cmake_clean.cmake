@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_benchmarks.dir/bench_tab4_benchmarks.cc.o"
+  "CMakeFiles/bench_tab4_benchmarks.dir/bench_tab4_benchmarks.cc.o.d"
+  "bench_tab4_benchmarks"
+  "bench_tab4_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

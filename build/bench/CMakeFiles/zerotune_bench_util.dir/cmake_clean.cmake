@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/zerotune_bench_util.dir/bench_util.cc.o.d"
+  "libzerotune_bench_util.a"
+  "libzerotune_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzerotune_bench_util.a"
+)

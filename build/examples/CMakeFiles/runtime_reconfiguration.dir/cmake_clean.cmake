@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_reconfiguration.dir/runtime_reconfiguration.cpp.o"
+  "CMakeFiles/runtime_reconfiguration.dir/runtime_reconfiguration.cpp.o.d"
+  "runtime_reconfiguration"
+  "runtime_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

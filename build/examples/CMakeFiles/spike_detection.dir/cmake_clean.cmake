@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_detection.dir/spike_detection.cpp.o"
+  "CMakeFiles/spike_detection.dir/spike_detection.cpp.o.d"
+  "spike_detection"
+  "spike_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_sweep.dir/what_if_sweep.cpp.o"
+  "CMakeFiles/what_if_sweep.dir/what_if_sweep.cpp.o.d"
+  "what_if_sweep"
+  "what_if_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dhalion.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/dhalion.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/dhalion.cc.o.d"
+  "/root/repo/src/baselines/ds2.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/ds2.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/ds2.cc.o.d"
+  "/root/repo/src/baselines/flat_mlp.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/flat_mlp.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/flat_mlp.cc.o.d"
+  "/root/repo/src/baselines/flat_vector.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/flat_vector.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/flat_vector.cc.o.d"
+  "/root/repo/src/baselines/greedy.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/greedy.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/greedy.cc.o.d"
+  "/root/repo/src/baselines/linear_model.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/linear_model.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/linear_model.cc.o.d"
+  "/root/repo/src/baselines/random_forest.cc" "src/baselines/CMakeFiles/zerotune_baselines.dir/random_forest.cc.o" "gcc" "src/baselines/CMakeFiles/zerotune_baselines.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zerotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zerotune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/zerotune_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zerotune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zerotune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zerotune_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_baselines.dir/dhalion.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/dhalion.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/ds2.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/ds2.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/flat_mlp.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/flat_mlp.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/flat_vector.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/flat_vector.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/greedy.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/greedy.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/linear_model.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/linear_model.cc.o.d"
+  "CMakeFiles/zerotune_baselines.dir/random_forest.cc.o"
+  "CMakeFiles/zerotune_baselines.dir/random_forest.cc.o.d"
+  "libzerotune_baselines.a"
+  "libzerotune_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_common.dir/flags.cc.o"
+  "CMakeFiles/zerotune_common.dir/flags.cc.o.d"
+  "CMakeFiles/zerotune_common.dir/histogram.cc.o"
+  "CMakeFiles/zerotune_common.dir/histogram.cc.o.d"
+  "CMakeFiles/zerotune_common.dir/statistics.cc.o"
+  "CMakeFiles/zerotune_common.dir/statistics.cc.o.d"
+  "CMakeFiles/zerotune_common.dir/table.cc.o"
+  "CMakeFiles/zerotune_common.dir/table.cc.o.d"
+  "CMakeFiles/zerotune_common.dir/thread_pool.cc.o"
+  "CMakeFiles/zerotune_common.dir/thread_pool.cc.o.d"
+  "libzerotune_common.a"
+  "libzerotune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zerotune_common.
+# This may be replaced when dependencies are built.

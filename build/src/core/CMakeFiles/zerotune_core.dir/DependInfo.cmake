@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset_builder.cc" "src/core/CMakeFiles/zerotune_core.dir/dataset_builder.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/dataset_builder.cc.o.d"
+  "/root/repo/src/core/enumeration.cc" "src/core/CMakeFiles/zerotune_core.dir/enumeration.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/enumeration.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/zerotune_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/zerotune_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/features.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/zerotune_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/model.cc.o.d"
+  "/root/repo/src/core/multi_query.cc" "src/core/CMakeFiles/zerotune_core.dir/multi_query.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/multi_query.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/zerotune_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_graph.cc" "src/core/CMakeFiles/zerotune_core.dir/plan_graph.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/plan_graph.cc.o.d"
+  "/root/repo/src/core/reconfiguration.cc" "src/core/CMakeFiles/zerotune_core.dir/reconfiguration.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/reconfiguration.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/zerotune_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/zerotune_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zerotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/zerotune_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zerotune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zerotune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zerotune_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

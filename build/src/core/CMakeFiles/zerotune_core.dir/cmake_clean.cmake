@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_core.dir/dataset_builder.cc.o"
+  "CMakeFiles/zerotune_core.dir/dataset_builder.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/enumeration.cc.o"
+  "CMakeFiles/zerotune_core.dir/enumeration.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/explain.cc.o"
+  "CMakeFiles/zerotune_core.dir/explain.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/features.cc.o"
+  "CMakeFiles/zerotune_core.dir/features.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/model.cc.o"
+  "CMakeFiles/zerotune_core.dir/model.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/multi_query.cc.o"
+  "CMakeFiles/zerotune_core.dir/multi_query.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/optimizer.cc.o"
+  "CMakeFiles/zerotune_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/plan_graph.cc.o"
+  "CMakeFiles/zerotune_core.dir/plan_graph.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/reconfiguration.cc.o"
+  "CMakeFiles/zerotune_core.dir/reconfiguration.cc.o.d"
+  "CMakeFiles/zerotune_core.dir/trainer.cc.o"
+  "CMakeFiles/zerotune_core.dir/trainer.cc.o.d"
+  "libzerotune_core.a"
+  "libzerotune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/cluster.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/cluster.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/cluster.cc.o.d"
+  "/root/repo/src/dsp/dot_export.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/dot_export.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/dot_export.cc.o.d"
+  "/root/repo/src/dsp/parallel_plan.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/parallel_plan.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/parallel_plan.cc.o.d"
+  "/root/repo/src/dsp/plan_io.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/plan_io.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/plan_io.cc.o.d"
+  "/root/repo/src/dsp/query_dsl.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/query_dsl.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/query_dsl.cc.o.d"
+  "/root/repo/src/dsp/query_plan.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/query_plan.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/query_plan.cc.o.d"
+  "/root/repo/src/dsp/types.cc" "src/dsp/CMakeFiles/zerotune_dsp.dir/types.cc.o" "gcc" "src/dsp/CMakeFiles/zerotune_dsp.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zerotune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_dsp.dir/cluster.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/cluster.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/dot_export.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/dot_export.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/parallel_plan.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/parallel_plan.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/plan_io.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/plan_io.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/query_dsl.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/query_dsl.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/query_plan.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/query_plan.cc.o.d"
+  "CMakeFiles/zerotune_dsp.dir/types.cc.o"
+  "CMakeFiles/zerotune_dsp.dir/types.cc.o.d"
+  "libzerotune_dsp.a"
+  "libzerotune_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_nn.dir/autograd.cc.o"
+  "CMakeFiles/zerotune_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/zerotune_nn.dir/layers.cc.o"
+  "CMakeFiles/zerotune_nn.dir/layers.cc.o.d"
+  "CMakeFiles/zerotune_nn.dir/matrix.cc.o"
+  "CMakeFiles/zerotune_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/zerotune_nn.dir/optimizer.cc.o"
+  "CMakeFiles/zerotune_nn.dir/optimizer.cc.o.d"
+  "libzerotune_nn.a"
+  "libzerotune_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

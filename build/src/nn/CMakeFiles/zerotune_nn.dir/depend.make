@@ -1,0 +1,2 @@
+# Empty dependencies file for zerotune_nn.
+# This may be replaced when dependencies are built.

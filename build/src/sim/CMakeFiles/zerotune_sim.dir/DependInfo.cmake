@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/calibration.cc" "src/sim/CMakeFiles/zerotune_sim.dir/calibration.cc.o" "gcc" "src/sim/CMakeFiles/zerotune_sim.dir/calibration.cc.o.d"
+  "/root/repo/src/sim/cost_engine.cc" "src/sim/CMakeFiles/zerotune_sim.dir/cost_engine.cc.o" "gcc" "src/sim/CMakeFiles/zerotune_sim.dir/cost_engine.cc.o.d"
+  "/root/repo/src/sim/cost_report.cc" "src/sim/CMakeFiles/zerotune_sim.dir/cost_report.cc.o" "gcc" "src/sim/CMakeFiles/zerotune_sim.dir/cost_report.cc.o.d"
+  "/root/repo/src/sim/event_simulator.cc" "src/sim/CMakeFiles/zerotune_sim.dir/event_simulator.cc.o" "gcc" "src/sim/CMakeFiles/zerotune_sim.dir/event_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zerotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/zerotune_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

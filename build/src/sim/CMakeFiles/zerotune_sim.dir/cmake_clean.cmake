@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_sim.dir/calibration.cc.o"
+  "CMakeFiles/zerotune_sim.dir/calibration.cc.o.d"
+  "CMakeFiles/zerotune_sim.dir/cost_engine.cc.o"
+  "CMakeFiles/zerotune_sim.dir/cost_engine.cc.o.d"
+  "CMakeFiles/zerotune_sim.dir/cost_report.cc.o"
+  "CMakeFiles/zerotune_sim.dir/cost_report.cc.o.d"
+  "CMakeFiles/zerotune_sim.dir/event_simulator.cc.o"
+  "CMakeFiles/zerotune_sim.dir/event_simulator.cc.o.d"
+  "libzerotune_sim.a"
+  "libzerotune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

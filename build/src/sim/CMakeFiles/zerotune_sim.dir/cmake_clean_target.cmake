@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzerotune_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/zerotune_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/zerotune_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/dataset_io.cc" "src/workload/CMakeFiles/zerotune_workload.dir/dataset_io.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/dataset_io.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/zerotune_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/parameter_space.cc" "src/workload/CMakeFiles/zerotune_workload.dir/parameter_space.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/parameter_space.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/zerotune_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/zerotune_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zerotune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/zerotune_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/zerotune_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/zerotune_workload.dir/dataset.cc.o"
+  "CMakeFiles/zerotune_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/zerotune_workload.dir/dataset_io.cc.o"
+  "CMakeFiles/zerotune_workload.dir/dataset_io.cc.o.d"
+  "CMakeFiles/zerotune_workload.dir/generator.cc.o"
+  "CMakeFiles/zerotune_workload.dir/generator.cc.o.d"
+  "CMakeFiles/zerotune_workload.dir/parameter_space.cc.o"
+  "CMakeFiles/zerotune_workload.dir/parameter_space.cc.o.d"
+  "CMakeFiles/zerotune_workload.dir/trace.cc.o"
+  "CMakeFiles/zerotune_workload.dir/trace.cc.o.d"
+  "libzerotune_workload.a"
+  "libzerotune_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_engine_test.dir/cost_engine_test.cc.o"
+  "CMakeFiles/cost_engine_test.dir/cost_engine_test.cc.o.d"
+  "cost_engine_test"
+  "cost_engine_test.pdb"
+  "cost_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

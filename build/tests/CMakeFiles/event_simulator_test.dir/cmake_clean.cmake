@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_simulator_test.dir/event_simulator_test.cc.o"
+  "CMakeFiles/event_simulator_test.dir/event_simulator_test.cc.o.d"
+  "event_simulator_test"
+  "event_simulator_test.pdb"
+  "event_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_nn_test.dir/optimizer_nn_test.cc.o"
+  "CMakeFiles/optimizer_nn_test.dir/optimizer_nn_test.cc.o.d"
+  "optimizer_nn_test"
+  "optimizer_nn_test.pdb"
+  "optimizer_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

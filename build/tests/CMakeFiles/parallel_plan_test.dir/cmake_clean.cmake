@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_plan_test.dir/parallel_plan_test.cc.o"
+  "CMakeFiles/parallel_plan_test.dir/parallel_plan_test.cc.o.d"
+  "parallel_plan_test"
+  "parallel_plan_test.pdb"
+  "parallel_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

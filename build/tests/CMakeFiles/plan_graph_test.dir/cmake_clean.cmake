@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_graph_test.dir/plan_graph_test.cc.o"
+  "CMakeFiles/plan_graph_test.dir/plan_graph_test.cc.o.d"
+  "plan_graph_test"
+  "plan_graph_test.pdb"
+  "plan_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

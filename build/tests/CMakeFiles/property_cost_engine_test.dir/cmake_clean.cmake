@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_cost_engine_test.dir/property_cost_engine_test.cc.o"
+  "CMakeFiles/property_cost_engine_test.dir/property_cost_engine_test.cc.o.d"
+  "property_cost_engine_test"
+  "property_cost_engine_test.pdb"
+  "property_cost_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_cost_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

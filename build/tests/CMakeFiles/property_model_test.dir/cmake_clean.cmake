@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_model_test.dir/property_model_test.cc.o"
+  "CMakeFiles/property_model_test.dir/property_model_test.cc.o.d"
+  "property_model_test"
+  "property_model_test.pdb"
+  "property_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_nn_test.dir/property_nn_test.cc.o"
+  "CMakeFiles/property_nn_test.dir/property_nn_test.cc.o.d"
+  "property_nn_test"
+  "property_nn_test.pdb"
+  "property_nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

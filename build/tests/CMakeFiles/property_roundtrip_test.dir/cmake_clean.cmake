@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_roundtrip_test.dir/property_roundtrip_test.cc.o"
+  "CMakeFiles/property_roundtrip_test.dir/property_roundtrip_test.cc.o.d"
+  "property_roundtrip_test"
+  "property_roundtrip_test.pdb"
+  "property_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zerotune_cli.dir/zerotune_cli.cc.o"
+  "CMakeFiles/zerotune_cli.dir/zerotune_cli.cc.o.d"
+  "zerotune_cli"
+  "zerotune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zerotune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
