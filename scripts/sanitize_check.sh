@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds the project under AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the test suite. Any memory error or UB aborts the run with a report.
+#
+# Usage: scripts/sanitize_check.sh [ctest-regex]
+#   scripts/sanitize_check.sh                  # full suite
+#   scripts/sanitize_check.sh Robust           # only robustness tests
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+filter="${1:-}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DZEROTUNE_SANITIZE="address;undefined" \
+  -DZEROTUNE_BUILD_BENCHMARKS=OFF \
+  -DZEROTUNE_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test run instead of just
+# printing; detect_leaks stays on (the default) to catch allocation leaks
+# in the IO error paths.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="abort_on_error=1"
+
+cd "${build_dir}"
+if [[ -n "${filter}" ]]; then
+  ctest --output-on-failure -j "$(nproc)" -R "${filter}"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi
+echo "sanitize check passed"

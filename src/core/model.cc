@@ -197,15 +197,28 @@ Status ZeroTuneModel::Load(const std::string& path) {
   size_t hidden = 0;
   bool op_f = true, par_f = true, res_f = true;
   f >> hidden >> op_f >> par_f >> res_f;
+  if (!f) return Status::InvalidArgument("truncated model config line");
   if (hidden != config_.hidden_dim) {
     return Status::InvalidArgument("hidden_dim mismatch in model file");
   }
   config_.features.operator_features = op_f;
   config_.features.parallelism_features = par_f;
   config_.features.resource_features = res_f;
-  f >> stats_.latency_mean >> stats_.latency_std >> stats_.throughput_mean >>
-      stats_.throughput_std;
-  return params_.LoadFromStream(f);
+  TargetStats stats;
+  f >> stats.latency_mean >> stats.latency_std >> stats.throughput_mean >>
+      stats.throughput_std;
+  if (!f) return Status::InvalidArgument("truncated target-stats line");
+  if (!std::isfinite(stats.latency_mean) ||
+      !std::isfinite(stats.latency_std) ||
+      !std::isfinite(stats.throughput_mean) ||
+      !std::isfinite(stats.throughput_std) || stats.latency_std <= 0.0 ||
+      stats.throughput_std <= 0.0) {
+    return Status::InvalidArgument(
+        "model target statistics must be finite with positive stddev");
+  }
+  ZT_RETURN_IF_ERROR(params_.LoadFromStream(f));
+  stats_ = stats;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<ZeroTuneModel>> ZeroTuneModel::LoadFromFile(
@@ -222,6 +235,13 @@ Result<std::unique_ptr<ZeroTuneModel>> ZeroTuneModel::LoadFromFile(
       config.features.parallelism_features >>
       config.features.resource_features;
   if (!f) return Status::InvalidArgument("bad model config line");
+  // Bound the hidden dimension before allocating layers from it: a corrupt
+  // header must not drive an unbounded allocation.
+  if (config.hidden_dim == 0 || config.hidden_dim > 65536) {
+    return Status::InvalidArgument(
+        "implausible hidden_dim " + std::to_string(config.hidden_dim) +
+        " in model file");
+  }
   f.close();
   auto model = std::make_unique<ZeroTuneModel>(config);
   ZT_RETURN_IF_ERROR(model->Load(path));

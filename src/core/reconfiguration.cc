@@ -45,6 +45,63 @@ double ReconfigurationPlanner::EstimateStateBytes(
   return bytes;
 }
 
+Result<RecoveryReport> ReconfigurationPlanner::RecoverFromNodeFailure(
+    const dsp::ParallelQueryPlan& current, int failed_node) const {
+  ZT_RETURN_IF_ERROR(current.Validate());
+  ZT_ASSIGN_OR_RETURN(
+      dsp::Cluster degraded,
+      current.cluster().WithoutNode(static_cast<size_t>(failed_node)));
+  const int degraded_cores = degraded.TotalCores();
+
+  // Baseline: keep the old degrees (capped to the surviving capacity) and
+  // just re-place the instances on the remaining nodes.
+  dsp::ParallelQueryPlan unrecovered(current.logical(), degraded);
+  for (const Operator& op : current.logical().operators()) {
+    const int degree = std::min(current.parallelism(op.id), degraded_cores);
+    ZT_RETURN_IF_ERROR(unrecovered.SetParallelism(op.id, degree));
+  }
+  unrecovered.DerivePartitioning();
+  ZT_RETURN_IF_ERROR(unrecovered.PlaceRoundRobin());
+  ZT_ASSIGN_OR_RETURN(const CostPrediction unrecovered_pred,
+                      predictor_->Predict(unrecovered));
+
+  // Re-optimize from scratch on the degraded cluster.
+  ParallelismOptimizer::Options opt_options = options_.optimizer;
+  opt_options.weight = options_.weight;
+  opt_options.max_parallelism =
+      std::min(opt_options.max_parallelism, degraded_cores);
+  ParallelismOptimizer optimizer(predictor_, opt_options);
+  ZT_ASSIGN_OR_RETURN(ParallelismOptimizer::TuningResult tuned,
+                      optimizer.Tune(current.logical(), degraded));
+
+  RecoveryReport report(std::move(tuned.plan));
+  report.degraded_cluster = std::move(degraded);
+  report.unrecovered_predicted = unrecovered_pred;
+  report.recovered_predicted = tuned.predicted;
+  report.failed_node = failed_node;
+
+  // Recovery pause: the failed node's windowed state must be rebuilt and
+  // every instance whose degree changed restarts. State on surviving nodes
+  // is relocated too when degrees shift, so we charge the full estimate.
+  const double state_bytes = EstimateStateBytes(current);
+  const double link_gbps = report.degraded_cluster.num_nodes() > 0
+                               ? report.degraded_cluster.node(0).network_gbps
+                               : 10.0;
+  double restart_instances = 0.0;
+  for (const Operator& op : current.logical().operators()) {
+    if (report.recovered_plan.parallelism(op.id) !=
+        current.parallelism(op.id)) {
+      restart_instances += static_cast<double>(
+          std::max(report.recovered_plan.parallelism(op.id),
+                   current.parallelism(op.id)));
+    }
+  }
+  report.migration_pause_ms =
+      state_bytes * 8.0 / (link_gbps * 1e9) * 1e3 +
+      restart_instances * options_.per_instance_restart_ms;
+  return report;
+}
+
 Result<ReconfigurationDecision> ReconfigurationPlanner::Evaluate(
     const dsp::ParallelQueryPlan& current,
     const std::map<int, double>& new_source_rates) const {

@@ -29,6 +29,27 @@ struct ReconfigurationDecision {
       : new_plan(std::move(plan)) {}
 };
 
+/// Outcome of failure-aware re-optimization after losing a worker node.
+struct RecoveryReport {
+  /// Re-optimized deployment on the surviving nodes.
+  dsp::ParallelQueryPlan recovered_plan;
+  /// The degraded cluster the recovered plan targets.
+  dsp::Cluster degraded_cluster;
+  /// Predicted costs of keeping the pre-failure degrees squeezed onto the
+  /// surviving nodes (the "do nothing but re-place" baseline).
+  CostPrediction unrecovered_predicted;
+  /// Predicted costs of the re-optimized deployment.
+  CostPrediction recovered_predicted;
+  /// Estimated stop-the-world pause to reach the recovered deployment
+  /// (state relocation + instance restarts), in milliseconds.
+  double migration_pause_ms = 0.0;
+  /// Index of the node that failed (in the pre-failure cluster).
+  int failed_node = -1;
+
+  explicit RecoveryReport(dsp::ParallelQueryPlan plan)
+      : recovered_plan(std::move(plan)) {}
+};
+
 /// Runtime parallelism re-tuning on top of the zero-shot cost model
 /// (paper Sec. II: "the proposed model can also be used to readjust
 /// parallelism degree at runtime"). Given the currently running
@@ -65,6 +86,14 @@ class ReconfigurationPlanner {
   Result<ReconfigurationDecision> Evaluate(
       const dsp::ParallelQueryPlan& current,
       const std::map<int, double>& new_source_rates) const;
+
+  /// Failure-aware re-optimization: drops `failed_node` from the cluster,
+  /// re-runs the optimizer on the surviving nodes, and reports predicted
+  /// costs of the re-optimized plan vs. merely re-placing the old degrees.
+  /// The caller can validate the report against EventSimulator runs under
+  /// the matching FaultPlan.
+  Result<RecoveryReport> RecoverFromNodeFailure(
+      const dsp::ParallelQueryPlan& current, int failed_node) const;
 
   /// Estimated bytes of windowed operator state a deployment holds —
   /// what a migration has to checkpoint and relocate.

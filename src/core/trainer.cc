@@ -64,6 +64,16 @@ double Trainer::EpochLoss(const std::vector<PlanGraph>& graphs,
 
 Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
   if (train.empty()) return Status::InvalidArgument("empty training set");
+  for (size_t i = 0; i < train.samples().size(); ++i) {
+    const auto& q = train.samples()[i];
+    if (!std::isfinite(q.latency_ms) || !std::isfinite(q.throughput_tps)) {
+      return Status::InvalidArgument(
+          "training sample " + std::to_string(i) +
+          " has a non-finite label (latency_ms=" +
+          std::to_string(q.latency_ms) + ", throughput_tps=" +
+          std::to_string(q.throughput_tps) + ")");
+    }
+  }
   const auto t_start = std::chrono::steady_clock::now();
 
   if (options_.fit_target_stats) {
@@ -104,7 +114,30 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
   const size_t num_threads =
       options_.pool != nullptr ? options_.pool->num_threads() : 1;
 
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  // Divergence recovery: roll the model back to the best parameters seen,
+  // back the learning rate off, and reset Adam's moments. Returns false
+  // once the attempt budget is exhausted.
+  auto recover = [&]() -> bool {
+    if (report.recovery_attempts >= options_.max_recovery_attempts) {
+      // Budget exhausted: give up (the caller stops training; the final
+      // RestoreParams below still rolls back to the best snapshot).
+      return false;
+    }
+    RestoreParams(model_->mutable_params(), best_params);
+    adam.options().learning_rate *= options_.lr_backoff;
+    adam.Reset();
+    ++report.recovery_attempts;
+    if (options_.verbose) {
+      Log::Info("non-finite loss/gradient: rolled back, lr now ",
+                adam.options().learning_rate, " (attempt ",
+                report.recovery_attempts, "/",
+                options_.max_recovery_attempts, ")");
+    }
+    return true;
+  };
+
+  bool stop_training = false;
+  for (size_t epoch = 0; epoch < options_.epochs && !stop_training; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss_sum = 0.0;
     size_t epoch_count = 0;
@@ -115,28 +148,24 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
           std::min(order.size(), start + options_.batch_size);
       const size_t batch = end - start;
 
-      // Data-parallel gradient accumulation: each chunk owns a GradStore,
-      // merged under a mutex after its chunk finishes.
-      nn::GradStore total;
-      std::mutex merge_mu;
+      // Data-parallel gradient accumulation: each chunk owns a GradStore;
+      // chunks are merged in index order after all finish, so the result
+      // is bit-identical regardless of thread scheduling.
       double batch_loss = 0.0;
       const size_t chunks = std::min(batch, num_threads);
       const size_t chunk_size = (batch + chunks - 1) / chunks;
+      std::vector<nn::GradStore> locals(chunks);
+      std::vector<double> local_losses(chunks, 0.0);
       auto run_chunk = [&](size_t c) {
-        nn::GradStore local;
-        double local_loss = 0.0;
         const size_t lo = start + c * chunk_size;
         const size_t hi = std::min(end, lo + chunk_size);
         for (size_t k = lo; k < hi; ++k) {
           const size_t idx = order[k];
           const nn::NodePtr out = model_->Forward(graphs[idx]);
           const nn::NodePtr loss = nn::MseLoss(out, targets[idx]);
-          local_loss += loss->value(0, 0);
-          nn::Backward(loss, &local);
+          local_losses[c] += loss->value(0, 0);
+          nn::Backward(loss, &locals[c]);
         }
-        std::lock_guard<std::mutex> lock(merge_mu);
-        total.Merge(local);
-        batch_loss += local_loss;
       };
       if (options_.pool != nullptr && chunks > 1) {
         for (size_t c = 0; c < chunks; ++c) {
@@ -146,15 +175,29 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
       } else {
         for (size_t c = 0; c < chunks; ++c) run_chunk(c);
       }
+      nn::GradStore total;
+      for (size_t c = 0; c < chunks; ++c) {
+        total.Merge(locals[c]);
+        batch_loss += local_losses[c];
+      }
 
       total.Scale(1.0 / static_cast<double>(batch));
       if (options_.grad_clip_norm > 0.0) {
         total.ClipGlobalNorm(options_.grad_clip_norm);
       }
+      if (!std::isfinite(batch_loss) || !total.AllFinite()) {
+        ++report.nonfinite_batches;
+        if (!recover()) {
+          stop_training = true;
+          break;
+        }
+        continue;  // skip the poisoned update, keep the epoch going
+      }
       adam.Step(total);
       epoch_loss_sum += batch_loss;
       epoch_count += batch;
     }
+    if (stop_training) break;
 
     const double train_loss =
         epoch_loss_sum / static_cast<double>(std::max<size_t>(1, epoch_count));
@@ -183,6 +226,7 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
   }
 
   RestoreParams(model_->mutable_params(), best_params);
+  report.final_learning_rate = adam.options().learning_rate;
   report.best_val_loss = best_val;
   report.final_train_loss = report.epoch_train_losses.empty()
                                 ? 0.0

@@ -29,6 +29,12 @@ struct TrainOptions {
   /// Optional pool for data-parallel gradient accumulation.
   zerotune::ThreadPool* pool = nullptr;
   bool verbose = false;
+  /// Divergence recovery: when a batch produces a non-finite loss or
+  /// gradient, the trainer rolls back to the best parameters seen so far,
+  /// multiplies the learning rate by `lr_backoff`, and retries — at most
+  /// this many times before training stops (best parameters kept).
+  size_t max_recovery_attempts = 3;
+  double lr_backoff = 0.5;
 };
 
 /// Outcome of a training run.
@@ -38,6 +44,14 @@ struct TrainReport {
   double best_val_loss = 0.0;
   double train_seconds = 0.0;
   std::vector<double> epoch_train_losses;
+  /// Batches whose loss or gradient came out non-finite (update skipped).
+  size_t nonfinite_batches = 0;
+  /// Rollback-and-retry cycles performed (see
+  /// TrainOptions::max_recovery_attempts).
+  size_t recovery_attempts = 0;
+  /// Learning rate in effect when training finished (smaller than
+  /// TrainOptions::learning_rate iff recoveries backed it off).
+  double final_learning_rate = 0.0;
 };
 
 /// Per-metric q-error evaluation of a model on a dataset.

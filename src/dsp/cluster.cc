@@ -79,6 +79,24 @@ Result<Cluster> Cluster::FromTypes(const std::vector<std::string>& type_names,
   return Cluster(std::move(nodes));
 }
 
+Result<Cluster> Cluster::WithoutNode(size_t index) const {
+  if (index >= nodes_.size()) {
+    return Status::InvalidArgument("node index " + std::to_string(index) +
+                                   " out of range (cluster has " +
+                                   std::to_string(nodes_.size()) + " nodes)");
+  }
+  if (nodes_.size() == 1) {
+    return Status::FailedPrecondition(
+        "cannot remove the last node of a cluster");
+  }
+  std::vector<NodeResources> remaining;
+  remaining.reserve(nodes_.size() - 1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i != index) remaining.push_back(nodes_[i]);
+  }
+  return Cluster(std::move(remaining));
+}
+
 int Cluster::TotalCores() const {
   int total = 0;
   for (const NodeResources& n : nodes_) total += n.cpu_cores;

@@ -57,6 +57,11 @@ class Cluster {
   /// operator's parallelism degree (paper Sec. III-C3 constraint).
   int TotalCores() const;
 
+  /// The cluster after losing node `index` — used by failure-aware
+  /// re-optimization. Fails when the index is out of range or the removal
+  /// would leave an empty cluster.
+  Result<Cluster> WithoutNode(size_t index) const;
+
   /// Fastest/slowest clock in the cluster (used by analytical baselines).
   double MaxGhz() const;
   double MinGhz() const;

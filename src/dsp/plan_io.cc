@@ -1,5 +1,6 @@
 #include "dsp/plan_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -10,6 +11,22 @@ namespace zerotune::dsp {
 namespace {
 
 constexpr char kPlanMagic[] = "zerotune-plan-v1";
+
+/// Parsing limits: a hostile or corrupt file must not drive unbounded
+/// allocation, so counts are rejected before anything is materialized.
+constexpr size_t kMaxOperators = 100'000;
+constexpr size_t kMaxNodes = 100'000;
+constexpr size_t kMaxListElements = 1'000'000;
+
+/// Prefixes a parse error with positional context (e.g. "plan line 12"),
+/// preserving the IOError/InvalidArgument distinction.
+Status AddContext(const Status& s, const std::string& context) {
+  if (s.ok()) return s;
+  if (s.code() == StatusCode::kIOError) {
+    return Status::IOError(context + ": " + s.message());
+  }
+  return Status::InvalidArgument(context + ": " + s.message());
+}
 
 /// Parses "key=value" tokens of one line into a map.
 Result<std::map<std::string, std::string>> ParseFields(
@@ -33,7 +50,17 @@ Result<double> GetDouble(const std::map<std::string, std::string>& fields,
     return Status::InvalidArgument("missing field: " + key);
   }
   try {
-    return std::stod(it->second);
+    size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) {
+      return Status::InvalidArgument("trailing junk in " + key + ": " +
+                                     it->second);
+    }
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value for " + key + ": " +
+                                     it->second);
+    }
+    return v;
   } catch (...) {
     return Status::InvalidArgument("bad number for " + key + ": " +
                                    it->second);
@@ -43,6 +70,10 @@ Result<double> GetDouble(const std::map<std::string, std::string>& fields,
 Result<int> GetInt(const std::map<std::string, std::string>& fields,
                    const std::string& key) {
   ZT_ASSIGN_OR_RETURN(const double v, GetDouble(fields, key));
+  if (v < -2e9 || v > 2e9 || v != std::floor(v)) {
+    return Status::InvalidArgument("field " + key +
+                                   " is not a representable integer");
+  }
   return static_cast<int>(v);
 }
 
@@ -61,8 +92,16 @@ Result<std::vector<int>> ParseIntList(const std::string& repr) {
   std::istringstream is(repr);
   std::string part;
   while (std::getline(is, part, ',')) {
+    if (out.size() >= kMaxListElements) {
+      return Status::InvalidArgument("int list has too many elements");
+    }
     try {
-      out.push_back(std::stoi(part));
+      size_t used = 0;
+      const int v = std::stoi(part, &used);
+      if (used != part.size()) {
+        return Status::InvalidArgument("bad int list: " + repr);
+      }
+      out.push_back(v);
     } catch (...) {
       return Status::InvalidArgument("bad int list: " + repr);
     }
@@ -172,12 +211,16 @@ Status PlanIO::WriteQueryPlan(const QueryPlan& plan, std::ostream& os) {
 Result<QueryPlan> PlanIO::ReadQueryPlan(std::istream& is) {
   std::string line;
   if (!std::getline(is, line) || line != kPlanMagic) {
-    return Status::InvalidArgument("bad plan header");
+    return Status::InvalidArgument("bad plan header (want " +
+                                   std::string(kPlanMagic) + ")");
   }
   QueryPlan plan;
+  size_t line_no = 1;
   // Serialized ids are assigned in insertion order, so they map 1:1 onto
-  // the ids AddOperator assigns on replay; verify as we go.
+  // the ids AddOperator assigns on replay; verify as we go. Each line's
+  // parse runs in a lambda so errors pick up the line number exactly once.
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string kind;
@@ -187,6 +230,11 @@ Result<QueryPlan> PlanIO::ReadQueryPlan(std::istream& is) {
       // reader stops here.
       break;
     }
+    if (plan.num_operators() >= kMaxOperators) {
+      return Status::InvalidArgument("plan line " + std::to_string(line_no) +
+                                     ": too many operators");
+    }
+    auto parse_line = [&]() -> Status {
     ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
     ZT_ASSIGN_OR_RETURN(const int id, GetInt(fields, "id"));
     int new_id = -1;
@@ -254,6 +302,12 @@ Result<QueryPlan> PlanIO::ReadQueryPlan(std::istream& is) {
           "operator ids must be contiguous in insertion order (got " +
           std::to_string(id) + ", expected " + std::to_string(new_id) + ")");
     }
+    return Status::OK();
+    };
+    const Status parsed = parse_line();
+    if (!parsed.ok()) {
+      return AddContext(parsed, "plan line " + std::to_string(line_no));
+    }
   }
   ZT_RETURN_IF_ERROR(plan.Validate());
   return plan;
@@ -304,32 +358,48 @@ Result<ParallelQueryPlan> PlanIO::ReadParallelPlan(std::istream& is) {
     std::vector<int> instance_nodes;
   };
   std::vector<Deployment> deployments;
-  for (const auto& l : physical_lines) {
+  for (size_t li = 0; li < physical_lines.size(); ++li) {
+    const auto& l = physical_lines[li];
     if (l.empty()) continue;
     std::istringstream ls(l);
     std::string kind;
     ls >> kind;
-    ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
-    if (kind == "cluster") {
-      NodeResources n;
-      ZT_ASSIGN_OR_RETURN(n.type_name, GetString(fields, "node"));
-      ZT_ASSIGN_OR_RETURN(n.cpu_cores, GetInt(fields, "cores"));
-      ZT_ASSIGN_OR_RETURN(n.cpu_ghz, GetDouble(fields, "ghz"));
-      ZT_ASSIGN_OR_RETURN(n.memory_gb, GetDouble(fields, "mem"));
-      ZT_ASSIGN_OR_RETURN(n.network_gbps, GetDouble(fields, "net"));
-      nodes.push_back(n);
-    } else if (kind == "deploy") {
-      Deployment d;
-      ZT_ASSIGN_OR_RETURN(d.id, GetInt(fields, "id"));
-      ZT_ASSIGN_OR_RETURN(d.parallelism, GetInt(fields, "p"));
-      ZT_ASSIGN_OR_RETURN(d.partitioning, GetInt(fields, "part"));
-      if (fields.count("nodes") > 0) {
-        ZT_ASSIGN_OR_RETURN(const std::string ns, GetString(fields, "nodes"));
-        ZT_ASSIGN_OR_RETURN(d.instance_nodes, ParseIntList(ns));
+    auto parse_line = [&]() -> Status {
+      ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
+      if (kind == "cluster") {
+        if (nodes.size() >= kMaxNodes) {
+          return Status::InvalidArgument("too many cluster nodes");
+        }
+        NodeResources n;
+        ZT_ASSIGN_OR_RETURN(n.type_name, GetString(fields, "node"));
+        ZT_ASSIGN_OR_RETURN(n.cpu_cores, GetInt(fields, "cores"));
+        ZT_ASSIGN_OR_RETURN(n.cpu_ghz, GetDouble(fields, "ghz"));
+        ZT_ASSIGN_OR_RETURN(n.memory_gb, GetDouble(fields, "mem"));
+        ZT_ASSIGN_OR_RETURN(n.network_gbps, GetDouble(fields, "net"));
+        if (n.cpu_cores <= 0 || n.cpu_ghz <= 0.0) {
+          return Status::InvalidArgument("node needs positive cores and ghz");
+        }
+        nodes.push_back(n);
+      } else if (kind == "deploy") {
+        Deployment d;
+        ZT_ASSIGN_OR_RETURN(d.id, GetInt(fields, "id"));
+        ZT_ASSIGN_OR_RETURN(d.parallelism, GetInt(fields, "p"));
+        ZT_ASSIGN_OR_RETURN(d.partitioning, GetInt(fields, "part"));
+        if (fields.count("nodes") > 0) {
+          ZT_ASSIGN_OR_RETURN(const std::string ns,
+                              GetString(fields, "nodes"));
+          ZT_ASSIGN_OR_RETURN(d.instance_nodes, ParseIntList(ns));
+        }
+        deployments.push_back(std::move(d));
+      } else {
+        return Status::InvalidArgument("unknown physical line kind: " + kind);
       }
-      deployments.push_back(std::move(d));
-    } else {
-      return Status::InvalidArgument("unknown physical line kind: " + kind);
+      return Status::OK();
+    };
+    const Status parsed = parse_line();
+    if (!parsed.ok()) {
+      return AddContext(parsed,
+                        "physical line " + std::to_string(li + 1));
     }
   }
   if (nodes.empty()) {

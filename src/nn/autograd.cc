@@ -38,6 +38,15 @@ const Matrix* GradStore::Find(int param_id) const {
   return it == grads_.end() ? nullptr : &it->second;
 }
 
+bool GradStore::AllFinite() const {
+  for (const auto& [id, g] : grads_) {
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (!std::isfinite(g.data()[i])) return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 NodePtr MakeNode(Matrix value, std::vector<NodePtr> parents,
@@ -399,15 +408,45 @@ zerotune::Status ParameterStore::LoadFromStream(std::istream& is) {
         "parameter count mismatch: file has " + std::to_string(count) +
         ", store has " + std::to_string(params_.size()));
   }
-  for (auto& p : params_) {
+  // Parse into scratch buffers and commit only after the whole stream
+  // validated, so a failed load leaves the live parameters untouched.
+  std::vector<Matrix> loaded;
+  loaded.reserve(params_.size());
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
     size_t rows = 0, cols = 0;
     is >> rows >> cols;
-    if (rows != p->value.rows() || cols != p->value.cols()) {
-      return zerotune::Status::InvalidArgument("parameter shape mismatch");
+    if (!is) {
+      return zerotune::Status::IOError(
+          "truncated parameter stream at parameter " + std::to_string(pi));
     }
-    for (size_t i = 0; i < p->value.size(); ++i) is >> p->value.data()[i];
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return zerotune::Status::InvalidArgument(
+          "parameter " + std::to_string(pi) + " shape mismatch: file has " +
+          std::to_string(rows) + "x" + std::to_string(cols) +
+          ", store expects " + std::to_string(p->value.rows()) + "x" +
+          std::to_string(p->value.cols()));
+    }
+    Matrix scratch(rows, cols);
+    for (size_t i = 0; i < scratch.size(); ++i) {
+      is >> scratch.data()[i];
+      if (!is) {
+        return zerotune::Status::IOError(
+            "truncated parameter stream at parameter " + std::to_string(pi) +
+            ", element " + std::to_string(i));
+      }
+      if (!std::isfinite(scratch.data()[i])) {
+        return zerotune::Status::InvalidArgument(
+            "non-finite value in parameter " + std::to_string(pi) +
+            ", element " + std::to_string(i));
+      }
+    }
+    loaded.push_back(std::move(scratch));
   }
   if (!is) return zerotune::Status::IOError("truncated parameter stream");
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    params_[pi]->value = std::move(loaded[pi]);
+  }
   return zerotune::Status::OK();
 }
 

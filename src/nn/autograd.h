@@ -39,6 +39,10 @@ class GradStore {
   /// Returns the gradient for a parameter, or nullptr if none recorded.
   const Matrix* Find(int param_id) const;
 
+  /// True when every stored gradient entry is finite — the guard the
+  /// trainer uses to detect divergence before applying an update.
+  bool AllFinite() const;
+
   void Clear() { grads_.clear(); }
   size_t size() const { return grads_.size(); }
 

@@ -24,6 +24,7 @@ enum class EventKind {
   kArrival = 1,  // a tuple lands in an instance's input queue
   kDone = 2,     // an instance finishes servicing a tuple
   kTimer = 3,    // a time-based window fires
+  kFault = 4,    // an injected fault activates (op = fault index)
 };
 
 struct Event {
@@ -78,8 +79,11 @@ double Expo(zerotune::Rng* rng, double mean) {
 Result<SimMeasurement> EventSimulator::Run(
     const dsp::ParallelQueryPlan& plan) const {
   ZT_RETURN_IF_ERROR(plan.Validate());
+  ZT_RETURN_IF_ERROR(options_.faults.Validate(plan));
   const dsp::QueryPlan& q = plan.logical();
   zerotune::Rng rng(options_.seed);
+  const FaultInjector injector(options_.faults);
+  const bool chaos = !options_.faults.empty();
 
   // Build per-operator contexts.
   std::vector<OpContext> ops(q.num_operators());
@@ -105,6 +109,14 @@ Result<SimMeasurement> EventSimulator::Run(
           work_us * 1e-6 / std::max(ghz, 0.1);
     }
   }
+
+  // Node hosting an operator instance; unplaced plans follow the service
+  // model's convention of charging everything to node 0.
+  auto node_of = [&](int op_id, int inst) -> int {
+    const auto& nodes = plan.placement(op_id).instance_nodes;
+    if (!nodes.empty()) return nodes[static_cast<size_t>(inst)];
+    return plan.cluster().num_nodes() > 0 ? 0 : -1;
+  };
 
   // Pre-compute per-edge remote probability (network hop likelihood).
   auto remote_prob = [&](int up, int down) -> double {
@@ -161,12 +173,30 @@ Result<SimMeasurement> EventSimulator::Run(
     }
   }
 
+  // Fault activations enter the event stream like any other event so that
+  // crash-time queue sweeps happen in timestamp order.
+  for (size_t f = 0; f < options_.faults.events().size(); ++f) {
+    const FaultEvent& fe = options_.faults.events()[f];
+    if (fe.kind != FaultKind::kNodeCrash) continue;
+    Event e;
+    e.kind = EventKind::kFault;
+    e.op = static_cast<int>(f);
+    e.time = fe.time_s;
+    pq.push(e);
+  }
+
   SimMeasurement result;
   std::vector<double> latencies_ms;
   size_t source_completions = 0;
   size_t sink_outputs = 0;
   size_t events = 0;
   const double measure_start = options_.warmup_s;
+
+  // Sink outputs bucketed over time (100 ms bins, warmup included) to
+  // report the per-fault before/after impact.
+  constexpr double kBucketS = 0.1;
+  std::vector<size_t> sink_buckets(
+      static_cast<size_t>(std::ceil(options_.duration_s / kBucketS)) + 1, 0);
 
   // Forward declarations via lambdas.
   auto start_service = [&](int op_id, int inst, double now) {
@@ -176,8 +206,12 @@ Result<SimMeasurement> EventSimulator::Run(
     st.busy = true;
     st.in_service = st.queue.front();
     st.queue.pop_front();
-    const double service =
-        Expo(&rng, ctx.service_mean_s[static_cast<size_t>(inst)]);
+    double mean = ctx.service_mean_s[static_cast<size_t>(inst)];
+    if (chaos) {
+      mean *= injector.ServiceTimeFactor(node_of(op_id, inst), op_id, inst,
+                                         now);
+    }
+    const double service = Expo(&rng, mean);
     st.busy_seconds += service;
     ++st.processed;
     Event e;
@@ -226,6 +260,9 @@ Result<SimMeasurement> EventSimulator::Run(
         delay = remote
                     ? options_.params.network_base_latency_ms / 1e3 + transfer_s
                     : 0.01e-3;
+        if (remote && chaos) {
+          delay += injector.ExtraNetworkDelayMs(now) / 1e3;
+        }
       }
       Event e;
       e.kind = EventKind::kArrival;
@@ -242,6 +279,10 @@ Result<SimMeasurement> EventSimulator::Run(
                            double created_at) {
     OpContext& ctx = ops[static_cast<size_t>(op_id)];
     InstanceState& st = ctx.instances[static_cast<size_t>(inst)];
+    if (chaos && injector.NodeDown(node_of(op_id, inst), now)) {
+      ++result.tuples_lost;
+      return;
+    }
     if (st.queue.size() >= options_.max_queue_per_instance) {
       ++st.dropped;
       result.backpressured = true;
@@ -257,16 +298,24 @@ Result<SimMeasurement> EventSimulator::Run(
     pq.pop();
     if (ev.time > options_.duration_s) break;
     ++events;
-    OpContext& ctx = ops[static_cast<size_t>(ev.op)];
+    // kFault events carry a fault index in `op`, not an operator id.
+    OpContext& ctx = ops[ev.kind == EventKind::kFault
+                             ? 0
+                             : static_cast<size_t>(ev.op)];
 
     switch (ev.kind) {
       case EventKind::kEmit: {
         // Source generator: the raw event enters the source's own queue
         // (the source does serialization work per tuple), then schedules
-        // the next emission.
+        // the next emission. A source instance on a crashed node stops
+        // generating for good.
+        if (chaos && injector.NodeDown(node_of(ev.op, ev.inst), ev.time)) {
+          break;
+        }
         enqueue_tuple(ev.op, ev.inst, 0, ev.time, ev.time);
-        const double inst_rate = ctx.op->source.event_rate /
-                                 static_cast<double>(ctx.degree);
+        double inst_rate = ctx.op->source.event_rate /
+                           static_cast<double>(ctx.degree);
+        if (chaos) inst_rate *= injector.SourceRateFactor(ev.op, ev.time);
         Event next = ev;
         next.time = ev.time + Expo(&rng, 1.0 / std::max(inst_rate, 1e-9));
         pq.push(next);
@@ -275,8 +324,32 @@ Result<SimMeasurement> EventSimulator::Run(
       case EventKind::kArrival:
         enqueue_tuple(ev.op, ev.inst, ev.side, ev.time, ev.created_at);
         break;
+      case EventKind::kFault: {
+        // A node crash activates: everything queued on its instances is
+        // lost; instances mid-service drop their output at kDone.
+        const FaultEvent& fe =
+            options_.faults.events()[static_cast<size_t>(ev.op)];
+        for (const Operator& op : q.operators()) {
+          OpContext& victim = ops[static_cast<size_t>(op.id)];
+          for (int i = 0; i < victim.degree; ++i) {
+            if (node_of(op.id, i) != fe.node) continue;
+            InstanceState& st = victim.instances[static_cast<size_t>(i)];
+            result.tuples_lost += st.queue.size();
+            st.queue.clear();
+            st.window[0].clear();
+            st.window[1].clear();
+            st.pane_count = 0;
+            st.pane_created_sum = 0.0;
+          }
+        }
+        break;
+      }
       case EventKind::kTimer: {
-        // Time-based aggregate window fire.
+        // Time-based aggregate window fire; a timer on a crashed node
+        // stops rescheduling itself.
+        if (chaos && injector.NodeDown(node_of(ev.op, ev.inst), ev.time)) {
+          break;
+        }
         InstanceState& st = ctx.instances[static_cast<size_t>(ev.inst)];
         const auto& agg = ctx.op->aggregate;
         if (st.pane_count > 0) {
@@ -301,6 +374,12 @@ Result<SimMeasurement> EventSimulator::Run(
         InstanceState& st = ctx.instances[static_cast<size_t>(ev.inst)];
         const QueuedTuple tup = st.in_service;
         st.busy = false;
+        if (chaos && injector.NodeDown(node_of(ev.op, ev.inst), ev.time)) {
+          // The node died while this tuple was in service: its output is
+          // lost and the instance never picks up more work.
+          ++result.tuples_lost;
+          break;
+        }
         switch (ctx.op->type) {
           case OperatorType::kSource:
             if (ev.time >= measure_start) ++source_completions;
@@ -359,6 +438,8 @@ Result<SimMeasurement> EventSimulator::Run(
             break;
           }
           case OperatorType::kSink:
+            sink_buckets[std::min(sink_buckets.size() - 1,
+                                  static_cast<size_t>(ev.time / kBucketS))]++;
             if (ev.time >= measure_start) {
               ++sink_outputs;
               const double latency_ms = (ev.time - tup.created_at) * 1e3;
@@ -398,6 +479,28 @@ Result<SimMeasurement> EventSimulator::Run(
     stats.avg_utilization =
         busy_sum / static_cast<double>(std::max<size_t>(1, ctx.instances.size()));
     result.per_operator.push_back(stats);
+  }
+
+  // Per-fault impact: mean sink rate over the second preceding vs. the
+  // second following each fault's onset.
+  auto window_tps = [&](double lo, double hi) -> double {
+    lo = std::max(lo, 0.0);
+    hi = std::min(hi, options_.duration_s);
+    if (hi - lo < kBucketS) return 0.0;
+    const size_t b_lo = static_cast<size_t>(lo / kBucketS);
+    const size_t b_hi = std::min(sink_buckets.size(),
+                                 static_cast<size_t>(hi / kBucketS));
+    size_t outputs = 0;
+    for (size_t b = b_lo; b < b_hi; ++b) outputs += sink_buckets[b];
+    return static_cast<double>(outputs) /
+           (static_cast<double>(b_hi - b_lo) * kBucketS);
+  };
+  for (const FaultEvent& fe : options_.faults.events()) {
+    FaultImpact impact;
+    impact.event = fe;
+    impact.sink_tps_before = window_tps(fe.time_s - 1.0, fe.time_s);
+    impact.sink_tps_after = window_tps(fe.time_s, fe.time_s + 1.0);
+    result.fault_impacts.push_back(impact);
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "dsp/parallel_plan.h"
 #include "sim/cost_params.h"
+#include "sim/fault_injection.h"
 
 namespace zerotune::sim {
 
@@ -23,6 +24,14 @@ struct OperatorSimStats {
   size_t tuples_processed = 0;
 };
 
+/// Observed sink-side impact of one injected fault: mean sink output rate
+/// in the second before vs. the second after the fault's onset.
+struct FaultImpact {
+  FaultEvent event;
+  double sink_tps_before = 0.0;
+  double sink_tps_after = 0.0;
+};
+
 /// Result of a discrete-event simulation run.
 struct SimMeasurement {
   double mean_latency_ms = 0.0;
@@ -34,6 +43,11 @@ struct SimMeasurement {
   double sink_output_tps = 0.0;
   size_t tuples_completed = 0;
   bool backpressured = false;
+  /// Tuples destroyed by injected faults (queued/in-flight work on crashed
+  /// nodes plus arrivals routed to dead instances).
+  size_t tuples_lost = 0;
+  /// One entry per injected fault event, in `Options::faults` order.
+  std::vector<FaultImpact> fault_impacts;
   std::vector<OperatorSimStats> per_operator;
   /// Full end-to-end latency distribution (ms).
   zerotune::Histogram latency_histogram{1e-3, 1e7, 20};
@@ -60,6 +74,8 @@ class EventSimulator {
     size_t max_events = 5'000'000; // hard safety cap
     size_t max_queue_per_instance = 100'000;
     CostParams params;
+    /// Degradation events injected into the run (empty = healthy run).
+    FaultPlan faults;
   };
 
   EventSimulator() : EventSimulator(Options()) {}

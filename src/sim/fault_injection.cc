@@ -1,0 +1,334 @@
+#include "sim/fault_injection.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace zerotune::sim {
+
+namespace {
+
+constexpr size_t kMaxEvents = 10'000;
+
+Result<double> ParseFiniteDouble(const std::string& repr,
+                                 const std::string& context) {
+  try {
+    size_t used = 0;
+    const double v = std::stod(repr, &used);
+    if (used != repr.size() || !std::isfinite(v)) {
+      return Status::InvalidArgument("bad number for " + context + ": " +
+                                     repr);
+    }
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("bad number for " + context + ": " + repr);
+  }
+}
+
+Result<int> ParseInt(const std::string& repr, const std::string& context) {
+  ZT_ASSIGN_OR_RETURN(const double v, ParseFiniteDouble(repr, context));
+  if (v < -1e9 || v > 1e9 || v != std::floor(v)) {
+    return Status::InvalidArgument("bad integer for " + context + ": " + repr);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "crash";
+    case FaultKind::kNodeSlowdown: return "slow";
+    case FaultKind::kInstanceStraggler: return "straggler";
+    case FaultKind::kSourceRateSurge: return "surge";
+    case FaultKind::kNetworkDelaySpike: return "netdelay";
+  }
+  return "unknown";
+}
+
+FaultEvent FaultPlan::NodeCrash(double time_s, int node) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeCrash;
+  e.time_s = time_s;
+  e.node = node;
+  return e;
+}
+
+FaultEvent FaultPlan::NodeSlowdown(double time_s, double duration_s, int node,
+                                   double capacity_factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeSlowdown;
+  e.time_s = time_s;
+  e.duration_s = duration_s;
+  e.node = node;
+  e.factor = capacity_factor;
+  return e;
+}
+
+FaultEvent FaultPlan::Straggler(double time_s, double duration_s, int op_id,
+                                int instance, double service_factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kInstanceStraggler;
+  e.time_s = time_s;
+  e.duration_s = duration_s;
+  e.op_id = op_id;
+  e.instance = instance;
+  e.factor = service_factor;
+  return e;
+}
+
+FaultEvent FaultPlan::SourceRateSurge(double time_s, double duration_s,
+                                      int op_id, double rate_factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kSourceRateSurge;
+  e.time_s = time_s;
+  e.duration_s = duration_s;
+  e.op_id = op_id;
+  e.factor = rate_factor;
+  return e;
+}
+
+FaultEvent FaultPlan::NetworkDelaySpike(double time_s, double duration_s,
+                                        double extra_delay_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kNetworkDelaySpike;
+  e.time_s = time_s;
+  e.duration_s = duration_s;
+  e.extra_delay_ms = extra_delay_ms;
+  return e;
+}
+
+Status FaultPlan::Validate(const dsp::ParallelQueryPlan& plan) const {
+  if (events_.size() > kMaxEvents) {
+    return Status::InvalidArgument("fault plan has too many events");
+  }
+  const int num_nodes = static_cast<int>(plan.cluster().num_nodes());
+  const int num_ops = static_cast<int>(plan.logical().num_operators());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    const std::string at = "fault #" + std::to_string(i) + " (" +
+                           sim::ToString(e.kind) + "): ";
+    if (!(e.time_s >= 0.0) || !std::isfinite(e.time_s)) {
+      return Status::InvalidArgument(at + "time must be finite and >= 0");
+    }
+    if (!(e.duration_s >= 0.0) || !std::isfinite(e.duration_s)) {
+      return Status::InvalidArgument(at + "duration must be finite and >= 0");
+    }
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kNodeSlowdown:
+        if (e.node < 0 || e.node >= num_nodes) {
+          return Status::InvalidArgument(
+              at + "node " + std::to_string(e.node) +
+              " out of range (cluster has " + std::to_string(num_nodes) +
+              " nodes)");
+        }
+        if (e.kind == FaultKind::kNodeCrash && num_nodes < 2) {
+          return Status::InvalidArgument(
+              at + "cannot crash the only node in the cluster");
+        }
+        break;
+      case FaultKind::kInstanceStraggler: {
+        if (e.op_id < 0 || e.op_id >= num_ops) {
+          return Status::InvalidArgument(at + "operator out of range");
+        }
+        const int degree = plan.parallelism(e.op_id);
+        if (e.instance < 0 || e.instance >= degree) {
+          return Status::InvalidArgument(
+              at + "instance " + std::to_string(e.instance) +
+              " out of range (degree " + std::to_string(degree) + ")");
+        }
+        break;
+      }
+      case FaultKind::kSourceRateSurge:
+        if (e.op_id < 0 || e.op_id >= num_ops ||
+            plan.logical().op(e.op_id).type != dsp::OperatorType::kSource) {
+          return Status::InvalidArgument(at +
+                                         "target must be a source operator");
+        }
+        break;
+      case FaultKind::kNetworkDelaySpike:
+        if (!(e.extra_delay_ms >= 0.0) || !std::isfinite(e.extra_delay_ms)) {
+          return Status::InvalidArgument(at + "extra_ms must be >= 0");
+        }
+        break;
+    }
+    if (e.kind == FaultKind::kNodeSlowdown ||
+        e.kind == FaultKind::kInstanceStraggler ||
+        e.kind == FaultKind::kSourceRateSurge) {
+      if (!(e.factor > 0.0) || !std::isfinite(e.factor)) {
+        return Status::InvalidArgument(at + "factor must be finite and > 0");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream events(spec);
+  std::string item;
+  while (std::getline(events, item, ';')) {
+    if (item.empty()) continue;
+    if (plan.events_.size() >= kMaxEvents) {
+      return Status::InvalidArgument("fault spec has too many events");
+    }
+    // Split "kind@time[+duration]" from "key=value,...".
+    const size_t colon = item.find(':');
+    const std::string head = item.substr(0, colon);
+    const size_t at = head.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("fault event needs kind@time: " + item);
+    }
+    const std::string kind_name = head.substr(0, at);
+    std::string time_repr = head.substr(at + 1);
+    double duration = 0.0;
+    const size_t plus = time_repr.find('+');
+    if (plus != std::string::npos) {
+      ZT_ASSIGN_OR_RETURN(duration, ParseFiniteDouble(time_repr.substr(plus + 1),
+                                                      "duration in " + item));
+      time_repr = time_repr.substr(0, plus);
+    }
+    ZT_ASSIGN_OR_RETURN(const double time_s,
+                        ParseFiniteDouble(time_repr, "time in " + item));
+
+    std::map<std::string, std::string> fields;
+    if (colon != std::string::npos) {
+      std::istringstream kvs(item.substr(colon + 1));
+      std::string kv;
+      while (std::getline(kvs, kv, ',')) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return Status::InvalidArgument("malformed fault field: " + kv);
+        }
+        fields[kv.substr(0, eq)] = kv.substr(eq + 1);
+      }
+    }
+    auto get_int = [&](const std::string& key) -> Result<int> {
+      auto it = fields.find(key);
+      if (it == fields.end()) {
+        return Status::InvalidArgument("fault " + item + " needs " + key + "=");
+      }
+      const std::string repr = it->second;
+      fields.erase(it);
+      return ParseInt(repr, key + " in " + item);
+    };
+    auto get_double = [&](const std::string& key) -> Result<double> {
+      auto it = fields.find(key);
+      if (it == fields.end()) {
+        return Status::InvalidArgument("fault " + item + " needs " + key + "=");
+      }
+      const std::string repr = it->second;
+      fields.erase(it);
+      return ParseFiniteDouble(repr, key + " in " + item);
+    };
+
+    FaultEvent e;
+    e.time_s = time_s;
+    e.duration_s = duration;
+    if (kind_name == "crash") {
+      e.kind = FaultKind::kNodeCrash;
+      ZT_ASSIGN_OR_RETURN(e.node, get_int("node"));
+    } else if (kind_name == "slow") {
+      e.kind = FaultKind::kNodeSlowdown;
+      ZT_ASSIGN_OR_RETURN(e.node, get_int("node"));
+      ZT_ASSIGN_OR_RETURN(e.factor, get_double("factor"));
+    } else if (kind_name == "straggler") {
+      e.kind = FaultKind::kInstanceStraggler;
+      ZT_ASSIGN_OR_RETURN(e.op_id, get_int("op"));
+      ZT_ASSIGN_OR_RETURN(e.instance, get_int("inst"));
+      ZT_ASSIGN_OR_RETURN(e.factor, get_double("factor"));
+    } else if (kind_name == "surge") {
+      e.kind = FaultKind::kSourceRateSurge;
+      ZT_ASSIGN_OR_RETURN(e.op_id, get_int("op"));
+      ZT_ASSIGN_OR_RETURN(e.factor, get_double("factor"));
+    } else if (kind_name == "netdelay") {
+      e.kind = FaultKind::kNetworkDelaySpike;
+      ZT_ASSIGN_OR_RETURN(e.extra_delay_ms, get_double("extra_ms"));
+    } else {
+      return Status::InvalidArgument("unknown fault kind: " + kind_name);
+    }
+    if (!fields.empty()) {
+      return Status::InvalidArgument("unknown fault field '" +
+                                     fields.begin()->first + "' in " + item);
+    }
+    plan.Add(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (i > 0) os << ";";
+    os << sim::ToString(e.kind) << "@" << e.time_s;
+    if (e.duration_s > 0.0) os << "+" << e.duration_s;
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        os << ":node=" << e.node;
+        break;
+      case FaultKind::kNodeSlowdown:
+        os << ":node=" << e.node << ",factor=" << e.factor;
+        break;
+      case FaultKind::kInstanceStraggler:
+        os << ":op=" << e.op_id << ",inst=" << e.instance
+           << ",factor=" << e.factor;
+        break;
+      case FaultKind::kSourceRateSurge:
+        os << ":op=" << e.op_id << ",factor=" << e.factor;
+        break;
+      case FaultKind::kNetworkDelaySpike:
+        os << ":extra_ms=" << e.extra_delay_ms;
+        break;
+    }
+  }
+  return os.str();
+}
+
+bool FaultInjector::NodeDown(int node, double t) const {
+  for (const FaultEvent& e : plan_->events()) {
+    if (e.kind == FaultKind::kNodeCrash && e.node == node && e.ActiveAt(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::ServiceTimeFactor(int node, int op_id, int instance,
+                                        double t) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events()) {
+    if (!e.ActiveAt(t)) continue;
+    if (e.kind == FaultKind::kNodeSlowdown && e.node == node) {
+      factor /= e.factor;
+    } else if (e.kind == FaultKind::kInstanceStraggler && e.op_id == op_id &&
+               e.instance == instance) {
+      factor *= e.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::SourceRateFactor(int op_id, double t) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events()) {
+    if (e.kind == FaultKind::kSourceRateSurge && e.op_id == op_id &&
+        e.ActiveAt(t)) {
+      factor *= e.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::ExtraNetworkDelayMs(double t) const {
+  double extra = 0.0;
+  for (const FaultEvent& e : plan_->events()) {
+    if (e.kind == FaultKind::kNetworkDelaySpike && e.ActiveAt(t)) {
+      extra += e.extra_delay_ms;
+    }
+  }
+  return extra;
+}
+
+}  // namespace zerotune::sim

@@ -1,0 +1,133 @@
+#ifndef ZEROTUNE_SIM_FAULT_INJECTION_H_
+#define ZEROTUNE_SIM_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::sim {
+
+/// Kinds of runtime degradation the chaos subsystem can inject into a
+/// discrete-event simulation. The zero-shot model predicts costs for a
+/// healthy deployment; these faults answer "what actually happens when
+/// the cluster degrades mid-run" (and drive failure-aware re-tuning).
+enum class FaultKind {
+  /// A worker node dies permanently at `time_s`: its instances stop
+  /// servicing, queued and in-flight tuples are lost, arrivals are dropped.
+  kNodeCrash = 0,
+  /// A node's effective CPU capacity is scaled by `factor` (< 1 slows it)
+  /// during [time_s, time_s + duration_s).
+  kNodeSlowdown = 1,
+  /// One operator instance's service times are multiplied by `factor`
+  /// (> 1 makes it a straggler) during the active window.
+  kInstanceStraggler = 2,
+  /// A source operator's emission rate is multiplied by `factor` during
+  /// the active window (load spike).
+  kSourceRateSurge = 3,
+  /// Every remote (unchained, cross-node) edge pays `extra_delay_ms`
+  /// additional one-way latency during the active window.
+  kNetworkDelaySpike = 4,
+};
+
+const char* ToString(FaultKind kind);
+
+/// One timed degradation event.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  /// Onset, in simulated seconds.
+  double time_s = 0.0;
+  /// Active window length; 0 means "until the end of the run". Crashes
+  /// are always permanent regardless of this field.
+  double duration_s = 0.0;
+  /// Target cluster node (kNodeCrash, kNodeSlowdown).
+  int node = -1;
+  /// Target operator (kInstanceStraggler, kSourceRateSurge).
+  int op_id = -1;
+  /// Target instance within the operator (kInstanceStraggler).
+  int instance = -1;
+  /// Multiplier: CPU-capacity scale (slowdown), service-time scale
+  /// (straggler), or rate scale (surge).
+  double factor = 1.0;
+  /// Added per-hop latency in ms (kNetworkDelaySpike).
+  double extra_delay_ms = 0.0;
+
+  bool ActiveAt(double t) const {
+    if (t < time_s) return false;
+    if (kind == FaultKind::kNodeCrash) return true;  // permanent
+    return duration_s <= 0.0 || t < time_s + duration_s;
+  }
+};
+
+/// A schedule of fault events applied to one simulation run.
+///
+/// Text format (CLI `--inject-faults`): events separated by ';', each
+/// `kind@time[+duration]:key=value[,key=value...]`, e.g.
+///
+///   crash@2:node=0
+///   slow@1+2:node=1,factor=0.5
+///   straggler@1+3:op=2,inst=0,factor=4
+///   surge@2+1:op=0,factor=3
+///   netdelay@1+2:extra_ms=5
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void Add(FaultEvent event) { events_.push_back(event); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Structural checks against a concrete deployment: node/operator/
+  /// instance references in range, times non-negative, factors positive.
+  Status Validate(const dsp::ParallelQueryPlan& plan) const;
+
+  /// Parses the CLI text format documented above.
+  static Result<FaultPlan> Parse(const std::string& spec);
+  std::string ToString() const;
+
+  // Convenience builders.
+  static FaultEvent NodeCrash(double time_s, int node);
+  static FaultEvent NodeSlowdown(double time_s, double duration_s, int node,
+                                 double capacity_factor);
+  static FaultEvent Straggler(double time_s, double duration_s, int op_id,
+                              int instance, double service_factor);
+  static FaultEvent SourceRateSurge(double time_s, double duration_s,
+                                    int op_id, double rate_factor);
+  static FaultEvent NetworkDelaySpike(double time_s, double duration_s,
+                                      double extra_delay_ms);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Point-in-time view of a FaultPlan the simulator queries at each event.
+/// Fault plans are small (a handful of events), so the per-query linear
+/// scan is cheaper than maintaining interval indices.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(&plan) {}
+
+  /// True once any crash targeting `node` has fired.
+  bool NodeDown(int node, double t) const;
+
+  /// Service-time multiplier for an instance: straggler factors times the
+  /// inverse of active node-capacity scaling (capacity 0.5 => 2x service).
+  double ServiceTimeFactor(int node, int op_id, int instance, double t) const;
+
+  /// Emission-rate multiplier for a source operator.
+  double SourceRateFactor(int op_id, double t) const;
+
+  /// Extra one-way latency (ms) on remote edges at time t.
+  double ExtraNetworkDelayMs(double t) const;
+
+  const FaultPlan& plan() const { return *plan_; }
+
+ private:
+  const FaultPlan* plan_;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_FAULT_INJECTION_H_

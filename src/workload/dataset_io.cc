@@ -1,5 +1,6 @@
 #include "workload/dataset_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +11,27 @@ namespace zerotune::workload {
 namespace {
 
 constexpr char kMagic[] = "zerotune-dataset-v1";
+
+/// Upper bound on the sample count a header may declare; larger values are
+/// treated as corruption rather than looped over.
+constexpr size_t kMaxSamples = 50'000'000;
+
+Result<double> ParseFiniteDouble(const std::string& repr, size_t sample_index,
+                                 const std::string& field) {
+  try {
+    size_t used = 0;
+    const double v = std::stod(repr, &used);
+    if (used != repr.size() || !std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "sample " + std::to_string(sample_index) + ": non-finite or " +
+          "malformed " + field + ": " + repr);
+    }
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("sample " + std::to_string(sample_index) +
+                                   ": bad number for " + field + ": " + repr);
+  }
+}
 
 const QueryStructure kAllStructures[] = {
     QueryStructure::kLinear,
@@ -59,6 +81,13 @@ Result<Dataset> DatasetIO::Load(const std::string& path) {
   if (magic != kMagic) {
     return Status::InvalidArgument("bad dataset header in " + path);
   }
+  if (!f) {
+    return Status::InvalidArgument("bad sample count in header of " + path);
+  }
+  if (count > kMaxSamples) {
+    return Status::InvalidArgument(
+        "implausible sample count " + std::to_string(count) + " in " + path);
+  }
   std::string line;
   std::getline(f, line);  // finish header line
 
@@ -87,9 +116,9 @@ Result<Dataset> DatasetIO::Load(const std::string& path) {
       if (key == "structure") {
         ZT_ASSIGN_OR_RETURN(structure, QueryStructureFromString(value));
       } else if (key == "latency_ms") {
-        latency = std::stod(value);
+        ZT_ASSIGN_OR_RETURN(latency, ParseFiniteDouble(value, i, key));
       } else if (key == "throughput_tps") {
-        throughput = std::stod(value);
+        ZT_ASSIGN_OR_RETURN(throughput, ParseFiniteDouble(value, i, key));
       }
     }
     // Collect the embedded plan up to the trailing "end".
@@ -105,9 +134,13 @@ Result<Dataset> DatasetIO::Load(const std::string& path) {
     if (!closed) {
       return Status::InvalidArgument("sample missing end marker");
     }
-    ZT_ASSIGN_OR_RETURN(dsp::ParallelQueryPlan plan,
-                        dsp::PlanIO::ReadParallelPlan(plan_text));
-    out.Add(LabeledQuery(std::move(plan), latency, throughput, structure));
+    auto plan = dsp::PlanIO::ReadParallelPlan(plan_text);
+    if (!plan.ok()) {
+      return Status::InvalidArgument("sample " + std::to_string(i) + ": " +
+                                     plan.status().ToString());
+    }
+    out.Add(LabeledQuery(std::move(plan).value(), latency, throughput,
+                         structure));
   }
   return out;
 }

@@ -136,6 +136,41 @@ TEST_F(CliWorkflowTest, MissingFlagsProduceErrors) {
   EXPECT_NE(RunCli("tune --model x").exit_code, 0);
 }
 
+TEST_F(CliWorkflowTest, SimulateWithFaultsAndRecover) {
+  const std::string plan = TempPath("chaos.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Chaos run: crash one node two simulated seconds in.
+  r = RunCli("simulate --plan " + plan +
+             " --inject-faults \"crash@2:node=1\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("injected 1 fault(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("tuples lost"), std::string::npos);
+
+  // Malformed fault specs are rejected with a parse error.
+  r = RunCli("simulate --plan " + plan + " --inject-faults \"boom@2\"");
+  EXPECT_NE(r.exit_code, 0);
+
+  // Failure-aware re-optimization onto the two survivors.
+  const std::string recovered = TempPath("recovered.plan");
+  r = RunCli("recover --model " + TempPath("model.txt") + " --plan " + plan +
+             " --failed-node 1 --out " + recovered);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("migration pause"), std::string::npos);
+  // The recovered plan is directly simulatable.
+  r = RunCli("simulate --plan " + recovered);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  r = RunCli("recover --model " + TempPath("model.txt") + " --plan " + plan +
+             " --failed-node 9");
+  EXPECT_NE(r.exit_code, 0);
+
+  std::remove(plan.c_str());
+  std::remove(recovered.c_str());
+}
+
 TEST_F(CliWorkflowTest, CollectRandomStrategy) {
   const std::string out = TempPath("rand_corpus.txt");
   const auto r =

@@ -1,0 +1,316 @@
+#include "sim/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/oracle_predictor.h"
+#include "core/reconfiguration.h"
+#include "sim/event_simulator.h"
+
+namespace zerotune::sim {
+namespace {
+
+using dsp::Cluster;
+using dsp::DataType;
+using dsp::FilterProperties;
+using dsp::ParallelQueryPlan;
+using dsp::QueryPlan;
+using dsp::SourceProperties;
+using dsp::TupleSchema;
+
+QueryPlan FilterQuery(double rate, double selectivity = 0.5) {
+  QueryPlan q;
+  SourceProperties s;
+  s.event_rate = rate;
+  s.schema = TupleSchema::Uniform(3, DataType::kDouble);
+  const int src = q.AddSource(s);
+  FilterProperties f;
+  f.selectivity = selectivity;
+  const int fid = q.AddFilter(src, f).value();
+  q.AddSink(fid);
+  return q;
+}
+
+ParallelQueryPlan Deploy(const QueryPlan& q, int degree, size_t nodes) {
+  ParallelQueryPlan p(q, Cluster::Homogeneous("m510", nodes).value());
+  EXPECT_TRUE(p.SetUniformParallelism(degree, /*pin_endpoints=*/false).ok());
+  // Rebalance partitioning spreads every hop across instances (and thus
+  // nodes), so node crashes hit cross-node traffic — the interesting case.
+  for (const auto& op : q.operators()) {
+    if (op.type != dsp::OperatorType::kSource) {
+      EXPECT_TRUE(
+          p.SetPartitioning(op.id, dsp::PartitioningStrategy::kRebalance)
+              .ok());
+    }
+  }
+  EXPECT_TRUE(p.PlaceRoundRobin().ok());
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing and validation.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesEveryKindAndRoundTrips) {
+  const std::string spec =
+      "crash@2:node=0;slow@1+2:node=1,factor=0.5;"
+      "straggler@1+3:op=1,inst=0,factor=4;surge@2+1:op=0,factor=3;"
+      "netdelay@1+2:extra_ms=5";
+  const auto plan = FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().size(), 5u);
+
+  const auto& ev = plan.value().events();
+  EXPECT_EQ(ev[0].kind, FaultKind::kNodeCrash);
+  EXPECT_DOUBLE_EQ(ev[0].time_s, 2.0);
+  EXPECT_EQ(ev[0].node, 0);
+  EXPECT_EQ(ev[1].kind, FaultKind::kNodeSlowdown);
+  EXPECT_DOUBLE_EQ(ev[1].duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(ev[1].factor, 0.5);
+  EXPECT_EQ(ev[2].kind, FaultKind::kInstanceStraggler);
+  EXPECT_EQ(ev[2].op_id, 1);
+  EXPECT_EQ(ev[2].instance, 0);
+  EXPECT_EQ(ev[3].kind, FaultKind::kSourceRateSurge);
+  EXPECT_EQ(ev[4].kind, FaultKind::kNetworkDelaySpike);
+  EXPECT_DOUBLE_EQ(ev[4].extra_delay_ms, 5.0);
+
+  // ToString -> Parse is a fixed point.
+  const std::string text = plan.value().ToString();
+  const auto reparsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().ToString(), text);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("explode@2:node=0").ok());   // unknown kind
+  EXPECT_FALSE(FaultPlan::Parse("crash@2").ok());            // missing args
+  EXPECT_FALSE(FaultPlan::Parse("crash@abc:node=0").ok());   // bad time
+  EXPECT_FALSE(FaultPlan::Parse("crash@2:node=zz").ok());    // bad int
+  EXPECT_FALSE(FaultPlan::Parse("slow@1+2:node=0").ok());    // missing factor
+  EXPECT_FALSE(FaultPlan::Parse("crash@nan:node=0").ok());   // non-finite
+  EXPECT_FALSE(FaultPlan::Parse("crash@2:node=0,bogus=1").ok());
+}
+
+TEST(FaultPlanTest, ActiveWindows) {
+  const FaultEvent crash = FaultPlan::NodeCrash(2.0, 0);
+  EXPECT_FALSE(crash.ActiveAt(1.9));
+  EXPECT_TRUE(crash.ActiveAt(2.0));
+  EXPECT_TRUE(crash.ActiveAt(100.0));  // permanent
+
+  const FaultEvent slow = FaultPlan::NodeSlowdown(1.0, 2.0, 0, 0.5);
+  EXPECT_FALSE(slow.ActiveAt(0.5));
+  EXPECT_TRUE(slow.ActiveAt(1.5));
+  EXPECT_FALSE(slow.ActiveAt(3.5));  // window elapsed
+}
+
+TEST(FaultPlanTest, ValidateCatchesBadReferences) {
+  const auto plan = Deploy(FilterQuery(1000), 2, 2);
+
+  FaultPlan bad_node;
+  bad_node.Add(FaultPlan::NodeCrash(1.0, 7));
+  EXPECT_FALSE(bad_node.Validate(plan).ok());
+
+  FaultPlan surge_non_source;
+  surge_non_source.Add(FaultPlan::SourceRateSurge(1.0, 1.0, /*op_id=*/1, 2.0));
+  EXPECT_FALSE(surge_non_source.Validate(plan).ok());
+
+  FaultPlan bad_factor;
+  bad_factor.Add(FaultPlan::NodeSlowdown(1.0, 1.0, 0, 0.0));
+  EXPECT_FALSE(bad_factor.Validate(plan).ok());
+
+  FaultPlan negative_time;
+  negative_time.Add(FaultPlan::NodeCrash(-1.0, 0));
+  EXPECT_FALSE(negative_time.Validate(plan).ok());
+
+  FaultPlan bad_instance;
+  bad_instance.Add(FaultPlan::Straggler(1.0, 1.0, 1, /*instance=*/99, 4.0));
+  EXPECT_FALSE(bad_instance.Validate(plan).ok());
+
+  // Crashing the only node of a single-node deployment is rejected.
+  const auto single = Deploy(FilterQuery(1000), 1, 1);
+  FaultPlan crash_last;
+  crash_last.Add(FaultPlan::NodeCrash(1.0, 0));
+  EXPECT_FALSE(crash_last.Validate(single).ok());
+
+  FaultPlan good;
+  good.Add(FaultPlan::NodeCrash(2.0, 1));
+  good.Add(FaultPlan::Straggler(1.0, 2.0, 1, 0, 4.0));
+  EXPECT_TRUE(good.Validate(plan).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator behavior under injected faults.
+// ---------------------------------------------------------------------------
+
+EventSimulator::Options ChaosOptions(const FaultPlan& faults) {
+  EventSimulator::Options opts;
+  opts.duration_s = 5.0;
+  opts.warmup_s = 0.5;
+  opts.faults = faults;
+  return opts;
+}
+
+TEST(FaultInjectionSimTest, NodeCrashDegradesSinkThroughput) {
+  const auto plan = Deploy(FilterQuery(4000), 3, 3);
+
+  const auto healthy =
+      EventSimulator(ChaosOptions(FaultPlan())).Run(plan);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy.value().tuples_lost, 0u);
+  EXPECT_TRUE(healthy.value().fault_impacts.empty());
+
+  FaultPlan faults;
+  faults.Add(FaultPlan::NodeCrash(2.0, /*node=*/1));
+  const auto crashed = EventSimulator(ChaosOptions(faults)).Run(plan);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+
+  // The run completes, loses the crashed node's queued/in-flight/routed
+  // tuples, and delivers measurably less at the sink.
+  EXPECT_GT(crashed.value().tuples_lost, 0u);
+  EXPECT_LT(crashed.value().sink_output_tps,
+            0.9 * healthy.value().sink_output_tps);
+
+  // The per-fault impact probe sees the drop at the fault onset.
+  ASSERT_EQ(crashed.value().fault_impacts.size(), 1u);
+  const FaultImpact& impact = crashed.value().fault_impacts[0];
+  EXPECT_EQ(impact.event.kind, FaultKind::kNodeCrash);
+  EXPECT_LT(impact.sink_tps_after, impact.sink_tps_before);
+}
+
+TEST(FaultInjectionSimTest, CrashMonotonicity) {
+  // Losing two nodes is no better than losing one; losing one is no
+  // better than a healthy run.
+  const auto plan = Deploy(FilterQuery(4000), 3, 3);
+  auto run = [&](const FaultPlan& f) {
+    return EventSimulator(ChaosOptions(f)).Run(plan).value().sink_output_tps;
+  };
+  FaultPlan one;
+  one.Add(FaultPlan::NodeCrash(2.0, 1));
+  FaultPlan two = one;
+  two.Add(FaultPlan::NodeCrash(2.5, 2));
+  const double tps_healthy = run(FaultPlan());
+  const double tps_one = run(one);
+  const double tps_two = run(two);
+  EXPECT_LT(tps_one, tps_healthy);
+  EXPECT_LE(tps_two, tps_one * 1.05);  // small simulation noise allowance
+}
+
+TEST(FaultInjectionSimTest, StragglerRaisesLatency) {
+  const auto plan = Deploy(FilterQuery(2000), 2, 2);
+  const auto healthy = EventSimulator(ChaosOptions(FaultPlan())).Run(plan);
+  ASSERT_TRUE(healthy.ok());
+
+  FaultPlan faults;
+  faults.Add(FaultPlan::Straggler(1.0, 0.0, /*op_id=*/1, /*instance=*/0,
+                                  /*service_factor=*/50.0));
+  const auto straggling = EventSimulator(ChaosOptions(faults)).Run(plan);
+  ASSERT_TRUE(straggling.ok()) << straggling.status().ToString();
+  EXPECT_GT(straggling.value().mean_latency_ms,
+            healthy.value().mean_latency_ms);
+}
+
+TEST(FaultInjectionSimTest, SourceSurgeRaisesIngestion) {
+  const auto plan = Deploy(FilterQuery(2000), 2, 2);
+  const auto healthy = EventSimulator(ChaosOptions(FaultPlan())).Run(plan);
+  ASSERT_TRUE(healthy.ok());
+
+  FaultPlan faults;
+  faults.Add(FaultPlan::SourceRateSurge(1.0, 0.0, /*op_id=*/0,
+                                        /*rate_factor=*/3.0));
+  const auto surged = EventSimulator(ChaosOptions(faults)).Run(plan);
+  ASSERT_TRUE(surged.ok()) << surged.status().ToString();
+  EXPECT_GT(surged.value().throughput_tps,
+            1.5 * healthy.value().throughput_tps);
+}
+
+TEST(FaultInjectionSimTest, RejectsFaultPlanThatDoesNotFitDeployment) {
+  const auto plan = Deploy(FilterQuery(1000), 2, 2);
+  FaultPlan faults;
+  faults.Add(FaultPlan::NodeCrash(1.0, /*node=*/9));
+  const auto r = EventSimulator(ChaosOptions(faults)).Run(plan);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware re-optimization (chaos demo): crash -> recover -> the
+// recovered deployment beats limping along on the crashed one.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, RecoverFromNodeFailureProducesValidDegradedPlan) {
+  core::OraclePredictor oracle;
+  core::ReconfigurationPlanner planner(&oracle);
+  const auto current = Deploy(FilterQuery(4000), 3, 3);
+
+  const auto report = planner.RecoverFromNodeFailure(current, /*node=*/1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const core::RecoveryReport& r = report.value();
+
+  EXPECT_EQ(r.failed_node, 1);
+  EXPECT_EQ(r.degraded_cluster.num_nodes(), 2u);
+  EXPECT_TRUE(r.recovered_plan.Validate().ok());
+  EXPECT_EQ(r.recovered_plan.cluster().num_nodes(), 2u);
+
+  // Every instance lands on a surviving node and parallelism respects the
+  // shrunken core budget.
+  size_t degraded_cores = 0;
+  for (size_t n = 0; n < r.degraded_cluster.num_nodes(); ++n) {
+    degraded_cores += static_cast<size_t>(r.degraded_cluster.node(n).cpu_cores);
+  }
+  for (const auto& op : r.recovered_plan.logical().operators()) {
+    const int p = r.recovered_plan.parallelism(op.id);
+    EXPECT_LE(p, static_cast<int>(degraded_cores));
+    for (int i = 0; i < p; ++i) {
+      const auto& nodes = r.recovered_plan.placement(op.id).instance_nodes;
+      ASSERT_EQ(nodes.size(), static_cast<size_t>(p));
+      EXPECT_LT(nodes[static_cast<size_t>(i)],
+                static_cast<int>(r.degraded_cluster.num_nodes()));
+    }
+  }
+
+  // Re-optimizing should not predict worse than naive re-placement, and a
+  // non-trivial migration has a non-zero pause.
+  EXPECT_GE(r.recovered_predicted.throughput_tps,
+            r.unrecovered_predicted.throughput_tps);
+  EXPECT_GT(r.migration_pause_ms, 0.0);
+}
+
+TEST(RecoveryTest, RejectsBadFailedNode) {
+  core::OraclePredictor oracle;
+  core::ReconfigurationPlanner planner(&oracle);
+  const auto current = Deploy(FilterQuery(4000), 3, 3);
+  EXPECT_FALSE(planner.RecoverFromNodeFailure(current, -1).ok());
+  EXPECT_FALSE(planner.RecoverFromNodeFailure(current, 3).ok());
+
+  // Cannot recover a single-node deployment: nothing survives.
+  const auto single = Deploy(FilterQuery(4000), 1, 1);
+  EXPECT_FALSE(planner.RecoverFromNodeFailure(single, 0).ok());
+}
+
+TEST(RecoveryTest, RecoveredPlanBeatsCrashedDeploymentInSimulation) {
+  // End-to-end chaos demo: node 1 dies at t=2s. Limping along on the
+  // crashed deployment delivers a fraction of the healthy sink rate;
+  // the re-optimized deployment on the survivors restores it.
+  const auto current = Deploy(FilterQuery(4000), 3, 3);
+
+  FaultPlan faults;
+  faults.Add(FaultPlan::NodeCrash(2.0, /*node=*/1));
+  const auto crashed = EventSimulator(ChaosOptions(faults)).Run(current);
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  ASSERT_EQ(crashed.value().fault_impacts.size(), 1u);
+  const double limping_tps = crashed.value().fault_impacts[0].sink_tps_after;
+
+  core::OraclePredictor oracle;
+  core::ReconfigurationPlanner planner(&oracle);
+  const auto report = planner.RecoverFromNodeFailure(current, /*node=*/1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The recovered deployment runs healthy on the surviving nodes (the
+  // crash already happened; its cluster no longer contains the dead node).
+  const auto recovered =
+      EventSimulator(ChaosOptions(FaultPlan()))
+          .Run(report.value().recovered_plan);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(recovered.value().sink_output_tps, limping_tps);
+}
+
+}  // namespace
+}  // namespace zerotune::sim

@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "core/dataset_builder.h"
@@ -153,6 +154,65 @@ TEST(TrainerStandaloneTest, EmptyTrainingSetRejected) {
   TrainOptions opts;
   workload::Dataset empty;
   EXPECT_FALSE(Trainer(&model, opts).Train(empty, empty).ok());
+}
+
+TEST_F(TrainerTest, SurvivesInjectedDivergence) {
+  // An absurd learning rate drives parameters (and then the loss) to
+  // overflow within a batch or two. The trainer must detect the
+  // non-finite loss, roll back to the best snapshot, back off the
+  // learning rate, and finish with finite parameters instead of
+  // propagating NaNs into the saved model.
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.patience = 0;
+  opts.learning_rate = 1e100;
+  opts.max_recovery_attempts = 2;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GE(report.value().nonfinite_batches, 1u);
+  EXPECT_GE(report.value().recovery_attempts, 1u);
+  EXPECT_LE(report.value().recovery_attempts, 2u);
+  EXPECT_LT(report.value().final_learning_rate, opts.learning_rate);
+
+  // The surviving model still produces finite predictions.
+  const auto pred = model.Predict(train_->sample(0).plan);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(std::isfinite(pred.value().latency_ms));
+  EXPECT_TRUE(std::isfinite(pred.value().throughput_tps));
+}
+
+TEST_F(TrainerTest, HealthyTrainingReportsNoRecoveries) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel model(cfg);
+  TrainOptions opts;
+  opts.epochs = 2;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().nonfinite_batches, 0u);
+  EXPECT_EQ(report.value().recovery_attempts, 0u);
+  EXPECT_DOUBLE_EQ(report.value().final_learning_rate, opts.learning_rate);
+}
+
+TEST(TrainerStandaloneTest, RejectsNonFiniteLabels) {
+  workload::Dataset corpus = SmallCorpus(8);
+  workload::Dataset poisoned;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const auto& s = corpus.sample(i);
+    poisoned.Add(workload::LabeledQuery(
+        s.plan, i == 3 ? std::nan("") : s.latency_ms, s.throughput_tps,
+        s.structure));
+  }
+  ZeroTuneModel model;
+  TrainOptions opts;
+  opts.epochs = 1;
+  const auto report = Trainer(&model, opts).Train(poisoned, poisoned);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("sample 3"), std::string::npos);
 }
 
 }  // namespace

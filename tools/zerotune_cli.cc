@@ -14,6 +14,9 @@
 //                         [--out tuned.plan]
 //   zerotune_cli simulate --plan deployment.plan [--des]
 //                         [--duration 5.0]
+//                         [--inject-faults "crash@2:node=0;slow@1+2:node=1,factor=0.5"]
+//   zerotune_cli recover  --model model.txt --plan deployment.plan
+//                         --failed-node 0 [--out recovered.plan]
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -25,6 +28,7 @@
 #include "core/enumeration.h"
 #include "core/explain.h"
 #include "core/optimizer.h"
+#include "core/reconfiguration.h"
 #include "core/trainer.h"
 #include "dsp/dot_export.h"
 #include "dsp/plan_io.h"
@@ -59,7 +63,9 @@ void PrintUsage() {
       "  compile   compile a DSL query into a plan file\n"
       "  predict   what-if cost prediction for a deployed plan\n"
       "  tune      pick parallelism degrees for a logical plan\n"
-      "  simulate  measure a deployed plan (analytical and/or DES)\n"
+      "  simulate  measure a deployed plan (analytical and/or DES,\n"
+      "            optionally under injected faults)\n"
+      "  recover   re-optimize a deployment after losing a cluster node\n"
       "  explain   feature attributions for a prediction\n"
       "  dot       Graphviz rendering of a plan\n"
       "  help      this message\n\n"
@@ -332,12 +338,17 @@ int CmdSimulate(const FlagParser& flags) {
               << "\n";
   }
 
-  if (flags.GetBool("des")) {
+  const std::string fault_spec = flags.GetString("inject-faults");
+  if (flags.GetBool("des") || !fault_spec.empty()) {
     ZT_ASSIGN_OR_RETURN_CLI(const double duration,
                             flags.GetDouble("duration", 5.0));
     sim::EventSimulator::Options sopts;
     sopts.duration_s = duration;
     sopts.warmup_s = duration / 5.0;
+    if (!fault_spec.empty()) {
+      ZT_ASSIGN_OR_RETURN_CLI(sopts.faults,
+                              sim::FaultPlan::Parse(fault_spec));
+    }
     sim::EventSimulator des(sopts);
     auto dm = des.Run(plan.value());
     if (!dm.ok()) return Fail(dm.status());
@@ -348,6 +359,61 @@ int CmdSimulate(const FlagParser& flags) {
               << TextTable::Fmt(dm.value().throughput_tps, 0) << " tuples/s"
               << (dm.value().backpressured ? " [backpressured]" : "")
               << "\n";
+    if (!sopts.faults.empty()) {
+      std::cout << "injected " << sopts.faults.size() << " fault(s), "
+                << dm.value().tuples_lost << " tuples lost\n";
+      TextTable table({"Fault", "Onset (s)", "Sink tps before",
+                       "Sink tps after"});
+      for (const sim::FaultImpact& fi : dm.value().fault_impacts) {
+        table.AddRow({sim::ToString(fi.event.kind),
+                      TextTable::Fmt(fi.event.time_s, 1),
+                      TextTable::Fmt(fi.sink_tps_before, 0),
+                      TextTable::Fmt(fi.sink_tps_after, 0)});
+      }
+      table.Print(std::cout);
+    }
+  }
+  return 0;
+}
+
+int CmdRecover(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model");
+  const std::string plan_path = flags.GetString("plan");
+  if (model_path.empty() || plan_path.empty()) {
+    return Fail(Status::InvalidArgument("--model and --plan are required"));
+  }
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t failed_node,
+                          flags.GetInt("failed-node", -1));
+  if (failed_node < 0) {
+    return Fail(Status::InvalidArgument("--failed-node is required"));
+  }
+  auto model = core::ZeroTuneModel::LoadFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+
+  core::ReconfigurationPlanner planner(model.value().get());
+  auto report = planner.RecoverFromNodeFailure(
+      plan.value(), static_cast<int>(failed_node));
+  if (!report.ok()) return Fail(report.status());
+  const core::RecoveryReport& r = report.value();
+
+  std::cout << "node " << failed_node << " removed; "
+            << r.degraded_cluster.num_nodes() << " node(s) remain\n";
+  TextTable table({"Deployment", "Pred latency (ms)", "Pred tput (tps)"});
+  table.AddRow({"keep degrees", TextTable::Fmt(r.unrecovered_predicted.latency_ms),
+                TextTable::Fmt(r.unrecovered_predicted.throughput_tps, 0)});
+  table.AddRow({"re-optimized", TextTable::Fmt(r.recovered_predicted.latency_ms),
+                TextTable::Fmt(r.recovered_predicted.throughput_tps, 0)});
+  table.Print(std::cout);
+  std::cout << "estimated migration pause "
+            << TextTable::Fmt(r.migration_pause_ms) << " ms\n";
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    const Status saved = dsp::PlanIO::SaveParallelPlan(r.recovered_plan, out);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "wrote recovered deployment to " << out << "\n";
   }
   return 0;
 }
@@ -418,6 +484,7 @@ int main(int argc, char** argv) {
   if (command == "predict") return CmdPredict(flags);
   if (command == "tune") return CmdTune(flags);
   if (command == "simulate") return CmdSimulate(flags);
+  if (command == "recover") return CmdRecover(flags);
   if (command == "explain") return CmdExplain(flags);
   if (command == "dot") return CmdDot(flags);
   PrintUsage();
