@@ -3,6 +3,10 @@
 // simulation, and optimizer search.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/cost_predictor.h"
 #include "core/model.h"
 #include "core/optimizer.h"
 #include "core/oracle_predictor.h"
@@ -72,6 +76,74 @@ void BM_EventSimulator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventSimulator);
+
+/// Distinct parallelism candidates of one generated query — the
+/// optimizer's scoring workload. Degrees vary combinatorially per
+/// operator so no two candidates are identical; what the batched path
+/// amortizes is the shared topology, cluster, and per-operator encodings.
+std::vector<dsp::ParallelQueryPlan> CandidateSet(size_t n) {
+  workload::QueryGenerator gen({}, 99);
+  auto g = gen.Generate(workload::QueryStructure::kThreeWayJoin).value();
+  std::vector<int> inner;
+  for (const auto& op : g.plan.operators()) {
+    if (op.type != dsp::OperatorType::kSource &&
+        op.type != dsp::OperatorType::kSink) {
+      inner.push_back(op.id);
+    }
+  }
+  std::vector<dsp::ParallelQueryPlan> plans;
+  for (size_t i = 0; plans.size() < n && i < 100 * n; ++i) {
+    dsp::ParallelQueryPlan plan(g.plan, g.cluster);
+    bool ok = true;
+    size_t x = i;
+    for (int id : inner) {
+      ok = ok && plan.SetParallelism(id, 1 + static_cast<int>(x % 4)).ok();
+      x /= 4;
+    }
+    if (!ok) continue;
+    plan.DerivePartitioning();
+    if (!plan.PlaceRoundRobin().ok() || !plan.Validate().ok()) continue;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+void BM_PredictSequential(benchmark::State& state) {
+  core::ZeroTuneModel model;
+  const auto plans = CandidateSet(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& p : plans) {
+      benchmark::DoNotOptimize(model.Predict(p));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_PredictSequential)->Arg(32)->Arg(128);
+
+void BM_PredictBatched(benchmark::State& state) {
+  core::ZeroTuneModel model;
+  const auto plans = CandidateSet(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PredictBatch(model, plans));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_PredictBatched)->Arg(32)->Arg(128);
+
+void BM_PredictBatchedPooled(benchmark::State& state) {
+  core::ZeroTuneModel model;
+  ThreadPool pool;
+  model.set_thread_pool(&pool);
+  const auto plans = CandidateSet(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PredictBatch(model, plans));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_PredictBatchedPooled)->Arg(128);
 
 void BM_OptimizerTune(benchmark::State& state) {
   core::OraclePredictor oracle;

@@ -1,28 +1,45 @@
 #!/usr/bin/env bash
-# Builds the project under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs the test suite. Any memory error or UB aborts the run with a report.
+# Builds the project under sanitizers and runs the test suite. Any memory
+# error, UB, or data race aborts the run with a report.
 #
 # Usage: scripts/sanitize_check.sh [ctest-regex]
-#   scripts/sanitize_check.sh                  # full suite
+#   scripts/sanitize_check.sh                  # full suite, ASan+UBSan
 #   scripts/sanitize_check.sh Robust           # only robustness tests
+#
+# Config via ZEROTUNE_SANITIZE:
+#   ZEROTUNE_SANITIZE=thread scripts/sanitize_check.sh PredictBatch
+# builds with ThreadSanitizer instead (its own build dir), the right
+# choice for the thread-pool-sharded batched inference and the
+# data-parallel trainer. Any other value is passed straight to the
+# -fsanitize= build flags; default is "address;undefined".
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-asan"
+sanitize="${ZEROTUNE_SANITIZE:-address;undefined}"
 filter="${1:-}"
+
+case "${sanitize}" in
+  thread)
+    build_dir="${repo_root}/build-tsan"
+    # second_deadlock_stack gives both lock orders on deadlock reports.
+    export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+    ;;
+  *)
+    build_dir="${repo_root}/build-asan"
+    # halt_on_error makes UBSan findings fail the test run instead of just
+    # printing; detect_leaks stays on (the default) to catch allocation
+    # leaks in the IO error paths.
+    export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+    export ASAN_OPTIONS="abort_on_error=1"
+    ;;
+esac
 
 cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DZEROTUNE_SANITIZE="address;undefined" \
+  -DZEROTUNE_SANITIZE="${sanitize}" \
   -DZEROTUNE_BUILD_BENCHMARKS=OFF \
   -DZEROTUNE_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j "$(nproc)"
-
-# halt_on_error makes UBSan findings fail the test run instead of just
-# printing; detect_leaks stays on (the default) to catch allocation leaks
-# in the IO error paths.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="abort_on_error=1"
 
 cd "${build_dir}"
 if [[ -n "${filter}" ]]; then
@@ -30,4 +47,4 @@ if [[ -n "${filter}" ]]; then
 else
   ctest --output-on-failure -j "$(nproc)"
 fi
-echo "sanitize check passed"
+echo "sanitize check passed (${sanitize})"

@@ -94,7 +94,13 @@ Status FlatMlpModel::Fit(const workload::Dataset& train) {
 
 Result<core::CostPrediction> FlatMlpModel::Predict(
     const dsp::ParallelQueryPlan& plan) const {
-  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        name() + " predictor is not fitted (call Fit first); cannot "
+        "score a " + std::to_string(plan.logical().num_operators()) +
+        "-operator plan on " +
+        std::to_string(plan.cluster().num_nodes()) + " nodes");
+  }
   const std::vector<double> x =
       Standardize(FlatVectorEncoder::Encode(plan));
   const nn::NodePtr out =

@@ -6,15 +6,19 @@
 
 namespace zerotune::baselines {
 
-bool SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
-                       size_t n) {
+Status SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
+                         size_t n) {
   for (size_t col = 0; col < n; ++col) {
     // Partial pivoting.
     size_t pivot = col;
     for (size_t r = col + 1; r < n; ++r) {
       if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
     }
-    if (std::abs(a[pivot * n + col]) < 1e-12) return false;
+    if (std::abs(a[pivot * n + col]) < 1e-12) {
+      return Status::FailedPrecondition(
+          "linear system is singular at pivot column " + std::to_string(col) +
+          " of " + std::to_string(n));
+    }
     if (pivot != col) {
       for (size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
       std::swap(b[col], b[pivot]);
@@ -33,7 +37,7 @@ bool SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
     for (size_t c = i + 1; c < n; ++c) sum -= a[i * n + c] * b[c];
     b[i] = sum / a[i * n + i];
   }
-  return true;
+  return Status::OK();
 }
 
 Status LinearRegressionModel::Fit(const workload::Dataset& train) {
@@ -79,8 +83,11 @@ Status LinearRegressionModel::Fit(const workload::Dataset& train) {
       }
     }
     for (size_t j = 0; j + 1 < d; ++j) a[j * d + j] += options_.l2;
-    if (!SolveLinearSystem(a, b, d)) {
-      return Status::Internal("singular normal equations");
+    Status solved = SolveLinearSystem(a, b, d);
+    if (!solved.ok()) {
+      return solved.Annotated(
+          std::string("fitting ") + (latency ? "latency" : "throughput") +
+          " normal equations over " + std::to_string(n) + " samples");
     }
     *w = std::move(b);
     return Status::OK();
@@ -94,7 +101,13 @@ Status LinearRegressionModel::Fit(const workload::Dataset& train) {
 
 Result<core::CostPrediction> LinearRegressionModel::Predict(
     const dsp::ParallelQueryPlan& plan) const {
-  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        name() + " predictor is not fitted (call Fit first); cannot "
+        "score a " + std::to_string(plan.logical().num_operators()) +
+        "-operator plan on " +
+        std::to_string(plan.cluster().num_nodes()) + " nodes");
+  }
   std::vector<double> x = FlatVectorEncoder::Encode(plan);
   for (size_t j = 0; j + 1 < x.size(); ++j) {
     x[j] = (x[j] - mean_[j]) / std_[j];

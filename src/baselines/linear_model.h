@@ -35,10 +35,11 @@ class LinearRegressionModel : public core::CostPredictor {
   std::vector<double> w_throughput_;
 };
 
-/// Solves A·x = b in place (A is n×n row-major, overwritten). Returns
-/// false when A is singular. Exposed for tests.
-bool SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
-                       size_t n);
+/// Solves A·x = b in place (A is n×n row-major, overwritten). Fails with
+/// FailedPrecondition naming the pivot column when A is singular.
+/// Exposed for tests.
+Status SolveLinearSystem(std::vector<double>& a, std::vector<double>& b,
+                         size_t n);
 
 }  // namespace zerotune::baselines
 

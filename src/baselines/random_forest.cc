@@ -165,7 +165,13 @@ Status RandomForestModel::Fit(const workload::Dataset& train) {
 
 Result<core::CostPrediction> RandomForestModel::Predict(
     const dsp::ParallelQueryPlan& plan) const {
-  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        name() + " predictor is not fitted (call Fit first); cannot "
+        "score a " + std::to_string(plan.logical().num_operators()) +
+        "-operator plan on " +
+        std::to_string(plan.cluster().num_nodes()) + " nodes");
+  }
   const std::vector<double> x = FlatVectorEncoder::Encode(plan);
   double lat = 0.0, tpt = 0.0;
   for (const Tree& tree : trees_) {

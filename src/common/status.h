@@ -59,6 +59,14 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Returns a status with the same code and `context + ": " + message()`.
+  /// OK statuses pass through unchanged. Used to attach caller context
+  /// (e.g. which batched plan failed) while preserving the error code.
+  Status Annotated(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
   /// Human-readable representation, e.g. "InvalidArgument: bad degree".
   std::string ToString() const {
     if (ok()) return "OK";

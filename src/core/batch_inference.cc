@@ -1,0 +1,467 @@
+#include "core/batch_inference.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "core/features.h"
+#include "core/plan_graph.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace zerotune::core {
+
+namespace {
+
+using nn::Matrix;
+
+// Interns feature vectors so each distinct row is pushed through an
+// encoder MLP exactly once per batch. Candidates enumerated for one query
+// share most operator rows (only parallelism features vary) and all
+// resource rows, so the win is large in the optimizer's hot loop.
+class RowInterner {
+ public:
+  size_t Intern(const std::vector<double>& row) {
+    auto [it, inserted] = ids_.emplace(row, rows_.size());
+    if (inserted) rows_.push_back(&it->first);
+    return it->second;
+  }
+
+  size_t num_unique() const { return rows_.size(); }
+
+  // Unique rows stacked in first-seen order, ready for one batched
+  // encoder call. Empty matrix when nothing was interned.
+  Matrix Stacked() const {
+    if (rows_.empty()) return Matrix();
+    Matrix out(rows_.size(), rows_[0]->size());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      for (size_t c = 0; c < rows_[r]->size(); ++c) {
+        out(r, c) = (*rows_[r])[c];
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::vector<double>, size_t> ids_;
+  std::vector<const std::vector<double>*> rows_;
+};
+
+// Plans whose graphs share topology (operator DAG + sink) and cluster
+// encoding can share the resource-exchange stage and be row-batched
+// through every operator-side stage.
+using GroupKey = std::tuple<std::vector<int>,               // topo_order
+                            std::vector<std::vector<int>>,  // upstreams
+                            int,                            // sink_index
+                            std::vector<size_t>>;           // resource row ids
+
+struct Group {
+  std::vector<size_t> members;       // indices into `plans` / `graphs`
+  std::vector<size_t> res_row_ids;   // interned resource rows
+  const PlanGraph* shape = nullptr;  // representative graph (topology)
+  Matrix res_state;                  // n_res × h, shared by all members
+};
+
+// Pointer to the start of row `r` (Matrix is row-major; the const
+// accessor returns by value, so element addresses go through data()).
+const double* RowPtr(const Matrix& m, size_t r) {
+  return m.data() + r * m.cols();
+}
+
+// Copies `src_cols` doubles from `src` into row `r` of `dst` starting at
+// column `col0` — the value side of nn::ConcatCols.
+void CopyIntoRow(Matrix& dst, size_t r, size_t col0, const double* src,
+                 size_t src_cols) {
+  for (size_t c = 0; c < src_cols; ++c) dst(r, col0 + c) = src[c];
+}
+
+// Mean of selected rows, written into row `r` of `dst` at `col0`.
+// Replicates nn::MeanAll's value: sum in the given order, then multiply
+// by 1/n — bit-identical to the sequential forward pass.
+void MeanIntoRow(Matrix& dst, size_t r, size_t col0,
+                 const std::vector<const double*>& rows, size_t cols) {
+  const double inv = 1.0 / static_cast<double>(rows.size());
+  for (size_t c = 0; c < cols; ++c) {
+    double acc = rows[0][c];
+    for (size_t i = 1; i < rows.size(); ++i) acc += rows[i][c];
+    dst(r, col0 + c) = acc * inv;
+  }
+}
+
+// Forwards only the unique rows of `input` through `mlp` and scatters the
+// outputs back into place. Identical input rows produce identical output
+// rows, so this is bit-identical to forwarding every row — but candidates
+// in a batch share large parts of their message-passing state (operators
+// whose upstream cone has the same degrees compute the same row), and
+// those shared rows cost one MLP pass instead of one per candidate.
+Matrix ForwardRowsDeduped(const nn::Mlp& mlp, Matrix input) {
+  const size_t rows = input.rows();
+  if (rows <= 1) return mlp.ForwardValue(std::move(input));
+  const size_t cols = input.cols();
+  // Rows are matched on their exact byte representation (FNV-1a over the
+  // doubles, memcmp on collision) — cheaper than lexicographic map
+  // compares and exactly what bit-identity requires.
+  auto hash_row = [cols](const double* p) {
+    uint64_t hsh = 1469598103934665603ull;
+    for (size_t i = 0; i < cols; ++i) {
+      uint64_t w;
+      std::memcpy(&w, &p[i], sizeof w);
+      hsh ^= w;
+      hsh *= 1099511628211ull;
+    }
+    return hsh;
+  };
+  // hash -> [(representative row, unique id)]; collisions resolved by
+  // byte comparison.
+  std::unordered_map<uint64_t, std::vector<std::pair<size_t, size_t>>> ids;
+  ids.reserve(rows);
+  std::vector<size_t> remap(rows);
+  size_t unique = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double* src = input.data() + r * cols;
+    auto& bucket = ids[hash_row(src)];
+    size_t found = SIZE_MAX;
+    for (const auto& [row0, uid] : bucket) {
+      if (std::memcmp(src, input.data() + row0 * cols,
+                      cols * sizeof(double)) == 0) {
+        found = uid;
+        break;
+      }
+    }
+    if (found == SIZE_MAX) {
+      found = unique++;
+      bucket.emplace_back(r, found);
+    }
+    remap[r] = found;
+  }
+  if (unique == rows) return mlp.ForwardValue(std::move(input));
+  Matrix compact(unique, cols);
+  size_t next = 0;
+  for (size_t r = 0; r < rows && next < unique; ++r) {
+    if (remap[r] == next) {
+      std::copy(input.data() + r * cols, input.data() + (r + 1) * cols,
+                compact.data() + next * cols);
+      ++next;
+    }
+  }
+  const Matrix uniq_out = mlp.ForwardValue(std::move(compact));
+  Matrix out(rows, uniq_out.cols());
+  for (size_t r = 0; r < rows; ++r) {
+    const double* src = uniq_out.data() + remap[r] * uniq_out.cols();
+    std::copy(src, src + uniq_out.cols(), out.data() + r * out.cols());
+  }
+  return out;
+}
+
+// Shared resource-node exchange (Forward() stage 2). Depends only on the
+// cluster encoding, so it runs once per structure group regardless of how
+// many candidates the group holds.
+Matrix ComputeResourceState(const ZeroTuneModel::GnnBlocks& blocks,
+                            const Matrix& res_encoded,
+                            const std::vector<size_t>& res_row_ids,
+                            size_t h) {
+  const size_t n_res = res_row_ids.size();
+  Matrix input(n_res, 2 * h);
+  std::vector<const double*> peers;
+  for (size_t i = 0; i < n_res; ++i) {
+    const double* self = RowPtr(res_encoded, res_row_ids[i]);
+    CopyIntoRow(input, i, 0, self, h);
+    if (n_res > 1) {
+      peers.clear();
+      for (size_t j = 0; j < n_res; ++j) {
+        if (j != i) peers.push_back(RowPtr(res_encoded, res_row_ids[j]));
+      }
+      MeanIntoRow(input, i, h, peers, h);
+    }  // else: peer message stays zero (ZeroState)
+  }
+  return blocks.res_update->ForwardValue(std::move(input));
+}
+
+// Scores members [begin, end) of one structure group and writes the
+// decoded predictions into `out` at each member's original plan index.
+// Per-row arithmetic never crosses rows, so results are independent of
+// how members are chunked across threads.
+void ScoreChunk(const ZeroTuneModel& model,
+                const ZeroTuneModel::GnnBlocks& blocks, const Group& group,
+                size_t begin, size_t end,
+                const std::vector<PlanGraph>& graphs,
+                const std::vector<std::vector<size_t>>& op_row_ids,
+                const Matrix& op_encoded,
+                std::vector<CostPrediction>& out) {
+  const size_t h = model.config().hidden_dim;
+  const PlanGraph& shape = *group.shape;
+  const size_t n_ops = shape.num_operators();
+  const size_t B = end - begin;
+
+  // Stage 1: bottom-up data-flow pass, one row-batched flow_update call
+  // per operator across the chunk's candidates.
+  std::vector<Matrix> state(n_ops);
+  std::vector<const double*> rows;
+  for (int id : shape.topo_order) {
+    const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
+    Matrix input(B, 2 * h);
+    for (size_t b = 0; b < B; ++b) {
+      const size_t plan = group.members[begin + b];
+      const size_t row = op_row_ids[plan][static_cast<size_t>(id)];
+      CopyIntoRow(input, b, 0, RowPtr(op_encoded, row), h);
+      if (!ups.empty()) {
+        rows.clear();
+        for (int u : ups) rows.push_back(RowPtr(state[static_cast<size_t>(u)], b));
+        MeanIntoRow(input, b, h, rows, h);
+      }
+    }
+    state[static_cast<size_t>(id)] =
+        ForwardRowsDeduped(*blocks.flow_update, std::move(input));
+  }
+
+  // Stage 3a: mapping messages. Candidates in one group can still differ
+  // in mapping structure (degrees change which nodes host instances), so
+  // edges are flattened across the whole chunk into one map_message call
+  // and scattered back per (candidate, operator).
+  const size_t map_dim = FeatureEncoder::MappingDim();
+  size_t total_edges = 0;
+  for (size_t b = 0; b < B; ++b) {
+    total_edges += graphs[group.members[begin + b]].mapping_edges.size();
+  }
+  Matrix messages;
+  if (total_edges > 0) {
+    Matrix edge_in(total_edges, h + map_dim);
+    size_t row = 0;
+    for (size_t b = 0; b < B; ++b) {
+      const PlanGraph& g = graphs[group.members[begin + b]];
+      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
+        CopyIntoRow(edge_in, row, 0,
+                    RowPtr(group.res_state, static_cast<size_t>(e.resource_index)),
+                    h);
+        CopyIntoRow(edge_in, row, h, e.features.data(), e.features.size());
+        ++row;
+      }
+    }
+    messages = ForwardRowsDeduped(*blocks.map_message, std::move(edge_in));
+  }
+
+  // Mean incoming message per (candidate, operator), in mapping-edge
+  // order — the order Forward() pushes them into `incoming`.
+  std::vector<size_t> edge_offset(B);
+  {
+    size_t row = 0;
+    for (size_t b = 0; b < B; ++b) {
+      edge_offset[b] = row;
+      row += graphs[group.members[begin + b]].mapping_edges.size();
+    }
+  }
+  // Stage 3b: residual map_update per operator across candidates.
+  std::vector<Matrix> mapped(n_ops);
+  std::vector<std::vector<const double*>> incoming(B);
+  for (size_t i = 0; i < n_ops; ++i) {
+    Matrix input(B, 2 * h);
+    for (size_t b = 0; b < B; ++b) {
+      CopyIntoRow(input, b, 0, RowPtr(state[i], b), h);
+      const PlanGraph& g = graphs[group.members[begin + b]];
+      incoming[b].clear();
+      for (size_t e = 0; e < g.mapping_edges.size(); ++e) {
+        if (static_cast<size_t>(g.mapping_edges[e].operator_index) == i) {
+          incoming[b].push_back(RowPtr(messages, edge_offset[b] + e));
+        }
+      }
+      if (!incoming[b].empty()) MeanIntoRow(input, b, h, incoming[b], h);
+    }
+    Matrix upd = ForwardRowsDeduped(*blocks.map_update, std::move(input));
+    mapped[i] = std::move(state[i]);
+    mapped[i].Add(upd);  // residual, like nn::Add(state, update)
+  }
+
+  // Stage 4: second bottom-up pass over the resource-aware states.
+  std::vector<Matrix> final_state(n_ops);
+  for (int id : shape.topo_order) {
+    const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
+    Matrix input(B, 2 * h);
+    for (size_t b = 0; b < B; ++b) {
+      CopyIntoRow(input, b, 0, RowPtr(mapped[static_cast<size_t>(id)], b), h);
+      if (!ups.empty()) {
+        rows.clear();
+        for (int u : ups) {
+          rows.push_back(RowPtr(final_state[static_cast<size_t>(u)], b));
+        }
+        MeanIntoRow(input, b, h, rows, h);
+      }
+    }
+    Matrix upd = ForwardRowsDeduped(*blocks.flow_update2, std::move(input));
+    final_state[static_cast<size_t>(id)] =
+        std::move(mapped[static_cast<size_t>(id)]);
+    final_state[static_cast<size_t>(id)].Add(upd);
+  }
+
+  // Readout at the sink, decoded row by row.
+  Matrix readout = blocks.readout->ForwardValue(
+      std::move(final_state[static_cast<size_t>(shape.sink_index)]));
+  for (size_t b = 0; b < B; ++b) {
+    Matrix row(1, readout.cols());
+    for (size_t c = 0; c < readout.cols(); ++c) row(0, c) = readout(b, c);
+    out[group.members[begin + b]] = model.DecodeOutput(row);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<CostPrediction>> BatchedPredict(
+    const ZeroTuneModel& model,
+    std::span<const dsp::ParallelQueryPlan* const> plans,
+    zerotune::ThreadPool* pool, BatchInferenceStats* stats) {
+  if (stats) *stats = BatchInferenceStats{};
+  const size_t n = plans.size();
+  std::vector<CostPrediction> out(n);
+  if (n == 0) return out;
+
+  // Validation stays sequential so the reported failing index is the
+  // first bad plan, matching the per-plan fallback path.
+  for (size_t i = 0; i < n; ++i) {
+    if (plans[i] == nullptr) {
+      return Status::InvalidArgument("PredictBatch: plan #" +
+                                     std::to_string(i) + " is null");
+    }
+    Status s = plans[i]->Validate();
+    if (!s.ok()) {
+      return s.Annotated("PredictBatch: plan #" + std::to_string(i) + " of " +
+                         std::to_string(n) + " failed");
+    }
+  }
+
+  // Featurization (EstimatedInputRates et al.) dominates graph building
+  // and is independent per plan — shard it over the pool.
+  std::vector<PlanGraph> graphs(n);
+  const FeatureConfig& features = model.config().features;
+  ParallelFor(pool, n, [&](size_t i) {
+    graphs[i] = BuildPlanGraph(*plans[i], features);
+  });
+
+  // Intern encoder inputs across the whole batch and encode each unique
+  // row exactly once, in two row-batched MLP calls.
+  RowInterner op_rows, res_rows;
+  std::vector<std::vector<size_t>> op_row_ids(n);
+  std::vector<std::vector<size_t>> res_row_ids(n);
+  size_t op_total = 0, res_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    op_row_ids[i].reserve(graphs[i].num_operators());
+    for (const auto& f : graphs[i].operator_features) {
+      op_row_ids[i].push_back(op_rows.Intern(f));
+    }
+    res_row_ids[i].reserve(graphs[i].num_resources());
+    for (const auto& f : graphs[i].resource_features) {
+      res_row_ids[i].push_back(res_rows.Intern(f));
+    }
+    op_total += graphs[i].num_operators();
+    res_total += graphs[i].num_resources();
+  }
+  const ZeroTuneModel::GnnBlocks blocks = model.blocks();
+  const Matrix op_encoded =
+      op_rows.num_unique() > 0
+          ? blocks.op_encoder->ForwardValue(op_rows.Stacked())
+          : Matrix();
+  const Matrix res_encoded =
+      res_rows.num_unique() > 0
+          ? blocks.res_encoder->ForwardValue(res_rows.Stacked())
+          : Matrix();
+
+  // Dedup identical candidates wholesale: the prediction is a pure
+  // function of the feature graph, so plans whose graphs match row-for-row
+  // (structure, interned encoder rows, and mapping edges) score once and
+  // the result fans out. Reconfiguration and multi-query scoring re-submit
+  // overlapping candidate sets, where this collapses most of the batch.
+  using EdgeSig = std::tuple<int, int, std::vector<double>>;
+  using PlanSig = std::tuple<std::vector<size_t>,            // op row ids
+                             std::vector<size_t>,            // res row ids
+                             std::vector<int>,               // topo_order
+                             std::vector<std::vector<int>>,  // upstreams
+                             int,                            // sink_index
+                             std::vector<EdgeSig>>;          // mapping edges
+  std::vector<size_t> canonical(n);
+  std::vector<size_t> reps;
+  {
+    std::map<PlanSig, size_t> seen;
+    std::vector<EdgeSig> edges;
+    for (size_t i = 0; i < n; ++i) {
+      edges.clear();
+      edges.reserve(graphs[i].mapping_edges.size());
+      for (const PlanGraph::MappingEdge& e : graphs[i].mapping_edges) {
+        edges.emplace_back(e.operator_index, e.resource_index, e.features);
+      }
+      PlanSig sig{op_row_ids[i], res_row_ids[i], graphs[i].topo_order,
+                  graphs[i].operator_upstreams, graphs[i].sink_index, edges};
+      auto [it, inserted] = seen.emplace(std::move(sig), i);
+      canonical[i] = it->second;
+      if (inserted) reps.push_back(i);
+    }
+  }
+
+  // Group the representative plans by structure so each group shares one
+  // resource-exchange pass and row-batches the operator stages.
+  std::map<GroupKey, size_t> group_ids;
+  std::vector<Group> groups;
+  for (size_t i : reps) {
+    GroupKey key{graphs[i].topo_order, graphs[i].operator_upstreams,
+                 graphs[i].sink_index, res_row_ids[i]};
+    auto [it, inserted] = group_ids.emplace(std::move(key), groups.size());
+    if (inserted) {
+      Group g;
+      g.res_row_ids = res_row_ids[i];
+      g.shape = &graphs[i];
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].members.push_back(i);
+  }
+
+  const size_t h = model.config().hidden_dim;
+  for (Group& g : groups) {
+    if (!g.res_row_ids.empty()) {
+      g.res_state = ComputeResourceState(blocks, res_encoded, g.res_row_ids, h);
+    }
+  }
+
+  if (stats) {
+    stats->plans = n;
+    stats->unique_plans = reps.size();
+    stats->structure_groups = groups.size();
+    stats->operator_rows_encoded = op_rows.num_unique();
+    stats->operator_rows_total = op_total;
+    stats->resource_rows_encoded = res_rows.num_unique();
+    stats->resource_rows_total = res_total;
+  }
+
+  // Shard each group's candidates into contiguous chunks. Without a pool
+  // one chunk per group maximizes row-batch width; with a pool, chunks
+  // target the worker count. Chunking never changes results — per-row
+  // arithmetic is independent of which rows share a matrix.
+  struct Chunk {
+    size_t group, begin, end;
+  };
+  std::vector<Chunk> chunks;
+  const size_t workers = pool != nullptr ? std::max<size_t>(pool->num_threads(), 1) : 1;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const size_t members = groups[g].members.size();
+    const size_t chunk_size =
+        workers > 1 ? std::max<size_t>((members + workers - 1) / workers, 4)
+                    : members;
+    for (size_t b = 0; b < members; b += chunk_size) {
+      chunks.push_back(Chunk{g, b, std::min(b + chunk_size, members)});
+    }
+  }
+  ParallelFor(pool, chunks.size(), [&](size_t c) {
+    const Chunk& chunk = chunks[c];
+    ScoreChunk(model, blocks, groups[chunk.group], chunk.begin, chunk.end,
+               graphs, op_row_ids, op_encoded, out);
+  });
+
+  // Fan scored representatives out to their duplicates.
+  for (size_t i = 0; i < n; ++i) {
+    if (canonical[i] != i) out[i] = out[canonical[i]];
+  }
+
+  return out;
+}
+
+}  // namespace zerotune::core

@@ -1,0 +1,34 @@
+#include "core/cost_predictor.h"
+
+namespace zerotune::core {
+
+Result<std::vector<CostPrediction>> CostPredictor::PredictBatch(
+    std::span<const dsp::ParallelQueryPlan* const> plans) const {
+  std::vector<CostPrediction> out;
+  out.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i] == nullptr) {
+      return Status::InvalidArgument("PredictBatch: plan #" +
+                                     std::to_string(i) + " is null");
+    }
+    Result<CostPrediction> p = Predict(*plans[i]);
+    if (!p.ok()) {
+      return p.status().Annotated("PredictBatch: plan #" +
+                                  std::to_string(i) + " of " +
+                                  std::to_string(plans.size()) + " failed");
+    }
+    out.push_back(p.value());
+  }
+  return out;
+}
+
+Result<std::vector<CostPrediction>> PredictBatch(
+    const CostPredictor& predictor,
+    const std::vector<dsp::ParallelQueryPlan>& plans) {
+  std::vector<const dsp::ParallelQueryPlan*> ptrs;
+  ptrs.reserve(plans.size());
+  for (const dsp::ParallelQueryPlan& p : plans) ptrs.push_back(&p);
+  return predictor.PredictBatch(ptrs);
+}
+
+}  // namespace zerotune::core

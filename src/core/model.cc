@@ -3,6 +3,8 @@
 #include <cmath>
 #include <fstream>
 
+#include "core/batch_inference.h"
+
 namespace zerotune::core {
 
 namespace {
@@ -143,6 +145,18 @@ Result<CostPrediction> ZeroTuneModel::Predict(
   ZT_RETURN_IF_ERROR(plan.Validate());
   const PlanGraph graph = BuildPlanGraph(plan, config_.features);
   return PredictFromGraph(graph);
+}
+
+Result<std::vector<CostPrediction>> ZeroTuneModel::PredictBatch(
+    std::span<const dsp::ParallelQueryPlan* const> plans) const {
+  return BatchedPredict(*this, plans, pool_);
+}
+
+ZeroTuneModel::GnnBlocks ZeroTuneModel::blocks() const {
+  return GnnBlocks{op_encoder_.get(), res_encoder_.get(),
+                   flow_update_.get(), res_update_.get(),
+                   map_message_.get(), map_update_.get(),
+                   flow_update2_.get(), readout_.get()};
 }
 
 CostPrediction ZeroTuneModel::PredictFromGraph(const PlanGraph& graph) const {

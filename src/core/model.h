@@ -10,6 +10,10 @@
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
+namespace zerotune {
+class ThreadPool;
+}
+
 namespace zerotune::core {
 
 /// Hyperparameters and feature configuration of the ZeroTune GNN.
@@ -62,6 +66,19 @@ class ZeroTuneModel : public CostPredictor {
   /// predicts denormalized costs.
   Result<CostPrediction> Predict(
       const dsp::ParallelQueryPlan& plan) const override;
+
+  /// Batched inference (core/batch_inference.h): featurizes all plans
+  /// once, deduplicates shared operator/resource encodings, runs the MLP
+  /// blocks as row-batched matrix ops, and shards candidate scoring over
+  /// the configured thread pool. Bit-identical to per-plan Predict().
+  Result<std::vector<CostPrediction>> PredictBatch(
+      std::span<const dsp::ParallelQueryPlan* const> plans) const override;
+
+  /// Optional worker pool used by PredictBatch to shard candidate
+  /// scoring (not owned; null = single-threaded batching).
+  void set_thread_pool(zerotune::ThreadPool* pool) { pool_ = pool; }
+  zerotune::ThreadPool* thread_pool() const { return pool_; }
+
   std::string name() const override { return "ZeroTune"; }
 
   /// Prediction from a pre-built graph (the trainer caches graphs).
@@ -79,6 +96,20 @@ class ZeroTuneModel : public CostPredictor {
   nn::ParameterStore* mutable_params() { return &params_; }
   const nn::ParameterStore& params() const { return params_; }
 
+  /// Read-only handles to the architecture blocks, consumed by the
+  /// batched inference engine (core/batch_inference.h).
+  struct GnnBlocks {
+    const nn::Mlp* op_encoder;
+    const nn::Mlp* res_encoder;
+    const nn::Mlp* flow_update;
+    const nn::Mlp* res_update;
+    const nn::Mlp* map_message;
+    const nn::Mlp* map_update;
+    const nn::Mlp* flow_update2;
+    const nn::Mlp* readout;
+  };
+  GnnBlocks blocks() const;
+
   /// Serializes config, target stats and all parameters to one file.
   Status Save(const std::string& path) const;
   /// Loads a model saved by Save(); the config in the file must match
@@ -95,6 +126,7 @@ class ZeroTuneModel : public CostPredictor {
   ModelConfig config_;
   TargetStats stats_;
   nn::ParameterStore params_;
+  zerotune::ThreadPool* pool_ = nullptr;
 
   // Architecture blocks (handles into params_).
   std::unique_ptr<nn::Mlp> op_encoder_;

@@ -53,12 +53,16 @@ Result<MultiQueryOptimizer::Assignment> MultiQueryOptimizer::Tune(
     }
   }
 
-  // Current per-query scores under the seed allocation.
+  // Current per-query scores under the seed allocation. Each TuneOn
+  // call batches its candidate scoring via CostPredictor::PredictBatch.
   std::vector<double> scores(n_queries, 0.0);
   for (size_t qi = 0; qi < n_queries; ++qi) {
-    ZT_ASSIGN_OR_RETURN(const auto tuned,
-                        TuneOn(queries[qi], cluster, allocation[qi]));
-    scores[qi] = Score(tuned.predicted);
+    Result<ParallelismOptimizer::TuningResult> tuned =
+        TuneOn(queries[qi], cluster, allocation[qi]);
+    if (!tuned.ok()) {
+      return tuned.status().Annotated("seeding query #" + std::to_string(qi));
+    }
+    scores[qi] = Score(tuned.value().predicted);
   }
 
   // Greedy marginal gain: grant each free node (in order) to the query
@@ -71,8 +75,14 @@ Result<MultiQueryOptimizer::Assignment> MultiQueryOptimizer::Tune(
     for (size_t qi = 0; qi < n_queries; ++qi) {
       std::vector<int> trial = allocation[qi];
       trial.push_back(node);
-      ZT_ASSIGN_OR_RETURN(const auto tuned,
-                          TuneOn(queries[qi], cluster, trial));
+      Result<ParallelismOptimizer::TuningResult> tuned_r =
+          TuneOn(queries[qi], cluster, trial);
+      if (!tuned_r.ok()) {
+        return tuned_r.status().Annotated(
+            "trial grant of node " + std::to_string(node) + " to query #" +
+            std::to_string(qi));
+      }
+      const ParallelismOptimizer::TuningResult& tuned = tuned_r.value();
       const double new_score = Score(tuned.predicted);
       const double gain = scores[qi] - new_score;
       // Prefer the largest marginal gain; break ties toward the query
@@ -96,8 +106,13 @@ Result<MultiQueryOptimizer::Assignment> MultiQueryOptimizer::Tune(
   Assignment result;
   result.queries.reserve(n_queries);
   for (size_t qi = 0; qi < n_queries; ++qi) {
-    ZT_ASSIGN_OR_RETURN(auto tuned,
-                        TuneOn(queries[qi], cluster, allocation[qi]));
+    Result<ParallelismOptimizer::TuningResult> tuned_r =
+        TuneOn(queries[qi], cluster, allocation[qi]);
+    if (!tuned_r.ok()) {
+      return tuned_r.status().Annotated("materializing query #" +
+                                        std::to_string(qi));
+    }
+    ParallelismOptimizer::TuningResult tuned = std::move(tuned_r).value();
     QueryAssignment qa(std::move(tuned.plan));
     qa.node_indices = allocation[qi];
     qa.predicted = tuned.predicted;

@@ -15,6 +15,37 @@ using dsp::OperatorType;
 
 }  // namespace
 
+Status ParallelismOptimizer::Options::Validate() const {
+  if (!(weight >= 0.0 && weight <= 1.0)) {
+    return Status::InvalidArgument(
+        "optimizer weight must lie in [0, 1], got " + std::to_string(weight));
+  }
+  if (max_parallelism < 1) {
+    return Status::InvalidArgument(
+        "max_parallelism must be >= 1, got " +
+        std::to_string(max_parallelism));
+  }
+  if (num_scale_factors < 1) {
+    return Status::InvalidArgument("num_scale_factors must be >= 1");
+  }
+  if (!(min_scale_factor > 0.0)) {
+    return Status::InvalidArgument(
+        "min_scale_factor must be positive, got " +
+        std::to_string(min_scale_factor));
+  }
+  if (!(max_scale_factor >= min_scale_factor)) {
+    return Status::InvalidArgument(
+        "max_scale_factor must be >= min_scale_factor");
+  }
+  for (int d : uniform_degrees) {
+    if (d < 1) {
+      return Status::InvalidArgument(
+          "uniform_degrees entries must be >= 1, got " + std::to_string(d));
+    }
+  }
+  return Status::OK();
+}
+
 double ParallelismOptimizer::Score(const CostPrediction& p) const {
   const double lat = std::log(std::max(p.latency_ms, 1e-6));
   const double tpt = std::log(std::max(p.throughput_tps, 1e-6));
@@ -41,6 +72,7 @@ double ParallelismOptimizer::WeightedCost(
 
 Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
+  ZT_RETURN_IF_ERROR(options_status_);
   ZT_RETURN_IF_ERROR(logical.Validate());
   const int cap =
       std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
@@ -48,8 +80,8 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   std::vector<Candidate> evaluated;
   std::set<std::vector<int>> tried;
 
-  auto evaluate = [&](const std::vector<int>& degrees)
-      -> Result<CostPrediction> {
+  auto materialize = [&](const std::vector<int>& degrees)
+      -> Result<dsp::ParallelQueryPlan> {
     dsp::ParallelQueryPlan plan(logical, cluster);
     for (const Operator& op : logical.operators()) {
       ZT_RETURN_IF_ERROR(
@@ -57,17 +89,36 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     }
     plan.DerivePartitioning();
     ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
-    ZT_ASSIGN_OR_RETURN(CostPrediction p, predictor_->Predict(plan));
-    evaluated.push_back(Candidate{degrees, p});
-    return p;
+    return plan;
   };
 
-  auto try_candidate = [&](const std::vector<int>& degrees) -> Status {
-    if (!tried.insert(degrees).second) return Status::OK();
-    return evaluate(degrees).status();
+  // Scores a set of degree vectors in one CostPredictor::PredictBatch
+  // call and appends them to `evaluated` in input order.
+  auto evaluate_batch =
+      [&](const std::vector<std::vector<int>>& batch) -> Status {
+    if (batch.empty()) return Status::OK();
+    std::vector<dsp::ParallelQueryPlan> plans;
+    plans.reserve(batch.size());
+    for (const std::vector<int>& degrees : batch) {
+      ZT_ASSIGN_OR_RETURN(dsp::ParallelQueryPlan plan, materialize(degrees));
+      plans.push_back(std::move(plan));
+    }
+    Result<std::vector<CostPrediction>> preds =
+        PredictBatch(*predictor_, plans);
+    if (!preds.ok()) {
+      return preds.status().Annotated(
+          "scoring " + std::to_string(batch.size()) +
+          " parallelism candidates for a " +
+          std::to_string(logical.num_operators()) + "-operator query");
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      evaluated.push_back(Candidate{batch[i], preds.value()[i]});
+    }
+    return Status::OK();
   };
 
   // (a) OptiSample-derived candidates over a scaling-factor grid.
+  std::vector<std::vector<int>> pending;
   for (size_t i = 0; i < options_.num_scale_factors; ++i) {
     const double t =
         options_.num_scale_factors <= 1
@@ -81,7 +132,8 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     dsp::ParallelQueryPlan plan(logical, cluster);
     ZT_RETURN_IF_ERROR(OptiSampleEnumerator::AssignWithScaleFactor(
         &plan, sf, options_.max_parallelism));
-    ZT_RETURN_IF_ERROR(try_candidate(plan.ParallelismVector()));
+    std::vector<int> degrees = plan.ParallelismVector();
+    if (tried.insert(degrees).second) pending.push_back(std::move(degrees));
   }
 
   // (b) Uniform degrees (sources/sinks pinned at 1).
@@ -94,8 +146,11 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
         degrees[static_cast<size_t>(op.id)] = 1;
       }
     }
-    ZT_RETURN_IF_ERROR(try_candidate(degrees));
+    if (tried.insert(degrees).second) pending.push_back(std::move(degrees));
   }
+
+  // Both enumeration phases score as one batch.
+  ZT_RETURN_IF_ERROR(evaluate_batch(pending));
 
   if (evaluated.empty()) {
     return Status::Internal("no parallelism candidate could be evaluated");
@@ -109,25 +164,36 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   std::vector<int> best = best_it->degrees;
   double best_score = Score(best_it->predicted);
 
-  // (c) Hill climbing: double/halve individual operator degrees.
-  for (size_t pass = 0; pass < options_.refinement_passes; ++pass) {
-    bool improved = false;
+  // (c) Hill climbing as batched steepest descent: each round scores
+  // every untried double/halve neighbor of the incumbent in one batch,
+  // then moves to the best strict improvement. The round bound matches
+  // the sequential version's worst-case move count; in practice the
+  // "no improvement" break fires after a few rounds.
+  const size_t max_rounds =
+      options_.refinement_passes *
+      std::max<size_t>(2 * logical.num_operators(), 1);
+  for (size_t round = 0; round < max_rounds; ++round) {
+    std::vector<std::vector<int>> neighbors;
     for (const Operator& op : logical.operators()) {
       if (op.type == OperatorType::kSink) continue;
       for (const int factor : {2, -2}) {
         std::vector<int> neighbor = best;
         int& d = neighbor[static_cast<size_t>(op.id)];
         d = factor > 0 ? std::min(cap, d * 2) : std::max(1, d / 2);
-        if (neighbor == best || tried.count(neighbor) > 0) continue;
-        tried.insert(neighbor);
-        auto p = evaluate(neighbor);
-        if (!p.ok()) continue;
-        const double s = Score(p.value());
-        if (s < best_score) {
-          best_score = s;
-          best = neighbor;
-          improved = true;
-        }
+        if (neighbor == best || !tried.insert(neighbor).second) continue;
+        neighbors.push_back(std::move(neighbor));
+      }
+    }
+    if (neighbors.empty()) break;
+    const size_t first_new = evaluated.size();
+    ZT_RETURN_IF_ERROR(evaluate_batch(neighbors));
+    bool improved = false;
+    for (size_t i = first_new; i < evaluated.size(); ++i) {
+      const double s = Score(evaluated[i].predicted);
+      if (s < best_score) {
+        best_score = s;
+        best = evaluated[i].degrees;
+        improved = true;
       }
     }
     if (!improved) break;

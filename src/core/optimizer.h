@@ -35,6 +35,12 @@ class ParallelismOptimizer {
     std::vector<int> uniform_degrees = {1, 2, 4, 8, 16, 32, 64};
     /// Hill-climbing passes over the operators (0 disables refinement).
     size_t refinement_passes = 2;
+
+    /// Rejects out-of-range settings (weight outside [0, 1], empty
+    /// scale-factor grid, non-positive bounds, …). Checked at optimizer
+    /// construction; Tune() fails with this status instead of silently
+    /// clamping bad values.
+    Status Validate() const;
   };
 
   struct Candidate {
@@ -54,12 +60,20 @@ class ParallelismOptimizer {
     TuningResult(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
   };
 
+  /// Validates `options` eagerly; an invalid configuration surfaces as
+  /// the (unchanged) status from every subsequent Tune() call.
   ParallelismOptimizer(const CostPredictor* predictor, Options options)
-      : predictor_(predictor), options_(options) {}
+      : predictor_(predictor),
+        options_(options),
+        options_status_(options.Validate()) {}
   explicit ParallelismOptimizer(const CostPredictor* predictor)
       : ParallelismOptimizer(predictor, Options()) {}
 
   /// Finds the best parallelism assignment for `logical` on `cluster`.
+  /// Candidate scoring goes through CostPredictor::PredictBatch: the
+  /// enumeration phases and each hill-climbing round are scored as one
+  /// batch, so batched predictors (ZeroTuneModel) amortize featurization
+  /// and run the MLP stages row-batched.
   Result<TuningResult> Tune(const dsp::QueryPlan& logical,
                             const dsp::Cluster& cluster) const;
 
@@ -77,6 +91,7 @@ class ParallelismOptimizer {
 
   const CostPredictor* predictor_;
   Options options_;
+  Status options_status_;
 };
 
 }  // namespace zerotune::core

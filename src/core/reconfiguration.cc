@@ -62,17 +62,29 @@ Result<RecoveryReport> ReconfigurationPlanner::RecoverFromNodeFailure(
   }
   unrecovered.DerivePartitioning();
   ZT_RETURN_IF_ERROR(unrecovered.PlaceRoundRobin());
-  ZT_ASSIGN_OR_RETURN(const CostPrediction unrecovered_pred,
-                      predictor_->Predict(unrecovered));
+  Result<CostPrediction> unrecovered_r = predictor_->Predict(unrecovered);
+  if (!unrecovered_r.ok()) {
+    return unrecovered_r.status().Annotated(
+        "predicting un-recovered plan after failure of node " +
+        std::to_string(failed_node));
+  }
+  const CostPrediction unrecovered_pred = unrecovered_r.value();
 
-  // Re-optimize from scratch on the degraded cluster.
+  // Re-optimize from scratch on the degraded cluster. The optimizer
+  // scores its candidates through CostPredictor::PredictBatch.
   ParallelismOptimizer::Options opt_options = options_.optimizer;
   opt_options.weight = options_.weight;
   opt_options.max_parallelism =
       std::min(opt_options.max_parallelism, degraded_cores);
   ParallelismOptimizer optimizer(predictor_, opt_options);
-  ZT_ASSIGN_OR_RETURN(ParallelismOptimizer::TuningResult tuned,
-                      optimizer.Tune(current.logical(), degraded));
+  Result<ParallelismOptimizer::TuningResult> tuned_r =
+      optimizer.Tune(current.logical(), degraded);
+  if (!tuned_r.ok()) {
+    return tuned_r.status().Annotated(
+        "re-tuning on degraded cluster after failure of node " +
+        std::to_string(failed_node));
+  }
+  ParallelismOptimizer::TuningResult tuned = std::move(tuned_r).value();
 
   RecoveryReport report(std::move(tuned.plan));
   report.degraded_cluster = std::move(degraded);
@@ -130,15 +142,25 @@ Result<ReconfigurationDecision> ReconfigurationPlanner::Evaluate(
         op.id, current.placement(op.id).partitioning));
   }
   ZT_RETURN_IF_ERROR(keep.PlaceRoundRobin());
-  ZT_ASSIGN_OR_RETURN(const CostPrediction keep_pred,
-                      predictor_->Predict(keep));
+  Result<CostPrediction> keep_r = predictor_->Predict(keep);
+  if (!keep_r.ok()) {
+    return keep_r.status().Annotated(
+        "predicting keep-current plan under updated source rates");
+  }
+  const CostPrediction keep_pred = keep_r.value();
 
-  // Option B: re-tune from scratch under the new load.
+  // Option B: re-tune from scratch under the new load (candidate scoring
+  // goes through CostPredictor::PredictBatch inside the optimizer).
   ParallelismOptimizer::Options opt_options = options_.optimizer;
   opt_options.weight = options_.weight;
   ParallelismOptimizer optimizer(predictor_, opt_options);
-  ZT_ASSIGN_OR_RETURN(ParallelismOptimizer::TuningResult tuned,
-                      optimizer.Tune(updated, current.cluster()));
+  Result<ParallelismOptimizer::TuningResult> tuned_r =
+      optimizer.Tune(updated, current.cluster());
+  if (!tuned_r.ok()) {
+    return tuned_r.status().Annotated(
+        "re-tuning under updated source rates");
+  }
+  ParallelismOptimizer::TuningResult tuned = std::move(tuned_r).value();
 
   ReconfigurationDecision decision(std::move(tuned.plan));
   decision.keep_predicted = keep_pred;

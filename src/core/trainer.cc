@@ -47,8 +47,37 @@ TargetStats FitTargetStats(const Dataset& train) {
 
 }  // namespace
 
+Status TrainOptions::Validate() const {
+  if (epochs == 0) {
+    return Status::InvalidArgument("epochs must be >= 1");
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (!std::isfinite(learning_rate) || learning_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "learning_rate must be positive and finite, got " +
+        std::to_string(learning_rate));
+  }
+  if (!std::isfinite(weight_decay) || weight_decay < 0.0) {
+    return Status::InvalidArgument(
+        "weight_decay must be non-negative and finite, got " +
+        std::to_string(weight_decay));
+  }
+  if (!std::isfinite(grad_clip_norm) || grad_clip_norm < 0.0) {
+    return Status::InvalidArgument(
+        "grad_clip_norm must be non-negative and finite (0 disables "
+        "clipping), got " + std::to_string(grad_clip_norm));
+  }
+  if (!std::isfinite(lr_backoff) || lr_backoff <= 0.0 || lr_backoff > 1.0) {
+    return Status::InvalidArgument(
+        "lr_backoff must lie in (0, 1], got " + std::to_string(lr_backoff));
+  }
+  return Status::OK();
+}
+
 Trainer::Trainer(ZeroTuneModel* model, TrainOptions options)
-    : model_(model), options_(options) {}
+    : model_(model), options_(options), options_status_(options.Validate()) {}
 
 double Trainer::EpochLoss(const std::vector<PlanGraph>& graphs,
                           const std::vector<nn::Matrix>& targets) const {
@@ -63,6 +92,7 @@ double Trainer::EpochLoss(const std::vector<PlanGraph>& graphs,
 }
 
 Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
+  ZT_RETURN_IF_ERROR(options_status_);
   if (train.empty()) return Status::InvalidArgument("empty training set");
   for (size_t i = 0; i < train.samples().size(); ++i) {
     const auto& q = train.samples()[i];

@@ -35,6 +35,12 @@ struct TrainOptions {
   /// this many times before training stops (best parameters kept).
   size_t max_recovery_attempts = 3;
   double lr_backoff = 0.5;
+
+  /// Rejects zero epoch/batch counts, non-positive or non-finite learning
+  /// rates, negative decay/clipping, and backoff factors outside (0, 1].
+  /// Checked at Trainer construction; Train() fails with this status
+  /// instead of silently clamping.
+  Status Validate() const;
 };
 
 /// Outcome of a training run.
@@ -91,6 +97,7 @@ class Trainer {
 
   ZeroTuneModel* model_;
   TrainOptions options_;
+  Status options_status_;
 };
 
 }  // namespace zerotune::core

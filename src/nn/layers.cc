@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace zerotune::nn {
 
@@ -15,6 +16,36 @@ NodePtr Activate(const NodePtr& x, Activation act) {
   return x;
 }
 
+Matrix ActivateValue(Matrix x, Activation act) {
+  // Formulas mirror the autograd ops in autograd.cc exactly so that the
+  // value-only path stays bit-identical to graph-based inference.
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      for (size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = x.data()[i] > 0.0 ? x.data()[i] : 0.0;
+      }
+      return x;
+    case Activation::kLeakyRelu:
+      for (size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = x.data()[i] > 0.0 ? x.data()[i] : 0.01 * x.data()[i];
+      }
+      return x;
+    case Activation::kTanh:
+      for (size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = std::tanh(x.data()[i]);
+      }
+      return x;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = 1.0 / (1.0 + std::exp(-x.data()[i]));
+      }
+      return x;
+  }
+  return x;
+}
+
 Linear::Linear(ParameterStore* store, size_t in_features, size_t out_features,
                zerotune::Rng* rng)
     : in_features_(in_features),
@@ -25,6 +56,16 @@ Linear::Linear(ParameterStore* store, size_t in_features, size_t out_features,
 NodePtr Linear::Forward(const NodePtr& x) const {
   assert(x->value.cols() == in_features_);
   return AddRowBroadcast(MatMul(x, weight_), bias_);
+}
+
+Matrix Linear::ForwardValue(const Matrix& x) const {
+  assert(x.cols() == in_features_);
+  Matrix out = Matrix::MatMul(x, weight_->value);
+  const Matrix& b = bias_->value;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) += b(0, c);
+  }
+  return out;
 }
 
 Mlp::Mlp(ParameterStore* store, const std::vector<size_t>& layer_sizes,
@@ -47,6 +88,17 @@ NodePtr Mlp::Forward(const NodePtr& x) const {
     }
   }
   return h;
+}
+
+Matrix Mlp::ForwardValue(Matrix x) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i].ForwardValue(x);
+    const bool is_last = (i + 1 == layers_.size());
+    if (!is_last || options_.activate_output) {
+      x = ActivateValue(std::move(x), options_.activation);
+    }
+  }
+  return x;
 }
 
 }  // namespace zerotune::nn

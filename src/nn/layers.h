@@ -20,6 +20,11 @@ enum class Activation {
 /// Applies the activation to a node (identity for kNone).
 NodePtr Activate(const NodePtr& x, Activation act);
 
+/// Value-only activation: applies the same elementwise formulas as
+/// Activate() directly to a matrix, without building graph nodes. Used by
+/// the batched inference path; bit-identical to the autograd version.
+Matrix ActivateValue(Matrix x, Activation act);
+
 /// Fully-connected layer y = x·W + b with parameters owned by a
 /// ParameterStore. Copyable handle; the parameters live in the store.
 class Linear {
@@ -30,6 +35,11 @@ class Linear {
 
   /// x is n×in; returns n×out.
   NodePtr Forward(const NodePtr& x) const;
+
+  /// Inference-only forward on raw values: y = x·W + b with no autograd
+  /// graph. Row r of the result is bit-identical to Forward() on row r
+  /// alone, so callers may batch arbitrarily many inputs per call.
+  Matrix ForwardValue(const Matrix& x) const;
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
@@ -62,6 +72,10 @@ class Mlp {
       zerotune::Rng* rng, Options options);
 
   NodePtr Forward(const NodePtr& x) const;
+
+  /// Inference-only forward on raw values (see Linear::ForwardValue):
+  /// row-batched, no graph allocation, bit-identical per row to Forward().
+  Matrix ForwardValue(Matrix x) const;
 
   size_t in_features() const { return layers_.front().in_features(); }
   size_t out_features() const { return layers_.back().out_features(); }

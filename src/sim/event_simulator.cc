@@ -76,8 +76,34 @@ double Expo(zerotune::Rng* rng, double mean) {
 
 }  // namespace
 
+Status EventSimulator::Options::Validate() const {
+  if (!std::isfinite(duration_s) || duration_s <= 0.0) {
+    return Status::InvalidArgument(
+        "simulation duration_s must be positive and finite, got " +
+        std::to_string(duration_s));
+  }
+  if (!std::isfinite(warmup_s) || warmup_s < 0.0) {
+    return Status::InvalidArgument(
+        "simulation warmup_s must be non-negative and finite, got " +
+        std::to_string(warmup_s));
+  }
+  if (warmup_s > duration_s) {
+    return Status::InvalidArgument(
+        "simulation warmup_s (" + std::to_string(warmup_s) +
+        ") must not exceed duration_s (" + std::to_string(duration_s) + ")");
+  }
+  if (max_events == 0) {
+    return Status::InvalidArgument("max_events must be >= 1");
+  }
+  if (max_queue_per_instance == 0) {
+    return Status::InvalidArgument("max_queue_per_instance must be >= 1");
+  }
+  return Status::OK();
+}
+
 Result<SimMeasurement> EventSimulator::Run(
     const dsp::ParallelQueryPlan& plan) const {
+  ZT_RETURN_IF_ERROR(options_status_);
   ZT_RETURN_IF_ERROR(plan.Validate());
   ZT_RETURN_IF_ERROR(options_.faults.Validate(plan));
   const dsp::QueryPlan& q = plan.logical();

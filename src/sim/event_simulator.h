@@ -2,6 +2,7 @@
 #define ZEROTUNE_SIM_EVENT_SIMULATOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -76,16 +77,24 @@ class EventSimulator {
     CostParams params;
     /// Degradation events injected into the run (empty = healthy run).
     FaultPlan faults;
+
+    /// Rejects non-finite or non-positive horizons, warmups longer than
+    /// the run, and zero event/queue caps. Checked at construction; Run()
+    /// fails with this status instead of silently misbehaving.
+    Status Validate() const;
   };
 
   EventSimulator() : EventSimulator(Options()) {}
-  explicit EventSimulator(Options options) : options_(options) {}
+  explicit EventSimulator(Options options)
+      : options_(std::move(options)), options_status_(options_.Validate()) {}
 
-  /// Runs the simulation; fails when the plan does not validate.
+  /// Runs the simulation; fails when the options or the plan do not
+  /// validate.
   Result<SimMeasurement> Run(const dsp::ParallelQueryPlan& plan) const;
 
  private:
   Options options_;
+  Status options_status_;
 };
 
 }  // namespace zerotune::sim

@@ -69,7 +69,7 @@ TEST(SolveLinearSystemTest, SolvesKnownSystem) {
   // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3.
   std::vector<double> a = {2, 1, 1, 3};
   std::vector<double> b = {5, 10};
-  ASSERT_TRUE(SolveLinearSystem(a, b, 2));
+  ASSERT_TRUE(SolveLinearSystem(a, b, 2).ok());
   EXPECT_NEAR(b[0], 1.0, 1e-12);
   EXPECT_NEAR(b[1], 3.0, 1e-12);
 }
@@ -77,7 +77,10 @@ TEST(SolveLinearSystemTest, SolvesKnownSystem) {
 TEST(SolveLinearSystemTest, DetectsSingular) {
   std::vector<double> a = {1, 2, 2, 4};
   std::vector<double> b = {1, 2};
-  EXPECT_FALSE(SolveLinearSystem(a, b, 2));
+  const zerotune::Status s = SolveLinearSystem(a, b, 2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), zerotune::StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("singular"), std::string::npos);
 }
 
 TEST(LinearRegressionTest, FitsAndPredicts) {

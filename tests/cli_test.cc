@@ -124,6 +124,85 @@ TEST_F(CliWorkflowTest, TunePredictSimulateExplainChain) {
   EXPECT_NE(r.output.find("attributions"), std::string::npos);
 }
 
+TEST_F(CliWorkflowTest, PredictBatchScoresManyPlansAndEmitsJson) {
+  // Produce two deployments of the same query, then score both in one
+  // batched predict call.
+  const std::string plan_a = TempPath("batch_a.plan");
+  const std::string plan_b = TempPath("batch_b.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:4 --out " + plan_a);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+             TempPath("q.plan") + " --cluster m510:2 --out " + plan_b);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string list = TempPath("batch_list.txt");
+  {
+    std::ofstream f(list);
+    f << plan_a << "\n" << plan_b << "\n";
+  }
+  // Human-readable table by default.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --batch " + list);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Pred latency"), std::string::npos);
+
+  // JSON mode: one prediction object per plan.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --batch " + list +
+             " --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"predictions\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"throughput_tps\""), std::string::npos);
+
+  // A dead path inside the list fails with the offending file named.
+  {
+    std::ofstream f(list);
+    f << plan_a << "\n" << TempPath("no_such.plan") << "\n";
+  }
+  r = RunCli("predict --model " + TempPath("model.txt") + " --batch " + list);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no_such.plan"), std::string::npos);
+
+  // --plan and --batch are mutually exclusive.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan_a +
+             " --batch " + list);
+  EXPECT_NE(r.exit_code, 0);
+
+  std::remove(plan_a.c_str());
+  std::remove(plan_b.c_str());
+  std::remove(list.c_str());
+}
+
+TEST_F(CliWorkflowTest, JsonFormatSharedByPredictTuneRecover) {
+  const std::string plan = TempPath("json_chain.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan +
+                  " --format json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"operators\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"candidates_evaluated\""), std::string::npos);
+  // Human chatter is suppressed in json mode.
+  EXPECT_EQ(r.output.find("predicted latency"), std::string::npos);
+
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan +
+             " --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"latency_ms\""), std::string::npos);
+
+  r = RunCli("recover --model " + TempPath("model.txt") + " --plan " + plan +
+             " --failed-node 1 --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"failed_node\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"migration_pause_ms\""), std::string::npos);
+
+  // Unknown formats are rejected.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan +
+             " --format yaml");
+  EXPECT_NE(r.exit_code, 0);
+
+  std::remove(plan.c_str());
+}
+
 TEST_F(CliWorkflowTest, DotRendersQueryAndDeployment) {
   auto r = RunCli("dot --query " + TempPath("q.plan"));
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -41,6 +41,33 @@ ParallelQueryPlan Deploy(const QueryPlan& q, int degree,
   return p;
 }
 
+TEST(EventSimulatorTest, InvalidOptionsFailLoudlyAtRun) {
+  EventSimulator::Options bad;
+  bad.duration_s = -1.0;
+  ASSERT_FALSE(bad.Validate().ok());
+  EventSimulator sim(bad);
+  const auto m = sim.Run(Deploy(SimpleFilterPlan(1000), 1));
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(m.status().message().find("duration_s"), std::string::npos);
+}
+
+TEST(EventSimulatorTest, OptionsValidateChecksEveryKnob) {
+  EventSimulator::Options opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.warmup_s = opts.duration_s + 1.0;  // warmup past the end
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = EventSimulator::Options();
+  opts.warmup_s = -0.5;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = EventSimulator::Options();
+  opts.max_events = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = EventSimulator::Options();
+  opts.max_queue_per_instance = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
 TEST(EventSimulatorTest, CompletesTuplesEndToEnd) {
   EventSimulator::Options opts;
   opts.duration_s = 2.0;

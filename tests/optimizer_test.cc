@@ -28,6 +28,37 @@ QueryPlan LoadedLinearPlan(double rate) {
   return q;
 }
 
+TEST(ParallelismOptimizerTest, InvalidOptionsFailLoudlyAtTune) {
+  OraclePredictor oracle;
+  ParallelismOptimizer::Options bad;
+  bad.weight = 1.5;  // must live in [0, 1]
+  ASSERT_FALSE(bad.Validate().ok());
+  ParallelismOptimizer opt(&oracle, bad);
+  const auto result =
+      opt.Tune(LoadedLinearPlan(1000), Cluster::Homogeneous("m510", 2).value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelismOptimizerTest, OptionsValidateChecksEveryKnob) {
+  ParallelismOptimizer::Options opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.max_parallelism = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ParallelismOptimizer::Options();
+  opts.num_scale_factors = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ParallelismOptimizer::Options();
+  opts.min_scale_factor = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ParallelismOptimizer::Options();
+  opts.max_scale_factor = opts.min_scale_factor / 2.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ParallelismOptimizer::Options();
+  opts.uniform_degrees = {2, 0};
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
 TEST(ParallelismOptimizerTest, ProducesValidPlan) {
   OraclePredictor oracle;
   ParallelismOptimizer opt(&oracle);

@@ -149,6 +149,43 @@ TEST_F(TrainerTest, FineTuningKeepsTargetStats) {
   EXPECT_DOUBLE_EQ(model.target_stats().latency_mean, before.latency_mean);
 }
 
+TEST(TrainerStandaloneTest, InvalidOptionsFailLoudlyAtTrain) {
+  ZeroTuneModel model;
+  TrainOptions bad;
+  bad.learning_rate = 0.0;  // must be finite and positive
+  ASSERT_FALSE(bad.Validate().ok());
+  workload::Dataset empty;
+  const auto r = Trainer(&model, bad).Train(empty, empty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("learning_rate"), std::string::npos);
+}
+
+TEST(TrainerStandaloneTest, OptionsValidateChecksEveryKnob) {
+  TrainOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.epochs = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.batch_size = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.weight_decay = -1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.grad_clip_norm = -1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.grad_clip_norm = 0.0;  // 0 disables clipping — allowed
+  EXPECT_TRUE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.lr_backoff = 0.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = TrainOptions();
+  opts.lr_backoff = 1.5;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
 TEST(TrainerStandaloneTest, EmptyTrainingSetRejected) {
   ZeroTuneModel model;
   TrainOptions opts;

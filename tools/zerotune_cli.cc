@@ -9,14 +9,19 @@
 //   zerotune_cli evaluate --corpus test.txt --model model.txt
 //   zerotune_cli compile  --dsl query.dsl --out query.plan
 //   zerotune_cli predict  --model model.txt --plan deployment.plan
+//                         [--format json]
+//   zerotune_cli predict  --model model.txt --batch plans.txt
+//                         (one plan path per line; scored in one
+//                          PredictBatch call) [--format json]
 //   zerotune_cli tune     --model model.txt --query query.plan
 //                         --cluster m510:4[:10] [--weight 0.5]
-//                         [--out tuned.plan]
+//                         [--out tuned.plan] [--format json]
 //   zerotune_cli simulate --plan deployment.plan [--des]
 //                         [--duration 5.0]
 //                         [--inject-faults "crash@2:node=0;slow@1+2:node=1,factor=0.5"]
 //   zerotune_cli recover  --model model.txt --plan deployment.plan
 //                         --failed-node 0 [--out recovered.plan]
+//                         [--format json]
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -70,6 +75,45 @@ void PrintUsage() {
       "  dot       Graphviz rendering of a plan\n"
       "  help      this message\n\n"
       "run a command with wrong flags to see its flag list.\n";
+}
+
+/// Output format shared by predict/tune/recover: the default "human"
+/// rendering is unchanged; "json" emits one machine-readable object.
+enum class OutputFormat { kHuman, kJson };
+
+Result<OutputFormat> ParseFormat(const FlagParser& flags) {
+  const std::string fmt = flags.GetString("format", "human");
+  if (fmt == "human") return OutputFormat::kHuman;
+  if (fmt == "json") return OutputFormat::kJson;
+  return Status::InvalidArgument("--format must be human or json, got " +
+                                 fmt);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string JsonCost(const core::CostPrediction& p) {
+  return "{\"latency_ms\": " + JsonNum(p.latency_ms) +
+         ", \"throughput_tps\": " + JsonNum(p.throughput_tps) + "}";
 }
 
 Result<dsp::Cluster> ParseClusterSpec(const std::string& spec) {
@@ -253,15 +297,73 @@ int CmdCompile(const FlagParser& flags) {
 int CmdPredict(const FlagParser& flags) {
   const std::string model_path = flags.GetString("model");
   const std::string plan_path = flags.GetString("plan");
-  if (model_path.empty() || plan_path.empty()) {
-    return Fail(Status::InvalidArgument("--model and --plan are required"));
+  const std::string batch_path = flags.GetString("batch");
+  if (model_path.empty() || (plan_path.empty() == batch_path.empty())) {
+    return Fail(Status::InvalidArgument(
+        "--model and exactly one of --plan / --batch are required"));
   }
+  ZT_ASSIGN_OR_RETURN_CLI(const OutputFormat format, ParseFormat(flags));
   auto model = core::ZeroTuneModel::LoadFromFile(model_path);
   if (!model.ok()) return Fail(model.status());
+
+  if (!batch_path.empty()) {
+    // One deployment plan path per line; all plans are scored in a
+    // single PredictBatch call sharded over a worker pool.
+    std::ifstream list(batch_path);
+    if (!list) return Fail(Status::IOError("cannot open " + batch_path));
+    std::vector<std::string> paths;
+    std::vector<dsp::ParallelQueryPlan> plans;
+    std::string line;
+    while (std::getline(list, line)) {
+      if (line.empty()) continue;
+      auto plan = dsp::PlanIO::LoadParallelPlan(line);
+      if (!plan.ok()) {
+        return Fail(plan.status().Annotated("loading batch plan " + line));
+      }
+      paths.push_back(line);
+      plans.push_back(std::move(plan).value());
+    }
+    if (plans.empty()) {
+      return Fail(Status::InvalidArgument("batch file " + batch_path +
+                                          " lists no plans"));
+    }
+    ThreadPool pool;
+    model.value()->set_thread_pool(&pool);
+    auto costs = core::PredictBatch(*model.value(), plans);
+    if (!costs.ok()) return Fail(costs.status());
+    if (format == OutputFormat::kJson) {
+      std::cout << "{\"predictions\": [";
+      for (size_t i = 0; i < plans.size(); ++i) {
+        const core::CostPrediction& p = costs.value()[i];
+        std::cout << (i > 0 ? ", " : "") << "{\"plan\": \""
+                  << JsonEscape(paths[i])
+                  << "\", \"latency_ms\": " << JsonNum(p.latency_ms)
+                  << ", \"throughput_tps\": " << JsonNum(p.throughput_tps)
+                  << "}";
+      }
+      std::cout << "]}\n";
+    } else {
+      TextTable table({"Plan", "Pred latency (ms)", "Pred tput (tps)"});
+      for (size_t i = 0; i < plans.size(); ++i) {
+        table.AddRow({paths[i], TextTable::Fmt(costs.value()[i].latency_ms),
+                      TextTable::Fmt(costs.value()[i].throughput_tps, 0)});
+      }
+      table.Print(std::cout);
+    }
+    return 0;
+  }
+
   auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
   if (!plan.ok()) return Fail(plan.status());
   auto cost = model.value()->Predict(plan.value());
   if (!cost.ok()) return Fail(cost.status());
+  if (format == OutputFormat::kJson) {
+    std::cout << "{\"plan\": \"" << JsonEscape(plan_path)
+              << "\", \"latency_ms\": " << JsonNum(cost.value().latency_ms)
+              << ", \"throughput_tps\": "
+              << JsonNum(cost.value().throughput_tps) << "}\n";
+    return 0;
+  }
   std::cout << "predicted latency:    "
             << TextTable::Fmt(cost.value().latency_ms) << " ms\n"
             << "predicted throughput: "
@@ -286,6 +388,7 @@ int CmdTune(const FlagParser& flags) {
   if (!cluster.ok()) return Fail(cluster.status());
   ZT_ASSIGN_OR_RETURN_CLI(const double weight,
                           flags.GetDouble("weight", 0.5));
+  ZT_ASSIGN_OR_RETURN_CLI(const OutputFormat format, ParseFormat(flags));
 
   core::ParallelismOptimizer::Options opts;
   opts.weight = weight;
@@ -293,26 +396,47 @@ int CmdTune(const FlagParser& flags) {
   auto tuned = optimizer.Tune(logical.value(), cluster.value());
   if (!tuned.ok()) return Fail(tuned.status());
 
-  TextTable table({"Operator", "Parallelism", "Partitioning"});
-  for (const auto& op : logical.value().operators()) {
-    table.AddRow({op.name,
-                  std::to_string(tuned.value().plan.parallelism(op.id)),
-                  dsp::ToString(tuned.value().plan.placement(op.id)
-                                    .partitioning)});
+  if (format == OutputFormat::kJson) {
+    std::cout << "{\"operators\": [";
+    bool first = true;
+    for (const auto& op : logical.value().operators()) {
+      std::cout << (first ? "" : ", ") << "{\"name\": \""
+                << JsonEscape(op.name) << "\", \"parallelism\": "
+                << tuned.value().plan.parallelism(op.id)
+                << ", \"partitioning\": \""
+                << JsonEscape(dsp::ToString(
+                       tuned.value().plan.placement(op.id).partitioning))
+                << "\"}";
+      first = false;
+    }
+    std::cout << "], \"predicted\": " << JsonCost(tuned.value().predicted)
+              << ", \"candidates_evaluated\": "
+              << tuned.value().candidates_evaluated << "}\n";
+  } else {
+    TextTable table({"Operator", "Parallelism", "Partitioning"});
+    for (const auto& op : logical.value().operators()) {
+      table.AddRow({op.name,
+                    std::to_string(tuned.value().plan.parallelism(op.id)),
+                    dsp::ToString(tuned.value().plan.placement(op.id)
+                                      .partitioning)});
+    }
+    table.Print(std::cout);
+    std::cout << "predicted latency "
+              << TextTable::Fmt(tuned.value().predicted.latency_ms)
+              << " ms, throughput "
+              << TextTable::Fmt(tuned.value().predicted.throughput_tps, 0)
+              << " tuples/s (over " << tuned.value().candidates_evaluated
+              << " candidates)\n";
   }
-  table.Print(std::cout);
-  std::cout << "predicted latency " << TextTable::Fmt(tuned.value().predicted.latency_ms)
-            << " ms, throughput "
-            << TextTable::Fmt(tuned.value().predicted.throughput_tps, 0)
-            << " tuples/s (over " << tuned.value().candidates_evaluated
-            << " candidates)\n";
 
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
     const Status saved =
         dsp::PlanIO::SaveParallelPlan(tuned.value().plan, out);
     if (!saved.ok()) return Fail(saved);
-    std::cout << "wrote tuned deployment to " << out << "\n";
+    if (format != OutputFormat::kJson) {
+      std::cout << "wrote tuned deployment to " << out << "\n";
+    }
   }
   return 0;
 }
@@ -392,28 +516,42 @@ int CmdRecover(const FlagParser& flags) {
   auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
   if (!plan.ok()) return Fail(plan.status());
 
+  ZT_ASSIGN_OR_RETURN_CLI(const OutputFormat format, ParseFormat(flags));
   core::ReconfigurationPlanner planner(model.value().get());
   auto report = planner.RecoverFromNodeFailure(
       plan.value(), static_cast<int>(failed_node));
   if (!report.ok()) return Fail(report.status());
   const core::RecoveryReport& r = report.value();
 
-  std::cout << "node " << failed_node << " removed; "
-            << r.degraded_cluster.num_nodes() << " node(s) remain\n";
-  TextTable table({"Deployment", "Pred latency (ms)", "Pred tput (tps)"});
-  table.AddRow({"keep degrees", TextTable::Fmt(r.unrecovered_predicted.latency_ms),
-                TextTable::Fmt(r.unrecovered_predicted.throughput_tps, 0)});
-  table.AddRow({"re-optimized", TextTable::Fmt(r.recovered_predicted.latency_ms),
-                TextTable::Fmt(r.recovered_predicted.throughput_tps, 0)});
-  table.Print(std::cout);
-  std::cout << "estimated migration pause "
-            << TextTable::Fmt(r.migration_pause_ms) << " ms\n";
+  if (format == OutputFormat::kJson) {
+    std::cout << "{\"failed_node\": " << failed_node
+              << ", \"remaining_nodes\": " << r.degraded_cluster.num_nodes()
+              << ", \"unrecovered\": " << JsonCost(r.unrecovered_predicted)
+              << ", \"recovered\": " << JsonCost(r.recovered_predicted)
+              << ", \"migration_pause_ms\": "
+              << JsonNum(r.migration_pause_ms) << "}\n";
+  } else {
+    std::cout << "node " << failed_node << " removed; "
+              << r.degraded_cluster.num_nodes() << " node(s) remain\n";
+    TextTable table({"Deployment", "Pred latency (ms)", "Pred tput (tps)"});
+    table.AddRow({"keep degrees",
+                  TextTable::Fmt(r.unrecovered_predicted.latency_ms),
+                  TextTable::Fmt(r.unrecovered_predicted.throughput_tps, 0)});
+    table.AddRow({"re-optimized",
+                  TextTable::Fmt(r.recovered_predicted.latency_ms),
+                  TextTable::Fmt(r.recovered_predicted.throughput_tps, 0)});
+    table.Print(std::cout);
+    std::cout << "estimated migration pause "
+              << TextTable::Fmt(r.migration_pause_ms) << " ms\n";
+  }
 
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
     const Status saved = dsp::PlanIO::SaveParallelPlan(r.recovered_plan, out);
     if (!saved.ok()) return Fail(saved);
-    std::cout << "wrote recovered deployment to " << out << "\n";
+    if (format != OutputFormat::kJson) {
+      std::cout << "wrote recovered deployment to " << out << "\n";
+    }
   }
   return 0;
 }
