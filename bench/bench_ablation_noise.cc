@@ -33,7 +33,7 @@ int main() {
         core::BuildDataset(enumerator, opts).value();
     Rng rng(11);
     workload::Dataset train, val, test;
-    corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+    ZT_CHECK_OK(corpus.Split(0.8, 0.1, &rng, &train, &val, &test));
 
     core::ModelConfig config;
     config.hidden_dim = scale.hidden_dim;

@@ -31,7 +31,7 @@ dsp::QueryPlan Fig3Query(double event_rate) {
                              dsp::WindowPolicy::kCount, 50, 50};
   a.selectivity = 0.1;
   const int agg = q.AddWindowAggregate(tail, a).value();
-  q.AddSink(agg);
+  ZT_CHECK_OK(q.AddSink(agg));
   return q;
 }
 
@@ -60,17 +60,20 @@ int main() {
 
     // Chained: equal degrees everywhere -> source+filters form one chain.
     dsp::ParallelQueryPlan chained(query, cluster);
-    chained.SetUniformParallelism(degree, /*pin_endpoints=*/false);
-    chained.PlaceRoundRobin();
+    ZT_CHECK_OK(
+        chained.SetUniformParallelism(degree, /*pin_endpoints=*/false));
+    ZT_CHECK_OK(chained.PlaceRoundRobin());
 
     // Unchained: force rebalance on every filter input, which is what
     // running the operators in separate slot-sharing groups does.
     dsp::ParallelQueryPlan unchained(query, cluster);
-    unchained.SetUniformParallelism(degree, /*pin_endpoints=*/false);
+    ZT_CHECK_OK(
+        unchained.SetUniformParallelism(degree, /*pin_endpoints=*/false));
     for (int op = 1; op <= 3; ++op) {
-      unchained.SetPartitioning(op, dsp::PartitioningStrategy::kRebalance);
+      ZT_CHECK_OK(
+          unchained.SetPartitioning(op, dsp::PartitioningStrategy::kRebalance));
     }
-    unchained.PlaceRoundRobin();
+    ZT_CHECK_OK(unchained.PlaceRoundRobin());
 
     const auto mc = engine.MeasureNoiseless(chained).value();
     const auto mu = engine.MeasureNoiseless(unchained).value();

@@ -43,7 +43,8 @@ int main() {
       core::BuildDataset(enumerator, fs_opts).value();
   Rng rng(3);
   workload::Dataset fs_train, fs_val, fs_test;
-  fewshot_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test);
+  ZT_CHECK_OK(
+      fewshot_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test));
 
   TextTable table({"Join", "Zero-shot tpt median", "Zero-shot tpt 95th",
                    "Few-shot tpt median", "Few-shot tpt 95th",

@@ -96,7 +96,7 @@ int main() {
   const auto fs_corpus = core::BuildDataset(enumerator, fopts).value();
   Rng rng(5);
   workload::Dataset fs_train, fs_val, fs_test;
-  fs_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test);
+  ZT_CHECK_OK(fs_corpus.Split(0.9, 0.1, &rng, &fs_train, &fs_val, &fs_test));
   core::TrainOptions ft;
   ft.epochs = std::max<size_t>(10, scale.epochs / 3);
   ft.fit_target_stats = false;

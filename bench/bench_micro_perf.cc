@@ -23,8 +23,8 @@ dsp::ParallelQueryPlan MakePlan(workload::QueryStructure structure,
   workload::QueryGenerator gen({}, 99);
   auto g = gen.Generate(structure).value();
   dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
-  plan.SetUniformParallelism(degree);
-  plan.PlaceRoundRobin();
+  ZT_CHECK_OK(plan.SetUniformParallelism(degree));
+  ZT_CHECK_OK(plan.PlaceRoundRobin());
   return plan;
 }
 
@@ -69,8 +69,8 @@ void BM_EventSimulator(benchmark::State& state) {
   workload::QueryGenerator gen(gopts, 7);
   auto g = gen.Generate(workload::QueryStructure::kLinear).value();
   dsp::ParallelQueryPlan plan(std::move(g.plan), std::move(g.cluster));
-  plan.SetUniformParallelism(2);
-  plan.PlaceRoundRobin();
+  ZT_CHECK_OK(plan.SetUniformParallelism(2));
+  ZT_CHECK_OK(plan.PlaceRoundRobin());
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.Run(plan));
   }

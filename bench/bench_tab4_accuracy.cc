@@ -86,13 +86,13 @@ int main() {
   // --- Fig. 5: model-architecture comparison on the same corpora. ---
   bench::Banner("Fig. 5 — ZeroTune vs flat-vector model architectures");
   baselines::LinearRegressionModel linreg;
-  linreg.Fit(setup.train);
+  ZT_CHECK_OK(linreg.Fit(setup.train));
   baselines::FlatMlpModel::Options mlp_opts;
   mlp_opts.epochs = scale.epochs;
   baselines::FlatMlpModel flat_mlp(mlp_opts);
-  flat_mlp.Fit(setup.train);
+  ZT_CHECK_OK(flat_mlp.Fit(setup.train));
   baselines::RandomForestModel forest;
-  forest.Fit(setup.train);
+  ZT_CHECK_OK(forest.Fit(setup.train));
 
   TextTable fig5({"Model", "Seen lat median", "Seen lat 95th",
                   "Unseen lat median", "Unseen lat 95th"});

@@ -47,7 +47,8 @@ TrainedSetup TrainModel(const core::ParallelismEnumerator& enumerator,
 
   TrainedSetup setup;
   Rng rng(seed ^ 0xabcdef);
-  corpus.Split(0.8, 0.1, &rng, &setup.train, &setup.val, &setup.test);
+  ZT_CHECK_OK(
+      corpus.Split(0.8, 0.1, &rng, &setup.train, &setup.val, &setup.test));
 
   core::ModelConfig config;
   config.hidden_dim = scale.hidden_dim;

@@ -29,7 +29,7 @@ dsp::QueryPlan MakePipeline(const std::string& name, double rate,
   dsp::AggregateProperties a;
   a.selectivity = 0.15;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   q.mutable_op(src).name = name + "-source";
   return q;
 }

@@ -34,7 +34,7 @@ int main() {
                                dsp::WindowPolicy::kCount, 50, 50};
   agg.selectivity = 0.2;
   const int a = query.AddWindowAggregate(f, agg).value();
-  query.AddSink(a);
+  ZT_CHECK_OK(query.AddSink(a));
 
   // A 4-node cluster of CloudLab m510 machines.
   const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 4).value();
@@ -57,7 +57,7 @@ int main() {
 
   Rng rng(7);
   workload::Dataset train, val, test;
-  corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+  ZT_CHECK_OK(corpus.Split(0.8, 0.1, &rng, &train, &val, &test));
 
   // ------------------------------------------------------------------
   // 3. Train the zero-shot cost model.
@@ -83,10 +83,10 @@ int main() {
   // 4. What-if prediction for a hand-picked deployment.
   // ------------------------------------------------------------------
   dsp::ParallelQueryPlan manual(query, cluster);
-  manual.SetParallelism(f, 8);
-  manual.SetParallelism(a, 4);
+  ZT_CHECK_OK(manual.SetParallelism(f, 8));
+  ZT_CHECK_OK(manual.SetParallelism(a, 4));
   manual.DerivePartitioning();
-  manual.PlaceRoundRobin();
+  ZT_CHECK_OK(manual.PlaceRoundRobin());
   const auto what_if = model.Predict(manual).value();
   std::cout << "What-if (filter P=8, agg P=4): predicted latency "
             << what_if.latency_ms << " ms, throughput "

@@ -28,7 +28,7 @@ int main() {
   build_opts.pool = &pool;
   const auto corpus = core::BuildDataset(enumerator, build_opts).value();
   workload::Dataset train, val, test;
-  corpus.Split(0.85, 0.15, &rng, &train, &val, &test);
+  ZT_CHECK_OK(corpus.Split(0.85, 0.15, &rng, &train, &val, &test));
   core::ModelConfig config;
   config.hidden_dim = 32;
   core::ZeroTuneModel model(config);
@@ -51,7 +51,7 @@ int main() {
                                dsp::WindowPolicy::kTime, 1000, 250};
   agg.selectivity = 0.1;
   const int aid = query.AddWindowAggregate(fid, agg).value();
-  query.AddSink(aid);
+  ZT_CHECK_OK(query.AddSink(aid));
   const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 6).value();
 
   // Initial deployment via the optimizer.
@@ -88,10 +88,10 @@ int main() {
     live_query.mutable_op(0).source.event_rate = rate;
     dsp::ParallelQueryPlan live(live_query, current.cluster());
     for (const auto& op : live_query.operators()) {
-      live.SetParallelism(op.id, current.parallelism(op.id));
+      ZT_CHECK_OK(live.SetParallelism(op.id, current.parallelism(op.id)));
     }
     live.DerivePartitioning();
-    live.PlaceRoundRobin();
+    ZT_CHECK_OK(live.PlaceRoundRobin());
     const auto measured = engine.MeasureNoiseless(live).value();
     current = live;  // the running deployment now sees this rate
 

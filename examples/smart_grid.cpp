@@ -26,7 +26,7 @@ int main() {
   build_opts.pool = &pool;
   const auto corpus = core::BuildDataset(enumerator, build_opts).value();
   workload::Dataset train, val, test;
-  corpus.Split(0.85, 0.15, &rng, &train, &val, &test);
+  ZT_CHECK_OK(corpus.Split(0.85, 0.15, &rng, &train, &val, &test));
 
   core::ModelConfig config;
   config.hidden_dim = 32;

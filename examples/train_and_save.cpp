@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   Rng rng(1);
   workload::Dataset train, val, test;
-  corpus.Split(0.8, 0.1, &rng, &train, &val, &test);
+  ZT_CHECK_OK(corpus.Split(0.8, 0.1, &rng, &train, &val, &test));
   std::cout << "  train/val/test = " << train.size() << "/" << val.size()
             << "/" << test.size() << "\n";
 

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   build_opts.pool = &pool;
   const auto corpus = core::BuildDataset(enumerator, build_opts).value();
   workload::Dataset train, val, test;
-  corpus.Split(0.85, 0.15, &rng, &train, &val, &test);
+  ZT_CHECK_OK(corpus.Split(0.85, 0.15, &rng, &train, &val, &test));
   core::ModelConfig config;
   config.hidden_dim = 32;
   core::ZeroTuneModel model(config);
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                                dsp::WindowPolicy::kCount, 50, 50};
   agg.selectivity = 0.2;
   const int aid = query.AddWindowAggregate(fid, agg).value();
-  query.AddSink(aid);
+  ZT_CHECK_OK(query.AddSink(aid));
   const dsp::Cluster cluster = dsp::Cluster::Homogeneous("m510", 4).value();
 
   sim::CostParams noiseless;
@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
   for (int degree : {1, 2, 4, 8, 16, 32}) {
     dsp::ParallelQueryPlan plan(query, cluster);
     if (degree > cluster.TotalCores()) break;
-    plan.SetUniformParallelism(degree, /*pin_endpoints=*/false);
-    plan.PlaceRoundRobin();
+    ZT_CHECK_OK(plan.SetUniformParallelism(degree, /*pin_endpoints=*/false));
+    ZT_CHECK_OK(plan.PlaceRoundRobin());
 
     const auto predicted = model.Predict(plan).value();
     const auto measured = engine.MeasureNoiseless(plan).value();

@@ -34,11 +34,17 @@ case "${sanitize}" in
     ;;
 esac
 
-cmake -S "${repo_root}" -B "${build_dir}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DZEROTUNE_SANITIZE="${sanitize}" \
-  -DZEROTUNE_BUILD_BENCHMARKS=OFF \
-  -DZEROTUNE_BUILD_EXAMPLES=OFF
+# Reconfigure only when the cached ZEROTUNE_SANITIZE differs from the
+# requested one; repeat runs against a warm build tree go straight to the
+# (incremental) build instead of re-running cmake.
+if ! grep -qsF "ZEROTUNE_SANITIZE:STRING=${sanitize}" \
+    "${build_dir}/CMakeCache.txt"; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DZEROTUNE_SANITIZE="${sanitize}" \
+    -DZEROTUNE_BUILD_BENCHMARKS=OFF \
+    -DZEROTUNE_BUILD_EXAMPLES=OFF
+fi
 cmake --build "${build_dir}" -j "$(nproc)"
 
 cd "${build_dir}"

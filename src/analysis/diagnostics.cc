@@ -1,0 +1,130 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace zerotune::analysis {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << analysis::ToString(severity) << " " << code;
+  if (op_id >= 0) {
+    os << " [op " << op_id;
+    if (!op_name.empty()) os << " " << op_name;
+    os << "]";
+  }
+  os << " " << message;
+  if (!hint.empty()) os << " (fix: " << hint << ")";
+  return os.str();
+}
+
+void DiagnosticReport::Add(Severity severity, std::string code,
+                           std::string message, int op_id,
+                           std::string op_name, std::string hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.op_id = op_id;
+  d.op_name = std::move(op_name);
+  d.hint = std::move(hint);
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticReport::AddError(std::string code, std::string message,
+                                int op_id, std::string op_name,
+                                std::string hint) {
+  Add(Severity::kError, std::move(code), std::move(message), op_id,
+      std::move(op_name), std::move(hint));
+}
+
+void DiagnosticReport::AddWarning(std::string code, std::string message,
+                                  int op_id, std::string op_name,
+                                  std::string hint) {
+  Add(Severity::kWarning, std::move(code), std::move(message), op_id,
+      std::move(op_name), std::move(hint));
+}
+
+void DiagnosticReport::Merge(const DiagnosticReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+size_t DiagnosticReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t DiagnosticReport::warning_count() const {
+  return diags_.size() - error_count();
+}
+
+bool DiagnosticReport::Has(const std::string& code) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticReport::ToText() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << d.ToString() << "\n";
+  }
+  os << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\": [";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    os << (i > 0 ? ", " : "") << "{\"severity\": \""
+       << analysis::ToString(d.severity) << "\", \"code\": \""
+       << JsonEscape(d.code) << "\", \"operator\": " << d.op_id
+       << ", \"operator_name\": \"" << JsonEscape(d.op_name)
+       << "\", \"message\": \"" << JsonEscape(d.message)
+       << "\", \"hint\": \"" << JsonEscape(d.hint) << "\"}";
+  }
+  os << "], \"errors\": " << error_count()
+     << ", \"warnings\": " << warning_count() << "}";
+  return os.str();
+}
+
+Status DiagnosticReport::ToStatus() const {
+  if (!HasErrors()) return Status::OK();
+  std::ostringstream os;
+  os << error_count() << " static-analysis error(s):";
+  for (const Diagnostic& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    os << " [" << d.code << "] " << d.message << ";";
+  }
+  return Status::InvalidArgument(os.str());
+}
+
+}  // namespace zerotune::analysis

@@ -1,0 +1,81 @@
+#ifndef ZEROTUNE_ANALYSIS_DIAGNOSTICS_H_
+#define ZEROTUNE_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerotune::analysis {
+
+/// How bad a finding is. Errors make a plan unusable for prediction or
+/// deployment; warnings flag configurations that load but are suspicious
+/// (out of the trained envelope, wasteful partitioning, ...).
+enum class Severity {
+  kWarning = 0,
+  kError = 1,
+};
+
+const char* ToString(Severity s);
+
+/// One finding of the static analyzers. Diagnostic codes are stable
+/// across releases (ZT-Pxxx for plan checks, ZT-Mxxx for model shape
+/// checks) so scripts can match on them; messages may be reworded.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable code, e.g. "ZT-P015". Catalogued in docs/static_analysis.md.
+  std::string code;
+  /// What is wrong, with concrete values.
+  std::string message;
+  /// Operator id the finding is anchored to, or -1 for plan-level issues.
+  int op_id = -1;
+  /// Operator name when known (empty for plan-level issues).
+  std::string op_name;
+  /// How to fix it (may be empty).
+  std::string hint;
+
+  /// "error ZT-P015 [op 2 filter_2] parallelism 64 exceeds ... (fix: ...)"
+  std::string ToString() const;
+};
+
+/// The outcome of one analyzer pass: every finding, in check order. The
+/// analyzers never stop at the first problem — a broken plan reports all
+/// its defects in one pass.
+class DiagnosticReport {
+ public:
+  void Add(Severity severity, std::string code, std::string message,
+           int op_id = -1, std::string op_name = "", std::string hint = "");
+  void AddError(std::string code, std::string message, int op_id = -1,
+                std::string op_name = "", std::string hint = "");
+  void AddWarning(std::string code, std::string message, int op_id = -1,
+                  std::string op_name = "", std::string hint = "");
+
+  /// Appends all findings of `other` to this report.
+  void Merge(const DiagnosticReport& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool HasErrors() const { return error_count() > 0; }
+  bool Clean() const { return diags_.empty(); }
+
+  /// True when any finding carries `code`.
+  bool Has(const std::string& code) const;
+
+  /// One diagnostic per line plus a summary line.
+  std::string ToText() const;
+  /// {"diagnostics": [...], "errors": N, "warnings": M}
+  std::string ToJson() const;
+
+  /// OK when there are no errors; otherwise an InvalidArgument whose
+  /// message lists every error finding (codes included). Lets Status-based
+  /// load paths surface structured findings without a new channel.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace zerotune::analysis
+
+#endif  // ZEROTUNE_ANALYSIS_DIAGNOSTICS_H_

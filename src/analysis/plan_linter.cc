@@ -1,0 +1,176 @@
+#include "analysis/plan_linter.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "dsp/plan_text.h"
+
+namespace zerotune::analysis {
+
+namespace {
+
+using dsp::OperatorType;
+using dsp::PartitioningStrategy;
+using dsp::plan_text::GetDouble;
+using dsp::plan_text::GetInt;
+using dsp::plan_text::GetString;
+using dsp::plan_text::ParseFields;
+using dsp::plan_text::ParseIntList;
+using dsp::plan_text::ReadWindow;
+
+constexpr char kPlanMagic[] = "zerotune-plan-v1";
+/// Same cap as the strict loader: a corrupt file must not drive unbounded
+/// allocation even in the tolerant path.
+constexpr size_t kMaxOperators = 100'000;
+constexpr size_t kMaxNodes = 100'000;
+
+void AddParseError(DiagnosticReport* report, size_t line_no,
+                   const std::string& detail) {
+  report->AddError("ZT-P025",
+                   "line " + std::to_string(line_no) + ": " + detail, -1, "",
+                   "see the plan format in dsp/plan_io.h");
+}
+
+}  // namespace
+
+LintPlan PlanLinter::Parse(std::istream& is, DiagnosticReport* report) {
+  LintPlan plan;
+  std::string line;
+  size_t line_no = 0;
+
+  if (!std::getline(is, line) || line != kPlanMagic) {
+    AddParseError(report, 1,
+                  "bad plan header (want " + std::string(kPlanMagic) + ")");
+    // A missing magic line usually means the wrong file entirely; there is
+    // nothing meaningful to lint beyond it.
+    return plan;
+  }
+  ++line_no;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+
+    // Each line parses inside a lambda so one Status check per line covers
+    // every field access; a failed line becomes ZT-P025 and is dropped,
+    // and the analyzer then reports whatever holes that leaves (dangling
+    // references etc.) alongside.
+    auto parse_line = [&]() -> Status {
+      ZT_ASSIGN_OR_RETURN(const auto fields, ParseFields(ls));
+      if (kind == "cluster") {
+        if (plan.nodes.size() >= kMaxNodes) {
+          return Status::InvalidArgument("too many cluster nodes");
+        }
+        plan.has_physical = true;
+        dsp::NodeResources n;
+        ZT_ASSIGN_OR_RETURN(n.type_name, GetString(fields, "node"));
+        ZT_ASSIGN_OR_RETURN(n.cpu_cores, GetInt(fields, "cores"));
+        ZT_ASSIGN_OR_RETURN(n.cpu_ghz, GetDouble(fields, "ghz"));
+        ZT_ASSIGN_OR_RETURN(n.memory_gb, GetDouble(fields, "mem"));
+        ZT_ASSIGN_OR_RETURN(n.network_gbps, GetDouble(fields, "net"));
+        plan.nodes.push_back(std::move(n));
+        return Status::OK();
+      }
+      if (kind == "deploy") {
+        plan.has_physical = true;
+        ZT_ASSIGN_OR_RETURN(const int id, GetInt(fields, "id"));
+        LintOperator* target = nullptr;
+        for (LintOperator& op : plan.operators) {
+          if (op.id == id) {
+            target = &op;
+            break;
+          }
+        }
+        if (target == nullptr) {
+          report->AddError("ZT-P005",
+                           "deploy line references unknown operator " +
+                               std::to_string(id),
+                           id, "", "deploy ids must match declared operators");
+          return Status::OK();
+        }
+        ZT_ASSIGN_OR_RETURN(target->parallelism, GetInt(fields, "p"));
+        ZT_ASSIGN_OR_RETURN(const int part, GetInt(fields, "part"));
+        if (part < 0 || part > 2) {
+          return Status::InvalidArgument("bad partitioning enum " +
+                                         std::to_string(part));
+        }
+        target->partitioning = static_cast<PartitioningStrategy>(part);
+        if (fields.count("nodes") > 0) {
+          ZT_ASSIGN_OR_RETURN(const std::string ns, GetString(fields, "nodes"));
+          ZT_ASSIGN_OR_RETURN(target->instance_nodes, ParseIntList(ns));
+        }
+        return Status::OK();
+      }
+
+      if (plan.operators.size() >= kMaxOperators) {
+        return Status::InvalidArgument("too many operators");
+      }
+      LintOperator op;
+      ZT_ASSIGN_OR_RETURN(op.id, GetInt(fields, "id"));
+      if (kind == "source") {
+        op.type = OperatorType::kSource;
+        ZT_ASSIGN_OR_RETURN(op.event_rate, GetDouble(fields, "rate"));
+        ZT_ASSIGN_OR_RETURN(const std::string schema,
+                            GetString(fields, "schema"));
+        op.schema_width = schema.size();
+      } else if (kind == "filter") {
+        op.type = OperatorType::kFilter;
+        ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+        op.upstreams = {in};
+        ZT_ASSIGN_OR_RETURN(op.selectivity, GetDouble(fields, "sel"));
+        op.has_selectivity = true;
+      } else if (kind == "aggregate") {
+        op.type = OperatorType::kWindowAggregate;
+        ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+        op.upstreams = {in};
+        ZT_ASSIGN_OR_RETURN(const int keyed, GetInt(fields, "keyed"));
+        op.keyed = keyed != 0;
+        ZT_ASSIGN_OR_RETURN(op.window, ReadWindow(fields));
+        op.has_window = true;
+        ZT_ASSIGN_OR_RETURN(op.selectivity, GetDouble(fields, "sel"));
+        op.has_selectivity = true;
+      } else if (kind == "join") {
+        op.type = OperatorType::kWindowJoin;
+        ZT_ASSIGN_OR_RETURN(const std::string ins, GetString(fields, "in"));
+        ZT_ASSIGN_OR_RETURN(op.upstreams, ParseIntList(ins));
+        op.keyed = true;
+        ZT_ASSIGN_OR_RETURN(op.window, ReadWindow(fields));
+        op.has_window = true;
+        ZT_ASSIGN_OR_RETURN(op.selectivity, GetDouble(fields, "sel"));
+        op.has_selectivity = true;
+      } else if (kind == "sink") {
+        op.type = OperatorType::kSink;
+        ZT_ASSIGN_OR_RETURN(const int in, GetInt(fields, "in"));
+        op.upstreams = {in};
+      } else {
+        return Status::InvalidArgument("unknown line kind: " + kind);
+      }
+      op.name = kind + "_" + std::to_string(op.id);
+      plan.operators.push_back(std::move(op));
+      return Status::OK();
+    };
+
+    const Status parsed = parse_line();
+    if (!parsed.ok()) AddParseError(report, line_no, parsed.message());
+  }
+  return plan;
+}
+
+DiagnosticReport PlanLinter::Lint(std::istream& is) {
+  DiagnosticReport report;
+  const LintPlan plan = Parse(is, &report);
+  report.Merge(PlanAnalyzer::Analyze(plan));
+  return report;
+}
+
+Result<DiagnosticReport> PlanLinter::LintFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  return Lint(f);
+}
+
+}  // namespace zerotune::analysis

@@ -1,0 +1,34 @@
+#ifndef ZEROTUNE_ANALYSIS_PLAN_LINTER_H_
+#define ZEROTUNE_ANALYSIS_PLAN_LINTER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "analysis/plan_analyzer.h"
+
+namespace zerotune::analysis {
+
+/// Tolerant front end for `zerotune lint`: parses the plan text format of
+/// dsp::PlanIO into a LintPlan without rejecting malformed graphs, then
+/// runs every PlanAnalyzer check. Where the strict loader stops at the
+/// first bad line, the linter records a ZT-P025 finding per unparseable
+/// line, keeps whatever it could extract, and reports all structural and
+/// semantic defects of the rest in the same pass — that is what makes
+/// cycles, dangling references, and duplicate ids (unconstructible through
+/// the QueryPlan builder API) diagnosable from a file.
+struct PlanLinter {
+  /// Parses `is` into analyzer form, appending parse findings to `report`.
+  static LintPlan Parse(std::istream& is, DiagnosticReport* report);
+
+  /// Parses and analyzes a stream: parse findings + analyzer findings.
+  static DiagnosticReport Lint(std::istream& is);
+
+  /// Lints a plan file. Only I/O failures (unreadable path) surface as a
+  /// non-OK Status; everything wrong *inside* the file is a diagnostic.
+  static Result<DiagnosticReport> LintFile(const std::string& path);
+};
+
+}  // namespace zerotune::analysis
+
+#endif  // ZEROTUNE_ANALYSIS_PLAN_LINTER_H_

@@ -1,0 +1,64 @@
+#ifndef ZEROTUNE_ANALYSIS_SHAPE_CHECKER_H_
+#define ZEROTUNE_ANALYSIS_SHAPE_CHECKER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "nn/autograd.h"
+
+namespace zerotune::analysis {
+
+/// Expected shape of one parameter tensor, with the layer it belongs to
+/// spelled out ("op_encoder.linear0.weight") so a mismatch names the
+/// offending block instead of failing deep inside a matmul.
+struct LayerShape {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
+/// Symbolic shape inference for the ZeroTune GNN. From the model config
+/// alone (hidden width plus the three feature-vector dimensions) it derives
+/// the full named parameter list in ParameterStore creation order — per
+/// Linear: weight (in×out) then bias (1×out); per Mlp: its Linears in
+/// sequence; blocks in constructor order. That lets model files be
+/// verified against the architecture before any tensor is materialized.
+///
+/// Diagnostic codes:
+///   ZT-M001 parameter count mismatch      ZT-M003 layer shape mismatch
+///   ZT-M002 truncated parameter stream    ZT-M004 bad parameter header
+class GnnShapeSpec {
+ public:
+  /// Appends one Linear layer (weight then bias).
+  void AddLinear(const std::string& name, size_t in, size_t out);
+  /// Appends an MLP with sizes {in, h1, ..., out} as linear0, linear1, ...
+  void AddMlp(const std::string& name, const std::vector<size_t>& sizes);
+
+  const std::vector<LayerShape>& layers() const { return layers_; }
+  /// Number of parameter tensors (2 per Linear).
+  size_t num_tensors() const { return layers_.size(); }
+
+  /// The eight-block architecture of core::ZeroTuneModel, mirroring its
+  /// constructor: op/res encoders, staged message passing, readout head.
+  /// Dimensions are passed in so this layer needs no dependency on core.
+  static GnnShapeSpec ForZeroTune(size_t hidden_dim, size_t operator_dim,
+                                  size_t resource_dim, size_t mapping_dim);
+
+  /// Verifies a "zerotune-params-v1" stream against the expected shapes
+  /// without loading any values. Reports every shape mismatch it can reach
+  /// (truncation necessarily stops the scan).
+  DiagnosticReport VerifyParamStream(std::istream& is) const;
+
+  /// Verifies a live ParameterStore (e.g. after construction) against the
+  /// spec; catches architecture drift between model and checker.
+  DiagnosticReport VerifyStore(const nn::ParameterStore& store) const;
+
+ private:
+  std::vector<LayerShape> layers_;
+};
+
+}  // namespace zerotune::analysis
+
+#endif  // ZEROTUNE_ANALYSIS_SHAPE_CHECKER_H_

@@ -2,6 +2,8 @@
 #define ZEROTUNE_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -27,7 +29,11 @@ enum class StatusCode {
 /// Usage:
 ///   Status s = plan.Validate();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// Marked [[nodiscard]]: silently dropping a Status hides failures, so
+/// ignoring one is a compile-time warning (an error under scripts/lint.sh).
+/// The rare intentional drop is written `(void)expr;` with a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -105,8 +111,10 @@ class Status {
 ///   Result<double> r = model.Predict(plan);
 ///   if (!r.ok()) return r.status();
 ///   double latency = r.value();
+///
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
@@ -147,6 +155,29 @@ class Result {
   do {                                          \
     ::zerotune::Status _zt_s = (expr);          \
     if (!_zt_s.ok()) return _zt_s;              \
+  } while (0)
+
+namespace internal {
+inline Status GetStatus(const Status& s) { return s; }
+template <typename T>
+Status GetStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Aborts with the error when `expr` (a Status or Result<T>) is not OK.
+/// For benches, examples, and fixed test fixtures, where a failure is a
+/// programming bug and there is no caller to propagate to; library code
+/// propagates with ZT_RETURN_IF_ERROR instead.
+#define ZT_CHECK_OK(expr)                                               \
+  do {                                                                  \
+    const ::zerotune::Status _zt_chk =                                  \
+        ::zerotune::internal::GetStatus((expr));                        \
+    if (!_zt_chk.ok()) {                                                \
+      std::fprintf(stderr, "ZT_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _zt_chk.ToString().c_str());     \
+      std::abort();                                                     \
+    }                                                                   \
   } while (0)
 
 #define ZT_CONCAT_INNER(a, b) a##b

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <fstream>
 
+#include "analysis/shape_checker.h"
 #include "core/batch_inference.h"
+#include "core/features.h"
 
 namespace zerotune::core {
 
@@ -230,6 +232,18 @@ Status ZeroTuneModel::Load(const std::string& path) {
     return Status::InvalidArgument(
         "model target statistics must be finite with positive stddev");
   }
+  // Static shape check before any tensor is loaded: a dimension-corrupted
+  // file fails here with the offending layer named (ZT-M003) instead of a
+  // mid-matmul assertion later. The stream is rewound afterwards so the
+  // actual load re-reads the verified section.
+  const std::istream::pos_type params_pos = f.tellg();
+  const analysis::GnnShapeSpec spec = analysis::GnnShapeSpec::ForZeroTune(
+      config_.hidden_dim, FeatureEncoder::OperatorDim(),
+      FeatureEncoder::ResourceDim(), FeatureEncoder::MappingDim());
+  const analysis::DiagnosticReport shape_report = spec.VerifyParamStream(f);
+  if (shape_report.HasErrors()) return shape_report.ToStatus();
+  f.clear();
+  f.seekg(params_pos);
   ZT_RETURN_IF_ERROR(params_.LoadFromStream(f));
   stats_ = stats;
   return Status::OK();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "analysis/plan_analyzer.h"
 #include "core/enumeration.h"
 
 namespace zerotune::core {
@@ -79,6 +80,7 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
 
   std::vector<Candidate> evaluated;
   std::set<std::vector<int>> tried;
+  size_t rejected = 0;
 
   auto materialize = [&](const std::vector<int>& degrees)
       -> Result<dsp::ParallelQueryPlan> {
@@ -93,26 +95,42 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   };
 
   // Scores a set of degree vectors in one CostPredictor::PredictBatch
-  // call and appends them to `evaluated` in input order.
+  // call and appends them to `evaluated` in input order. Every candidate
+  // first passes through the static plan analyzer; failing ones are
+  // dropped and counted rather than sent to the cost model, so invalid
+  // deployments (bad seeds, over-parallelized operators) never consume
+  // inference budget or win the search.
   auto evaluate_batch =
       [&](const std::vector<std::vector<int>>& batch) -> Status {
     if (batch.empty()) return Status::OK();
+    std::vector<std::vector<int>> kept;
     std::vector<dsp::ParallelQueryPlan> plans;
+    kept.reserve(batch.size());
     plans.reserve(batch.size());
     for (const std::vector<int>& degrees : batch) {
-      ZT_ASSIGN_OR_RETURN(dsp::ParallelQueryPlan plan, materialize(degrees));
-      plans.push_back(std::move(plan));
+      if (degrees.size() != logical.num_operators()) {
+        ++rejected;
+        continue;
+      }
+      Result<dsp::ParallelQueryPlan> plan = materialize(degrees);
+      if (!plan.ok() || !analysis::PlanAnalyzer::Check(plan.value()).ok()) {
+        ++rejected;
+        continue;
+      }
+      kept.push_back(degrees);
+      plans.push_back(std::move(plan.value()));
     }
+    if (plans.empty()) return Status::OK();
     Result<std::vector<CostPrediction>> preds =
         PredictBatch(*predictor_, plans);
     if (!preds.ok()) {
       return preds.status().Annotated(
-          "scoring " + std::to_string(batch.size()) +
+          "scoring " + std::to_string(plans.size()) +
           " parallelism candidates for a " +
           std::to_string(logical.num_operators()) + "-operator query");
     }
-    for (size_t i = 0; i < batch.size(); ++i) {
-      evaluated.push_back(Candidate{batch[i], preds.value()[i]});
+    for (size_t i = 0; i < kept.size(); ++i) {
+      evaluated.push_back(Candidate{std::move(kept[i]), preds.value()[i]});
     }
     return Status::OK();
   };
@@ -149,7 +167,14 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     if (tried.insert(degrees).second) pending.push_back(std::move(degrees));
   }
 
-  // Both enumeration phases score as one batch.
+  // Caller-provided seeds; evaluate_batch vets each one through the
+  // static analyzer, so invalid seeds are counted and skipped here rather
+  // than failing the whole tuning call.
+  for (const std::vector<int>& degrees : options_.seed_candidates) {
+    if (tried.insert(degrees).second) pending.push_back(degrees);
+  }
+
+  // All enumeration phases score as one batch.
   ZT_RETURN_IF_ERROR(evaluate_batch(pending));
 
   if (evaluated.empty()) {
@@ -215,6 +240,7 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   result.weighted_cost =
       WeightedCost(best_pred, evaluated, options_.weight);
   result.candidates_evaluated = evaluated.size();
+  result.candidates_rejected = rejected;
   result.candidates = std::move(evaluated);
   return result;
 }

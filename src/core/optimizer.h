@@ -36,6 +36,13 @@ class ParallelismOptimizer {
     /// Hill-climbing passes over the operators (0 disables refinement).
     size_t refinement_passes = 2;
 
+    /// Extra degree vectors (indexed by operator id) to evaluate alongside
+    /// the enumerated candidates — e.g. a previous deployment or operator
+    /// hints. Unlike enumerated candidates, seeds are untrusted: each one
+    /// is routed through analysis::PlanAnalyzer and dropped (counted in
+    /// TuningResult::candidates_rejected) when it fails a static check.
+    std::vector<std::vector<int>> seed_candidates;
+
     /// Rejects out-of-range settings (weight outside [0, 1], empty
     /// scale-factor grid, non-positive bounds, …). Checked at optimizer
     /// construction; Tune() fails with this status instead of silently
@@ -55,6 +62,9 @@ class ParallelismOptimizer {
     /// candidates (0 = best possible among them).
     double weighted_cost = 0.0;
     size_t candidates_evaluated = 0;
+    /// Candidates the static analyzer rejected before scoring (invalid
+    /// degrees, over-parallelized operators, broken partitioning).
+    size_t candidates_rejected = 0;
     std::vector<Candidate> candidates;  // everything evaluated
 
     TuningResult(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}

@@ -6,9 +6,21 @@
 #include <sstream>
 #include <vector>
 
+#include "dsp/plan_text.h"
+
 namespace zerotune::dsp {
 
 namespace {
+
+using plan_text::AddContext;
+using plan_text::GetDouble;
+using plan_text::GetInt;
+using plan_text::GetString;
+using plan_text::JoinInts;
+using plan_text::ParseFields;
+using plan_text::ParseIntList;
+using plan_text::ReadWindow;
+using plan_text::WriteWindow;
 
 constexpr char kPlanMagic[] = "zerotune-plan-v1";
 
@@ -16,128 +28,6 @@ constexpr char kPlanMagic[] = "zerotune-plan-v1";
 /// allocation, so counts are rejected before anything is materialized.
 constexpr size_t kMaxOperators = 100'000;
 constexpr size_t kMaxNodes = 100'000;
-constexpr size_t kMaxListElements = 1'000'000;
-
-/// Prefixes a parse error with positional context (e.g. "plan line 12"),
-/// preserving the IOError/InvalidArgument distinction.
-Status AddContext(const Status& s, const std::string& context) {
-  if (s.ok()) return s;
-  if (s.code() == StatusCode::kIOError) {
-    return Status::IOError(context + ": " + s.message());
-  }
-  return Status::InvalidArgument(context + ": " + s.message());
-}
-
-/// Parses "key=value" tokens of one line into a map.
-Result<std::map<std::string, std::string>> ParseFields(
-    std::istringstream& line) {
-  std::map<std::string, std::string> fields;
-  std::string token;
-  while (line >> token) {
-    const size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      return Status::InvalidArgument("malformed token: " + token);
-    }
-    fields[token.substr(0, eq)] = token.substr(eq + 1);
-  }
-  return fields;
-}
-
-Result<double> GetDouble(const std::map<std::string, std::string>& fields,
-                         const std::string& key) {
-  auto it = fields.find(key);
-  if (it == fields.end()) {
-    return Status::InvalidArgument("missing field: " + key);
-  }
-  try {
-    size_t used = 0;
-    const double v = std::stod(it->second, &used);
-    if (used != it->second.size()) {
-      return Status::InvalidArgument("trailing junk in " + key + ": " +
-                                     it->second);
-    }
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument("non-finite value for " + key + ": " +
-                                     it->second);
-    }
-    return v;
-  } catch (...) {
-    return Status::InvalidArgument("bad number for " + key + ": " +
-                                   it->second);
-  }
-}
-
-Result<int> GetInt(const std::map<std::string, std::string>& fields,
-                   const std::string& key) {
-  ZT_ASSIGN_OR_RETURN(const double v, GetDouble(fields, key));
-  if (v < -2e9 || v > 2e9 || v != std::floor(v)) {
-    return Status::InvalidArgument("field " + key +
-                                   " is not a representable integer");
-  }
-  return static_cast<int>(v);
-}
-
-Result<std::string> GetString(
-    const std::map<std::string, std::string>& fields,
-    const std::string& key) {
-  auto it = fields.find(key);
-  if (it == fields.end()) {
-    return Status::InvalidArgument("missing field: " + key);
-  }
-  return it->second;
-}
-
-Result<std::vector<int>> ParseIntList(const std::string& repr) {
-  std::vector<int> out;
-  std::istringstream is(repr);
-  std::string part;
-  while (std::getline(is, part, ',')) {
-    if (out.size() >= kMaxListElements) {
-      return Status::InvalidArgument("int list has too many elements");
-    }
-    try {
-      size_t used = 0;
-      const int v = std::stoi(part, &used);
-      if (used != part.size()) {
-        return Status::InvalidArgument("bad int list: " + repr);
-      }
-      out.push_back(v);
-    } catch (...) {
-      return Status::InvalidArgument("bad int list: " + repr);
-    }
-  }
-  return out;
-}
-
-std::string JoinInts(const std::vector<int>& xs) {
-  std::string out;
-  for (size_t i = 0; i < xs.size(); ++i) {
-    if (i > 0) out += ',';
-    out += std::to_string(xs[i]);
-  }
-  return out;
-}
-
-void WriteWindow(std::ostream& os, const WindowSpec& w) {
-  os << " wtype=" << static_cast<int>(w.type)
-     << " wpolicy=" << static_cast<int>(w.policy) << " wlen=" << w.length
-     << " wslide=" << w.slide;
-}
-
-Result<WindowSpec> ReadWindow(
-    const std::map<std::string, std::string>& fields) {
-  WindowSpec w;
-  ZT_ASSIGN_OR_RETURN(const int wtype, GetInt(fields, "wtype"));
-  ZT_ASSIGN_OR_RETURN(const int wpolicy, GetInt(fields, "wpolicy"));
-  ZT_ASSIGN_OR_RETURN(w.length, GetDouble(fields, "wlen"));
-  ZT_ASSIGN_OR_RETURN(w.slide, GetDouble(fields, "wslide"));
-  if (wtype < 0 || wtype > 1 || wpolicy < 0 || wpolicy > 1) {
-    return Status::InvalidArgument("bad window enum");
-  }
-  w.type = static_cast<WindowType>(wtype);
-  w.policy = static_cast<WindowPolicy>(wpolicy);
-  return w;
-}
 
 }  // namespace
 

@@ -17,10 +17,10 @@ namespace zerotune::dsp {
 ///   zerotune-plan-v1
 ///   source id=0 rate=100000 schema=ddi
 ///   filter id=1 in=0 fn=2 literal=1 sel=0.5
-///   aggregate id=2 in=1 fn=2 agg_class=1 key_class=0 keyed=1 \
-///       wtype=0 wpolicy=0 wlen=50 wslide=50 sel=0.1
-///   join id=3 in=1,2 key_class=0 wtype=0 wpolicy=1 wlen=2000 \
-///       wslide=2000 sel=0.01
+///   aggregate id=2 in=1 fn=2 agg_class=1 key_class=0 keyed=1
+///       wtype=0 wpolicy=0 wlen=50 wslide=50 sel=0.1       (one line)
+///   join id=3 in=1,2 key_class=0 wtype=0 wpolicy=1 wlen=2000
+///       wslide=2000 sel=0.01                              (one line)
 ///   sink id=4 in=3
 ///
 /// ParallelQueryPlan additionally serializes the cluster and placement:

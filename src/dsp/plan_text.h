@@ -1,0 +1,47 @@
+#ifndef ZEROTUNE_DSP_PLAN_TEXT_H_
+#define ZEROTUNE_DSP_PLAN_TEXT_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/types.h"
+
+namespace zerotune::dsp::plan_text {
+
+/// Line-level parsing helpers shared by the strict plan reader
+/// (dsp/plan_io.cc) and the tolerant plan linter (analysis/plan_linter.cc).
+/// Both speak the same "kind key=value ..." line format; only their error
+/// handling differs (the loader aborts, the linter collects diagnostics).
+
+/// Parses the remaining "key=value" tokens of one line into a map.
+Result<std::map<std::string, std::string>> ParseFields(std::istream& line);
+
+/// Typed field accessors. All reject missing keys, trailing junk, and
+/// non-finite numbers with an InvalidArgument naming the field.
+Result<double> GetDouble(const std::map<std::string, std::string>& fields,
+                         const std::string& key);
+Result<int> GetInt(const std::map<std::string, std::string>& fields,
+                   const std::string& key);
+Result<std::string> GetString(const std::map<std::string, std::string>& fields,
+                              const std::string& key);
+
+/// Comma-separated integer list, bounded to `max_elements`.
+Result<std::vector<int>> ParseIntList(const std::string& repr,
+                                      size_t max_elements = 1'000'000);
+std::string JoinInts(const std::vector<int>& xs);
+
+/// Window-spec fields shared by aggregate and join lines
+/// (wtype/wpolicy/wlen/wslide).
+void WriteWindow(std::ostream& os, const WindowSpec& w);
+Result<WindowSpec> ReadWindow(const std::map<std::string, std::string>& fields);
+
+/// Prefixes a parse error with positional context (e.g. "plan line 12"),
+/// preserving the IOError/InvalidArgument distinction.
+Status AddContext(const Status& s, const std::string& context);
+
+}  // namespace zerotune::dsp::plan_text
+
+#endif  // ZEROTUNE_DSP_PLAN_TEXT_H_

@@ -49,10 +49,10 @@ ParallelQueryPlan MakeProbe(dsp::OperatorType type, double rate) {
     default:
       break;
   }
-  q.AddSink(tail);
+  ZT_CHECK_OK(q.AddSink(tail));
   ParallelQueryPlan plan(q, Cluster::Homogeneous("m510", 2).value());
-  plan.SetUniformParallelism(2, /*pin_endpoints=*/false);
-  plan.PlaceRoundRobin();
+  ZT_CHECK_OK(plan.SetUniformParallelism(2, /*pin_endpoints=*/false));
+  ZT_CHECK_OK(plan.PlaceRoundRobin());
   return plan;
 }
 

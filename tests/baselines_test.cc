@@ -49,7 +49,7 @@ TEST(FlatVectorTest, EncodingIsStructureBlind) {
     f.selectivity = 0.5;
     const int f1 = q1.AddFilter(src, f).value();
     const int f2 = q1.AddFilter(f1, f).value();
-    q1.AddSink(f2);
+    ZT_CHECK_OK(q1.AddSink(f2));
   }
   // q2: same ops, same depth, same selectivities.
   {
@@ -58,7 +58,7 @@ TEST(FlatVectorTest, EncodingIsStructureBlind) {
     f.selectivity = 0.5;
     const int f1 = q2.AddFilter(src, f).value();
     const int f2 = q2.AddFilter(f1, f).value();
-    q2.AddSink(f2);
+    ZT_CHECK_OK(q2.AddSink(f2));
   }
   const dsp::Cluster c = dsp::Cluster::Homogeneous("m510", 2).value();
   EXPECT_EQ(FlatVectorEncoder::Encode(dsp::ParallelQueryPlan(q1, c)),
@@ -182,7 +182,7 @@ dsp::QueryPlan HeavyQuery(double rate) {
   dsp::AggregateProperties a;
   a.selectivity = 0.3;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 

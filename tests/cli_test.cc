@@ -181,6 +181,7 @@ TEST_F(CliWorkflowTest, JsonFormatSharedByPredictTuneRecover) {
   ASSERT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("\"operators\""), std::string::npos);
   EXPECT_NE(r.output.find("\"candidates_evaluated\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"candidates_rejected\""), std::string::npos);
   // Human chatter is suppressed in json mode.
   EXPECT_EQ(r.output.find("predicted latency"), std::string::npos);
 
@@ -248,6 +249,92 @@ TEST_F(CliWorkflowTest, SimulateWithFaultsAndRecover) {
 
   std::remove(plan.c_str());
   std::remove(recovered.c_str());
+}
+
+// `zerotune lint` exit-code contract: 0 clean, 1 warnings only,
+// 2 errors (or any finding under --strict; usage/IO problems also 2).
+// Plain TESTs: lint needs no model/corpus, so skip the heavy suite setup.
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+constexpr char kCleanPlan[] =
+    "zerotune-plan-v1\n"
+    "source id=0 rate=1000 schema=ddd\n"
+    "filter id=1 in=0 fn=1 literal=2 sel=0.5\n"
+    "sink id=2 in=1\n";
+
+// Event rate above the trained envelope: a warning, not an error.
+constexpr char kWarnPlan[] =
+    "zerotune-plan-v1\n"
+    "source id=0 rate=5000000 schema=ddd\n"
+    "filter id=1 in=0 fn=1 literal=2 sel=0.5\n"
+    "sink id=2 in=1\n";
+
+// Cycle + over-parallelized + keyed aggregate on rebalance.
+constexpr char kBrokenPlan[] =
+    "zerotune-plan-v1\n"
+    "source id=0 rate=1000 schema=ddd\n"
+    "filter id=1 in=3 fn=1 literal=2 sel=0.5\n"
+    "aggregate id=2 in=1 fn=2 agg_class=2 key_class=1 keyed=1"
+    " wtype=0 wpolicy=0 wlen=10 wslide=10 sel=0.1\n"
+    "filter id=3 in=2 fn=1 literal=2 sel=0.5\n"
+    "sink id=4 in=0\n"
+    "cluster node=m510 cores=4 ghz=2 mem=64 net=10\n"
+    "deploy id=1 p=64 part=1\n"
+    "deploy id=2 p=8 part=1\n";
+
+TEST(CliLintTest, CleanPlanExitsZero) {
+  const std::string plan = TempPath("lint_clean.plan");
+  WriteFile(plan, kCleanPlan);
+  const auto r = RunCli("lint " + plan);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 0 warning(s)"), std::string::npos)
+      << r.output;
+  std::remove(plan.c_str());
+}
+
+TEST(CliLintTest, WarningsOnlyExitOneAndStrictExitTwo) {
+  const std::string plan = TempPath("lint_warn.plan");
+  WriteFile(plan, kWarnPlan);
+  auto r = RunCli("lint " + plan);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("ZT-P014"), std::string::npos) << r.output;
+  r = RunCli("lint " + plan + " --strict");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  std::remove(plan.c_str());
+}
+
+TEST(CliLintTest, BrokenPlanReportsEveryDefectAndExitsTwo) {
+  const std::string plan = TempPath("lint_broken.plan");
+  WriteFile(plan, kBrokenPlan);
+  const auto r = RunCli("lint " + plan);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  // All defects surface in one pass.
+  EXPECT_NE(r.output.find("ZT-P006"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("ZT-P016"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("ZT-P017"), std::string::npos) << r.output;
+  std::remove(plan.c_str());
+}
+
+TEST(CliLintTest, JsonFormatEmitsStructuredFindings) {
+  const std::string plan = TempPath("lint_json.plan");
+  WriteFile(plan, kBrokenPlan);
+  const auto r = RunCli("lint " + plan + " --format json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("\"diagnostics\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"ZT-P016\""), std::string::npos) << r.output;
+  std::remove(plan.c_str());
+}
+
+TEST(CliLintTest, UsageAndIOErrorsExitTwo) {
+  EXPECT_EQ(RunCli("lint").exit_code, 2);
+  EXPECT_EQ(RunCli("lint /nonexistent/zt.plan").exit_code, 2);
+  const std::string plan = TempPath("lint_fmt.plan");
+  WriteFile(plan, kCleanPlan);
+  EXPECT_EQ(RunCli("lint " + plan + " --format yaml").exit_code, 2);
+  std::remove(plan.c_str());
 }
 
 TEST_F(CliWorkflowTest, CollectRandomStrategy) {

@@ -36,7 +36,7 @@ QueryPlan LinearPlan(double rate, double window_len = 10.0) {
                  window_len};
   a.selectivity = 0.2;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 
@@ -150,7 +150,7 @@ TEST_F(CostEngineTest, ChainingReducesLatency) {
   f.selectivity = 0.9;
   const int f1 = q.AddFilter(tail, f).value();
   const int f2 = q.AddFilter(f1, f).value();
-  q.AddSink(f2);
+  ZT_CHECK_OK(q.AddSink(f2));
 
   // Chained: equal degrees on both filters -> forward edge, one chain.
   ParallelQueryPlan chained(q, cluster_);
@@ -196,7 +196,7 @@ TEST_F(CostEngineTest, WiderTuplesCostMore) {
   a.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, 10, 10};
   a.selectivity = 0.2;
   const int aid = wide.AddWindowAggregate(fid, a).value();
-  wide.AddSink(aid);
+  ZT_CHECK_OK(wide.AddSink(aid));
 
   const auto mn =
       engine_.MeasureNoiseless(MakeUniform(narrow, cluster_, 2)).value();
@@ -243,7 +243,7 @@ TEST_F(CostEngineTest, JoinProbeCostGrowsWithWindow) {
                           window_len, window_len};
     j.selectivity = 0.001;
     const int jid = q.AddWindowJoin(s1, s2, j).value();
-    q.AddSink(jid);
+    ZT_CHECK_OK(q.AddSink(jid));
     return q;
   };
   const auto small =

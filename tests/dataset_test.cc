@@ -17,7 +17,7 @@ LabeledQuery MakeSample(double latency, QueryStructure s,
   src.schema = dsp::TupleSchema::Uniform(2, dsp::DataType::kInt);
   const int sid = q.AddSource(src);
   const int fid = q.AddFilter(sid, dsp::FilterProperties{}).value();
-  q.AddSink(fid);
+  ZT_CHECK_OK(q.AddSink(fid));
   dsp::ParallelQueryPlan plan(q, dsp::Cluster::Homogeneous("m510", 2).value());
   EXPECT_TRUE(plan.SetParallelism(fid, degree).ok());
   return LabeledQuery(std::move(plan), latency, 1000.0, s);

@@ -15,10 +15,10 @@ ParallelQueryPlan MakePlan() {
   f.selectivity = 0.5;
   const int f1 = q.AddFilter(src, f).value();
   const int f2 = q.AddFilter(f1, f).value();
-  q.AddSink(f2);
+  ZT_CHECK_OK(q.AddSink(f2));
   ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
-  p.SetUniformParallelism(4);
-  p.PlaceRoundRobin();
+  ZT_CHECK_OK(p.SetUniformParallelism(4));
+  ZT_CHECK_OK(p.PlaceRoundRobin());
   return p;
 }
 

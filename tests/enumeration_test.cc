@@ -25,7 +25,7 @@ QueryPlan RatePlan(double rate, double filter_sel) {
   dsp::AggregateProperties a;
   a.selectivity = 0.1;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 

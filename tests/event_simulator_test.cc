@@ -29,7 +29,7 @@ QueryPlan SimpleFilterPlan(double rate, double selectivity = 0.5) {
   FilterProperties f;
   f.selectivity = selectivity;
   const int fid = q.AddFilter(src, f).value();
-  q.AddSink(fid);
+  ZT_CHECK_OK(q.AddSink(fid));
   return q;
 }
 
@@ -125,7 +125,7 @@ TEST(EventSimulatorTest, CountWindowAggregateEmits) {
   a.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, 10, 10};
   a.selectivity = 0.2;  // 2 groups per 10-tuple window
   const int aid = q.AddWindowAggregate(src, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
 
   EventSimulator::Options opts;
   opts.duration_s = 3.0;
@@ -147,7 +147,7 @@ TEST(EventSimulatorTest, TimeWindowAggregateEmitsOnTimer) {
       WindowSpec{WindowType::kTumbling, WindowPolicy::kTime, 500, 500};
   a.selectivity = 0.1;
   const int aid = q.AddWindowAggregate(src, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
 
   EventSimulator::Options opts;
   opts.duration_s = 4.0;

@@ -26,7 +26,7 @@ QueryPlan FilterQuery(double rate, double selectivity = 0.5) {
   FilterProperties f;
   f.selectivity = selectivity;
   const int fid = q.AddFilter(src, f).value();
-  q.AddSink(fid);
+  ZT_CHECK_OK(q.AddSink(fid));
   return q;
 }
 

@@ -27,7 +27,7 @@ ParallelQueryPlan MakePlan() {
                              dsp::WindowPolicy::kCount, 50, 25};
   a.selectivity = 0.1;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
   EXPECT_TRUE(p.SetParallelism(fid, 4).ok());
   EXPECT_TRUE(p.SetParallelism(aid, 2).ok());

@@ -18,7 +18,7 @@ ParallelQueryPlan SmallPlan(int degree = 2) {
   const int src = q.AddSource(s);
   const int f = q.AddFilter(src, dsp::FilterProperties{}).value();
   const int a = q.AddWindowAggregate(f, dsp::AggregateProperties{}).value();
-  q.AddSink(a);
+  ZT_CHECK_OK(q.AddSink(a));
   ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
   EXPECT_TRUE(p.SetParallelism(f, degree).ok());
   EXPECT_TRUE(p.SetParallelism(a, degree).ok());

@@ -23,7 +23,7 @@ QueryPlan MakeQuery(double rate) {
   dsp::AggregateProperties a;
   a.selectivity = 0.2;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 

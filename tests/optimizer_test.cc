@@ -24,7 +24,7 @@ QueryPlan LoadedLinearPlan(double rate) {
   dsp::AggregateProperties a;
   a.selectivity = 0.2;
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 
@@ -154,6 +154,32 @@ TEST(ParallelismOptimizerTest, InvalidLogicalPlanRejected) {
   ParallelismOptimizer opt(&oracle);
   QueryPlan q;  // empty
   EXPECT_FALSE(opt.Tune(q, Cluster::Homogeneous("m510", 1).value()).ok());
+}
+
+TEST(ParallelismOptimizerTest, StaticAnalysisRejectsInvalidSeedCandidates) {
+  OraclePredictor oracle;
+  ParallelismOptimizer::Options opts;
+  // Enumerated candidates are clamped to the cluster, so the invalid path
+  // is exercised through caller-provided seeds: one over-parallelized
+  // (8 cores available), one with the wrong arity.
+  opts.seed_candidates = {{1, 10000, 10000, 1}, {1, 2}};
+  ParallelismOptimizer opt(&oracle, opts);
+  const auto result = opt.Tune(LoadedLinearPlan(100000),
+                               Cluster::Homogeneous("m510", 1).value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().candidates_rejected, 2u);
+  EXPECT_TRUE(result.value().plan.Validate().ok());
+}
+
+TEST(ParallelismOptimizerTest, ValidSeedCandidateIsNotRejected) {
+  OraclePredictor oracle;
+  ParallelismOptimizer::Options opts;
+  opts.seed_candidates = {{1, 2, 2, 1}};
+  ParallelismOptimizer opt(&oracle, opts);
+  const auto result = opt.Tune(LoadedLinearPlan(100000),
+                               Cluster::Homogeneous("m510", 2).value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().candidates_rejected, 0u);
 }
 
 TEST(OraclePredictorTest, MatchesNoiselessEngine) {

@@ -14,7 +14,7 @@ QueryPlan LinearPlan() {
   const int f = q.AddFilter(src, FilterProperties{}).value();
   AggregateProperties a;
   const int agg = q.AddWindowAggregate(f, a).value();
-  q.AddSink(agg);
+  ZT_CHECK_OK(q.AddSink(agg));
   return q;
 }
 
@@ -27,7 +27,7 @@ QueryPlan FilterChain(int n) {
   for (int i = 0; i < n; ++i) {
     tail = q.AddFilter(tail, FilterProperties{}).value();
   }
-  q.AddSink(tail);
+  ZT_CHECK_OK(q.AddSink(tail));
   return q;
 }
 

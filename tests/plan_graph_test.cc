@@ -17,7 +17,7 @@ ParallelQueryPlan JoinPlan(int degree) {
   const int s1 = q.AddSource(s);
   const int s2 = q.AddSource(s);
   const int j = q.AddWindowJoin(s1, s2, dsp::JoinProperties{}).value();
-  q.AddSink(j);
+  ZT_CHECK_OK(q.AddSink(j));
   ParallelQueryPlan p(q, Cluster::Homogeneous("rs620", 3).value());
   EXPECT_TRUE(p.SetParallelism(j, degree).ok());
   p.DerivePartitioning();

@@ -36,7 +36,7 @@ QueryPlan ComplexPlan() {
   agg.window = WindowSpec{WindowType::kTumbling, WindowPolicy::kCount, 75, 75};
   agg.selectivity = 0.05;
   const int ag = q.AddWindowAggregate(jj, agg).value();
-  q.AddSink(ag);
+  ZT_CHECK_OK(q.AddSink(ag));
   return q;
 }
 

@@ -33,7 +33,7 @@ QueryPlan LinearQuery(double rate = 1000) {
   const int src = q.AddSource(s);
   const int f = q.AddFilter(src, dsp::FilterProperties{}).value();
   const int a = q.AddWindowAggregate(f, dsp::AggregateProperties{}).value();
-  q.AddSink(a);
+  ZT_CHECK_OK(q.AddSink(a));
   return q;
 }
 
@@ -47,7 +47,7 @@ QueryPlan TwoFilterQuery() {
   f.selectivity = 0.5;
   const int f1 = q.AddFilter(src, f).value();
   const int f2 = q.AddFilter(f1, f).value();
-  q.AddSink(f2);
+  ZT_CHECK_OK(q.AddSink(f2));
   return q;
 }
 

@@ -84,7 +84,7 @@ TEST(QueryPlanTest, ValidateCatchesBadSelectivity) {
   FilterProperties f;
   f.selectivity = 1.5;
   const int fid = q.AddFilter(src, f).value();
-  q.AddSink(fid);
+  ZT_CHECK_OK(q.AddSink(fid));
   EXPECT_FALSE(q.Validate().ok());
 }
 
@@ -92,7 +92,7 @@ TEST(QueryPlanTest, ValidateCatchesUnreachableOperator) {
   QueryPlan q;
   const int s1 = q.AddSource(MakeSource());
   q.AddSource(MakeSource());  // dangling source never reaches the sink
-  q.AddSink(s1);
+  ZT_CHECK_OK(q.AddSink(s1));
   EXPECT_FALSE(q.Validate().ok());
 }
 
@@ -101,7 +101,7 @@ TEST(QueryPlanTest, ValidateCatchesNonPositiveRate) {
   SourceProperties s = MakeSource();
   s.event_rate = 0.0;
   const int src = q.AddSource(s);
-  q.AddSink(src);
+  ZT_CHECK_OK(q.AddSink(src));
   EXPECT_FALSE(q.Validate().ok());
 }
 
@@ -149,7 +149,7 @@ TEST(QueryPlanTest, RatePropagationJoinSumsBranches) {
   JoinProperties j;
   j.selectivity = 0.01;
   const int jid = q.AddWindowJoin(s1, s2, j).value();
-  q.AddSink(jid);
+  ZT_CHECK_OK(q.AddSink(jid));
   const auto in = q.EstimatedInputRates();
   EXPECT_DOUBLE_EQ(in[static_cast<size_t>(jid)], 1500.0);
 }
@@ -159,7 +159,7 @@ TEST(QueryPlanTest, CountType) {
   const int s1 = q.AddSource(MakeSource());
   const int f1 = q.AddFilter(s1, FilterProperties{}).value();
   const int f2 = q.AddFilter(f1, FilterProperties{}).value();
-  q.AddSink(f2);
+  ZT_CHECK_OK(q.AddSink(f2));
   EXPECT_EQ(q.CountType(OperatorType::kFilter), 2u);
   EXPECT_EQ(q.CountType(OperatorType::kWindowJoin), 0u);
 }

@@ -26,7 +26,7 @@ QueryPlan MakeQuery(double rate) {
   a.window = dsp::WindowSpec{dsp::WindowType::kTumbling,
                              dsp::WindowPolicy::kCount, 50, 50};
   const int aid = q.AddWindowAggregate(fid, a).value();
-  q.AddSink(aid);
+  ZT_CHECK_OK(q.AddSink(aid));
   return q;
 }
 
@@ -101,7 +101,7 @@ TEST_F(ReconfigurationTest, StatelessPlanHasNoWindowState) {
   s.schema = dsp::TupleSchema::Uniform(2, dsp::DataType::kInt);
   const int src = q.AddSource(s);
   const int f = q.AddFilter(src, dsp::FilterProperties{}).value();
-  q.AddSink(f);
+  ZT_CHECK_OK(q.AddSink(f));
   ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
   EXPECT_DOUBLE_EQ(ReconfigurationPlanner::EstimateStateBytes(p), 0.0);
 }

@@ -35,7 +35,7 @@ ParallelQueryPlan SmallPlan() {
   FilterProperties f;
   f.selectivity = 0.5;
   const int fid = q.AddFilter(src, f).value();
-  q.AddSink(fid);
+  ZT_CHECK_OK(q.AddSink(fid));
   ParallelQueryPlan p(q, Cluster::Homogeneous("m510", 2).value());
   EXPECT_TRUE(p.SetUniformParallelism(2, /*pin_endpoints=*/false).ok());
   EXPECT_TRUE(p.PlaceRoundRobin().ok());

@@ -22,11 +22,16 @@
 //   zerotune_cli recover  --model model.txt --plan deployment.plan
 //                         --failed-node 0 [--out recovered.plan]
 //                         [--format json]
+//   zerotune_cli lint     <plan-file> [--strict] [--format json]
+//                         (exit 0 = clean, 1 = warnings only, 2 = errors
+//                          or, with --strict, any finding)
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
 
+#include "analysis/plan_analyzer.h"
+#include "analysis/plan_linter.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/dataset_builder.h"
@@ -72,6 +77,7 @@ void PrintUsage() {
       "            optionally under injected faults)\n"
       "  recover   re-optimize a deployment after losing a cluster node\n"
       "  explain   feature attributions for a prediction\n"
+      "  lint      static semantic checks on a plan file\n"
       "  dot       Graphviz rendering of a plan\n"
       "  help      this message\n\n"
       "run a command with wrong flags to see its flag list.\n";
@@ -132,6 +138,18 @@ Result<dsp::Cluster> ParseClusterSpec(const std::string& spec) {
     return dsp::Cluster::Homogeneous(parts[0], count, gbps);
   } catch (...) {
     return Status::InvalidArgument("bad numbers in --cluster spec: " + spec);
+  }
+}
+
+/// Runs the static analyzer over a freshly loaded deployment and prints
+/// its findings to stderr. The strict loader already rejects hard errors,
+/// so what surfaces here are warnings (trained-envelope excursions,
+/// wasteful partitioning, oversubscribed nodes) that would otherwise go
+/// unnoticed until predictions look off.
+void WarnOnLoadedPlan(const std::string& path,
+                      const analysis::DiagnosticReport& report) {
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    std::cerr << path << ": " << d.ToString() << "\n";
   }
 }
 
@@ -355,6 +373,7 @@ int CmdPredict(const FlagParser& flags) {
 
   auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
   if (!plan.ok()) return Fail(plan.status());
+  WarnOnLoadedPlan(plan_path, analysis::PlanAnalyzer::Analyze(plan.value()));
   auto cost = model.value()->Predict(plan.value());
   if (!cost.ok()) return Fail(cost.status());
   if (format == OutputFormat::kJson) {
@@ -384,6 +403,8 @@ int CmdTune(const FlagParser& flags) {
   if (!model.ok()) return Fail(model.status());
   auto logical = LoadLogicalPlan(query_path);
   if (!logical.ok()) return Fail(logical.status());
+  WarnOnLoadedPlan(query_path,
+                   analysis::PlanAnalyzer::Analyze(logical.value()));
   auto cluster = ParseClusterSpec(cluster_spec);
   if (!cluster.ok()) return Fail(cluster.status());
   ZT_ASSIGN_OR_RETURN_CLI(const double weight,
@@ -411,7 +432,9 @@ int CmdTune(const FlagParser& flags) {
     }
     std::cout << "], \"predicted\": " << JsonCost(tuned.value().predicted)
               << ", \"candidates_evaluated\": "
-              << tuned.value().candidates_evaluated << "}\n";
+              << tuned.value().candidates_evaluated
+              << ", \"candidates_rejected\": "
+              << tuned.value().candidates_rejected << "}\n";
   } else {
     TextTable table({"Operator", "Parallelism", "Partitioning"});
     for (const auto& op : logical.value().operators()) {
@@ -426,7 +449,8 @@ int CmdTune(const FlagParser& flags) {
               << " ms, throughput "
               << TextTable::Fmt(tuned.value().predicted.throughput_tps, 0)
               << " tuples/s (over " << tuned.value().candidates_evaluated
-              << " candidates)\n";
+              << " candidates, " << tuned.value().candidates_rejected
+              << " rejected by static analysis)\n";
   }
 
   const std::string out = flags.GetString("out");
@@ -448,6 +472,7 @@ int CmdSimulate(const FlagParser& flags) {
   }
   auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
   if (!plan.ok()) return Fail(plan.status());
+  WarnOnLoadedPlan(plan_path, analysis::PlanAnalyzer::Analyze(plan.value()));
 
   sim::CostEngine engine;
   auto m = engine.Measure(plan.value());
@@ -586,6 +611,36 @@ int CmdExplain(const FlagParser& flags) {
   return 0;
 }
 
+int CmdLint(const FlagParser& flags) {
+  std::string path = flags.GetString("plan");
+  if (path.empty() && flags.positional().size() > 1) {
+    path = flags.positional()[1];
+  }
+  if (path.empty()) {
+    std::cerr << "error: usage: lint <plan-file> [--strict] [--format json]\n";
+    return 2;
+  }
+  const auto format = ParseFormat(flags);
+  if (!format.ok()) {
+    std::cerr << "error: " << format.status().ToString() << "\n";
+    return 2;
+  }
+  const auto report = analysis::PlanLinter::LintFile(path);
+  if (!report.ok()) {
+    std::cerr << "error: " << report.status().ToString() << "\n";
+    return 2;
+  }
+  const analysis::DiagnosticReport& r = report.value();
+  if (format.value() == OutputFormat::kJson) {
+    std::cout << r.ToJson() << "\n";
+  } else {
+    std::cout << r.ToText();
+  }
+  if (r.HasErrors()) return 2;
+  if (!r.Clean()) return flags.GetBool("strict") ? 2 : 1;
+  return 0;
+}
+
 int CmdDot(const FlagParser& flags) {
   const std::string deployed = flags.GetString("deployed");
   const std::string query = flags.GetString("query");
@@ -624,6 +679,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "recover") return CmdRecover(flags);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "lint") return CmdLint(flags);
   if (command == "dot") return CmdDot(flags);
   PrintUsage();
   return command == "help" ? 0 : 1;
