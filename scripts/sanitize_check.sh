@@ -47,10 +47,13 @@ if ! grep -qsF "ZEROTUNE_SANITIZE:STRING=${sanitize}" \
 fi
 cmake --build "${build_dir}" -j "$(nproc)"
 
+# A global per-test timeout turns a hang (the serving layer's cardinal
+# failure mode) into a test failure instead of a stuck CI job; sanitizer
+# slowdown is why it is generous.
 cd "${build_dir}"
 if [[ -n "${filter}" ]]; then
-  ctest --output-on-failure -j "$(nproc)" -R "${filter}"
+  ctest --output-on-failure -j "$(nproc)" --timeout 300 -R "${filter}"
 else
-  ctest --output-on-failure -j "$(nproc)"
+  ctest --output-on-failure -j "$(nproc)" --timeout 300
 fi
 echo "sanitize check passed (${sanitize})"

@@ -1,0 +1,100 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace zerotune {
+
+namespace {
+
+/// Flushes `path` (already fully written and closed) to stable storage.
+/// Without this, rename() can commit a name pointing at data still only in
+/// the page cache — a power loss then yields a truncated "new" file, which
+/// is exactly the torn state atomic replacement exists to prevent.
+Status SyncFile(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;  // no fsync equivalent wired up; rename is still atomic
+  return Status::OK();
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open for fsync failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for " + path + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+#endif
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  if (path.empty()) {
+    return Status::InvalidArgument("atomic write: empty path");
+  }
+  // Temp file in the same directory so the final rename cannot cross a
+  // filesystem boundary (cross-device renames are not atomic). The pid
+  // keeps concurrent writers from clobbering each other's temporaries.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create temp file " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const size_t written = contents.empty()
+                             ? 0
+                             : std::fwrite(contents.data(), 1,
+                                           contents.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != contents.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to temp file " + tmp);
+  }
+
+  Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path +
+                           " failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteStream(const std::string& path,
+                         const std::function<Status(std::ostream&)>& writer) {
+  std::ostringstream buffer;
+  ZT_RETURN_IF_ERROR(writer(buffer));
+  if (!buffer) {
+    return Status::IOError("serialization stream failed for " + path);
+  }
+  return AtomicWriteFile(path, buffer.str());
+}
+
+}  // namespace zerotune

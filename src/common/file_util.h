@@ -1,0 +1,30 @@
+#ifndef ZEROTUNE_COMMON_FILE_UTIL_H_
+#define ZEROTUNE_COMMON_FILE_UTIL_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+
+namespace zerotune {
+
+/// Crash-safe file replacement: writes `contents` to a temporary file in
+/// the same directory as `path`, flushes it to stable storage (fsync),
+/// then atomically renames it over `path`. A crash at any point leaves
+/// either the old file or the new file — never a torn or empty one. On
+/// any failure the temporary is removed and the previous `path` contents
+/// are untouched.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Streaming convenience over AtomicWriteFile: `writer` serializes into a
+/// memory buffer; the buffer is committed atomically only when `writer`
+/// returns OK and the stream is still good. A failing writer therefore
+/// never clobbers an existing file — the property every Save path in this
+/// repo (model, dataset, plan, checkpoint) relies on.
+Status AtomicWriteStream(const std::string& path,
+                         const std::function<Status(std::ostream&)>& writer);
+
+}  // namespace zerotune
+
+#endif  // ZEROTUNE_COMMON_FILE_UTIL_H_

@@ -22,6 +22,14 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIOError,
+  /// A per-request time budget ran out before the work completed.
+  kDeadlineExceeded,
+  /// Bounded capacity (admission queue, concurrency limit) was full and
+  /// the request was shed rather than queued unboundedly.
+  kResourceExhausted,
+  /// The serving backend is (transiently) unable to answer — e.g. the
+  /// primary predictor's circuit is open and no fallback succeeded.
+  kUnavailable,
 };
 
 /// Result of a fallible operation: either OK or a code plus a message.
@@ -60,6 +68,15 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +114,9 @@ class [[nodiscard]] Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kIOError: return "IOError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

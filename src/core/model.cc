@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "analysis/shape_checker.h"
+#include "common/file_util.h"
 #include "core/batch_inference.h"
 #include "core/features.h"
 
@@ -189,17 +190,18 @@ CostPrediction ZeroTuneModel::DecodeOutput(const nn::Matrix& out) const {
 }
 
 Status ZeroTuneModel::Save(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot open " + path);
-  f.precision(17);
-  f << "zerotune-model-v1\n";
-  f << config_.hidden_dim << " " << config_.features.operator_features << " "
-    << config_.features.parallelism_features << " "
-    << config_.features.resource_features << "\n";
-  f << stats_.latency_mean << " " << stats_.latency_std << " "
-    << stats_.throughput_mean << " " << stats_.throughput_std << "\n";
-  ZT_RETURN_IF_ERROR(params_.SaveToStream(f));
-  return f ? Status::OK() : Status::IOError("write failed for " + path);
+  // Atomic: a crash (or full disk) mid-save must never clobber the
+  // previously saved model.
+  return AtomicWriteStream(path, [this](std::ostream& f) -> Status {
+    f.precision(17);
+    f << "zerotune-model-v1\n";
+    f << config_.hidden_dim << " " << config_.features.operator_features
+      << " " << config_.features.parallelism_features << " "
+      << config_.features.resource_features << "\n";
+    f << stats_.latency_mean << " " << stats_.latency_std << " "
+      << stats_.throughput_mean << " " << stats_.throughput_std << "\n";
+    return params_.SaveToStream(f);
+  });
 }
 
 Status ZeroTuneModel::Load(const std::string& path) {

@@ -75,6 +75,10 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
   ZT_RETURN_IF_ERROR(options_status_);
   ZT_RETURN_IF_ERROR(logical.Validate());
+  const auto budget_expired = [this] {
+    return options_.deadline != nullptr && options_.deadline->Expired();
+  };
+  bool deadline_hit = false;
   const int cap =
       std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
 
@@ -174,6 +178,11 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     if (tried.insert(degrees).second) pending.push_back(degrees);
   }
 
+  if (budget_expired()) {
+    return Status::DeadlineExceeded(
+        "tuning budget expired before any candidate was scored");
+  }
+
   // All enumeration phases score as one batch.
   ZT_RETURN_IF_ERROR(evaluate_batch(pending));
 
@@ -198,6 +207,10 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       options_.refinement_passes *
       std::max<size_t>(2 * logical.num_operators(), 1);
   for (size_t round = 0; round < max_rounds; ++round) {
+    if (budget_expired()) {
+      deadline_hit = true;  // partial result: best found within budget
+      break;
+    }
     std::vector<std::vector<int>> neighbors;
     for (const Operator& op : logical.operators()) {
       if (op.type == OperatorType::kSink) continue;
@@ -241,6 +254,7 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       WeightedCost(best_pred, evaluated, options_.weight);
   result.candidates_evaluated = evaluated.size();
   result.candidates_rejected = rejected;
+  result.deadline_hit = deadline_hit;
   result.candidates = std::move(evaluated);
   return result;
 }

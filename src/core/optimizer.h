@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/clock.h"
 #include "core/cost_predictor.h"
 #include "dsp/cluster.h"
 #include "dsp/query_plan.h"
@@ -43,6 +44,12 @@ class ParallelismOptimizer {
     /// TuningResult::candidates_rejected) when it fails a static check.
     std::vector<std::vector<int>> seed_candidates;
 
+    /// Optional cooperative time budget (borrowed; may be null). Checked
+    /// between scoring batches — candidates scored so far are kept and the
+    /// best one is returned with TuningResult::deadline_hit set. Expiring
+    /// before any candidate was scored fails with DeadlineExceeded.
+    const Deadline* deadline = nullptr;
+
     /// Rejects out-of-range settings (weight outside [0, 1], empty
     /// scale-factor grid, non-positive bounds, …). Checked at optimizer
     /// construction; Tune() fails with this status instead of silently
@@ -65,6 +72,9 @@ class ParallelismOptimizer {
     /// Candidates the static analyzer rejected before scoring (invalid
     /// degrees, over-parallelized operators, broken partitioning).
     size_t candidates_rejected = 0;
+    /// True when Options::deadline expired mid-search: the result is the
+    /// best assignment found within the budget, not the full search's.
+    bool deadline_hit = false;
     std::vector<Candidate> candidates;  // everything evaluated
 
     TuningResult(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}

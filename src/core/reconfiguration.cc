@@ -91,6 +91,7 @@ Result<RecoveryReport> ReconfigurationPlanner::RecoverFromNodeFailure(
   report.unrecovered_predicted = unrecovered_pred;
   report.recovered_predicted = tuned.predicted;
   report.failed_node = failed_node;
+  report.deadline_hit = tuned.deadline_hit;
 
   // Recovery pause: the failed node's windowed state must be rebuilt and
   // every instance whose degree changed restarts. State on surviving nodes
@@ -165,6 +166,7 @@ Result<ReconfigurationDecision> ReconfigurationPlanner::Evaluate(
   ReconfigurationDecision decision(std::move(tuned.plan));
   decision.keep_predicted = keep_pred;
   decision.new_predicted = tuned.predicted;
+  decision.deadline_hit = tuned.deadline_hit;
 
   // Migration pause: relocate the *current* plan's windowed state plus
   // restart every instance whose degree changes.

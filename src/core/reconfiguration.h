@@ -24,6 +24,9 @@ struct ReconfigurationDecision {
   /// Net predicted gain in the combined log-cost score; positive favors
   /// reconfiguring.
   double gain = 0.0;
+  /// True when the re-tuning search hit its deadline budget and returned
+  /// its best-so-far assignment (see ParallelismOptimizer::Options).
+  bool deadline_hit = false;
 
   explicit ReconfigurationDecision(dsp::ParallelQueryPlan plan)
       : new_plan(std::move(plan)) {}
@@ -45,6 +48,9 @@ struct RecoveryReport {
   double migration_pause_ms = 0.0;
   /// Index of the node that failed (in the pre-failure cluster).
   int failed_node = -1;
+  /// True when the recovery search hit its deadline budget and returned
+  /// its best-so-far assignment.
+  bool deadline_hit = false;
 
   explicit RecoveryReport(dsp::ParallelQueryPlan plan)
       : recovered_plan(std::move(plan)) {}

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <mutex>
 #include <numeric>
 
+#include "common/file_util.h"
 #include "common/logging.h"
 
 namespace zerotune::core {
@@ -45,6 +49,163 @@ TargetStats FitTargetStats(const Dataset& train) {
   return s;
 }
 
+constexpr char kCheckpointMagic[] = "zerotune-trainer-ckpt-v1";
+
+/// Everything besides the live model/optimizer/rng that a resumed run must
+/// restore to replay the remaining epochs bit-identically.
+struct CheckpointState {
+  size_t epochs_done = 0;
+  double learning_rate = 0.0;
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t since_best = 0;
+  size_t nonfinite_batches = 0;
+  size_t recovery_attempts = 0;
+  TargetStats stats;
+  std::vector<double> losses;
+  std::vector<size_t> order;
+  std::vector<nn::Matrix> best_params;
+};
+
+Status ExpectTag(std::istream& is, const char* want) {
+  std::string tag;
+  if (!(is >> tag) || tag != want) {
+    return Status::IOError("trainer checkpoint: expected '" +
+                           std::string(want) + "', got '" + tag + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteMatrixList(std::ostream& os, const std::vector<nn::Matrix>& mats) {
+  os << mats.size() << "\n";
+  for (const auto& m : mats) {
+    os << m.rows() << " " << m.cols();
+    for (size_t k = 0; k < m.size(); ++k) os << " " << m.data()[k];
+    os << "\n";
+  }
+  if (!os.good()) return Status::IOError("failed writing parameter snapshot");
+  return Status::OK();
+}
+
+Status ReadMatrixList(std::istream& is, const nn::ParameterStore& like,
+                      std::vector<nn::Matrix>* out) {
+  size_t count = 0;
+  if (!(is >> count) || count != like.parameters().size()) {
+    return Status::IOError(
+        "trainer checkpoint: parameter snapshot count mismatch");
+  }
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols) ||
+        rows != like.parameters()[i]->value.rows() ||
+        cols != like.parameters()[i]->value.cols()) {
+      return Status::IOError(
+          "trainer checkpoint: parameter snapshot shape mismatch at " +
+          std::to_string(i));
+    }
+    nn::Matrix m(rows, cols);
+    for (size_t k = 0; k < m.size(); ++k) {
+      if (!(is >> m.data()[k])) {
+        return Status::IOError(
+            "trainer checkpoint: truncated parameter snapshot at " +
+            std::to_string(i));
+      }
+    }
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+/// Restores a checkpoint written by Trainer::Train. Mutates `model`,
+/// `adam`, and `rng` in place; on error the run must be treated as failed
+/// (a partially-restored optimizer is not usable).
+Status LoadTrainerCheckpoint(std::istream& is, size_t expect_train_size,
+                             ZeroTuneModel* model, nn::Adam* adam,
+                             zerotune::Rng* rng, CheckpointState* out) {
+  std::string magic;
+  if (!(is >> magic) || magic != kCheckpointMagic) {
+    return Status::IOError("trainer checkpoint: bad magic (want '" +
+                           std::string(kCheckpointMagic) + "')");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "epochs_done"));
+  if (!(is >> out->epochs_done)) {
+    return Status::IOError("trainer checkpoint: missing epoch cursor");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "train_size"));
+  size_t train_size = 0;
+  if (!(is >> train_size) || train_size != expect_train_size) {
+    return Status::IOError(
+        "trainer checkpoint: train_size " + std::to_string(train_size) +
+        " does not match the dataset (" + std::to_string(expect_train_size) +
+        "); refusing to resume against different data");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "lr"));
+  if (!(is >> out->learning_rate)) {
+    return Status::IOError("trainer checkpoint: missing learning rate");
+  }
+  // best_val may be +infinity (no validation yet); "inf" does not
+  // round-trip through operator>>, so a finite flag precedes the value.
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "best_val"));
+  int finite = 0;
+  double best_val_value = 0.0;
+  if (!(is >> finite >> best_val_value)) {
+    return Status::IOError("trainer checkpoint: missing best_val");
+  }
+  out->best_val = finite != 0 ? best_val_value
+                              : std::numeric_limits<double>::infinity();
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "since_best"));
+  if (!(is >> out->since_best)) {
+    return Status::IOError("trainer checkpoint: missing since_best");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "nonfinite"));
+  if (!(is >> out->nonfinite_batches)) {
+    return Status::IOError("trainer checkpoint: missing nonfinite count");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "recovery"));
+  if (!(is >> out->recovery_attempts)) {
+    return Status::IOError("trainer checkpoint: missing recovery count");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "target_stats"));
+  if (!(is >> out->stats.latency_mean >> out->stats.latency_std >>
+        out->stats.throughput_mean >> out->stats.throughput_std)) {
+    return Status::IOError("trainer checkpoint: missing target stats");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "losses"));
+  size_t loss_count = 0;
+  if (!(is >> loss_count) || loss_count > out->epochs_done) {
+    return Status::IOError("trainer checkpoint: bad loss history");
+  }
+  out->losses.resize(loss_count);
+  for (double& l : out->losses) {
+    if (!(is >> l)) {
+      return Status::IOError("trainer checkpoint: truncated loss history");
+    }
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "order"));
+  size_t order_count = 0;
+  if (!(is >> order_count) || order_count != expect_train_size) {
+    return Status::IOError("trainer checkpoint: bad shuffle order length");
+  }
+  out->order.resize(order_count);
+  for (size_t& idx : out->order) {
+    if (!(is >> idx) || idx >= expect_train_size) {
+      return Status::IOError("trainer checkpoint: bad shuffle order entry");
+    }
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "rng"));
+  if (!(is >> rng->engine())) {
+    return Status::IOError("trainer checkpoint: bad RNG state");
+  }
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "adam"));
+  ZT_RETURN_IF_ERROR(adam->LoadState(is));
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "params"));
+  ZT_RETURN_IF_ERROR(model->mutable_params()->LoadFromStream(is));
+  ZT_RETURN_IF_ERROR(ExpectTag(is, "best_params"));
+  ZT_RETURN_IF_ERROR(ReadMatrixList(is, model->params(), &out->best_params));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status TrainOptions::Validate() const {
@@ -72,6 +233,13 @@ Status TrainOptions::Validate() const {
   if (!std::isfinite(lr_backoff) || lr_backoff <= 0.0 || lr_backoff > 1.0) {
     return Status::InvalidArgument(
         "lr_backoff must lie in (0, 1], got " + std::to_string(lr_backoff));
+  }
+  if (checkpoint_every_epochs == 0) {
+    return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
+  }
+  if (resume && checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "resume=true requires a checkpoint_path to resume from");
   }
   return Status::OK();
 }
@@ -106,7 +274,51 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
   }
   const auto t_start = std::chrono::steady_clock::now();
 
-  if (options_.fit_target_stats) {
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options_.learning_rate;
+  adam_opts.weight_decay = options_.weight_decay;
+  nn::Adam adam(model_->mutable_params(), adam_opts);
+
+  zerotune::Rng rng(options_.seed);
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainReport report;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<nn::Matrix> best_params;
+  size_t since_best = 0;
+  size_t start_epoch = 0;
+  bool resumed = false;
+
+  if (options_.resume && std::filesystem::exists(options_.checkpoint_path)) {
+    std::ifstream is(options_.checkpoint_path);
+    if (!is) {
+      return Status::IOError("cannot open checkpoint " +
+                             options_.checkpoint_path);
+    }
+    CheckpointState ckpt;
+    ZT_RETURN_IF_ERROR(LoadTrainerCheckpoint(is, train.size(), model_, &adam,
+                                             &rng, &ckpt)
+                           .Annotated("resuming from " +
+                                      options_.checkpoint_path));
+    model_->set_target_stats(ckpt.stats);
+    adam.options().learning_rate = ckpt.learning_rate;
+    best_val = ckpt.best_val;
+    best_params = std::move(ckpt.best_params);
+    since_best = ckpt.since_best;
+    order = std::move(ckpt.order);
+    start_epoch = ckpt.epochs_done;
+    report.resumed_from_epoch = ckpt.epochs_done;
+    report.epochs_run = ckpt.epochs_done;
+    report.epoch_train_losses = std::move(ckpt.losses);
+    report.nonfinite_batches = ckpt.nonfinite_batches;
+    report.recovery_attempts = ckpt.recovery_attempts;
+    resumed = true;
+    if (options_.verbose) {
+      Log::Info("resumed from ", options_.checkpoint_path, " at epoch ",
+                start_epoch, "/", options_.epochs);
+    }
+  } else if (options_.fit_target_stats) {
     model_->set_target_stats(FitTargetStats(train));
   }
 
@@ -127,19 +339,43 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
     val_targets.push_back(model_->EncodeTarget(q.latency_ms, q.throughput_tps));
   }
 
-  nn::Adam::Options adam_opts;
-  adam_opts.learning_rate = options_.learning_rate;
-  adam_opts.weight_decay = options_.weight_decay;
-  nn::Adam adam(model_->mutable_params(), adam_opts);
+  if (!resumed) best_params = SnapshotParams(model_->params());
 
-  zerotune::Rng rng(options_.seed);
-  std::vector<size_t> order(train.size());
-  std::iota(order.begin(), order.end(), 0);
-
-  TrainReport report;
-  double best_val = std::numeric_limits<double>::infinity();
-  std::vector<nn::Matrix> best_params = SnapshotParams(model_->params());
-  size_t since_best = 0;
+  // Checkpoint = everything the epoch loop mutates, written atomically so
+  // a crash mid-write leaves the previous checkpoint intact. `epochs_done`
+  // epochs are complete; a resumed run re-enters the loop there with
+  // identical shuffle, optimizer, and early-stopping state, so it replays
+  // the remaining epochs bit-identically.
+  auto write_checkpoint = [&](size_t epochs_done) -> Status {
+    return AtomicWriteStream(
+        options_.checkpoint_path, [&](std::ostream& os) -> Status {
+          os.precision(17);
+          os << kCheckpointMagic << "\n";
+          os << "epochs_done " << epochs_done << "\n";
+          os << "train_size " << train.size() << "\n";
+          os << "lr " << adam.options().learning_rate << "\n";
+          const bool finite = std::isfinite(best_val);
+          os << "best_val " << (finite ? 1 : 0) << " "
+             << (finite ? best_val : 0.0) << "\n";
+          os << "since_best " << since_best << "\n";
+          os << "nonfinite " << report.nonfinite_batches << "\n";
+          os << "recovery " << report.recovery_attempts << "\n";
+          const TargetStats& ts = model_->target_stats();
+          os << "target_stats " << ts.latency_mean << " " << ts.latency_std
+             << " " << ts.throughput_mean << " " << ts.throughput_std << "\n";
+          os << "losses " << report.epoch_train_losses.size();
+          for (const double l : report.epoch_train_losses) os << " " << l;
+          os << "\norder " << order.size();
+          for (const size_t idx : order) os << " " << idx;
+          os << "\nrng " << rng.engine() << "\n";
+          os << "adam\n";
+          ZT_RETURN_IF_ERROR(adam.SaveState(os));
+          os << "params\n";
+          ZT_RETURN_IF_ERROR(model_->params().SaveToStream(os));
+          os << "best_params ";
+          return WriteMatrixList(os, best_params);
+        });
+  };
 
   const size_t num_threads =
       options_.pool != nullptr ? options_.pool->num_threads() : 1;
@@ -166,8 +402,13 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
     return true;
   };
 
-  bool stop_training = false;
-  for (size_t epoch = 0; epoch < options_.epochs && !stop_training; ++epoch) {
+  // The restored checkpoint may already satisfy early stopping (the
+  // uninterrupted run stopped at exactly that epoch); running further
+  // would diverge from it.
+  bool stop_training = options_.patience > 0 && !val_graphs.empty() &&
+                       since_best >= options_.patience;
+  for (size_t epoch = start_epoch; epoch < options_.epochs && !stop_training;
+       ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss_sum = 0.0;
     size_t epoch_count = 0;
@@ -248,11 +489,21 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
       since_best = 0;
     } else {
       ++since_best;
-      if (options_.patience > 0 && !val_graphs.empty() &&
-          since_best >= options_.patience) {
-        break;
-      }
     }
+    const bool early_stop = options_.patience > 0 && !val_graphs.empty() &&
+                            since_best >= options_.patience;
+    if (!options_.checkpoint_path.empty() &&
+        (epoch + 1) % options_.checkpoint_every_epochs == 0) {
+      // A failed checkpoint write fails the run: silently training on with
+      // crash safety gone would defeat the point. The previous checkpoint
+      // (if any) is still intact, so the run remains resumable.
+      ZT_RETURN_IF_ERROR(
+          write_checkpoint(epoch + 1)
+              .Annotated("writing trainer checkpoint to " +
+                         options_.checkpoint_path));
+      ++report.checkpoints_written;
+    }
+    if (early_stop) break;
   }
 
   RestoreParams(model_->mutable_params(), best_params);

@@ -1,6 +1,7 @@
 #ifndef ZEROTUNE_CORE_TRAINER_H_
 #define ZEROTUNE_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "common/statistics.h"
@@ -35,6 +36,17 @@ struct TrainOptions {
   /// this many times before training stops (best parameters kept).
   size_t max_recovery_attempts = 3;
   double lr_backoff = 0.5;
+  /// Crash safety: when non-empty, a checkpoint (model weights, optimizer
+  /// moments, epoch cursor, RNG/shuffle state, early-stopping bookkeeping)
+  /// is written atomically to this path every `checkpoint_every_epochs`
+  /// epochs. Format: docs/serving.md ("zerotune-trainer-ckpt-v1").
+  std::string checkpoint_path;
+  size_t checkpoint_every_epochs = 1;
+  /// Resume from `checkpoint_path` if the file exists (missing file starts
+  /// fresh, so a crash-restart loop just always passes resume=true). A
+  /// resumed run replays the remaining epochs bit-identically to the
+  /// uninterrupted run with the same options.
+  bool resume = false;
 
   /// Rejects zero epoch/batch counts, non-positive or non-finite learning
   /// rates, negative decay/clipping, and backoff factors outside (0, 1].
@@ -58,6 +70,10 @@ struct TrainReport {
   /// Learning rate in effect when training finished (smaller than
   /// TrainOptions::learning_rate iff recoveries backed it off).
   double final_learning_rate = 0.0;
+  /// Number of completed epochs restored from a checkpoint (0 = fresh run).
+  size_t resumed_from_epoch = 0;
+  /// Checkpoints written during this run.
+  size_t checkpoints_written = 0;
 };
 
 /// Per-metric q-error evaluation of a model on a dataset.

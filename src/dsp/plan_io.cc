@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/file_util.h"
 #include "dsp/plan_text.h"
 
 namespace zerotune::dsp {
@@ -329,9 +330,9 @@ Result<ParallelQueryPlan> PlanIO::ReadParallelPlan(std::istream& is) {
 }
 
 Status PlanIO::SaveQueryPlan(const QueryPlan& plan, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot open " + path);
-  return WriteQueryPlan(plan, f);
+  return AtomicWriteStream(path, [&plan](std::ostream& f) -> Status {
+    return WriteQueryPlan(plan, f);
+  });
 }
 
 Result<QueryPlan> PlanIO::LoadQueryPlan(const std::string& path) {
@@ -342,9 +343,9 @@ Result<QueryPlan> PlanIO::LoadQueryPlan(const std::string& path) {
 
 Status PlanIO::SaveParallelPlan(const ParallelQueryPlan& plan,
                                 const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot open " + path);
-  return WriteParallelPlan(plan, f);
+  return AtomicWriteStream(path, [&plan](std::ostream& f) -> Status {
+    return WriteParallelPlan(plan, f);
+  });
 }
 
 Result<ParallelQueryPlan> PlanIO::LoadParallelPlan(const std::string& path) {

@@ -1,8 +1,10 @@
 #ifndef ZEROTUNE_NN_OPTIMIZER_H_
 #define ZEROTUNE_NN_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/autograd.h"
 
 namespace zerotune::nn {
@@ -27,6 +29,14 @@ class Adam {
 
   /// Resets moment estimates (used when fine-tuning restarts).
   void Reset();
+
+  /// Serializes the moment estimates and step counter (not the options —
+  /// those belong to whoever constructed the optimizer) at full double
+  /// precision, so Save + Load resumes training bit-identically.
+  Status SaveState(std::ostream& os) const;
+  /// Restores state written by SaveState. Moment shapes must match the
+  /// attached ParameterStore; on any error the optimizer is untouched.
+  Status LoadState(std::istream& is);
 
   Options& options() { return options_; }
 

@@ -1,0 +1,82 @@
+#include "serve/chaos_predictor.h"
+
+#include <cmath>
+
+namespace zerotune::serve {
+
+Status ChaosPredictor::Options::Validate() const {
+  if (!(fail_rate >= 0.0 && fail_rate <= 1.0)) {
+    return Status::InvalidArgument("chaos fail_rate must lie in [0, 1]");
+  }
+  if (!(slow_rate >= 0.0 && slow_rate <= 1.0)) {
+    return Status::InvalidArgument("chaos slow_rate must lie in [0, 1]");
+  }
+  if (!std::isfinite(slow_ms) || slow_ms < 0.0) {
+    return Status::InvalidArgument(
+        "chaos slow_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(base_latency_ms) || base_latency_ms < 0.0) {
+    return Status::InvalidArgument(
+        "chaos base_latency_ms must be non-negative and finite");
+  }
+  return Status::OK();
+}
+
+ChaosPredictor::ChaosPredictor(const core::CostPredictor* inner,
+                               Options options, Clock* clock)
+    : inner_(inner),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      start_nanos_(clock_->NowNanos()),
+      rng_(options_.seed) {}
+
+std::string ChaosPredictor::name() const {
+  return "Chaos(" + inner_->name() + ")";
+}
+
+uint64_t ChaosPredictor::injected_failures() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return injected_failures_;
+}
+
+Result<core::CostPrediction> ChaosPredictor::Predict(
+    const dsp::ParallelQueryPlan& plan) const {
+  const double t_s =
+      static_cast<double>(clock_->NowNanos() - start_nanos_) / 1e9;
+  const sim::FaultInjector injector(options_.faults);
+
+  // Timeline faults: the predictor is "node 0 / operator 0 / instance 0"
+  // of the fault plan.
+  if (injector.NodeDown(0, t_s)) {
+    std::lock_guard<std::mutex> g(mu_);
+    ++injected_failures_;
+    return Status::Unavailable("injected node crash active at t=" +
+                               std::to_string(t_s) + "s");
+  }
+  const double service_factor = injector.ServiceTimeFactor(0, 0, 0, t_s);
+  double delay_ms = injector.ExtraNetworkDelayMs(t_s) +
+                    options_.base_latency_ms * service_factor;
+
+  // Stochastic chaos.
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (options_.fail_rate > 0.0 && rng_.Bernoulli(options_.fail_rate)) {
+      fail = true;
+      ++injected_failures_;
+    } else if (options_.slow_rate > 0.0 &&
+               rng_.Bernoulli(options_.slow_rate)) {
+      delay_ms += options_.slow_ms;
+    }
+  }
+  if (delay_ms > 0.0) {
+    clock_->SleepFor(static_cast<int64_t>(delay_ms * 1e6));
+  }
+  if (fail) {
+    return Status::Internal("injected transient failure at t=" +
+                            std::to_string(t_s) + "s");
+  }
+  return inner_->Predict(plan);
+}
+
+}  // namespace zerotune::serve

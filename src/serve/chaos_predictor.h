@@ -1,0 +1,79 @@
+#ifndef ZEROTUNE_SERVE_CHAOS_PREDICTOR_H_
+#define ZEROTUNE_SERVE_CHAOS_PREDICTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/cost_predictor.h"
+#include "sim/fault_injection.h"
+
+namespace zerotune::serve {
+
+/// The chaos -> serving adapter: a CostPredictor decorator that degrades
+/// an inner predictor the way PR 1's fault injection degrades a cluster.
+/// It drives two failure sources, composable with each other:
+///
+///  - stochastic chaos: each request independently fails with
+///    `fail_rate` probability and is slowed by `slow_ms` with `slow_rate`
+///    probability (the soak-test knob);
+///  - a sim::FaultPlan timeline, interpreted against the predictor as
+///    "node 0": an active kNodeCrash makes every request fail
+///    Unavailable, kNodeSlowdown/kInstanceStraggler stretch the injected
+///    service time, and kNetworkDelaySpike adds flat per-request latency.
+///    Timeline position is the injected Clock's elapsed seconds since
+///    construction, so a FakeClock steps through fault windows
+///    deterministically.
+///
+/// Wrapping a primary in ChaosPredictor and serving it through
+/// PredictionService is how the resilience layer is proven: the breaker
+/// must trip during a crash window and recover after it.
+class ChaosPredictor : public core::CostPredictor {
+ public:
+  struct Options {
+    /// Probability a request fails with an injected Internal error.
+    double fail_rate = 0.0;
+    /// Probability a request is artificially slowed.
+    double slow_rate = 0.0;
+    /// Injected extra latency (via Clock::SleepFor) when slowed.
+    double slow_ms = 0.0;
+    /// Baseline simulated inference time added to every request (lets a
+    /// stub predictor exercise latency-based breaker tripping).
+    double base_latency_ms = 0.0;
+    /// Timed degradation windows; node/op/instance 0 targets this
+    /// predictor. Empty = stochastic chaos only.
+    sim::FaultPlan faults;
+    uint64_t seed = 7;
+
+    Status Validate() const;
+  };
+
+  /// `inner` must outlive this adapter; null clock = system clock.
+  ChaosPredictor(const core::CostPredictor* inner, Options options,
+                 Clock* clock);
+
+  Result<core::CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override;
+
+  std::string name() const override;
+
+  /// Injected-failure count so far (for test assertions).
+  uint64_t injected_failures() const;
+
+ private:
+  const core::CostPredictor* inner_;
+  Options options_;
+  Clock* clock_;
+  int64_t start_nanos_;
+
+  mutable std::mutex mu_;  // guards rng_ and counters (Rng is not thread-safe)
+  mutable Rng rng_;
+  mutable uint64_t injected_failures_ = 0;
+};
+
+}  // namespace zerotune::serve
+
+#endif  // ZEROTUNE_SERVE_CHAOS_PREDICTOR_H_

@@ -1,0 +1,158 @@
+#include "serve/circuit_breaker.h"
+
+#include <cmath>
+
+namespace zerotune::serve {
+
+Status CircuitBreakerOptions::Validate() const {
+  if (window == 0) {
+    return Status::InvalidArgument("breaker window must be >= 1");
+  }
+  if (min_samples == 0 || min_samples > window) {
+    return Status::InvalidArgument(
+        "breaker min_samples must lie in [1, window], got " +
+        std::to_string(min_samples));
+  }
+  if (!(error_rate_to_trip > 0.0 && error_rate_to_trip <= 1.0)) {
+    return Status::InvalidArgument(
+        "breaker error_rate_to_trip must lie in (0, 1], got " +
+        std::to_string(error_rate_to_trip));
+  }
+  if (!std::isfinite(slow_call_ms) || slow_call_ms < 0.0) {
+    return Status::InvalidArgument(
+        "breaker slow_call_ms must be non-negative and finite (0 disables)");
+  }
+  if (!std::isfinite(open_duration_ms) || open_duration_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "breaker open_duration_ms must be positive and finite");
+  }
+  if (half_open_probes == 0) {
+    return Status::InvalidArgument("breaker half_open_probes must be >= 1");
+  }
+  return Status::OK();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+const char* CircuitBreaker::ToString(State s) {
+  switch (s) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::MaybeHalfOpenLocked() {
+  if (state_ != State::kOpen) return;
+  const double elapsed_ms =
+      static_cast<double>(clock_->NowNanos() - opened_at_nanos_) / 1e6;
+  if (elapsed_ms >= options_.open_duration_ms) {
+    state_ = State::kHalfOpen;
+    half_open_inflight_ = 0;
+    half_open_successes_ = 0;
+  }
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  opened_at_nanos_ = clock_->NowNanos();
+  ++trips_;
+  window_.clear();
+  window_failures_ = 0;
+  half_open_inflight_ = 0;
+  half_open_successes_ = 0;
+}
+
+void CircuitBreaker::PushOutcomeLocked(bool failure) {
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (window_.size() > options_.window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (window_.size() >= options_.min_samples) {
+    const double rate = static_cast<double>(window_failures_) /
+                        static_cast<double>(window_.size());
+    if (rate >= options_.error_rate_to_trip) TripLocked();
+  }
+}
+
+bool CircuitBreaker::AllowPrimary() {
+  std::lock_guard<std::mutex> g(mu_);
+  MaybeHalfOpenLocked();
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (half_open_inflight_ < options_.half_open_probes) {
+        ++half_open_inflight_;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double latency_ms) {
+  std::lock_guard<std::mutex> g(mu_);
+  const bool slow =
+      options_.slow_call_ms > 0.0 && latency_ms > options_.slow_call_ms;
+  switch (state_) {
+    case State::kClosed:
+      PushOutcomeLocked(/*failure=*/slow);
+      break;
+    case State::kHalfOpen:
+      if (half_open_inflight_ > 0) --half_open_inflight_;
+      if (slow) {
+        TripLocked();  // a slow probe is not a recovery signal
+        break;
+      }
+      ++half_open_successes_;
+      if (half_open_successes_ >= options_.half_open_probes) {
+        state_ = State::kClosed;
+        window_.clear();
+        window_failures_ = 0;
+        ++recoveries_;
+      }
+      break;
+    case State::kOpen:
+      break;  // a straggling result from before the trip; ignore
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> g(mu_);
+  switch (state_) {
+    case State::kClosed:
+      PushOutcomeLocked(/*failure=*/true);
+      break;
+    case State::kHalfOpen:
+      TripLocked();  // one failing probe re-opens immediately
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() {
+  std::lock_guard<std::mutex> g(mu_);
+  MaybeHalfOpenLocked();
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::recoveries() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return recoveries_;
+}
+
+}  // namespace zerotune::serve

@@ -1,0 +1,98 @@
+#ifndef ZEROTUNE_SERVE_CIRCUIT_BREAKER_H_
+#define ZEROTUNE_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace zerotune::serve {
+
+/// Configuration of a rolling-window circuit breaker.
+struct CircuitBreakerOptions {
+  /// Number of recent primary outcomes tracked (the rolling window).
+  size_t window = 32;
+  /// Minimum outcomes in the window before the error rate is evaluated;
+  /// prevents one early failure from tripping an idle service.
+  size_t min_samples = 8;
+  /// Failure fraction in the window at or above which the breaker trips.
+  double error_rate_to_trip = 0.5;
+  /// A success slower than this counts as a failure in the window
+  /// (latency-based tripping); 0 disables the latency criterion.
+  double slow_call_ms = 0.0;
+  /// Time the breaker stays open before allowing half-open probes.
+  double open_duration_ms = 1000.0;
+  /// Consecutive successful probes required in half-open to close.
+  size_t half_open_probes = 3;
+
+  /// Rejects zero windows, thresholds outside (0, 1], negative times.
+  Status Validate() const;
+};
+
+/// Classic three-state circuit breaker (Closed -> Open -> HalfOpen)
+/// protecting the primary cost predictor:
+///
+///  - Closed: every call goes to the primary; outcomes feed a rolling
+///    window. When >= error_rate_to_trip of the last `window` calls failed
+///    (or were slower than slow_call_ms), the breaker trips Open.
+///  - Open: AllowPrimary() refuses (callers serve the fallback) until
+///    open_duration_ms has elapsed on the injected Clock, then HalfOpen.
+///  - HalfOpen: up to half_open_probes in-flight probes may hit the
+///    primary. `half_open_probes` consecutive successes close the breaker
+///    (a recovery); any failure re-trips it Open immediately.
+///
+/// All timing flows through the injected Clock, so tests drive the
+/// open->half-open transition with a FakeClock instead of sleeping.
+/// Thread-safe; all methods may be called concurrently.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker(CircuitBreakerOptions options, Clock* clock);
+
+  /// True when the caller may send this request to the primary. In
+  /// HalfOpen this hands out at most half_open_probes concurrent probe
+  /// slots; a caller that was granted a slot MUST report the outcome via
+  /// RecordSuccess/RecordFailure (the slot is released there).
+  bool AllowPrimary();
+
+  /// Reports a primary call that returned a result in `latency_ms`.
+  void RecordSuccess(double latency_ms);
+  /// Reports a failed primary call.
+  void RecordFailure();
+
+  /// Current state (evaluates the open -> half-open timer).
+  State state();
+
+  /// Times the breaker moved Closed/HalfOpen -> Open.
+  uint64_t trips() const;
+  /// Times the breaker closed again after successful half-open probing.
+  uint64_t recoveries() const;
+
+  static const char* ToString(State s);
+
+ private:
+  void MaybeHalfOpenLocked();
+  void TripLocked();
+  void PushOutcomeLocked(bool failure);
+
+  CircuitBreakerOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::deque<bool> window_;  // true = failure (error or slow call)
+  size_t window_failures_ = 0;
+  int64_t opened_at_nanos_ = 0;
+  size_t half_open_inflight_ = 0;
+  size_t half_open_successes_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t recoveries_ = 0;
+};
+
+}  // namespace zerotune::serve
+
+#endif  // ZEROTUNE_SERVE_CIRCUIT_BREAKER_H_

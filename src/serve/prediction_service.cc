@@ -1,0 +1,359 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/plan_analyzer.h"
+
+namespace zerotune::serve {
+
+namespace {
+
+bool DeadlineReached(Clock* clock, int64_t deadline_nanos) {
+  return deadline_nanos != kNoDeadlineNanos &&
+         clock->NowNanos() >= deadline_nanos;
+}
+
+}  // namespace
+
+Status ServeOptions::Validate() const {
+  if (max_inflight == 0) {
+    return Status::InvalidArgument("serve max_inflight must be >= 1");
+  }
+  if (max_attempts == 0) {
+    return Status::InvalidArgument("serve max_attempts must be >= 1");
+  }
+  if (!std::isfinite(default_deadline_ms) || default_deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "serve default_deadline_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(backoff_base_ms) || backoff_base_ms < 0.0) {
+    return Status::InvalidArgument(
+        "serve backoff_base_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(backoff_max_ms) || backoff_max_ms < backoff_base_ms) {
+    return Status::InvalidArgument(
+        "serve backoff_max_ms must be finite and >= backoff_base_ms");
+  }
+  if (!std::isfinite(backoff_jitter) || backoff_jitter < 0.0) {
+    return Status::InvalidArgument(
+        "serve backoff_jitter must be non-negative and finite");
+  }
+  return breaker.Validate();
+}
+
+std::string ServiceStats::ToText() const {
+  std::ostringstream os;
+  os << "requests: received " << received << ", admitted " << admitted
+     << ", completed " << completed << " (" << degraded << " degraded)\n"
+     << "shed: queue-full " << shed_queue_full << ", lint " << shed_lint
+     << "; deadline-expired " << deadline_expired << "; failed " << failed
+     << "\n"
+     << "primary: failures " << primary_failures << ", retries " << retries
+     << "; fallback failures " << fallback_failures << "\n"
+     << "breaker: " << CircuitBreaker::ToString(breaker_state) << ", trips "
+     << breaker_trips << ", recoveries " << breaker_recoveries << "\n"
+     << "latency_ms: " << latency_ms.Summary() << "\n";
+  return os.str();
+}
+
+std::string ServiceStats::ToJson() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"received\": " << received << ", \"admitted\": " << admitted
+     << ", \"completed\": " << completed << ", \"degraded\": " << degraded
+     << ", \"shed_queue_full\": " << shed_queue_full
+     << ", \"shed_lint\": " << shed_lint
+     << ", \"deadline_expired\": " << deadline_expired
+     << ", \"failed\": " << failed << ", \"retries\": " << retries
+     << ", \"primary_failures\": " << primary_failures
+     << ", \"fallback_failures\": " << fallback_failures
+     << ", \"breaker_state\": \"" << CircuitBreaker::ToString(breaker_state)
+     << "\", \"breaker_trips\": " << breaker_trips
+     << ", \"breaker_recoveries\": " << breaker_recoveries
+     << ", \"latency_ms\": {\"count\": " << latency_ms.count();
+  if (latency_ms.count() > 0) {
+    os << ", \"mean\": " << latency_ms.Mean()
+       << ", \"p50\": " << latency_ms.Percentile(50)
+       << ", \"p95\": " << latency_ms.Percentile(95)
+       << ", \"p99\": " << latency_ms.Percentile(99)
+       << ", \"max\": " << latency_ms.max();
+  }
+  os << "}}";
+  return os.str();
+}
+
+struct PredictionService::Request {
+  const dsp::ParallelQueryPlan* plan = nullptr;
+  int64_t deadline_nanos = kNoDeadlineNanos;
+  int64_t admitted_nanos = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;    // a worker has claimed it
+  bool cancelled = false;  // deadline expired while still queued
+  bool done = false;
+  Result<ServedPrediction> result{Status::Internal("pending")};
+};
+
+PredictionService::PredictionService(const core::CostPredictor* primary,
+                                     const core::CostPredictor* fallback,
+                                     ServeOptions options, ThreadPool* pool,
+                                     Clock* clock)
+    : primary_(primary),
+      fallback_(fallback),
+      options_(options),
+      options_status_(options.Validate()),
+      pool_(pool),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      breaker_(options.breaker, clock_),
+      rng_(options.seed) {}
+
+PredictionService::~PredictionService() {
+  // Queue-cancelled requests leave their drain task pending on the pool;
+  // those tasks touch `this`, so they must finish before we go away.
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+Result<ServedPrediction> PredictionService::Predict(
+    const dsp::ParallelQueryPlan& plan) {
+  return Predict(plan, options_.default_deadline_ms);
+}
+
+Result<ServedPrediction> PredictionService::Predict(
+    const dsp::ParallelQueryPlan& plan, double deadline_ms) {
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.received;
+  }
+  ZT_RETURN_IF_ERROR(options_status_);
+
+  // Static-analysis gate: a plan the analyzer rejects would only waste
+  // inference budget (or crash the featurizer), so it is shed up front
+  // with the ZT-Pxxx codes in the status message.
+  if (options_.lint_admission) {
+    const Status lint = analysis::PlanAnalyzer::Check(plan);
+    if (!lint.ok()) {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.shed_lint;
+      return lint.Annotated("shed at admission");
+    }
+  }
+
+  // Bounded admission: beyond max_inflight the request is shed, not
+  // queued — the caller gets explicit backpressure it can react to.
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    if (inflight_ >= options_.max_inflight) {
+      std::lock_guard<std::mutex> s(stats_mu_);
+      ++stats_.shed_queue_full;
+      return Status::ResourceExhausted(
+          "service at capacity (" + std::to_string(options_.max_inflight) +
+          " in flight); request shed");
+    }
+    ++inflight_;
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.admitted;
+  }
+
+  auto request = std::make_shared<Request>();
+  request->plan = &plan;
+  request->admitted_nanos = clock_->NowNanos();
+  request->deadline_nanos =
+      deadline_ms > 0.0
+          ? request->admitted_nanos + static_cast<int64_t>(deadline_ms * 1e6)
+          : kNoDeadlineNanos;
+
+  if (pool_ == nullptr) {
+    // Inline mode: execute in the caller thread. Deterministic — the mode
+    // FakeClock tests use.
+    Execute(request.get());
+    std::lock_guard<std::mutex> g(queue_mu_);
+    --inflight_;
+    return request->result;
+  }
+
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    queue_.push_back(request);
+  }
+  pool_->Submit([this] { DrainOne(); });
+
+  std::unique_lock<std::mutex> lock(request->mu);
+  clock_->WaitUntil(lock, request->cv, request->deadline_nanos,
+                    [&] { return request->done; });
+  if (!request->done) {
+    if (!request->started) {
+      // Deadline passed while still queued: cancel. The worker that
+      // eventually pops it discards it without running (and records the
+      // deadline_expired disposition), so the expired request consumes no
+      // inference budget.
+      request->cancelled = true;
+      return Status::DeadlineExceeded(
+          "deadline (" + std::to_string(deadline_ms) +
+          " ms) expired while queued; request cancelled unexecuted");
+    }
+    // A worker is executing it: attempts are never preempted mid-predict,
+    // so wait for the (attempt-bounded) completion and return its result —
+    // the executor's own budget checks decide whether that is a value or
+    // DeadlineExceeded.
+    request->cv.wait(lock, [&] { return request->done; });
+  }
+  return request->result;
+}
+
+void PredictionService::DrainOne() {
+  std::shared_ptr<Request> request;
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    if (queue_.empty()) return;  // defensive; one task per enqueue
+    request = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> g(request->mu);
+    cancelled = request->cancelled;
+    if (!cancelled) request->started = true;
+  }
+  if (cancelled) {
+    {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.deadline_expired;
+    }
+  } else {
+    Execute(request.get());
+  }
+  std::lock_guard<std::mutex> g(queue_mu_);
+  --inflight_;
+}
+
+void PredictionService::Execute(Request* request) {
+  Result<ServedPrediction> result = ExecuteAttempts(
+      *request->plan, request->deadline_nanos, request->admitted_nanos);
+  FinishRequest(result);
+  {
+    std::lock_guard<std::mutex> g(request->mu);
+    request->result = std::move(result);
+    request->done = true;
+  }
+  request->cv.notify_all();
+}
+
+void PredictionService::FinishRequest(const Result<ServedPrediction>& result) {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  if (result.ok()) {
+    ++stats_.completed;
+    if (result.value().degraded) ++stats_.degraded;
+    stats_.latency_ms.Record(std::max(result.value().total_ms, 1e-6));
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_expired;
+  } else {
+    ++stats_.failed;
+  }
+}
+
+void PredictionService::SleepBackoff(size_t attempt, int64_t deadline_nanos) {
+  double ms = std::min(
+      options_.backoff_max_ms,
+      options_.backoff_base_ms *
+          std::pow(2.0, static_cast<double>(attempt - 1)));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ms *= rng_.Uniform(1.0, 1.0 + options_.backoff_jitter);
+  }
+  if (deadline_nanos != kNoDeadlineNanos) {
+    // Never sleep past the budget; the loop's deadline check fires next.
+    const double remaining_ms =
+        static_cast<double>(deadline_nanos - clock_->NowNanos()) / 1e6;
+    ms = std::min(ms, std::max(remaining_ms, 0.0));
+  }
+  if (ms > 0.0) clock_->SleepFor(static_cast<int64_t>(ms * 1e6));
+}
+
+Result<ServedPrediction> PredictionService::ExecuteAttempts(
+    const dsp::ParallelQueryPlan& plan, int64_t deadline_nanos,
+    int64_t admitted_nanos) {
+  size_t attempts = 0;
+  Status last_error = Status::OK();
+
+  while (attempts < options_.max_attempts) {
+    if (DeadlineReached(clock_, deadline_nanos)) {
+      return Status::DeadlineExceeded(
+          "prediction budget exhausted after " + std::to_string(attempts) +
+          " primary attempt(s)");
+    }
+    if (!breaker_.AllowPrimary()) break;  // circuit open: degrade
+    ++attempts;
+    const int64_t t0 = clock_->NowNanos();
+    const Result<core::CostPrediction> r = primary_->Predict(plan);
+    const double attempt_ms = clock_->MillisSince(t0);
+    if (r.ok()) {
+      breaker_.RecordSuccess(attempt_ms);
+      ServedPrediction served;
+      served.cost = r.value();
+      served.attempts = attempts;
+      served.total_ms = clock_->MillisSince(admitted_nanos);
+      return served;
+    }
+    breaker_.RecordFailure();
+    last_error = r.status();
+    {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.primary_failures;
+    }
+    if (attempts < options_.max_attempts &&
+        !DeadlineReached(clock_, deadline_nanos)) {
+      {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        ++stats_.retries;
+      }
+      SleepBackoff(attempts, deadline_nanos);
+    }
+  }
+
+  // Degraded mode: circuit open or every attempt failed. The fallback is
+  // cheap and local, so it runs even with the deadline near — a degraded
+  // answer beats none.
+  const std::string primary_desc =
+      attempts == 0 ? "circuit open"
+                    : "failed " + std::to_string(attempts) + " attempt(s), " +
+                          "last: " + last_error.ToString();
+  if (fallback_ != nullptr) {
+    const Result<core::CostPrediction> fb = fallback_->Predict(plan);
+    if (fb.ok()) {
+      ServedPrediction served;
+      served.cost = fb.value();
+      served.degraded = true;
+      served.attempts = attempts;
+      served.total_ms = clock_->MillisSince(admitted_nanos);
+      return served;
+    }
+    {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.fallback_failures;
+    }
+    return Status::Unavailable("primary " + primary_desc +
+                               "; fallback failed: " +
+                               fb.status().ToString());
+  }
+  return Status::Unavailable("primary " + primary_desc +
+                             "; no fallback configured");
+}
+
+ServiceStats PredictionService::Snapshot() const {
+  ServiceStats snap;
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    snap = stats_;
+  }
+  snap.breaker_trips = breaker_.trips();
+  snap.breaker_recoveries = breaker_.recoveries();
+  snap.breaker_state = const_cast<CircuitBreaker&>(breaker_).state();
+  return snap;
+}
+
+}  // namespace zerotune::serve

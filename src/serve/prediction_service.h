@@ -1,0 +1,185 @@
+#ifndef ZEROTUNE_SERVE_PREDICTION_SERVICE_H_
+#define ZEROTUNE_SERVE_PREDICTION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/cost_predictor.h"
+#include "serve/circuit_breaker.h"
+
+namespace zerotune::serve {
+
+/// Serving-layer configuration. Every knob has a production-sane default;
+/// Validate() is checked at service construction and every Predict() call
+/// fails fast with the construction error if the options were bad.
+struct ServeOptions {
+  /// Bound on requests inside the service (queued + executing). Admission
+  /// beyond this sheds the request with ResourceExhausted instead of
+  /// queueing unboundedly — explicit backpressure to the caller.
+  size_t max_inflight = 64;
+  /// Deadline budget applied when the caller passes none (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Primary attempts per request (>= 1); attempts after the first are
+  /// retries with exponential backoff.
+  size_t max_attempts = 3;
+  /// Backoff before retry k (1-based) is
+  ///   min(backoff_max_ms, backoff_base_ms * 2^(k-1)) * U(1, 1+jitter)
+  /// with U drawn from the service Rng.
+  double backoff_base_ms = 1.0;
+  double backoff_max_ms = 50.0;
+  double backoff_jitter = 0.5;
+  /// Run every admitted plan through analysis::PlanAnalyzer and shed
+  /// requests whose plan has error-severity findings (the ZT-Pxxx code
+  /// lands in the rejection status).
+  bool lint_admission = true;
+  CircuitBreakerOptions breaker;
+  /// Seed of the jitter Rng.
+  uint64_t seed = 17;
+
+  Status Validate() const;
+};
+
+/// A served prediction plus serving metadata.
+struct ServedPrediction {
+  core::CostPrediction cost;
+  /// True when the answer came from the fallback predictor (primary
+  /// failed all attempts or its circuit is open).
+  bool degraded = false;
+  /// Primary attempts actually made (0 when the breaker short-circuited
+  /// straight to the fallback).
+  size_t attempts = 0;
+  /// Admission-to-completion time on the service clock.
+  double total_ms = 0.0;
+};
+
+/// Monotonic counter snapshot of the service. Every admitted request ends
+/// in exactly one of {completed, deadline_expired, failed}, so
+///   admitted == completed + deadline_expired + failed
+/// holds at quiescence, and received == admitted + shed_queue_full +
+/// shed_lint always. `completed` includes degraded answers.
+struct ServiceStats {
+  uint64_t received = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_lint = 0;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t primary_failures = 0;
+  uint64_t fallback_failures = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_recoveries = 0;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  /// End-to-end latency of completed requests, ms.
+  Histogram latency_ms;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Production-grade resilience wrapper around any CostPredictor: the
+/// tuning stack keeps getting answers while the primary model is slow,
+/// flaky, or down.
+///
+///   - bounded admission with load shedding (ResourceExhausted),
+///   - optional static-analysis gate at admission (InvalidArgument
+///     carrying the ZT-Pxxx diagnostics),
+///   - per-request deadline budgets via a cancellable work queue
+///     (DeadlineExceeded; a request whose deadline passes while still
+///     queued is cancelled without ever running),
+///   - retry with exponential backoff + jitter on transient primary
+///     failures,
+///   - a circuit breaker that degrades to a cheap fallback predictor
+///     (answers tagged degraded=true) and recovers via half-open probes.
+///
+/// Threading: with a ThreadPool, Predict() enqueues the request on a
+/// bounded queue drained by pool workers and blocks the caller until
+/// completion or deadline; any number of caller threads may call
+/// Predict() concurrently. Without a pool, requests execute inline in the
+/// caller thread (deterministic; the mode FakeClock tests use). The
+/// deadline is enforced at attempt boundaries — an individual predictor
+/// call is never preempted mid-inference, so one in-flight attempt may
+/// overrun its budget but can never hang the service permanently.
+class PredictionService {
+ public:
+  /// `primary` is required; `fallback` may be null (no degraded mode —
+  /// exhausted attempts surface the primary error). Null `pool` executes
+  /// inline; null `clock` uses the system clock. All pointers are
+  /// borrowed and must outlive the service.
+  PredictionService(const core::CostPredictor* primary,
+                    const core::CostPredictor* fallback, ServeOptions options,
+                    ThreadPool* pool, Clock* clock);
+
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Serves one prediction under the default deadline.
+  Result<ServedPrediction> Predict(const dsp::ParallelQueryPlan& plan);
+
+  /// Serves one prediction with an explicit deadline budget (ms; <= 0
+  /// means no deadline). The plan reference must stay valid until the
+  /// call returns.
+  Result<ServedPrediction> Predict(const dsp::ParallelQueryPlan& plan,
+                                   double deadline_ms);
+
+  /// Point-in-time copy of the counters (safe to call concurrently with
+  /// traffic; counters are monotonic between snapshots).
+  ServiceStats Snapshot() const;
+
+  /// Requests currently inside the service (queued + executing); never
+  /// exceeds ServeOptions::max_inflight.
+  size_t inflight() const {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    return inflight_;
+  }
+
+  CircuitBreaker::State breaker_state() { return breaker_.state(); }
+
+ private:
+  struct Request;
+
+  /// Pool task: pops and executes (or discards, if cancelled) one queued
+  /// request.
+  void DrainOne();
+  /// Runs the retry/breaker/fallback pipeline for one request and stores
+  /// its result; records the request's disposition in the stats.
+  void Execute(Request* request);
+  Result<ServedPrediction> ExecuteAttempts(
+      const dsp::ParallelQueryPlan& plan, int64_t deadline_nanos,
+      int64_t admitted_nanos);
+  void SleepBackoff(size_t attempt, int64_t deadline_nanos);
+  void FinishRequest(const Result<ServedPrediction>& result);
+
+  const core::CostPredictor* primary_;
+  const core::CostPredictor* fallback_;
+  ServeOptions options_;
+  Status options_status_;
+  ThreadPool* pool_;
+  Clock* clock_;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex queue_mu_;
+  std::deque<std::shared_ptr<Request>> queue_;
+  size_t inflight_ = 0;  // queued + executing, bounded by max_inflight
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  Rng rng_;  // backoff jitter; guarded by stats_mu_
+};
+
+}  // namespace zerotune::serve
+
+#endif  // ZEROTUNE_SERVE_PREDICTION_SERVICE_H_

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "dsp/plan_io.h"
 
 namespace zerotune::workload {
@@ -58,18 +59,20 @@ Result<QueryStructure> QueryStructureFromString(const std::string& name) {
 }
 
 Status DatasetIO::Save(const Dataset& dataset, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot open " + path);
-  f.precision(17);
-  f << kMagic << " " << dataset.size() << "\n";
-  for (const LabeledQuery& q : dataset.samples()) {
-    f << "sample structure=" << ToString(q.structure)
-      << " latency_ms=" << q.latency_ms
-      << " throughput_tps=" << q.throughput_tps << "\n";
-    ZT_RETURN_IF_ERROR(dsp::PlanIO::WriteParallelPlan(q.plan, f));
-    f << "end\n";
-  }
-  return f ? Status::OK() : Status::IOError("dataset write failed");
+  // Atomic: datasets take minutes to label; a crashed save must leave any
+  // previous file intact.
+  return AtomicWriteStream(path, [&dataset](std::ostream& f) -> Status {
+    f.precision(17);
+    f << kMagic << " " << dataset.size() << "\n";
+    for (const LabeledQuery& q : dataset.samples()) {
+      f << "sample structure=" << ToString(q.structure)
+        << " latency_ms=" << q.latency_ms
+        << " throughput_tps=" << q.throughput_tps << "\n";
+      ZT_RETURN_IF_ERROR(dsp::PlanIO::WriteParallelPlan(q.plan, f));
+      f << "end\n";
+    }
+    return Status::OK();
+  });
 }
 
 Result<Dataset> DatasetIO::Load(const std::string& path) {

@@ -1,0 +1,195 @@
+// Tests for the rolling-window circuit breaker (serve/circuit_breaker.h),
+// driven entirely on a FakeClock: trip on error rate, open -> half-open
+// after the cooldown, probe accounting, re-trip on failing or slow
+// probes, and recovery back to closed.
+#include "serve/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace zerotune::serve {
+namespace {
+
+CircuitBreakerOptions SmallBreaker() {
+  CircuitBreakerOptions o;
+  o.window = 8;
+  o.min_samples = 4;
+  o.error_rate_to_trip = 0.5;
+  o.open_duration_ms = 100.0;
+  o.half_open_probes = 2;
+  return o;
+}
+
+TEST(CircuitBreakerOptionsTest, ValidatesRanges) {
+  EXPECT_TRUE(CircuitBreakerOptions().Validate().ok());
+  CircuitBreakerOptions o;
+  o.window = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.min_samples = o.window + 1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.error_rate_to_trip = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.error_rate_to_trip = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.open_duration_ms = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.half_open_probes = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = CircuitBreakerOptions();
+  o.slow_call_ms = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowErrorRate) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  // 1 failure in every 4 outcomes: rate 0.25 < 0.5.
+  for (int round = 0; round < 4; ++round) {
+    breaker.RecordFailure();
+    breaker.RecordSuccess(1.0);
+    breaker.RecordSuccess(1.0);
+    breaker.RecordSuccess(1.0);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_TRUE(breaker.AllowPrimary());
+}
+
+TEST(CircuitBreakerTest, NoTripBeforeMinSamples) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  // 3 straight failures (rate 1.0) but below min_samples=4: stays closed.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // 4th sample crosses min_samples -> trips
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, OpenRefusesPrimaryUntilCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowPrimary());
+  clock.AdvanceMillis(99.0);
+  EXPECT_FALSE(breaker.AllowPrimary());
+  clock.AdvanceMillis(2.0);  // past open_duration_ms=100
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowPrimary());
+}
+
+TEST(CircuitBreakerTest, HalfOpenBoundsConcurrentProbes) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(101.0);
+  // half_open_probes=2 slots; the third concurrent request is refused.
+  EXPECT_TRUE(breaker.AllowPrimary());
+  EXPECT_TRUE(breaker.AllowPrimary());
+  EXPECT_FALSE(breaker.AllowPrimary());
+  // Reporting an outcome frees a slot.
+  breaker.RecordSuccess(1.0);
+  EXPECT_TRUE(breaker.AllowPrimary());
+}
+
+TEST(CircuitBreakerTest, SuccessfulProbesCloseAndCountRecovery) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(101.0);
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.RecordSuccess(1.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.RecordSuccess(1.0);  // 2nd consecutive success -> closed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.recoveries(), 1u);
+  EXPECT_TRUE(breaker.AllowPrimary());
+}
+
+TEST(CircuitBreakerTest, FailingProbeReopensImmediately) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(101.0);
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_EQ(breaker.recoveries(), 0u);
+  EXPECT_FALSE(breaker.AllowPrimary());
+  // The cooldown restarts from the re-trip.
+  clock.AdvanceMillis(101.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, SlowCallsCountAsFailures) {
+  FakeClock clock;
+  CircuitBreakerOptions o = SmallBreaker();
+  o.slow_call_ms = 10.0;
+  CircuitBreaker breaker(o, &clock);
+  // Successful but slow answers trip the latency criterion.
+  for (int i = 0; i < 4; ++i) breaker.RecordSuccess(50.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, SlowProbeIsNotARecoverySignal) {
+  FakeClock clock;
+  CircuitBreakerOptions o = SmallBreaker();
+  o.slow_call_ms = 10.0;
+  CircuitBreaker breaker(o, &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(101.0);
+  ASSERT_TRUE(breaker.AllowPrimary());
+  breaker.RecordSuccess(500.0);  // "works", but far too slow
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.recoveries(), 0u);
+}
+
+TEST(CircuitBreakerTest, WindowEvictsOldOutcomes) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  // One early failure, then 8 successes push it out of the window=8; the
+  // failure rate never reaches 0.5, so the breaker stays closed — and a
+  // fresh burst of failures must still be able to trip it.
+  breaker.RecordFailure();
+  for (int i = 0; i < 8; ++i) breaker.RecordSuccess(1.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, StragglerOutcomesWhileOpenAreIgnored) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Results from calls issued before the trip arrive late; they must not
+  // perturb the open state or the probe accounting.
+  breaker.RecordSuccess(1.0);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, ToStringNamesAllStates) {
+  EXPECT_STREQ(CircuitBreaker::ToString(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::ToString(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::ToString(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace zerotune::serve

@@ -337,6 +337,104 @@ TEST(CliLintTest, UsageAndIOErrorsExitTwo) {
   std::remove(plan.c_str());
 }
 
+TEST_F(CliWorkflowTest, ServeSimReplaysTraceAndReportsStats) {
+  const std::string plan = TempPath("serve.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Oracle-primary replay under 20% chaos: every request must be
+  // answered and the counter report printed.
+  r = RunCli("serve-sim --plan " + plan +
+             " --requests 200 --threads 2 --fail-rate 0.2 --seed 9");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("replayed 200 request(s)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("received 200"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("breaker:"), std::string::npos) << r.output;
+
+  // JSON stats snapshot; single attempt at 90% failure must trip the
+  // breaker yet still answer every request via the fallback.
+  r = RunCli("serve-sim --plan " + plan +
+             " --requests 100 --threads 0 --fail-rate 0.9 --attempts 1"
+             " --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"received\": 100"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"breaker_state\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"degraded\""), std::string::npos) << r.output;
+
+  // A trained model can serve as the primary.
+  r = RunCli("serve-sim --plan " + plan + " --model " + TempPath("model.txt") +
+             " --requests 50 --threads 0 --fail-rate 0");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  // The plan flag is mandatory.
+  EXPECT_NE(RunCli("serve-sim").exit_code, 0);
+
+  std::remove(plan.c_str());
+}
+
+TEST_F(CliWorkflowTest, DeadlineBudgetsExitThreeWithPartialJson) {
+  const std::string plan = TempPath("deadline.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // A hopeless budget: partial JSON + exit code 3 on every command.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan +
+             " --deadline-ms 0.0000001 --format json");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("\"deadline_exceeded\": true"), std::string::npos)
+      << r.output;
+
+  r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+             TempPath("q.plan") + " --cluster m510:3 --out " +
+             TempPath("dl_tuned.plan") + " --deadline-ms 0.0000001"
+             " --format json");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("\"deadline_exceeded\": true"), std::string::npos)
+      << r.output;
+
+  r = RunCli("recover --model " + TempPath("model.txt") + " --plan " + plan +
+             " --failed-node 1 --deadline-ms 0.0000001 --format json");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("\"deadline_exceeded\": true"), std::string::npos)
+      << r.output;
+
+  // A generous budget completes normally.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan +
+             " --deadline-ms 60000 --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"latency_ms\""), std::string::npos) << r.output;
+
+  std::remove(plan.c_str());
+  std::remove(TempPath("dl_tuned.plan").c_str());
+}
+
+TEST_F(CliWorkflowTest, TrainCheckpointsAndResumes) {
+  const std::string ckpt = TempPath("cli.ckpt");
+  const std::string model = TempPath("cli_resume_model.txt");
+  auto r = RunCli("train --corpus " + TempPath("corpus.txt") +
+                  " --model-out " + model + " --epochs 2 --hidden 8" +
+                  " --checkpoint " + ckpt);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("wrote 2 checkpoint(s)"), std::string::npos)
+      << r.output;
+
+  r = RunCli("train --corpus " + TempPath("corpus.txt") + " --model-out " +
+             model + " --epochs 4 --hidden 8 --checkpoint " + ckpt +
+             " --resume");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("resumed from checkpoint at epoch 2"),
+            std::string::npos)
+      << r.output;
+
+  std::remove(ckpt.c_str());
+  std::remove(model.c_str());
+}
+
 TEST_F(CliWorkflowTest, CollectRandomStrategy) {
   const std::string out = TempPath("rand_corpus.txt");
   const auto r =

@@ -20,6 +20,28 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad degree");
 }
 
+TEST(StatusTest, ServingCodesCarryCodeAndName) {
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
+
+  const Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: queue full");
+
+  const Status down = Status::Unavailable("primary down");
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.ToString(), "Unavailable: primary down");
+}
+
+TEST(StatusTest, AnnotatedPrependsContextAndKeepsCode) {
+  const Status s =
+      Status::DeadlineExceeded("expired").Annotated("serving request");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("serving request"), std::string::npos);
+  EXPECT_NE(s.message().find("expired"), std::string::npos);
+}
+
 TEST(StatusTest, EqualityComparesCodesOnly) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
   EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));

@@ -1,0 +1,309 @@
+// Tests for crash-safe training: periodic trainer checkpoints, Adam state
+// serialization, and the headline property that a run killed mid-way and
+// resumed from its checkpoint reproduces the uninterrupted run's final
+// weights bit-identically.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.h"
+#include "core/enumeration.h"
+#include "core/trainer.h"
+#include "nn/optimizer.h"
+
+namespace zerotune::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/zt_ckpt_" + name;
+}
+
+workload::Dataset SmallCorpus(size_t n, uint64_t seed = 11) {
+  OptiSampleEnumerator enumerator;
+  DatasetBuilderOptions opts;
+  opts.count = n;
+  opts.seed = seed;
+  return BuildDataset(enumerator, opts).value();
+}
+
+class TrainerCheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new workload::Dataset(SmallCorpus(64));
+    Rng rng(5);
+    train_ = new workload::Dataset();
+    val_ = new workload::Dataset();
+    test_ = new workload::Dataset();
+    ASSERT_TRUE(corpus_->Split(0.8, 0.1, &rng, train_, val_, test_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete train_;
+    delete val_;
+    delete test_;
+  }
+
+  static ModelConfig SmallConfig() {
+    ModelConfig cfg;
+    cfg.hidden_dim = 12;
+    cfg.seed = 3;
+    return cfg;
+  }
+
+  static TrainOptions BaseOptions() {
+    TrainOptions opts;
+    opts.epochs = 6;
+    opts.batch_size = 8;
+    return opts;
+  }
+
+  static void ExpectBitIdenticalParams(const ZeroTuneModel& a,
+                                       const ZeroTuneModel& b) {
+    const auto& pa = a.params().parameters();
+    const auto& pb = b.params().parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+      const nn::Matrix& ma = pa[i]->value;
+      const nn::Matrix& mb = pb[i]->value;
+      ASSERT_EQ(ma.rows(), mb.rows());
+      ASSERT_EQ(ma.cols(), mb.cols());
+      for (size_t k = 0; k < ma.size(); ++k) {
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(ma.data()[k], mb.data()[k])
+            << "parameter " << i << " element " << k;
+      }
+    }
+  }
+
+  static workload::Dataset* corpus_;
+  static workload::Dataset* train_;
+  static workload::Dataset* val_;
+  static workload::Dataset* test_;
+};
+
+workload::Dataset* TrainerCheckpointTest::corpus_ = nullptr;
+workload::Dataset* TrainerCheckpointTest::train_ = nullptr;
+workload::Dataset* TrainerCheckpointTest::val_ = nullptr;
+workload::Dataset* TrainerCheckpointTest::test_ = nullptr;
+
+TEST_F(TrainerCheckpointTest, ResumedRunMatchesUninterruptedBitIdentically) {
+  const std::string ckpt = TempPath("resume.ckpt");
+  std::filesystem::remove(ckpt);
+
+  // Reference: one uninterrupted 6-epoch run.
+  ZeroTuneModel uninterrupted(SmallConfig());
+  TrainOptions ref_opts = BaseOptions();
+  const auto ref_report =
+      Trainer(&uninterrupted, ref_opts).Train(*train_, *val_);
+  ZT_CHECK_OK(ref_report.status());
+  ASSERT_EQ(ref_report.value().epochs_run, 6u);
+
+  // "Crashed" run: same configuration, killed after 3 epochs, leaving its
+  // checkpoint behind.
+  ZeroTuneModel crashed(SmallConfig());
+  TrainOptions crash_opts = BaseOptions();
+  crash_opts.epochs = 3;
+  crash_opts.checkpoint_path = ckpt;
+  const auto crash_report = Trainer(&crashed, crash_opts).Train(*train_, *val_);
+  ZT_CHECK_OK(crash_report.status());
+  EXPECT_EQ(crash_report.value().checkpoints_written, 3u);
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  // Resume in a fresh process image (a fresh model object) and run the
+  // remaining epochs.
+  ZeroTuneModel resumed(SmallConfig());
+  TrainOptions resume_opts = BaseOptions();
+  resume_opts.checkpoint_path = ckpt;
+  resume_opts.resume = true;
+  const auto resume_report =
+      Trainer(&resumed, resume_opts).Train(*train_, *val_);
+  ZT_CHECK_OK(resume_report.status());
+  EXPECT_EQ(resume_report.value().resumed_from_epoch, 3u);
+  EXPECT_EQ(resume_report.value().epochs_run, 6u);
+
+  // The resumed run replayed epochs 4-6 exactly: same per-epoch losses,
+  // same final weights down to the last bit.
+  ASSERT_EQ(resume_report.value().epoch_train_losses.size(),
+            ref_report.value().epoch_train_losses.size());
+  for (size_t e = 0; e < ref_report.value().epoch_train_losses.size(); ++e) {
+    EXPECT_EQ(resume_report.value().epoch_train_losses[e],
+              ref_report.value().epoch_train_losses[e])
+        << "epoch " << e;
+  }
+  ExpectBitIdenticalParams(uninterrupted, resumed);
+  const TargetStats& a = uninterrupted.target_stats();
+  const TargetStats& b = resumed.target_stats();
+  EXPECT_EQ(a.latency_mean, b.latency_mean);
+  EXPECT_EQ(a.latency_std, b.latency_std);
+  EXPECT_EQ(a.throughput_mean, b.throughput_mean);
+  EXPECT_EQ(a.throughput_std, b.throughput_std);
+}
+
+TEST_F(TrainerCheckpointTest, CheckpointEveryNWritesOnMultiplesOnly) {
+  const std::string ckpt = TempPath("every2.ckpt");
+  std::filesystem::remove(ckpt);
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.epochs = 5;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every_epochs = 2;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ZT_CHECK_OK(report.status());
+  // Epochs 2 and 4 checkpoint; 1, 3, 5 do not.
+  EXPECT_EQ(report.value().checkpoints_written, 2u);
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+}
+
+TEST_F(TrainerCheckpointTest, ResumeRefusesMismatchedDataset) {
+  const std::string ckpt = TempPath("mismatch.ckpt");
+  std::filesystem::remove(ckpt);
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.epochs = 2;
+  opts.checkpoint_path = ckpt;
+  ZT_CHECK_OK(Trainer(&model, opts).Train(*train_, *val_).status());
+
+  // Resuming against a differently-sized training set must be refused —
+  // epoch cursors and shuffle orders would silently misalign.
+  ZeroTuneModel other(SmallConfig());
+  TrainOptions resume_opts = BaseOptions();
+  resume_opts.checkpoint_path = ckpt;
+  resume_opts.resume = true;
+  const auto r = Trainer(&other, resume_opts).Train(*val_, *test_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("train_size"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(TrainerCheckpointTest, CorruptCheckpointIsRejected) {
+  const std::string ckpt = TempPath("corrupt.ckpt");
+  {
+    std::ofstream os(ckpt);
+    os << "not-a-checkpoint 42\n";
+  }
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.checkpoint_path = ckpt;
+  opts.resume = true;
+  const auto r = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("bad magic"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(TrainerCheckpointTest, TruncatedCheckpointIsRejected) {
+  const std::string full = TempPath("full.ckpt");
+  std::filesystem::remove(full);
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.epochs = 2;
+  opts.checkpoint_path = full;
+  ZT_CHECK_OK(Trainer(&model, opts).Train(*train_, *val_).status());
+
+  // Chop the checkpoint in half; the tag-checked parser must reject it
+  // rather than resume from garbage.
+  std::ostringstream buf;
+  {
+    std::ifstream is(full);
+    buf << is.rdbuf();
+  }
+  const std::string half = buf.str().substr(0, buf.str().size() / 2);
+  const std::string truncated = TempPath("truncated.ckpt");
+  {
+    std::ofstream os(truncated);
+    os << half;
+  }
+  ZeroTuneModel other(SmallConfig());
+  TrainOptions resume_opts = BaseOptions();
+  resume_opts.checkpoint_path = truncated;
+  resume_opts.resume = true;
+  EXPECT_FALSE(Trainer(&other, resume_opts).Train(*train_, *val_).ok());
+}
+
+TEST_F(TrainerCheckpointTest, MissingCheckpointFileStartsFresh) {
+  const std::string ckpt = TempPath("never_written.ckpt");
+  std::filesystem::remove(ckpt);
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.epochs = 2;
+  opts.checkpoint_path = ckpt;
+  opts.resume = true;  // nothing to resume from -> normal fresh run
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ZT_CHECK_OK(report.status());
+  EXPECT_EQ(report.value().resumed_from_epoch, 0u);
+  EXPECT_EQ(report.value().epochs_run, 2u);
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+}
+
+TEST_F(TrainerCheckpointTest, ResumeRequiresCheckpointPath) {
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.resume = true;  // but no checkpoint_path
+  const auto r = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TrainerCheckpointTest, UnwritableCheckpointPathFailsTheRun) {
+  ZeroTuneModel model(SmallConfig());
+  TrainOptions opts = BaseOptions();
+  opts.epochs = 2;
+  opts.checkpoint_path = TempPath("no_such_dir") + "/sub/ckpt.txt";
+  const auto r = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checkpoint"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(AdamStateTest, RoundTripsThroughSaveAndLoad) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.seed = 7;
+  ZeroTuneModel model_a(cfg);
+  ZeroTuneModel model_b(cfg);
+  nn::Adam adam_a(model_a.mutable_params());
+  nn::Adam adam_b(model_b.mutable_params());
+
+  std::stringstream saved;
+  ZT_CHECK_OK(adam_a.SaveState(saved));
+  ZT_CHECK_OK(adam_b.LoadState(saved));
+
+  std::stringstream again_a, again_b;
+  ZT_CHECK_OK(adam_a.SaveState(again_a));
+  ZT_CHECK_OK(adam_b.SaveState(again_b));
+  EXPECT_EQ(again_a.str(), again_b.str());
+}
+
+TEST(AdamStateTest, RejectsBadMagic) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 8;
+  ZeroTuneModel model(cfg);
+  nn::Adam adam(model.mutable_params());
+  std::stringstream is("zerotune-sgd-v1 0 0\n");
+  const Status s = adam.LoadState(is);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(AdamStateTest, RejectsMismatchedParameterShapes) {
+  ModelConfig small_cfg;
+  small_cfg.hidden_dim = 8;
+  ModelConfig big_cfg;
+  big_cfg.hidden_dim = 16;
+  ZeroTuneModel small(small_cfg);
+  ZeroTuneModel big(big_cfg);
+  nn::Adam adam_small(small.mutable_params());
+  nn::Adam adam_big(big.mutable_params());
+
+  std::stringstream saved;
+  ZT_CHECK_OK(adam_small.SaveState(saved));
+  EXPECT_FALSE(adam_big.LoadState(saved).ok());
+}
+
+}  // namespace
+}  // namespace zerotune::core
