@@ -6,15 +6,52 @@
 
 namespace zerotune {
 
+namespace {
+
+Status ValidateLayout(double min_value, double max_value,
+                      size_t buckets_per_decade) {
+  if (!std::isfinite(min_value) || min_value <= 0.0) {
+    return Status::InvalidArgument(
+        "histogram min_value must be positive and finite, got " +
+        std::to_string(min_value));
+  }
+  if (!std::isfinite(max_value) || max_value <= min_value) {
+    return Status::InvalidArgument(
+        "histogram max_value must be finite and > min_value, got " +
+        std::to_string(max_value));
+  }
+  if (buckets_per_decade == 0) {
+    return Status::InvalidArgument(
+        "histogram buckets_per_decade must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Histogram::Histogram(double min_value, double max_value,
-                     size_t buckets_per_decade)
-    : min_value_(min_value), max_value_(max_value) {
+                     size_t buckets_per_decade) {
+  // Repair invalid inputs instead of computing a NaN layout (log10 of a
+  // non-positive min poisons every later Record/Percentile call).
+  if (!std::isfinite(min_value) || min_value <= 0.0) min_value = 1e-3;
+  if (!std::isfinite(max_value) || max_value <= min_value) {
+    max_value = min_value * 1e9;
+  }
+  if (buckets_per_decade == 0) buckets_per_decade = 20;
+  min_value_ = min_value;
+  max_value_ = max_value;
   log_min_ = std::log10(min_value_);
   bucket_width_ = 1.0 / static_cast<double>(buckets_per_decade);
   const double decades = std::log10(max_value_) - log_min_;
   const size_t n =
       static_cast<size_t>(std::ceil(decades / bucket_width_)) + 1;
   buckets_.assign(n, 0);
+}
+
+Result<Histogram> Histogram::Create(double min_value, double max_value,
+                                    size_t buckets_per_decade) {
+  ZT_RETURN_IF_ERROR(ValidateLayout(min_value, max_value, buckets_per_decade));
+  return Histogram(min_value, max_value, buckets_per_decade);
 }
 
 size_t Histogram::BucketFor(double value) const {
@@ -42,10 +79,20 @@ void Histogram::Record(double value) {
   sum_ += value;
 }
 
-void Histogram::Merge(const Histogram& other) {
-  if (other.count_ == 0) return;
-  // Layout must match; a mismatch is a programming error.
-  if (buckets_.size() != other.buckets_.size()) return;
+bool Histogram::SameLayout(const Histogram& other) const {
+  return buckets_.size() == other.buckets_.size() &&
+         log_min_ == other.log_min_ && bucket_width_ == other.bucket_width_;
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (!SameLayout(other)) {
+    return Status::InvalidArgument(
+        "histogram bucket layouts differ (" + std::to_string(buckets_.size()) +
+        " buckets from " + std::to_string(min_value_) + " vs " +
+        std::to_string(other.buckets_.size()) + " buckets from " +
+        std::to_string(other.min_value_) + "); refusing to merge");
+  }
+  if (other.count_ == 0) return Status::OK();
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -58,6 +105,7 @@ void Histogram::Merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  return Status::OK();
 }
 
 double Histogram::min() const { return count_ == 0 ? 0.0 : observed_min_; }
@@ -71,12 +119,26 @@ double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   const double target = p / 100.0 * static_cast<double>(count_);
+  // The extreme quantiles are tracked exactly; returning a bucket edge
+  // here would leak the layout's min_value as a bogus p0.
+  if (target <= 0.0) return observed_min_;
+  if (target >= static_cast<double>(count_)) return observed_max_;
   uint64_t cumulative = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    cumulative += buckets_[i];
-    if (static_cast<double>(cumulative) >= target) {
-      return std::min(BucketUpperEdge(i), observed_max_);
+    if (buckets_[i] == 0) continue;  // a rank never lands in an empty bucket
+    const uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Log-interpolate within the bucket by the fraction of its samples
+      // below the target rank, then clamp to the observed range so small
+      // p can never undershoot the true minimum (nor large p overshoot
+      // the true maximum).
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets_[i]);
+      const double v = std::pow(
+          10.0, log_min_ + bucket_width_ * (static_cast<double>(i) + frac));
+      return std::clamp(v, observed_min_, observed_max_);
     }
+    cumulative = next;
   }
   return observed_max_;
 }

@@ -6,31 +6,52 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace zerotune {
 
 /// Log-bucketed histogram for latency-style positive measurements,
 /// HdrHistogram-flavored: buckets grow geometrically so the structure
 /// covers nanoseconds to minutes with bounded relative error and O(1)
-/// recording. Used by the discrete-event simulator to report full latency
-/// distributions without storing every sample.
+/// recording. Used by the discrete-event simulator and the metrics
+/// registry to report full latency distributions without storing every
+/// sample.
 class Histogram {
  public:
   /// `min_value`/`max_value` bound the tracked range (values are clamped);
   /// `buckets_per_decade` controls resolution (relative error ≈
-  /// 10^(1/buckets)−1).
+  /// 10^(1/buckets)−1). Invalid inputs (non-positive or non-finite
+  /// `min_value`, `max_value <= min_value`, zero buckets) are sanitized to
+  /// the nearest valid configuration — a histogram never holds a NaN
+  /// layout. Use Create() to reject bad inputs instead of repairing them.
   Histogram(double min_value = 1e-3, double max_value = 1e6,
             size_t buckets_per_decade = 20);
 
+  /// Strict factory: returns InvalidArgument for inputs the constructor
+  /// would silently repair.
+  static Result<Histogram> Create(double min_value, double max_value,
+                                  size_t buckets_per_decade);
+
   void Record(double value);
-  /// Merges another histogram with identical bucket layout.
-  void Merge(const Histogram& other);
+
+  /// Merges another histogram into this one. Fails with InvalidArgument
+  /// (and leaves this histogram untouched) when the bucket layouts differ;
+  /// callers that construct both sides from the same configuration may
+  /// ZT_CHECK_OK the result.
+  Status Merge(const Histogram& other);
+
+  /// True when `other` was built with the same bucket layout, i.e. Merge
+  /// would succeed.
+  bool SameLayout(const Histogram& other) const;
 
   size_t count() const { return count_; }
   double min() const;
   double max() const;
   double Mean() const;
-  /// p in [0, 100]; returns the upper edge of the bucket holding the
-  /// quantile (within one bucket of the exact order statistic).
+  /// p in [0, 100]. p=0 returns the observed minimum and p=100 the
+  /// observed maximum exactly; intermediate quantiles are log-interpolated
+  /// within the bucket holding the target rank and clamped to the observed
+  /// [min, max] range (within one bucket of the exact order statistic).
   double Percentile(double p) const;
 
   /// Compact textual summary: count/mean/p50/p95/p99/max.

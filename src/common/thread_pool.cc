@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace zerotune {
 
@@ -35,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,9 +57,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must neither unwind into the worker thread (which
+    // would std::terminate the process) nor skip the in_flight_ decrement
+    // (which would wedge Wait() forever). Capture the first exception for
+    // Wait() to rethrow and keep the bookkeeping exact either way.
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = std::move(thrown);
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

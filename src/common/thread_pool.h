@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,7 +28,10 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished. A task that threw is
+  /// still counted as finished — the worker catches the exception instead
+  /// of letting it reach std::terminate — and the first captured exception
+  /// is rethrown here (then cleared, so the pool stays usable).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -42,10 +46,13 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;  // guarded by mu_; rethrown by Wait()
 };
 
 /// Runs fn(i) for i in [0, n) distributed over the pool in contiguous
-/// chunks, blocking until done. With a null pool, runs inline.
+/// chunks, blocking until done. With a null pool, runs inline. In either
+/// mode an exception thrown by fn propagates to the caller (the pooled
+/// path rethrows the first one from ThreadPool::Wait).
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +13,8 @@
 #include "core/plan_graph.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zerotune::core {
 
@@ -197,6 +200,12 @@ void ScoreChunk(const ZeroTuneModel& model,
   const size_t n_ops = shape.num_operators();
   const size_t B = end - begin;
 
+  // optional<> so the span can end exactly where message passing hands
+  // off to the readout below.
+  std::optional<obs::Span> mp_span;
+  mp_span.emplace("batch_inference/message_passing");
+  mp_span->AddArg("candidates", std::to_string(B));
+
   // Stage 1: bottom-up data-flow pass, one row-batched flow_update call
   // per operator across the chunk's candidates.
   std::vector<Matrix> state(n_ops);
@@ -296,6 +305,10 @@ void ScoreChunk(const ZeroTuneModel& model,
     final_state[static_cast<size_t>(id)].Add(upd);
   }
 
+  mp_span.reset();
+  obs::Span readout_span("batch_inference/readout");
+  readout_span.AddArg("candidates", std::to_string(B));
+
   // Readout at the sink, decoded row by row.
   Matrix readout = blocks.readout->ForwardValue(
       std::move(final_state[static_cast<size_t>(shape.sink_index)]));
@@ -317,6 +330,14 @@ Result<std::vector<CostPrediction>> BatchedPredict(
   std::vector<CostPrediction> out(n);
   if (n == 0) return out;
 
+  obs::Span batch_span("batch_inference/predict");
+  batch_span.AddArg("plans", std::to_string(n));
+  auto* metrics = obs::MetricsRegistry::Global();
+  metrics->GetCounter("batch_inference.batches_total")->Increment();
+  metrics->GetCounter("batch_inference.plans_total")->Increment(n);
+  metrics->GetHistogram("batch_inference.batch_size", {}, 1.0, 1e6)
+      ->Record(static_cast<double>(n));
+
   // Validation stays sequential so the reported failing index is the
   // first bad plan, matching the per-plan fallback path.
   for (size_t i = 0; i < n; ++i) {
@@ -335,9 +356,12 @@ Result<std::vector<CostPrediction>> BatchedPredict(
   // and is independent per plan — shard it over the pool.
   std::vector<PlanGraph> graphs(n);
   const FeatureConfig& features = model.config().features;
-  ParallelFor(pool, n, [&](size_t i) {
-    graphs[i] = BuildPlanGraph(*plans[i], features);
-  });
+  {
+    obs::Span span("batch_inference/featurize");
+    ParallelFor(pool, n, [&](size_t i) {
+      graphs[i] = BuildPlanGraph(*plans[i], features);
+    });
+  }
 
   // Intern encoder inputs across the whole batch and encode each unique
   // row exactly once, in two row-batched MLP calls.
@@ -382,6 +406,7 @@ Result<std::vector<CostPrediction>> BatchedPredict(
   std::vector<size_t> canonical(n);
   std::vector<size_t> reps;
   {
+    obs::Span span("batch_inference/dedup");
     std::map<PlanSig, size_t> seen;
     std::vector<EdgeSig> edges;
     for (size_t i = 0; i < n; ++i) {
@@ -421,6 +446,13 @@ Result<std::vector<CostPrediction>> BatchedPredict(
       g.res_state = ComputeResourceState(blocks, res_encoded, g.res_row_ids, h);
     }
   }
+
+  metrics->GetCounter("batch_inference.unique_plans_total")
+      ->Increment(reps.size());
+  metrics->GetCounter("batch_inference.dedup_hits_total")
+      ->Increment(n - reps.size());
+  batch_span.AddArg("unique_plans", std::to_string(reps.size()));
+  batch_span.AddArg("structure_groups", std::to_string(groups.size()));
 
   if (stats) {
     stats->plans = n;

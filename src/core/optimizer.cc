@@ -6,6 +6,8 @@
 
 #include "analysis/plan_analyzer.h"
 #include "core/enumeration.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zerotune::core {
 
@@ -75,6 +77,10 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
   ZT_RETURN_IF_ERROR(options_status_);
   ZT_RETURN_IF_ERROR(logical.Validate());
+  obs::Span tune_span("optimizer/tune");
+  tune_span.AddArg("operators", std::to_string(logical.num_operators()));
+  auto* metrics = obs::MetricsRegistry::Global();
+  metrics->GetCounter("optimizer.tunings_total")->Increment();
   const auto budget_expired = [this] {
     return options_.deadline != nullptr && options_.deadline->Expired();
   };
@@ -184,7 +190,11 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   }
 
   // All enumeration phases score as one batch.
-  ZT_RETURN_IF_ERROR(evaluate_batch(pending));
+  {
+    obs::Span span("optimizer/enumerate");
+    span.AddArg("candidates", std::to_string(pending.size()));
+    ZT_RETURN_IF_ERROR(evaluate_batch(pending));
+  }
 
   if (evaluated.empty()) {
     return Status::Internal("no parallelism candidate could be evaluated");
@@ -223,6 +233,10 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       }
     }
     if (neighbors.empty()) break;
+    obs::Span round_span("optimizer/hill_climb_round");
+    round_span.AddArg("round", std::to_string(round + 1));
+    round_span.AddArg("neighbors", std::to_string(neighbors.size()));
+    metrics->GetCounter("optimizer.hill_climb_rounds_total")->Increment();
     const size_t first_new = evaluated.size();
     ZT_RETURN_IF_ERROR(evaluate_batch(neighbors));
     bool improved = false;
@@ -234,6 +248,7 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
         improved = true;
       }
     }
+    round_span.AddArg("improved", improved ? "true" : "false");
     if (!improved) break;
   }
 
@@ -247,6 +262,13 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   ZT_RETURN_IF_ERROR(final_plan.PlaceRoundRobin());
   ZT_ASSIGN_OR_RETURN(const CostPrediction best_pred,
                       predictor_->Predict(final_plan));
+
+  metrics->GetCounter("optimizer.candidates_scored_total")
+      ->Increment(evaluated.size());
+  metrics->GetCounter("optimizer.candidates_rejected_total")
+      ->Increment(rejected);
+  tune_span.AddArg("candidates_evaluated", std::to_string(evaluated.size()));
+  tune_span.AddArg("candidates_rejected", std::to_string(rejected));
 
   TuningResult result(std::move(final_plan));
   result.predicted = best_pred;

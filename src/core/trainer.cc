@@ -11,6 +11,8 @@
 
 #include "common/file_util.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zerotune::core {
 
@@ -273,6 +275,19 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
     }
   }
   const auto t_start = std::chrono::steady_clock::now();
+  obs::Span train_span("trainer/train");
+  train_span.AddArg("train_size", std::to_string(train.size()));
+  auto* metrics = obs::MetricsRegistry::Global();
+  obs::Counter* epochs_total = metrics->GetCounter("trainer.epochs_total");
+  obs::Counter* nonfinite_total =
+      metrics->GetCounter("trainer.nonfinite_batches_total");
+  obs::Counter* checkpoints_total =
+      metrics->GetCounter("trainer.checkpoints_total");
+  obs::Gauge* train_loss_gauge = metrics->GetGauge("trainer.train_loss");
+  obs::Gauge* val_loss_gauge = metrics->GetGauge("trainer.val_loss");
+  obs::Gauge* grad_norm_gauge = metrics->GetGauge("trainer.grad_norm");
+  obs::HistogramMetric* epoch_seconds =
+      metrics->GetHistogram("trainer.epoch_seconds", {}, 1e-4, 1e5);
 
   nn::Adam::Options adam_opts;
   adam_opts.learning_rate = options_.learning_rate;
@@ -409,6 +424,9 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
                        since_best >= options_.patience;
   for (size_t epoch = start_epoch; epoch < options_.epochs && !stop_training;
        ++epoch) {
+    obs::Span epoch_span("trainer/epoch");
+    epoch_span.AddArg("epoch", std::to_string(epoch + 1));
+    const auto t_epoch = std::chrono::steady_clock::now();
     rng.Shuffle(&order);
     double epoch_loss_sum = 0.0;
     size_t epoch_count = 0;
@@ -454,10 +472,11 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
 
       total.Scale(1.0 / static_cast<double>(batch));
       if (options_.grad_clip_norm > 0.0) {
-        total.ClipGlobalNorm(options_.grad_clip_norm);
+        grad_norm_gauge->Set(total.ClipGlobalNorm(options_.grad_clip_norm));
       }
       if (!std::isfinite(batch_loss) || !total.AllFinite()) {
         ++report.nonfinite_batches;
+        nonfinite_total->Increment();
         if (!recover()) {
           stop_training = true;
           break;
@@ -474,11 +493,19 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
         epoch_loss_sum / static_cast<double>(std::max<size_t>(1, epoch_count));
     report.epoch_train_losses.push_back(train_loss);
     report.epochs_run = epoch + 1;
+    epochs_total->Increment();
+    train_loss_gauge->Set(train_loss);
 
     double val_loss = train_loss;
     if (!val_graphs.empty()) {
       val_loss = EpochLoss(val_graphs, val_targets);
     }
+    val_loss_gauge->Set(val_loss);
+    epoch_seconds->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_epoch)
+            .count());
+    epoch_span.AddArg("train_loss", std::to_string(train_loss));
     if (options_.verbose) {
       Log::Info("epoch ", epoch + 1, "/", options_.epochs, " train_loss=",
                 train_loss, " val_loss=", val_loss);
@@ -497,11 +524,13 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
       // A failed checkpoint write fails the run: silently training on with
       // crash safety gone would defeat the point. The previous checkpoint
       // (if any) is still intact, so the run remains resumable.
+      obs::Span ckpt_span("trainer/checkpoint_write");
       ZT_RETURN_IF_ERROR(
           write_checkpoint(epoch + 1)
               .Annotated("writing trainer checkpoint to " +
                          options_.checkpoint_path));
       ++report.checkpoints_written;
+      checkpoints_total->Increment();
     }
     if (early_stop) break;
   }

@@ -1,0 +1,167 @@
+#ifndef ZEROTUNE_OBS_METRICS_H_
+#define ZEROTUNE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace zerotune::obs {
+
+/// key=value pairs identifying one time series of a metric (e.g. the
+/// serving instance a latency histogram belongs to). Order-insensitive:
+/// the registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Shards hot-path metric writes across cache lines so concurrent
+/// increments from pool workers and caller threads do not serialize on
+/// one atomic (counters) or one mutex (histograms).
+inline constexpr size_t kMetricShards = 16;
+
+/// Monotonically increasing event count. Increment() is wait-free (one
+/// relaxed atomic add on a per-thread shard); Value() sums the shards, so
+/// a read taken after another read can never be smaller — the snapshot
+/// monotonicity guarantee ToText/ToJson inherit.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1);
+  uint64_t Value() const;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-written point-in-time value (loss of the current epoch, queue
+/// depth, ...). Set/Add/Value are atomic; Add is a CAS loop.
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<uint64_t> bits_{0};  // bit pattern of a double (init 0.0)
+};
+
+/// Log-scale distribution metric. Record() locks one of kMetricShards
+/// shard mutexes (picked per thread), so concurrent recorders rarely
+/// contend; Snapshot() merges the shards into one Histogram copy.
+class HistogramMetric {
+ public:
+  void Record(double value);
+  /// Point-in-time merged copy, safe to call concurrently with Record.
+  Histogram Snapshot() const;
+  uint64_t count() const;
+
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(double min_value, double max_value,
+                  size_t buckets_per_decade);
+
+  struct Shard {
+    mutable std::mutex mu;
+    Histogram histogram;
+
+    explicit Shard(const Histogram& layout) : histogram(layout) {}
+  };
+  double min_value_;
+  double max_value_;
+  size_t buckets_per_decade_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Process-wide registry of named metrics. Get*() interns a (name, labels)
+/// series on first use and returns a stable handle — hold the handle on
+/// hot paths; the registry mutex is only taken at registration and
+/// snapshot time, never per increment. Counter, gauge, and histogram
+/// names live in separate namespaces.
+///
+/// Snapshot guarantees: each counter value read by ToText/ToJson/
+/// CounterValue is at least as large as any value an earlier snapshot
+/// reported for the same series (counters only ever increment, and reads
+/// sum the shards), and the set of series only grows.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance every built-in instrumentation site uses.
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// The histogram layout is fixed by the first registration of a series;
+  /// later Get calls for the same series return the existing handle and
+  /// ignore the layout arguments.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const Labels& labels = {},
+                                double min_value = 1e-3,
+                                double max_value = 1e6,
+                                size_t buckets_per_decade = 20);
+
+  /// Introspection by series; nullopt when the series was never
+  /// registered. Used by tests to reconcile component-local stats against
+  /// the registry.
+  std::optional<uint64_t> CounterValue(const std::string& name,
+                                       const Labels& labels = {}) const;
+  std::optional<double> GaugeValue(const std::string& name,
+                                   const Labels& labels = {}) const;
+  std::optional<Histogram> HistogramSnapshot(const std::string& name,
+                                             const Labels& labels = {}) const;
+
+  /// One line per series, `name{k=v,...} value` (histograms render their
+  /// Summary()), sorted by name then labels.
+  std::string ToText() const;
+  /// {"counters": [...], "gauges": [...], "histograms": [...]} — each
+  /// entry {"name", "labels", and the series' value / distribution
+  /// summary}. Valid JSON, stable ordering.
+  std::string ToJson() const;
+  /// Atomically writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+  /// Drops every registered series. Outstanding handles dangle — only for
+  /// tests and between CLI subcommand runs, never with traffic in flight.
+  void Reset();
+
+ private:
+  using Key = std::pair<std::string, Labels>;  // name, sorted labels
+
+  static Key MakeKey(const std::string& name, Labels labels);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace zerotune::obs
+
+#endif  // ZEROTUNE_OBS_METRICS_H_

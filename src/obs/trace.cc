@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/file_util.h"
+
+namespace zerotune::obs {
+
+namespace {
+
+// Dense per-thread ids so trace viewers show one named track per thread
+// instead of raw pthread handles.
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Current span nesting level on this thread; incremented for the lifetime
+// of each active Span.
+thread_local uint32_t t_span_depth = 0;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder* TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return recorder;
+}
+
+void TraceRecorder::Enable(Clock* clock, size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock != nullptr ? clock : SystemClock::Default();
+  max_spans_ = max_spans;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Append(SpanRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans_) {
+    os << (first ? "" : ",") << "\n  {\"name\": \"" << JsonEscape(span.name)
+       << "\", \"cat\": \"" << JsonEscape(span.category)
+       << "\", \"ph\": \"X\", \"ts\": "
+       << static_cast<double>(span.start_nanos) / 1e3
+       << ", \"dur\": " << static_cast<double>(span.duration_nanos) / 1e3
+       << ", \"pid\": 0, \"tid\": " << span.thread_index;
+    if (!span.args.empty()) {
+      os << ", \"args\": {";
+      for (size_t i = 0; i < span.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "\"" << JsonEscape(span.args[i].first) << "\": \""
+           << JsonEscape(span.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  return AtomicWriteFile(path, ToChromeJson());
+}
+
+Span::Span(std::string name, std::string category, TraceRecorder* recorder) {
+  if (recorder == nullptr) recorder = TraceRecorder::Global();
+  if (!recorder->enabled()) return;  // inert: recorder_ stays null
+  recorder_ = recorder;
+  record_.name = std::move(name);
+  record_.category = std::move(category);
+  record_.start_nanos = recorder_->clock()->NowNanos();
+  record_.thread_index = ThreadIndex();
+  record_.depth = t_span_depth++;
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) return;
+  --t_span_depth;
+  record_.duration_nanos =
+      recorder_->clock()->NowNanos() - record_.start_nanos;
+  recorder_->Append(std::move(record_));
+}
+
+void Span::AddArg(std::string key, std::string value) {
+  if (recorder_ == nullptr) return;
+  record_.args.emplace_back(std::move(key), std::move(value));
+}
+
+}  // namespace zerotune::obs

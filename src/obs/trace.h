@@ -1,0 +1,112 @@
+#ifndef ZEROTUNE_OBS_TRACE_H_
+#define ZEROTUNE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace zerotune::obs {
+
+/// One completed span. Timestamps are nanoseconds on the recorder's Clock
+/// (steady, arbitrary epoch) — only differences are meaningful.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  int64_t start_nanos = 0;
+  int64_t duration_nanos = 0;
+  uint32_t thread_index = 0;  // small dense id, stable per thread
+  uint32_t depth = 0;         // nesting level within the thread at start
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects completed spans process-wide. Disabled by default: Span
+/// construction checks one relaxed atomic and does nothing else, so
+/// instrumentation left in hot paths (per-batch, per-round) costs a load
+/// when tracing is off. Enable() is not meant to race with in-flight
+/// spans — turn tracing on before starting work, export after it ends.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide instance every Span uses by default.
+  static TraceRecorder* Global();
+
+  /// Starts collecting. `clock` defaults to SystemClock::Default(); tests
+  /// inject a FakeClock for deterministic timestamps. `max_spans` bounds
+  /// memory — spans past the cap are counted in dropped() instead of
+  /// stored.
+  void Enable(Clock* clock = nullptr, size_t max_spans = 1 << 20);
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Append(SpanRecord record);
+
+  std::vector<SpanRecord> Snapshot() const;
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  Clock* clock() const { return clock_; }
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}): complete ("X")
+  /// events with microsecond ts/dur, tid = thread_index. Loadable in
+  /// chrome://tracing and ui.perfetto.dev.
+  std::string ToChromeJson() const;
+  /// Atomically writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  Clock* clock_ = SystemClock::Default();
+  size_t max_spans_ = 1 << 20;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII timed span: records [construction, destruction) into a
+/// TraceRecorder. When the recorder is disabled at construction the span
+/// is inert — no clock read, no allocation. Spans on the same thread nest
+/// by construction order (depth is tracked per thread); spans on pool
+/// workers land on that worker's own track.
+///
+///   {
+///     obs::Span span("batch_inference/featurize");
+///     span.AddArg("plans", std::to_string(n));
+///     ...work...
+///   }  // recorded here
+class Span {
+ public:
+  explicit Span(std::string name, std::string category = "zerotune",
+                TraceRecorder* recorder = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value shown in the trace viewer's args pane. No-op on
+  /// an inert span.
+  void AddArg(std::string key, std::string value);
+
+  bool active() const { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  // null when inert
+  SpanRecord record_;
+};
+
+}  // namespace zerotune::obs
+
+#endif  // ZEROTUNE_OBS_TRACE_H_

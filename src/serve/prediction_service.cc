@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/plan_analyzer.h"
+#include "obs/trace.h"
 
 namespace zerotune::serve {
 
@@ -13,6 +14,14 @@ namespace {
 bool DeadlineReached(Clock* clock, int64_t deadline_nanos) {
   return deadline_nanos != kNoDeadlineNanos &&
          clock->NowNanos() >= deadline_nanos;
+}
+
+// Process-wide instance numbering so concurrent services (tests spin up
+// many) get disjoint serve.* series in the global registry.
+obs::Labels NextInstanceLabels() {
+  static std::atomic<uint64_t> next{0};
+  return {{"instance",
+           std::to_string(next.fetch_add(1, std::memory_order_relaxed))}};
 }
 
 }  // namespace
@@ -108,7 +117,26 @@ PredictionService::PredictionService(const core::CostPredictor* primary,
       pool_(pool),
       clock_(clock != nullptr ? clock : SystemClock::Default()),
       breaker_(options.breaker, clock_),
-      rng_(options.seed) {}
+      metric_labels_(NextInstanceLabels()),
+      rng_(options.seed) {
+  auto* metrics = obs::MetricsRegistry::Global();
+  received_ = metrics->GetCounter("serve.received_total", metric_labels_);
+  admitted_ = metrics->GetCounter("serve.admitted_total", metric_labels_);
+  shed_queue_full_ =
+      metrics->GetCounter("serve.shed_queue_full_total", metric_labels_);
+  shed_lint_ = metrics->GetCounter("serve.shed_lint_total", metric_labels_);
+  completed_ = metrics->GetCounter("serve.completed_total", metric_labels_);
+  degraded_ = metrics->GetCounter("serve.degraded_total", metric_labels_);
+  deadline_expired_ =
+      metrics->GetCounter("serve.deadline_expired_total", metric_labels_);
+  failed_ = metrics->GetCounter("serve.failed_total", metric_labels_);
+  retries_ = metrics->GetCounter("serve.retries_total", metric_labels_);
+  primary_failures_ =
+      metrics->GetCounter("serve.primary_failures_total", metric_labels_);
+  fallback_failures_ =
+      metrics->GetCounter("serve.fallback_failures_total", metric_labels_);
+  latency_ms_ = metrics->GetHistogram("serve.latency_ms", metric_labels_);
+}
 
 PredictionService::~PredictionService() {
   // Queue-cancelled requests leave their drain task pending on the pool;
@@ -123,10 +151,7 @@ Result<ServedPrediction> PredictionService::Predict(
 
 Result<ServedPrediction> PredictionService::Predict(
     const dsp::ParallelQueryPlan& plan, double deadline_ms) {
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    ++stats_.received;
-  }
+  received_->Increment();
   ZT_RETURN_IF_ERROR(options_status_);
 
   // Static-analysis gate: a plan the analyzer rejects would only waste
@@ -135,8 +160,7 @@ Result<ServedPrediction> PredictionService::Predict(
   if (options_.lint_admission) {
     const Status lint = analysis::PlanAnalyzer::Check(plan);
     if (!lint.ok()) {
-      std::lock_guard<std::mutex> g(stats_mu_);
-      ++stats_.shed_lint;
+      shed_lint_->Increment();
       return lint.Annotated("shed at admission");
     }
   }
@@ -146,18 +170,14 @@ Result<ServedPrediction> PredictionService::Predict(
   {
     std::lock_guard<std::mutex> g(queue_mu_);
     if (inflight_ >= options_.max_inflight) {
-      std::lock_guard<std::mutex> s(stats_mu_);
-      ++stats_.shed_queue_full;
+      shed_queue_full_->Increment();
       return Status::ResourceExhausted(
           "service at capacity (" + std::to_string(options_.max_inflight) +
           " in flight); request shed");
     }
     ++inflight_;
   }
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    ++stats_.admitted;
-  }
+  admitted_->Increment();
 
   auto request = std::make_shared<Request>();
   request->plan = &plan;
@@ -220,10 +240,7 @@ void PredictionService::DrainOne() {
     if (!cancelled) request->started = true;
   }
   if (cancelled) {
-    {
-      std::lock_guard<std::mutex> g(stats_mu_);
-      ++stats_.deadline_expired;
-    }
+    deadline_expired_->Increment();
   } else {
     Execute(request.get());
   }
@@ -232,8 +249,10 @@ void PredictionService::DrainOne() {
 }
 
 void PredictionService::Execute(Request* request) {
+  obs::Span span("serve/execute");
   Result<ServedPrediction> result = ExecuteAttempts(
       *request->plan, request->deadline_nanos, request->admitted_nanos);
+  span.AddArg("ok", result.ok() ? "true" : "false");
   FinishRequest(result);
   {
     std::lock_guard<std::mutex> g(request->mu);
@@ -244,15 +263,16 @@ void PredictionService::Execute(Request* request) {
 }
 
 void PredictionService::FinishRequest(const Result<ServedPrediction>& result) {
-  std::lock_guard<std::mutex> g(stats_mu_);
   if (result.ok()) {
-    ++stats_.completed;
-    if (result.value().degraded) ++stats_.degraded;
-    stats_.latency_ms.Record(std::max(result.value().total_ms, 1e-6));
+    // completed before degraded: a snapshot reading degraded first can
+    // then never observe degraded > completed.
+    completed_->Increment();
+    if (result.value().degraded) degraded_->Increment();
+    latency_ms_->Record(std::max(result.value().total_ms, 1e-6));
   } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
-    ++stats_.deadline_expired;
+    deadline_expired_->Increment();
   } else {
-    ++stats_.failed;
+    failed_->Increment();
   }
 }
 
@@ -262,7 +282,7 @@ void PredictionService::SleepBackoff(size_t attempt, int64_t deadline_nanos) {
       options_.backoff_base_ms *
           std::pow(2.0, static_cast<double>(attempt - 1)));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    std::lock_guard<std::mutex> g(rng_mu_);
     ms *= rng_.Uniform(1.0, 1.0 + options_.backoff_jitter);
   }
   if (deadline_nanos != kNoDeadlineNanos) {
@@ -301,16 +321,10 @@ Result<ServedPrediction> PredictionService::ExecuteAttempts(
     }
     breaker_.RecordFailure();
     last_error = r.status();
-    {
-      std::lock_guard<std::mutex> g(stats_mu_);
-      ++stats_.primary_failures;
-    }
+    primary_failures_->Increment();
     if (attempts < options_.max_attempts &&
         !DeadlineReached(clock_, deadline_nanos)) {
-      {
-        std::lock_guard<std::mutex> g(stats_mu_);
-        ++stats_.retries;
-      }
+      retries_->Increment();
       SleepBackoff(attempts, deadline_nanos);
     }
   }
@@ -332,10 +346,7 @@ Result<ServedPrediction> PredictionService::ExecuteAttempts(
       served.total_ms = clock_->MillisSince(admitted_nanos);
       return served;
     }
-    {
-      std::lock_guard<std::mutex> g(stats_mu_);
-      ++stats_.fallback_failures;
-    }
+    fallback_failures_->Increment();
     return Status::Unavailable("primary " + primary_desc +
                                "; fallback failed: " +
                                fb.status().ToString());
@@ -346,10 +357,26 @@ Result<ServedPrediction> PredictionService::ExecuteAttempts(
 
 ServiceStats PredictionService::Snapshot() const {
   ServiceStats snap;
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    snap = stats_;
-  }
+  // Reverse-causal read order. Each request increments received, then
+  // admitted (or a shed counter), then exactly one disposition — so
+  // reading dispositions first, then admitted, then the admission-side
+  // counters guarantees every snapshot satisfies
+  //   degraded <= completed,
+  //   completed + deadline_expired + failed <= admitted,
+  //   admitted + shed_queue_full + shed_lint <= received,
+  // with equality at quiescence.
+  snap.latency_ms = latency_ms_->Snapshot();
+  snap.degraded = degraded_->Value();
+  snap.completed = completed_->Value();
+  snap.deadline_expired = deadline_expired_->Value();
+  snap.failed = failed_->Value();
+  snap.retries = retries_->Value();
+  snap.primary_failures = primary_failures_->Value();
+  snap.fallback_failures = fallback_failures_->Value();
+  snap.admitted = admitted_->Value();
+  snap.shed_queue_full = shed_queue_full_->Value();
+  snap.shed_lint = shed_lint_->Value();
+  snap.received = received_->Value();
   snap.breaker_trips = breaker_.trips();
   snap.breaker_recoveries = breaker_.recoveries();
   snap.breaker_state = const_cast<CircuitBreaker&>(breaker_).state();

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cost_predictor.h"
+#include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
 
 namespace zerotune::serve {
@@ -136,8 +137,17 @@ class PredictionService {
                                    double deadline_ms);
 
   /// Point-in-time copy of the counters (safe to call concurrently with
-  /// traffic; counters are monotonic between snapshots).
+  /// traffic; counters are monotonic between snapshots). Counters are read
+  /// in reverse-causal order (dispositions before admitted before
+  /// received), so the documented disposition inequalities hold in every
+  /// snapshot, not just at quiescence.
   ServiceStats Snapshot() const;
+
+  /// Labels of this instance's serve.* series in the global
+  /// obs::MetricsRegistry ({"instance", "<n>"}; instances are numbered
+  /// process-wide). Lets external observers and tests reconcile Snapshot()
+  /// against the registry.
+  const obs::Labels& metric_labels() const { return metric_labels_; }
 
   /// Requests currently inside the service (queued + executing); never
   /// exceeds ServeOptions::max_inflight.
@@ -175,9 +185,26 @@ class PredictionService {
   std::deque<std::shared_ptr<Request>> queue_;
   size_t inflight_ = 0;  // queued + executing, bounded by max_inflight
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
-  Rng rng_;  // backoff jitter; guarded by stats_mu_
+  // serve.* series in the global metrics registry, labeled per instance.
+  // Handles are resolved once at construction; hot-path increments are
+  // lock-free shard adds, and Snapshot() assembles a ServiceStats from
+  // them, so the legacy struct stays the caller-facing view.
+  obs::Labels metric_labels_;
+  obs::Counter* received_;
+  obs::Counter* admitted_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_lint_;
+  obs::Counter* completed_;
+  obs::Counter* degraded_;
+  obs::Counter* deadline_expired_;
+  obs::Counter* failed_;
+  obs::Counter* retries_;
+  obs::Counter* primary_failures_;
+  obs::Counter* fallback_failures_;
+  obs::HistogramMetric* latency_ms_;
+
+  mutable std::mutex rng_mu_;
+  Rng rng_;  // backoff jitter; guarded by rng_mu_
 };
 
 }  // namespace zerotune::serve

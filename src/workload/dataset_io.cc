@@ -6,6 +6,7 @@
 
 #include "common/file_util.h"
 #include "dsp/plan_io.h"
+#include "obs/trace.h"
 
 namespace zerotune::workload {
 
@@ -59,6 +60,8 @@ Result<QueryStructure> QueryStructureFromString(const std::string& name) {
 }
 
 Status DatasetIO::Save(const Dataset& dataset, const std::string& path) {
+  obs::Span span("dataset_io/save");
+  span.AddArg("samples", std::to_string(dataset.size()));
   // Atomic: datasets take minutes to label; a crashed save must leave any
   // previous file intact.
   return AtomicWriteStream(path, [&dataset](std::ostream& f) -> Status {
@@ -76,6 +79,7 @@ Status DatasetIO::Save(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> DatasetIO::Load(const std::string& path) {
+  obs::Span span("dataset_io/load");
   std::ifstream f(path);
   if (!f) return Status::IOError("cannot open " + path);
   std::string magic;

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <iterator>
 #include <string>
 
 #ifndef ZT_CLI_PATH
@@ -433,6 +434,52 @@ TEST_F(CliWorkflowTest, TrainCheckpointsAndResumes) {
 
   std::remove(ckpt.c_str());
   std::remove(model.c_str());
+}
+
+TEST_F(CliWorkflowTest, MetricsAndTraceExports) {
+  const std::string plan = TempPath("obs_tuned.plan");
+  const std::string metrics = TempPath("obs_metrics.json");
+  const std::string trace = TempPath("obs_trace.json");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan +
+                  " --metrics-out " + metrics + " --trace-out " + trace);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  std::ifstream mf(metrics);
+  ASSERT_TRUE(mf.good()) << "metrics file missing";
+  std::string mjson((std::istreambuf_iterator<char>(mf)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(mjson.find("\"counters\""), std::string::npos) << mjson;
+  EXPECT_NE(mjson.find("optimizer.tunings_total"), std::string::npos);
+  EXPECT_NE(mjson.find("batch_inference.batches_total"), std::string::npos);
+
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good()) << "trace file missing";
+  std::string tjson((std::istreambuf_iterator<char>(tf)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_NE(tjson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tjson.find("optimizer/tune"), std::string::npos);
+  EXPECT_NE(tjson.find("\"ph\": \"X\""), std::string::npos);
+
+  // serve-sim prints the registry dump on exit in human mode.
+  r = RunCli("serve-sim --plan " + plan +
+             " --requests 20 --threads 0 --fail-rate 0 --metrics-out " +
+             metrics);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics registry:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("serve.received_total"), std::string::npos)
+      << r.output;
+
+  // An unwritable export path fails the command even though the work
+  // itself succeeded.
+  r = RunCli("predict --model " + TempPath("model.txt") + " --plan " + plan +
+             " --metrics-out /nonexistent_dir/zt_m.json");
+  EXPECT_NE(r.exit_code, 0);
+
+  std::remove(plan.c_str());
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
 }
 
 TEST_F(CliWorkflowTest, CollectRandomStrategy) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.h"
 #include "common/statistics.h"
 
@@ -71,7 +74,7 @@ TEST(HistogramTest, MergeCombinesCounts) {
   Histogram a, b;
   for (int i = 1; i <= 100; ++i) a.Record(i);
   for (int i = 101; i <= 200; ++i) b.Record(i);
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_EQ(a.count(), 200u);
   EXPECT_DOUBLE_EQ(a.max(), 200.0);
   EXPECT_DOUBLE_EQ(a.min(), 1.0);
@@ -81,9 +84,23 @@ TEST(HistogramTest, MergeCombinesCounts) {
 TEST(HistogramTest, MergeIntoEmpty) {
   Histogram a, b;
   b.Record(5.0);
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_EQ(a.count(), 1u);
   EXPECT_DOUBLE_EQ(a.min(), 5.0);
+}
+
+TEST(HistogramTest, MergeRejectsLayoutMismatch) {
+  Histogram a(1.0, 1000.0, 10);
+  Histogram b(1e-3, 1e6, 20);
+  a.Record(7.0);
+  b.Record(7.0);
+  const Status s = a.Merge(b);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The failed merge must leave the destination untouched.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  EXPECT_TRUE(a.SameLayout(Histogram(1.0, 1000.0, 10)));
+  EXPECT_FALSE(a.SameLayout(b));
 }
 
 TEST(HistogramTest, SummaryMentionsCount) {
@@ -93,6 +110,62 @@ TEST(HistogramTest, SummaryMentionsCount) {
   const std::string s = h.Summary();
   EXPECT_NE(s.find("count=2"), std::string::npos);
   EXPECT_NE(s.find("p95="), std::string::npos);
+}
+
+// Regression: p=0 used to return the lower bucket edge (BucketUpperEdge
+// of bucket 0), which for the default layout reported ~1e-3 regardless of
+// the data. The extreme quantiles must be the exactly-tracked observed
+// min/max, and interior quantiles must track the exact order statistic to
+// within one bucket.
+TEST(HistogramTest, PercentileExtremesAreExact) {
+  Histogram h;
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(3.0, 9000.0);
+    xs.push_back(v);
+    h.Record(v);
+  }
+  const double exact_min = *std::min_element(xs.begin(), xs.end());
+  const double exact_max = *std::max_element(xs.begin(), xs.end());
+  EXPECT_DOUBLE_EQ(h.Percentile(0), exact_min);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), exact_max);
+  EXPECT_NEAR(h.Percentile(50) / Percentile(xs, 50.0), 1.0, 0.13);
+  // Small p interpolates sanely: never below the observed minimum, never
+  // wildly past the true low quantile.
+  EXPECT_GE(h.Percentile(0.1), exact_min);
+  EXPECT_LE(h.Percentile(0.1), Percentile(xs, 5.0));
+}
+
+TEST(HistogramTest, PercentileZeroWithSingleSample) {
+  Histogram h;
+  h.Record(250.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 250.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 250.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 250.0);  // clamped to observed range
+}
+
+TEST(HistogramTest, ConstructorSanitizesInvalidLayout) {
+  // A layout that would previously produce log10(0) = -inf and poison
+  // every Record/Percentile with NaN.
+  Histogram h(0.0, -5.0, 0);
+  h.Record(10.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(std::isfinite(h.Percentile(50)));
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 10.0);
+}
+
+TEST(HistogramTest, CreateRejectsInvalidLayout) {
+  EXPECT_EQ(Histogram::Create(0.0, 10.0, 20).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Histogram::Create(1.0, 1.0, 20).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Histogram::Create(1.0, 10.0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  auto ok = Histogram::Create(1.0, 10.0, 20);
+  ASSERT_TRUE(ok.ok());
+  ok.value().Record(5.0);
+  EXPECT_EQ(ok.value().count(), 1u);
 }
 
 TEST(HistogramTest, PercentileMonotone) {

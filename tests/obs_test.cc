@@ -1,0 +1,263 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/trace.h"
+
+namespace zerotune::obs {
+namespace {
+
+// Private registries per test: the Global() one accumulates state from
+// any instrumented code the process has run.
+TEST(MetricsRegistryTest, CounterHandlesAreStableAndSummed) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("requests_total");
+  EXPECT_EQ(c, reg.GetCounter("requests_total"));
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  EXPECT_EQ(reg.CounterValue("requests_total"), 42u);
+  EXPECT_FALSE(reg.CounterValue("never_registered").has_value());
+}
+
+TEST(MetricsRegistryTest, LabelsAreOrderInsensitiveSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("hits", {{"x", "1"}, {"y", "2"}});
+  Counter* same = reg.GetCounter("hits", {{"y", "2"}, {"x", "1"}});
+  Counter* other = reg.GetCounter("hits", {{"x", "1"}, {"y", "3"}});
+  EXPECT_EQ(a, same);
+  EXPECT_NE(a, other);
+  a->Increment(5);
+  EXPECT_EQ(reg.CounterValue("hits", {{"y", "2"}, {"x", "1"}}), 5u);
+  EXPECT_EQ(reg.CounterValue("hits", {{"x", "1"}, {"y", "3"}}), 0u);
+}
+
+TEST(MetricsRegistryTest, KindsLiveInSeparateNamespaces) {
+  MetricsRegistry reg;
+  reg.GetCounter("latency")->Increment(3);
+  reg.GetGauge("latency")->Set(1.5);
+  reg.GetHistogram("latency")->Record(2.0);
+  EXPECT_EQ(reg.CounterValue("latency"), 3u);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("latency").value(), 1.5);
+  EXPECT_EQ(reg.HistogramSnapshot("latency")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("queue_depth");
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  g->Set(10.0);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 7.5);
+}
+
+TEST(MetricsRegistryTest, HistogramMetricMergesShards) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("lat_ms", {}, 1e-3, 1e6, 20);
+  // Record from many threads so multiple shards hold data; the snapshot
+  // must see every sample exactly once (exercises Histogram::Merge).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Histogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 800u);
+  EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 100.0);
+}
+
+// The tentpole concurrency guarantee: snapshots taken while writers are
+// hammering the registry are internally consistent (no torn counters) and
+// monotone run to run.
+TEST(MetricsRegistryTest, ConcurrentRecordAndSnapshot) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops_total");
+  HistogramMetric* h = reg.GetHistogram("op_ms");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        c->Increment();
+        if (i % 16 == 0) h->Record(1.0 + i % 7);
+      }
+    });
+  }
+  std::thread reader([&] {
+    uint64_t last_counter = 0;
+    uint64_t last_hist = 0;
+    while (!done.load()) {
+      const uint64_t now = c->Value();
+      EXPECT_GE(now, last_counter);  // counters never run backwards
+      last_counter = now;
+      const uint64_t hist_count = h->Snapshot().count();
+      EXPECT_GE(hist_count, last_hist);
+      last_hist = hist_count;
+      (void)reg.ToText();
+      (void)reg.ToJson();
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(h->Snapshot().count(),
+            static_cast<uint64_t>(kWriters) * (kPerWriter / 16));
+}
+
+TEST(MetricsRegistryTest, ToTextRendersSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_total", {{"kind", "x"}})->Increment(7);
+  reg.GetGauge("b_value")->Set(2.5);
+  reg.GetHistogram("c_ms")->Record(10.0);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("a_total{kind=x} 7"), std::string::npos);
+  EXPECT_NE(text.find("b_value 2.5"), std::string::npos);
+  EXPECT_NE(text.find("c_ms count=1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasAllSections) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_total")->Increment();
+  reg.GetGauge("b")->Set(1.0);
+  reg.GetHistogram("c")->Record(3.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonWritesFile) {
+  MetricsRegistry reg;
+  reg.GetCounter("written_total")->Increment(9);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "zt_obs_metrics_test.json")
+          .string();
+  ASSERT_TRUE(reg.WriteJson(path).ok());
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("written_total"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, ResetDropsSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("gone_total")->Increment();
+  reg.Reset();
+  EXPECT_FALSE(reg.CounterValue("gone_total").has_value());
+  EXPECT_EQ(reg.GetCounter("gone_total")->Value(), 0u);
+}
+
+TEST(TraceTest, DisabledSpansAreInert) {
+  TraceRecorder rec;
+  ASSERT_FALSE(rec.enabled());
+  {
+    Span span("should_not_record", "test", &rec);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceTest, RecordsSpanWithFakeClockDurations) {
+  TraceRecorder rec;
+  FakeClock clock(1'000'000);
+  rec.Enable(&clock);
+  {
+    Span span("outer", "test", &rec);
+    clock.AdvanceMillis(5.0);
+    {
+      Span inner("inner", "test", &rec);
+      clock.AdvanceMillis(2.0);
+    }
+  }
+  rec.Disable();
+  const auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].duration_nanos, 2'000'000);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].duration_nanos, 7'000'000);
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[0].thread_index, spans[1].thread_index);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceRecorder rec;
+  FakeClock clock(0);
+  rec.Enable(&clock);
+  {
+    Span span("stage \"a\"", "zerotune", &rec);
+    span.AddArg("items", "12");
+    clock.AdvanceMillis(1.0);
+  }
+  rec.Disable();
+  const std::string json = rec.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1000"), std::string::npos);  // µs
+  EXPECT_NE(json.find("\\\"a\\\""), std::string::npos);      // escaped quote
+  EXPECT_NE(json.find("\"items\": \"12\""), std::string::npos);
+}
+
+TEST(TraceTest, CapsSpansAndCountsDropped) {
+  TraceRecorder rec;
+  FakeClock clock(0);
+  rec.Enable(&clock, /*max_spans=*/3);
+  for (int i = 0; i < 10; ++i) Span span("s", "test", &rec);
+  rec.Disable();
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 7u);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceTest, ConcurrentSpansLandOnDistinctThreadTracks) {
+  TraceRecorder rec;
+  rec.Enable();  // system clock
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < 50; ++i) {
+        Span span("work", "test", &rec);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  rec.Disable();
+  const auto spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads) * 50);
+  std::set<uint32_t> tids;
+  for (const auto& s : spans) {
+    tids.insert(s.thread_index);
+    EXPECT_GE(s.duration_nanos, 0);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace zerotune::obs

@@ -13,6 +13,7 @@
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "core/oracle_predictor.h"
+#include "obs/metrics.h"
 #include "dsp/cluster.h"
 #include "dsp/parallel_plan.h"
 #include "dsp/query_plan.h"
@@ -159,6 +160,32 @@ TEST(ServeSoakTest, TenThousandRequestsUnderChaos) {
   EXPECT_GT(s.degraded, 0u);
   EXPECT_GT(chaos.injected_failures(), 0u);
   EXPECT_EQ(service.inflight(), 0u);
+
+  // The service's counters live on the global metrics registry (one
+  // labelled series per instance). After the run the registry must agree
+  // exactly with the Snapshot() view — same atomics, read at quiescence —
+  // and therefore satisfy the same disposition invariants.
+  auto* reg = obs::MetricsRegistry::Global();
+  const obs::Labels& labels = service.metric_labels();
+  const auto counter = [&](const char* name) {
+    const auto v = reg->CounterValue(name, labels);
+    EXPECT_TRUE(v.has_value()) << name;
+    return v.value_or(0);
+  };
+  EXPECT_EQ(counter("serve.received_total"), s.received);
+  EXPECT_EQ(counter("serve.admitted_total"), s.admitted);
+  EXPECT_EQ(counter("serve.shed_queue_full_total"), s.shed_queue_full);
+  EXPECT_EQ(counter("serve.shed_lint_total"), s.shed_lint);
+  EXPECT_EQ(counter("serve.completed_total"), s.completed);
+  EXPECT_EQ(counter("serve.degraded_total"), s.degraded);
+  EXPECT_EQ(counter("serve.deadline_expired_total"), s.deadline_expired);
+  EXPECT_EQ(counter("serve.failed_total"), s.failed);
+  EXPECT_EQ(counter("serve.retries_total"), s.retries);
+  EXPECT_EQ(counter("serve.primary_failures_total"), s.primary_failures);
+  EXPECT_EQ(counter("serve.fallback_failures_total"), s.fallback_failures);
+  const auto lat = reg->HistogramSnapshot("serve.latency_ms", labels);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(lat->count(), s.completed);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace zerotune {
@@ -34,6 +36,53 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+// Regression: a throwing task used to unwind straight out of WorkerLoop —
+// std::terminate under libstdc++ — and even a caught exception would have
+// skipped the in_flight_ decrement, wedging Wait() forever.
+TEST(ThreadPoolTest, ThrowingTaskRethrownFromWait) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("task 7 exploded");
+    });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task 7 exploded");
+  }
+  // Every task still ran (the throw never skips bookkeeping)...
+  EXPECT_EQ(ran.load(), 16);
+  // ...and the pool stays usable: the exception was cleared by Wait().
+  std::atomic<int> after{0};
+  for (int i = 0; i < 8; ++i) pool.Submit([&after] { after.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // subsequent Wait sees a clean slate; must not throw
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorker) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 256,
+                           [](size_t i) {
+                             if (i == 100) {
+                               throw std::runtime_error("iteration failed");
+                             }
+                           }),
+               std::runtime_error);
 }
 
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {

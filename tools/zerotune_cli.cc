@@ -38,6 +38,13 @@
 // exits with code 3 and, under --format json, a partial object carrying
 // "deadline_exceeded": true. train accepts --checkpoint PATH
 // [--checkpoint-every N] [--resume] for crash-safe training.
+//
+// train/predict/tune/serve-sim additionally accept
+//   --metrics-out FILE   write the process metrics registry as JSON
+//   --trace-out FILE     record spans and write Chrome trace_event JSON
+//                        (load in chrome://tracing or ui.perfetto.dev)
+// Both files are written atomically after the command runs, even when it
+// fails — a failed run's metrics are exactly what you want to look at.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,6 +68,8 @@
 #include "dsp/dot_export.h"
 #include "dsp/plan_io.h"
 #include "dsp/query_dsl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/chaos_predictor.h"
 #include "serve/prediction_service.h"
 #include "sim/cost_report.h"
@@ -889,7 +898,8 @@ int CmdServeSim(const FlagParser& flags) {
   } else {
     std::cout << "replayed " << total << " request(s), "
               << chaos.injected_failures() << " injected failure(s)\n"
-              << stats.ToText();
+              << stats.ToText() << "\nmetrics registry:\n"
+              << obs::MetricsRegistry::Global()->ToText();
   }
   return 0;
 }
@@ -912,6 +922,36 @@ int CmdDot(const FlagParser& flags) {
   return Fail(Status::InvalidArgument("--query or --deployed is required"));
 }
 
+/// Wraps an instrumented subcommand with --metrics-out / --trace-out
+/// handling: tracing is switched on before the command runs, and both
+/// exports are written after it returns — success or failure — so a
+/// failed run still leaves its observability artifacts behind. A failing
+/// export never masks the command's own exit code.
+int RunWithObs(const FlagParser& flags, int (*cmd)(const FlagParser&)) {
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) obs::TraceRecorder::Global()->Enable();
+  const int rc = cmd(flags);
+  int export_rc = 0;
+  if (!metrics_out.empty()) {
+    const Status s = obs::MetricsRegistry::Global()->WriteJson(metrics_out);
+    if (!s.ok()) {
+      std::cerr << "error: writing --metrics-out: " << s.ToString() << "\n";
+      export_rc = 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Global()->Disable();
+    const Status s =
+        obs::TraceRecorder::Global()->WriteChromeJson(trace_out);
+    if (!s.ok()) {
+      std::cerr << "error: writing --trace-out: " << s.ToString() << "\n";
+      export_rc = 1;
+    }
+  }
+  return rc != 0 ? rc : export_rc;
+}
+
 }  // namespace
 }  // namespace zerotune
 
@@ -924,16 +964,16 @@ int main(int argc, char** argv) {
   }
   const std::string& command = flags.positional()[0];
   if (command == "collect") return CmdCollect(flags);
-  if (command == "train") return CmdTrain(flags);
+  if (command == "train") return RunWithObs(flags, CmdTrain);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "compile") return CmdCompile(flags);
-  if (command == "predict") return CmdPredict(flags);
-  if (command == "tune") return CmdTune(flags);
+  if (command == "predict") return RunWithObs(flags, CmdPredict);
+  if (command == "tune") return RunWithObs(flags, CmdTune);
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "recover") return CmdRecover(flags);
   if (command == "explain") return CmdExplain(flags);
   if (command == "lint") return CmdLint(flags);
-  if (command == "serve-sim") return CmdServeSim(flags);
+  if (command == "serve-sim") return RunWithObs(flags, CmdServeSim);
   if (command == "dot") return CmdDot(flags);
   PrintUsage();
   return command == "help" ? 0 : 1;
