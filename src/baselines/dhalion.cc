@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/self_regulation.h"
+
 namespace zerotune::baselines {
 
 Result<DhalionTuner::Outcome> DhalionTuner::Tune(
@@ -46,10 +48,8 @@ Result<DhalionTuner::Outcome> DhalionTuner::Tune(
       const int degree = outcome.plan.parallelism(worst_op);
       // The symptom is binary (backpressure observed); the resolution is a
       // fixed hand-tuned scale-up step, not a cost-model-derived degree.
-      const int new_degree = std::clamp(
-          std::max(degree + 1,
-                   static_cast<int>(std::ceil(degree * options_.scale_up_step))),
-          1, cap);
+      const int new_degree =
+          SelfRegulation::ScaleUp(degree, options_.scale_up_step, cap);
       if (new_degree != degree) {
         ZT_RETURN_IF_ERROR(outcome.plan.SetParallelism(worst_op, new_degree));
         changed = true;
@@ -61,8 +61,12 @@ Result<DhalionTuner::Outcome> DhalionTuner::Tune(
       double idle_util = options_.underutilization_threshold;
       for (const dsp::Operator& op : logical.operators()) {
         if (op.type == dsp::OperatorType::kSink) continue;
-        if (outcome.plan.parallelism(op.id) <= 1) continue;
         const auto& diag = m.per_operator[static_cast<size_t>(op.id)];
+        if (!SelfRegulation::ShouldScaleDown(
+                diag.utilization, options_.underutilization_threshold,
+                outcome.plan.parallelism(op.id), /*floor=*/1)) {
+          continue;
+        }
         if (diag.utilization < idle_util) {
           idle_util = diag.utilization;
           idle_op = op.id;

@@ -1,0 +1,19 @@
+#include "baselines/self_regulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zerotune::baselines {
+
+int SelfRegulation::ScaleUp(int degree, double step, int cap) {
+  const int grown = std::max(
+      degree + 1, static_cast<int>(std::ceil(degree * std::max(step, 1.0))));
+  return std::clamp(grown, 1, std::max(cap, 1));
+}
+
+bool SelfRegulation::ShouldScaleDown(double utilization, double threshold,
+                                     int degree, int floor) {
+  return degree > std::max(floor, 1) && utilization < threshold;
+}
+
+}  // namespace zerotune::baselines

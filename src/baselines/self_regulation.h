@@ -1,0 +1,35 @@
+#ifndef ZEROTUNE_BASELINES_SELF_REGULATION_H_
+#define ZEROTUNE_BASELINES_SELF_REGULATION_H_
+
+namespace zerotune::baselines {
+
+/// The symptom -> resolution core of Dhalion-style self-regulation
+/// (Floratou et al. [19]), shared by two control loops that otherwise
+/// live at different layers of the system:
+///
+///  - DhalionTuner (this directory) resizes *operator parallelism* inside
+///    one query from observed backpressure / idleness, and
+///  - serve::fleet::FleetController resizes the *serving replica count*
+///    from observed shedding / idleness.
+///
+/// Both apply the same hand-tuned policy shape: a binary overload symptom
+/// resolved by a fixed multiplicative scale-up step, and a conservative
+/// one-step scale-down once utilization falls below a threshold. Keeping
+/// the arithmetic here means the two loops cannot drift apart.
+struct SelfRegulation {
+  /// Degree after observing an overload symptom at `degree`: at least one
+  /// more instance, at most ceil(degree * step), clamped to [1, cap].
+  /// `step <= 1` still grows by one (the symptom demands *a* resolution).
+  static int ScaleUp(int degree, double step, int cap);
+
+  /// True when the observed utilization justifies reclaiming capacity:
+  /// below `threshold` and still above the floor. Scale-down is always a
+  /// single step (degree - 1) — Dhalion reclaims conservatively to avoid
+  /// oscillation.
+  static bool ShouldScaleDown(double utilization, double threshold,
+                              int degree, int floor);
+};
+
+}  // namespace zerotune::baselines
+
+#endif  // ZEROTUNE_BASELINES_SELF_REGULATION_H_

@@ -1,0 +1,119 @@
+#include "serve/fleet/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/self_regulation.h"
+
+namespace zerotune::serve::fleet {
+
+Status ControllerOptions::Validate() const {
+  if (min_replicas == 0 || max_replicas < min_replicas) {
+    return Status::InvalidArgument(
+        "controller needs 1 <= min_replicas <= max_replicas");
+  }
+  if (!std::isfinite(restart_delay_ms) || restart_delay_ms < 0.0) {
+    return Status::InvalidArgument(
+        "controller restart_delay_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(overload_shed_rate) || overload_shed_rate < 0.0 ||
+      overload_shed_rate > 1.0) {
+    return Status::InvalidArgument(
+        "controller overload_shed_rate must be in [0, 1]");
+  }
+  if (!std::isfinite(underutilization_threshold) ||
+      underutilization_threshold < 0.0 || underutilization_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "controller underutilization_threshold must be in [0, 1]");
+  }
+  if (!std::isfinite(scale_up_step) || scale_up_step < 1.0) {
+    return Status::InvalidArgument("controller scale_up_step must be >= 1");
+  }
+  return Status::OK();
+}
+
+FleetController::FleetController(PredictionFleet* fleet,
+                                 ControllerOptions options, Clock* clock)
+    : fleet_(fleet),
+      options_(options),
+      options_status_(options.Validate()),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+ControllerAction FleetController::Tick() {
+  ControllerAction action;
+  if (!options_status_.ok() || fleet_ == nullptr) return action;
+
+  const FleetStats stats = fleet_->Snapshot();
+  const int64_t now = clock_->NowNanos();
+
+  // --- symptom: crashed replica -> resolution: restart after delay ----
+  for (const ReplicaStatsEntry& r : stats.replicas) {
+    if (!r.routable) {
+      down_since_.erase(r.id);  // drained on purpose; not ours to revive
+      continue;
+    }
+    if (r.alive) {
+      down_since_.erase(r.id);
+      continue;
+    }
+    auto [it, inserted] = down_since_.emplace(r.id, now);
+    if (!inserted &&
+        static_cast<double>(now - it->second) / 1e6 >=
+            options_.restart_delay_ms) {
+      if (fleet_->RestartReplica(r.id).ok()) {
+        ++action.restarts;
+        down_since_.erase(it);
+      }
+    }
+  }
+
+  // --- load symptoms ---------------------------------------------------
+  const uint64_t shed = stats.shed_fleet_capacity + stats.shed_tenant_quota +
+                        stats.shed_fair_share;
+  const uint64_t d_received = stats.received - last_received_;
+  const uint64_t d_shed = shed - last_shed_;
+  last_received_ = stats.received;
+  last_shed_ = shed;
+  action.shed_rate =
+      d_received == 0
+          ? 0.0
+          : static_cast<double>(d_shed) / static_cast<double>(d_received);
+  const size_t capacity = fleet_->capacity();
+  action.utilization =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(fleet_->total_inflight()) /
+                          static_cast<double>(capacity);
+
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return action;
+  }
+
+  const int degree = static_cast<int>(stats.replicas_total);
+  if (action.shed_rate > options_.overload_shed_rate) {
+    // Overloaded: grow the fleet toward SelfRegulation's target size.
+    const int target = baselines::SelfRegulation::ScaleUp(
+        degree, options_.scale_up_step,
+        static_cast<int>(options_.max_replicas));
+    for (int i = degree; i < target; ++i) {
+      if (!fleet_->AddReplica().ok()) break;
+      ++action.scale_ups;
+    }
+  } else if (d_received > 0 &&
+             baselines::SelfRegulation::ShouldScaleDown(
+                 action.utilization, options_.underutilization_threshold,
+                 degree, static_cast<int>(options_.min_replicas))) {
+    // Underutilized: drain the highest-id healthy replica (one per tick —
+    // Dhalion resolves conservatively and re-diagnoses).
+    const std::vector<uint32_t> alive = fleet_->AliveReplicaIds();
+    if (!alive.empty() && fleet_->RemoveReplica(alive.back()).ok()) {
+      ++action.scale_downs;
+    }
+  }
+  if (action.scale_ups > 0 || action.scale_downs > 0) {
+    cooldown_remaining_ = options_.cooldown_ticks;
+  }
+  return action;
+}
+
+}  // namespace zerotune::serve::fleet

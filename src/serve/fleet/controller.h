@@ -1,0 +1,94 @@
+#ifndef ZEROTUNE_SERVE_FLEET_CONTROLLER_H_
+#define ZEROTUNE_SERVE_FLEET_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "serve/fleet/fleet.h"
+
+namespace zerotune::serve::fleet {
+
+struct ControllerOptions {
+  /// Replica-count bounds the controller scales within.
+  size_t min_replicas = 1;
+  size_t max_replicas = 8;
+  /// Crashed replicas are restarted after this long down (the delay
+  /// models real restart latency and gives chaos tests a window in which
+  /// the fleet must survive on the remaining replicas).
+  double restart_delay_ms = 250.0;
+  /// Scale up when fleet shed-rate over the last tick interval exceeds
+  /// this fraction of received requests.
+  double overload_shed_rate = 0.05;
+  /// Scale down when fleet slot utilization (inflight / capacity) sits
+  /// below this threshold — the same underutilization symptom Dhalion's
+  /// tuner acts on, applied to replica count instead of operator
+  /// parallelism.
+  double underutilization_threshold = 0.25;
+  /// Multiplicative scale-up step (>= 1), mirroring
+  /// baselines::DhalionOptions::scale_up_step.
+  double scale_up_step = 1.5;
+  /// Ticks to hold fire after any scaling action, so one burst does not
+  /// trigger a scale-up/scale-down oscillation.
+  size_t cooldown_ticks = 3;
+
+  Status Validate() const;
+};
+
+/// What one controller tick observed and did — returned for logging and
+/// asserted on by tests.
+struct ControllerAction {
+  size_t restarts = 0;    // crashed replicas brought back this tick
+  size_t scale_ups = 0;   // replicas added
+  size_t scale_downs = 0; // replicas drained
+  double shed_rate = 0.0;     // sheds / received over the tick interval
+  double utilization = 0.0;   // inflight / capacity at tick time
+};
+
+/// Dhalion-style self-regulating controller for a PredictionFleet
+/// (Floratou et al., "Dhalion: Self-Regulating Stream Processing in
+/// Heron", VLDB 2017 — the same symptom -> diagnosis -> resolution loop
+/// the baselines::DhalionTuner applies to operator parallelism, here
+/// applied to the serving fleet):
+///
+///   symptom: crashed replica          -> resolution: restart (delayed)
+///   symptom: shed rate over threshold -> resolution: add a replica
+///   symptom: slot underutilization    -> resolution: drain a replica
+///
+/// Scale-up sizing and the scale-down guard reuse
+/// baselines::SelfRegulation so the two controllers stay behaviorally
+/// aligned. The controller is deliberately tick-driven and passive (no
+/// internal thread): the owner calls Tick() on its own cadence — the soak
+/// harness every simulated interval, a production loop from a timer.
+/// Single caller assumed; the fleet itself stays fully thread-safe.
+class FleetController {
+ public:
+  /// Both pointers are borrowed. Null clock = system clock.
+  FleetController(PredictionFleet* fleet, ControllerOptions options,
+                  Clock* clock);
+
+  /// One control-loop pass. Never throws; scaling errors (e.g. racing a
+  /// concurrent drain) are swallowed — the next tick re-diagnoses.
+  ControllerAction Tick();
+
+  const Status& options_status() const { return options_status_; }
+
+ private:
+  PredictionFleet* fleet_;
+  ControllerOptions options_;
+  Status options_status_;
+  Clock* clock_;
+
+  /// received/shed totals at the previous tick, for rate-over-interval.
+  uint64_t last_received_ = 0;
+  uint64_t last_shed_ = 0;
+  size_t cooldown_remaining_ = 0;
+  /// Crash observation time per replica id, for restart_delay_ms.
+  std::map<uint32_t, int64_t> down_since_;
+};
+
+}  // namespace zerotune::serve::fleet
+
+#endif  // ZEROTUNE_SERVE_FLEET_CONTROLLER_H_

@@ -1,0 +1,710 @@
+#include "serve/fleet/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <condition_variable>
+#include <sstream>
+#include <utility>
+
+namespace zerotune::serve::fleet {
+
+namespace {
+
+// Process-wide fleet numbering so concurrent fleets (tests spin up many)
+// get disjoint serve.fleet.* series in the global registry.
+obs::Labels NextFleetLabels() {
+  static std::atomic<uint64_t> next{0};
+  return {{"fleet",
+           std::to_string(next.fetch_add(1, std::memory_order_relaxed))}};
+}
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+}  // namespace
+
+Status HedgeOptions::Validate() const {
+  if (!std::isfinite(percentile) || percentile <= 0.0 ||
+      percentile >= 100.0) {
+    return Status::InvalidArgument("hedge percentile must be in (0, 100)");
+  }
+  if (!std::isfinite(initial_delay_ms) || initial_delay_ms < 0.0) {
+    return Status::InvalidArgument(
+        "hedge initial_delay_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(min_delay_ms) || min_delay_ms < 0.0 ||
+      !std::isfinite(max_delay_ms) || max_delay_ms < min_delay_ms) {
+    return Status::InvalidArgument(
+        "hedge delay clamp must satisfy 0 <= min <= max and be finite");
+  }
+  if (refresh_every == 0) {
+    return Status::InvalidArgument("hedge refresh_every must be >= 1");
+  }
+  return Status::OK();
+}
+
+Status FleetOptions::Validate() const {
+  if (initial_replicas == 0) {
+    return Status::InvalidArgument("fleet initial_replicas must be >= 1");
+  }
+  if (virtual_nodes == 0) {
+    return Status::InvalidArgument("fleet virtual_nodes must be >= 1");
+  }
+  ZT_RETURN_IF_ERROR(replica.Validate());
+  ZT_RETURN_IF_ERROR(health.Validate());
+  ZT_RETURN_IF_ERROR(hedge.Validate());
+  return quota.Validate();
+}
+
+double FleetStats::Availability() const {
+  return admitted == 0
+             ? 1.0
+             : static_cast<double>(answered) / static_cast<double>(admitted);
+}
+
+std::string FleetStats::ToText() const {
+  std::ostringstream os;
+  os << "fleet: " << replicas_alive << "/" << replicas_total
+     << " replicas alive, " << tenants_seen << " tenant(s) seen\n"
+     << "requests: received " << received << ", admitted " << admitted
+     << ", answered " << answered << " (" << degraded << " degraded, "
+     << fallback_rescues << " rescued)\n"
+     << "shed: fleet-capacity " << shed_fleet_capacity << ", tenant-quota "
+     << shed_tenant_quota << ", fair-share " << shed_fair_share
+     << "; deadline-expired " << deadline_expired << "; failed " << failed
+     << "\n"
+     << "routing: dispatches " << dispatches << ", failovers " << failovers
+     << "; hedges sent " << hedges_sent << " (won " << hedges_won
+     << ", cancelled " << hedges_cancelled << ")\n"
+     << "lifecycle: kills " << kills << ", restarts " << restarts
+     << ", scale-ups " << scale_ups << ", scale-downs " << scale_downs
+     << "\n"
+     << "availability: "
+     << (admitted == 0 ? 1.0 : Availability()) * 100.0 << "%\n"
+     << "latency_ms: " << latency_ms.Summary() << "\n";
+  for (const ReplicaStatsEntry& r : replicas) {
+    os << "  replica " << r.id << ": "
+       << (r.routable ? "" : "drained, ")
+       << (r.alive ? ToString(r.health) : "dead") << ", incarnations "
+       << r.incarnations << ", received " << r.service.received
+       << " (+" << r.crashed_rejections << " crash-rejected), completed "
+       << r.service.completed << " (" << r.service.degraded
+       << " degraded)\n";
+  }
+  return os.str();
+}
+
+std::string FleetStats::ToJson() const {
+  std::ostringstream os;
+  os.precision(17);
+  const auto hist_json = [&os](const Histogram& h) {
+    os << "{\"count\": " << h.count();
+    if (h.count() > 0) {
+      os << ", \"mean\": " << h.Mean() << ", \"p50\": " << h.Percentile(50)
+         << ", \"p95\": " << h.Percentile(95)
+         << ", \"p99\": " << h.Percentile(99) << ", \"max\": " << h.max();
+    }
+    os << "}";
+  };
+  os << "{\"received\": " << received << ", \"admitted\": " << admitted
+     << ", \"shed_fleet_capacity\": " << shed_fleet_capacity
+     << ", \"shed_tenant_quota\": " << shed_tenant_quota
+     << ", \"shed_fair_share\": " << shed_fair_share
+     << ", \"answered\": " << answered << ", \"degraded\": " << degraded
+     << ", \"deadline_expired\": " << deadline_expired
+     << ", \"failed\": " << failed
+     << ", \"hedges_sent\": " << hedges_sent
+     << ", \"hedges_won\": " << hedges_won
+     << ", \"hedges_cancelled\": " << hedges_cancelled
+     << ", \"failovers\": " << failovers
+     << ", \"fallback_rescues\": " << fallback_rescues
+     << ", \"dispatches\": " << dispatches << ", \"kills\": " << kills
+     << ", \"restarts\": " << restarts << ", \"scale_ups\": " << scale_ups
+     << ", \"scale_downs\": " << scale_downs
+     << ", \"replicas_total\": " << replicas_total
+     << ", \"replicas_alive\": " << replicas_alive
+     << ", \"tenants_seen\": " << tenants_seen
+     << ", \"availability\": " << Availability() << ", \"latency_ms\": ";
+  hist_json(latency_ms);
+  os << ", \"replica_latency_ms\": ";
+  hist_json(replica_latency_ms);
+  os << ", \"replicas\": [";
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    const ReplicaStatsEntry& r = replicas[i];
+    if (i > 0) os << ", ";
+    os << "{\"id\": " << r.id << ", \"alive\": " << (r.alive ? "true" : "false")
+       << ", \"routable\": " << (r.routable ? "true" : "false")
+       << ", \"health\": \"" << ToString(r.health)
+       << "\", \"incarnations\": " << r.incarnations
+       << ", \"crashed_rejections\": " << r.crashed_rejections
+       << ", \"service\": " << r.service.ToJson() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+PredictionFleet::PredictionFleet(PrimaryFactory factory,
+                                 const core::CostPredictor* fallback,
+                                 FleetOptions options, ThreadPool* pool,
+                                 Clock* clock)
+    : factory_(std::move(factory)),
+      fallback_(fallback),
+      options_(std::move(options)),
+      options_status_(options_.Validate()),
+      pool_(pool),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      quotas_(options_.quota),
+      ring_(options_.virtual_nodes),
+      hedge_delay_bits_(DoubleBits(options_.hedge.initial_delay_ms)),
+      fleet_labels_(NextFleetLabels()) {
+  auto* metrics = obs::MetricsRegistry::Global();
+  const auto counter = [&](const char* name) {
+    return metrics->GetCounter(name, fleet_labels_);
+  };
+  received_ = counter("serve.fleet.received_total");
+  admitted_ = counter("serve.fleet.admitted_total");
+  shed_fleet_capacity_ = counter("serve.fleet.shed_fleet_capacity_total");
+  shed_tenant_quota_ = counter("serve.fleet.shed_tenant_quota_total");
+  shed_fair_share_ = counter("serve.fleet.shed_fair_share_total");
+  answered_ = counter("serve.fleet.answered_total");
+  degraded_ = counter("serve.fleet.degraded_total");
+  deadline_expired_ = counter("serve.fleet.deadline_expired_total");
+  failed_ = counter("serve.fleet.failed_total");
+  hedges_sent_ = counter("serve.fleet.hedges_sent_total");
+  hedges_won_ = counter("serve.fleet.hedges_won_total");
+  hedges_cancelled_ = counter("serve.fleet.hedges_cancelled_total");
+  failovers_ = counter("serve.fleet.failovers_total");
+  fallback_rescues_ = counter("serve.fleet.fallback_rescues_total");
+  dispatches_ = counter("serve.fleet.dispatches_total");
+  kills_ = counter("serve.fleet.kills_total");
+  restarts_ = counter("serve.fleet.restarts_total");
+  scale_ups_ = counter("serve.fleet.scale_ups_total");
+  scale_downs_ = counter("serve.fleet.scale_downs_total");
+  replicas_total_gauge_ =
+      metrics->GetGauge("serve.fleet.replicas_total", fleet_labels_);
+  replicas_alive_gauge_ =
+      metrics->GetGauge("serve.fleet.replicas_alive", fleet_labels_);
+  latency_ms_ = metrics->GetHistogram("serve.fleet.latency_ms", fleet_labels_);
+  if (options_status_.ok()) {
+    for (size_t i = 0; i < options_.initial_replicas; ++i) {
+      (void)AddReplicaInternal(/*count_scale_up=*/false);
+    }
+  }
+}
+
+PredictionFleet::~PredictionFleet() {
+  // Hedge losers and queued dispatches reference fleet members; drain
+  // them before anything is torn down.
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+Result<uint32_t> PredictionFleet::AddReplicaInternal(bool count_scale_up) {
+  if (factory_ == nullptr) {
+    return Status::FailedPrecondition("fleet has no replica factory");
+  }
+  std::unique_lock<std::shared_mutex> lock(ring_mu_);
+  const uint32_t id = next_replica_id_++;
+  auto primary = factory_(id);
+  if (primary == nullptr) {
+    return Status::Internal("replica factory returned null for id " +
+                            std::to_string(id));
+  }
+  // Replica services run inline on the fleet's dispatch threads: handing
+  // them the shared pool would deadlock it (pool tasks blocking on
+  // further pool tasks).
+  replicas_.emplace(
+      id, std::make_unique<Replica>(id, std::move(primary), fallback_,
+                                    options_.replica, options_.health,
+                                    /*pool=*/nullptr, clock_));
+  ring_.Add(id);
+  if (count_scale_up) scale_ups_->Increment();
+  lock.unlock();
+  UpdateReplicaGauges();
+  return id;
+}
+
+Result<uint32_t> PredictionFleet::AddReplica() {
+  return AddReplicaInternal(/*count_scale_up=*/true);
+}
+
+Status PredictionFleet::RemoveReplica(uint32_t id) {
+  {
+    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    if (!ring_.Contains(id)) {
+      return Status::NotFound("replica " + std::to_string(id) +
+                              " is not on the ring");
+    }
+    if (ring_.size() <= 1) {
+      return Status::FailedPrecondition(
+          "cannot drain the last routable replica");
+    }
+    ring_.Remove(id);
+    scale_downs_->Increment();
+  }
+  UpdateReplicaGauges();
+  return Status::OK();
+}
+
+Status PredictionFleet::KillReplica(uint32_t id) {
+  Replica* replica = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica " + std::to_string(id));
+    }
+    replica = it->second.get();
+  }
+  if (replica->alive()) {
+    replica->Kill();
+    kills_->Increment();
+  }
+  UpdateReplicaGauges();
+  return Status::OK();
+}
+
+Status PredictionFleet::RestartReplica(uint32_t id) {
+  Replica* replica = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica " + std::to_string(id));
+    }
+    replica = it->second.get();
+  }
+  replica->Restart();
+  restarts_->Increment();
+  UpdateReplicaGauges();
+  return Status::OK();
+}
+
+std::vector<uint32_t> PredictionFleet::ReplicaIds() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return ring_.Members();
+}
+
+std::vector<uint32_t> PredictionFleet::AliveReplicaIds() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  std::vector<uint32_t> alive;
+  for (const uint32_t id : ring_.Members()) {
+    if (replicas_.at(id)->alive()) alive.push_back(id);
+  }
+  return alive;
+}
+
+size_t PredictionFleet::replica_count() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return ring_.size();
+}
+
+size_t PredictionFleet::alive_count() const {
+  return AliveReplicaIds().size();
+}
+
+size_t PredictionFleet::capacity() const {
+  return std::max<size_t>(alive_count() * options_.replica.max_inflight, 1);
+}
+
+Result<ReplicaHealth> PredictionFleet::replica_health(uint32_t id) {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("no replica " + std::to_string(id));
+  }
+  return it->second->health();
+}
+
+void PredictionFleet::UpdateReplicaGauges() {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  size_t alive = 0;
+  for (const uint32_t id : ring_.Members()) {
+    if (replicas_.at(id)->alive()) ++alive;
+  }
+  replicas_total_gauge_->Set(static_cast<double>(ring_.size()));
+  replicas_alive_gauge_->Set(static_cast<double>(alive));
+}
+
+double PredictionFleet::HedgeDelayMs() const {
+  return BitsDouble(hedge_delay_bits_.load(std::memory_order_relaxed));
+}
+
+double PredictionFleet::EffectiveHedgeDelayMs(
+    ReplicaHealth primary_health) const {
+  // A suspect primary gets hedged immediately: it still serves (it may
+  // well answer), but the fleet does not bet the latency budget on it.
+  return primary_health == ReplicaHealth::kSuspect ? 0.0 : HedgeDelayMs();
+}
+
+void PredictionFleet::RecordAnswerLatency(double latency_ms) {
+  latency_ms_->Record(std::max(latency_ms, 1e-6));
+  const uint64_t n =
+      answers_since_refresh_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % options_.hedge.refresh_every != 0) return;
+  const Histogram snapshot = latency_ms_->Snapshot();
+  if (snapshot.count() < options_.hedge.min_samples) return;
+  const double delay =
+      std::clamp(snapshot.Percentile(options_.hedge.percentile),
+                 options_.hedge.min_delay_ms, options_.hedge.max_delay_ms);
+  hedge_delay_bits_.store(DoubleBits(delay), std::memory_order_relaxed);
+}
+
+void PredictionFleet::Route(uint64_t key, Replica** primary,
+                            Replica** target, size_t* skipped) {
+  *primary = nullptr;
+  *target = nullptr;
+  *skipped = 0;
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  const std::vector<uint32_t> prefs =
+      ring_.PreferenceList(key, ring_.size());
+  Replica* suspect_target = nullptr;
+  for (const uint32_t id : prefs) {
+    Replica* r = replicas_.at(id).get();
+    const bool routable = r->alive() && r->health() != ReplicaHealth::kDown;
+    if (!routable) {
+      // Down replicas are skipped — automatic failover rerouting. Only
+      // skips *before* the primary count as failovers for this request.
+      if (*primary == nullptr) ++*skipped;
+      continue;
+    }
+    if (*primary == nullptr) {
+      *primary = r;
+    } else if (r->health() == ReplicaHealth::kHealthy) {
+      *target = r;  // first healthy successor: preferred hedge target
+      break;
+    } else if (suspect_target == nullptr) {
+      suspect_target = r;
+    }
+  }
+  if (*target == nullptr) *target = suspect_target;
+}
+
+Result<ServedPrediction> PredictionFleet::DispatchTo(
+    Replica* replica, const dsp::ParallelQueryPlan& plan,
+    double deadline_ms) {
+  dispatches_->Increment();
+  return replica->Predict(plan, deadline_ms);
+}
+
+Result<FleetPrediction> PredictionFleet::Rescue(
+    const dsp::ParallelQueryPlan& plan, const Status& error, int64_t t0) {
+  if (fallback_ != nullptr) {
+    const Result<core::CostPrediction> fb = fallback_->Predict(plan);
+    if (fb.ok()) {
+      fallback_rescues_->Increment();
+      FleetPrediction fp;
+      fp.served.cost = fb.value();
+      fp.served.degraded = true;
+      fp.rescued = true;
+      fp.latency_ms = clock_->MillisSince(t0);
+      fp.served.total_ms = fp.latency_ms;
+      return fp;
+    }
+  }
+  return error;
+}
+
+Result<FleetPrediction> PredictionFleet::ExecuteInline(
+    Replica* primary, Replica* target, const dsp::ParallelQueryPlan& plan,
+    double deadline_ms, int64_t t0) {
+  const double hedge_delay = EffectiveHedgeDelayMs(primary->health());
+  Result<ServedPrediction> r0 = DispatchTo(primary, plan, deadline_ms);
+  const double e0 = clock_->MillisSince(t0);
+
+  FleetPrediction fp;
+  fp.replica = primary->id();
+  if (!r0.ok()) {
+    if (r0.status().code() == StatusCode::kDeadlineExceeded) {
+      // The budget is gone; neither a failover nor a rescue can answer
+      // in time.
+      return r0.status();
+    }
+    if (target != nullptr) {
+      // Failover retry: the primary answered with an error (crash window,
+      // exhausted attempts with failed fallback, replica-level shed), so
+      // the next replica on the ring gets one shot.
+      failovers_->Increment();
+      const double remaining =
+          deadline_ms > 0.0 ? std::max(deadline_ms - e0, 0.01) : 0.0;
+      Result<ServedPrediction> r1 = DispatchTo(target, plan, remaining);
+      if (r1.ok()) {
+        fp.served = std::move(r1).value();
+        fp.replica = target->id();
+        fp.latency_ms = clock_->MillisSince(t0);
+        return fp;
+      }
+    }
+    return Rescue(plan, r0.status(), t0);
+  }
+
+  if (options_.hedge.enabled && target != nullptr && e0 > hedge_delay) {
+    // Deterministic hedge simulation: in a concurrent deployment the
+    // hedge would have been dispatched at t0 + hedge_delay; run it now
+    // and pick the winner by virtual completion time. The clock advances
+    // through both runs sequentially, so identical seeds replay to
+    // identical outcomes — what the FakeClock determinism tests pin.
+    hedges_sent_->Increment();
+    fp.hedged = true;
+    const double remaining =
+        deadline_ms > 0.0 ? std::max(deadline_ms - hedge_delay, 0.01) : 0.0;
+    const int64_t h0 = clock_->NowNanos();
+    const Result<ServedPrediction> r1 = DispatchTo(target, plan, remaining);
+    const double e1 = clock_->MillisSince(h0);
+    const double hedge_virtual = hedge_delay + e1;
+    if (r1.ok() && hedge_virtual < e0) {
+      hedges_won_->Increment();
+      fp.hedge_won = true;
+      fp.served = r1.value();
+      fp.replica = target->id();
+      fp.latency_ms = hedge_virtual;
+      return fp;
+    }
+    hedges_cancelled_->Increment();
+  }
+  fp.served = std::move(r0).value();
+  fp.latency_ms = e0;
+  return fp;
+}
+
+struct PredictionFleet::RaceState {
+  std::mutex mu;
+  std::condition_variable cv;
+  // Hedge losers outlive Predict(); they work on this fleet-owned copy,
+  // never the caller's plan.
+  dsp::ParallelQueryPlan plan;
+  Result<ServedPrediction> results[2] = {
+      Result<ServedPrediction>(Status::Internal("pending")),
+      Result<ServedPrediction>(Status::Internal("pending"))};
+  bool done[2] = {false, false};
+  int finished = 0;
+  int winner = -1;  // first slot to produce an OK answer
+
+  explicit RaceState(const dsp::ParallelQueryPlan& p) : plan(p) {}
+};
+
+Result<FleetPrediction> PredictionFleet::ExecutePooled(
+    Replica* primary, Replica* target, const dsp::ParallelQueryPlan& plan,
+    double deadline_ms, int64_t t0) {
+  const double hedge_delay = EffectiveHedgeDelayMs(primary->health());
+  auto state = std::make_shared<RaceState>(plan);
+  auto run = [this, state](int slot, Replica* replica, double budget_ms) {
+    Result<ServedPrediction> r = DispatchTo(replica, state->plan, budget_ms);
+    std::lock_guard<std::mutex> g(state->mu);
+    state->results[slot] = std::move(r);
+    state->done[slot] = true;
+    ++state->finished;
+    if (state->winner < 0 && state->results[slot].ok()) {
+      state->winner = slot;
+    }
+    state->cv.notify_all();
+  };
+
+  pool_->Submit([run, primary, deadline_ms] { run(0, primary, deadline_ms); });
+
+  FleetPrediction fp;
+  fp.replica = primary->id();
+  std::unique_lock<std::mutex> lock(state->mu);
+  int dispatched = 1;
+  if (options_.hedge.enabled && target != nullptr) {
+    const int64_t hedge_at =
+        clock_->NowNanos() + static_cast<int64_t>(hedge_delay * 1e6);
+    clock_->WaitUntil(lock, state->cv, hedge_at,
+                      [&] { return state->done[0]; });
+    if (!state->done[0]) {
+      hedges_sent_->Increment();
+      fp.hedged = true;
+      const double remaining =
+          deadline_ms > 0.0
+              ? std::max(deadline_ms - clock_->MillisSince(t0), 0.01)
+              : 0.0;
+      pool_->Submit([run, target, remaining] { run(1, target, remaining); });
+      dispatched = 2;
+    }
+  }
+  // First OK answer wins; with none, wait for every dispatched attempt.
+  // Liveness: each attempt is deadline-bounded inside the replica (or
+  // answers promptly via its fallback), so the predicate always fires.
+  clock_->WaitUntil(lock, state->cv, kNoDeadlineNanos, [&] {
+    return state->winner >= 0 || state->finished == dispatched;
+  });
+
+  if (state->winner >= 0) {
+    const int w = state->winner;
+    if (fp.hedged) {
+      // The loser keeps running in the background; its answer is
+      // discarded ("cancelled" — attempts are never preempted).
+      if (w == 1) {
+        hedges_won_->Increment();
+        fp.hedge_won = true;
+        fp.replica = target->id();
+      } else {
+        hedges_cancelled_->Increment();
+      }
+    }
+    fp.served = state->results[w].value();
+    fp.latency_ms = clock_->MillisSince(t0);
+    return fp;
+  }
+
+  // Every dispatched attempt failed.
+  if (fp.hedged) hedges_cancelled_->Increment();
+  const Status primary_error = state->results[0].status();
+  lock.unlock();
+  if (primary_error.code() == StatusCode::kDeadlineExceeded) {
+    return primary_error;
+  }
+  if (!fp.hedged && target != nullptr) {
+    // Fast primary failure before the hedge timer: synchronous failover
+    // to the next replica on the ring.
+    failovers_->Increment();
+    const double remaining =
+        deadline_ms > 0.0
+            ? std::max(deadline_ms - clock_->MillisSince(t0), 0.01)
+            : 0.0;
+    Result<ServedPrediction> r1 = DispatchTo(target, state->plan, remaining);
+    if (r1.ok()) {
+      fp.served = std::move(r1).value();
+      fp.replica = target->id();
+      fp.latency_ms = clock_->MillisSince(t0);
+      return fp;
+    }
+  }
+  return Rescue(state->plan, primary_error, t0);
+}
+
+Result<FleetPrediction> PredictionFleet::Predict(const FleetRequest& request) {
+  // Malformed calls (no plan, bad options) are rejected before they are
+  // counted: every *received* request must land in exactly one shed or
+  // disposition bucket for the reconciliation invariants to hold.
+  ZT_RETURN_IF_ERROR(options_status_);
+  if (request.plan == nullptr) {
+    return Status::InvalidArgument("fleet request carries no plan");
+  }
+  received_->Increment();
+  const std::string tenant =
+      request.tenant.empty() ? "anonymous" : request.tenant;
+
+  // Tenant-fair admission in front of everything else; per-replica
+  // queues provide the second, replica-local shedding layer.
+  const QuotaDecision decision = quotas_.Admit(tenant, capacity());
+  if (decision != QuotaDecision::kAdmit) {
+    quotas_.CountOutcome(tenant, /*answered=*/false);
+    switch (decision) {
+      case QuotaDecision::kFleetFull:
+        shed_fleet_capacity_->Increment();
+        return Status::ResourceExhausted("fleet at capacity (" +
+                                         std::to_string(capacity()) +
+                                         " in flight); request shed");
+      case QuotaDecision::kTenantQuota:
+        shed_tenant_quota_->Increment();
+        return Status::ResourceExhausted(
+            "tenant quota exceeded for '" + tenant + "'; request shed");
+      default:
+        shed_fair_share_->Increment();
+        return Status::ResourceExhausted(
+            "fleet loaded beyond fair-share watermark and tenant '" +
+            tenant + "' is at its fair share; request shed");
+    }
+  }
+  admitted_->Increment();
+  struct QuotaGuard {
+    TenantQuotas* quotas;
+    const std::string& tenant;
+    ~QuotaGuard() { quotas->Release(tenant); }
+  } guard{&quotas_, tenant};
+
+  const int64_t t0 = clock_->NowNanos();
+  const uint64_t key = RequestKey(tenant, PlanKeyHash(*request.plan));
+  Replica* primary = nullptr;
+  Replica* target = nullptr;
+  size_t skipped = 0;
+  Route(key, &primary, &target, &skipped);
+  if (skipped > 0) failovers_->Increment(skipped);
+
+  Result<FleetPrediction> result{Status::Internal("pending")};
+  if (primary == nullptr) {
+    // Total outage: every ring member is down. The fleet-level fallback
+    // is the difference between "no replica" and "no answer".
+    result = Rescue(*request.plan,
+                    Status::Unavailable("no routable replica (all down)"),
+                    t0);
+  } else if (pool_ == nullptr) {
+    result = ExecuteInline(primary, target, *request.plan,
+                           request.deadline_ms, t0);
+  } else {
+    result = ExecutePooled(primary, target, *request.plan,
+                           request.deadline_ms, t0);
+  }
+
+  if (result.ok()) {
+    FleetPrediction& fp = result.value();
+    fp.failovers = skipped;
+    answered_->Increment();
+    if (fp.served.degraded) degraded_->Increment();
+    RecordAnswerLatency(fp.latency_ms);
+    quotas_.CountOutcome(tenant, /*answered=*/true);
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    deadline_expired_->Increment();
+    quotas_.CountOutcome(tenant, /*answered=*/false);
+  } else {
+    failed_->Increment();
+    quotas_.CountOutcome(tenant, /*answered=*/false);
+  }
+  return result;
+}
+
+FleetStats PredictionFleet::Snapshot() const {
+  FleetStats snap;
+  // Reverse-causal read order, same discipline as ServiceStats: read
+  // dispositions before admitted before received so every concurrent
+  // snapshot satisfies the documented inequalities, with equality at
+  // quiescence.
+  snap.latency_ms = latency_ms_->Snapshot();
+  snap.degraded = degraded_->Value();
+  snap.answered = answered_->Value();
+  snap.deadline_expired = deadline_expired_->Value();
+  snap.failed = failed_->Value();
+  snap.hedges_won = hedges_won_->Value();
+  snap.hedges_cancelled = hedges_cancelled_->Value();
+  snap.hedges_sent = hedges_sent_->Value();
+  snap.failovers = failovers_->Value();
+  snap.fallback_rescues = fallback_rescues_->Value();
+  snap.dispatches = dispatches_->Value();
+  snap.admitted = admitted_->Value();
+  snap.shed_fleet_capacity = shed_fleet_capacity_->Value();
+  snap.shed_tenant_quota = shed_tenant_quota_->Value();
+  snap.shed_fair_share = shed_fair_share_->Value();
+  snap.received = received_->Value();
+  snap.kills = kills_->Value();
+  snap.restarts = restarts_->Value();
+  snap.scale_ups = scale_ups_->Value();
+  snap.scale_downs = scale_downs_->Value();
+  snap.tenants_seen = quotas_.tenants_seen();
+  snap.active_tenants = quotas_.active_tenants();
+
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  snap.replicas_total = ring_.size();
+  bool first_hist = true;
+  for (const auto& [id, replica] : replicas_) {
+    ReplicaStatsEntry entry;
+    entry.id = id;
+    entry.alive = replica->alive();
+    entry.routable = ring_.Contains(id);
+    entry.health = replica->health();
+    entry.incarnations = replica->incarnations();
+    entry.crashed_rejections = replica->crashed_rejections();
+    entry.service = replica->CumulativeStats();
+    if (entry.alive && entry.routable) ++snap.replicas_alive;
+    if (first_hist) {
+      snap.replica_latency_ms = entry.service.latency_ms;
+      first_hist = false;
+    } else {
+      ZT_CHECK_OK(snap.replica_latency_ms.Merge(entry.service.latency_ms));
+    }
+    snap.replicas.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+}  // namespace zerotune::serve::fleet

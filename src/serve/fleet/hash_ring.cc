@@ -1,0 +1,103 @@
+#include "serve/fleet/hash_ring.h"
+
+namespace zerotune::serve::fleet {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+// FNV-1a over a byte, then over arbitrary integers via their bytes.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvByte(uint64_t h, uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = FnvByte(h, static_cast<uint8_t>(v >> (8 * i)));
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  for (const char c : s) h = FnvByte(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+}  // namespace
+
+uint64_t PlanKeyHash(const dsp::ParallelQueryPlan& plan) {
+  uint64_t h = kFnvOffset;
+  for (const dsp::Operator& op : plan.logical().operators()) {
+    h = FnvU64(h, static_cast<uint64_t>(op.id));
+    h = FnvU64(h, static_cast<uint64_t>(op.type));
+    h = FnvU64(h, static_cast<uint64_t>(plan.parallelism(op.id)));
+    h = FnvU64(h,
+               static_cast<uint64_t>(plan.placement(op.id).partitioning));
+  }
+  return Mix64(h);
+}
+
+uint64_t RequestKey(const std::string& tenant, uint64_t plan_hash) {
+  return Mix64(FnvString(FnvU64(kFnvOffset, plan_hash), tenant));
+}
+
+ConsistentHashRing::ConsistentHashRing(size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+void ConsistentHashRing::Add(uint32_t replica_id) {
+  if (!members_.insert(replica_id).second) return;
+  for (size_t v = 0; v < virtual_nodes_; ++v) {
+    const uint64_t point =
+        Mix64((static_cast<uint64_t>(replica_id) << 32) | v);
+    // On the (vanishingly rare) point collision the earlier member keeps
+    // the point; ownership stays deterministic either way.
+    ring_.emplace(point, replica_id);
+  }
+}
+
+void ConsistentHashRing::Remove(uint32_t replica_id) {
+  if (members_.erase(replica_id) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == replica_id ? ring_.erase(it) : std::next(it);
+  }
+}
+
+bool ConsistentHashRing::Contains(uint32_t replica_id) const {
+  return members_.count(replica_id) > 0;
+}
+
+std::vector<uint32_t> ConsistentHashRing::Members() const {
+  return std::vector<uint32_t>(members_.begin(), members_.end());
+}
+
+std::optional<uint32_t> ConsistentHashRing::Owner(uint64_t key) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<uint32_t> ConsistentHashRing::PreferenceList(uint64_t key,
+                                                         size_t k) const {
+  std::vector<uint32_t> prefs;
+  if (ring_.empty() || k == 0) return prefs;
+  prefs.reserve(std::min(k, members_.size()));
+  auto it = ring_.lower_bound(key);
+  for (size_t steps = 0; steps < ring_.size() && prefs.size() < k; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const uint32_t id = it->second;
+    bool seen = false;
+    for (const uint32_t p : prefs) seen = seen || p == id;
+    if (!seen) prefs.push_back(id);
+    ++it;
+  }
+  return prefs;
+}
+
+}  // namespace zerotune::serve::fleet

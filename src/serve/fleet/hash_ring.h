@@ -1,0 +1,80 @@
+#ifndef ZEROTUNE_SERVE_FLEET_HASH_RING_H_
+#define ZEROTUNE_SERVE_FLEET_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::serve::fleet {
+
+/// Stable 64-bit mixer (splitmix64 finalizer). Used for ring points, key
+/// hashing, and per-component seed derivation — deterministic across
+/// platforms, unlike std::hash.
+uint64_t Mix64(uint64_t x);
+
+/// Derives an independent seed for component `stream` from one root seed;
+/// the serve-sim CLI threads its --seed through this so chaos, jitter,
+/// kill schedule, and tenant assignment get decorrelated but reproducible
+/// streams.
+inline uint64_t DeriveSeed(uint64_t root_seed, uint64_t stream) {
+  return Mix64(root_seed ^ Mix64(stream + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Structural hash of a deployed plan: operator ids, types, parallelism
+/// degrees, and partitioning. Two requests for the same deployment hash
+/// identically, so they route to the same replica (cache- and
+/// model-affinity friendly); any structural change moves the key.
+uint64_t PlanKeyHash(const dsp::ParallelQueryPlan& plan);
+
+/// Routing key of a fleet request: tenant x plan structure.
+uint64_t RequestKey(const std::string& tenant, uint64_t plan_hash);
+
+/// Consistent-hash ring over replica ids. Each replica owns
+/// `virtual_nodes` pseudo-random points on a 64-bit ring; a key is owned
+/// by the first replica point at or after the key (wrapping). Properties
+/// the router and its tests rely on:
+///
+///  - adding/removing one replica only remaps the keys that replica owns
+///    (~1/N of the key space), never keys between other replicas;
+///  - PreferenceList() yields the owner followed by the next distinct
+///    replicas in ring order — the deterministic failover/hedging order;
+///  - with enough virtual nodes, key load is near-uniform (relative
+///    imbalance ~ 1/sqrt(virtual_nodes)).
+///
+/// Not thread-safe; PredictionFleet guards it with its routing lock.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t virtual_nodes = 128);
+
+  /// Adds a replica's virtual nodes; no-op when already present.
+  void Add(uint32_t replica_id);
+  /// Removes a replica's virtual nodes; no-op when absent.
+  void Remove(uint32_t replica_id);
+  bool Contains(uint32_t replica_id) const;
+
+  /// Number of member replicas.
+  size_t size() const { return members_.size(); }
+  std::vector<uint32_t> Members() const;
+
+  /// Replica owning `key`; nullopt when the ring is empty.
+  std::optional<uint32_t> Owner(uint64_t key) const;
+
+  /// Up to `k` distinct replicas for `key` in ring order starting at the
+  /// owner. Entry 0 is the primary route; entries 1.. are the failover /
+  /// hedge targets.
+  std::vector<uint32_t> PreferenceList(uint64_t key, size_t k) const;
+
+ private:
+  size_t virtual_nodes_;
+  std::map<uint64_t, uint32_t> ring_;  // point -> replica id
+  std::set<uint32_t> members_;
+};
+
+}  // namespace zerotune::serve::fleet
+
+#endif  // ZEROTUNE_SERVE_FLEET_HASH_RING_H_

@@ -1,0 +1,135 @@
+#include "serve/fleet/health.h"
+
+#include <cmath>
+
+namespace zerotune::serve::fleet {
+
+const char* ToString(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Status HealthOptions::Validate() const {
+  if (window == 0) {
+    return Status::InvalidArgument("health window must be >= 1");
+  }
+  if (min_samples == 0 || min_samples > window) {
+    return Status::InvalidArgument(
+        "health min_samples must be in [1, window]");
+  }
+  if (!std::isfinite(suspect_error_rate) || suspect_error_rate <= 0.0 ||
+      suspect_error_rate > 1.0) {
+    return Status::InvalidArgument(
+        "health suspect_error_rate must be in (0, 1]");
+  }
+  if (!std::isfinite(down_error_rate) ||
+      down_error_rate < suspect_error_rate || down_error_rate > 1.0) {
+    return Status::InvalidArgument(
+        "health down_error_rate must be in [suspect_error_rate, 1]");
+  }
+  if (!std::isfinite(slow_ms) || slow_ms < 0.0) {
+    return Status::InvalidArgument(
+        "health slow_ms must be non-negative and finite");
+  }
+  if (!std::isfinite(down_probe_backoff_ms) || down_probe_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "health down_probe_backoff_ms must be non-negative and finite");
+  }
+  return Status::OK();
+}
+
+HealthTracker::HealthTracker(HealthOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+void HealthTracker::RecordSuccess(double latency_ms) {
+  std::lock_guard<std::mutex> g(mu_);
+  const bool slow =
+      options_.slow_ms > 0.0 && latency_ms > options_.slow_ms;
+  PushOutcomeLocked(/*failure=*/slow);
+  EvaluateLocked();
+}
+
+void HealthTracker::RecordFailure() {
+  std::lock_guard<std::mutex> g(mu_);
+  PushOutcomeLocked(/*failure=*/true);
+  EvaluateLocked();
+}
+
+void HealthTracker::MarkCrashed() {
+  std::lock_guard<std::mutex> g(mu_);
+  crashed_ = true;
+  if (health_ != ReplicaHealth::kDown) {
+    health_ = ReplicaHealth::kDown;
+    down_since_nanos_ = clock_->NowNanos();
+    ++downs_;
+  }
+}
+
+void HealthTracker::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  crashed_ = false;
+  window_.clear();
+  window_failures_ = 0;
+  health_ = ReplicaHealth::kHealthy;
+}
+
+ReplicaHealth HealthTracker::health() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (health_ == ReplicaHealth::kDown && !crashed_) {
+    // Error-rate downs recover on their own: after the probe backoff the
+    // replica goes on probation (suspect) with a cleared window, so the
+    // next min_samples outcomes decide whether it re-downs or heals.
+    const double down_ms = clock_->MillisSince(down_since_nanos_);
+    if (down_ms >= options_.down_probe_backoff_ms) {
+      health_ = ReplicaHealth::kSuspect;
+      window_.clear();
+      window_failures_ = 0;
+    }
+  }
+  return health_;
+}
+
+uint64_t HealthTracker::downs() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return downs_;
+}
+
+void HealthTracker::PushOutcomeLocked(bool failure) {
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (window_.size() > options_.window) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void HealthTracker::EvaluateLocked() {
+  // Down states only exit through the probe backoff (health()) or a
+  // restart (Reset()) — outcomes recorded meanwhile cannot flip them.
+  if (crashed_ || health_ == ReplicaHealth::kDown) return;
+  // Probation keeps its suspect badge until the grace window fills.
+  if (window_.size() < options_.min_samples) return;
+  const double rate = static_cast<double>(window_failures_) /
+                      static_cast<double>(window_.size());
+  if (rate >= options_.down_error_rate) {
+    if (health_ != ReplicaHealth::kDown) {
+      health_ = ReplicaHealth::kDown;
+      down_since_nanos_ = clock_->NowNanos();
+      ++downs_;
+    }
+  } else if (rate >= options_.suspect_error_rate) {
+    if (health_ != ReplicaHealth::kDown) health_ = ReplicaHealth::kSuspect;
+  } else {
+    health_ = ReplicaHealth::kHealthy;
+  }
+}
+
+}  // namespace zerotune::serve::fleet

@@ -1,0 +1,90 @@
+#ifndef ZEROTUNE_SERVE_FLEET_HEALTH_H_
+#define ZEROTUNE_SERVE_FLEET_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace zerotune::serve::fleet {
+
+/// Replica health as the router sees it.
+///
+///  - kHealthy: full member — primary routes and hedge targets.
+///  - kSuspect: elevated error/latency — still serves primary traffic
+///    (requests routed to it are hedged immediately), not used as a hedge
+///    target while a healthy replica exists.
+///  - kDown: crashed or error rate above the down threshold — skipped at
+///    routing time (automatic failover to the next replica on the ring)
+///    until the probe backoff elapses or the controller restarts it.
+enum class ReplicaHealth { kHealthy = 0, kSuspect = 1, kDown = 2 };
+
+const char* ToString(ReplicaHealth h);
+
+struct HealthOptions {
+  /// Rolling window of recent request outcomes per replica.
+  size_t window = 64;
+  /// Outcomes required in the window before error rates are evaluated —
+  /// a freshly (re)started replica gets this much grace.
+  size_t min_samples = 8;
+  /// Window failure fraction at or above which the replica is suspect.
+  double suspect_error_rate = 0.3;
+  /// Window failure fraction at or above which the replica is down.
+  double down_error_rate = 0.7;
+  /// A success slower than this counts as a failure in the window
+  /// (latency-based degradation); 0 disables the latency criterion.
+  double slow_ms = 0.0;
+  /// Time a replica marked down by its error rate stays down before it is
+  /// put back on probation (suspect, window cleared). A *crashed* replica
+  /// stays down until restarted regardless.
+  double down_probe_backoff_ms = 500.0;
+
+  Status Validate() const;
+};
+
+/// Per-replica rolling-window health state, driven by request outcomes
+/// and the injectable Clock (FakeClock tests step through the
+/// down -> probation transition deterministically). Thread-safe.
+class HealthTracker {
+ public:
+  HealthTracker(HealthOptions options, Clock* clock);
+
+  /// Reports one request served by this replica. Degraded answers count
+  /// as failures for health purposes: the replica answered, but its
+  /// primary model did not.
+  void RecordSuccess(double latency_ms);
+  void RecordFailure();
+
+  /// Hard down signal (replica crashed); only Reset() recovers it.
+  void MarkCrashed();
+  /// Replica restarted: window cleared, health back to healthy.
+  void Reset();
+
+  /// Current health; evaluates the down-backoff timer.
+  ReplicaHealth health();
+
+  /// Times the tracker transitioned into kDown (crash or error rate).
+  uint64_t downs() const;
+
+ private:
+  void PushOutcomeLocked(bool failure);
+  void EvaluateLocked();
+
+  HealthOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  ReplicaHealth health_ = ReplicaHealth::kHealthy;
+  bool crashed_ = false;
+  std::deque<bool> window_;  // true = failure
+  size_t window_failures_ = 0;
+  int64_t down_since_nanos_ = 0;
+  uint64_t downs_ = 0;
+};
+
+}  // namespace zerotune::serve::fleet
+
+#endif  // ZEROTUNE_SERVE_FLEET_HEALTH_H_

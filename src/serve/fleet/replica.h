@@ -1,0 +1,106 @@
+#ifndef ZEROTUNE_SERVE_FLEET_REPLICA_H_
+#define ZEROTUNE_SERVE_FLEET_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "core/cost_predictor.h"
+#include "serve/fleet/health.h"
+#include "serve/prediction_service.h"
+
+namespace zerotune::serve::fleet {
+
+/// One serving replica of the fleet: a PredictionService incarnation plus
+/// crash/restart lifecycle and a health tracker.
+///
+/// The replica owns its primary predictor (typically a per-replica
+/// ChaosPredictor around a shared model) for its whole lifetime; what a
+/// "crash" destroys is the *service incarnation* — queue, breaker state,
+/// stats series. Kill() fails subsequent requests fast with Unavailable
+/// and marks the tracker down; Restart() retires the old incarnation and
+/// brings up a fresh service. Requests already executing inside a killed
+/// incarnation drain normally (the crash takes effect at request
+/// boundaries), so fleet-level accounting never loses a request.
+///
+/// Retired incarnations are kept alive until the replica is destroyed:
+/// their counters may still be incremented by draining requests, and
+/// CumulativeStats() folds every incarnation together (histograms via
+/// Histogram::Merge — same layout by construction). Thread-safe.
+class Replica {
+ public:
+  /// `primary` is owned; `fallback` is borrowed (may be null). The
+  /// service's serve.* series carry {"replica", <id>} on top of the
+  /// per-incarnation instance label. `pool` here is the pool handed to
+  /// each PredictionService; the fleet passes null so replica services
+  /// execute inline on the fleet's own dispatch threads (two layers of
+  /// pooling would deadlock a shared pool).
+  Replica(uint32_t id, std::unique_ptr<const core::CostPredictor> primary,
+          const core::CostPredictor* fallback, ServeOptions options,
+          HealthOptions health_options, ThreadPool* pool, Clock* clock);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Serves one request through the current incarnation, recording the
+  /// outcome in the health tracker. A killed replica answers Unavailable
+  /// immediately. Health accounting: a clean primary answer is a success;
+  /// an error or a *degraded* answer (primary failed, fallback served)
+  /// counts as a failure — the replica answered but is not healthy.
+  /// Replica-level shedding (ResourceExhausted) is a capacity signal, not
+  /// a health signal, and is not recorded.
+  Result<ServedPrediction> Predict(const dsp::ParallelQueryPlan& plan,
+                                   double deadline_ms);
+
+  /// Simulated crash: subsequent requests fail fast, health goes down.
+  /// Idempotent.
+  void Kill();
+  /// Brings a killed (or live) replica up as a fresh incarnation.
+  void Restart();
+
+  bool alive() const;
+  ReplicaHealth health() { return tracker_.health(); }
+  HealthTracker& tracker() { return tracker_; }
+  uint32_t id() const { return id_; }
+  /// Service incarnations brought up so far (1 after construction).
+  uint64_t incarnations() const;
+  /// Requests refused fast because the replica was crashed; these never
+  /// reach a service incarnation, so together with the cumulative
+  /// service `received` they account for every dispatch to this replica.
+  uint64_t crashed_rejections() const {
+    return crashed_rejections_.load(std::memory_order_relaxed);
+  }
+  /// Admission-slot residency of the live incarnation (0 when killed).
+  size_t inflight() const;
+
+  /// Sum of ServiceStats over all incarnations, latency histograms
+  /// merged. Monotonic between calls.
+  ServiceStats CumulativeStats() const;
+
+ private:
+  std::shared_ptr<PredictionService> MakeService();
+
+  const uint32_t id_;
+  std::unique_ptr<const core::CostPredictor> primary_;
+  const core::CostPredictor* fallback_;
+  ServeOptions options_;
+  ThreadPool* pool_;
+  Clock* clock_;
+  HealthTracker tracker_;
+
+  std::atomic<uint64_t> crashed_rejections_{0};
+
+  mutable std::mutex mu_;
+  bool alive_ = true;
+  uint64_t incarnations_ = 0;
+  std::shared_ptr<PredictionService> service_;
+  std::vector<std::shared_ptr<PredictionService>> retired_;
+};
+
+}  // namespace zerotune::serve::fleet
+
+#endif  // ZEROTUNE_SERVE_FLEET_REPLICA_H_

@@ -1,0 +1,125 @@
+#include "serve/fleet/tenant_quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serve/fleet/hash_ring.h"
+
+namespace zerotune::serve::fleet {
+
+Status QuotaOptions::Validate() const {
+  if (!std::isfinite(max_tenant_share) || max_tenant_share <= 0.0 ||
+      max_tenant_share > 1.0) {
+    return Status::InvalidArgument(
+        "quota max_tenant_share must be in (0, 1]");
+  }
+  if (!std::isfinite(fair_share_watermark) || fair_share_watermark <= 0.0 ||
+      fair_share_watermark > 1.0) {
+    return Status::InvalidArgument(
+        "quota fair_share_watermark must be in (0, 1]");
+  }
+  if (min_tenant_slots == 0) {
+    return Status::InvalidArgument("quota min_tenant_slots must be >= 1");
+  }
+  return Status::OK();
+}
+
+TenantQuotas::TenantQuotas(QuotaOptions options) : options_(options) {}
+
+TenantQuotas::Shard& TenantQuotas::ShardFor(const std::string& tenant) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : tenant) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return shards_[Mix64(h) % kShards];
+}
+
+TenantQuotas::TenantState* TenantQuotas::GetOrCreate(
+    const std::string& tenant) {
+  Shard& shard = ShardFor(tenant);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.tenants.find(tenant);
+  if (it != shard.tenants.end()) return it->second.get();
+  auto state = std::make_unique<TenantState>();
+  // One registry lookup per *new* tenant; the hot path only touches the
+  // cached handles and the sharded map.
+  auto* metrics = obs::MetricsRegistry::Global();
+  const obs::Labels labels = {{"tenant", tenant}};
+  state->received =
+      metrics->GetCounter("serve.fleet.tenant.received_total", labels);
+  state->answered =
+      metrics->GetCounter("serve.fleet.tenant.answered_total", labels);
+  state->shed = metrics->GetCounter("serve.fleet.tenant.shed_total", labels);
+  return shard.tenants.emplace(tenant, std::move(state))
+      .first->second.get();
+}
+
+size_t TenantQuotas::tenants_seen() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    n += shard.tenants.size();
+  }
+  return n;
+}
+
+QuotaDecision TenantQuotas::Admit(const std::string& tenant,
+                                  size_t capacity) {
+  TenantState* t = GetOrCreate(tenant);
+  t->received->Increment();
+  capacity = std::max<size_t>(capacity, 1);
+  const size_t hard_cap = std::max<size_t>(
+      options_.min_tenant_slots,
+      static_cast<size_t>(options_.max_tenant_share *
+                          static_cast<double>(capacity)));
+
+  // Reserve-then-check keeps every bound strict under concurrency: the
+  // slot is taken optimistically and handed back on refusal, so neither
+  // the fleet total nor a tenant's count ever exceeds its cap from an
+  // admitted request's point of view.
+  const uint64_t mine = t->inflight.fetch_add(1, std::memory_order_acq_rel);
+  if (mine == 0) active_tenants_.fetch_add(1, std::memory_order_relaxed);
+  QuotaDecision decision = QuotaDecision::kAdmit;
+  if (mine >= hard_cap) {
+    decision = QuotaDecision::kTenantQuota;
+  } else {
+    const size_t total =
+        total_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (total >= capacity) {
+      total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      decision = QuotaDecision::kFleetFull;
+    } else if (static_cast<double>(total + 1) >=
+               options_.fair_share_watermark *
+                   static_cast<double>(capacity)) {
+      // Loaded fleet: tenants at or past their fair slice shed first.
+      const size_t fair = std::max<size_t>(
+          options_.min_tenant_slots,
+          capacity / std::max<size_t>(active_tenants(), 1));
+      if (mine >= fair) {
+        total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        decision = QuotaDecision::kFairShare;
+      }
+    }
+  }
+  if (decision != QuotaDecision::kAdmit) {
+    if (t->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      active_tenants_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return decision;
+}
+
+void TenantQuotas::Release(const std::string& tenant) {
+  TenantState* t = GetOrCreate(tenant);
+  total_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (t->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    active_tenants_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantQuotas::CountOutcome(const std::string& tenant, bool answered) {
+  TenantState* t = GetOrCreate(tenant);
+  (answered ? t->answered : t->shed)->Increment();
+}
+
+}  // namespace zerotune::serve::fleet

@@ -1,0 +1,91 @@
+#ifndef ZEROTUNE_SERVE_FLEET_TENANT_QUOTA_H_
+#define ZEROTUNE_SERVE_FLEET_TENANT_QUOTA_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace zerotune::serve::fleet {
+
+struct QuotaOptions {
+  /// Hard cap on a single tenant's share of fleet capacity (0, 1]. A
+  /// tenant holding >= max(min_tenant_slots, share * capacity) inflight
+  /// slots is shed with ResourceExhausted("tenant quota ...") no matter
+  /// how idle the fleet is.
+  double max_tenant_share = 0.25;
+  /// Fleet utilization (inflight / capacity) above which *fair* admission
+  /// kicks in: tenants already holding >= capacity / active_tenants slots
+  /// are shed first, so a burst from one tenant cannot starve the rest.
+  double fair_share_watermark = 0.75;
+  /// Every tenant may always hold at least this many slots.
+  size_t min_tenant_slots = 1;
+
+  Status Validate() const;
+};
+
+/// Why an admission attempt was refused.
+enum class QuotaDecision { kAdmit = 0, kFleetFull = 1, kTenantQuota = 2, kFairShare = 3 };
+
+/// Per-tenant fair-admission layer in front of the fleet. Tracks each
+/// tenant's inflight requests in a sharded hash map (shard by tenant
+/// hash; no global lock on the hot path) and lazily registers the
+/// tenant-labelled serve.fleet.tenant.* metric series on first contact.
+/// Thread-safe.
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(QuotaOptions options);
+
+  /// Attempts to admit one request for `tenant` against `capacity` total
+  /// fleet slots. On kAdmit the caller MUST call Release(tenant) exactly
+  /// once when the request leaves the fleet.
+  QuotaDecision Admit(const std::string& tenant, size_t capacity);
+  void Release(const std::string& tenant);
+
+  /// Records the request's final disposition on the tenant's labelled
+  /// series (answered or shed).
+  void CountOutcome(const std::string& tenant, bool answered);
+
+  /// Tenants holding at least one inflight slot right now.
+  size_t active_tenants() const {
+    return active_tenants_.load(std::memory_order_relaxed);
+  }
+  /// Total inflight requests across tenants.
+  size_t total_inflight() const {
+    return total_inflight_.load(std::memory_order_relaxed);
+  }
+  /// Distinct tenants ever seen.
+  size_t tenants_seen() const;
+
+ private:
+  struct TenantState {
+    std::atomic<uint64_t> inflight{0};
+    obs::Counter* received = nullptr;
+    obs::Counter* answered = nullptr;
+    obs::Counter* shed = nullptr;
+  };
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants;
+  };
+
+  TenantState* GetOrCreate(const std::string& tenant);
+  Shard& ShardFor(const std::string& tenant);
+
+  QuotaOptions options_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<size_t> total_inflight_{0};
+  std::atomic<size_t> active_tenants_{0};
+};
+
+}  // namespace zerotune::serve::fleet
+
+#endif  // ZEROTUNE_SERVE_FLEET_TENANT_QUOTA_H_

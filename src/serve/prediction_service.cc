@@ -17,11 +17,15 @@ bool DeadlineReached(Clock* clock, int64_t deadline_nanos) {
 }
 
 // Process-wide instance numbering so concurrent services (tests spin up
-// many) get disjoint serve.* series in the global registry.
-obs::Labels NextInstanceLabels() {
+// many) get disjoint serve.* series in the global registry; caller labels
+// (e.g. the fleet's {"replica", <id>}) ride along on every series.
+obs::Labels NextInstanceLabels(const obs::Labels& extra) {
   static std::atomic<uint64_t> next{0};
-  return {{"instance",
-           std::to_string(next.fetch_add(1, std::memory_order_relaxed))}};
+  obs::Labels labels = extra;
+  labels.emplace_back(
+      "instance",
+      std::to_string(next.fetch_add(1, std::memory_order_relaxed)));
+  return labels;
 }
 
 }  // namespace
@@ -117,7 +121,7 @@ PredictionService::PredictionService(const core::CostPredictor* primary,
       pool_(pool),
       clock_(clock != nullptr ? clock : SystemClock::Default()),
       breaker_(options.breaker, clock_),
-      metric_labels_(NextInstanceLabels()),
+      metric_labels_(NextInstanceLabels(options.metric_labels)),
       rng_(options.seed) {
   auto* metrics = obs::MetricsRegistry::Global();
   received_ = metrics->GetCounter("serve.received_total", metric_labels_);
@@ -167,9 +171,12 @@ Result<ServedPrediction> PredictionService::Predict(
 
   // Bounded admission: beyond max_inflight the request is shed, not
   // queued — the caller gets explicit backpressure it can react to.
+  // Requests parked in backoff sleep are discounted: they hold no
+  // execution resources, so counting them against the bound would let a
+  // burst of retrying requests starve fresh admissions.
   {
     std::lock_guard<std::mutex> g(queue_mu_);
-    if (inflight_ >= options_.max_inflight) {
+    if (inflight_ - backing_off_ >= options_.max_inflight) {
       shed_queue_full_->Increment();
       return Status::ResourceExhausted(
           "service at capacity (" + std::to_string(options_.max_inflight) +
@@ -291,7 +298,21 @@ void PredictionService::SleepBackoff(size_t attempt, int64_t deadline_nanos) {
         static_cast<double>(deadline_nanos - clock_->NowNanos()) / 1e6;
     ms = std::min(ms, std::max(remaining_ms, 0.0));
   }
-  if (ms > 0.0) clock_->SleepFor(static_cast<int64_t>(ms * 1e6));
+  if (ms > 0.0) {
+    // Release the admission slot for the duration of the sleep: a request
+    // waiting out its backoff consumes no execution resources, so fresh
+    // requests may take its place. On wake the request resumes without
+    // re-acquiring a slot, so total residency can transiently exceed
+    // max_inflight (bounded by max_inflight * max_attempts); what the
+    // bound strictly limits is slots held at admission time.
+    {
+      std::lock_guard<std::mutex> g(queue_mu_);
+      ++backing_off_;
+    }
+    clock_->SleepFor(static_cast<int64_t>(ms * 1e6));
+    std::lock_guard<std::mutex> g(queue_mu_);
+    --backing_off_;
+  }
 }
 
 Result<ServedPrediction> PredictionService::ExecuteAttempts(

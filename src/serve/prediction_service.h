@@ -23,9 +23,11 @@ namespace zerotune::serve {
 /// Validate() is checked at service construction and every Predict() call
 /// fails fast with the construction error if the options were bad.
 struct ServeOptions {
-  /// Bound on requests inside the service (queued + executing). Admission
-  /// beyond this sheds the request with ResourceExhausted instead of
-  /// queueing unboundedly — explicit backpressure to the caller.
+  /// Bound on requests occupying the service (queued + executing, not
+  /// counting requests parked in retry-backoff sleep — those release
+  /// their slot for the duration). Admission beyond this sheds the
+  /// request with ResourceExhausted instead of queueing unboundedly —
+  /// explicit backpressure to the caller.
   size_t max_inflight = 64;
   /// Deadline budget applied when the caller passes none (0 = none).
   double default_deadline_ms = 0.0;
@@ -45,6 +47,10 @@ struct ServeOptions {
   CircuitBreakerOptions breaker;
   /// Seed of the jitter Rng.
   uint64_t seed = 17;
+  /// Extra labels attached to every serve.* series of this instance, on
+  /// top of the automatic {"instance", <n>} label. The fleet layer sets
+  /// {"replica", <id>} here so per-replica series are addressable.
+  obs::Labels metric_labels;
 
   Status Validate() const;
 };
@@ -149,11 +155,22 @@ class PredictionService {
   /// against the registry.
   const obs::Labels& metric_labels() const { return metric_labels_; }
 
-  /// Requests currently inside the service (queued + executing); never
-  /// exceeds ServeOptions::max_inflight.
+  /// Requests currently *occupying an admission slot* (queued + executing,
+  /// excluding requests parked in retry backoff); never exceeds
+  /// ServeOptions::max_inflight. A request sleeping between attempts
+  /// releases its slot so bursts of retrying requests cannot starve
+  /// admission — see backing_off().
   size_t inflight() const {
     std::lock_guard<std::mutex> g(queue_mu_);
-    return inflight_;
+    return inflight_ - backing_off_;
+  }
+
+  /// Requests currently parked in backoff sleep between retry attempts.
+  /// These are inside the service but discounted from the admission bound;
+  /// total residency is inflight() + backing_off().
+  size_t backing_off() const {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    return backing_off_;
   }
 
   CircuitBreaker::State breaker_state() { return breaker_.state(); }
@@ -183,7 +200,9 @@ class PredictionService {
 
   mutable std::mutex queue_mu_;
   std::deque<std::shared_ptr<Request>> queue_;
-  size_t inflight_ = 0;  // queued + executing, bounded by max_inflight
+  size_t inflight_ = 0;     // queued + executing + backing off
+  size_t backing_off_ = 0;  // subset of inflight_ asleep between attempts;
+                            // admission bounds inflight_ - backing_off_
 
   // serve.* series in the global metrics registry, labeled per instance.
   // Handles are resolved once at construction; hot-path increments are

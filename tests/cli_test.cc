@@ -377,6 +377,54 @@ TEST_F(CliWorkflowTest, ServeSimReplaysTraceAndReportsStats) {
   std::remove(plan.c_str());
 }
 
+TEST_F(CliWorkflowTest, ServeSimFleetModeIsSeededAndDeterministic) {
+  const std::string plan = TempPath("fleet.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Inline fleet chaos drill (--threads 0 = FakeClock): the whole run —
+  // tenant assignment, chaos, kill schedule, hedging — derives from the
+  // one root --seed, so identical invocations are byte-identical.
+  const std::string cmd =
+      "serve-sim --plan " + plan +
+      " --requests 800 --threads 0 --replicas 4 --tenants 32"
+      " --kill-replica-every 200 --fail-rate 0.05 --seed 11 --format json";
+  r = RunCli(cmd);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"mode\": \"fleet\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"received\": 800"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"kills\""), std::string::npos) << r.output;
+  const auto replay = RunCli(cmd);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_EQ(r.output, replay.output) << "seeded fleet run is not replayable";
+
+  // A different root seed must change the outcome.
+  const auto other = RunCli(
+      "serve-sim --plan " + plan +
+      " --requests 800 --threads 0 --replicas 4 --tenants 32"
+      " --kill-replica-every 200 --fail-rate 0.05 --seed 12 --format json");
+  EXPECT_EQ(other.exit_code, 0) << other.output;
+  EXPECT_NE(r.output, other.output);
+
+  // Text mode prints the fleet summary; bad flag values are usage errors.
+  r = RunCli("serve-sim --plan " + plan +
+             " --requests 100 --threads 0 --replicas 2 --tenants 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("fleet replayed 100 request(s)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(RunCli("serve-sim --plan " + plan + " --replicas -1").exit_code,
+            0);
+  EXPECT_NE(RunCli("serve-sim --plan " + plan +
+                   " --replicas 2 --tenants 0").exit_code,
+            0);
+
+  std::remove(plan.c_str());
+}
+
 TEST_F(CliWorkflowTest, DeadlineBudgetsExitThreeWithPartialJson) {
   const std::string plan = TempPath("deadline.plan");
   auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +

@@ -5,8 +5,10 @@
 #include "serve/prediction_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -238,6 +240,54 @@ TEST(PredictionServiceTest, AdmissionBoundShedsWithResourceExhausted) {
   EXPECT_EQ(s.admitted, 1u);
   EXPECT_EQ(s.shed_queue_full, 1u);
   EXPECT_EQ(s.completed, 1u);
+  ExpectInvariants(s);
+}
+
+// Regression: a request parked in retry backoff must not occupy an
+// admission slot. Before the fix, a single retrying request with
+// max_inflight = 1 held the slot through its backoff sleep and every
+// concurrent request was shed; now the slot is released for the duration
+// of the sleep (inflight() excludes backing_off()). Real clock + real
+// threads: FakeClock cannot block one thread while another runs.
+TEST(PredictionServiceTest, BackoffSleepReleasesAdmissionSlot) {
+  SystemClock clock;
+  // First call fails (forcing a backoff sleep before the retry); every
+  // call after that succeeds immediately.
+  ScriptedPredictor primary({{true, 0.0}, {false, 0.0}}, &clock);
+  ServeOptions opts;
+  opts.max_inflight = 1;
+  opts.max_attempts = 2;
+  opts.backoff_base_ms = 300.0;  // long enough for B to run while A sleeps
+  opts.backoff_max_ms = 300.0;
+  opts.backoff_jitter = 0.0;
+  PredictionService service(&primary, nullptr, opts, nullptr, &clock);
+  const dsp::ParallelQueryPlan plan = ValidPlan();
+
+  std::thread a([&] { ZT_CHECK_OK(service.Predict(plan).status()); });
+
+  // Wait until A is parked in its backoff sleep with the slot released.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.backing_off() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(service.backing_off(), 1u) << "A never reached backoff";
+  EXPECT_EQ(service.inflight(), 0u);
+
+  // B must be admitted while A sleeps; pre-fix it was shed kQueueFull.
+  const auto b = service.Predict(plan);
+  ZT_CHECK_OK(b.status());
+  a.join();
+
+  const ServiceStats s = service.Snapshot();
+  EXPECT_EQ(s.received, 2u);
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.shed_queue_full, 0u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(service.inflight(), 0u);
+  EXPECT_EQ(service.backing_off(), 0u);
   ExpectInvariants(s);
 }
 

@@ -29,10 +29,25 @@
 //                         [--requests 1000] [--threads 4] [--queue 64]
 //                         [--fail-rate 0.1] [--slow-rate 0] [--slow-ms 5]
 //                         [--deadline-ms 0] [--inject-faults SPEC]
-//                         [--format json]
+//                         [--seed 7] [--format json]
 //                         (replays a request trace through the resilient
 //                          PredictionService against a chaos-wrapped
-//                          primary and prints the service stats)
+//                          primary and prints the service stats; every
+//                          random stream — chaos, retry jitter, tenants,
+//                          kills — derives from --seed, so identical
+//                          invocations replay identically)
+//   zerotune_cli serve-sim ... --replicas 4 [--tenants 100]
+//                         [--kill-replica-every 5000]
+//                         [--restart-delay-ms 5] [--no-hedge]
+//                         [--autoscale]
+//                         (fleet mode: the same trace drives a
+//                          PredictionFleet of N replicas behind the
+//                          consistent-hash router, with per-tenant
+//                          admission, hedging, chaos kills every K
+//                          requests, and the Dhalion-style controller
+//                          restarting crashed replicas. --threads 0 runs
+//                          inline on a FakeClock: bit-deterministic
+//                          output for a given --seed)
 //
 // predict/tune/recover accept --deadline-ms BUDGET; exhausting the budget
 // exits with code 3 and, under --format json, a partial object carrying
@@ -45,6 +60,7 @@
 //                        (load in chrome://tracing or ui.perfetto.dev)
 // Both files are written atomically after the command runs, even when it
 // fails — a failed run's metrics are exactly what you want to look at.
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -71,6 +87,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/chaos_predictor.h"
+#include "serve/fleet/controller.h"
+#include "serve/fleet/fleet.h"
+#include "serve/fleet/hash_ring.h"
 #include "serve/prediction_service.h"
 #include "sim/cost_report.h"
 #include "sim/event_simulator.h"
@@ -791,6 +810,141 @@ int CmdLint(const FlagParser& flags) {
   return 0;
 }
 
+/// serve-sim --replicas mode configuration (see RunFleetServeSim).
+struct FleetSimConfig {
+  size_t requests = 0;
+  size_t threads = 0;
+  size_t replicas = 0;
+  size_t tenants = 1;
+  size_t kill_every = 0;  // 0 = no chaos kills
+  double restart_delay_ms = 5.0;
+  bool hedge = true;
+  bool autoscale = false;
+  double deadline_ms = 0.0;
+  uint64_t root_seed = 7;
+};
+
+/// Fleet mode of serve-sim: drives a PredictionFleet instead of a single
+/// PredictionService. Chaos kills a replica every kill_every requests and
+/// the Dhalion-style controller (ticking every 256 requests) restarts it
+/// after restart_delay_ms, so the replay exercises failover, hedging and
+/// recovery, not just the happy path.
+int RunFleetServeSim(OutputFormat format, const dsp::ParallelQueryPlan& plan,
+                     const core::CostPredictor* inner,
+                     const core::CostPredictor* fallback,
+                     const serve::ChaosPredictor::Options& chaos_options,
+                     const serve::ServeOptions& sopts,
+                     const FleetSimConfig& cfg) {
+  using serve::fleet::DeriveSeed;
+  using serve::fleet::Mix64;
+
+  // --threads 0: inline on a FakeClock — virtual time advances only
+  // through chaos latency and a fixed per-request epsilon, so a given
+  // --seed replays to bit-identical output. --threads N: a real pool on
+  // the system clock (the benchmark mode).
+  std::unique_ptr<FakeClock> fake;
+  std::unique_ptr<ThreadPool> pool;
+  if (cfg.threads > 0) {
+    pool = std::make_unique<ThreadPool>(cfg.threads);
+  } else {
+    fake = std::make_unique<FakeClock>();
+  }
+  Clock* clock = fake != nullptr ? static_cast<Clock*>(fake.get())
+                                 : SystemClock::Default();
+
+  serve::fleet::FleetOptions fopts;
+  fopts.initial_replicas = cfg.replicas;
+  fopts.replica = sopts;
+  fopts.hedge.enabled = cfg.hedge;
+  const uint64_t chaos_stream = DeriveSeed(cfg.root_seed, 1);
+  auto factory = [inner, &chaos_options, chaos_stream, clock](uint32_t id)
+      -> std::unique_ptr<const core::CostPredictor> {
+    serve::ChaosPredictor::Options per_replica = chaos_options;
+    per_replica.seed = DeriveSeed(chaos_stream, id);
+    return std::make_unique<serve::ChaosPredictor>(inner, per_replica, clock);
+  };
+  serve::fleet::PredictionFleet fleet(factory, fallback, fopts, pool.get(),
+                                      clock);
+
+  serve::fleet::ControllerOptions ctl;
+  // Without --autoscale the controller only restarts crashed replicas:
+  // pinning min == max makes both scaling resolutions no-ops.
+  ctl.min_replicas = cfg.autoscale ? 1 : cfg.replicas;
+  ctl.max_replicas = cfg.autoscale ? cfg.replicas * 2 : cfg.replicas;
+  ctl.restart_delay_ms = cfg.restart_delay_ms;
+  serve::fleet::FleetController controller(&fleet, ctl, clock);
+
+  const uint64_t tenant_stream = DeriveSeed(cfg.root_seed, 3);
+  const uint64_t kill_stream = DeriveSeed(cfg.root_seed, 4);
+  const size_t callers = pool != nullptr ? cfg.threads : size_t{1};
+  const int64_t t_start = clock->NowNanos();
+  std::atomic<uint64_t> kill_count{0};
+  auto drive = [&](size_t caller) {
+    const size_t share = (cfg.requests + callers - 1) / callers;
+    const size_t lo = caller * share;
+    const size_t hi = std::min(cfg.requests, lo + share);
+    serve::fleet::FleetRequest req;
+    req.plan = &plan;
+    req.deadline_ms = cfg.deadline_ms;
+    for (size_t i = lo; i < hi; ++i) {
+      // Tenant assignment hashes the global request index, so the mix is
+      // identical whatever the thread count.
+      req.tenant =
+          "t" + std::to_string(Mix64(tenant_stream ^ i) % cfg.tenants);
+      (void)fleet.Predict(req);
+      if (fake != nullptr) fake->AdvanceMillis(0.05);
+      if (caller != 0) continue;
+      // Chaos and the control plane run on caller 0's schedule.
+      if (cfg.kill_every > 0 && (i + 1) % cfg.kill_every == 0) {
+        const std::vector<uint32_t> alive = fleet.AliveReplicaIds();
+        if (!alive.empty()) {
+          const uint64_t k =
+              kill_count.fetch_add(1, std::memory_order_relaxed);
+          (void)fleet.KillReplica(
+              alive[Mix64(kill_stream ^ k) % alive.size()]);
+        }
+      }
+      if ((i + 1) % 256 == 0) (void)controller.Tick();
+    }
+  };
+  if (callers <= 1) {
+    drive(0);
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(callers);
+    for (size_t c = 0; c < callers; ++c) drivers.emplace_back(drive, c);
+    for (std::thread& t : drivers) t.join();
+  }
+  // Quiesce hedge losers still racing in the pool so the snapshot's
+  // reconciliation invariants hold exactly.
+  if (pool != nullptr) pool->Wait();
+
+  const serve::fleet::FleetStats stats = fleet.Snapshot();
+  const double wall_s = clock->MillisSince(t_start) / 1000.0;
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(cfg.requests) / wall_s : 0.0;
+  if (format == OutputFormat::kJson) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"mode\": \"fleet\", \"replicas\": " << cfg.replicas
+       << ", \"tenants\": " << cfg.tenants
+       << ", \"requests\": " << cfg.requests
+       << ", \"threads\": " << cfg.threads
+       << ", \"kill_replica_every\": " << cfg.kill_every
+       << ", \"seed\": " << cfg.root_seed << ", \"wall_s\": " << wall_s
+       << ", \"rps\": " << rps << ", \"stats\": " << stats.ToJson() << "}";
+    std::cout << os.str() << "\n";
+  } else {
+    std::cout << "fleet replayed " << cfg.requests << " request(s) from "
+              << cfg.tenants << " tenant(s) across " << cfg.replicas
+              << " replica(s) in " << TextTable::Fmt(wall_s) << " s ("
+              << TextTable::Fmt(rps, 0) << " req/s"
+              << (fake != nullptr ? ", virtual time" : "") << ")\n"
+              << stats.ToText();
+  }
+  return 0;
+}
+
 int CmdServeSim(const FlagParser& flags) {
   const std::string plan_path = flags.GetString("plan");
   if (plan_path.empty()) {
@@ -816,12 +970,22 @@ int CmdServeSim(const FlagParser& flags) {
   ZT_ASSIGN_OR_RETURN_CLI(const double base_latency_ms,
                           flags.GetDouble("base-latency-ms", 0.0));
   ZT_ASSIGN_OR_RETURN_CLI(const int64_t seed, flags.GetInt("seed", 7));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t replicas, flags.GetInt("replicas", 0));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t tenants, flags.GetInt("tenants", 1));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t kill_every,
+                          flags.GetInt("kill-replica-every", 0));
+  ZT_ASSIGN_OR_RETURN_CLI(const double restart_delay_ms,
+                          flags.GetDouble("restart-delay-ms", 5.0));
   if (requests < 1) {
     return Fail(Status::InvalidArgument("--requests must be >= 1"));
   }
   if (threads < 0 || queue < 1 || attempts < 1) {
     return Fail(Status::InvalidArgument(
         "--threads must be >= 0, --queue and --attempts >= 1"));
+  }
+  if (replicas < 0 || tenants < 1 || kill_every < 0) {
+    return Fail(Status::InvalidArgument(
+        "--replicas and --kill-replica-every must be >= 0, --tenants >= 1"));
   }
 
   // Primary: the trained model when given, else the analytical oracle —
@@ -839,19 +1003,24 @@ int CmdServeSim(const FlagParser& flags) {
       model != nullptr ? static_cast<const core::CostPredictor*>(model.get())
                        : &oracle;
 
+  // Every random stream of the simulation — chaos injection, retry
+  // jitter, tenant assignment, the kill schedule — derives from the one
+  // --seed via DeriveSeed, so two invocations with identical flags replay
+  // identical outcomes (bit-identical in inline mode).
+  const uint64_t root_seed = static_cast<uint64_t>(seed);
+
   serve::ChaosPredictor::Options copts;
   copts.fail_rate = fail_rate;
   copts.slow_rate = slow_rate;
   copts.slow_ms = slow_ms;
   copts.base_latency_ms = base_latency_ms;
-  copts.seed = static_cast<uint64_t>(seed);
+  copts.seed = serve::fleet::DeriveSeed(root_seed, 1);
   const std::string fault_spec = flags.GetString("inject-faults");
   if (!fault_spec.empty()) {
     ZT_ASSIGN_OR_RETURN_CLI(copts.faults, sim::FaultPlan::Parse(fault_spec));
   }
   const Status copts_ok = copts.Validate();
   if (!copts_ok.ok()) return Fail(copts_ok);
-  serve::ChaosPredictor chaos(inner, copts, /*clock=*/nullptr);
 
   // Fallback: always the cheap analytical oracle (degraded answers).
   core::OraclePredictor fallback;
@@ -860,7 +1029,25 @@ int CmdServeSim(const FlagParser& flags) {
   sopts.max_inflight = static_cast<size_t>(queue);
   sopts.default_deadline_ms = deadline_ms;
   sopts.max_attempts = static_cast<size_t>(attempts);
-  sopts.seed = static_cast<uint64_t>(seed) + 1;
+  sopts.seed = serve::fleet::DeriveSeed(root_seed, 2);
+
+  if (replicas > 0) {
+    FleetSimConfig cfg;
+    cfg.requests = static_cast<size_t>(requests);
+    cfg.threads = static_cast<size_t>(threads);
+    cfg.replicas = static_cast<size_t>(replicas);
+    cfg.tenants = static_cast<size_t>(tenants);
+    cfg.kill_every = static_cast<size_t>(kill_every);
+    cfg.restart_delay_ms = restart_delay_ms;
+    cfg.hedge = !flags.GetBool("no-hedge");
+    cfg.autoscale = flags.GetBool("autoscale");
+    cfg.deadline_ms = deadline_ms;
+    cfg.root_seed = root_seed;
+    return RunFleetServeSim(format, plan.value(), inner, &fallback, copts,
+                            sopts, cfg);
+  }
+
+  serve::ChaosPredictor chaos(inner, copts, /*clock=*/nullptr);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 0) {
     pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
