@@ -156,6 +156,35 @@ void BM_OptimizerTune(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizerTune);
 
+/// End-to-end Tune() against the real GNN at cluster scale: args are
+/// (m510 nodes, prescreen on/off). 8/32/128 nodes = 64/256/1024 cores.
+/// The analytical tier's value shows as the on/off gap widening with the
+/// cluster (more candidates enumerated, same handful GNN-scored).
+void BM_TuneEndToEnd(benchmark::State& state) {
+  core::ZeroTuneModel model;
+  workload::QueryGenerator::Options gen_opts;
+  gen_opts.overrides.event_rate = 500000;
+  workload::QueryGenerator gen(gen_opts, 0xf1);
+  const auto g = gen.Generate(workload::QueryStructure::kLinear).value();
+  const auto cluster =
+      dsp::Cluster::Homogeneous("m510", static_cast<int>(state.range(0)))
+          .value();
+  core::ParallelismOptimizer::Options opts;
+  opts.prescreen.enabled = state.range(1) != 0;
+  core::ParallelismOptimizer optimizer(&model, opts);
+  size_t gnn_scored = 0;
+  for (auto _ : state) {
+    const auto tuned = optimizer.Tune(g.plan, cluster);
+    ZT_CHECK_OK(tuned.status());
+    gnn_scored = tuned.value().candidates_evaluated;
+    benchmark::DoNotOptimize(tuned);
+  }
+  state.counters["gnn_scored"] = static_cast<double>(gnn_scored);
+}
+BENCHMARK(BM_TuneEndToEnd)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

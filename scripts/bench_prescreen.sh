@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the two-tier scoring benchmark (analytical pre-screen vs
+# exhaustive GNN scoring across the fig10 structures at 64/256/1024
+# cores) and writes bench/BENCH_prescreen.json.
+#
+# Usage: scripts/bench_prescreen.sh [build-dir]
+#   scripts/bench_prescreen.sh          # ./build
+# Honors the usual bench scale knobs (ZEROTUNE_BENCH_FAST=1 /
+# ZEROTUNE_BENCH_FULL=1).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out="${repo_root}/bench/BENCH_prescreen.json"
+
+cmake --build "${build_dir}" --target bench_prescreen -j "$(nproc)" >&2
+bin="${build_dir}/bench/bench_prescreen"
+[[ -x "${bin}" ]] || { echo "bench_prescreen not found at ${bin}" >&2; exit 1; }
+
+"${bin}" > "${out}"
+echo "wrote ${out}" >&2
+python3 -m json.tool "${out}" > /dev/null

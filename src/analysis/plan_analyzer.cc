@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/segments.h"
+
 namespace zerotune::analysis {
 
 namespace {
@@ -336,6 +338,30 @@ void CheckPhysical(const LintPlan& plan, DiagnosticReport* report) {
   }
 }
 
+/// ZT-P026: pattern-segment decomposition sanity. A segment with zero
+/// processing operators (e.g. a bare source→sink "pipeline") carries no
+/// tunable work, so the analytical prescreen tier cannot fit a cost
+/// closure for it and parallelism tuning degenerates to a no-op. The
+/// decomposition is skipped on structurally broken graphs — those are
+/// ZT-P004..P008 territory.
+void CheckSegments(const LintPlan& plan, DiagnosticReport* report) {
+  const std::vector<PlanSegment> segments = DecomposeSegments(plan);
+  for (const PlanSegment& seg : segments) {
+    if (!seg.IsDegenerate()) continue;
+    std::string ids;
+    for (int id : seg.operator_ids) {
+      ids += (ids.empty() ? "" : ",") + std::to_string(id);
+    }
+    report->AddWarning(
+        "ZT-P026",
+        std::string("degenerate ") + ToString(seg.kind) +
+            " segment {" + ids + "} has no processing operators",
+        seg.operator_ids.empty() ? -1 : seg.operator_ids.front(), "",
+        "a segment of only sources/sinks gives the analytical cost tier "
+        "nothing to model; add a filter/aggregate/join or merge the plan");
+  }
+}
+
 }  // namespace
 
 LintPlan LintPlan::FromLogical(const dsp::QueryPlan& plan) {
@@ -406,6 +432,7 @@ DiagnosticReport PlanAnalyzer::Analyze(const LintPlan& plan) {
   }
   CheckStructure(plan, &report);
   CheckFeatures(plan, &report);
+  CheckSegments(plan, &report);
   if (plan.has_physical) CheckPhysical(plan, &report);
   return report;
 }

@@ -71,7 +71,7 @@ struct LintPlan {
 ///   ZT-P010 non-positive event rate         ZT-P023 cluster has no nodes
 ///   ZT-P011 empty source schema             ZT-P024 source/sink parallelism > 1
 ///   ZT-P012 non-positive window             ZT-P025 unparseable plan line
-///   ZT-P013 tumbling slide != length
+///   ZT-P013 tumbling slide != length        ZT-P026 degenerate plan segment
 struct PlanAnalyzer {
   static DiagnosticReport Analyze(const LintPlan& plan);
   static DiagnosticReport Analyze(const dsp::QueryPlan& plan);

@@ -1,0 +1,178 @@
+#include "analysis/segments.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace zerotune::analysis {
+
+namespace {
+
+using dsp::OperatorType;
+
+/// Graph view shared by the strict (QueryPlan) and tolerant (LintPlan)
+/// entry points: id, type and upstream edges per operator, in a
+/// topological order.
+struct NodeView {
+  int id = -1;
+  OperatorType type = OperatorType::kSource;
+  std::vector<int> upstreams;
+};
+
+bool IsProcessing(OperatorType type) {
+  return type != OperatorType::kSource && type != OperatorType::kSink;
+}
+
+/// One pass over `order` (topologically sorted NodeViews): joins and
+/// aggregates each open their own segment; filters extend their upstream
+/// pipeline when the edge is 1:1; the sink terminates its upstream's
+/// segment.
+std::vector<PlanSegment> Sweep(const std::vector<NodeView>& order) {
+  std::vector<PlanSegment> segments;
+  std::unordered_map<int, size_t> segment_of;  // operator id -> segment
+  std::unordered_map<int, size_t> fanout;      // operator id -> #downstreams
+  for (const NodeView& node : order) {
+    for (int u : node.upstreams) ++fanout[u];
+  }
+
+  auto open = [&](SegmentKind kind, const NodeView& node) {
+    PlanSegment seg;
+    seg.kind = kind;
+    seg.operator_ids.push_back(node.id);
+    if (IsProcessing(node.type)) ++seg.processing_operators;
+    if (node.type == OperatorType::kSink) seg.contains_sink = true;
+    segment_of[node.id] = segments.size();
+    segments.push_back(std::move(seg));
+  };
+  auto join_upstream = [&](const NodeView& node, int upstream) -> bool {
+    const auto it = segment_of.find(upstream);
+    if (it == segment_of.end()) return false;
+    segments[it->second].operator_ids.push_back(node.id);
+    if (IsProcessing(node.type)) ++segments[it->second].processing_operators;
+    if (node.type == OperatorType::kSink) {
+      segments[it->second].contains_sink = true;
+    }
+    segment_of[node.id] = it->second;
+    return true;
+  };
+
+  for (const NodeView& node : order) {
+    switch (node.type) {
+      case OperatorType::kSource:
+        open(SegmentKind::kPipeline, node);
+        break;
+      case OperatorType::kFilter: {
+        // Extends the upstream pipeline only along a 1:1 edge into a
+        // pipeline segment; a fan-out upstream or a windowed upstream
+        // ends that segment and the filter starts a fresh pipeline.
+        const bool chained =
+            node.upstreams.size() == 1 && fanout[node.upstreams[0]] == 1 &&
+            segment_of.count(node.upstreams[0]) > 0 &&
+            segments[segment_of[node.upstreams[0]]].kind ==
+                SegmentKind::kPipeline;
+        if (!chained || !join_upstream(node, node.upstreams[0])) {
+          open(SegmentKind::kPipeline, node);
+        }
+        break;
+      }
+      case OperatorType::kWindowAggregate:
+        open(SegmentKind::kMapReduce, node);
+        break;
+      case OperatorType::kWindowJoin:
+        open(SegmentKind::kTaskPool, node);
+        break;
+      case OperatorType::kSink: {
+        if (node.upstreams.empty() ||
+            !join_upstream(node, node.upstreams[0])) {
+          open(SegmentKind::kPipeline, node);
+        }
+        break;
+      }
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+const char* ToString(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kPipeline: return "pipeline";
+    case SegmentKind::kMapReduce: return "map-reduce";
+    case SegmentKind::kTaskPool: return "task-pool";
+  }
+  return "unknown";
+}
+
+std::string PlanSegment::ToString(const dsp::QueryPlan& plan) const {
+  std::string out = analysis::ToString(kind);
+  out += "[";
+  for (size_t i = 0; i < operator_ids.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += plan.op(operator_ids[i]).name;
+  }
+  out += "]";
+  return out;
+}
+
+Result<std::vector<PlanSegment>> DecomposeSegments(
+    const dsp::QueryPlan& plan) {
+  ZT_RETURN_IF_ERROR(plan.Validate());
+  std::vector<NodeView> order;
+  order.reserve(plan.num_operators());
+  for (int id : plan.TopologicalOrder()) {
+    NodeView node;
+    node.id = id;
+    node.type = plan.op(id).type;
+    node.upstreams = plan.upstreams(id);
+    order.push_back(std::move(node));
+  }
+  return Sweep(order);
+}
+
+std::vector<PlanSegment> DecomposeSegments(const LintPlan& plan) {
+  // Kahn's algorithm over the raw lint graph; bail out (empty result) on
+  // cycles or dangling references — the structural diagnostics own those.
+  std::unordered_map<int, const LintOperator*> by_id;
+  for (const LintOperator& op : plan.operators) {
+    if (!by_id.emplace(op.id, &op).second) return {};  // duplicate id
+  }
+  std::unordered_map<int, size_t> in_degree;
+  std::unordered_map<int, std::vector<int>> downstream;
+  for (const LintOperator& op : plan.operators) {
+    in_degree.try_emplace(op.id, 0);
+    for (int u : op.upstreams) {
+      if (by_id.count(u) == 0 || u == op.id) return {};  // dangling / loop
+      ++in_degree[op.id];
+      downstream[u].push_back(op.id);
+    }
+  }
+  std::vector<int> frontier;
+  for (const LintOperator& op : plan.operators) {
+    if (in_degree[op.id] == 0) frontier.push_back(op.id);
+  }
+  // Deterministic order: lowest id first among the ready set.
+  std::sort(frontier.begin(), frontier.end(), std::greater<int>());
+  std::vector<NodeView> order;
+  order.reserve(plan.operators.size());
+  while (!frontier.empty()) {
+    const int id = frontier.back();
+    frontier.pop_back();
+    NodeView node;
+    node.id = id;
+    node.type = by_id[id]->type;
+    node.upstreams = by_id[id]->upstreams;
+    order.push_back(std::move(node));
+    for (int d : downstream[id]) {
+      if (--in_degree[d] == 0) {
+        frontier.insert(
+            std::upper_bound(frontier.begin(), frontier.end(), d,
+                             std::greater<int>()),
+            d);
+      }
+    }
+  }
+  if (order.size() != plan.operators.size()) return {};  // cycle
+  return Sweep(order);
+}
+
+}  // namespace zerotune::analysis

@@ -1,0 +1,78 @@
+#ifndef ZEROTUNE_ANALYSIS_SEGMENTS_H_
+#define ZEROTUNE_ANALYSIS_SEGMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/plan_analyzer.h"
+#include "common/status.h"
+#include "dsp/query_plan.h"
+
+namespace zerotune::analysis {
+
+/// Parallel design pattern a plan segment instantiates, mirroring the
+/// compositional performance-modeling taxonomy of Czappa et al. (extra-p
+/// CompositionalPerformanceAnalyzer): closed-form cost models compose
+/// along Pipeline / MapReduce / TaskPool patterns.
+///
+///   kPipeline  — a chain of record-at-a-time operators (source, filters)
+///                connected by forward-compatible edges; cost composes as
+///                a sum of per-stage service times.
+///   kMapReduce — a keyed repartition into windowed state (window
+///                aggregate): map side emits into a hash shuffle, reduce
+///                side fires per window; cost is shuffle + reduce.
+///   kTaskPool  — a multi-input synchronization point (window join):
+///                tasks (window matches) are drawn from competing input
+///                queues by a worker pool; cost follows the slowest input.
+enum class SegmentKind { kPipeline, kMapReduce, kTaskPool };
+
+const char* ToString(SegmentKind kind);
+
+/// One segment of the decomposition: a maximal operator group that
+/// instantiates a single parallel pattern. Operator ids appear in
+/// topological order; every plan operator belongs to exactly one segment.
+struct PlanSegment {
+  SegmentKind kind = SegmentKind::kPipeline;
+  std::vector<int> operator_ids;
+  /// Operators in the segment that are neither source nor sink.
+  size_t processing_operators = 0;
+  /// True when the plan's sink lies in this segment.
+  bool contains_sink = false;
+
+  /// True when the segment terminates the plan (holds the sink) yet has
+  /// no processing operator — the "pipeline" of a bare source→sink plan.
+  /// Such a segment carries no tunable work and gives analytical cost
+  /// fitting nothing to model (diagnosed as ZT-P026). A source-only
+  /// pipeline feeding a downstream join/aggregate is *not* degenerate:
+  /// it is the map side of that pattern.
+  bool IsDegenerate() const {
+    return contains_sink && processing_operators == 0;
+  }
+
+  std::string ToString(const dsp::QueryPlan& plan) const;
+};
+
+/// Decomposes a logical plan into pattern segments by a single
+/// topological sweep:
+///   - every window join starts a kTaskPool segment of its own;
+///   - every window aggregate starts a kMapReduce segment of its own
+///     (the keyed shuffle boundary in front of it is what separates it
+///     from its upstream pipeline);
+///   - sources and filters grow kPipeline segments along single-in /
+///     single-out edges;
+///   - the sink joins its upstream operator's segment (it terminates
+///     whatever pattern feeds it rather than forming one).
+///
+/// Requires a structurally valid plan (Validate() ok); the analyzer's
+/// ZT-P026 path uses the LintPlan overload below, which degrades
+/// gracefully on malformed graphs instead.
+Result<std::vector<PlanSegment>> DecomposeSegments(const dsp::QueryPlan& plan);
+
+/// Tolerant variant for the linter: works on the raw LintPlan graph and
+/// simply returns an empty decomposition when the graph is too broken to
+/// sweep (cycles, dangling references), leaving those to ZT-P004..P008.
+std::vector<PlanSegment> DecomposeSegments(const LintPlan& plan);
+
+}  // namespace zerotune::analysis
+
+#endif  // ZEROTUNE_ANALYSIS_SEGMENTS_H_

@@ -1,11 +1,13 @@
 #ifndef ZEROTUNE_CORE_ENUMERATION_H_
 #define ZEROTUNE_CORE_ENUMERATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/search_space.h"
 #include "dsp/parallel_plan.h"
 
 namespace zerotune::core {
@@ -14,13 +16,18 @@ namespace zerotune::core {
 /// collecting training data (paper Sec. IV). Implementations must also
 /// re-derive partitioning and place instances, leaving the plan ready for
 /// measurement.
-class ParallelismEnumerator {
+///
+/// Every enumerator is also a SearchSpace: Enumerate() draws
+/// Options::num_candidates assignments from the same distribution
+/// Assign() samples, seeded by Options::seed, and returns them as
+/// PlanCandidates for the optimizer's two-tier scoring pipeline. Options
+/// carry a Validate() checked at construction; an invalid configuration
+/// surfaces as the (unchanged) status from every subsequent Assign() or
+/// Enumerate() call instead of being silently clamped.
+class ParallelismEnumerator : public SearchSpace {
  public:
-  virtual ~ParallelismEnumerator() = default;
-
   virtual Status Assign(dsp::ParallelQueryPlan* plan,
                         zerotune::Rng* rng) const = 0;
-  virtual std::string name() const = 0;
 };
 
 /// The paper's OptiSample strategy (Algorithm 1): traverse the operator
@@ -39,23 +46,37 @@ class OptiSampleEnumerator : public ParallelismEnumerator {
     /// Lognormal sigma of the selectivity estimation error.
     double selectivity_noise_sigma = 0.25;
     int max_parallelism = 128;
+    /// SearchSpace::Enumerate draws this many sampled assignments.
+    size_t num_candidates = 16;
+    /// Seed for Enumerate()'s sampling stream (Assign() takes a caller
+    /// Rng and is unaffected).
+    uint64_t seed = 1;
+
+    /// Rejects out-of-range settings (non-positive scale factors,
+    /// inverted ranges, negative noise, empty candidate budget).
+    Status Validate() const;
   };
 
   OptiSampleEnumerator() : OptiSampleEnumerator(Options()) {}
-  explicit OptiSampleEnumerator(Options options) : options_(options) {}
+  explicit OptiSampleEnumerator(Options options)
+      : options_(options), options_status_(options.Validate()) {}
 
   Status Assign(dsp::ParallelQueryPlan* plan,
                 zerotune::Rng* rng) const override;
+  Result<std::vector<PlanCandidate>> Enumerate(
+      const dsp::QueryPlan& logical,
+      const dsp::Cluster& cluster) const override;
   std::string name() const override { return "OptiSample"; }
 
   /// Deterministic variant with a fixed scaling factor and exact
-  /// selectivities — used by the optimizer's candidate enumeration.
+  /// selectivities — used by GridSearchSpace's candidate enumeration.
   static Status AssignWithScaleFactor(dsp::ParallelQueryPlan* plan,
                                       double scale_factor,
                                       int max_parallelism);
 
  private:
   Options options_;
+  Status options_status_;
 };
 
 /// Baseline strategy: uniformly random degrees in [1, min(max_parallelism,
@@ -64,17 +85,28 @@ class RandomEnumerator : public ParallelismEnumerator {
  public:
   struct Options {
     int max_parallelism = 128;
+    /// SearchSpace::Enumerate draws this many sampled assignments.
+    size_t num_candidates = 16;
+    /// Seed for Enumerate()'s sampling stream.
+    uint64_t seed = 1;
+
+    Status Validate() const;
   };
 
   RandomEnumerator() : RandomEnumerator(Options()) {}
-  explicit RandomEnumerator(Options options) : options_(options) {}
+  explicit RandomEnumerator(Options options)
+      : options_(options), options_status_(options.Validate()) {}
 
   Status Assign(dsp::ParallelQueryPlan* plan,
                 zerotune::Rng* rng) const override;
+  Result<std::vector<PlanCandidate>> Enumerate(
+      const dsp::QueryPlan& logical,
+      const dsp::Cluster& cluster) const override;
   std::string name() const override { return "Random"; }
 
  private:
   Options options_;
+  Status options_status_;
 };
 
 }  // namespace zerotune::core

@@ -116,6 +116,10 @@ Result<MultiQueryOptimizer::Assignment> MultiQueryOptimizer::Tune(
     QueryAssignment qa(std::move(tuned.plan));
     qa.node_indices = allocation[qi];
     qa.predicted = tuned.predicted;
+    qa.candidates_prescreened = tuned.candidates_prescreened;
+    qa.prescreen_kept = tuned.prescreen_kept;
+    result.candidates_prescreened += tuned.candidates_prescreened;
+    result.prescreen_kept += tuned.prescreen_kept;
     result.queries.push_back(std::move(qa));
     result.total_score += Score(result.queries.back().predicted);
   }

@@ -31,6 +31,10 @@ class MultiQueryOptimizer {
     /// Tuned deployment on the dedicated sub-cluster.
     dsp::ParallelQueryPlan plan;
     CostPrediction predicted;
+    /// Candidates the analytical tier ranked / kept while tuning this
+    /// query (0 when prescreening is disabled).
+    size_t candidates_prescreened = 0;
+    size_t prescreen_kept = 0;
 
     explicit QueryAssignment(dsp::ParallelQueryPlan p) : plan(std::move(p)) {}
   };
@@ -39,6 +43,9 @@ class MultiQueryOptimizer {
     std::vector<QueryAssignment> queries;
     /// Sum of the per-query scores (lower is better).
     double total_score = 0.0;
+    /// Prescreen totals across the final per-query tuning passes.
+    size_t candidates_prescreened = 0;
+    size_t prescreen_kept = 0;
   };
 
   MultiQueryOptimizer(const CostPredictor* predictor, Options options)

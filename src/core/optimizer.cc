@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 
 #include "analysis/plan_analyzer.h"
-#include "core/enumeration.h"
+#include "core/prescreen/analytical.h"
+#include "core/prescreen/gnn_reranker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +19,25 @@ using dsp::Operator;
 using dsp::OperatorType;
 
 }  // namespace
+
+Status ParallelismOptimizer::PrescreenOptions::Validate() const {
+  if (!(keep_fraction > 0.0 && keep_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "prescreen keep_fraction must lie in (0, 1], got " +
+        std::to_string(keep_fraction));
+  }
+  if (min_keep < 1) {
+    return Status::InvalidArgument("prescreen min_keep must be >= 1");
+  }
+  if (max_probes < 2) {
+    return Status::InvalidArgument(
+        "prescreen max_probes must be >= 2 (calibration needs two rungs)");
+  }
+  if (hill_climb_keep < 1) {
+    return Status::InvalidArgument("prescreen hill_climb_keep must be >= 1");
+  }
+  return Status::OK();
+}
 
 Status ParallelismOptimizer::Options::Validate() const {
   if (!(weight >= 0.0 && weight <= 1.0)) {
@@ -46,7 +67,7 @@ Status ParallelismOptimizer::Options::Validate() const {
           "uniform_degrees entries must be >= 1, got " + std::to_string(d));
     }
   }
-  return Status::OK();
+  return prescreen.Validate();
 }
 
 double ParallelismOptimizer::Score(const CostPrediction& p) const {
@@ -91,6 +112,8 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   std::vector<Candidate> evaluated;
   std::set<std::vector<int>> tried;
   size_t rejected = 0;
+  size_t prescreened = 0;
+  size_t prescreen_kept = 0;
 
   auto materialize = [&](const std::vector<int>& degrees)
       -> Result<dsp::ParallelQueryPlan> {
@@ -103,6 +126,11 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
     return plan;
   };
+
+  // The exact scoring tier: all GNN inference in this function funnels
+  // through the reranker's PredictBatch path.
+  const GnnReranker reranker(predictor_, &logical, &cluster,
+                             options_.weight);
 
   // Scores a set of degree vectors in one CostPredictor::PredictBatch
   // call and appends them to `evaluated` in input order. Every candidate
@@ -131,8 +159,7 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       plans.push_back(std::move(plan.value()));
     }
     if (plans.empty()) return Status::OK();
-    Result<std::vector<CostPrediction>> preds =
-        PredictBatch(*predictor_, plans);
+    Result<std::vector<CostPrediction>> preds = reranker.Predict(plans);
     if (!preds.ok()) {
       return preds.status().Annotated(
           "scoring " + std::to_string(plans.size()) +
@@ -145,36 +172,105 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
     return Status::OK();
   };
 
-  // (a) OptiSample-derived candidates over a scaling-factor grid.
-  std::vector<std::vector<int>> pending;
-  for (size_t i = 0; i < options_.num_scale_factors; ++i) {
-    const double t =
-        options_.num_scale_factors <= 1
-            ? 0.0
-            : static_cast<double>(i) /
-                  static_cast<double>(options_.num_scale_factors - 1);
-    const double sf =
-        std::exp(std::log(options_.min_scale_factor) +
-                 t * (std::log(options_.max_scale_factor) -
-                      std::log(options_.min_scale_factor)));
-    dsp::ParallelQueryPlan plan(logical, cluster);
-    ZT_RETURN_IF_ERROR(OptiSampleEnumerator::AssignWithScaleFactor(
-        &plan, sf, options_.max_parallelism));
-    std::vector<int> degrees = plan.ParallelismVector();
-    if (tried.insert(degrees).second) pending.push_back(std::move(degrees));
+  // Tier 1 calibration: GNN-score a small uniform probe ladder (one
+  // batch) and fit the analytical closures from those predictions. The
+  // probes double as candidates — their scores stay in `evaluated` and
+  // can win the search. Calibration failure (degenerate decomposition,
+  // singular fit) falls back to full GNN scoring rather than failing the
+  // tune.
+  std::optional<AnalyticalPrescreen> prescreen;
+  if (options_.prescreen.enabled) {
+    if (budget_expired()) {
+      return Status::DeadlineExceeded(
+          "tuning budget expired before any candidate was scored");
+    }
+    obs::Span span("optimizer/prescreen_calibrate");
+    ZT_ASSIGN_OR_RETURN(
+        const std::vector<std::vector<int>> probes,
+        AnalyticalPrescreen::ProbeLadder(logical, cluster,
+                                         options_.max_parallelism,
+                                         options_.prescreen.max_probes));
+    span.AddArg("probes", std::to_string(probes.size()));
+    const size_t first_probe = evaluated.size();
+    std::vector<std::vector<int>> probe_batch;
+    for (const std::vector<int>& p : probes) {
+      if (tried.insert(p).second) probe_batch.push_back(p);
+    }
+    ZT_RETURN_IF_ERROR(evaluate_batch(probe_batch));
+    metrics->GetCounter("optimizer.prescreen.probes_total")
+        ->Increment(probe_batch.size());
+    std::vector<std::vector<int>> fit_degrees;
+    std::vector<CostPrediction> fit_costs;
+    for (size_t i = first_probe; i < evaluated.size(); ++i) {
+      fit_degrees.push_back(evaluated[i].degrees);
+      fit_costs.push_back(evaluated[i].predicted);
+    }
+    AnalyticalPrescreen::Options popts;
+    popts.weight = options_.weight;
+    Result<AnalyticalPrescreen> fitted = AnalyticalPrescreen::Fit(
+        logical, cluster, fit_degrees, fit_costs, popts);
+    if (fitted.ok()) {
+      prescreen = std::move(fitted).value();
+      metrics->GetCounter("optimizer.prescreen.calibrations_total")
+          ->Increment();
+      span.AddArg("fitted", "true");
+    } else {
+      // Fall back to exhaustive GNN scoring; the tune still succeeds.
+      metrics->GetCounter("optimizer.prescreen.fallbacks_total")
+          ->Increment();
+      span.AddArg("fitted", "false");
+      span.AddArg("fallback", fitted.status().message());
+    }
   }
 
-  // (b) Uniform degrees (sources/sinks pinned at 1).
-  for (int d : options_.uniform_degrees) {
-    if (d > cap) continue;
-    std::vector<int> degrees(logical.num_operators(), d);
-    for (const Operator& op : logical.operators()) {
-      if (op.type == OperatorType::kSource ||
-          op.type == OperatorType::kSink) {
-        degrees[static_cast<size_t>(op.id)] = 1;
-      }
+  // Analytical ranking of a candidate batch: keep the top `keep`
+  // assignments (ascending index order, so batches stay deterministic).
+  auto prescreen_cut = [&](std::vector<std::vector<int>>& batch,
+                           size_t keep) -> Status {
+    if (!prescreen.has_value() || batch.size() <= keep) return Status::OK();
+    obs::Span span("optimizer/prescreen_rank");
+    span.AddArg("candidates", std::to_string(batch.size()));
+    std::vector<PlanCandidate> cands;
+    cands.reserve(batch.size());
+    for (const std::vector<int>& degrees : batch) {
+      cands.emplace_back(degrees);
     }
-    if (tried.insert(degrees).second) pending.push_back(std::move(degrees));
+    ZT_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                        prescreen->ScoreCandidates(cands));
+    const std::vector<size_t> top =
+        AnalyticalPrescreen::TopIndices(scores, keep);
+    std::vector<std::vector<int>> survivors;
+    survivors.reserve(top.size());
+    for (size_t idx : top) survivors.push_back(std::move(batch[idx]));
+    prescreened += batch.size();
+    prescreen_kept += survivors.size();
+    span.AddArg("kept", std::to_string(survivors.size()));
+    batch = std::move(survivors);
+    return Status::OK();
+  };
+
+  // Candidate enumeration through the search space. A null injection
+  // point resolves to the historical grid built from the (deprecated)
+  // grid fields, which keeps the candidate order — and therefore the
+  // whole tune — bit-identical to the pre-SearchSpace optimizer.
+  GridSearchSpace::Options grid_opts;
+  grid_opts.max_parallelism = options_.max_parallelism;
+  grid_opts.num_scale_factors = options_.num_scale_factors;
+  grid_opts.min_scale_factor = options_.min_scale_factor;
+  grid_opts.max_scale_factor = options_.max_scale_factor;
+  grid_opts.uniform_degrees = options_.uniform_degrees;
+  const GridSearchSpace legacy_space(grid_opts);
+  const SearchSpace* space =
+      options_.search_space != nullptr ? options_.search_space
+                                       : &legacy_space;
+  ZT_ASSIGN_OR_RETURN(std::vector<PlanCandidate> enumerated,
+                      space->Enumerate(logical, cluster));
+  std::vector<std::vector<int>> pending;
+  pending.reserve(enumerated.size() + options_.seed_candidates.size());
+  for (PlanCandidate& c : enumerated) {
+    if (tried.insert(c.degrees).second) {
+      pending.push_back(std::move(c.degrees));
+    }
   }
 
   // Caller-provided seeds; evaluate_batch vets each one through the
@@ -185,12 +281,21 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   }
 
   if (budget_expired()) {
-    return Status::DeadlineExceeded(
-        "tuning budget expired before any candidate was scored");
+    if (evaluated.empty()) {
+      return Status::DeadlineExceeded(
+          "tuning budget expired before any candidate was scored");
+    }
+    deadline_hit = true;  // calibration probes already scored
   }
 
-  // All enumeration phases score as one batch.
-  {
+  if (!deadline_hit) {
+    // Tier 1 cut, then all surviving enumeration phases score as one
+    // batch (tier 2).
+    const size_t keep = std::max(
+        options_.prescreen.min_keep,
+        static_cast<size_t>(std::ceil(options_.prescreen.keep_fraction *
+                                      static_cast<double>(pending.size()))));
+    ZT_RETURN_IF_ERROR(prescreen_cut(pending, keep));
     obs::Span span("optimizer/enumerate");
     span.AddArg("candidates", std::to_string(pending.size()));
     ZT_RETURN_IF_ERROR(evaluate_batch(pending));
@@ -208,15 +313,17 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   std::vector<int> best = best_it->degrees;
   double best_score = Score(best_it->predicted);
 
-  // (c) Hill climbing as batched steepest descent: each round scores
-  // every untried double/halve neighbor of the incumbent in one batch,
-  // then moves to the best strict improvement. The round bound matches
-  // the sequential version's worst-case move count; in practice the
+  // Hill climbing as batched steepest descent: each round scores every
+  // untried double/halve neighbor of the incumbent in one batch, then
+  // moves to the best strict improvement. With the analytical tier
+  // fitted, each round's neighbors are pre-ranked and only the top
+  // hill_climb_keep reach the GNN. The round bound matches the
+  // sequential version's worst-case move count; in practice the
   // "no improvement" break fires after a few rounds.
   const size_t max_rounds =
       options_.refinement_passes *
       std::max<size_t>(2 * logical.num_operators(), 1);
-  for (size_t round = 0; round < max_rounds; ++round) {
+  for (size_t round = 0; round < max_rounds && !deadline_hit; ++round) {
     if (budget_expired()) {
       deadline_hit = true;  // partial result: best found within budget
       break;
@@ -233,6 +340,8 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       }
     }
     if (neighbors.empty()) break;
+    ZT_RETURN_IF_ERROR(
+        prescreen_cut(neighbors, options_.prescreen.hill_climb_keep));
     obs::Span round_span("optimizer/hill_climb_round");
     round_span.AddArg("round", std::to_string(round + 1));
     round_span.AddArg("neighbors", std::to_string(neighbors.size()));
@@ -267,8 +376,15 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       ->Increment(evaluated.size());
   metrics->GetCounter("optimizer.candidates_rejected_total")
       ->Increment(rejected);
+  if (options_.prescreen.enabled) {
+    metrics->GetCounter("optimizer.prescreen.candidates_total")
+        ->Increment(prescreened);
+    metrics->GetCounter("optimizer.prescreen.kept_total")
+        ->Increment(prescreen_kept);
+  }
   tune_span.AddArg("candidates_evaluated", std::to_string(evaluated.size()));
   tune_span.AddArg("candidates_rejected", std::to_string(rejected));
+  tune_span.AddArg("candidates_prescreened", std::to_string(prescreened));
 
   TuningResult result(std::move(final_plan));
   result.predicted = best_pred;
@@ -276,6 +392,8 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
       WeightedCost(best_pred, evaluated, options_.weight);
   result.candidates_evaluated = evaluated.size();
   result.candidates_rejected = rejected;
+  result.candidates_prescreened = prescreened;
+  result.prescreen_kept = prescreen_kept;
   result.deadline_hit = deadline_hit;
   result.candidates = std::move(evaluated);
   return result;

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "core/cost_predictor.h"
+#include "core/search_space.h"
 #include "dsp/cluster.h"
 #include "dsp/query_plan.h"
 
@@ -19,23 +20,64 @@ namespace zerotune::core {
 /// where C_L and C_T are the candidates' min-max-normalized latency and
 /// negated throughput, subject to P_i ≥ 1 and max P_i ≤ total cores.
 ///
-/// Candidates come from (a) OptiSample-style assignments over a grid of
-/// scaling factors, (b) uniform degrees, and (c) a bounded hill-climbing
-/// refinement that doubles/halves individual operator degrees while the
-/// predicted objective improves.
+/// Scoring is a two-tier pipeline (docs/api.md has the flow diagram):
+/// a pluggable SearchSpace enumerates PlanCandidates; with prescreening
+/// enabled, an AnalyticalPrescreen fitted from a handful of batched GNN
+/// probes ranks the full set in microseconds and only the top-K fraction
+/// reaches the GnnReranker (the existing PredictBatch path); with
+/// prescreening disabled every candidate is GNN-scored directly and the
+/// result is bit-identical to the single-tier optimizer. A bounded
+/// hill-climbing refinement doubles/halves individual operator degrees
+/// while the predicted objective improves, prescreening each round's
+/// neighbor set the same way.
 class ParallelismOptimizer {
  public:
+  /// Analytical pre-screen tier configuration (ROADMAP item 5).
+  struct PrescreenOptions {
+    /// Off by default: the default pipeline stays bit-identical to the
+    /// pre-two-tier optimizer.
+    bool enabled = false;
+    /// Fraction of enumerated candidates that survives the analytical
+    /// cut into GNN scoring.
+    double keep_fraction = 0.15;
+    /// Lower bound on survivors, so tiny candidate sets are not starved.
+    size_t min_keep = 3;
+    /// Probe ladder size for calibrating the analytical closures; the
+    /// probes are GNN-scored (one batch) and double as candidates.
+    size_t max_probes = 6;
+    /// GNN-scored neighbors per hill-climbing round (the analytical tier
+    /// ranks the full neighbor set first).
+    size_t hill_climb_keep = 2;
+
+    Status Validate() const;
+  };
+
   struct Options {
     /// wt in Eq. 1 — relative weight of latency vs. (negated) throughput.
     double weight = 0.5;
     int max_parallelism = 128;
-    /// Number of log-spaced OptiSample scaling factors to enumerate.
+
+    /// DEPRECATED(PR 7): grid knobs used only by the implicit
+    /// GridSearchSpace when `search_space` is null. Inject a
+    /// GridSearchSpace with GridSearchSpace::Options instead; these
+    /// adapter fields are kept for one release (see docs/api.md).
     size_t num_scale_factors = 12;
     double min_scale_factor = 1e-6;
     double max_scale_factor = 1e-3;
     std::vector<int> uniform_degrees = {1, 2, 4, 8, 16, 32, 64};
+
     /// Hill-climbing passes over the operators (0 disables refinement).
     size_t refinement_passes = 2;
+
+    /// Candidate generation strategy (borrowed; may be null). Null means
+    /// a GridSearchSpace built from the deprecated grid fields above —
+    /// exactly the historical candidate space. Candidates of any
+    /// SearchSpace are deduplicated, statically vetted and scored by the
+    /// two-tier pipeline; enumeration failures fail Tune() loudly.
+    const SearchSpace* search_space = nullptr;
+
+    /// Analytical pre-screen tier; disabled by default.
+    PrescreenOptions prescreen;
 
     /// Extra degree vectors (indexed by operator id) to evaluate alongside
     /// the enumerated candidates — e.g. a previous deployment or operator
@@ -51,9 +93,9 @@ class ParallelismOptimizer {
     const Deadline* deadline = nullptr;
 
     /// Rejects out-of-range settings (weight outside [0, 1], empty
-    /// scale-factor grid, non-positive bounds, …). Checked at optimizer
-    /// construction; Tune() fails with this status instead of silently
-    /// clamping bad values.
+    /// scale-factor grid, non-positive bounds, bad prescreen knobs, …).
+    /// Checked at optimizer construction; Tune() fails with this status
+    /// instead of silently clamping bad values.
     Status Validate() const;
   };
 
@@ -72,6 +114,11 @@ class ParallelismOptimizer {
     /// Candidates the static analyzer rejected before scoring (invalid
     /// degrees, over-parallelized operators, broken partitioning).
     size_t candidates_rejected = 0;
+    /// Candidates ranked by the analytical tier (0 when prescreening is
+    /// disabled or calibration fell back to full GNN scoring).
+    size_t candidates_prescreened = 0;
+    /// Of those, the survivors that went on to GNN scoring.
+    size_t prescreen_kept = 0;
     /// True when Options::deadline expired mid-search: the result is the
     /// best assignment found within the budget, not the full search's.
     bool deadline_hit = false;

@@ -1,0 +1,49 @@
+#include "core/prescreen/gnn_reranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::core {
+
+double GnnReranker::Score(const CostPrediction& p) const {
+  const double lat = std::log(std::max(p.latency_ms, 1e-6));
+  const double tpt = std::log(std::max(p.throughput_tps, 1e-6));
+  return weight_ * lat - (1.0 - weight_) * tpt;
+}
+
+Result<std::vector<CostPrediction>> GnnReranker::Predict(
+    const std::vector<dsp::ParallelQueryPlan>& plans) const {
+  return PredictBatch(*predictor_, plans);
+}
+
+Result<std::vector<double>> GnnReranker::ScoreCandidates(
+    const std::vector<PlanCandidate>& candidates) const {
+  std::vector<dsp::ParallelQueryPlan> plans;
+  plans.reserve(candidates.size());
+  for (const PlanCandidate& c : candidates) {
+    if (c.degrees.size() != logical_->num_operators()) {
+      return Status::InvalidArgument(
+          "candidate has " + std::to_string(c.degrees.size()) +
+          " degrees for a " + std::to_string(logical_->num_operators()) +
+          "-operator plan");
+    }
+    dsp::ParallelQueryPlan plan(*logical_, *cluster_);
+    for (const dsp::Operator& op : logical_->operators()) {
+      ZT_RETURN_IF_ERROR(plan.SetParallelism(
+          op.id, c.degrees[static_cast<size_t>(op.id)]));
+    }
+    plan.DerivePartitioning();
+    ZT_RETURN_IF_ERROR(plan.PlaceRoundRobin());
+    plans.push_back(std::move(plan));
+  }
+  ZT_ASSIGN_OR_RETURN(const std::vector<CostPrediction> preds,
+                      Predict(plans));
+  std::vector<double> scores;
+  scores.reserve(preds.size());
+  for (const CostPrediction& p : preds) scores.push_back(Score(p));
+  return scores;
+}
+
+}  // namespace zerotune::core

@@ -1,0 +1,58 @@
+#ifndef ZEROTUNE_CORE_PRESCREEN_GNN_RERANKER_H_
+#define ZEROTUNE_CORE_PRESCREEN_GNN_RERANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_predictor.h"
+#include "core/prescreen/scoring_tier.h"
+#include "dsp/cluster.h"
+#include "dsp/query_plan.h"
+
+namespace zerotune::core {
+
+/// The second (exact) tier: full GNN scoring of prescreen survivors via
+/// the existing CostPredictor::PredictBatch path. A thin, stateless
+/// adapter — it materializes candidates into deployments, batches them
+/// through the predictor, and folds (latency, throughput) into the
+/// optimizer's Eq.-1-style log score. Because PredictBatch is
+/// bit-identical regardless of batch composition, scoring N survivors
+/// here produces exactly the predictions the pre-SearchSpace optimizer
+/// would have produced for the same candidates.
+class GnnReranker : public ScoringTier {
+ public:
+  /// Borrows all three; they must outlive the reranker.
+  GnnReranker(const CostPredictor* predictor, const dsp::QueryPlan* logical,
+              const dsp::Cluster* cluster, double weight)
+      : predictor_(predictor),
+        logical_(logical),
+        cluster_(cluster),
+        weight_(weight) {}
+
+  /// Materializes and batch-scores `candidates`. Fails on candidates the
+  /// plan cannot materialize (wrong arity, bad degrees) — standalone
+  /// callers should vet candidates first; the optimizer's Tune pipeline
+  /// does its own vetting and uses Predict() below instead.
+  Result<std::vector<double>> ScoreCandidates(
+      const std::vector<PlanCandidate>& candidates) const override;
+  std::string name() const override { return "gnn-rerank"; }
+
+  /// Raw batched predictions for already-materialized deployments — the
+  /// optimizer's hot path (one call per enumeration phase / hill-climb
+  /// round).
+  Result<std::vector<CostPrediction>> Predict(
+      const std::vector<dsp::ParallelQueryPlan>& plans) const;
+
+  /// The scalar search score: wt·log(lat) − (1−wt)·log(tpt).
+  double Score(const CostPrediction& p) const;
+
+ private:
+  const CostPredictor* predictor_;
+  const dsp::QueryPlan* logical_;
+  const dsp::Cluster* cluster_;
+  double weight_;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_PRESCREEN_GNN_RERANKER_H_

@@ -1,0 +1,37 @@
+#ifndef ZEROTUNE_CORE_PRESCREEN_SCORING_TIER_H_
+#define ZEROTUNE_CORE_PRESCREEN_SCORING_TIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/search_space.h"
+
+namespace zerotune::core {
+
+/// One tier of the optimizer's two-tier scoring pipeline. A tier is bound
+/// to a (logical plan, cluster) pair at construction and maps candidates
+/// to scalar scores, lower = better. Scores are comparable only within
+/// one tier and one call — the analytical tier ranks in fitted log-cost
+/// units, the GNN tier in the optimizer's Eq.-1-style log score — so the
+/// pipeline uses tier scores to *order* candidates, never to compare
+/// across tiers.
+///
+///   AnalyticalPrescreen  microsecond closed-form ranking of the full
+///                        candidate set (core/prescreen/analytical.h)
+///   GnnReranker          batched GNN scoring of the survivors
+///                        (core/prescreen/gnn_reranker.h)
+class ScoringTier {
+ public:
+  virtual ~ScoringTier() = default;
+
+  /// Scores `candidates` in input order (one score per candidate).
+  virtual Result<std::vector<double>> ScoreCandidates(
+      const std::vector<PlanCandidate>& candidates) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace zerotune::core
+
+#endif  // ZEROTUNE_CORE_PRESCREEN_SCORING_TIER_H_

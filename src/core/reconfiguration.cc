@@ -92,6 +92,8 @@ Result<RecoveryReport> ReconfigurationPlanner::RecoverFromNodeFailure(
   report.recovered_predicted = tuned.predicted;
   report.failed_node = failed_node;
   report.deadline_hit = tuned.deadline_hit;
+  report.candidates_prescreened = tuned.candidates_prescreened;
+  report.prescreen_kept = tuned.prescreen_kept;
 
   // Recovery pause: the failed node's windowed state must be rebuilt and
   // every instance whose degree changed restarts. State on surviving nodes
@@ -167,6 +169,8 @@ Result<ReconfigurationDecision> ReconfigurationPlanner::Evaluate(
   decision.keep_predicted = keep_pred;
   decision.new_predicted = tuned.predicted;
   decision.deadline_hit = tuned.deadline_hit;
+  decision.candidates_prescreened = tuned.candidates_prescreened;
+  decision.prescreen_kept = tuned.prescreen_kept;
 
   // Migration pause: relocate the *current* plan's windowed state plus
   // restart every instance whose degree changes.

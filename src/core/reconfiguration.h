@@ -27,6 +27,10 @@ struct ReconfigurationDecision {
   /// True when the re-tuning search hit its deadline budget and returned
   /// its best-so-far assignment (see ParallelismOptimizer::Options).
   bool deadline_hit = false;
+  /// Candidates the analytical tier ranked / kept during the re-tuning
+  /// search (0 when prescreening is disabled).
+  size_t candidates_prescreened = 0;
+  size_t prescreen_kept = 0;
 
   explicit ReconfigurationDecision(dsp::ParallelQueryPlan plan)
       : new_plan(std::move(plan)) {}
@@ -51,6 +55,10 @@ struct RecoveryReport {
   /// True when the recovery search hit its deadline budget and returned
   /// its best-so-far assignment.
   bool deadline_hit = false;
+  /// Candidates the analytical tier ranked / kept during the recovery
+  /// search (0 when prescreening is disabled).
+  size_t candidates_prescreened = 0;
+  size_t prescreen_kept = 0;
 
   explicit RecoveryReport(dsp::ParallelQueryPlan plan)
       : recovered_plan(std::move(plan)) {}

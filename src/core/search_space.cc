@@ -1,0 +1,78 @@
+#include "core/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/enumeration.h"
+#include "dsp/parallel_plan.h"
+
+namespace zerotune::core {
+
+Status GridSearchSpace::Options::Validate() const {
+  if (max_parallelism < 1) {
+    return Status::InvalidArgument("max_parallelism must be >= 1, got " +
+                                   std::to_string(max_parallelism));
+  }
+  if (num_scale_factors < 1) {
+    return Status::InvalidArgument("num_scale_factors must be >= 1");
+  }
+  if (!(min_scale_factor > 0.0)) {
+    return Status::InvalidArgument("min_scale_factor must be positive, got " +
+                                   std::to_string(min_scale_factor));
+  }
+  if (!(max_scale_factor >= min_scale_factor)) {
+    return Status::InvalidArgument(
+        "max_scale_factor must be >= min_scale_factor");
+  }
+  for (int d : uniform_degrees) {
+    if (d < 1) {
+      return Status::InvalidArgument(
+          "uniform_degrees entries must be >= 1, got " + std::to_string(d));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PlanCandidate>> GridSearchSpace::Enumerate(
+    const dsp::QueryPlan& logical, const dsp::Cluster& cluster) const {
+  ZT_RETURN_IF_ERROR(options_status_);
+  ZT_RETURN_IF_ERROR(logical.Validate());
+  const int cap =
+      std::max(1, std::min(options_.max_parallelism, cluster.TotalCores()));
+  std::vector<PlanCandidate> out;
+  out.reserve(options_.num_scale_factors + options_.uniform_degrees.size());
+
+  // (a) OptiSample-derived candidates over a log-spaced scaling-factor
+  // grid (exact selectivities — the deterministic Algorithm 1 variant).
+  for (size_t i = 0; i < options_.num_scale_factors; ++i) {
+    const double t =
+        options_.num_scale_factors <= 1
+            ? 0.0
+            : static_cast<double>(i) /
+                  static_cast<double>(options_.num_scale_factors - 1);
+    const double sf =
+        std::exp(std::log(options_.min_scale_factor) +
+                 t * (std::log(options_.max_scale_factor) -
+                      std::log(options_.min_scale_factor)));
+    dsp::ParallelQueryPlan plan(logical, cluster);
+    ZT_RETURN_IF_ERROR(OptiSampleEnumerator::AssignWithScaleFactor(
+        &plan, sf, options_.max_parallelism));
+    out.emplace_back(plan.ParallelismVector(), "opti-sample");
+  }
+
+  // (b) Uniform degrees with sources/sinks pinned at 1.
+  for (int d : options_.uniform_degrees) {
+    if (d > cap) continue;
+    std::vector<int> degrees(logical.num_operators(), d);
+    for (const dsp::Operator& op : logical.operators()) {
+      if (op.type == dsp::OperatorType::kSource ||
+          op.type == dsp::OperatorType::kSink) {
+        degrees[static_cast<size_t>(op.id)] = 1;
+      }
+    }
+    out.emplace_back(std::move(degrees), "uniform");
+  }
+  return out;
+}
+
+}  // namespace zerotune::core

@@ -205,6 +205,57 @@ TEST_F(CliWorkflowTest, JsonFormatSharedByPredictTuneRecover) {
   std::remove(plan.c_str());
 }
 
+TEST_F(CliWorkflowTest, TunePrescreenReportsTierCounts) {
+  const std::string plan = TempPath("prescreen.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:4 --prescreen"
+                  " --out " + plan + " --format json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"candidates_prescreened\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"prescreen_kept\""), std::string::npos);
+  // And disabled, the counts are reported as zero.
+  r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+             TempPath("q.plan") + " --cluster m510:4 --format json");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"candidates_prescreened\": 0"),
+            std::string::npos);
+  // Human mode narrates the cut.
+  r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+             TempPath("q.plan") + " --cluster m510:4 --prescreen");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("analytical pre-screen"), std::string::npos);
+  // Bad keep fractions are rejected loudly.
+  r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+             TempPath("q.plan") + " --cluster m510:4 --prescreen"
+             " --prescreen-keep 2.0");
+  EXPECT_NE(r.exit_code, 0);
+  std::remove(plan.c_str());
+}
+
+TEST_F(CliWorkflowTest, ExplainSegmentsNarratesTheAnalyticalModel) {
+  const std::string plan = TempPath("segments.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:4 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  r = RunCli("explain --model " + TempPath("model.txt") + " --plan " + plan +
+             " --segments");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("segment decomposition"), std::string::npos);
+  EXPECT_NE(r.output.find("pipeline["), std::string::npos);
+  EXPECT_NE(r.output.find("map-reduce["), std::string::npos);
+  EXPECT_NE(r.output.find("closure"), std::string::npos);
+
+  r = RunCli("explain --model " + TempPath("model.txt") + " --plan " + plan +
+             " --segments --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"segments\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"kind\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"closure\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"latency_coefficient\""), std::string::npos);
+  std::remove(plan.c_str());
+}
+
 TEST_F(CliWorkflowTest, DotRendersQueryAndDeployment) {
   auto r = RunCli("dot --query " + TempPath("q.plan"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -326,6 +377,18 @@ TEST(CliLintTest, JsonFormatEmitsStructuredFindings) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
   EXPECT_NE(r.output.find("\"diagnostics\""), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("\"ZT-P016\""), std::string::npos) << r.output;
+  std::remove(plan.c_str());
+}
+
+TEST(CliLintTest, DegenerateSegmentWarnsP026) {
+  const std::string plan = TempPath("lint_degenerate.plan");
+  WriteFile(plan,
+            "zerotune-plan-v1\n"
+            "source id=0 rate=1000 schema=dd\n"
+            "sink id=1 in=0\n");
+  const auto r = RunCli("lint " + plan);
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // warning, not an error
+  EXPECT_NE(r.output.find("ZT-P026"), std::string::npos) << r.output;
   std::remove(plan.c_str());
 }
 

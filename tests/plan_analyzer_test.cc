@@ -327,6 +327,30 @@ TEST(PlanAnalyzerTest, P024ParallelSourceIsWarning) {
   EXPECT_TRUE(r.Has("ZT-P024"));
 }
 
+TEST(PlanAnalyzerTest, P026BareSourceSinkSegmentIsWarning) {
+  const DiagnosticReport r = Lint(
+      "zerotune-plan-v1\n"
+      "source id=0 rate=1000 schema=dd\n"
+      "sink id=1 in=0\n");
+  EXPECT_TRUE(r.Has("ZT-P026"));
+  EXPECT_FALSE(r.HasErrors());  // degenerate segments are warnings
+}
+
+TEST(PlanAnalyzerTest, P026AbsentOnPlansWithProcessingWork) {
+  // A full pipeline has work in every terminal segment...
+  EXPECT_FALSE(Lint(kLogicalText).Has("ZT-P026"));
+  // ...and source-only pipelines feeding a join are the map side of the
+  // task pool, not degenerate segments.
+  const DiagnosticReport join = Lint(
+      "zerotune-plan-v1\n"
+      "source id=0 rate=1000 schema=dd\n"
+      "source id=1 rate=1000 schema=dd\n"
+      "join id=2 in=0,1 key_class=1 wtype=0 wpolicy=0 wlen=10 wslide=10"
+      " sel=0.1\n"
+      "sink id=3 in=2\n");
+  EXPECT_FALSE(join.Has("ZT-P026")) << join.ToText();
+}
+
 // --- linter front end ------------------------------------------------
 
 TEST(PlanLinterTest, P025UnparseableLineKeepsRestOfPlan) {

@@ -15,7 +15,16 @@
 //                          PredictBatch call) [--format json]
 //   zerotune_cli tune     --model model.txt --query query.plan
 //                         --cluster m510:4[:10] [--weight 0.5]
+//                         [--prescreen] [--prescreen-keep 0.15]
 //                         [--out tuned.plan] [--format json]
+//                         (--prescreen ranks all candidates with the
+//                          calibrated analytical tier first and only the
+//                          kept fraction reaches the GNN)
+//   zerotune_cli explain  --model model.txt --plan deployment.plan
+//                         [--top 10] | [--segments [--format json]]
+//                         (--segments prints the analytical pre-screen's
+//                          per-segment cost story instead of feature
+//                          attributions)
 //   zerotune_cli simulate --plan deployment.plan [--des]
 //                         [--duration 5.0]
 //                         [--inject-faults "crash@2:node=0;slow@1+2:node=1,factor=0.5"]
@@ -79,6 +88,7 @@
 #include "core/enumeration.h"
 #include "core/explain.h"
 #include "core/optimizer.h"
+#include "core/prescreen/analytical.h"
 #include "core/reconfiguration.h"
 #include "core/trainer.h"
 #include "dsp/dot_export.h"
@@ -533,6 +543,10 @@ int CmdTune(const FlagParser& flags) {
 
   core::ParallelismOptimizer::Options opts;
   opts.weight = weight;
+  opts.prescreen.enabled = flags.GetBool("prescreen");
+  ZT_ASSIGN_OR_RETURN_CLI(
+      opts.prescreen.keep_fraction,
+      flags.GetDouble("prescreen-keep", opts.prescreen.keep_fraction));
   if (!deadline.infinite()) opts.deadline = &deadline;
   core::ParallelismOptimizer optimizer(model.value().get(), opts);
   auto tuned = optimizer.Tune(logical.value(), cluster.value());
@@ -566,7 +580,10 @@ int CmdTune(const FlagParser& flags) {
               << ", \"candidates_evaluated\": "
               << tuned.value().candidates_evaluated
               << ", \"candidates_rejected\": "
-              << tuned.value().candidates_rejected;
+              << tuned.value().candidates_rejected
+              << ", \"candidates_prescreened\": "
+              << tuned.value().candidates_prescreened
+              << ", \"prescreen_kept\": " << tuned.value().prescreen_kept;
     if (!deadline.infinite()) {
       std::cout << ", \"deadline_exceeded\": "
                 << (tuned.value().deadline_hit ? "true" : "false");
@@ -588,6 +605,12 @@ int CmdTune(const FlagParser& flags) {
               << " tuples/s (over " << tuned.value().candidates_evaluated
               << " candidates, " << tuned.value().candidates_rejected
               << " rejected by static analysis)\n";
+    if (tuned.value().candidates_prescreened > 0) {
+      std::cout << "analytical pre-screen ranked "
+                << tuned.value().candidates_prescreened
+                << " candidates, kept " << tuned.value().prescreen_kept
+                << " for GNN scoring\n";
+    }
     if (tuned.value().deadline_hit) {
       std::cout << "note: tuning budget of " << deadline_ms
                 << " ms ran out; this is the best assignment found in "
@@ -750,6 +773,103 @@ int CmdRecover(const FlagParser& flags) {
   return r.deadline_hit ? kDeadlineExitCode : 0;
 }
 
+/// explain --segments: decomposes the plan into analytical segments,
+/// calibrates the prescreen closures from a batched probe ladder, and
+/// prints the per-segment analytical story at the deployment's degrees.
+int RunExplainSegments(OutputFormat format, const core::CostPredictor* model,
+                       const dsp::ParallelQueryPlan& plan) {
+  const dsp::QueryPlan& logical = plan.logical();
+  const dsp::Cluster& cluster = plan.cluster();
+  auto probes_r = core::AnalyticalPrescreen::ProbeLadder(
+      logical, cluster, /*max_parallelism=*/128, /*max_probes=*/6);
+  if (!probes_r.ok()) return Fail(probes_r.status());
+  std::vector<dsp::ParallelQueryPlan> probe_plans;
+  for (const std::vector<int>& degrees : probes_r.value()) {
+    dsp::ParallelQueryPlan probe(logical, cluster);
+    for (const auto& op : logical.operators()) {
+      const Status s = probe.SetParallelism(
+          op.id, degrees[static_cast<size_t>(op.id)]);
+      if (!s.ok()) return Fail(s);
+    }
+    probe.DerivePartitioning();
+    const Status placed = probe.PlaceRoundRobin();
+    if (!placed.ok()) return Fail(placed);
+    probe_plans.push_back(std::move(probe));
+  }
+  auto preds = core::PredictBatch(*model, probe_plans);
+  if (!preds.ok()) return Fail(preds.status());
+  auto fitted = core::AnalyticalPrescreen::Fit(
+      logical, cluster, probes_r.value(), preds.value(),
+      core::AnalyticalPrescreen::Options());
+  if (!fitted.ok()) {
+    return Fail(fitted.status().Annotated(
+        "calibrating the analytical segment model (is the plan degenerate? "
+        "see lint ZT-P026)"));
+  }
+  const std::vector<int> degrees = plan.ParallelismVector();
+  const auto stories = fitted.value().ExplainSegments(degrees);
+  if (format == OutputFormat::kJson) {
+    std::cout << "{\"segments\": [";
+    for (size_t i = 0; i < stories.size(); ++i) {
+      const auto& s = stories[i];
+      std::cout << (i > 0 ? ", " : "") << "{\"kind\": \""
+                << analysis::ToString(s.segment.kind)
+                << "\", \"operators\": [";
+      for (size_t j = 0; j < s.segment.operator_ids.size(); ++j) {
+        std::cout << (j > 0 ? ", " : "") << "\""
+                  << JsonEscape(
+                         logical.op(s.segment.operator_ids[j]).name)
+                  << "\"";
+      }
+      std::cout << "], \"closure\": " << JsonNum(s.closure_value)
+                << ", \"latency_coefficient\": "
+                << JsonNum(s.latency_coefficient)
+                << ", \"throughput_coefficient\": "
+                << JsonNum(s.throughput_coefficient) << "}";
+    }
+    std::cout << "], \"probes\": " << probe_plans.size()
+              << ", \"latency_intercept\": "
+              << JsonNum(fitted.value().latency_intercept())
+              << ", \"throughput_intercept\": "
+              << JsonNum(fitted.value().throughput_intercept())
+              << ", \"latency_overhead_coefficient\": "
+              << JsonNum(fitted.value().latency_overhead_coefficient())
+              << ", \"throughput_overhead_coefficient\": "
+              << JsonNum(fitted.value().throughput_overhead_coefficient())
+              << ", \"predicted_log_latency\": "
+              << JsonNum(fitted.value().PredictLogLatency(degrees))
+              << ", \"predicted_log_throughput\": "
+              << JsonNum(fitted.value().PredictLogThroughput(degrees))
+              << "}\n";
+    return 0;
+  }
+  std::cout << "analytical segment decomposition (" << stories.size()
+            << " segment" << (stories.size() == 1 ? "" : "s")
+            << ", calibrated from " << probe_plans.size()
+            << " GNN probes):\n";
+  for (size_t i = 0; i < stories.size(); ++i) {
+    const auto& s = stories[i];
+    std::cout << "  [" << i + 1 << "] " << s.segment.ToString(logical)
+              << "\n      closure x = " << TextTable::Fmt(s.closure_value)
+              << ", latency beta = "
+              << TextTable::Fmt(s.latency_coefficient)
+              << ", throughput beta = "
+              << TextTable::Fmt(s.throughput_coefficient) << "\n";
+  }
+  std::cout << "parallelism overhead: latency beta = "
+            << TextTable::Fmt(
+                   fitted.value().latency_overhead_coefficient())
+            << ", throughput beta = "
+            << TextTable::Fmt(
+                   fitted.value().throughput_overhead_coefficient())
+            << "\nat this deployment's degrees: predicted log-latency "
+            << TextTable::Fmt(fitted.value().PredictLogLatency(degrees))
+            << ", log-throughput "
+            << TextTable::Fmt(fitted.value().PredictLogThroughput(degrees))
+            << "\n";
+  return 0;
+}
+
 int CmdExplain(const FlagParser& flags) {
   const std::string model_path = flags.GetString("model");
   const std::string plan_path = flags.GetString("plan");
@@ -760,6 +880,10 @@ int CmdExplain(const FlagParser& flags) {
   if (!model.ok()) return Fail(model.status());
   auto plan = dsp::PlanIO::LoadParallelPlan(plan_path);
   if (!plan.ok()) return Fail(plan.status());
+  if (flags.GetBool("segments")) {
+    ZT_ASSIGN_OR_RETURN_CLI(const OutputFormat format, ParseFormat(flags));
+    return RunExplainSegments(format, model.value().get(), plan.value());
+  }
   ZT_ASSIGN_OR_RETURN_CLI(const int64_t top_k, flags.GetInt("top", 10));
 
   auto cost = model.value()->Predict(plan.value());
