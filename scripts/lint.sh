@@ -10,6 +10,13 @@
 # a dedicated build tree. With Status and Result<T> marked [[nodiscard]],
 # this promotes every silently dropped error to a build failure.
 #
+# Both modes additionally run:
+#   - ztlint (tools/ztlint): the project-invariant checker (clock/rng/
+#     thread/lock discipline, ZT-Sxxx catalog in docs/static_analysis.md)
+#     over src/.
+#   - clang-format --dry-run -Werror over the tracked sources when
+#     clang-format is installed (skipped gracefully otherwise).
+#
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir defaults to build-lint (created on demand).
 set -euo pipefail
@@ -27,6 +34,25 @@ configure() {
   fi
 }
 
+run_ztlint() {
+  cmake --build "${build_dir}" -j "${jobs}" --target ztlint
+  "${build_dir}/tools/ztlint/ztlint" "${repo_root}/src"
+  echo "ztlint passed"
+}
+
+check_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not found; skipping the format check"
+    return 0
+  fi
+  # Deliberately malformed lint fixtures are exempt.
+  mapfile -t files < <(cd "${repo_root}" &&
+    git ls-files '*.h' '*.cc' '*.cpp' | grep -v '^tests/fixtures/' | sort)
+  echo "clang-format --dry-run over ${#files[@]} files"
+  (cd "${repo_root}" && clang-format --dry-run -Werror "${files[@]}")
+  echo "format check passed"
+}
+
 if command -v clang-tidy >/dev/null 2>&1; then
   configure
   # clang-tidy needs the compilation database, not the build outputs.
@@ -40,10 +66,14 @@ if command -v clang-tidy >/dev/null 2>&1; then
     (cd "${repo_root}" && clang-tidy -p "${build_dir}" --quiet \
       "${sources[@]}")
   fi
-  echo "lint passed (clang-tidy)"
+  run_ztlint
+  check_format
+  echo "lint passed (clang-tidy + ztlint)"
 else
   echo "clang-tidy not found; falling back to a -Werror warning gate"
   configure
   cmake --build "${build_dir}" -j "${jobs}"
-  echo "lint passed (-Wall -Wextra -Werror build)"
+  run_ztlint
+  check_format
+  echo "lint passed (-Wall -Wextra -Werror build + ztlint)"
 fi

@@ -43,7 +43,7 @@ bool SystemClock::WaitUntil(std::unique_lock<std::mutex>& lock,
 }
 
 int64_t FakeClock::NowNanos() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return now_;
 }
 
@@ -55,7 +55,7 @@ void FakeClock::SleepFor(int64_t nanos) {
 
 void FakeClock::Advance(int64_t nanos) {
   if (nanos <= 0) return;
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   now_ += nanos;
 }
 
@@ -72,7 +72,7 @@ bool FakeClock::WaitUntil(std::unique_lock<std::mutex>& lock,
   // The calling thread is the only driver of time in deterministic tests:
   // jump straight to the deadline and evaluate the predicate there.
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (now_ < deadline_nanos) now_ = deadline_nanos;
   }
   return pred();

@@ -8,6 +8,9 @@
 #include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace zerotune {
 
 /// Sentinel meaning "no deadline" on the Clock timeline.
@@ -80,8 +83,8 @@ class FakeClock : public Clock {
   }
 
  private:
-  std::mutex mu_;
-  int64_t now_;
+  mutable Mutex mu_;
+  int64_t now_ ZT_GUARDED_BY(mu_);
 };
 
 /// A point on a Clock's timeline by which work must finish. Budget <= 0

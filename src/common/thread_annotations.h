@@ -1,0 +1,83 @@
+#ifndef ZEROTUNE_COMMON_THREAD_ANNOTATIONS_H_
+#define ZEROTUNE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Portable wrappers for Clang's thread-safety analysis attributes.
+///
+/// Annotate every mutex-holding class so that lock discipline is checked at
+/// compile time under `clang -Wthread-safety` (CMake turns the warning into
+/// an error for clang builds). Under gcc and msvc every macro expands to
+/// nothing, so annotations cost nothing off-clang.
+///
+/// Catalog (see docs/static_analysis.md, "Concurrency verification"):
+///   ZT_CAPABILITY(x)        - type declares a capability (a lock)
+///   ZT_SCOPED_CAPABILITY    - RAII type that acquires in ctor, releases in
+///                             dtor (lock_guard-style)
+///   ZT_GUARDED_BY(x)        - data member readable/writable only with x held
+///   ZT_PT_GUARDED_BY(x)     - pointee guarded by x (the pointer itself not)
+///   ZT_REQUIRES(x)          - caller must hold x exclusively
+///   ZT_REQUIRES_SHARED(x)   - caller must hold x at least shared
+///   ZT_ACQUIRE(x)           - function acquires x exclusively, no release
+///   ZT_ACQUIRE_SHARED(x)    - function acquires x shared, no release
+///   ZT_RELEASE(x)           - function releases x (any mode)
+///   ZT_RELEASE_SHARED(x)    - function releases shared x
+///   ZT_TRY_ACQUIRE(b, x)    - acquires x iff the return value equals b
+///   ZT_EXCLUDES(x)          - caller must NOT hold x (deadlock guard)
+///   ZT_ASSERT_CAPABILITY(x) - runtime assertion that x is held
+///   ZT_RETURN_CAPABILITY(x) - function returns a reference to capability x
+///   ZT_NO_THREAD_SAFETY_ANALYSIS - opt a function out (use sparingly, with
+///                             a comment explaining why)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ZT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ZT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+#define ZT_CAPABILITY(x) ZT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define ZT_SCOPED_CAPABILITY ZT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define ZT_GUARDED_BY(x) ZT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define ZT_PT_GUARDED_BY(x) ZT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ZT_ACQUIRED_BEFORE(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ZT_ACQUIRED_AFTER(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define ZT_REQUIRES(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define ZT_REQUIRES_SHARED(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ZT_ACQUIRE(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ZT_ACQUIRE_SHARED(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define ZT_RELEASE(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define ZT_RELEASE_SHARED(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define ZT_TRY_ACQUIRE(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define ZT_EXCLUDES(...) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ZT_ASSERT_CAPABILITY(x) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ZT_RETURN_CAPABILITY(x) \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define ZT_NO_THREAD_SAFETY_ANALYSIS \
+  ZT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ZEROTUNE_COMMON_THREAD_ANNOTATIONS_H_

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
   task_ready_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -34,11 +34,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.wait(lock.unique_lock());
   if (first_exception_ != nullptr) {
     std::exception_ptr e = std::exchange(first_exception_, nullptr);
-    lock.unlock();
+    lock.Unlock();
     std::rethrow_exception(e);
   }
 }
@@ -47,9 +47,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && tasks_.empty()) {
+        task_ready_.wait(lock.unique_lock());
+      }
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -68,7 +69,7 @@ void ThreadPool::WorkerLoop() {
       thrown = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (thrown != nullptr && first_exception_ == nullptr) {
         first_exception_ = std::move(thrown);
       }

@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace zerotune {
 
@@ -26,27 +28,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ZT_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have finished. A task that threw is
   /// still counted as finished — the worker catches the exception instead
   /// of letting it reach std::terminate — and the first captured exception
   /// is rethrown here (then cleared, so the pool stays usable).
-  void Wait();
+  void Wait() ZT_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ZT_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ ZT_GUARDED_BY(mu_);
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_exception_;  // guarded by mu_; rethrown by Wait()
+  size_t in_flight_ ZT_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ ZT_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_exception_ ZT_GUARDED_BY(mu_);  // rethrown by Wait
 };
 
 /// Runs fn(i) for i in [0, n) distributed over the pool in contiguous

@@ -1,7 +1,5 @@
 #include "core/dataset_builder.h"
 
-#include <mutex>
-
 namespace zerotune::core {
 
 namespace {

@@ -49,24 +49,6 @@ Status ParallelismOptimizer::Options::Validate() const {
         "max_parallelism must be >= 1, got " +
         std::to_string(max_parallelism));
   }
-  if (num_scale_factors < 1) {
-    return Status::InvalidArgument("num_scale_factors must be >= 1");
-  }
-  if (!(min_scale_factor > 0.0)) {
-    return Status::InvalidArgument(
-        "min_scale_factor must be positive, got " +
-        std::to_string(min_scale_factor));
-  }
-  if (!(max_scale_factor >= min_scale_factor)) {
-    return Status::InvalidArgument(
-        "max_scale_factor must be >= min_scale_factor");
-  }
-  for (int d : uniform_degrees) {
-    if (d < 1) {
-      return Status::InvalidArgument(
-          "uniform_degrees entries must be >= 1, got " + std::to_string(d));
-    }
-  }
   return prescreen.Validate();
 }
 
@@ -250,19 +232,15 @@ Result<ParallelismOptimizer::TuningResult> ParallelismOptimizer::Tune(
   };
 
   // Candidate enumeration through the search space. A null injection
-  // point resolves to the historical grid built from the (deprecated)
-  // grid fields, which keeps the candidate order — and therefore the
+  // point resolves to a default GridSearchSpace capped at
+  // max_parallelism, which keeps the candidate order — and therefore the
   // whole tune — bit-identical to the pre-SearchSpace optimizer.
   GridSearchSpace::Options grid_opts;
   grid_opts.max_parallelism = options_.max_parallelism;
-  grid_opts.num_scale_factors = options_.num_scale_factors;
-  grid_opts.min_scale_factor = options_.min_scale_factor;
-  grid_opts.max_scale_factor = options_.max_scale_factor;
-  grid_opts.uniform_degrees = options_.uniform_degrees;
-  const GridSearchSpace legacy_space(grid_opts);
+  const GridSearchSpace default_space(grid_opts);
   const SearchSpace* space =
       options_.search_space != nullptr ? options_.search_space
-                                       : &legacy_space;
+                                       : &default_space;
   ZT_ASSIGN_OR_RETURN(std::vector<PlanCandidate> enumerated,
                       space->Enumerate(logical, cluster));
   std::vector<std::vector<int>> pending;

@@ -57,23 +57,16 @@ class ParallelismOptimizer {
     double weight = 0.5;
     int max_parallelism = 128;
 
-    /// DEPRECATED(PR 7): grid knobs used only by the implicit
-    /// GridSearchSpace when `search_space` is null. Inject a
-    /// GridSearchSpace with GridSearchSpace::Options instead; these
-    /// adapter fields are kept for one release (see docs/api.md).
-    size_t num_scale_factors = 12;
-    double min_scale_factor = 1e-6;
-    double max_scale_factor = 1e-3;
-    std::vector<int> uniform_degrees = {1, 2, 4, 8, 16, 32, 64};
-
     /// Hill-climbing passes over the operators (0 disables refinement).
     size_t refinement_passes = 2;
 
     /// Candidate generation strategy (borrowed; may be null). Null means
-    /// a GridSearchSpace built from the deprecated grid fields above —
-    /// exactly the historical candidate space. Candidates of any
-    /// SearchSpace are deduplicated, statically vetted and scored by the
-    /// two-tier pipeline; enumeration failures fail Tune() loudly.
+    /// a default GridSearchSpace capped at `max_parallelism` — exactly
+    /// the historical candidate space (the grid knobs live on
+    /// GridSearchSpace::Options; construct one to customize them).
+    /// Candidates of any SearchSpace are deduplicated, statically vetted
+    /// and scored by the two-tier pipeline; enumeration failures fail
+    /// Tune() loudly.
     const SearchSpace* search_space = nullptr;
 
     /// Analytical pre-screen tier; disabled by default.

@@ -1,13 +1,13 @@
 #include "core/trainer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
-#include <mutex>
 #include <numeric>
+
+#include "common/clock.h"
 
 #include "common/file_util.h"
 #include "common/logging.h"
@@ -274,7 +274,9 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
           std::to_string(q.throughput_tps) + ")");
     }
   }
-  const auto t_start = std::chrono::steady_clock::now();
+  Clock* clock =
+      options_.clock != nullptr ? options_.clock : SystemClock::Default();
+  const int64_t t_start = clock->NowNanos();
   obs::Span train_span("trainer/train");
   train_span.AddArg("train_size", std::to_string(train.size()));
   auto* metrics = obs::MetricsRegistry::Global();
@@ -426,7 +428,7 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
        ++epoch) {
     obs::Span epoch_span("trainer/epoch");
     epoch_span.AddArg("epoch", std::to_string(epoch + 1));
-    const auto t_epoch = std::chrono::steady_clock::now();
+    const int64_t t_epoch = clock->NowNanos();
     rng.Shuffle(&order);
     double epoch_loss_sum = 0.0;
     size_t epoch_count = 0;
@@ -501,10 +503,8 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
       val_loss = EpochLoss(val_graphs, val_targets);
     }
     val_loss_gauge->Set(val_loss);
-    epoch_seconds->Record(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_epoch)
-            .count());
+    epoch_seconds->Record(static_cast<double>(clock->NowNanos() - t_epoch) *
+                          1e-9);
     epoch_span.AddArg("train_loss", std::to_string(train_loss));
     if (options_.verbose) {
       Log::Info("epoch ", epoch + 1, "/", options_.epochs, " train_loss=",
@@ -542,9 +542,7 @@ Result<TrainReport> Trainer::Train(const Dataset& train, const Dataset& val) {
                                 ? 0.0
                                 : report.epoch_train_losses.back();
   report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
+      static_cast<double>(clock->NowNanos() - t_start) * 1e-9;
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
 #include "core/model.h"
@@ -29,6 +30,10 @@ struct TrainOptions {
   bool fit_target_stats = true;
   /// Optional pool for data-parallel gradient accumulation.
   zerotune::ThreadPool* pool = nullptr;
+  /// Clock behind TrainReport::train_seconds and the trainer.epoch_seconds
+  /// histogram. Null = system clock; tests inject a FakeClock to make the
+  /// timing metrics deterministic.
+  zerotune::Clock* clock = nullptr;
   bool verbose = false;
   /// Divergence recovery: when a batch produces a non-finite loss or
   /// gradient, the trainer rolls back to the best parameters seen so far,

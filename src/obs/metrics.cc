@@ -132,14 +132,14 @@ HistogramMetric::HistogramMetric(double min_value, double max_value,
 
 void HistogramMetric::Record(double value) {
   Shard& shard = *shards_[ThreadShard()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.histogram.Record(value);
 }
 
 Histogram HistogramMetric::Snapshot() const {
   Histogram merged(min_value_, max_value_, buckets_per_decade_);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     // All shards are stamped from one layout at construction, so a merge
     // failure would be a programming error, not an input error.
     ZT_CHECK_OK(merged.Merge(shard->histogram));
@@ -150,7 +150,7 @@ Histogram HistogramMetric::Snapshot() const {
 uint64_t HistogramMetric::count() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->histogram.count();
   }
   return total;
@@ -170,7 +170,7 @@ MetricsRegistry::Key MetricsRegistry::MakeKey(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
   Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_.emplace(std::move(key), std::unique_ptr<Counter>(new Counter()))
@@ -182,7 +182,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
   Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::move(key), std::unique_ptr<Gauge>(new Gauge()))
@@ -197,7 +197,7 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
                                                double max_value,
                                                size_t buckets_per_decade) {
   Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     it = histograms_
@@ -212,7 +212,7 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
 std::optional<uint64_t> MetricsRegistry::CounterValue(
     const std::string& name, const Labels& labels) const {
   const Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) return std::nullopt;
   return it->second->Value();
@@ -221,7 +221,7 @@ std::optional<uint64_t> MetricsRegistry::CounterValue(
 std::optional<double> MetricsRegistry::GaugeValue(const std::string& name,
                                                   const Labels& labels) const {
   const Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) return std::nullopt;
   return it->second->Value();
@@ -230,14 +230,14 @@ std::optional<double> MetricsRegistry::GaugeValue(const std::string& name,
 std::optional<Histogram> MetricsRegistry::HistogramSnapshot(
     const std::string& name, const Labels& labels) const {
   const Key key = MakeKey(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) return std::nullopt;
   return it->second->Snapshot();
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [key, counter] : counters_) {
     os << key.first << LabelsText(key.second) << " " << counter->Value()
@@ -255,7 +255,7 @@ std::string MetricsRegistry::ToText() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\n  \"counters\": [";
   bool first = true;
@@ -297,7 +297,7 @@ Status MetricsRegistry::WriteJson(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -6,14 +6,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace zerotune::obs {
 
@@ -86,8 +87,8 @@ class HistogramMetric {
                   size_t buckets_per_decade);
 
   struct Shard {
-    mutable std::mutex mu;
-    Histogram histogram;
+    mutable Mutex mu;
+    Histogram histogram ZT_GUARDED_BY(mu);
 
     explicit Shard(const Histogram& layout) : histogram(layout) {}
   };
@@ -156,10 +157,11 @@ class MetricsRegistry {
 
   static Key MakeKey(const std::string& name, Labels labels);
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ ZT_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ ZT_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_
+      ZT_GUARDED_BY(mu_);
 };
 
 }  // namespace zerotune::obs

@@ -53,7 +53,7 @@ TraceRecorder* TraceRecorder::Global() {
 }
 
 void TraceRecorder::Enable(Clock* clock, size_t max_spans) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   clock_ = clock != nullptr ? clock : SystemClock::Default();
   max_spans_ = max_spans;
   enabled_.store(true, std::memory_order_relaxed);
@@ -65,7 +65,7 @@ void TraceRecorder::Disable() {
 
 void TraceRecorder::Append(SpanRecord record) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= max_spans_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -74,23 +74,23 @@ void TraceRecorder::Append(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"traceEvents\": [";
   bool first = true;

@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace zerotune::obs {
 
@@ -70,10 +71,12 @@ class TraceRecorder {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
+  // Written only by Enable(), which by contract never races with in-flight
+  // spans, so the unlocked read in clock() is safe and stays annotation-free.
   Clock* clock_ = SystemClock::Default();
-  size_t max_spans_ = 1 << 20;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  mutable Mutex mu_;
+  size_t max_spans_ ZT_GUARDED_BY(mu_) = 1 << 20;
+  std::vector<SpanRecord> spans_ ZT_GUARDED_BY(mu_);
 };
 
 /// RAII timed span: records [construction, destruction) into a

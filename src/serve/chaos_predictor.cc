@@ -35,7 +35,7 @@ std::string ChaosPredictor::name() const {
 }
 
 uint64_t ChaosPredictor::injected_failures() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return injected_failures_;
 }
 
@@ -48,7 +48,7 @@ Result<core::CostPrediction> ChaosPredictor::Predict(
   // Timeline faults: the predictor is "node 0 / operator 0 / instance 0"
   // of the fault plan.
   if (injector.NodeDown(0, t_s)) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     ++injected_failures_;
     return Status::Unavailable("injected node crash active at t=" +
                                std::to_string(t_s) + "s");
@@ -60,7 +60,7 @@ Result<core::CostPrediction> ChaosPredictor::Predict(
   // Stochastic chaos.
   bool fail = false;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (options_.fail_rate > 0.0 && rng_.Bernoulli(options_.fail_rate)) {
       fail = true;
       ++injected_failures_;

@@ -2,11 +2,12 @@
 #define ZEROTUNE_SERVE_CHAOS_PREDICTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/cost_predictor.h"
 #include "sim/fault_injection.h"
@@ -69,9 +70,9 @@ class ChaosPredictor : public core::CostPredictor {
   Clock* clock_;
   int64_t start_nanos_;
 
-  mutable std::mutex mu_;  // guards rng_ and counters (Rng is not thread-safe)
-  mutable Rng rng_;
-  mutable uint64_t injected_failures_ = 0;
+  mutable Mutex mu_;  // Rng is not thread-safe
+  mutable Rng rng_ ZT_GUARDED_BY(mu_);
+  mutable uint64_t injected_failures_ ZT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace zerotune::serve

@@ -81,7 +81,7 @@ void CircuitBreaker::PushOutcomeLocked(bool failure) {
 }
 
 bool CircuitBreaker::AllowPrimary() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   MaybeHalfOpenLocked();
   switch (state_) {
     case State::kClosed:
@@ -99,7 +99,7 @@ bool CircuitBreaker::AllowPrimary() {
 }
 
 void CircuitBreaker::RecordSuccess(double latency_ms) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   const bool slow =
       options_.slow_call_ms > 0.0 && latency_ms > options_.slow_call_ms;
   switch (state_) {
@@ -126,7 +126,7 @@ void CircuitBreaker::RecordSuccess(double latency_ms) {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   switch (state_) {
     case State::kClosed:
       PushOutcomeLocked(/*failure=*/true);
@@ -140,18 +140,18 @@ void CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   MaybeHalfOpenLocked();
   return state_;
 }
 
 uint64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return trips_;
 }
 
 uint64_t CircuitBreaker::recoveries() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return recoveries_;
 }
 

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace zerotune::serve {
 
@@ -75,22 +76,23 @@ class CircuitBreaker {
   static const char* ToString(State s);
 
  private:
-  void MaybeHalfOpenLocked();
-  void TripLocked();
-  void PushOutcomeLocked(bool failure);
+  void MaybeHalfOpenLocked() ZT_REQUIRES(mu_);
+  void TripLocked() ZT_REQUIRES(mu_);
+  void PushOutcomeLocked(bool failure) ZT_REQUIRES(mu_);
 
   CircuitBreakerOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  std::deque<bool> window_;  // true = failure (error or slow call)
-  size_t window_failures_ = 0;
-  int64_t opened_at_nanos_ = 0;
-  size_t half_open_inflight_ = 0;
-  size_t half_open_successes_ = 0;
-  uint64_t trips_ = 0;
-  uint64_t recoveries_ = 0;
+  mutable Mutex mu_;
+  State state_ ZT_GUARDED_BY(mu_) = State::kClosed;
+  // true = failure (error or slow call)
+  std::deque<bool> window_ ZT_GUARDED_BY(mu_);
+  size_t window_failures_ ZT_GUARDED_BY(mu_) = 0;
+  int64_t opened_at_nanos_ ZT_GUARDED_BY(mu_) = 0;
+  size_t half_open_inflight_ ZT_GUARDED_BY(mu_) = 0;
+  size_t half_open_successes_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t trips_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t recoveries_ ZT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace zerotune::serve

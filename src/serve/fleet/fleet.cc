@@ -203,7 +203,7 @@ Result<uint32_t> PredictionFleet::AddReplicaInternal(bool count_scale_up) {
   if (factory_ == nullptr) {
     return Status::FailedPrecondition("fleet has no replica factory");
   }
-  std::unique_lock<std::shared_mutex> lock(ring_mu_);
+  WriterMutexLock lock(ring_mu_);
   const uint32_t id = next_replica_id_++;
   auto primary = factory_(id);
   if (primary == nullptr) {
@@ -219,7 +219,7 @@ Result<uint32_t> PredictionFleet::AddReplicaInternal(bool count_scale_up) {
                                     /*pool=*/nullptr, clock_));
   ring_.Add(id);
   if (count_scale_up) scale_ups_->Increment();
-  lock.unlock();
+  lock.Unlock();
   UpdateReplicaGauges();
   return id;
 }
@@ -230,7 +230,7 @@ Result<uint32_t> PredictionFleet::AddReplica() {
 
 Status PredictionFleet::RemoveReplica(uint32_t id) {
   {
-    std::unique_lock<std::shared_mutex> lock(ring_mu_);
+    WriterMutexLock lock(ring_mu_);
     if (!ring_.Contains(id)) {
       return Status::NotFound("replica " + std::to_string(id) +
                               " is not on the ring");
@@ -249,7 +249,7 @@ Status PredictionFleet::RemoveReplica(uint32_t id) {
 Status PredictionFleet::KillReplica(uint32_t id) {
   Replica* replica = nullptr;
   {
-    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    ReaderMutexLock lock(ring_mu_);
     auto it = replicas_.find(id);
     if (it == replicas_.end()) {
       return Status::NotFound("no replica " + std::to_string(id));
@@ -267,7 +267,7 @@ Status PredictionFleet::KillReplica(uint32_t id) {
 Status PredictionFleet::RestartReplica(uint32_t id) {
   Replica* replica = nullptr;
   {
-    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    ReaderMutexLock lock(ring_mu_);
     auto it = replicas_.find(id);
     if (it == replicas_.end()) {
       return Status::NotFound("no replica " + std::to_string(id));
@@ -281,12 +281,12 @@ Status PredictionFleet::RestartReplica(uint32_t id) {
 }
 
 std::vector<uint32_t> PredictionFleet::ReplicaIds() const {
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   return ring_.Members();
 }
 
 std::vector<uint32_t> PredictionFleet::AliveReplicaIds() const {
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   std::vector<uint32_t> alive;
   for (const uint32_t id : ring_.Members()) {
     if (replicas_.at(id)->alive()) alive.push_back(id);
@@ -295,7 +295,7 @@ std::vector<uint32_t> PredictionFleet::AliveReplicaIds() const {
 }
 
 size_t PredictionFleet::replica_count() const {
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   return ring_.size();
 }
 
@@ -308,7 +308,7 @@ size_t PredictionFleet::capacity() const {
 }
 
 Result<ReplicaHealth> PredictionFleet::replica_health(uint32_t id) {
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   auto it = replicas_.find(id);
   if (it == replicas_.end()) {
     return Status::NotFound("no replica " + std::to_string(id));
@@ -317,7 +317,7 @@ Result<ReplicaHealth> PredictionFleet::replica_health(uint32_t id) {
 }
 
 void PredictionFleet::UpdateReplicaGauges() {
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   size_t alive = 0;
   for (const uint32_t id : ring_.Members()) {
     if (replicas_.at(id)->alive()) ++alive;
@@ -355,7 +355,7 @@ void PredictionFleet::Route(uint64_t key, Replica** primary,
   *primary = nullptr;
   *target = nullptr;
   *skipped = 0;
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   const std::vector<uint32_t> prefs =
       ring_.PreferenceList(key, ring_.size());
   Replica* suspect_target = nullptr;
@@ -468,17 +468,20 @@ Result<FleetPrediction> PredictionFleet::ExecuteInline(
 }
 
 struct PredictionFleet::RaceState {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
   // Hedge losers outlive Predict(); they work on this fleet-owned copy,
   // never the caller's plan.
   dsp::ParallelQueryPlan plan;
-  Result<ServedPrediction> results[2] = {
+  Result<ServedPrediction> results[2] ZT_GUARDED_BY(mu) = {
       Result<ServedPrediction>(Status::Internal("pending")),
       Result<ServedPrediction>(Status::Internal("pending"))};
-  bool done[2] = {false, false};
-  int finished = 0;
-  int winner = -1;  // first slot to produce an OK answer
+  // Progress flags are atomic so deadline-wait predicates can poll them
+  // without holding `mu`; they are only written under `mu` before the
+  // notify, so cv waiters never miss a transition.
+  std::atomic<bool> done[2] = {false, false};
+  std::atomic<int> finished{0};
+  std::atomic<int> winner{-1};  // first slot to produce an OK answer
 
   explicit RaceState(const dsp::ParallelQueryPlan& p) : plan(p) {}
 };
@@ -490,12 +493,13 @@ Result<FleetPrediction> PredictionFleet::ExecutePooled(
   auto state = std::make_shared<RaceState>(plan);
   auto run = [this, state](int slot, Replica* replica, double budget_ms) {
     Result<ServedPrediction> r = DispatchTo(replica, state->plan, budget_ms);
-    std::lock_guard<std::mutex> g(state->mu);
+    MutexLock g(state->mu);
+    const bool ok = r.ok();
     state->results[slot] = std::move(r);
-    state->done[slot] = true;
-    ++state->finished;
-    if (state->winner < 0 && state->results[slot].ok()) {
-      state->winner = slot;
+    state->done[slot].store(true);
+    state->finished.fetch_add(1);
+    if (state->winner.load() < 0 && ok) {
+      state->winner.store(slot);
     }
     state->cv.notify_all();
   };
@@ -504,14 +508,14 @@ Result<FleetPrediction> PredictionFleet::ExecutePooled(
 
   FleetPrediction fp;
   fp.replica = primary->id();
-  std::unique_lock<std::mutex> lock(state->mu);
+  MutexLock lock(state->mu);
   int dispatched = 1;
   if (options_.hedge.enabled && target != nullptr) {
     const int64_t hedge_at =
         clock_->NowNanos() + static_cast<int64_t>(hedge_delay * 1e6);
-    clock_->WaitUntil(lock, state->cv, hedge_at,
-                      [&] { return state->done[0]; });
-    if (!state->done[0]) {
+    clock_->WaitUntil(lock.unique_lock(), state->cv, hedge_at,
+                      [&] { return state->done[0].load(); });
+    if (!state->done[0].load()) {
       hedges_sent_->Increment();
       fp.hedged = true;
       const double remaining =
@@ -525,12 +529,12 @@ Result<FleetPrediction> PredictionFleet::ExecutePooled(
   // First OK answer wins; with none, wait for every dispatched attempt.
   // Liveness: each attempt is deadline-bounded inside the replica (or
   // answers promptly via its fallback), so the predicate always fires.
-  clock_->WaitUntil(lock, state->cv, kNoDeadlineNanos, [&] {
-    return state->winner >= 0 || state->finished == dispatched;
+  clock_->WaitUntil(lock.unique_lock(), state->cv, kNoDeadlineNanos, [&] {
+    return state->winner.load() >= 0 || state->finished.load() == dispatched;
   });
 
-  if (state->winner >= 0) {
-    const int w = state->winner;
+  if (state->winner.load() >= 0) {
+    const int w = state->winner.load();
     if (fp.hedged) {
       // The loser keeps running in the background; its answer is
       // discarded ("cancelled" — attempts are never preempted).
@@ -550,7 +554,7 @@ Result<FleetPrediction> PredictionFleet::ExecutePooled(
   // Every dispatched attempt failed.
   if (fp.hedged) hedges_cancelled_->Increment();
   const Status primary_error = state->results[0].status();
-  lock.unlock();
+  lock.Unlock();
   if (primary_error.code() == StatusCode::kDeadlineExceeded) {
     return primary_error;
   }
@@ -683,7 +687,7 @@ FleetStats PredictionFleet::Snapshot() const {
   snap.tenants_seen = quotas_.tenants_seen();
   snap.active_tenants = quotas_.active_tenants();
 
-  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  ReaderMutexLock lock(ring_mu_);
   snap.replicas_total = ring_.size();
   bool first_hist = true;
   for (const auto& [id, replica] : replicas_) {

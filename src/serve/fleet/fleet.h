@@ -6,12 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/cost_predictor.h"
 #include "obs/metrics.h"
@@ -259,12 +260,13 @@ class PredictionFleet {
   Clock* clock_;
   TenantQuotas quotas_;
 
-  mutable std::shared_mutex ring_mu_;  // guards ring_, replicas_, next id
-  ConsistentHashRing ring_;
+  mutable SharedMutex ring_mu_;
+  ConsistentHashRing ring_ ZT_GUARDED_BY(ring_mu_);
   // Includes drained replicas; entries are never erased, so raw Replica
   // pointers handed out under the lock stay valid for the fleet lifetime.
-  std::map<uint32_t, std::unique_ptr<Replica>> replicas_;
-  uint32_t next_replica_id_ = 0;
+  std::map<uint32_t, std::unique_ptr<Replica>> replicas_
+      ZT_GUARDED_BY(ring_mu_);
+  uint32_t next_replica_id_ ZT_GUARDED_BY(ring_mu_) = 0;
 
   // Hedge delay cache, refreshed every hedge.refresh_every answers.
   std::atomic<uint64_t> hedge_delay_bits_;

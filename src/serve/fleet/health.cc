@@ -50,7 +50,7 @@ HealthTracker::HealthTracker(HealthOptions options, Clock* clock)
       clock_(clock != nullptr ? clock : SystemClock::Default()) {}
 
 void HealthTracker::RecordSuccess(double latency_ms) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   const bool slow =
       options_.slow_ms > 0.0 && latency_ms > options_.slow_ms;
   PushOutcomeLocked(/*failure=*/slow);
@@ -58,13 +58,13 @@ void HealthTracker::RecordSuccess(double latency_ms) {
 }
 
 void HealthTracker::RecordFailure() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   PushOutcomeLocked(/*failure=*/true);
   EvaluateLocked();
 }
 
 void HealthTracker::MarkCrashed() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   crashed_ = true;
   if (health_ != ReplicaHealth::kDown) {
     health_ = ReplicaHealth::kDown;
@@ -74,7 +74,7 @@ void HealthTracker::MarkCrashed() {
 }
 
 void HealthTracker::Reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   crashed_ = false;
   window_.clear();
   window_failures_ = 0;
@@ -82,7 +82,7 @@ void HealthTracker::Reset() {
 }
 
 ReplicaHealth HealthTracker::health() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (health_ == ReplicaHealth::kDown && !crashed_) {
     // Error-rate downs recover on their own: after the probe backoff the
     // replica goes on probation (suspect) with a cleared window, so the
@@ -98,7 +98,7 @@ ReplicaHealth HealthTracker::health() {
 }
 
 uint64_t HealthTracker::downs() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return downs_;
 }
 

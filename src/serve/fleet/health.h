@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace zerotune::serve::fleet {
 
@@ -70,19 +71,19 @@ class HealthTracker {
   uint64_t downs() const;
 
  private:
-  void PushOutcomeLocked(bool failure);
-  void EvaluateLocked();
+  void PushOutcomeLocked(bool failure) ZT_REQUIRES(mu_);
+  void EvaluateLocked() ZT_REQUIRES(mu_);
 
   HealthOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  ReplicaHealth health_ = ReplicaHealth::kHealthy;
-  bool crashed_ = false;
-  std::deque<bool> window_;  // true = failure
-  size_t window_failures_ = 0;
-  int64_t down_since_nanos_ = 0;
-  uint64_t downs_ = 0;
+  mutable Mutex mu_;
+  ReplicaHealth health_ ZT_GUARDED_BY(mu_) = ReplicaHealth::kHealthy;
+  bool crashed_ ZT_GUARDED_BY(mu_) = false;
+  std::deque<bool> window_ ZT_GUARDED_BY(mu_);  // true = failure
+  size_t window_failures_ ZT_GUARDED_BY(mu_) = 0;
+  int64_t down_since_nanos_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t downs_ ZT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace zerotune::serve::fleet

@@ -18,6 +18,7 @@ Replica::Replica(uint32_t id,
       clock_(clock != nullptr ? clock : SystemClock::Default()),
       tracker_(health_options, clock) {
   options_.metric_labels.emplace_back("replica", std::to_string(id_));
+  MutexLock g(mu_);
   service_ = MakeService();
 }
 
@@ -31,7 +32,7 @@ Result<ServedPrediction> Replica::Predict(const dsp::ParallelQueryPlan& plan,
                                           double deadline_ms) {
   std::shared_ptr<PredictionService> service;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!alive_) {
       crashed_rejections_.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable("replica " + std::to_string(id_) +
@@ -54,7 +55,7 @@ Result<ServedPrediction> Replica::Predict(const dsp::ParallelQueryPlan& plan,
 
 void Replica::Kill() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!alive_) return;
     alive_ = false;
   }
@@ -63,7 +64,7 @@ void Replica::Kill() {
 
 void Replica::Restart() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     // The old incarnation may still be draining requests that were
     // executing when Kill() landed; retire it instead of destroying it so
     // those requests finish and their counters stay reachable.
@@ -75,19 +76,19 @@ void Replica::Restart() {
 }
 
 bool Replica::alive() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return alive_;
 }
 
 uint64_t Replica::incarnations() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return incarnations_;
 }
 
 size_t Replica::inflight() const {
   std::shared_ptr<PredictionService> service;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!alive_) return 0;
     service = service_;
   }
@@ -97,7 +98,7 @@ size_t Replica::inflight() const {
 ServiceStats Replica::CumulativeStats() const {
   std::vector<std::shared_ptr<PredictionService>> incarnations;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     incarnations = retired_;
     incarnations.push_back(service_);
   }

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/cost_predictor.h"
 #include "serve/fleet/health.h"
@@ -82,7 +83,7 @@ class Replica {
   ServiceStats CumulativeStats() const;
 
  private:
-  std::shared_ptr<PredictionService> MakeService();
+  std::shared_ptr<PredictionService> MakeService() ZT_REQUIRES(mu_);
 
   const uint32_t id_;
   std::unique_ptr<const core::CostPredictor> primary_;
@@ -94,11 +95,12 @@ class Replica {
 
   std::atomic<uint64_t> crashed_rejections_{0};
 
-  mutable std::mutex mu_;
-  bool alive_ = true;
-  uint64_t incarnations_ = 0;
-  std::shared_ptr<PredictionService> service_;
-  std::vector<std::shared_ptr<PredictionService>> retired_;
+  mutable Mutex mu_;
+  bool alive_ ZT_GUARDED_BY(mu_) = true;
+  uint64_t incarnations_ ZT_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<PredictionService> service_ ZT_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<PredictionService>> retired_
+      ZT_GUARDED_BY(mu_);
 };
 
 }  // namespace zerotune::serve::fleet

@@ -37,7 +37,7 @@ TenantQuotas::Shard& TenantQuotas::ShardFor(const std::string& tenant) {
 TenantQuotas::TenantState* TenantQuotas::GetOrCreate(
     const std::string& tenant) {
   Shard& shard = ShardFor(tenant);
-  std::lock_guard<std::mutex> g(shard.mu);
+  MutexLock g(shard.mu);
   auto it = shard.tenants.find(tenant);
   if (it != shard.tenants.end()) return it->second.get();
   auto state = std::make_unique<TenantState>();
@@ -57,7 +57,7 @@ TenantQuotas::TenantState* TenantQuotas::GetOrCreate(
 size_t TenantQuotas::tenants_seen() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard.mu);
+    MutexLock g(shard.mu);
     n += shard.tenants.size();
   }
   return n;

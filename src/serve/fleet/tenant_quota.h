@@ -5,12 +5,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace zerotune::serve::fleet {
@@ -73,8 +74,9 @@ class TenantQuotas {
   };
   static constexpr size_t kShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants;
+    mutable Mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants
+        ZT_GUARDED_BY(mu);
   };
 
   TenantState* GetOrCreate(const std::string& tenant);

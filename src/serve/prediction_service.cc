@@ -1,7 +1,9 @@
 #include "serve/prediction_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <sstream>
 
 #include "analysis/plan_analyzer.h"
@@ -102,12 +104,16 @@ struct PredictionService::Request {
   int64_t deadline_nanos = kNoDeadlineNanos;
   int64_t admitted_nanos = 0;
 
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
-  bool started = false;    // a worker has claimed it
-  bool cancelled = false;  // deadline expired while still queued
-  bool done = false;
-  Result<ServedPrediction> result{Status::Internal("pending")};
+  bool started ZT_GUARDED_BY(mu) = false;    // a worker has claimed it
+  bool cancelled ZT_GUARDED_BY(mu) = false;  // deadline expired while queued
+  // Atomic so deadline-wait predicates can poll it without holding `mu`
+  // (the cv wait itself still runs under the lock); written under `mu`
+  // before the notify.
+  std::atomic<bool> done{false};
+  Result<ServedPrediction> result ZT_GUARDED_BY(mu){
+      Status::Internal("pending")};
 };
 
 PredictionService::PredictionService(const core::CostPredictor* primary,
@@ -175,7 +181,7 @@ Result<ServedPrediction> PredictionService::Predict(
   // execution resources, so counting them against the bound would let a
   // burst of retrying requests starve fresh admissions.
   {
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     if (inflight_ - backing_off_ >= options_.max_inflight) {
       shed_queue_full_->Increment();
       return Status::ResourceExhausted(
@@ -198,21 +204,24 @@ Result<ServedPrediction> PredictionService::Predict(
     // Inline mode: execute in the caller thread. Deterministic — the mode
     // FakeClock tests use.
     Execute(request.get());
-    std::lock_guard<std::mutex> g(queue_mu_);
-    --inflight_;
+    {
+      MutexLock g(queue_mu_);
+      --inflight_;
+    }
+    MutexLock g(request->mu);
     return request->result;
   }
 
   {
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     queue_.push_back(request);
   }
   pool_->Submit([this] { DrainOne(); });
 
-  std::unique_lock<std::mutex> lock(request->mu);
-  clock_->WaitUntil(lock, request->cv, request->deadline_nanos,
-                    [&] { return request->done; });
-  if (!request->done) {
+  MutexLock lock(request->mu);
+  clock_->WaitUntil(lock.unique_lock(), request->cv, request->deadline_nanos,
+                    [&] { return request->done.load(); });
+  if (!request->done.load()) {
     if (!request->started) {
       // Deadline passed while still queued: cancel. The worker that
       // eventually pops it discards it without running (and records the
@@ -227,7 +236,7 @@ Result<ServedPrediction> PredictionService::Predict(
     // so wait for the (attempt-bounded) completion and return its result —
     // the executor's own budget checks decide whether that is a value or
     // DeadlineExceeded.
-    request->cv.wait(lock, [&] { return request->done; });
+    while (!request->done.load()) request->cv.wait(lock.unique_lock());
   }
   return request->result;
 }
@@ -235,14 +244,14 @@ Result<ServedPrediction> PredictionService::Predict(
 void PredictionService::DrainOne() {
   std::shared_ptr<Request> request;
   {
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     if (queue_.empty()) return;  // defensive; one task per enqueue
     request = std::move(queue_.front());
     queue_.pop_front();
   }
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> g(request->mu);
+    MutexLock g(request->mu);
     cancelled = request->cancelled;
     if (!cancelled) request->started = true;
   }
@@ -251,7 +260,7 @@ void PredictionService::DrainOne() {
   } else {
     Execute(request.get());
   }
-  std::lock_guard<std::mutex> g(queue_mu_);
+  MutexLock g(queue_mu_);
   --inflight_;
 }
 
@@ -262,9 +271,9 @@ void PredictionService::Execute(Request* request) {
   span.AddArg("ok", result.ok() ? "true" : "false");
   FinishRequest(result);
   {
-    std::lock_guard<std::mutex> g(request->mu);
+    MutexLock g(request->mu);
     request->result = std::move(result);
-    request->done = true;
+    request->done.store(true);
   }
   request->cv.notify_all();
 }
@@ -289,7 +298,7 @@ void PredictionService::SleepBackoff(size_t attempt, int64_t deadline_nanos) {
       options_.backoff_base_ms *
           std::pow(2.0, static_cast<double>(attempt - 1)));
   {
-    std::lock_guard<std::mutex> g(rng_mu_);
+    MutexLock g(rng_mu_);
     ms *= rng_.Uniform(1.0, 1.0 + options_.backoff_jitter);
   }
   if (deadline_nanos != kNoDeadlineNanos) {
@@ -306,11 +315,11 @@ void PredictionService::SleepBackoff(size_t attempt, int64_t deadline_nanos) {
     // max_inflight (bounded by max_inflight * max_attempts); what the
     // bound strictly limits is slots held at admission time.
     {
-      std::lock_guard<std::mutex> g(queue_mu_);
+      MutexLock g(queue_mu_);
       ++backing_off_;
     }
     clock_->SleepFor(static_cast<int64_t>(ms * 1e6));
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     --backing_off_;
   }
 }

@@ -1,17 +1,17 @@
 #ifndef ZEROTUNE_SERVE_PREDICTION_SERVICE_H_
 #define ZEROTUNE_SERVE_PREDICTION_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/cost_predictor.h"
 #include "obs/metrics.h"
@@ -161,7 +161,7 @@ class PredictionService {
   /// releases its slot so bursts of retrying requests cannot starve
   /// admission — see backing_off().
   size_t inflight() const {
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     return inflight_ - backing_off_;
   }
 
@@ -169,7 +169,7 @@ class PredictionService {
   /// These are inside the service but discounted from the admission bound;
   /// total residency is inflight() + backing_off().
   size_t backing_off() const {
-    std::lock_guard<std::mutex> g(queue_mu_);
+    MutexLock g(queue_mu_);
     return backing_off_;
   }
 
@@ -198,11 +198,13 @@ class PredictionService {
   Clock* clock_;
   CircuitBreaker breaker_;
 
-  mutable std::mutex queue_mu_;
-  std::deque<std::shared_ptr<Request>> queue_;
-  size_t inflight_ = 0;     // queued + executing + backing off
-  size_t backing_off_ = 0;  // subset of inflight_ asleep between attempts;
-                            // admission bounds inflight_ - backing_off_
+  mutable Mutex queue_mu_;
+  std::deque<std::shared_ptr<Request>> queue_ ZT_GUARDED_BY(queue_mu_);
+  // queued + executing + backing off
+  size_t inflight_ ZT_GUARDED_BY(queue_mu_) = 0;
+  // subset of inflight_ asleep between attempts; admission bounds
+  // inflight_ - backing_off_
+  size_t backing_off_ ZT_GUARDED_BY(queue_mu_) = 0;
 
   // serve.* series in the global metrics registry, labeled per instance.
   // Handles are resolved once at construction; hot-path increments are
@@ -222,8 +224,8 @@ class PredictionService {
   obs::Counter* fallback_failures_;
   obs::HistogramMetric* latency_ms_;
 
-  mutable std::mutex rng_mu_;
-  Rng rng_;  // backoff jitter; guarded by rng_mu_
+  mutable Mutex rng_mu_;
+  Rng rng_ ZT_GUARDED_BY(rng_mu_);  // backoff jitter
 };
 
 }  // namespace zerotune::serve

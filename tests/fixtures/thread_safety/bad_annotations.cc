@@ -1,0 +1,26 @@
+// Mis-annotated sample: reads a ZT_GUARDED_BY field without holding the
+// mutex. Under clang with -Werror=thread-safety this must FAIL to
+// compile — the configure-time check in tests/CMakeLists.txt asserts
+// exactly that, proving the analysis is enforcing and not just parsing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+class BankAccount {
+ public:
+  void Deposit(int amount) {
+    zerotune::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  // BUG (deliberate): guarded field read without the lock.
+  int UnsafeBalance() const { return balance_; }
+
+ private:
+  mutable zerotune::Mutex mu_;
+  int balance_ ZT_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  BankAccount account;
+  account.Deposit(7);
+  return account.UnsafeBalance() == 7 ? 0 : 1;
+}

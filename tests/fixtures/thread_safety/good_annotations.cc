@@ -1,0 +1,27 @@
+// Correctly annotated sample. Must compile under every supported
+// compiler: off clang the ZT_* macros expand to nothing; under clang
+// with -Werror=thread-safety the analysis verifies the locking.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+class BankAccount {
+ public:
+  void Deposit(int amount) {
+    zerotune::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  int balance() const {
+    zerotune::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable zerotune::Mutex mu_;
+  int balance_ ZT_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  BankAccount account;
+  account.Deposit(7);
+  return account.balance() == 7 ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// ztlint fixture: ZT-S001 — raw standard-library clock reads.
+#include <chrono>
+
+double ElapsedSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t1;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,22 @@
+// ztlint fixture: ZT-S004 — manual lock pairing on a mutex-named
+// receiver (the thread-safety analysis cannot match the pair).
+#include "common/mutex.h"
+
+struct Account {
+  void Deposit(int amount) {
+    mu_.Lock();  // wrapper calls are fine; the bad ones are below
+    balance_ += amount;
+    mu_.Unlock();
+  }
+  void Withdraw(int amount) {
+    mu.lock();
+    balance_ -= amount;
+    mu.unlock();
+  }
+  bool TryFreeze() { return state_mutex_.try_lock(); }
+
+  zerotune::Mutex mu_;
+  zerotune::Mutex mu;
+  zerotune::Mutex state_mutex_;
+  int balance_ = 0;
+};

@@ -1,0 +1,11 @@
+// ztlint fixture: ZT-S006 — raw standard-library lock types.
+#include <mutex>
+
+struct Counter {
+  void Bump() {
+    std::lock_guard<std::mutex> g(raw_);
+    ++n_;
+  }
+  std::mutex raw_;
+  int n_ = 0;
+};

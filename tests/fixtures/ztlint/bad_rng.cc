@@ -1,0 +1,9 @@
+// ztlint fixture: ZT-S002 — unseeded randomness.
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device rd;
+  srand(rd());
+  return rand() % 6;
+}

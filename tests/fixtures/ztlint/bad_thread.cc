@@ -1,0 +1,7 @@
+// ztlint fixture: ZT-S003 — naked std::thread.
+#include <thread>
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,37 @@
+// ztlint fixture: a file that follows every project invariant — the
+// injectable clock, a seeded Rng, pool-owned threads, RAII locks — plus
+// the cases the rules must NOT fire on: tokens inside strings and
+// comments (std::thread, rand(), std::chrono::steady_clock), RAII-guard
+// receivers named `lock`, and an explicitly suppressed line.
+#include <string>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+struct Meter {
+  void Record(zerotune::Clock* clock, zerotune::Rng& rng) {
+    zerotune::MutexLock lock(mu_);
+    last_nanos_ = clock->NowNanos();
+    jitter_ = rng.Uniform(0.0, 1.0);
+    lock.Unlock();  // Unlock on the guard, not the mutex: allowed
+  }
+
+  mutable zerotune::Mutex mu_;
+  long long last_nanos_ ZT_GUARDED_BY(mu_) = 0;
+  double jitter_ ZT_GUARDED_BY(mu_) = 0.0;
+};
+
+std::string Banner() {
+  // A docs string mentioning std::thread and rand() must not fire.
+  return "never call rand() or spawn a std::thread by hand; "
+         "std::chrono::steady_clock reads belong in common/clock.cc";
+}
+
+// A justified exception stays visible but suppressed:
+using NativeHandle = std::thread::native_handle_type;  // ztlint: allow(ZT-S003)
+
+}  // namespace

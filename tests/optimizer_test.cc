@@ -46,16 +46,11 @@ TEST(ParallelismOptimizerTest, OptionsValidateChecksEveryKnob) {
   opts.max_parallelism = 0;
   EXPECT_FALSE(opts.Validate().ok());
   opts = ParallelismOptimizer::Options();
-  opts.num_scale_factors = 0;
+  opts.weight = -0.1;
   EXPECT_FALSE(opts.Validate().ok());
   opts = ParallelismOptimizer::Options();
-  opts.min_scale_factor = 0.0;
-  EXPECT_FALSE(opts.Validate().ok());
-  opts = ParallelismOptimizer::Options();
-  opts.max_scale_factor = opts.min_scale_factor / 2.0;
-  EXPECT_FALSE(opts.Validate().ok());
-  opts = ParallelismOptimizer::Options();
-  opts.uniform_degrees = {2, 0};
+  opts.prescreen.enabled = true;
+  opts.prescreen.keep_fraction = 0.0;
   EXPECT_FALSE(opts.Validate().ok());
 }
 

@@ -202,25 +202,21 @@ TEST(EnumeratorSearchSpaceTest, InvalidEnumeratorOptionsSurfaceEverywhere) {
 
 // --- injection into the optimizer -------------------------------------
 
-// The deprecated grid fields must behave exactly like an explicitly
-// injected GridSearchSpace built from the same values: same winner, same
-// predictions, same candidate-by-candidate evaluation trace.
-TEST(SearchSpaceInjectionTest, DeprecatedGridFieldsMatchInjectedSpace) {
+// A null Options::search_space must behave exactly like an explicitly
+// injected default GridSearchSpace: same winner, same predictions, same
+// candidate-by-candidate evaluation trace.
+TEST(SearchSpaceInjectionTest, NullSearchSpaceMatchesInjectedDefaultGrid) {
   OraclePredictor oracle;
   const QueryPlan q = LinearPlan(250000);
   const Cluster cluster = Cluster::Homogeneous("m510", 4).value();
 
-  ParallelismOptimizer::Options legacy;  // grid via deprecated fields
+  ParallelismOptimizer::Options legacy;  // null search_space
   const auto via_fields =
       ParallelismOptimizer(&oracle, legacy).Tune(q, cluster);
   ASSERT_TRUE(via_fields.ok());
 
   GridSearchSpace::Options gopts;
   gopts.max_parallelism = legacy.max_parallelism;
-  gopts.num_scale_factors = legacy.num_scale_factors;
-  gopts.min_scale_factor = legacy.min_scale_factor;
-  gopts.max_scale_factor = legacy.max_scale_factor;
-  gopts.uniform_degrees = legacy.uniform_degrees;
   const GridSearchSpace space(gopts);
   ParallelismOptimizer::Options injected;
   injected.search_space = &space;

@@ -149,6 +149,26 @@ TEST_F(TrainerTest, FineTuningKeepsTargetStats) {
   EXPECT_DOUBLE_EQ(model.target_stats().latency_mean, before.latency_mean);
 }
 
+TEST_F(TrainerTest, InjectedFakeClockMakesTimingDeterministic) {
+  // All trainer timing (TrainReport::train_seconds, the
+  // trainer.epoch_seconds histogram) flows through TrainOptions::clock.
+  // On a FakeClock that nobody advances, elapsed time is exactly zero —
+  // any wall-clock leakage would make it positive and flaky.
+  ZeroTuneModel model;
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.patience = 0;
+  FakeClock clock;
+  opts.clock = &clock;
+  const auto report = Trainer(&model, opts).Train(*train_, *val_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().train_seconds, 0.0);
+
+  // Advancing the clock between runs is the only way time passes.
+  clock.Advance(3'000'000'000);
+  EXPECT_EQ(clock.NowNanos(), 3'000'000'000);
+}
+
 TEST(TrainerStandaloneTest, InvalidOptionsFailLoudlyAtTrain) {
   ZeroTuneModel model;
   TrainOptions bad;

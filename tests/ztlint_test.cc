@@ -1,0 +1,205 @@
+// ztlint rule tests: every ZT-Sxxx rule against a good/bad fixture pair
+// through the library, allowlist and suppression semantics, and the real
+// binary as a subprocess for exit codes and JSON output. Fixture paths
+// and the binary path are injected by CMake.
+#include <array>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+
+#include "ztlint.h"
+
+#ifndef ZT_ZTLINT_PATH
+#error "ZT_ZTLINT_PATH must be defined by the build"
+#endif
+#ifndef ZT_ZTLINT_FIXTURES
+#error "ZT_ZTLINT_FIXTURES must be defined by the build"
+#endif
+
+namespace {
+
+using zerotune::ztlint::LintReport;
+using zerotune::ztlint::Severity;
+using zerotune::ztlint::SourceLinter;
+
+std::string Fixture(const std::string& name) {
+  return std::string(ZT_ZTLINT_FIXTURES) + "/" + name;
+}
+
+LintReport LintFixture(const std::string& name) {
+  auto report = SourceLinter::LintFile(Fixture(name));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.value() : LintReport();
+}
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunZtlint(const std::string& args) {
+  const std::string cmd = std::string(ZT_ZTLINT_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+// --- per-rule fixtures -------------------------------------------------
+
+TEST(ZtLintRulesTest, RawClockReadsFire) {
+  const LintReport r = LintFixture("bad_clock.cc");
+  EXPECT_TRUE(r.Has("ZT-S001"));
+  EXPECT_GE(r.error_count(), 2u);  // steady_clock twice + system_clock
+  for (const auto& d : r.diagnostics()) EXPECT_EQ(d.code, "ZT-S001");
+}
+
+TEST(ZtLintRulesTest, UnseededRandomnessFires) {
+  const LintReport r = LintFixture("bad_rng.cc");
+  EXPECT_TRUE(r.Has("ZT-S002"));
+  // random_device, srand and rand each land on their own line.
+  EXPECT_EQ(r.error_count(), 3u);
+}
+
+TEST(ZtLintRulesTest, NakedThreadFires) {
+  const LintReport r = LintFixture("bad_thread.cc");
+  EXPECT_TRUE(r.Has("ZT-S003"));
+}
+
+TEST(ZtLintRulesTest, BareLockCallsFireOnMutexReceiversOnly) {
+  const LintReport r = LintFixture("bad_lock.cc");
+  EXPECT_TRUE(r.Has("ZT-S004"));
+  // mu.lock(), mu.unlock(), state_mutex_.try_lock() — the wrapper's
+  // capitalized Lock()/Unlock() calls must not fire.
+  size_t s004 = 0;
+  for (const auto& d : r.diagnostics()) {
+    if (d.code == "ZT-S004") ++s004;
+  }
+  EXPECT_EQ(s004, 3u);
+}
+
+TEST(ZtLintRulesTest, SilencedCheckOkFires) {
+  const LintReport r = LintFixture("bad_check_ok.cc");
+  EXPECT_TRUE(r.Has("ZT-S005"));
+  EXPECT_EQ(r.error_count(), 2u);  // commented-out call + TODO mention
+}
+
+TEST(ZtLintRulesTest, RawMutexTypesFire) {
+  const LintReport r = LintFixture("bad_raw_mutex.cc");
+  EXPECT_TRUE(r.Has("ZT-S006"));
+  EXPECT_GE(r.error_count(), 3u);  // include, lock_guard line, member
+}
+
+TEST(ZtLintRulesTest, CleanFixtureIsClean) {
+  const LintReport r = LintFixture("good.cc");
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+}
+
+// --- allowlists, suppression, lexer ------------------------------------
+
+TEST(ZtLintSemanticsTest, AllowlistedFilesPass) {
+  const std::string clock_impl =
+      "#include <mutex>\n"
+      "int64_t Now() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
+  EXPECT_TRUE(
+      SourceLinter::LintContents("src/common/clock.cc", clock_impl).Clean());
+  // The same contents anywhere else is two errors.
+  const LintReport elsewhere =
+      SourceLinter::LintContents("src/core/foo.cc", clock_impl);
+  EXPECT_TRUE(elsewhere.Has("ZT-S001"));
+  EXPECT_TRUE(elsewhere.Has("ZT-S006"));
+}
+
+TEST(ZtLintSemanticsTest, ThisThreadDoesNotTripThreadRule) {
+  const LintReport r = SourceLinter::LintContents(
+      "src/x.cc", "void Nap() { std::this_thread::yield(); }\n");
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+}
+
+TEST(ZtLintSemanticsTest, UniqueLockMemberCallDoesNotTripLockRule) {
+  const LintReport r = SourceLinter::LintContents(
+      "src/x.cc",
+      "void F(zerotune::Mutex& m) {\n"
+      "  zerotune::MutexLock lock(m);\n"
+      "  lock.unique_lock().owns_lock();\n"
+      "}\n");
+  EXPECT_FALSE(r.Has("ZT-S004")) << r.ToText();
+}
+
+TEST(ZtLintSemanticsTest, SuppressionCommentSilencesOnlyItsLine) {
+  const std::string src =
+      "std::thread a;  // ztlint: allow(ZT-S003)\n"
+      "std::thread b;\n";
+  const LintReport r = SourceLinter::LintContents("src/x.cc", src);
+  ASSERT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].line, 2u);
+}
+
+TEST(ZtLintSemanticsTest, TokensInStringsAndCommentsAreIgnored) {
+  const std::string src =
+      "// std::thread in a comment is fine\n"
+      "/* so is std::chrono::steady_clock in a block one */\n"
+      "const char* kDoc = \"call rand() and std::thread freely here\";\n"
+      "const char* kRaw = R\"(std::mutex inside a raw string)\";\n";
+  const LintReport r = SourceLinter::LintContents("src/x.cc", src);
+  EXPECT_TRUE(r.Clean()) << r.ToText();
+}
+
+TEST(ZtLintSemanticsTest, MultiLineBlockCommentTracksState) {
+  const std::string src =
+      "/* a block comment opening\n"
+      "   std::thread mentioned inside\n"
+      "   still inside */ std::thread real;\n";
+  const LintReport r = SourceLinter::LintContents("src/x.cc", src);
+  ASSERT_EQ(r.error_count(), 1u);
+  EXPECT_EQ(r.diagnostics()[0].line, 3u);
+}
+
+TEST(ZtLintSemanticsTest, ReportShapesMatchZerotuneLint) {
+  const LintReport r =
+      SourceLinter::LintContents("src/x.cc", "std::thread t;\n");
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"ZT-S003\""), std::string::npos);
+  EXPECT_NE(r.ToText().find("1 error(s), 0 warning(s)"), std::string::npos);
+}
+
+// --- the binary --------------------------------------------------------
+
+TEST(ZtLintBinaryTest, CleanFileExitsZero) {
+  const CommandResult r = RunZtlint(Fixture("good.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(ZtLintBinaryTest, ErrorsExitTwo) {
+  const CommandResult r = RunZtlint(Fixture("bad_thread.cc"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("ZT-S003"), std::string::npos);
+}
+
+TEST(ZtLintBinaryTest, DirectoryWalkFindsEveryFixture) {
+  const CommandResult r =
+      RunZtlint("--format json " + std::string(ZT_ZTLINT_FIXTURES));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  for (const char* code : {"ZT-S001", "ZT-S002", "ZT-S003", "ZT-S004",
+                           "ZT-S005", "ZT-S006"}) {
+    EXPECT_NE(r.output.find(code), std::string::npos) << code;
+  }
+}
+
+TEST(ZtLintBinaryTest, BadUsageExitsTwo) {
+  EXPECT_EQ(RunZtlint("").exit_code, 2);
+  EXPECT_EQ(RunZtlint("--format yaml x").exit_code, 2);
+  EXPECT_EQ(RunZtlint("/nonexistent/path").exit_code, 2);
+}
+
+}  // namespace

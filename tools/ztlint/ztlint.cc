@@ -1,0 +1,456 @@
+#include "ztlint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace zerotune::ztlint {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// One source line after lexing: `code` is the line with comment text and
+/// string/char-literal contents blanked out (structure preserved), so
+/// token rules never fire inside a literal; `comment` is the
+/// concatenated text of every comment piece touching the line, for the
+/// rules (and the suppression syntax) that inspect comments.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment/string-aware lexer. Handles //, /* */ (multi-line), string
+/// and char literals with escapes, and raw strings R"delim(...)delim".
+std::vector<ScannedLine> Scan(const std::string& contents) {
+  std::vector<ScannedLine> lines;
+  ScannedLine cur;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // )delim" of the active raw string
+
+  const size_t n = contents.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = contents[i];
+    if (c == '\n') {
+      // A line comment ends here; block comments and raw strings span.
+      if (state == State::kLineComment) state = State::kCode;
+      lines.push_back(std::move(cur));
+      cur = ScannedLine();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < n && contents[i + 1] == '"' &&
+                   (i == 0 || !IsIdentChar(contents[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          size_t j = i + 2;
+          std::string delim;
+          while (j < n && contents[j] != '(' && contents[j] != '\n') {
+            delim += contents[j++];
+          }
+          raw_terminator = ")" + delim + "\"";
+          state = State::kRawString;
+          cur.code += "\"\"";
+          i = j;  // at the '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          state = State::kString;
+          cur.code += "\"\"";
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.code += "''";
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && contents[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          ++i;  // skip the escaped character
+        } else if (c == '"' && state == State::kString) {
+          state = State::kCode;
+        } else if (c == '\'' && state == State::kChar) {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_terminator[0] &&
+            contents.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!cur.code.empty() || !cur.comment.empty()) {
+    lines.push_back(std::move(cur));
+  }
+  return lines;
+}
+
+/// True when `path` is `suffix` or ends with "/suffix" — the allowlists
+/// match files regardless of how the caller spelled the root.
+bool PathMatches(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  if (path.size() <= suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool PathAllowlisted(const std::string& path,
+                     const std::vector<std::string>& allowlist) {
+  for (const std::string& suffix : allowlist) {
+    if (PathMatches(path, suffix)) return true;
+  }
+  return false;
+}
+
+/// A forbidden token. `boundary_before` additionally rejects a
+/// preceding ':' so "std::rand" does not re-fire as a bare "rand".
+struct TokenPattern {
+  const char* token;
+  bool boundary_before = true;
+  bool boundary_after = true;
+};
+
+bool FindToken(const std::string& code, const TokenPattern& pattern,
+               std::string* matched) {
+  const std::string token = pattern.token;
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool before_ok =
+        !pattern.boundary_before || pos == 0 ||
+        (!IsIdentChar(code[pos - 1]) && code[pos - 1] != ':');
+    const size_t end = pos + token.size();
+    const bool after_ok = !pattern.boundary_after || end >= code.size() ||
+                          !IsIdentChar(code[end]);
+    if (before_ok && after_ok) {
+      *matched = token;
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+/// One token-based rule: any pattern hit outside the allowlist fires.
+struct TokenRule {
+  const char* code;
+  Severity severity;
+  std::vector<TokenPattern> patterns;
+  std::vector<std::string> allowlist;
+  const char* message_prefix;
+  const char* hint;
+};
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule>* rules = new std::vector<TokenRule>{
+      {"ZT-S001",
+       Severity::kError,
+       {{"std::chrono::steady_clock"},
+        {"std::chrono::system_clock"},
+        {"std::chrono::high_resolution_clock"}},
+       {"common/clock.h", "common/clock.cc"},
+       "raw clock read",
+       "route time through the injectable Clock of common/clock.h "
+       "(SystemClock::Default() in production, FakeClock in tests)"},
+      {"ZT-S002",
+       Severity::kError,
+       {{"std::random_device"},
+        {"std::rand"},
+        {"std::srand"},
+        {"rand(", true, false},
+        {"srand(", true, false}},
+       {"common/rng.h", "common/rng.cc"},
+       "unseeded randomness",
+       "draw from a seeded common/rng.h Rng owned by the caller so runs "
+       "replay deterministically"},
+      {"ZT-S003",
+       Severity::kError,
+       {{"std::thread"}},
+       {"common/thread_pool.h", "common/thread_pool.cc"},
+       "naked thread",
+       "submit work to a ThreadPool (common/thread_pool.h) so exceptions "
+       "and shutdown are owned in one place"},
+      {"ZT-S006",
+       Severity::kError,
+       {{"std::mutex"},
+        {"std::shared_mutex"},
+        {"std::recursive_mutex"},
+        {"std::timed_mutex"},
+        {"std::lock_guard"},
+        {"std::scoped_lock"},
+        {"std::unique_lock"},
+        {"std::shared_lock"},
+        {"#include <mutex>", false, false},
+        {"#include <shared_mutex>", false, false}},
+       {"common/mutex.h", "common/clock.h", "common/clock.cc"},
+       "raw standard-library lock",
+       "use the annotated Mutex/SharedMutex wrappers and RAII guards of "
+       "common/mutex.h so -Wthread-safety sees the critical section"},
+  };
+  return *rules;
+}
+
+/// ZT-S004: bare .lock()/.unlock()/.try_lock() on a mutex-named
+/// receiver. Receivers not named like a mutex (e.g. a std::unique_lock
+/// local called `lock`) pass: the rule targets manual mutex handling,
+/// which the thread-safety analysis cannot pair up.
+bool FindBareLockCall(const std::string& code, std::string* matched) {
+  static const char* kCalls[] = {".lock()", ".unlock()", ".try_lock()"};
+  static const char* kMutexSuffixes[] = {"mu", "mu_", "mutex", "mutex_"};
+  for (const char* call : kCalls) {
+    size_t pos = 0;
+    const std::string needle = call;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      size_t start = pos;
+      while (start > 0 && IsIdentChar(code[start - 1])) --start;
+      const std::string receiver = code.substr(start, pos - start);
+      for (const char* suffix : kMutexSuffixes) {
+        const std::string s = suffix;
+        if (receiver.size() >= s.size() &&
+            receiver.compare(receiver.size() - s.size(), s.size(), s) == 0) {
+          *matched = receiver + needle;
+          return true;
+        }
+      }
+      pos += needle.size();
+    }
+  }
+  return false;
+}
+
+/// ZT-S005: a ZT_CHECK_OK that was commented out, or a TODO/FIXME
+/// comment attached to one — a silenced invariant check.
+bool CommentSuppressesCheck(const std::string& comment) {
+  if (comment.find("ZT_CHECK_OK(") != std::string::npos) return true;
+  const bool has_todo = comment.find("TODO") != std::string::npos ||
+                        comment.find("FIXME") != std::string::npos;
+  return has_todo && comment.find("ZT_CHECK_OK") != std::string::npos;
+}
+
+/// `// ztlint: allow(ZT-Sxxx)` in a comment on the finding's line
+/// suppresses that code there (multiple codes may share the parens).
+bool LineSuppresses(const std::string& comment, const std::string& code) {
+  const size_t at = comment.find("ztlint: allow(");
+  if (at == std::string::npos) return false;
+  const size_t open = comment.find('(', at);
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return false;
+  return comment.substr(open, close - open).find(code) != std::string::npos;
+}
+
+}  // namespace
+
+const char* ToString(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string SourceDiagnostic::ToString() const {
+  std::ostringstream os;
+  os << ztlint::ToString(severity) << " " << code << " " << file << ":"
+     << line << ": " << message;
+  if (!hint.empty()) os << " (fix: " << hint << ")";
+  return os.str();
+}
+
+void LintReport::Add(Severity severity, std::string code, std::string file,
+                     size_t line, std::string message, std::string hint) {
+  SourceDiagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.file = std::move(file);
+  d.line = line;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  diags_.push_back(std::move(d));
+}
+
+void LintReport::Merge(const LintReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+size_t LintReport::error_count() const {
+  size_t n = 0;
+  for (const SourceDiagnostic& d : diags_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::warning_count() const {
+  return diags_.size() - error_count();
+}
+
+bool LintReport::Has(const std::string& code) const {
+  for (const SourceDiagnostic& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string LintReport::ToText() const {
+  std::ostringstream os;
+  for (const SourceDiagnostic& d : diags_) {
+    os << d.ToString() << "\n";
+  }
+  os << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  return os.str();
+}
+
+std::string LintReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\": [";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const SourceDiagnostic& d = diags_[i];
+    os << (i > 0 ? ", " : "") << "{\"severity\": \""
+       << ztlint::ToString(d.severity) << "\", \"code\": \""
+       << JsonEscape(d.code) << "\", \"file\": \"" << JsonEscape(d.file)
+       << "\", \"line\": " << d.line << ", \"message\": \""
+       << JsonEscape(d.message) << "\", \"hint\": \"" << JsonEscape(d.hint)
+       << "\"}";
+  }
+  os << "], \"errors\": " << error_count()
+     << ", \"warnings\": " << warning_count() << "}";
+  return os.str();
+}
+
+LintReport SourceLinter::LintContents(const std::string& path,
+                                      const std::string& contents) {
+  LintReport report;
+  const std::vector<ScannedLine> lines = Scan(contents);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const ScannedLine& line = lines[i];
+    const size_t lineno = i + 1;
+
+    for (const TokenRule& rule : TokenRules()) {
+      if (PathAllowlisted(path, rule.allowlist)) continue;
+      std::string matched;
+      bool hit = false;
+      for (const TokenPattern& pattern : rule.patterns) {
+        if (FindToken(line.code, pattern, &matched)) {
+          hit = true;
+          break;  // one finding per rule per line keeps the noise down
+        }
+      }
+      if (hit && !LineSuppresses(line.comment, rule.code)) {
+        report.Add(rule.severity, rule.code, path, lineno,
+                   std::string(rule.message_prefix) + " `" + matched + "`",
+                   rule.hint);
+      }
+    }
+
+    std::string matched;
+    if (!PathAllowlisted(path, {"common/mutex.h"}) &&
+        FindBareLockCall(line.code, &matched) &&
+        !LineSuppresses(line.comment, "ZT-S004")) {
+      report.Add(Severity::kError, "ZT-S004", path, lineno,
+                 "bare lock call `" + matched + "`",
+                 "hold the mutex through a MutexLock / ReaderMutexLock / "
+                 "WriterMutexLock RAII guard (common/mutex.h)");
+    }
+
+    if (CommentSuppressesCheck(line.comment) &&
+        !LineSuppresses(line.comment, "ZT-S005")) {
+      report.Add(Severity::kError, "ZT-S005", path, lineno,
+                 "ZT_CHECK_OK disabled in a comment",
+                 "re-enable the check or delete it; a silenced ZT_CHECK_OK "
+                 "hides real failures");
+    }
+  }
+  return report;
+}
+
+Result<LintReport> SourceLinter::LintFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) {
+    return Status::Internal("read failed for " + path);
+  }
+  return LintContents(path, buffer.str());
+}
+
+Result<LintReport> SourceLinter::LintPath(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec) {
+    return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  }
+  std::vector<std::string> files;
+  if (fs::is_regular_file(st)) {
+    files.push_back(path);
+  } else if (fs::is_directory(st)) {
+    for (fs::recursive_directory_iterator it(path, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(it->path().generic_string());
+      }
+    }
+    if (ec) {
+      return Status::Internal("walking " + path + ": " + ec.message());
+    }
+  } else {
+    return Status::InvalidArgument(path + " is neither a file nor a directory");
+  }
+  std::sort(files.begin(), files.end());
+  LintReport report;
+  for (const std::string& file : files) {
+    ZT_ASSIGN_OR_RETURN(LintReport one, LintFile(file));
+    report.Merge(one);
+  }
+  return report;
+}
+
+}  // namespace zerotune::ztlint

@@ -1,0 +1,104 @@
+#ifndef ZEROTUNE_TOOLS_ZTLINT_ZTLINT_H_
+#define ZEROTUNE_TOOLS_ZTLINT_ZTLINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerotune::ztlint {
+
+/// How bad a finding is, mirroring analysis::Severity: errors fail the
+/// lint gate (exit 2), warnings fail only under --strict.
+enum class Severity {
+  kWarning = 0,
+  kError = 1,
+};
+
+const char* ToString(Severity s);
+
+/// One source-invariant finding. Codes are stable across releases
+/// (ZT-Sxxx, catalogued in docs/static_analysis.md) so scripts and CI
+/// annotations can match on them; messages may be reworded.
+struct SourceDiagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // e.g. "ZT-S003"
+  std::string file;     // path as given to the linter
+  size_t line = 0;      // 1-based
+  std::string message;  // what is wrong, with the offending token
+  std::string hint;     // how to fix it (may be empty)
+
+  /// "error ZT-S003 src/foo.cc:42: raw std::thread ... (fix: ...)"
+  std::string ToString() const;
+};
+
+/// The outcome of one lint pass over a file set. Like the plan
+/// analyzers, the linter never stops at the first problem — every file
+/// reports all its findings in one pass.
+class LintReport {
+ public:
+  void Add(Severity severity, std::string code, std::string file,
+           size_t line, std::string message, std::string hint = "");
+  void Merge(const LintReport& other);
+
+  const std::vector<SourceDiagnostic>& diagnostics() const { return diags_; }
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool HasErrors() const { return error_count() > 0; }
+  bool Clean() const { return diags_.empty(); }
+  bool Has(const std::string& code) const;
+
+  /// One diagnostic per line plus a summary line.
+  std::string ToText() const;
+  /// {"diagnostics": [...], "errors": N, "warnings": M} — the shape of
+  /// `zerotune lint --format json`.
+  std::string ToJson() const;
+
+ private:
+  std::vector<SourceDiagnostic> diags_;
+};
+
+/// Project-invariant source checker (the "ztlint" of scripts/lint.sh and
+/// CI). Enforces repo conventions that neither the compiler nor
+/// clang-tidy know about:
+///
+///   ZT-S001  raw std::chrono::{steady,system,high_resolution}_clock
+///            outside common/clock.* — breaks FakeClock determinism.
+///   ZT-S002  rand()/srand()/std::random_device outside common/rng.h —
+///            unseeded randomness breaks replayability.
+///   ZT-S003  naked std::thread outside common/thread_pool.* — threads
+///            must come from the pool so exceptions and shutdown are
+///            owned in one place.
+///   ZT-S004  bare .lock()/.unlock()/.try_lock() on a mutex-named
+///            receiver — use the RAII guards of common/mutex.h so the
+///            clang thread-safety analysis sees the critical section.
+///   ZT-S005  ZT_CHECK_OK commented out or TODO-suppressed — a silenced
+///            invariant check is a latent bug, delete it or fix it.
+///   ZT-S006  raw std::mutex/std::shared_mutex/std::lock_guard/... or
+///            <mutex>/<shared_mutex> includes outside common/mutex.h and
+///            common/clock.* — only the annotated wrappers participate
+///            in -Wthread-safety.
+///
+/// Scanning is token-oriented on comment- and string-stripped source
+/// (comment text is still inspected where a rule needs it, e.g.
+/// ZT-S005). A finding on a line carrying `ztlint: allow(ZT-Sxxx)` in a
+/// comment is suppressed.
+class SourceLinter {
+ public:
+  /// Lints in-memory contents under the given (display) path. The path
+  /// also drives the per-rule allowlists, matched by suffix.
+  static LintReport LintContents(const std::string& path,
+                                 const std::string& contents);
+
+  /// Lints one file on disk. Only I/O failures surface as a non-OK
+  /// Status; everything wrong *inside* the file is a diagnostic.
+  static Result<LintReport> LintFile(const std::string& path);
+
+  /// Lints every .h/.cc/.cpp file under `path` (or `path` itself when it
+  /// is a regular file), recursively, in sorted order.
+  static Result<LintReport> LintPath(const std::string& path);
+};
+
+}  // namespace zerotune::ztlint
+
+#endif  // ZEROTUNE_TOOLS_ZTLINT_ZTLINT_H_

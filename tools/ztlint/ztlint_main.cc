@@ -1,0 +1,76 @@
+// ztlint — project-invariant source checker.
+//
+// Usage:
+//   ztlint [--format text|json] [--strict] <path>...
+//
+// Paths may be files or directories (directories are walked recursively
+// for .h/.cc/.cpp). Exit codes mirror `zerotune lint`:
+//   0  clean
+//   1  warnings only (2 under --strict)
+//   2  errors found, bad usage, or unreadable path
+//
+// Rule catalog (ZT-Sxxx): docs/static_analysis.md.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ztlint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ztlint [--format text|json] [--strict] <path>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) return Usage();
+      const std::string value = argv[++i];
+      if (value == "json") {
+        json = true;
+      } else if (value != "text") {
+        std::cerr << "error: unknown format '" << value << "'\n";
+        return 2;
+      }
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  zerotune::ztlint::LintReport report;
+  for (const std::string& path : paths) {
+    auto one = zerotune::ztlint::SourceLinter::LintPath(path);
+    if (!one.ok()) {
+      std::cerr << "error: " << one.status().ToString() << "\n";
+      return 2;
+    }
+    report.Merge(one.value());
+  }
+
+  if (json) {
+    std::cout << report.ToJson() << "\n";
+  } else {
+    std::cout << report.ToText();
+  }
+  if (report.HasErrors()) return 2;
+  if (!report.Clean()) return strict ? 2 : 1;
+  return 0;
+}
