@@ -43,6 +43,35 @@ Status SyncFile(const std::string& path) {
 #endif
 }
 
+/// Flushes the directory containing `path` so the rename itself (the
+/// directory entry, not just the file data) survives power loss. Without
+/// this, a crash after rename can resurrect the *old* file even though the
+/// writer observed success — fatal for a registry manifest whose publish
+/// must be durable once acknowledged.
+Status SyncParentDir(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;  // directories cannot be fsynced on Windows
+  return Status::OK();
+#else
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open for directory fsync failed for " + dir +
+                           ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync failed for directory " + dir + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+#endif
+}
+
 }  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {
@@ -84,7 +113,9 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents) {
     return Status::IOError("rename " + tmp + " -> " + path +
                            " failed: " + ec.message());
   }
-  return Status::OK();
+  // Durability of the rename itself: fsync the parent directory so the new
+  // directory entry is on stable storage before success is reported.
+  return SyncParentDir(path);
 }
 
 Status AtomicWriteStream(const std::string& path,

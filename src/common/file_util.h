@@ -11,10 +11,11 @@ namespace zerotune {
 
 /// Crash-safe file replacement: writes `contents` to a temporary file in
 /// the same directory as `path`, flushes it to stable storage (fsync),
-/// then atomically renames it over `path`. A crash at any point leaves
-/// either the old file or the new file — never a torn or empty one. On
-/// any failure the temporary is removed and the previous `path` contents
-/// are untouched.
+/// atomically renames it over `path`, then fsyncs the parent directory so
+/// the rename itself survives power loss. A crash at any point leaves
+/// either the old file or the new file — never a torn or empty one — and
+/// once this returns OK the new contents are durable. On any failure the
+/// temporary is removed and the previous `path` contents are untouched.
 Status AtomicWriteFile(const std::string& path, const std::string& contents);
 
 /// Streaming convenience over AtomicWriteFile: `writer` serializes into a

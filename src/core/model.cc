@@ -200,6 +200,11 @@ Status ZeroTuneModel::Save(const std::string& path) const {
       << config_.features.resource_features << "\n";
     f << stats_.latency_mean << " " << stats_.latency_std << " "
       << stats_.throughput_mean << " " << stats_.throughput_std << "\n";
+    // Optional metadata section between the stats line and the parameter
+    // block; readers that predate a key skip unknown files by failing the
+    // magic check, while Load() below tolerates the key's absence (files
+    // written before versioning load as version 0).
+    f << "model-version " << version_ << "\n";
     return params_.SaveToStream(f);
   });
 }
@@ -234,6 +239,21 @@ Status ZeroTuneModel::Load(const std::string& path) {
     return Status::InvalidArgument(
         "model target statistics must be finite with positive stddev");
   }
+  // Optional "model-version N" token (absent in pre-registry files, which
+  // load as version 0). Peek the next token and rewind if it is already
+  // the parameter block.
+  uint64_t version = 0;
+  {
+    const std::istream::pos_type before_meta = f.tellg();
+    std::string key;
+    if (f >> key && key == "model-version") {
+      f >> version;
+      if (!f) return Status::InvalidArgument("truncated model-version line");
+    } else {
+      f.clear();
+      f.seekg(before_meta);
+    }
+  }
   // Static shape check before any tensor is loaded: a dimension-corrupted
   // file fails here with the offending layer named (ZT-M003) instead of a
   // mid-matmul assertion later. The stream is rewound afterwards so the
@@ -248,6 +268,7 @@ Status ZeroTuneModel::Load(const std::string& path) {
   f.seekg(params_pos);
   ZT_RETURN_IF_ERROR(params_.LoadFromStream(f));
   stats_ = stats;
+  version_ = version;
   return Status::OK();
 }
 

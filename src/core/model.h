@@ -93,6 +93,13 @@ class ZeroTuneModel : public CostPredictor {
   const TargetStats& target_stats() const { return stats_; }
   const ModelConfig& config() const { return config_; }
 
+  /// Registry version of this artifact (core/registry/model_registry.h).
+  /// 0 = unversioned (a model that never went through a registry). The
+  /// value round-trips through Save/Load; files written before versioning
+  /// existed load as 0.
+  void set_version(uint64_t version) { version_ = version; }
+  uint64_t version() const { return version_; }
+
   nn::ParameterStore* mutable_params() { return &params_; }
   const nn::ParameterStore& params() const { return params_; }
 
@@ -125,6 +132,7 @@ class ZeroTuneModel : public CostPredictor {
  private:
   ModelConfig config_;
   TargetStats stats_;
+  uint64_t version_ = 0;
   nn::ParameterStore params_;
   zerotune::ThreadPool* pool_ = nullptr;
 

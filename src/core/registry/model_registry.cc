@@ -1,0 +1,389 @@
+#include "core/registry/model_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/file_util.h"
+#include "obs/metrics.h"
+
+namespace zerotune::core::registry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestMagic = "zerotune-registry-v1";
+
+std::string SanitizeToken(const std::string& s) {
+  std::string out = s.empty() ? std::string("unknown") : s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '-';
+  }
+  return out;
+}
+
+Result<VersionState> ParseState(const std::string& token) {
+  if (token == "candidate") return VersionState::kCandidate;
+  if (token == "live") return VersionState::kLive;
+  if (token == "retired") return VersionState::kRetired;
+  if (token == "rejected") return VersionState::kRejected;
+  return Status::InvalidArgument("unknown version state '" + token + "'");
+}
+
+obs::Counter* RegistryCounter(const char* name) {
+  return obs::MetricsRegistry::Global()->GetCounter(name);
+}
+
+}  // namespace
+
+const char* VersionStateName(VersionState state) {
+  switch (state) {
+    case VersionState::kCandidate:
+      return "candidate";
+    case VersionState::kLive:
+      return "live";
+    case VersionState::kRetired:
+      return "retired";
+    case VersionState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {}
+
+Result<std::unique_ptr<ModelRegistry>> ModelRegistry::Open(
+    const std::string& root) {
+  if (root.empty()) {
+    return Status::InvalidArgument("model registry: empty root path");
+  }
+  std::error_code ec;
+  fs::create_directories(fs::path(root) / "versions", ec);
+  if (ec) {
+    return Status::IOError("model registry: cannot create " + root + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<ModelRegistry> reg(new ModelRegistry(root));
+  {
+    MutexLock lock(reg->mu_);
+    ZT_RETURN_IF_ERROR(reg->LoadManifest());
+    reg->ValidateArtifacts();
+    // First open of a fresh directory: commit the empty manifest so the
+    // registry's existence itself is durable.
+    if (!fs::exists(fs::path(root) / "MANIFEST")) {
+      ZT_RETURN_IF_ERROR(reg->CommitManifest());
+    }
+  }
+  return reg;
+}
+
+Status ModelRegistry::LoadManifest() {
+  const std::string manifest_path = (fs::path(root_) / "MANIFEST").string();
+  std::ifstream f(manifest_path);
+  if (!f) return Status::OK();  // fresh registry
+  std::string magic;
+  f >> magic;
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument("corrupt registry manifest " +
+                                   manifest_path + ": bad magic '" + magic +
+                                   "'");
+  }
+  std::string key;
+  while (f >> key) {
+    if (key == "live") {
+      if (!(f >> live_)) {
+        return Status::InvalidArgument("corrupt registry manifest " +
+                                       manifest_path + ": truncated live line");
+      }
+    } else if (key == "next-id") {
+      if (!(f >> next_id_) || next_id_ == 0) {
+        return Status::InvalidArgument("corrupt registry manifest " +
+                                       manifest_path +
+                                       ": bad next-id line");
+      }
+    } else if (key == "next-seq") {
+      if (!(f >> next_seq_) || next_seq_ == 0) {
+        return Status::InvalidArgument("corrupt registry manifest " +
+                                       manifest_path +
+                                       ": bad next-seq line");
+      }
+    } else if (key == "version") {
+      VersionInfo v;
+      std::string state;
+      if (!(f >> v.id >> state >> v.parent >> v.created_seq >>
+            v.median_qerror >> v.source)) {
+        return Status::InvalidArgument("corrupt registry manifest " +
+                                       manifest_path +
+                                       ": truncated version line");
+      }
+      ZT_ASSIGN_OR_RETURN(v.state, ParseState(state));
+      if (v.id == 0 || versions_.count(v.id) != 0) {
+        return Status::InvalidArgument(
+            "corrupt registry manifest " + manifest_path +
+            ": bad or duplicate version id " + std::to_string(v.id));
+      }
+      versions_[v.id] = std::move(v);
+    } else {
+      return Status::InvalidArgument("corrupt registry manifest " +
+                                     manifest_path + ": unknown key '" + key +
+                                     "'");
+    }
+  }
+  // Cross-checks: the live pointer must reference a version marked live.
+  if (live_ != 0) {
+    auto it = versions_.find(live_);
+    if (it == versions_.end() || it->second.state != VersionState::kLive) {
+      return Status::InvalidArgument(
+          "corrupt registry manifest " + manifest_path + ": live version " +
+          std::to_string(live_) + " is missing or not marked live");
+    }
+  }
+  for (const auto& [id, v] : versions_) {
+    if (id >= next_id_) {
+      return Status::InvalidArgument(
+          "corrupt registry manifest " + manifest_path + ": version id " +
+          std::to_string(id) + " >= next-id " + std::to_string(next_id_));
+    }
+  }
+  return Status::OK();
+}
+
+void ModelRegistry::ValidateArtifacts() {
+  for (auto& [id, v] : versions_) {
+    if (v.state == VersionState::kRejected) continue;  // post-mortem only
+    const std::string file = VersionPath(id);
+    auto loaded = ZeroTuneModel::LoadFromFile(file);
+    if (!loaded.ok()) {
+      quarantined_.push_back(
+          QuarantinedVersion{id, file, loaded.status().message()});
+      if (live_ == id) live_ = 0;
+      RegistryCounter("adapt.registry.quarantined_total")->Increment();
+      continue;
+    }
+    cache_[id] =
+        std::shared_ptr<const ZeroTuneModel>(std::move(loaded).value());
+  }
+  obs::MetricsRegistry::Global()
+      ->GetGauge("adapt.registry.live_version")
+      ->Set(static_cast<double>(live_));
+}
+
+Status ModelRegistry::CommitManifest() {
+  const std::string manifest_path = (fs::path(root_) / "MANIFEST").string();
+  std::ostringstream os;
+  os.precision(17);
+  os << kManifestMagic << "\n";
+  os << "live " << live_ << "\n";
+  os << "next-id " << next_id_ << "\n";
+  os << "next-seq " << next_seq_ << "\n";
+  for (const auto& [id, v] : versions_) {
+    os << "version " << id << " " << VersionStateName(v.state) << " "
+       << v.parent << " " << v.created_seq << " " << v.median_qerror << " "
+       << SanitizeToken(v.source) << "\n";
+  }
+  ZT_RETURN_IF_ERROR(AtomicWriteFile(manifest_path, os.str()));
+  obs::MetricsRegistry::Global()
+      ->GetGauge("adapt.registry.live_version")
+      ->Set(static_cast<double>(live_));
+  return Status::OK();
+}
+
+Result<uint64_t> ModelRegistry::Publish(ZeroTuneModel* model,
+                                        VersionInfo info) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model registry: null model");
+  }
+  MutexLock lock(mu_);
+  const uint64_t id = next_id_;
+  const std::string dir =
+      (fs::path(root_) / "versions" / std::to_string(id)).string();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("model registry: cannot create " + dir + ": " +
+                           ec.message());
+  }
+  model->set_version(id);
+  const std::string file = VersionPath(id);
+  ZT_RETURN_IF_ERROR(model->Save(file));
+  // Re-load what was just written: the cache must hold exactly the
+  // artifact a restart would see, and a save that cannot round-trip is a
+  // publish-time error, not a quarantine surprise at the next Open.
+  auto reloaded = ZeroTuneModel::LoadFromFile(file);
+  if (!reloaded.ok()) {
+    return Status::Internal("model registry: published artifact " + file +
+                            " failed readback: " +
+                            reloaded.status().message());
+  }
+
+  info.id = id;
+  info.state = VersionState::kCandidate;
+  info.created_seq = next_seq_;
+  next_id_ = id + 1;
+  next_seq_ += 1;
+  versions_[id] = info;
+  const Status committed = CommitManifest();
+  if (!committed.ok()) {
+    // Roll the in-memory state back so a retried Publish stays consistent
+    // with the on-disk manifest (the orphan version directory is invisible
+    // to future Opens).
+    versions_.erase(id);
+    next_id_ = id;
+    next_seq_ -= 1;
+    return committed;
+  }
+  cache_[id] =
+      std::shared_ptr<const ZeroTuneModel>(std::move(reloaded).value());
+  RegistryCounter("adapt.registry.publishes_total")->Increment();
+  return id;
+}
+
+Result<std::shared_ptr<const ZeroTuneModel>> ModelRegistry::LoadVersion(
+    uint64_t id) const {
+  MutexLock lock(mu_);
+  auto vit = versions_.find(id);
+  if (vit == versions_.end()) {
+    return Status::NotFound("model registry: no version " +
+                            std::to_string(id));
+  }
+  if (vit->second.state == VersionState::kRejected) {
+    return Status::FailedPrecondition("model registry: version " +
+                                      std::to_string(id) + " is rejected");
+  }
+  auto cit = cache_.find(id);
+  if (cit == cache_.end()) {
+    for (const QuarantinedVersion& q : quarantined_) {
+      if (q.id == id) {
+        return Status::FailedPrecondition(
+            "model registry: version " + std::to_string(id) +
+            " is quarantined (" + q.file + ": " + q.reason + ")");
+      }
+    }
+    return Status::Internal("model registry: version " + std::to_string(id) +
+                            " has no cached artifact");
+  }
+  return cit->second;
+}
+
+Status ModelRegistry::Promote(uint64_t id, double median_qerror) {
+  MutexLock lock(mu_);
+  auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound("model registry: no version " +
+                            std::to_string(id));
+  }
+  VersionInfo& v = it->second;
+  // Idempotent only when the version really is serving; a quarantined
+  // version keeps its manifest state kLive while live_ fell to 0, and
+  // that one must fall through to the cache check below.
+  if (v.state == VersionState::kLive && live_ == id) return Status::OK();
+  if (v.state == VersionState::kRejected) {
+    return Status::FailedPrecondition("model registry: cannot promote "
+                                      "rejected version " +
+                                      std::to_string(id));
+  }
+  if (cache_.count(id) == 0) {
+    return Status::FailedPrecondition("model registry: cannot promote "
+                                      "quarantined version " +
+                                      std::to_string(id));
+  }
+  const uint64_t prev_live = live_;
+  const VersionState prev_state = v.state;
+  const double prev_qerror = v.median_qerror;
+  if (prev_live != 0) versions_[prev_live].state = VersionState::kRetired;
+  v.state = VersionState::kLive;
+  v.median_qerror = median_qerror;
+  live_ = id;
+  const Status committed = CommitManifest();
+  if (!committed.ok()) {
+    v.state = prev_state;
+    v.median_qerror = prev_qerror;
+    if (prev_live != 0) versions_[prev_live].state = VersionState::kLive;
+    live_ = prev_live;
+    return committed;
+  }
+  RegistryCounter("adapt.registry.promotions_total")->Increment();
+  return Status::OK();
+}
+
+Result<uint64_t> ModelRegistry::Rollback() {
+  MutexLock lock(mu_);
+  if (live_ == 0) {
+    return Status::FailedPrecondition(
+        "model registry: no live version to roll back");
+  }
+  VersionInfo& bad = versions_[live_];
+  const uint64_t parent = bad.parent;
+  auto pit = versions_.find(parent);
+  if (parent == 0 || pit == versions_.end() ||
+      pit->second.state != VersionState::kRetired || cache_.count(parent) == 0) {
+    return Status::FailedPrecondition(
+        "model registry: live version " + std::to_string(live_) +
+        " has no loadable retired parent to roll back to");
+  }
+  const uint64_t bad_id = live_;
+  bad.state = VersionState::kRejected;
+  pit->second.state = VersionState::kLive;
+  live_ = parent;
+  const Status committed = CommitManifest();
+  if (!committed.ok()) {
+    versions_[bad_id].state = VersionState::kLive;
+    pit->second.state = VersionState::kRetired;
+    live_ = bad_id;
+    return committed;
+  }
+  RegistryCounter("adapt.registry.rollbacks_total")->Increment();
+  return parent;
+}
+
+Status ModelRegistry::Reject(uint64_t id) {
+  MutexLock lock(mu_);
+  auto it = versions_.find(id);
+  if (it == versions_.end()) {
+    return Status::NotFound("model registry: no version " +
+                            std::to_string(id));
+  }
+  if (it->second.state == VersionState::kRejected) return Status::OK();
+  if (it->second.state != VersionState::kCandidate) {
+    return Status::FailedPrecondition(
+        "model registry: can only reject candidates; version " +
+        std::to_string(id) + " is " + VersionStateName(it->second.state));
+  }
+  const VersionState prev = it->second.state;
+  it->second.state = VersionState::kRejected;
+  const Status committed = CommitManifest();
+  if (!committed.ok()) {
+    it->second.state = prev;
+    return committed;
+  }
+  RegistryCounter("adapt.registry.rejections_total")->Increment();
+  return Status::OK();
+}
+
+uint64_t ModelRegistry::live_version() const {
+  MutexLock lock(mu_);
+  return live_;
+}
+
+std::vector<VersionInfo> ModelRegistry::Versions() const {
+  MutexLock lock(mu_);
+  std::vector<VersionInfo> out;
+  out.reserve(versions_.size());
+  for (const auto& [id, v] : versions_) out.push_back(v);
+  return out;
+}
+
+std::vector<QuarantinedVersion> ModelRegistry::Quarantined() const {
+  MutexLock lock(mu_);
+  return quarantined_;
+}
+
+std::string ModelRegistry::VersionPath(uint64_t id) const {
+  return (fs::path(root_) / "versions" / std::to_string(id) / "model.txt")
+      .string();
+}
+
+}  // namespace zerotune::core::registry

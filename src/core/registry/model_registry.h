@@ -1,0 +1,141 @@
+#ifndef ZEROTUNE_CORE_REGISTRY_MODEL_REGISTRY_H_
+#define ZEROTUNE_CORE_REGISTRY_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "core/model.h"
+
+namespace zerotune::core::registry {
+
+/// Lifecycle of one registry version.
+///
+///   kCandidate --Promote--> kLive --(next Promote)--> kRetired
+///        |                    |
+///      Reject             Rollback
+///        v                    v
+///    kRejected            kRejected   (parent becomes kLive again)
+enum class VersionState { kCandidate, kLive, kRetired, kRejected };
+
+const char* VersionStateName(VersionState state);
+
+/// Manifest record of one published model version.
+struct VersionInfo {
+  uint64_t id = 0;
+  VersionState state = VersionState::kCandidate;
+  /// Version this one was fine-tuned from (0 = trained from scratch).
+  uint64_t parent = 0;
+  /// Publish sequence number (monotone across the registry's lifetime,
+  /// survives restarts; orders versions even after rollbacks).
+  uint64_t created_seq = 0;
+  /// Median q-error recorded when the version was published / promoted
+  /// (0 = never evaluated).
+  double median_qerror = 0.0;
+  /// Free-form provenance token, e.g. "initial" or "finetune" (whitespace
+  /// is replaced with '-' so the manifest stays line-oriented).
+  std::string source;
+};
+
+/// A version whose on-disk artifact failed validation at Open(): it stays
+/// listed in the manifest but cannot be loaded or promoted. `file` names
+/// the offending artifact so an operator can inspect or delete it.
+struct QuarantinedVersion {
+  uint64_t id = 0;
+  std::string file;
+  std::string reason;
+};
+
+/// Crash-safe on-disk store of versioned model artifacts.
+///
+/// Layout:
+///   <root>/MANIFEST               text manifest ("zerotune-registry-v1")
+///   <root>/versions/<id>/model.txt  one artifact per version
+///
+/// Every mutation (Publish / Promote / Rollback / Reject) rewrites the
+/// manifest through AtomicWriteFile, whose rename + parent-directory fsync
+/// makes the new state durable before the call returns: a crash leaves
+/// either the previous manifest or the new one, never a torn file, and a
+/// version directory without a manifest entry (crash between artifact
+/// write and manifest commit) is simply invisible — Publish never reuses
+/// ids because next-id is part of the committed manifest.
+///
+/// Open() validates every non-rejected version by fully loading its
+/// artifact; corrupt or missing artifacts are quarantined (with the
+/// offending file named) instead of failing the whole registry, while a
+/// corrupt MANIFEST is a hard error naming the manifest file. Validated
+/// models are cached in memory, so LoadVersion() is cheap and the returned
+/// shared_ptr keeps a version usable even after it is later retired.
+///
+/// Thread-safe; all methods may be called concurrently.
+class ModelRegistry {
+ public:
+  /// Opens the registry at `root`, creating an empty one if the directory
+  /// or manifest does not exist yet.
+  static Result<std::unique_ptr<ModelRegistry>> Open(const std::string& root);
+
+  /// Saves `model` as a new candidate version and durably commits the
+  /// manifest entry. Assigns and returns the new version id (also written
+  /// into `model`'s version field and its artifact). `info.parent`,
+  /// `info.median_qerror` and `info.source` are taken from the argument;
+  /// id / state / created_seq are assigned by the registry.
+  Result<uint64_t> Publish(ZeroTuneModel* model, VersionInfo info);
+
+  /// In-memory handle to a validated version's model. Fails for unknown,
+  /// rejected, or quarantined versions.
+  Result<std::shared_ptr<const ZeroTuneModel>> LoadVersion(uint64_t id) const;
+
+  /// Makes `id` (a candidate or retired version) the live version; the
+  /// previously live version, if any, becomes retired. Records
+  /// `median_qerror` as the promotion-time score.
+  Status Promote(uint64_t id, double median_qerror);
+
+  /// Demotes the live version to rejected and re-promotes its parent
+  /// (which must be a loadable retired version). Returns the id that is
+  /// live after the rollback.
+  Result<uint64_t> Rollback();
+
+  /// Marks a candidate version rejected (shadow scoring failed it). Its
+  /// artifact stays on disk for post-mortem inspection.
+  Status Reject(uint64_t id);
+
+  /// Currently live version id (0 = none).
+  uint64_t live_version() const;
+
+  /// Manifest records, ordered by id.
+  std::vector<VersionInfo> Versions() const;
+
+  /// Versions whose artifacts failed validation at Open().
+  std::vector<QuarantinedVersion> Quarantined() const;
+
+  /// Absolute path of a version's artifact file (exists only after
+  /// Publish; does not check validity).
+  std::string VersionPath(uint64_t id) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit ModelRegistry(std::string root);
+
+  Status LoadManifest() ZT_REQUIRES(mu_);
+  Status CommitManifest() ZT_REQUIRES(mu_);
+  void ValidateArtifacts() ZT_REQUIRES(mu_);
+
+  const std::string root_;
+
+  mutable Mutex mu_;
+  uint64_t live_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ ZT_GUARDED_BY(mu_) = 1;
+  uint64_t next_seq_ ZT_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, VersionInfo> versions_ ZT_GUARDED_BY(mu_);
+  std::map<uint64_t, std::shared_ptr<const ZeroTuneModel>> cache_
+      ZT_GUARDED_BY(mu_);
+  std::vector<QuarantinedVersion> quarantined_ ZT_GUARDED_BY(mu_);
+};
+
+}  // namespace zerotune::core::registry
+
+#endif  // ZEROTUNE_CORE_REGISTRY_MODEL_REGISTRY_H_

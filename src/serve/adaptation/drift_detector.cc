@@ -1,0 +1,119 @@
+#include "serve/adaptation/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace zerotune::serve::adaptation {
+
+Status DriftOptions::Validate() const {
+  if (window == 0) {
+    return Status::InvalidArgument("drift window must be >= 1");
+  }
+  if (min_samples == 0 || min_samples > window) {
+    return Status::InvalidArgument(
+        "drift min_samples must be in [1, window]");
+  }
+  if (!std::isfinite(trip_qerror) || trip_qerror < 1.0) {
+    return Status::InvalidArgument(
+        "drift trip_qerror must be finite and >= 1 (q-errors are >= 1)");
+  }
+  if (!std::isfinite(clear_qerror) || clear_qerror < 1.0 ||
+      clear_qerror > trip_qerror) {
+    return Status::InvalidArgument(
+        "drift clear_qerror must be in [1, trip_qerror] (hysteresis)");
+  }
+  return Status::OK();
+}
+
+DriftDetector::DriftDetector(DriftOptions options)
+    : options_(options), options_status_(options.Validate()) {
+  ZT_CHECK_OK(options_status_);
+  auto* metrics = obs::MetricsRegistry::Global();
+  observations_total_ =
+      metrics->GetCounter("adapt.drift.observations_total");
+  trips_total_ = metrics->GetCounter("adapt.drift.trips_total");
+  clears_total_ = metrics->GetCounter("adapt.drift.clears_total");
+}
+
+double DriftDetector::MedianLocked(const FamilyState& state) const {
+  if (state.window.empty()) return 0.0;
+  std::vector<double> xs(state.window.begin(), state.window.end());
+  return Median(xs);
+}
+
+void DriftDetector::Observe(const std::string& family,
+                            double predicted_latency_ms,
+                            double actual_latency_ms) {
+  const double q = QError(actual_latency_ms, predicted_latency_ms);
+  observations_total_->Increment();
+  observations_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  auto [it, inserted] = families_.try_emplace(family);
+  FamilyState& state = it->second;
+  if (inserted) {
+    auto* metrics = obs::MetricsRegistry::Global();
+    const obs::Labels labels{{"family", family}};
+    state.qerror_gauge = metrics->GetGauge("adapt.drift.qerror", labels);
+    state.state_gauge = metrics->GetGauge("adapt.drift.state", labels);
+  }
+  state.window.push_back(q);
+  while (state.window.size() > options_.window) state.window.pop_front();
+
+  const double median = MedianLocked(state);
+  state.qerror_gauge->Set(median);
+  if (state.window.size() < options_.min_samples) return;
+  if (!state.drifting && median >= options_.trip_qerror) {
+    state.drifting = true;
+    trips_total_->Increment();
+    state.state_gauge->Set(1.0);
+  } else if (state.drifting && median < options_.clear_qerror) {
+    state.drifting = false;
+    clears_total_->Increment();
+    state.state_gauge->Set(0.0);
+  }
+}
+
+bool DriftDetector::IsDrifting(const std::string& family) const {
+  MutexLock lock(mu_);
+  auto it = families_.find(family);
+  return it != families_.end() && it->second.drifting;
+}
+
+bool DriftDetector::AnyDrifting() const {
+  MutexLock lock(mu_);
+  return std::any_of(families_.begin(), families_.end(),
+                     [](const auto& kv) { return kv.second.drifting; });
+}
+
+std::vector<std::string> DriftDetector::DriftingFamilies() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : families_) {
+    if (state.drifting) out.push_back(name);
+  }
+  return out;
+}
+
+double DriftDetector::RollingQError(const std::string& family) const {
+  MutexLock lock(mu_);
+  auto it = families_.find(family);
+  return it == families_.end() ? 0.0 : MedianLocked(it->second);
+}
+
+uint64_t DriftDetector::observations() const {
+  return observations_.load(std::memory_order_relaxed);
+}
+
+void DriftDetector::Reset() {
+  MutexLock lock(mu_);
+  for (auto& [name, state] : families_) {
+    state.window.clear();
+    state.drifting = false;
+    state.qerror_gauge->Set(0.0);
+    state.state_gauge->Set(0.0);
+  }
+}
+
+}  // namespace zerotune::serve::adaptation

@@ -1,0 +1,96 @@
+#ifndef ZEROTUNE_SERVE_ADAPTATION_DRIFT_DETECTOR_H_
+#define ZEROTUNE_SERVE_ADAPTATION_DRIFT_DETECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace zerotune::serve::adaptation {
+
+/// Configuration of the per-workload-family drift detector.
+struct DriftOptions {
+  /// Rolling window of (predicted, actual) q-errors kept per family.
+  size_t window = 64;
+  /// Observations a family needs before its trend is evaluated.
+  size_t min_samples = 16;
+  /// Rolling median q-error at or above which a family trips to
+  /// "drifting".
+  double trip_qerror = 2.0;
+  /// Rolling median below which a drifting family clears. Must be <=
+  /// trip_qerror — the hysteresis band keeps a family that hovers around
+  /// the threshold from flapping between states on every observation.
+  double clear_qerror = 1.5;
+
+  Status Validate() const;
+};
+
+/// Detects prediction-quality drift per workload family from a stream of
+/// (predicted, actual) latency pairs.
+///
+/// Each family keeps a rolling window of q-errors; the rolling *median*
+/// (robust to a single pathological execution) is compared against a
+/// trip/clear hysteresis pair, so the detector reports a sustained trend,
+/// not a spike. Exported series (adapt.drift.*, labelled {family}):
+///   adapt.drift.qerror       rolling median q-error gauge
+///   adapt.drift.state        1 = drifting, 0 = ok
+///   adapt.drift.trips_total  ok -> drifting transitions
+///   adapt.drift.clears_total drifting -> ok transitions
+/// plus the unlabelled adapt.drift.observations_total counter.
+///
+/// Thread-safe; all methods may be called concurrently.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options);
+
+  /// Feeds one observed execution of `family`.
+  void Observe(const std::string& family, double predicted_latency_ms,
+               double actual_latency_ms);
+
+  bool IsDrifting(const std::string& family) const;
+  bool AnyDrifting() const;
+  std::vector<std::string> DriftingFamilies() const;
+
+  /// Rolling median q-error of a family (0 when never observed).
+  double RollingQError(const std::string& family) const;
+
+  uint64_t observations() const;
+
+  /// Forgets all windows and drift states (after a promotion the old
+  /// model's q-errors say nothing about the new one).
+  void Reset();
+
+ private:
+  struct FamilyState {
+    std::deque<double> window;
+    bool drifting = false;
+    obs::Gauge* qerror_gauge = nullptr;
+    obs::Gauge* state_gauge = nullptr;
+  };
+
+  double MedianLocked(const FamilyState& state) const ZT_REQUIRES(mu_);
+
+  const DriftOptions options_;
+  const Status options_status_;
+
+  obs::Counter* observations_total_;
+  obs::Counter* trips_total_;
+  obs::Counter* clears_total_;
+  /// Per-detector count (the registry counters are process-global and
+  /// shared across detector instances).
+  std::atomic<uint64_t> observations_{0};
+
+  mutable Mutex mu_;
+  std::map<std::string, FamilyState> families_ ZT_GUARDED_BY(mu_);
+};
+
+}  // namespace zerotune::serve::adaptation
+
+#endif  // ZEROTUNE_SERVE_ADAPTATION_DRIFT_DETECTOR_H_

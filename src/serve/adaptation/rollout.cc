@@ -1,0 +1,218 @@
+#include "serve/adaptation/rollout.h"
+
+#include <cmath>
+#include <utility>
+
+namespace zerotune::serve::adaptation {
+
+namespace {
+
+constexpr double kNanosPerMs = 1e6;
+
+/// Unhealthy outcomes on the new incarnation since the swap. Degraded
+/// answers count: a primary that keeps falling back is regressing even
+/// though callers still get answers.
+uint64_t Failures(const ServiceStats& s) {
+  return s.failed + s.degraded + s.deadline_expired;
+}
+
+uint64_t Answers(const ServiceStats& s) {
+  return s.completed + s.deadline_expired + s.failed;
+}
+
+}  // namespace
+
+Status RolloutOptions::Validate() const {
+  if (!std::isfinite(pause_ms) || pause_ms < 0.0) {
+    return Status::InvalidArgument("rollout pause_ms must be >= 0");
+  }
+  if (!std::isfinite(max_wait_ms) || max_wait_ms < pause_ms) {
+    return Status::InvalidArgument(
+        "rollout max_wait_ms must be >= pause_ms");
+  }
+  if (!std::isfinite(max_failure_rate) || max_failure_rate < 0.0 ||
+      max_failure_rate > 1.0) {
+    return Status::InvalidArgument(
+        "rollout max_failure_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+const char* VersionRollout::ToString(Phase phase) {
+  switch (phase) {
+    case Phase::kIdle:
+      return "idle";
+    case Phase::kSwapping:
+      return "swapping";
+    case Phase::kPausing:
+      return "pausing";
+    case Phase::kDone:
+      return "done";
+    case Phase::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+VersionRollout::VersionRollout(fleet::PredictionFleet* fleet,
+                               RolloutOptions options, Clock* clock)
+    : fleet_(fleet),
+      options_(options),
+      options_status_(options.Validate()),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {
+  ZT_CHECK_OK(options_status_);
+  auto* metrics = obs::MetricsRegistry::Global();
+  swaps_total_ = metrics->GetCounter("adapt.rollout.swaps_total");
+  commits_total_ = metrics->GetCounter("adapt.rollout.commits_total");
+  rollbacks_total_ = metrics->GetCounter("adapt.rollout.rollbacks_total");
+  phase_gauge_ = metrics->GetGauge("adapt.rollout.phase");
+}
+
+Status VersionRollout::Begin(
+    fleet::PredictionFleet::PrimaryFactory next_factory,
+    uint64_t next_version,
+    fleet::PredictionFleet::PrimaryFactory prev_factory,
+    uint64_t prev_version) {
+  if (fleet_ == nullptr) {
+    return Status::FailedPrecondition("rollout has no fleet");
+  }
+  if (next_factory == nullptr || prev_factory == nullptr) {
+    return Status::InvalidArgument(
+        "rollout needs both a next and a prev factory");
+  }
+  MutexLock lock(mu_);
+  if (phase_ == Phase::kSwapping || phase_ == Phase::kPausing) {
+    return Status::FailedPrecondition("a rollout is already running");
+  }
+  targets_ = fleet_->ReplicaIds();
+  if (targets_.empty()) {
+    return Status::FailedPrecondition("fleet has no routable replicas");
+  }
+  next_factory_ = std::move(next_factory);
+  prev_factory_ = std::move(prev_factory);
+  next_version_ = next_version;
+  prev_version_ = prev_version;
+  cursor_ = 0;
+  began_at_nanos_ = clock_->NowNanos();
+  last_duration_ms_ = 0.0;
+  phase_ = Phase::kSwapping;
+  phase_gauge_->Set(static_cast<double>(phase_));
+  return Status::OK();
+}
+
+Status VersionRollout::SwapOneLocked() {
+  const uint32_t id = targets_[cursor_];
+  ZT_RETURN_IF_ERROR(fleet_->SwapReplicaPrimary(id, next_factory_,
+                                                next_version_));
+  swaps_total_->Increment();
+  ZT_ASSIGN_OR_RETURN(baseline_, fleet_->ReplicaCumulativeStats(id));
+  swapped_at_nanos_ = clock_->NowNanos();
+  return Status::OK();
+}
+
+void VersionRollout::RollBackLocked() {
+  // Swap back every replica the rollout touched, including the one that
+  // just failed judgement (cursor_ points at it). A replica that vanished
+  // mid-rollout (scale-down) is skipped — it is off the ring anyway.
+  for (size_t i = 0; i <= cursor_ && i < targets_.size(); ++i) {
+    const Status s = fleet_->SwapReplicaPrimary(targets_[i], prev_factory_,
+                                                prev_version_);
+    if (s.ok()) swaps_total_->Increment();
+  }
+  rollbacks_total_->Increment();
+  phase_ = Phase::kRolledBack;
+  last_duration_ms_ =
+      static_cast<double>(clock_->NowNanos() - began_at_nanos_) /
+      kNanosPerMs;
+}
+
+VersionRollout::Phase VersionRollout::Tick() {
+  MutexLock lock(mu_);
+  switch (phase_) {
+    case Phase::kIdle:
+    case Phase::kDone:
+    case Phase::kRolledBack:
+      break;
+    case Phase::kSwapping: {
+      const Status swapped = SwapOneLocked();
+      if (!swapped.ok()) {
+        // The target disappeared (scale-down between Begin and now).
+        // Skip it; if nothing is left, commit what we have.
+        ++cursor_;
+        if (cursor_ >= targets_.size()) {
+          fleet_->SetPrimaryFactory(next_factory_, next_version_);
+          commits_total_->Increment();
+          phase_ = Phase::kDone;
+          last_duration_ms_ =
+              static_cast<double>(clock_->NowNanos() - began_at_nanos_) /
+              kNanosPerMs;
+        }
+        break;
+      }
+      phase_ = Phase::kPausing;
+      break;
+    }
+    case Phase::kPausing: {
+      const double elapsed_ms =
+          static_cast<double>(clock_->NowNanos() - swapped_at_nanos_) /
+          kNanosPerMs;
+      if (elapsed_ms < options_.pause_ms) break;
+      const Result<ServiceStats> now =
+          fleet_->ReplicaCumulativeStats(targets_[cursor_]);
+      if (!now.ok()) {
+        // Replica vanished under us: treat as a regression — something
+        // external is reshaping the fleet mid-rollout.
+        RollBackLocked();
+        break;
+      }
+      const ServiceStats& current = now.value();
+      const uint64_t answers = Answers(current) - Answers(baseline_);
+      if (answers < options_.min_answers &&
+          elapsed_ms < options_.max_wait_ms) {
+        break;  // keep waiting for traffic
+      }
+      const uint64_t failures = Failures(current) - Failures(baseline_);
+      const double rate =
+          answers == 0
+              ? 0.0
+              : static_cast<double>(failures) / static_cast<double>(answers);
+      if (rate > options_.max_failure_rate) {
+        RollBackLocked();
+        break;
+      }
+      ++cursor_;
+      if (cursor_ >= targets_.size()) {
+        fleet_->SetPrimaryFactory(next_factory_, next_version_);
+        commits_total_->Increment();
+        phase_ = Phase::kDone;
+        last_duration_ms_ =
+            static_cast<double>(clock_->NowNanos() - began_at_nanos_) /
+            kNanosPerMs;
+      } else {
+        phase_ = Phase::kSwapping;
+      }
+      break;
+    }
+  }
+  phase_gauge_->Set(static_cast<double>(phase_));
+  return phase_;
+}
+
+VersionRollout::Phase VersionRollout::phase() const {
+  MutexLock lock(mu_);
+  return phase_;
+}
+
+size_t VersionRollout::swapped() const {
+  MutexLock lock(mu_);
+  if (phase_ == Phase::kIdle) return 0;
+  // cursor_ replicas fully judged, plus the one in flight while pausing.
+  return phase_ == Phase::kPausing ? cursor_ + 1 : cursor_;
+}
+
+double VersionRollout::last_duration_ms() const {
+  MutexLock lock(mu_);
+  return last_duration_ms_;
+}
+
+}  // namespace zerotune::serve::adaptation

@@ -1,0 +1,117 @@
+#ifndef ZEROTUNE_SERVE_ADAPTATION_ROLLOUT_H_
+#define ZEROTUNE_SERVE_ADAPTATION_ROLLOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "serve/fleet/fleet.h"
+
+namespace zerotune::serve::adaptation {
+
+/// Configuration of a replica-by-replica rolling swap.
+struct RolloutOptions {
+  /// Health-checked pause after each swap before the swapped replica is
+  /// judged (lets traffic reach the new incarnation).
+  double pause_ms = 50.0;
+  /// Completed answers the new incarnation must serve before judgement.
+  uint64_t min_answers = 16;
+  /// Judge even without min_answers once this much time has passed since
+  /// the swap — an idle replica must not stall the rollout forever.
+  double max_wait_ms = 5000.0;
+  /// (failed + degraded + deadline_expired) / admitted on the new
+  /// incarnation above which the rollout declares a regression and rolls
+  /// every swapped replica back.
+  double max_failure_rate = 0.2;
+
+  Status Validate() const;
+};
+
+/// Replica-by-replica versioned hot-swap across a PredictionFleet.
+///
+/// State machine (one replica at a time):
+///
+///   kIdle --Begin--> kSwapping -> kPausing -> [judge]
+///                        ^                       | healthy, more replicas
+///                        +-----------------------+
+///                                                | healthy, last replica
+///                                                v
+///                              commit factory -> kDone
+///                                                | regression
+///                                                v
+///                       swap back all swapped -> kRolledBack
+///
+/// Judgement reads the swapped replica's *cumulative* stats delta since
+/// the swap: the new incarnation starts at zero, so the delta is exactly
+/// the new version's track record. On regression every already-swapped
+/// replica (including the failing one) is swapped back to the previous
+/// factory before the machine parks in kRolledBack — the fleet never
+/// stays mixed-version after a failed rollout. On success the new
+/// factory/version are committed fleet-wide (SetPrimaryFactory), so
+/// scale-ups and future restarts serve the promoted version.
+///
+/// Entirely tick-driven on the injected Clock: Tick() never sleeps, so a
+/// FakeClock drives the whole rollout deterministically. Thread-safe.
+class VersionRollout {
+ public:
+  enum class Phase { kIdle, kSwapping, kPausing, kDone, kRolledBack };
+
+  static const char* ToString(Phase phase);
+
+  VersionRollout(fleet::PredictionFleet* fleet, RolloutOptions options,
+                 Clock* clock);
+
+  /// Starts rolling `next_factory`/`next_version` across the current ring
+  /// members. `prev_factory`/`prev_version` is the rollback target (what
+  /// the replicas serve today). Fails if a rollout is already running.
+  Status Begin(fleet::PredictionFleet::PrimaryFactory next_factory,
+               uint64_t next_version,
+               fleet::PredictionFleet::PrimaryFactory prev_factory,
+               uint64_t prev_version);
+
+  /// Advances the machine by at most one step; returns the phase after
+  /// the step. Call from a driver loop (serve-sim) or controller tick.
+  Phase Tick();
+
+  Phase phase() const;
+  /// Replicas swapped to the new version so far in this rollout.
+  size_t swapped() const;
+  /// Wall-clock (injected clock) duration of the last completed rollout,
+  /// Begin -> kDone/kRolledBack; 0 while running or before the first.
+  double last_duration_ms() const;
+
+ private:
+  Status SwapOneLocked() ZT_REQUIRES(mu_);
+  void RollBackLocked() ZT_REQUIRES(mu_);
+
+  fleet::PredictionFleet* fleet_;
+  const RolloutOptions options_;
+  const Status options_status_;
+  Clock* clock_;
+
+  obs::Counter* swaps_total_;
+  obs::Counter* commits_total_;
+  obs::Counter* rollbacks_total_;
+  obs::Gauge* phase_gauge_;
+
+  mutable Mutex mu_;
+  Phase phase_ ZT_GUARDED_BY(mu_) = Phase::kIdle;
+  fleet::PredictionFleet::PrimaryFactory next_factory_ ZT_GUARDED_BY(mu_);
+  fleet::PredictionFleet::PrimaryFactory prev_factory_ ZT_GUARDED_BY(mu_);
+  uint64_t next_version_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t prev_version_ ZT_GUARDED_BY(mu_) = 0;
+  std::vector<uint32_t> targets_ ZT_GUARDED_BY(mu_);
+  size_t cursor_ ZT_GUARDED_BY(mu_) = 0;  // next replica to swap
+  int64_t swapped_at_nanos_ ZT_GUARDED_BY(mu_) = 0;
+  ServiceStats baseline_ ZT_GUARDED_BY(mu_);
+  int64_t began_at_nanos_ ZT_GUARDED_BY(mu_) = 0;
+  double last_duration_ms_ ZT_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace zerotune::serve::adaptation
+
+#endif  // ZEROTUNE_SERVE_ADAPTATION_ROLLOUT_H_

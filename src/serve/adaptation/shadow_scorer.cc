@@ -1,0 +1,118 @@
+#include "serve/adaptation/shadow_scorer.h"
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace zerotune::serve::adaptation {
+
+Status ShadowOptions::Validate() const {
+  if (min_samples == 0 || max_samples < min_samples) {
+    return Status::InvalidArgument(
+        "shadow samples must satisfy 1 <= min_samples <= max_samples");
+  }
+  if (!std::isfinite(promote_margin) || promote_margin <= 0.0 ||
+      promote_margin > 1.0) {
+    return Status::InvalidArgument(
+        "shadow promote_margin must be in (0, 1]");
+  }
+  if (!std::isfinite(reject_margin) || reject_margin < 1.0) {
+    return Status::InvalidArgument("shadow reject_margin must be >= 1");
+  }
+  return Status::OK();
+}
+
+const char* ToString(ShadowVerdict verdict) {
+  switch (verdict) {
+    case ShadowVerdict::kUndecided:
+      return "undecided";
+    case ShadowVerdict::kPromote:
+      return "promote";
+    case ShadowVerdict::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+ShadowScorer::ShadowScorer(const core::CostPredictor* live,
+                           const core::CostPredictor* candidate,
+                           ShadowOptions options)
+    : live_(live),
+      candidate_(candidate),
+      options_(options),
+      options_status_(options.Validate()) {
+  ZT_CHECK_OK(options_status_);
+  auto* metrics = obs::MetricsRegistry::Global();
+  samples_total_ = metrics->GetCounter("adapt.shadow.samples_total");
+  live_qerror_gauge_ = metrics->GetGauge("adapt.shadow.live_qerror");
+  candidate_qerror_gauge_ =
+      metrics->GetGauge("adapt.shadow.candidate_qerror");
+}
+
+ShadowVerdict ShadowScorer::DecideLocked() {
+  if (samples_ < options_.min_samples) return ShadowVerdict::kUndecided;
+  const double n = static_cast<double>(samples_);
+  const double live_gm = std::exp(live_log_sum_ / n);
+  const double cand_gm = std::exp(candidate_log_sum_ / n);
+  if (cand_gm <= options_.promote_margin * live_gm) {
+    return ShadowVerdict::kPromote;
+  }
+  if (cand_gm >= options_.reject_margin * live_gm ||
+      samples_ >= options_.max_samples) {
+    return ShadowVerdict::kReject;
+  }
+  return ShadowVerdict::kUndecided;
+}
+
+ShadowVerdict ShadowScorer::Observe(const dsp::ParallelQueryPlan& plan,
+                                    double actual_latency_ms) {
+  // Inference outside the lock: mirrored scoring must not serialize
+  // against concurrent score() readers for the duration of two predicts.
+  const Result<core::CostPrediction> live = live_->Predict(plan);
+  const Result<core::CostPrediction> cand = candidate_->Predict(plan);
+
+  MutexLock lock(mu_);
+  if (verdict_ != ShadowVerdict::kUndecided) return verdict_;
+  if (!cand.ok()) {
+    ++candidate_failures_;
+    verdict_ = ShadowVerdict::kReject;
+    return verdict_;
+  }
+  if (!live.ok()) {
+    // No reference to compare against; the sample is skipped, not scored.
+    ++live_failures_;
+    return verdict_;
+  }
+  ++samples_;
+  samples_total_->Increment();
+  live_log_sum_ +=
+      std::log(QError(actual_latency_ms, live.value().latency_ms));
+  candidate_log_sum_ +=
+      std::log(QError(actual_latency_ms, cand.value().latency_ms));
+  const double n = static_cast<double>(samples_);
+  live_qerror_gauge_->Set(std::exp(live_log_sum_ / n));
+  candidate_qerror_gauge_->Set(std::exp(candidate_log_sum_ / n));
+  verdict_ = DecideLocked();
+  return verdict_;
+}
+
+ShadowVerdict ShadowScorer::verdict() const {
+  MutexLock lock(mu_);
+  return verdict_;
+}
+
+ShadowScorer::Score ShadowScorer::score() const {
+  MutexLock lock(mu_);
+  Score s;
+  s.samples = samples_;
+  s.live_failures = live_failures_;
+  s.candidate_failures = candidate_failures_;
+  if (samples_ > 0) {
+    const double n = static_cast<double>(samples_);
+    s.live_qerror = std::exp(live_log_sum_ / n);
+    s.candidate_qerror = std::exp(candidate_log_sum_ / n);
+  }
+  return s;
+}
+
+}  // namespace zerotune::serve::adaptation

@@ -1,0 +1,102 @@
+#ifndef ZEROTUNE_SERVE_ADAPTATION_SHADOW_SCORER_H_
+#define ZEROTUNE_SERVE_ADAPTATION_SHADOW_SCORER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/cost_predictor.h"
+#include "obs/metrics.h"
+
+namespace zerotune::serve::adaptation {
+
+/// Configuration of a shadow-scoring race.
+struct ShadowOptions {
+  /// Mirrored executions scored before a verdict may be reached.
+  size_t min_samples = 32;
+  /// Hard cap: at max_samples an undecided race resolves conservatively
+  /// to kReject (the live model keeps serving).
+  size_t max_samples = 256;
+  /// The candidate promotes when its geometric-mean q-error is at most
+  /// promote_margin * the live model's (i.e. measurably better, not just
+  /// tied — promotion churn is not free).
+  double promote_margin = 0.95;
+  /// The candidate rejects early when its geometric-mean q-error exceeds
+  /// reject_margin * the live model's.
+  double reject_margin = 1.10;
+
+  Status Validate() const;
+};
+
+enum class ShadowVerdict { kUndecided, kPromote, kReject };
+
+const char* ToString(ShadowVerdict verdict);
+
+/// Races a candidate model against the live model on mirrored traffic.
+///
+/// Every Observe() runs *both* predictors on the observed plan and scores
+/// each against the simulated-actual latency; the candidate never serves
+/// a caller. After min_samples the geometric-mean q-errors are compared
+/// under the promote/reject margins; an undecided race at max_samples
+/// rejects — a candidate that cannot demonstrate improvement does not
+/// ship. A candidate prediction *failure* rejects immediately: a model
+/// that cannot answer mirrored traffic must never see live traffic.
+///
+/// The verdict latches: once decided, further observations are ignored.
+/// Exported series: adapt.shadow.samples_total counter and the
+/// adapt.shadow.live_qerror / adapt.shadow.candidate_qerror gauges
+/// (geometric means of the race so far).
+///
+/// Thread-safe.
+class ShadowScorer {
+ public:
+  /// Both predictors are borrowed and must outlive the scorer.
+  ShadowScorer(const core::CostPredictor* live,
+               const core::CostPredictor* candidate, ShadowOptions options);
+
+  /// Scores one mirrored execution; returns the (possibly just-latched)
+  /// verdict.
+  ShadowVerdict Observe(const dsp::ParallelQueryPlan& plan,
+                        double actual_latency_ms);
+
+  ShadowVerdict verdict() const;
+
+  struct Score {
+    size_t samples = 0;
+    /// Geometric-mean q-errors over the race so far (0 until the first
+    /// scored sample).
+    double live_qerror = 0.0;
+    double candidate_qerror = 0.0;
+    /// Live-side prediction failures (sample skipped, not scored).
+    size_t live_failures = 0;
+    /// Candidate-side prediction failures (any one latches kReject).
+    size_t candidate_failures = 0;
+  };
+  Score score() const;
+
+ private:
+  ShadowVerdict DecideLocked() ZT_REQUIRES(mu_);
+
+  const core::CostPredictor* live_;
+  const core::CostPredictor* candidate_;
+  const ShadowOptions options_;
+  const Status options_status_;
+
+  obs::Counter* samples_total_;
+  obs::Gauge* live_qerror_gauge_;
+  obs::Gauge* candidate_qerror_gauge_;
+
+  mutable Mutex mu_;
+  size_t samples_ ZT_GUARDED_BY(mu_) = 0;
+  double live_log_sum_ ZT_GUARDED_BY(mu_) = 0.0;
+  double candidate_log_sum_ ZT_GUARDED_BY(mu_) = 0.0;
+  size_t live_failures_ ZT_GUARDED_BY(mu_) = 0;
+  size_t candidate_failures_ ZT_GUARDED_BY(mu_) = 0;
+  ShadowVerdict verdict_ ZT_GUARDED_BY(mu_) = ShadowVerdict::kUndecided;
+};
+
+}  // namespace zerotune::serve::adaptation
+
+#endif  // ZEROTUNE_SERVE_ADAPTATION_SHADOW_SCORER_H_

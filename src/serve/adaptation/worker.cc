@@ -1,0 +1,327 @@
+#include "serve/adaptation/worker.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/trainer.h"
+#include "workload/dataset.h"
+
+namespace zerotune::serve::adaptation {
+
+namespace {
+
+/// Splitmix64-style derivation so each fine-tune shuffles differently but
+/// reproducibly from the root seed.
+uint64_t DeriveFineTuneSeed(uint64_t root, uint64_t counter) {
+  uint64_t z = root + 0x9e3779b97f4a7c15ULL * (counter + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Status AdaptationOptions::Validate() const {
+  ZT_RETURN_IF_ERROR(drift.Validate());
+  ZT_RETURN_IF_ERROR(shadow.Validate());
+  ZT_RETURN_IF_ERROR(rollout.Validate());
+  ZT_RETURN_IF_ERROR(breaker.Validate());
+  if (min_pairs == 0 || max_pairs < min_pairs) {
+    return Status::InvalidArgument(
+        "adaptation pairs must satisfy 1 <= min_pairs <= max_pairs");
+  }
+  if (finetune_epochs == 0) {
+    return Status::InvalidArgument("finetune_epochs must be >= 1");
+  }
+  if (!std::isfinite(finetune_learning_rate) ||
+      finetune_learning_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "finetune_learning_rate must be finite and > 0");
+  }
+  return Status::OK();
+}
+
+const char* AdaptationWorker::ToString(State state) {
+  switch (state) {
+    case State::kMonitoring:
+      return "monitoring";
+    case State::kShadowing:
+      return "shadowing";
+    case State::kRollingOut:
+      return "rolling-out";
+  }
+  return "unknown";
+}
+
+AdaptationWorker::AdaptationWorker(core::registry::ModelRegistry* registry,
+                                   fleet::PredictionFleet* fleet,
+                                   AdaptationOptions options, Clock* clock)
+    : registry_(registry),
+      fleet_(fleet),
+      options_(options),
+      options_status_(options.Validate()),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      drift_(options.drift),
+      breaker_(options.breaker, clock_) {
+  ZT_CHECK_OK(options_status_);
+  if (fleet_ != nullptr) {
+    rollout_ =
+        std::make_unique<VersionRollout>(fleet_, options_.rollout, clock_);
+  }
+  auto* metrics = obs::MetricsRegistry::Global();
+  finetunes_total_ = metrics->GetCounter("adapt.worker.finetunes_total");
+  promotions_total_ = metrics->GetCounter("adapt.worker.promotions_total");
+  rejections_total_ = metrics->GetCounter("adapt.worker.rejections_total");
+  rollbacks_total_ = metrics->GetCounter("adapt.worker.rollbacks_total");
+  state_gauge_ = metrics->GetGauge("adapt.worker.state");
+  MutexLock lock(mu_);
+  live_id_ = registry_->live_version();
+}
+
+void AdaptationWorker::set_factory_builder(FactoryBuilder builder) {
+  MutexLock lock(mu_);
+  builder_ = std::move(builder);
+}
+
+void AdaptationWorker::Observe(const ObservedExecution& execution) {
+  drift_.Observe(execution.family, execution.predicted_latency_ms,
+                 execution.actual_latency_ms);
+  std::shared_ptr<ShadowScorer> scorer;
+  {
+    MutexLock lock(mu_);
+    pairs_.push_back(execution);
+    while (pairs_.size() > options_.max_pairs) pairs_.pop_front();
+    scorer = scorer_;
+  }
+  // The mirrored race runs two model inferences — outside mu_ so
+  // observation ingest never stalls behind it.
+  if (scorer != nullptr) {
+    scorer->Observe(execution.plan, execution.actual_latency_ms);
+  }
+}
+
+fleet::PredictionFleet::PrimaryFactory AdaptationWorker::BuildFactory(
+    const std::shared_ptr<const core::ZeroTuneModel>& model,
+    uint64_t version) {
+  FactoryBuilder builder;
+  {
+    MutexLock lock(mu_);
+    builder = builder_;
+  }
+  if (builder != nullptr) return builder(model, version);
+  return [model](uint32_t) {
+    return std::make_unique<SharedModelPredictor>(model);
+  };
+}
+
+Status AdaptationWorker::FineTune(
+    const std::vector<ObservedExecution>& pairs) {
+  const uint64_t live_id = registry_->live_version();
+  if (live_id == 0) {
+    return Status::FailedPrecondition(
+        "registry has no live version to fine-tune");
+  }
+  ZT_ASSIGN_OR_RETURN(std::shared_ptr<const core::ZeroTuneModel> live,
+                      registry_->LoadVersion(live_id));
+  // Fresh trainable copy from the artifact: the cached live model stays
+  // immutable and keeps serving while the copy trains.
+  ZT_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::ZeroTuneModel> trainable,
+      core::ZeroTuneModel::LoadFromFile(registry_->VersionPath(live_id)));
+
+  workload::Dataset train;
+  for (const ObservedExecution& p : pairs) {
+    train.Add(workload::LabeledQuery(p.plan, p.actual_latency_ms,
+                                     p.actual_throughput_tps,
+                                     workload::QueryStructure::kLinear));
+  }
+
+  uint64_t finetune_index = 0;
+  {
+    MutexLock lock(mu_);
+    finetune_index = finetunes_;
+  }
+  core::TrainOptions topt;
+  topt.epochs = options_.finetune_epochs;
+  topt.learning_rate = options_.finetune_learning_rate;
+  topt.fit_target_stats = false;  // incremental: keep the live stats
+  topt.patience = 0;              // no validation set, no early stopping
+  topt.seed = DeriveFineTuneSeed(options_.seed, finetune_index);
+  topt.clock = clock_;
+  core::Trainer trainer(trainable.get(), topt);
+  ZT_RETURN_IF_ERROR(trainer.Train(train, workload::Dataset()).status());
+
+  const core::ModelEvaluation eval =
+      core::Trainer::Evaluate(*trainable, train);
+  core::registry::VersionInfo info;
+  info.parent = live_id;
+  info.median_qerror = eval.latency.median;
+  info.source = "finetune";
+  ZT_ASSIGN_OR_RETURN(const uint64_t candidate_id,
+                      registry_->Publish(trainable.get(), info));
+  ZT_ASSIGN_OR_RETURN(std::shared_ptr<const core::ZeroTuneModel> candidate,
+                      registry_->LoadVersion(candidate_id));
+
+  MutexLock lock(mu_);
+  live_model_ = std::move(live);
+  candidate_model_ = std::move(candidate);
+  live_id_ = live_id;
+  candidate_id_ = candidate_id;
+  scorer_ = std::make_shared<ShadowScorer>(
+      live_model_.get(), candidate_model_.get(), options_.shadow);
+  ++finetunes_;
+  finetunes_total_->Increment();
+  state_ = State::kShadowing;
+  return Status::OK();
+}
+
+Status AdaptationWorker::FinishShadow(ShadowVerdict verdict) {
+  std::shared_ptr<const core::ZeroTuneModel> live_model;
+  std::shared_ptr<const core::ZeroTuneModel> candidate_model;
+  uint64_t live_id = 0;
+  uint64_t candidate_id = 0;
+  double candidate_qerror = 0.0;
+  {
+    MutexLock lock(mu_);
+    live_model = live_model_;
+    candidate_model = candidate_model_;
+    live_id = live_id_;
+    candidate_id = candidate_id_;
+    if (scorer_ != nullptr) {
+      candidate_qerror = scorer_->score().candidate_qerror;
+    }
+  }
+  if (verdict == ShadowVerdict::kReject) {
+    ZT_RETURN_IF_ERROR(registry_->Reject(candidate_id));
+    breaker_.RecordFailure();
+    MutexLock lock(mu_);
+    ++rejections_;
+    rejections_total_->Increment();
+    scorer_.reset();
+    candidate_model_.reset();
+    candidate_id_ = 0;
+    pairs_.clear();  // gather fresh evidence before the next attempt
+    state_ = State::kMonitoring;
+    return Status::OK();
+  }
+
+  // Promote: the candidate demonstrably predicts this traffic better.
+  ZT_RETURN_IF_ERROR(registry_->Promote(candidate_id, candidate_qerror));
+  // The promoted model replaces the one whose q-errors tripped the
+  // detector; its windows say nothing about the new version.
+  drift_.Reset();
+  if (fleet_ != nullptr) {
+    ZT_RETURN_IF_ERROR(rollout_->Begin(
+        BuildFactory(candidate_model, candidate_id), candidate_id,
+        BuildFactory(live_model, live_id), live_id));
+    MutexLock lock(mu_);
+    ++promotions_;
+    promotions_total_->Increment();
+    scorer_.reset();
+    pairs_.clear();
+    state_ = State::kRollingOut;
+    return Status::OK();
+  }
+  breaker_.RecordSuccess(0.0);
+  MutexLock lock(mu_);
+  ++promotions_;
+  promotions_total_->Increment();
+  scorer_.reset();
+  live_model_ = candidate_model_;
+  live_id_ = candidate_id_;
+  candidate_model_.reset();
+  candidate_id_ = 0;
+  pairs_.clear();
+  state_ = State::kMonitoring;
+  return Status::OK();
+}
+
+Result<AdaptationWorker::State> AdaptationWorker::Tick() {
+  MutexLock tick(tick_mu_);
+  State state;
+  {
+    MutexLock lock(mu_);
+    state = state_;
+  }
+  switch (state) {
+    case State::kMonitoring: {
+      if (!drift_.AnyDrifting()) break;
+      std::vector<ObservedExecution> pairs;
+      {
+        MutexLock lock(mu_);
+        if (pairs_.size() < options_.min_pairs) break;
+        pairs.assign(pairs_.begin(), pairs_.end());
+      }
+      // The breaker gates the whole cycle; in half-open this holds a
+      // probe slot that FinishShadow / the rollout outcome releases.
+      if (!breaker_.AllowPrimary()) break;
+      const Status tuned = FineTune(pairs);
+      if (!tuned.ok()) {
+        breaker_.RecordFailure();
+        return tuned;
+      }
+      break;
+    }
+    case State::kShadowing: {
+      ShadowVerdict verdict;
+      {
+        MutexLock lock(mu_);
+        verdict = scorer_ != nullptr ? scorer_->verdict()
+                                     : ShadowVerdict::kReject;
+      }
+      if (verdict == ShadowVerdict::kUndecided) break;
+      ZT_RETURN_IF_ERROR(FinishShadow(verdict));
+      break;
+    }
+    case State::kRollingOut: {
+      const VersionRollout::Phase phase = rollout_->Tick();
+      if (phase == VersionRollout::Phase::kDone) {
+        breaker_.RecordSuccess(0.0);
+        MutexLock lock(mu_);
+        live_model_ = candidate_model_;
+        live_id_ = candidate_id_;
+        candidate_model_.reset();
+        candidate_id_ = 0;
+        state_ = State::kMonitoring;
+      } else if (phase == VersionRollout::Phase::kRolledBack) {
+        // The promoted version regressed on live traffic: registry state
+        // follows the fleet back to the parent version.
+        ZT_RETURN_IF_ERROR(registry_->Rollback().status());
+        breaker_.RecordFailure();
+        MutexLock lock(mu_);
+        ++rollbacks_;
+        rollbacks_total_->Increment();
+        candidate_model_.reset();
+        candidate_id_ = 0;
+        state_ = State::kMonitoring;
+      }
+      break;
+    }
+  }
+  MutexLock lock(mu_);
+  state_gauge_->Set(static_cast<double>(state_));
+  return state_;
+}
+
+AdaptationWorker::State AdaptationWorker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+AdaptationWorker::Stats AdaptationWorker::snapshot() {
+  Stats s;
+  s.live_version = registry_->live_version();
+  s.drift_observations = drift_.observations();
+  s.breaker_state = breaker_.state();
+  MutexLock lock(mu_);
+  s.state = state_;
+  s.candidate_version = candidate_id_;
+  s.finetunes = finetunes_;
+  s.promotions = promotions_;
+  s.rejections = rejections_;
+  s.rollbacks = rollbacks_;
+  s.buffered_pairs = pairs_.size();
+  return s;
+}
+
+}  // namespace zerotune::serve::adaptation

@@ -1,0 +1,213 @@
+#ifndef ZEROTUNE_SERVE_ADAPTATION_WORKER_H_
+#define ZEROTUNE_SERVE_ADAPTATION_WORKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/cost_predictor.h"
+#include "core/registry/model_registry.h"
+#include "obs/metrics.h"
+#include "serve/adaptation/drift_detector.h"
+#include "serve/adaptation/rollout.h"
+#include "serve/adaptation/shadow_scorer.h"
+#include "serve/circuit_breaker.h"
+#include "serve/fleet/fleet.h"
+
+namespace zerotune::serve::adaptation {
+
+/// A CostPredictor view over a registry-cached model. Replica primary
+/// factories hand each replica its own predictor object; this adapter
+/// lets them all share one immutable ZeroTuneModel (the shared_ptr keeps
+/// the version alive even after the registry retires it).
+class SharedModelPredictor : public core::CostPredictor {
+ public:
+  explicit SharedModelPredictor(
+      std::shared_ptr<const core::ZeroTuneModel> model)
+      : model_(std::move(model)) {}
+
+  Result<core::CostPrediction> Predict(
+      const dsp::ParallelQueryPlan& plan) const override {
+    return model_->Predict(plan);
+  }
+  Result<std::vector<core::CostPrediction>> PredictBatch(
+      std::span<const dsp::ParallelQueryPlan* const> plans) const override {
+    return model_->PredictBatch(plans);
+  }
+  std::string name() const override { return model_->name(); }
+
+ private:
+  std::shared_ptr<const core::ZeroTuneModel> model_;
+};
+
+/// One observed execution fed back into the adaptation loop: what the
+/// live model predicted for the plan and what actually happened (in the
+/// simulator, the ground-truth engine's measurement).
+struct ObservedExecution {
+  dsp::ParallelQueryPlan plan;
+  double predicted_latency_ms = 0.0;
+  double actual_latency_ms = 0.0;
+  double actual_throughput_tps = 0.0;
+  /// Workload family for per-family drift tracking (e.g. the query
+  /// template or structure name).
+  std::string family;
+};
+
+/// Configuration of the online adaptation loop.
+struct AdaptationOptions {
+  DriftOptions drift;
+  ShadowOptions shadow;
+  RolloutOptions rollout;
+  /// Breaker over *adaptation cycles*: repeated failed fine-tunes
+  /// (rejected candidates, rolled-back promotions) trip it, suppressing
+  /// further fine-tune attempts until it half-opens.
+  CircuitBreakerOptions breaker;
+  /// Labeled pairs buffered before a fine-tune may start.
+  size_t min_pairs = 32;
+  /// Pair buffer bound (oldest dropped first).
+  size_t max_pairs = 512;
+  /// Fine-tune schedule: few epochs at a low rate on the drift window —
+  /// an incremental correction, not a retrain.
+  size_t finetune_epochs = 8;
+  double finetune_learning_rate = 3e-4;
+  /// Root seed for fine-tune shuffling (each fine-tune derives its own).
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// The online adaptation loop: drift detection -> incremental fine-tune
+/// -> registry publish -> shadow scoring -> promote + rolling hot-swap,
+/// or reject / rollback.
+///
+///   kMonitoring --drift && enough pairs && breaker allows-->
+///       fine-tune live model on the buffered (plan, actual) pairs,
+///       Publish as candidate --> kShadowing
+///   kShadowing: mirrored traffic races candidate vs live;
+///       kPromote --> registry Promote (+ rolling swap when a fleet is
+///                    attached) --> kRollingOut / kMonitoring
+///       kReject  --> registry Reject, breaker records a failure
+///   kRollingOut: VersionRollout steps the promoted version across the
+///       fleet replica-by-replica;
+///       kDone       --> breaker records success --> kMonitoring
+///       kRolledBack --> registry Rollback (parent live again), breaker
+///                       records a failure --> kMonitoring
+///
+/// The cycle breaker means a workload the model *cannot* learn does not
+/// turn the loop into a publish/reject treadmill: after enough failed
+/// cycles the breaker opens and the loop just monitors until the
+/// open-duration passes.
+///
+/// Observe() is cheap and thread-safe (drift window + pair buffer +
+/// shadow mirror); Tick() advances the state machine by at most one step
+/// and serializes internally — drive it from a controller loop. All
+/// timing flows through the injected Clock.
+class AdaptationWorker {
+ public:
+  enum class State { kMonitoring, kShadowing, kRollingOut };
+
+  static const char* ToString(State state);
+
+  /// Builds a replica primary factory for a registry version — the hook
+  /// that lets serve-sim wrap each replica's shared model in a
+  /// per-replica ChaosPredictor. Null builder = plain
+  /// SharedModelPredictor per replica.
+  using FactoryBuilder = std::function<fleet::PredictionFleet::PrimaryFactory(
+      std::shared_ptr<const core::ZeroTuneModel> model, uint64_t version)>;
+
+  /// `registry` is required and borrowed. `fleet` may be null (no rolling
+  /// swap; promotion completes at the registry). Null clock = system
+  /// clock.
+  AdaptationWorker(core::registry::ModelRegistry* registry,
+                   fleet::PredictionFleet* fleet, AdaptationOptions options,
+                   Clock* clock);
+
+  AdaptationWorker(const AdaptationWorker&) = delete;
+  AdaptationWorker& operator=(const AdaptationWorker&) = delete;
+
+  void set_factory_builder(FactoryBuilder builder);
+
+  /// Feeds one observed execution: drift window, fine-tune pair buffer,
+  /// and (while shadowing) the candidate-vs-live race.
+  void Observe(const ObservedExecution& execution);
+
+  /// Advances the loop by at most one step; returns the state after the
+  /// step. Fine-tuning happens inside this call (synchronously).
+  Result<State> Tick();
+
+  State state() const;
+
+  struct Stats {
+    State state = State::kMonitoring;
+    uint64_t live_version = 0;
+    uint64_t candidate_version = 0;
+    uint64_t finetunes = 0;
+    uint64_t promotions = 0;
+    uint64_t rejections = 0;
+    uint64_t rollbacks = 0;
+    size_t buffered_pairs = 0;
+    uint64_t drift_observations = 0;
+    CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  };
+  /// Non-const: reading the breaker state evaluates its open -> half-open
+  /// timer.
+  Stats snapshot();
+
+  DriftDetector& drift() { return drift_; }
+  VersionRollout* rollout() { return rollout_.get(); }
+
+ private:
+  /// Fine-tunes the live model on `pairs`, publishes the candidate, and
+  /// arms the shadow race. Runs without mu_ held (training is slow).
+  Status FineTune(const std::vector<ObservedExecution>& pairs);
+  Status FinishShadow(ShadowVerdict verdict);
+  fleet::PredictionFleet::PrimaryFactory BuildFactory(
+      const std::shared_ptr<const core::ZeroTuneModel>& model,
+      uint64_t version);
+
+  core::registry::ModelRegistry* registry_;
+  fleet::PredictionFleet* fleet_;
+  const AdaptationOptions options_;
+  const Status options_status_;
+  Clock* clock_;
+
+  DriftDetector drift_;
+  CircuitBreaker breaker_;
+  std::unique_ptr<VersionRollout> rollout_;  // null without a fleet
+
+  obs::Counter* finetunes_total_;
+  obs::Counter* promotions_total_;
+  obs::Counter* rejections_total_;
+  obs::Counter* rollbacks_total_;
+  obs::Gauge* state_gauge_;
+
+  /// Serializes Tick() (fine-tuning must not run twice concurrently).
+  /// Ordering: tick_mu_ before mu_; Observe() takes only mu_.
+  Mutex tick_mu_;
+
+  mutable Mutex mu_;
+  State state_ ZT_GUARDED_BY(mu_) = State::kMonitoring;
+  std::deque<ObservedExecution> pairs_ ZT_GUARDED_BY(mu_);
+  FactoryBuilder builder_ ZT_GUARDED_BY(mu_);
+  std::shared_ptr<ShadowScorer> scorer_ ZT_GUARDED_BY(mu_);
+  std::shared_ptr<const core::ZeroTuneModel> live_model_ ZT_GUARDED_BY(mu_);
+  std::shared_ptr<const core::ZeroTuneModel> candidate_model_
+      ZT_GUARDED_BY(mu_);
+  uint64_t live_id_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t candidate_id_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t finetunes_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t promotions_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t rejections_ ZT_GUARDED_BY(mu_) = 0;
+  uint64_t rollbacks_ ZT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace zerotune::serve::adaptation
+
+#endif  // ZEROTUNE_SERVE_ADAPTATION_WORKER_H_

@@ -79,14 +79,16 @@ std::string FleetStats::ToText() const {
      << ", cancelled " << hedges_cancelled << ")\n"
      << "lifecycle: kills " << kills << ", restarts " << restarts
      << ", scale-ups " << scale_ups << ", scale-downs " << scale_downs
-     << "\n"
+     << "; primary swaps " << primary_swaps << " (version "
+     << primary_version << ")\n"
      << "availability: "
      << (admitted == 0 ? 1.0 : Availability()) * 100.0 << "%\n"
      << "latency_ms: " << latency_ms.Summary() << "\n";
   for (const ReplicaStatsEntry& r : replicas) {
     os << "  replica " << r.id << ": "
        << (r.routable ? "" : "drained, ")
-       << (r.alive ? ToString(r.health) : "dead") << ", incarnations "
+       << (r.alive ? ToString(r.health) : "dead") << ", version "
+       << r.model_version << ", incarnations "
        << r.incarnations << ", received " << r.service.received
        << " (+" << r.crashed_rejections << " crash-rejected), completed "
        << r.service.completed << " (" << r.service.degraded
@@ -122,6 +124,8 @@ std::string FleetStats::ToJson() const {
      << ", \"dispatches\": " << dispatches << ", \"kills\": " << kills
      << ", \"restarts\": " << restarts << ", \"scale_ups\": " << scale_ups
      << ", \"scale_downs\": " << scale_downs
+     << ", \"primary_swaps\": " << primary_swaps
+     << ", \"primary_version\": " << primary_version
      << ", \"replicas_total\": " << replicas_total
      << ", \"replicas_alive\": " << replicas_alive
      << ", \"tenants_seen\": " << tenants_seen
@@ -138,6 +142,7 @@ std::string FleetStats::ToJson() const {
        << ", \"health\": \"" << ToString(r.health)
        << "\", \"incarnations\": " << r.incarnations
        << ", \"crashed_rejections\": " << r.crashed_rejections
+       << ", \"model_version\": " << r.model_version
        << ", \"service\": " << r.service.ToJson() << "}";
   }
   os << "]}";
@@ -185,7 +190,15 @@ PredictionFleet::PredictionFleet(PrimaryFactory factory,
       metrics->GetGauge("serve.fleet.replicas_total", fleet_labels_);
   replicas_alive_gauge_ =
       metrics->GetGauge("serve.fleet.replicas_alive", fleet_labels_);
+  primary_swaps_ = counter("serve.fleet.primary_swaps_total");
+  primary_version_gauge_ =
+      metrics->GetGauge("serve.fleet.primary_version", fleet_labels_);
   latency_ms_ = metrics->GetHistogram("serve.fleet.latency_ms", fleet_labels_);
+  {
+    WriterMutexLock flock(factory_mu_);
+    primary_version_ = options_.replica.model_version;
+    primary_version_gauge_->Set(static_cast<double>(primary_version_));
+  }
   if (options_status_.ok()) {
     for (size_t i = 0; i < options_.initial_replicas; ++i) {
       (void)AddReplicaInternal(/*count_scale_up=*/false);
@@ -200,22 +213,32 @@ PredictionFleet::~PredictionFleet() {
 }
 
 Result<uint32_t> PredictionFleet::AddReplicaInternal(bool count_scale_up) {
-  if (factory_ == nullptr) {
-    return Status::FailedPrecondition("fleet has no replica factory");
+  PrimaryFactory factory;
+  uint64_t version = 0;
+  {
+    ReaderMutexLock flock(factory_mu_);
+    if (factory_ == nullptr) {
+      return Status::FailedPrecondition("fleet has no replica factory");
+    }
+    factory = factory_;
+    version = primary_version_;
   }
   WriterMutexLock lock(ring_mu_);
   const uint32_t id = next_replica_id_++;
-  auto primary = factory_(id);
+  auto primary = factory(id);
   if (primary == nullptr) {
     return Status::Internal("replica factory returned null for id " +
                             std::to_string(id));
   }
   // Replica services run inline on the fleet's dispatch threads: handing
   // them the shared pool would deadlock it (pool tasks blocking on
-  // further pool tasks).
+  // further pool tasks). New replicas serve the committed fleet version.
+  ServeOptions replica_options = options_.replica;
+  replica_options.model_version = version;
   replicas_.emplace(
       id, std::make_unique<Replica>(id, std::move(primary), fallback_,
-                                    options_.replica, options_.health,
+                                    std::move(replica_options),
+                                    options_.health,
                                     /*pool=*/nullptr, clock_));
   ring_.Add(id);
   if (count_scale_up) scale_ups_->Increment();
@@ -244,6 +267,72 @@ Status PredictionFleet::RemoveReplica(uint32_t id) {
   }
   UpdateReplicaGauges();
   return Status::OK();
+}
+
+Status PredictionFleet::SwapReplicaPrimary(uint32_t id,
+                                           const PrimaryFactory& factory,
+                                           uint64_t version) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("swap requires a primary factory");
+  }
+  // Build the new primary outside every fleet lock: factories may load
+  // model artifacts, and traffic must keep flowing while they do.
+  auto primary = factory(id);
+  if (primary == nullptr) {
+    return Status::Internal("swap factory returned null for replica " +
+                            std::to_string(id));
+  }
+  Replica* replica = nullptr;
+  {
+    ReaderMutexLock lock(ring_mu_);
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica " + std::to_string(id));
+    }
+    replica = it->second.get();
+  }
+  replica->SwapPrimary(std::move(primary), version);
+  primary_swaps_->Increment();
+  UpdateReplicaGauges();
+  return Status::OK();
+}
+
+void PredictionFleet::SetPrimaryFactory(PrimaryFactory factory,
+                                        uint64_t version) {
+  WriterMutexLock flock(factory_mu_);
+  factory_ = std::move(factory);
+  primary_version_ = version;
+  primary_version_gauge_->Set(static_cast<double>(version));
+}
+
+uint64_t PredictionFleet::primary_version() const {
+  ReaderMutexLock flock(factory_mu_);
+  return primary_version_;
+}
+
+Result<uint64_t> PredictionFleet::ReplicaVersion(uint32_t id) const {
+  ReaderMutexLock lock(ring_mu_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("no replica " + std::to_string(id));
+  }
+  return it->second->model_version();
+}
+
+Result<ServiceStats> PredictionFleet::ReplicaCumulativeStats(
+    uint32_t id) const {
+  Replica* replica = nullptr;
+  {
+    ReaderMutexLock lock(ring_mu_);
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica " + std::to_string(id));
+    }
+    replica = it->second.get();
+  }
+  // Replicas are never destroyed while the fleet lives; the stats walk
+  // happens outside the ring lock.
+  return replica->CumulativeStats();
 }
 
 Status PredictionFleet::KillReplica(uint32_t id) {
@@ -684,6 +773,8 @@ FleetStats PredictionFleet::Snapshot() const {
   snap.restarts = restarts_->Value();
   snap.scale_ups = scale_ups_->Value();
   snap.scale_downs = scale_downs_->Value();
+  snap.primary_swaps = primary_swaps_->Value();
+  snap.primary_version = primary_version();
   snap.tenants_seen = quotas_.tenants_seen();
   snap.active_tenants = quotas_.active_tenants();
 
@@ -698,6 +789,7 @@ FleetStats PredictionFleet::Snapshot() const {
     entry.health = replica->health();
     entry.incarnations = replica->incarnations();
     entry.crashed_rejections = replica->crashed_rejections();
+    entry.model_version = replica->model_version();
     entry.service = replica->CumulativeStats();
     if (entry.alive && entry.routable) ++snap.replicas_alive;
     if (first_hist) {

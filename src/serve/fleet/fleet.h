@@ -101,6 +101,9 @@ struct ReplicaStatsEntry {
   /// Requests refused fast because the replica was crashed (these never
   /// reach a service incarnation, so they are not in `service.received`).
   uint64_t crashed_rejections = 0;
+  /// Model version the replica's live incarnation serves (0 =
+  /// unversioned); mid-rollout, swapped and unswapped replicas differ.
+  uint64_t model_version = 0;
   ServiceStats service;  // cumulative over incarnations
 };
 
@@ -133,6 +136,12 @@ struct FleetStats {
   uint64_t restarts = 0;
   uint64_t scale_ups = 0;
   uint64_t scale_downs = 0;
+  /// Per-replica primary hot-swaps performed (rollout steps, including
+  /// swap-backs during a rollback).
+  uint64_t primary_swaps = 0;
+  /// Committed fleet-wide model version (what new/restarted replicas
+  /// serve); individual replicas may differ mid-rollout.
+  uint64_t primary_version = 0;
   size_t replicas_total = 0;  // ring members
   size_t replicas_alive = 0;
   size_t tenants_seen = 0;
@@ -208,6 +217,27 @@ class PredictionFleet {
   /// and keeps its stats; it is never routed to again).
   Status RemoveReplica(uint32_t id);
 
+  // --- versioned hot-swap surface ----------------------------------
+  /// Swaps one replica's primary to `factory(id)` serving `version`,
+  /// without taking the replica off the ring: in-flight requests drain
+  /// against the old primary, new requests see the new one. The rollout
+  /// state machine (serve/adaptation/rollout.h) steps a promoted version
+  /// through the fleet with this, one replica at a time.
+  Status SwapReplicaPrimary(uint32_t id, const PrimaryFactory& factory,
+                            uint64_t version);
+  /// Commits `factory`/`version` as the fleet-wide primary: replicas
+  /// added by scale-up from now on serve it. Existing replicas are not
+  /// touched (use SwapReplicaPrimary per replica first).
+  void SetPrimaryFactory(PrimaryFactory factory, uint64_t version);
+  /// Committed fleet-wide model version (see SetPrimaryFactory).
+  uint64_t primary_version() const;
+  /// Version the live incarnation of `id` currently serves.
+  Result<uint64_t> ReplicaVersion(uint32_t id) const;
+  /// Cumulative ServiceStats of one replica across its incarnations (the
+  /// rollout state machine judges a freshly swapped replica on the delta
+  /// of this since the swap).
+  Result<ServiceStats> ReplicaCumulativeStats(uint32_t id) const;
+
   /// Ring members (routable replicas), ascending.
   std::vector<uint32_t> ReplicaIds() const;
   /// Ring members currently alive.
@@ -252,7 +282,9 @@ class PredictionFleet {
   void UpdateReplicaGauges();
   double EffectiveHedgeDelayMs(ReplicaHealth primary_health) const;
 
-  PrimaryFactory factory_;
+  mutable SharedMutex factory_mu_;
+  PrimaryFactory factory_ ZT_GUARDED_BY(factory_mu_);
+  uint64_t primary_version_ ZT_GUARDED_BY(factory_mu_) = 0;
   const core::CostPredictor* fallback_;
   FleetOptions options_;
   Status options_status_;
@@ -292,6 +324,8 @@ class PredictionFleet {
   obs::Counter* restarts_;
   obs::Counter* scale_ups_;
   obs::Counter* scale_downs_;
+  obs::Counter* primary_swaps_;
+  obs::Gauge* primary_version_gauge_;
   obs::Gauge* replicas_total_gauge_;
   obs::Gauge* replicas_alive_gauge_;
   obs::HistogramMetric* latency_ms_;

@@ -11,7 +11,6 @@ Replica::Replica(uint32_t id,
                  HealthOptions health_options, ThreadPool* pool,
                  Clock* clock)
     : id_(id),
-      primary_(std::move(primary)),
       fallback_(fallback),
       options_(std::move(options)),
       pool_(pool),
@@ -19,13 +18,17 @@ Replica::Replica(uint32_t id,
       tracker_(health_options, clock) {
   options_.metric_labels.emplace_back("replica", std::to_string(id_));
   MutexLock g(mu_);
+  version_ = options_.model_version;
+  primary_ = std::move(primary);
   service_ = MakeService();
 }
 
 std::shared_ptr<PredictionService> Replica::MakeService() {
   ++incarnations_;
-  return std::make_shared<PredictionService>(primary_.get(), fallback_,
-                                             options_, pool_, clock_);
+  ServeOptions opts = options_;
+  opts.model_version = version_;
+  return std::make_shared<PredictionService>(primary_.get(), fallback_, opts,
+                                             pool_, clock_);
 }
 
 Result<ServedPrediction> Replica::Predict(const dsp::ParallelQueryPlan& plan,
@@ -75,6 +78,29 @@ void Replica::Restart() {
   tracker_.Reset();
 }
 
+void Replica::SwapPrimary(
+    std::unique_ptr<const core::CostPredictor> primary, uint64_t version) {
+  {
+    MutexLock g(mu_);
+    // Retire, never destroy: requests that grabbed the old incarnation's
+    // shared_ptr before the swap are still executing against the old
+    // primary through a raw pointer — both must stay alive until the
+    // replica itself is destroyed.
+    retired_.push_back(std::move(service_));
+    retired_primaries_.push_back(std::move(primary_));
+    primary_ = std::move(primary);
+    version_ = version;
+    service_ = MakeService();
+    alive_ = true;
+  }
+  tracker_.Reset();
+}
+
+uint64_t Replica::model_version() const {
+  MutexLock g(mu_);
+  return version_;
+}
+
 bool Replica::alive() const {
   MutexLock g(mu_);
   return alive_;
@@ -120,6 +146,7 @@ ServiceStats Replica::CumulativeStats() const {
     total.breaker_trips += s.breaker_trips;
     total.breaker_recoveries += s.breaker_recoveries;
     total.breaker_state = s.breaker_state;  // live incarnation read last
+    total.model_version = s.model_version;  // ditto
     if (first) {
       total.latency_ms = s.latency_ms;
       first = false;

@@ -63,6 +63,20 @@ class Replica {
   /// Brings a killed (or live) replica up as a fresh incarnation.
   void Restart();
 
+  /// Versioned hot-swap: replaces the primary predictor with `primary`
+  /// (serving as model version `version`) and brings up a fresh service
+  /// incarnation, leaving the replica alive. The old primary and the old
+  /// incarnation are *retired*, not destroyed: requests that entered the
+  /// old incarnation before the swap keep executing against the old
+  /// primary and drain normally — a swap is never observable as a failed
+  /// or torn request. Health state resets like a restart (the new version
+  /// earns its own track record).
+  void SwapPrimary(std::unique_ptr<const core::CostPredictor> primary,
+                   uint64_t version);
+
+  /// Registry version the *live* incarnation serves (0 = unversioned).
+  uint64_t model_version() const;
+
   bool alive() const;
   ReplicaHealth health() { return tracker_.health(); }
   HealthTracker& tracker() { return tracker_; }
@@ -86,7 +100,6 @@ class Replica {
   std::shared_ptr<PredictionService> MakeService() ZT_REQUIRES(mu_);
 
   const uint32_t id_;
-  std::unique_ptr<const core::CostPredictor> primary_;
   const core::CostPredictor* fallback_;
   ServeOptions options_;
   ThreadPool* pool_;
@@ -98,8 +111,16 @@ class Replica {
   mutable Mutex mu_;
   bool alive_ ZT_GUARDED_BY(mu_) = true;
   uint64_t incarnations_ ZT_GUARDED_BY(mu_) = 0;
+  /// Version served by the live incarnation (stamped into its
+  /// ServeOptions at MakeService time).
+  uint64_t version_ ZT_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<const core::CostPredictor> primary_ ZT_GUARDED_BY(mu_);
   std::shared_ptr<PredictionService> service_ ZT_GUARDED_BY(mu_);
   std::vector<std::shared_ptr<PredictionService>> retired_
+      ZT_GUARDED_BY(mu_);
+  /// Primaries replaced by SwapPrimary, kept alive because retired
+  /// service incarnations hold raw pointers into them while draining.
+  std::vector<std::unique_ptr<const core::CostPredictor>> retired_primaries_
       ZT_GUARDED_BY(mu_);
 };
 

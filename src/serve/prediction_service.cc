@@ -60,7 +60,8 @@ Status ServeOptions::Validate() const {
 
 std::string ServiceStats::ToText() const {
   std::ostringstream os;
-  os << "requests: received " << received << ", admitted " << admitted
+  os << "model: version " << model_version << "\n"
+     << "requests: received " << received << ", admitted " << admitted
      << ", completed " << completed << " (" << degraded << " degraded)\n"
      << "shed: queue-full " << shed_queue_full << ", lint " << shed_lint
      << "; deadline-expired " << deadline_expired << "; failed " << failed
@@ -76,7 +77,8 @@ std::string ServiceStats::ToText() const {
 std::string ServiceStats::ToJson() const {
   std::ostringstream os;
   os.precision(17);
-  os << "{\"received\": " << received << ", \"admitted\": " << admitted
+  os << "{\"model_version\": " << model_version
+     << ", \"received\": " << received << ", \"admitted\": " << admitted
      << ", \"completed\": " << completed << ", \"degraded\": " << degraded
      << ", \"shed_queue_full\": " << shed_queue_full
      << ", \"shed_lint\": " << shed_lint
@@ -146,6 +148,8 @@ PredictionService::PredictionService(const core::CostPredictor* primary,
   fallback_failures_ =
       metrics->GetCounter("serve.fallback_failures_total", metric_labels_);
   latency_ms_ = metrics->GetHistogram("serve.latency_ms", metric_labels_);
+  metrics->GetGauge("serve.model_version", metric_labels_)
+      ->Set(static_cast<double>(options_.model_version));
 }
 
 PredictionService::~PredictionService() {
@@ -347,6 +351,7 @@ Result<ServedPrediction> PredictionService::ExecuteAttempts(
       served.cost = r.value();
       served.attempts = attempts;
       served.total_ms = clock_->MillisSince(admitted_nanos);
+      served.model_version = options_.model_version;
       return served;
     }
     breaker_.RecordFailure();
@@ -374,6 +379,9 @@ Result<ServedPrediction> PredictionService::ExecuteAttempts(
       served.degraded = true;
       served.attempts = attempts;
       served.total_ms = clock_->MillisSince(admitted_nanos);
+      // The fallback is unversioned; record which primary version could
+      // not answer so degraded traffic is attributable to a rollout.
+      served.degraded_from_version = options_.model_version;
       return served;
     }
     fallback_failures_->Increment();
@@ -407,6 +415,7 @@ ServiceStats PredictionService::Snapshot() const {
   snap.shed_queue_full = shed_queue_full_->Value();
   snap.shed_lint = shed_lint_->Value();
   snap.received = received_->Value();
+  snap.model_version = options_.model_version;
   snap.breaker_trips = breaker_.trips();
   snap.breaker_recoveries = breaker_.recoveries();
   snap.breaker_state = const_cast<CircuitBreaker&>(breaker_).state();

@@ -51,6 +51,10 @@ struct ServeOptions {
   /// top of the automatic {"instance", <n>} label. The fleet layer sets
   /// {"replica", <id>} here so per-replica series are addressable.
   obs::Labels metric_labels;
+  /// Registry version of the primary model this service serves (0 =
+  /// unversioned). Stamped on every answer so operators can tell which
+  /// version produced it; exported as the serve.model_version gauge.
+  uint64_t model_version = 0;
 
   Status Validate() const;
 };
@@ -66,6 +70,12 @@ struct ServedPrediction {
   size_t attempts = 0;
   /// Admission-to-completion time on the service clock.
   double total_ms = 0.0;
+  /// Registry version of the model that produced this answer (0 =
+  /// unversioned, including every fallback answer).
+  uint64_t model_version = 0;
+  /// When degraded: the version of the primary that failed to answer
+  /// (0 when the answer is not degraded or the primary is unversioned).
+  uint64_t degraded_from_version = 0;
 };
 
 /// Monotonic counter snapshot of the service. Every admitted request ends
@@ -87,6 +97,9 @@ struct ServiceStats {
   uint64_t fallback_failures = 0;
   uint64_t breaker_trips = 0;
   uint64_t breaker_recoveries = 0;
+  /// Version of the primary this service was configured with (the live
+  /// incarnation's version when folded across replica incarnations).
+  uint64_t model_version = 0;
   CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
   /// End-to-end latency of completed requests, ms.
   Histogram latency_ms;

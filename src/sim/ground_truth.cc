@@ -1,0 +1,52 @@
+#include "sim/ground_truth.h"
+
+#include <cmath>
+
+namespace zerotune::sim {
+
+Status GroundTruthOptions::Validate() const {
+  if (!std::isfinite(drift_factor) || drift_factor <= 0.0) {
+    return Status::InvalidArgument(
+        "ground-truth drift_factor must be finite and > 0");
+  }
+  return Status::OK();
+}
+
+GroundTruthStream::GroundTruthStream(CostParams params,
+                                     GroundTruthOptions options)
+    : engine_(params, options.noise_seed),
+      options_(options),
+      options_status_(options.Validate()) {
+  ZT_CHECK_OK(options_status_);
+}
+
+Result<CostMeasurement> GroundTruthStream::Measure(
+    const dsp::ParallelQueryPlan& plan) const {
+  ZT_ASSIGN_OR_RETURN(CostMeasurement m, engine_.Measure(plan));
+  MutexLock lock(mu_);
+  ++measurements_;
+  if (drifted_) {
+    m.latency_ms *= options_.drift_factor;
+    m.throughput_tps /= options_.drift_factor;
+  }
+  return m;
+}
+
+bool GroundTruthStream::SetDrifted(bool drifted) {
+  MutexLock lock(mu_);
+  const bool previous = drifted_;
+  drifted_ = drifted;
+  return previous;
+}
+
+bool GroundTruthStream::drifted() const {
+  MutexLock lock(mu_);
+  return drifted_;
+}
+
+uint64_t GroundTruthStream::measurements() const {
+  MutexLock lock(mu_);
+  return measurements_;
+}
+
+}  // namespace zerotune::sim

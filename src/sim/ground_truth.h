@@ -1,0 +1,67 @@
+#ifndef ZEROTUNE_SIM_GROUND_TRUTH_H_
+#define ZEROTUNE_SIM_GROUND_TRUTH_H_
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "dsp/parallel_plan.h"
+#include "sim/cost_engine.h"
+
+namespace zerotune::sim {
+
+/// Configuration of the drift-able ground-truth stream.
+struct GroundTruthOptions {
+  /// Multiplier applied to measured latency (and divided out of
+  /// throughput) while the stream is drifted — stands in for the cluster
+  /// slowdown / workload shift the live model was not trained on.
+  double drift_factor = 2.0;
+  /// Seed of the engine's plan-keyed measurement noise.
+  uint64_t noise_seed = 0x5eed;
+
+  Status Validate() const;
+};
+
+/// The simulator's stand-in for "what actually happened on the cluster":
+/// CostEngine measurements with an explicitly switchable drift regime.
+///
+/// While undrifted, Measure() is exactly the engine's (deterministically
+/// noisy) measurement. After SetDrifted(true), measured latencies scale by
+/// drift_factor and throughput by 1/drift_factor — the environment changed
+/// but the live model's predictions did not, which is precisely the
+/// q-error trend the DriftDetector is built to catch. Drift is toggled
+/// explicitly (by scenario step count, not wall time), so serve-sim replay
+/// with a fixed --seed is bit-identical regardless of host speed.
+///
+/// Thread-safe.
+class GroundTruthStream {
+ public:
+  explicit GroundTruthStream(CostParams params = {},
+                             GroundTruthOptions options = {});
+
+  /// Measures one plan execution under the current regime.
+  Result<CostMeasurement> Measure(const dsp::ParallelQueryPlan& plan) const;
+
+  /// Switches the drift regime. Returns the previous regime.
+  bool SetDrifted(bool drifted);
+  bool drifted() const;
+
+  /// Executions measured so far (across both regimes).
+  uint64_t measurements() const;
+
+  const CostEngine& engine() const { return engine_; }
+
+ private:
+  const CostEngine engine_;
+  const GroundTruthOptions options_;
+  const Status options_status_;
+
+  mutable Mutex mu_;
+  bool drifted_ ZT_GUARDED_BY(mu_) = false;
+  mutable uint64_t measurements_ ZT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace zerotune::sim
+
+#endif  // ZEROTUNE_SIM_GROUND_TRUTH_H_

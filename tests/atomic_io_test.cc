@@ -72,6 +72,43 @@ TEST(AtomicWriteFileTest, MissingDirectoryFailsWithoutSideEffects) {
   EXPECT_FALSE(fs::exists(path));
 }
 
+TEST(AtomicWriteFileTest, RenameDurabilitySyncsParentDirectory) {
+  // The fsync-parent-dir step must handle both a nested parent and a bare
+  // filename (whose parent is the process CWD, opened as "."). The visible
+  // contract is simply that the write still succeeds and lands; the
+  // durability itself (surviving power loss) cannot be unit-tested, but a
+  // botched directory open/fsync would surface here as an error status.
+  const std::string nested = TempPath("sync_dir/nested/out.txt");
+  fs::remove_all(TempPath("sync_dir"));
+  fs::create_directories(TempPath("sync_dir/nested"));
+  ZT_CHECK_OK(AtomicWriteFile(nested, "durable\n"));
+  EXPECT_EQ(ReadAll(nested), "durable\n");
+
+  const fs::path old_cwd = fs::current_path();
+  fs::current_path(::testing::TempDir());
+  const Status bare = AtomicWriteFile("zt_atomic_bare_name.txt", "cwd\n");
+  const std::string bare_contents = ReadAll("zt_atomic_bare_name.txt");
+  fs::remove("zt_atomic_bare_name.txt");
+  fs::current_path(old_cwd);
+  ZT_CHECK_OK(bare);
+  EXPECT_EQ(bare_contents, "cwd\n");
+}
+
+TEST(AtomicWriteFileTest, RepeatedReplaceInSameDirectoryStaysConsistent) {
+  // Registry-manifest usage pattern: many successive atomic replaces of the
+  // same path. Every intermediate read must observe a complete generation.
+  const std::string path = TempPath("manifest_dir/MANIFEST");
+  fs::remove_all(TempPath("manifest_dir"));
+  fs::create_directories(TempPath("manifest_dir"));
+  for (int gen = 0; gen < 20; ++gen) {
+    const std::string body =
+        "generation " + std::to_string(gen) + "\npayload payload\n";
+    ZT_CHECK_OK(AtomicWriteFile(path, body));
+    EXPECT_EQ(ReadAll(path), body);
+  }
+  EXPECT_EQ(CountMatching(TempPath("manifest_dir"), ""), 1u);
+}
+
 TEST(AtomicWriteStreamTest, CommitsOnlyWhenWriterSucceeds) {
   const std::string path = TempPath("stream.txt");
   fs::remove(path);

@@ -5,6 +5,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <iterator>
@@ -485,6 +486,96 @@ TEST_F(CliWorkflowTest, ServeSimFleetModeIsSeededAndDeterministic) {
                    " --replicas 2 --tenants 0").exit_code,
             0);
 
+  std::remove(plan.c_str());
+}
+
+TEST_F(CliWorkflowTest, AdaptCommandManagesRegistryLifecycle) {
+  const std::string reg = TempPath("adapt_cmd_reg");
+  std::filesystem::remove_all(reg);
+
+  auto r = RunCli("adapt --registry " + reg + " --init-from " +
+                  TempPath("model.txt") + " --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"live_version\": 1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"source\": \"initial\""), std::string::npos)
+      << r.output;
+
+  // Plain listing (human table) shows the live version.
+  r = RunCli("adapt --registry " + reg);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("live"), std::string::npos) << r.output;
+
+  // v1 was trained from scratch: there is no parent to roll back to.
+  EXPECT_NE(RunCli("adapt --registry " + reg + " --rollback").exit_code, 0);
+  // The live version is not a candidate and cannot be rejected.
+  EXPECT_NE(RunCli("adapt --registry " + reg + " --reject 1").exit_code, 0);
+  // --registry is mandatory.
+  EXPECT_NE(RunCli("adapt").exit_code, 0);
+
+  std::filesystem::remove_all(reg);
+}
+
+TEST_F(CliWorkflowTest, ServeSimAdaptDrillIsSeededAndDeterministic) {
+  const std::string plan = TempPath("adapt.plan");
+  auto r = RunCli("tune --model " + TempPath("model.txt") + " --query " +
+                  TempPath("q.plan") + " --cluster m510:3 --out " + plan);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string reg1 = TempPath("adapt_reg1");
+  const std::string reg2 = TempPath("adapt_reg2");
+  std::filesystem::remove_all(reg1);
+  std::filesystem::remove_all(reg2);
+
+  // The full online-adaptation drill: ground truth drifts 3x at request
+  // 100, the worker fine-tunes, shadow-scores, promotes, and rolls the
+  // new version across the fleet — all on the FakeClock (--threads 0),
+  // all derived from the one root --seed.
+  const std::string args =
+      " --requests 400 --threads 0 --replicas 2 --tenants 8"
+      " --adapt-every 32 --drift-after 100 --drift-factor 3"
+      " --seed 9 --format json";
+  r = RunCli("serve-sim --plan " + plan + " --model " + TempPath("model.txt") +
+             " --adapt --registry " + reg1 + args);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"mode\": \"adapt\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"initial_version\": 1"), std::string::npos)
+      << r.output;
+  // The drill adapted: at least one fine-tune ran and nothing errored.
+  EXPECT_EQ(r.output.find("\"finetunes\": 0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"tick_errors\": 0"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"availability\": 1"), std::string::npos)
+      << r.output;
+
+  // Byte-identical replay from the same seed — even into a different
+  // (fresh) registry directory.
+  const auto replay =
+      RunCli("serve-sim --plan " + plan + " --model " + TempPath("model.txt") +
+             " --adapt --registry " + reg2 + args);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_EQ(r.output, replay.output) << "seeded adapt drill is not replayable";
+
+  // The adapt command inspects what the drill left behind.
+  r = RunCli("adapt --registry " + reg1 + " --format json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"state\": \"live\""), std::string::npos)
+      << r.output;
+
+  // --adapt needs both a model and a registry.
+  EXPECT_NE(RunCli("serve-sim --plan " + plan + " --adapt --registry " +
+                   reg1 + " --requests 10 --threads 0 --replicas 2")
+                .exit_code,
+            0);
+  EXPECT_NE(RunCli("serve-sim --plan " + plan + " --model " +
+                   TempPath("model.txt") + " --adapt --requests 10"
+                   " --threads 0 --replicas 2")
+                .exit_code,
+            0);
+
+  std::filesystem::remove_all(reg1);
+  std::filesystem::remove_all(reg2);
   std::remove(plan.c_str());
 }
 

@@ -1,0 +1,297 @@
+#include "core/registry/model_registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+namespace zerotune::core::registry {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test directory under the gtest temp root; wiped on entry so
+// reruns never see stale state.
+std::string FreshRoot(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/zt_registry_" + name;
+  fs::remove_all(root);
+  return root;
+}
+
+ZeroTuneModel SmallModel(uint64_t seed = 1) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.seed = seed;
+  return ZeroTuneModel(cfg);
+}
+
+VersionInfo Provenance(const std::string& source, uint64_t parent = 0) {
+  VersionInfo info;
+  info.source = source;
+  info.parent = parent;
+  return info;
+}
+
+TEST(ModelRegistryTest, OpenFreshRegistryCommitsEmptyManifest) {
+  const std::string root = FreshRoot("fresh");
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok()) << reg.status().message();
+  EXPECT_EQ(reg.value()->live_version(), 0u);
+  EXPECT_TRUE(reg.value()->Versions().empty());
+  EXPECT_TRUE(reg.value()->Quarantined().empty());
+  // The registry's existence itself is durable: a second Open sees the
+  // manifest, not just an empty directory.
+  EXPECT_TRUE(fs::exists(fs::path(root) / "MANIFEST"));
+}
+
+TEST(ModelRegistryTest, PublishPromoteLifecycle) {
+  const std::string root = FreshRoot("lifecycle");
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok());
+
+  ZeroTuneModel m1 = SmallModel(1);
+  auto id1 = reg.value()->Publish(&m1, Provenance("initial"));
+  ASSERT_TRUE(id1.ok()) << id1.status().message();
+  EXPECT_EQ(id1.value(), 1u);
+  EXPECT_EQ(m1.version(), 1u);  // Publish stamps the model
+  EXPECT_EQ(reg.value()->live_version(), 0u);  // still a candidate
+
+  ASSERT_TRUE(reg.value()->Promote(id1.value(), 1.5).ok());
+  EXPECT_EQ(reg.value()->live_version(), 1u);
+
+  ZeroTuneModel m2 = SmallModel(2);
+  auto id2 = reg.value()->Publish(&m2, Provenance("finetune", id1.value()));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id2.value(), 2u);
+  ASSERT_TRUE(reg.value()->Promote(id2.value(), 1.2).ok());
+  EXPECT_EQ(reg.value()->live_version(), 2u);
+
+  const auto versions = reg.value()->Versions();
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].state, VersionState::kRetired);
+  EXPECT_EQ(versions[1].state, VersionState::kLive);
+  EXPECT_EQ(versions[1].parent, 1u);
+  EXPECT_DOUBLE_EQ(versions[1].median_qerror, 1.2);
+  EXPECT_LT(versions[0].created_seq, versions[1].created_seq);
+
+  // Retired versions stay loadable (rollback target), and the cached
+  // handle reports the id the artifact was stamped with.
+  auto retired = reg.value()->LoadVersion(1);
+  ASSERT_TRUE(retired.ok());
+  EXPECT_EQ(retired.value()->version(), 1u);
+}
+
+TEST(ModelRegistryTest, RollbackDemotesLiveAndRevivesParent) {
+  const std::string root = FreshRoot("rollback");
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok());
+  ZeroTuneModel m1 = SmallModel(1), m2 = SmallModel(2);
+  auto id1 = reg.value()->Publish(&m1, Provenance("initial"));
+  ASSERT_TRUE(id1.ok());
+  ZT_CHECK_OK(reg.value()->Promote(id1.value(), 2.0));
+  auto id2 = reg.value()->Publish(&m2, Provenance("finetune", id1.value()));
+  ASSERT_TRUE(id2.ok());
+  ZT_CHECK_OK(reg.value()->Promote(id2.value(), 1.1));
+
+  auto back = reg.value()->Rollback();
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value(), 1u);
+  EXPECT_EQ(reg.value()->live_version(), 1u);
+  const auto versions = reg.value()->Versions();
+  EXPECT_EQ(versions[0].state, VersionState::kLive);
+  EXPECT_EQ(versions[1].state, VersionState::kRejected);
+  // The rejected version is gone as a dependency target.
+  EXPECT_FALSE(reg.value()->LoadVersion(2).ok());
+
+  // v1 was trained from scratch (parent 0): nothing left to roll back to.
+  EXPECT_FALSE(reg.value()->Rollback().ok());
+}
+
+TEST(ModelRegistryTest, RejectIsCandidateOnly) {
+  const std::string root = FreshRoot("reject");
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok());
+  ZeroTuneModel m1 = SmallModel(1), m2 = SmallModel(2);
+  auto id1 = reg.value()->Publish(&m1, Provenance("initial"));
+  ASSERT_TRUE(id1.ok());
+  ZT_CHECK_OK(reg.value()->Promote(id1.value(), 0.0));
+  auto id2 = reg.value()->Publish(&m2, Provenance("finetune", id1.value()));
+  ASSERT_TRUE(id2.ok());
+
+  // Rejecting the shadow-failed candidate works and is idempotent.
+  ASSERT_TRUE(reg.value()->Reject(id2.value()).ok());
+  ASSERT_TRUE(reg.value()->Reject(id2.value()).ok());
+  EXPECT_FALSE(reg.value()->LoadVersion(id2.value()).ok());
+  // Rejected versions can never come back.
+  EXPECT_FALSE(reg.value()->Promote(id2.value(), 1.0).ok());
+  // The live version cannot be rejected (that is what Rollback is for).
+  EXPECT_FALSE(reg.value()->Reject(id1.value()).ok());
+  EXPECT_EQ(reg.value()->live_version(), 1u);
+}
+
+TEST(ModelRegistryTest, ReopenSeesCommittedStateAndNeverReusesIds) {
+  const std::string root = FreshRoot("reopen");
+  {
+    auto reg = ModelRegistry::Open(root);
+    ASSERT_TRUE(reg.ok());
+    ZeroTuneModel m1 = SmallModel(1), m2 = SmallModel(2);
+    auto id1 = reg.value()->Publish(&m1, Provenance("initial"));
+    ASSERT_TRUE(id1.ok());
+    ZT_CHECK_OK(reg.value()->Promote(id1.value(), 1.7));
+    auto id2 = reg.value()->Publish(&m2, Provenance("finetune", 1));
+    ASSERT_TRUE(id2.ok());
+    ZT_CHECK_OK(reg.value()->Reject(id2.value()));
+  }  // drop the handle: everything below comes from disk
+
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok()) << reg.status().message();
+  EXPECT_EQ(reg.value()->live_version(), 1u);
+  const auto versions = reg.value()->Versions();
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].state, VersionState::kLive);
+  EXPECT_DOUBLE_EQ(versions[0].median_qerror, 1.7);
+  EXPECT_EQ(versions[1].state, VersionState::kRejected);
+  EXPECT_EQ(versions[1].source, "finetune");
+  auto live = reg.value()->LoadVersion(1);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value()->version(), 1u);
+
+  // The rejected id 2 is burned: the next publish gets 3, so an artifact
+  // directory can never be silently re-pointed at different weights.
+  ZeroTuneModel m3 = SmallModel(3);
+  auto id3 = reg.value()->Publish(&m3, Provenance("finetune", 1));
+  ASSERT_TRUE(id3.ok());
+  EXPECT_EQ(id3.value(), 3u);
+}
+
+TEST(ModelRegistryTest, CorruptManifestMagicIsHardErrorNamingFile) {
+  const std::string root = FreshRoot("badmagic");
+  fs::create_directories(root);
+  const std::string manifest = (fs::path(root) / "MANIFEST").string();
+  std::ofstream(manifest) << "not-a-registry\nlive 1\n";
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_FALSE(reg.ok());
+  EXPECT_NE(reg.status().message().find(manifest), std::string::npos)
+      << reg.status().message();
+  EXPECT_NE(reg.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(ModelRegistryTest, TruncatedManifestVersionLineIsHardError) {
+  const std::string root = FreshRoot("truncmanifest");
+  fs::create_directories(root);
+  const std::string manifest = (fs::path(root) / "MANIFEST").string();
+  std::ofstream(manifest) << "zerotune-registry-v1\n"
+                          << "live 0\nnext-id 2\nnext-seq 2\n"
+                          << "version 1 candidate\n";  // fields missing
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_FALSE(reg.ok());
+  EXPECT_NE(reg.status().message().find("truncated version line"),
+            std::string::npos)
+      << reg.status().message();
+  EXPECT_NE(reg.status().message().find(manifest), std::string::npos);
+}
+
+TEST(ModelRegistryTest, ManifestLivePointerMustMatchVersionState) {
+  const std::string root = FreshRoot("badlive");
+  fs::create_directories(root);
+  std::ofstream((fs::path(root) / "MANIFEST").string())
+      << "zerotune-registry-v1\n"
+      << "live 7\nnext-id 2\nnext-seq 2\n"
+      << "version 1 candidate 0 1 0 initial\n";
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_FALSE(reg.ok());
+  EXPECT_NE(reg.status().message().find("live version 7"), std::string::npos)
+      << reg.status().message();
+}
+
+TEST(ModelRegistryTest, MissingArtifactIsQuarantinedNamingFile) {
+  const std::string root = FreshRoot("missingartifact");
+  std::string artifact;
+  {
+    auto reg = ModelRegistry::Open(root);
+    ASSERT_TRUE(reg.ok());
+    ZeroTuneModel m = SmallModel(1);
+    auto id = reg.value()->Publish(&m, Provenance("initial"));
+    ASSERT_TRUE(id.ok());
+    ZT_CHECK_OK(reg.value()->Promote(id.value(), 1.0));
+    artifact = reg.value()->VersionPath(id.value());
+  }
+  fs::remove(artifact);
+
+  // Open still succeeds: one damaged version must not take down the whole
+  // registry. The version is quarantined with its artifact named, and the
+  // live pointer falls back to "none" rather than a model we cannot load.
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok()) << reg.status().message();
+  EXPECT_EQ(reg.value()->live_version(), 0u);
+  const auto quarantined = reg.value()->Quarantined();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].id, 1u);
+  EXPECT_EQ(quarantined[0].file, artifact);
+  auto load = reg.value()->LoadVersion(1);
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.status().message().find("quarantined"), std::string::npos);
+  EXPECT_NE(load.status().message().find(artifact), std::string::npos);
+  EXPECT_FALSE(reg.value()->Promote(1, 1.0).ok());
+}
+
+TEST(ModelRegistryTest, TruncatedArtifactIsQuarantined) {
+  const std::string root = FreshRoot("truncartifact");
+  std::string artifact;
+  {
+    auto reg = ModelRegistry::Open(root);
+    ASSERT_TRUE(reg.ok());
+    ZeroTuneModel m = SmallModel(1);
+    auto id = reg.value()->Publish(&m, Provenance("initial"));
+    ASSERT_TRUE(id.ok());
+    artifact = reg.value()->VersionPath(id.value());
+  }
+  // Keep only the first kilobyte — a torn write the atomic manifest commit
+  // cannot prevent (the artifact itself crashed mid-copy, say).
+  std::string head(1024, '\0');
+  {
+    std::ifstream in(artifact, std::ios::binary);
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+    head.resize(static_cast<size_t>(in.gcount()));
+  }
+  std::ofstream(artifact, std::ios::binary | std::ios::trunc) << head;
+
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok()) << reg.status().message();
+  const auto quarantined = reg.value()->Quarantined();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].file, artifact);
+  EXPECT_FALSE(quarantined[0].reason.empty());
+  EXPECT_FALSE(reg.value()->LoadVersion(1).ok());
+}
+
+TEST(ModelRegistryTest, RejectedVersionsSkipArtifactValidation) {
+  // A rejected version's artifact is post-mortem material: deleting it
+  // must not produce quarantine noise at the next Open.
+  const std::string root = FreshRoot("rejectedskip");
+  std::string artifact;
+  {
+    auto reg = ModelRegistry::Open(root);
+    ASSERT_TRUE(reg.ok());
+    ZeroTuneModel m = SmallModel(1);
+    auto id = reg.value()->Publish(&m, Provenance("initial"));
+    ASSERT_TRUE(id.ok());
+    ZT_CHECK_OK(reg.value()->Reject(id.value()));
+    artifact = reg.value()->VersionPath(id.value());
+  }
+  fs::remove(artifact);
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_TRUE(reg.value()->Quarantined().empty());
+}
+
+TEST(ModelRegistryTest, LoadVersionFailsForUnknownId) {
+  const std::string root = FreshRoot("unknown");
+  auto reg = ModelRegistry::Open(root);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_FALSE(reg.value()->LoadVersion(99).ok());
+  EXPECT_FALSE(reg.value()->Promote(99, 1.0).ok());
+  EXPECT_FALSE(reg.value()->Reject(99).ok());
+}
+
+}  // namespace
+}  // namespace zerotune::core::registry

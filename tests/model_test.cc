@@ -1,6 +1,7 @@
 #include "core/model.h"
 
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 
 namespace zerotune::core {
@@ -91,6 +92,50 @@ TEST(ZeroTuneModelTest, SaveLoadRoundTrip) {
   EXPECT_DOUBLE_EQ(b.target_stats().latency_mean, 2.5);
   const PlanGraph g = BuildPlanGraph(SmallPlan());
   EXPECT_DOUBLE_EQ(a.Forward(g)->value(0, 1), b.Forward(g)->value(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(ZeroTuneModelTest, VersionRoundTripsThroughSaveLoad) {
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel a(cfg);
+  a.set_version(42);
+  const std::string path = ::testing::TempDir() + "/zt_model_version.txt";
+  ASSERT_TRUE(a.Save(path).ok());
+
+  ZeroTuneModel b(cfg);
+  EXPECT_EQ(b.version(), 0u);
+  ASSERT_TRUE(b.Load(path).ok());
+  EXPECT_EQ(b.version(), 42u);
+
+  auto c = ZeroTuneModel::LoadFromFile(path);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->version(), 42u);
+  std::remove(path.c_str());
+}
+
+TEST(ZeroTuneModelTest, PreVersioningFilesLoadAsVersionZero) {
+  // A file saved before the model-version line existed must still load
+  // (the metadata line is optional) and report version 0.
+  ModelConfig cfg;
+  cfg.hidden_dim = 16;
+  ZeroTuneModel a(cfg);
+  const std::string path = ::testing::TempDir() + "/zt_model_unversioned.txt";
+  ASSERT_TRUE(a.Save(path).ok());
+  // Strip the "model-version N" line to simulate the old format.
+  std::ifstream in(path);
+  std::string line, stripped;
+  while (std::getline(in, line)) {
+    if (line.rfind("model-version ", 0) == 0) continue;
+    stripped += line + "\n";
+  }
+  in.close();
+  std::ofstream(path) << stripped;
+
+  ZeroTuneModel b(cfg);
+  b.set_version(7);  // Load must reset, not keep, the in-memory version
+  ASSERT_TRUE(b.Load(path).ok());
+  EXPECT_EQ(b.version(), 0u);
   std::remove(path.c_str());
 }
 

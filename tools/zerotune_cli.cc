@@ -57,6 +57,24 @@
 //                          restarting crashed replicas. --threads 0 runs
 //                          inline on a FakeClock: bit-deterministic
 //                          output for a given --seed)
+//   zerotune_cli serve-sim ... --adapt --model model.txt --registry DIR
+//                         --replicas N [--adapt-every 64]
+//                         [--drift-after 0] [--drift-factor 2]
+//                         [--plan-variants 4]
+//                         (adaptation drill: requests are answered by the
+//                          registry's live version while a simulated
+//                          ground-truth stream labels every execution;
+//                          after --drift-after requests the ground truth
+//                          drifts by --drift-factor, the drift detector
+//                          trips, the worker fine-tunes, shadow-scores,
+//                          and rolls the promoted version across the
+//                          fleet. All adaptation randomness derives from
+//                          --seed, so inline runs replay bit-identically)
+//   zerotune_cli adapt    --registry DIR [--init-from model.txt]
+//                         [--promote ID | --rollback | --reject ID]
+//                         [--format json]
+//                         (inspect or mutate a model registry: no action
+//                          flag lists versions and quarantined artifacts)
 //
 // predict/tune/recover accept --deadline-ms BUDGET; exhausting the budget
 // exits with code 3 and, under --format json, a partial object carrying
@@ -69,6 +87,7 @@
 //                        (load in chrome://tracing or ui.perfetto.dev)
 // Both files are written atomically after the command runs, even when it
 // fails — a failed run's metrics are exactly what you want to look at.
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <iostream>
@@ -82,6 +101,7 @@
 #include "analysis/plan_linter.h"
 #include "common/clock.h"
 #include "common/flags.h"
+#include "common/statistics.h"
 #include "common/table.h"
 #include "core/oracle_predictor.h"
 #include "core/dataset_builder.h"
@@ -96,6 +116,8 @@
 #include "dsp/query_dsl.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "core/registry/model_registry.h"
+#include "serve/adaptation/worker.h"
 #include "serve/chaos_predictor.h"
 #include "serve/fleet/controller.h"
 #include "serve/fleet/fleet.h"
@@ -103,6 +125,7 @@
 #include "serve/prediction_service.h"
 #include "sim/cost_report.h"
 #include "sim/event_simulator.h"
+#include "sim/ground_truth.h"
 #include "workload/dataset_io.h"
 
 namespace zerotune {
@@ -141,7 +164,9 @@ void PrintUsage() {
       "  explain   feature attributions for a prediction\n"
       "  lint      static semantic checks on a plan file\n"
       "  serve-sim replay a request trace through the resilient\n"
-      "            prediction service (chaos, breaker, deadlines)\n"
+      "            prediction service (chaos, breaker, deadlines;\n"
+      "            --adapt runs the online adaptation drill)\n"
+      "  adapt     inspect or mutate an on-disk model registry\n"
       "  dot       Graphviz rendering of a plan\n"
       "  help      this message\n\n"
       "run a command with wrong flags to see its flag list.\n";
@@ -461,7 +486,8 @@ int CmdPredict(const FlagParser& flags) {
     }
     if (format == OutputFormat::kJson) {
       std::ostringstream os;
-      os << "{\"predictions\": [";
+      os << "{\"model_version\": " << model.value()->version()
+         << ", \"predictions\": [";
       for (size_t i = 0; i < costs.size(); ++i) {
         const core::CostPrediction& p = costs[i];
         os << (i > 0 ? ", " : "") << "{\"plan\": \"" << JsonEscape(paths[i])
@@ -505,7 +531,9 @@ int CmdPredict(const FlagParser& flags) {
     std::cout << "{\"plan\": \"" << JsonEscape(plan_path)
               << "\", \"latency_ms\": " << JsonNum(cost.value().latency_ms)
               << ", \"throughput_tps\": "
-              << JsonNum(cost.value().throughput_tps) << "}\n";
+              << JsonNum(cost.value().throughput_tps)
+              << ", \"model_version\": " << model.value()->version()
+              << "}\n";
     return 0;
   }
   std::cout << "predicted latency:    "
@@ -513,6 +541,10 @@ int CmdPredict(const FlagParser& flags) {
             << "predicted throughput: "
             << TextTable::Fmt(cost.value().throughput_tps, 0)
             << " tuples/s\n";
+  if (model.value()->version() > 0) {
+    std::cout << "model version:        " << model.value()->version()
+              << "\n";
+  }
   return 0;
 }
 
@@ -583,7 +615,8 @@ int CmdTune(const FlagParser& flags) {
               << tuned.value().candidates_rejected
               << ", \"candidates_prescreened\": "
               << tuned.value().candidates_prescreened
-              << ", \"prescreen_kept\": " << tuned.value().prescreen_kept;
+              << ", \"prescreen_kept\": " << tuned.value().prescreen_kept
+              << ", \"model_version\": " << model.value()->version();
     if (!deadline.infinite()) {
       std::cout << ", \"deadline_exceeded\": "
                 << (tuned.value().deadline_hit ? "true" : "false");
@@ -1069,6 +1102,247 @@ int RunFleetServeSim(OutputFormat format, const dsp::ParallelQueryPlan& plan,
   return 0;
 }
 
+/// serve-sim --adapt configuration (see RunAdaptServeSim).
+struct AdaptSimConfig {
+  std::string registry_path;
+  size_t adapt_every = 64;
+  size_t drift_after = 0;  // 0 = never drift
+  double drift_factor = 2.0;
+  size_t plan_variants = 4;
+};
+
+/// Adaptation drill of serve-sim: the registry's live version serves a
+/// fleet while a simulated ground-truth stream labels every execution.
+/// After --drift-after requests the ground truth drifts, the live model's
+/// q-errors trip the drift detector, and the AdaptationWorker fine-tunes,
+/// shadow-scores, promotes and rolls the new version across the fleet
+/// (or rejects / rolls back). Every random stream — fine-tune shuffling,
+/// ground-truth noise, plan variants, tenants — derives from --seed, so
+/// inline runs (--threads 0) replay bit-identically.
+int RunAdaptServeSim(OutputFormat format, const dsp::ParallelQueryPlan& plan,
+                     core::ZeroTuneModel* model,
+                     const core::CostPredictor* fallback,
+                     const serve::ServeOptions& sopts,
+                     const FleetSimConfig& cfg, const AdaptSimConfig& acfg) {
+  using serve::fleet::DeriveSeed;
+  using serve::fleet::Mix64;
+  namespace adaptation = serve::adaptation;
+
+  std::unique_ptr<FakeClock> fake;
+  std::unique_ptr<ThreadPool> pool;
+  if (cfg.threads > 0) {
+    pool = std::make_unique<ThreadPool>(cfg.threads);
+  } else {
+    fake = std::make_unique<FakeClock>();
+  }
+  Clock* clock = fake != nullptr ? static_cast<Clock*>(fake.get())
+                                 : SystemClock::Default();
+
+  ZT_ASSIGN_OR_RETURN_CLI(
+      std::unique_ptr<core::registry::ModelRegistry> registry,
+      core::registry::ModelRegistry::Open(acfg.registry_path));
+  if (registry->live_version() == 0) {
+    // First run against this registry: the --model becomes version 1.
+    core::registry::VersionInfo info;
+    info.source = "initial";
+    ZT_ASSIGN_OR_RETURN_CLI(const uint64_t initial,
+                            registry->Publish(model, info));
+    const Status promoted = registry->Promote(initial, 0.0);
+    if (!promoted.ok()) return Fail(promoted);
+  }
+  const uint64_t live_id = registry->live_version();
+  ZT_ASSIGN_OR_RETURN_CLI(std::shared_ptr<const core::ZeroTuneModel> live,
+                          registry->LoadVersion(live_id));
+
+  serve::fleet::FleetOptions fopts;
+  fopts.initial_replicas = cfg.replicas;
+  fopts.replica = sopts;
+  fopts.replica.model_version = live_id;
+  fopts.hedge.enabled = cfg.hedge;
+  auto factory = [live](uint32_t) -> std::unique_ptr<const core::CostPredictor> {
+    return std::make_unique<adaptation::SharedModelPredictor>(live);
+  };
+  serve::fleet::PredictionFleet fleet(factory, fallback, fopts, pool.get(),
+                                      clock);
+
+  serve::fleet::ControllerOptions ctl;
+  ctl.min_replicas = cfg.replicas;
+  ctl.max_replicas = cfg.replicas;
+  ctl.restart_delay_ms = cfg.restart_delay_ms;
+  serve::fleet::FleetController controller(&fleet, ctl, clock);
+
+  sim::GroundTruthOptions gopts;
+  gopts.drift_factor = acfg.drift_factor;
+  gopts.noise_seed = DeriveSeed(cfg.root_seed, 6);
+  sim::GroundTruthStream truth({}, gopts);
+
+  // Windows sized for a CLI drill: trip within tens of drifted requests,
+  // decide the shadow race within ~a hundred mirrored executions.
+  adaptation::AdaptationOptions aopts;
+  aopts.seed = DeriveSeed(cfg.root_seed, 5);
+  aopts.drift.window = 32;
+  aopts.drift.min_samples = 8;
+  aopts.shadow.min_samples = 16;
+  aopts.shadow.max_samples = 128;
+  aopts.min_pairs = 16;
+  aopts.max_pairs = 256;
+  aopts.rollout.pause_ms = 1.0;
+  aopts.rollout.min_answers = 8;
+  aopts.rollout.max_wait_ms = 64.0;
+  adaptation::AdaptationWorker worker(registry.get(), &fleet, aopts, clock);
+
+  // Plan variants diversify the drift window and the fine-tune set; the
+  // variant stream is seeded, so the set is identical across replays.
+  std::vector<dsp::ParallelQueryPlan> variants;
+  variants.push_back(plan);
+  {
+    Rng vrng(DeriveSeed(cfg.root_seed, 7));
+    const core::RandomEnumerator enumerator;
+    while (variants.size() < acfg.plan_variants) {
+      dsp::ParallelQueryPlan variant = plan;
+      if (!enumerator.Assign(&variant, &vrng).ok() ||
+          !variant.Validate().ok()) {
+        break;  // keep whatever diversity we got
+      }
+      variants.push_back(std::move(variant));
+    }
+  }
+
+  const uint64_t tenant_stream = DeriveSeed(cfg.root_seed, 3);
+  const uint64_t variant_stream = DeriveSeed(cfg.root_seed, 7) ^ 0xada97;
+  const int64_t t_start = clock->NowNanos();
+  uint64_t tick_errors = 0;
+  // Served q-errors under the drifted regime, bucketed by adaptation
+  // progress: before the loop promotes a version fine-tuned on drifted
+  // traffic vs after — the before/after the bench report tracks.
+  std::vector<double> qe_drifted, qe_adapted;
+  uint64_t promotions_seen = 0;
+  uint64_t promotions_at_drift = 0;
+  serve::fleet::FleetRequest req;
+  req.deadline_ms = cfg.deadline_ms;
+  for (size_t i = 0; i < cfg.requests; ++i) {
+    if (acfg.drift_after > 0 && i == acfg.drift_after) {
+      (void)truth.SetDrifted(true);
+      promotions_at_drift = promotions_seen;
+    }
+    const dsp::ParallelQueryPlan& p =
+        variants[Mix64(variant_stream ^ i) % variants.size()];
+    req.tenant = "t" + std::to_string(Mix64(tenant_stream ^ i) % cfg.tenants);
+    req.plan = &p;
+    const Result<serve::fleet::FleetPrediction> answer = fleet.Predict(req);
+    if (fake != nullptr) fake->AdvanceMillis(0.05);
+    if (answer.ok()) {
+      const Result<sim::CostMeasurement> actual = truth.Measure(p);
+      if (actual.ok()) {
+        const adaptation::ObservedExecution exec{
+            p, answer.value().served.cost.latency_ms,
+            actual.value().latency_ms, actual.value().throughput_tps,
+            "workload"};
+        worker.Observe(exec);
+        if (truth.drifted()) {
+          const double qe = QError(exec.actual_latency_ms,
+                                   exec.predicted_latency_ms);
+          if (promotions_seen > promotions_at_drift) {
+            qe_adapted.push_back(qe);
+          } else {
+            qe_drifted.push_back(qe);
+          }
+        }
+      }
+    }
+    if ((i + 1) % acfg.adapt_every == 0) {
+      if (!worker.Tick().ok()) ++tick_errors;
+      promotions_seen = worker.snapshot().promotions;
+    }
+    if ((i + 1) % 256 == 0) (void)controller.Tick();
+  }
+  // Drain an in-flight rollout so the run ends in a settled state: with
+  // no more traffic the rollout judges each remaining replica at its
+  // max_wait timeout (0 answers = healthy).
+  for (int guard = 0;
+       worker.state() == adaptation::AdaptationWorker::State::kRollingOut &&
+       guard < 10000;
+       ++guard) {
+    if (fake != nullptr) fake->AdvanceMillis(aopts.rollout.max_wait_ms);
+    if (!worker.Tick().ok()) ++tick_errors;
+  }
+  if (pool != nullptr) pool->Wait();
+
+  const serve::fleet::FleetStats stats = fleet.Snapshot();
+  const adaptation::AdaptationWorker::Stats astats = worker.snapshot();
+  const double wall_s = clock->MillisSince(t_start) / 1000.0;
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(cfg.requests) / wall_s : 0.0;
+  const auto median_of = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double qerror_drifted = median_of(qe_drifted);
+  const double qerror_adapted = median_of(qe_adapted);
+  const double last_rollout_ms =
+      worker.rollout() != nullptr ? worker.rollout()->last_duration_ms()
+                                  : 0.0;
+  const auto adaptation_json = [&] {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"initial_version\": " << live_id
+       << ", \"live_version\": " << astats.live_version
+       << ", \"finetunes\": " << astats.finetunes
+       << ", \"promotions\": " << astats.promotions
+       << ", \"rejections\": " << astats.rejections
+       << ", \"rollbacks\": " << astats.rollbacks
+       << ", \"drift_observations\": " << astats.drift_observations
+       << ", \"buffered_pairs\": " << astats.buffered_pairs
+       << ", \"state\": \""
+       << adaptation::AdaptationWorker::ToString(astats.state)
+       << "\", \"registry_versions\": " << registry->Versions().size()
+       << ", \"quarantined\": " << registry->Quarantined().size()
+       << ", \"ground_truth_drifted\": "
+       << (truth.drifted() ? "true" : "false")
+       << ", \"median_qerror_drifted\": " << qerror_drifted
+       << ", \"median_qerror_adapted\": " << qerror_adapted
+       << ", \"last_rollout_ms\": " << last_rollout_ms
+       << ", \"tick_errors\": " << tick_errors << "}";
+    return os.str();
+  };
+  if (format == OutputFormat::kJson) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"mode\": \"adapt\", \"replicas\": " << cfg.replicas
+       << ", \"requests\": " << cfg.requests
+       << ", \"threads\": " << cfg.threads
+       << ", \"plan_variants\": " << variants.size()
+       << ", \"adapt_every\": " << acfg.adapt_every
+       << ", \"drift_after\": " << acfg.drift_after
+       << ", \"drift_factor\": " << acfg.drift_factor
+       << ", \"seed\": " << cfg.root_seed << ", \"wall_s\": " << wall_s
+       << ", \"rps\": " << rps
+       << ", \"adaptation\": " << adaptation_json()
+       << ", \"stats\": " << stats.ToJson() << "}";
+    std::cout << os.str() << "\n";
+  } else {
+    std::cout << "adaptation drill: " << cfg.requests << " request(s), "
+              << variants.size() << " plan variant(s), drift after "
+              << acfg.drift_after << " (factor "
+              << TextTable::Fmt(acfg.drift_factor) << ")\n"
+              << "versions: initial " << live_id << " -> live "
+              << astats.live_version << "; " << astats.finetunes
+              << " fine-tune(s), " << astats.promotions
+              << " promotion(s), " << astats.rejections
+              << " rejection(s), " << astats.rollbacks
+              << " rollback(s), state "
+              << adaptation::AdaptationWorker::ToString(astats.state)
+              << "\n"
+              << "median q-error: drifted " << TextTable::Fmt(qerror_drifted)
+              << " -> adapted " << TextTable::Fmt(qerror_adapted)
+              << "; last rollout " << TextTable::Fmt(last_rollout_ms)
+              << " ms\n"
+              << stats.ToText();
+  }
+  return 0;
+}
+
 int CmdServeSim(const FlagParser& flags) {
   const std::string plan_path = flags.GetString("plan");
   if (plan_path.empty()) {
@@ -1154,6 +1428,50 @@ int CmdServeSim(const FlagParser& flags) {
   sopts.default_deadline_ms = deadline_ms;
   sopts.max_attempts = static_cast<size_t>(attempts);
   sopts.seed = serve::fleet::DeriveSeed(root_seed, 2);
+  sopts.model_version = model != nullptr ? model->version() : 0;
+
+  if (flags.GetBool("adapt")) {
+    const std::string registry_path = flags.GetString("registry");
+    if (model == nullptr || registry_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--adapt requires --model and --registry"));
+    }
+    if (replicas < 1) {
+      return Fail(Status::InvalidArgument(
+          "--adapt requires --replicas >= 1 (the promoted version rolls "
+          "across a fleet)"));
+    }
+    AdaptSimConfig acfg;
+    acfg.registry_path = registry_path;
+    ZT_ASSIGN_OR_RETURN_CLI(const int64_t adapt_every,
+                            flags.GetInt("adapt-every", 64));
+    ZT_ASSIGN_OR_RETURN_CLI(const int64_t drift_after,
+                            flags.GetInt("drift-after", 0));
+    ZT_ASSIGN_OR_RETURN_CLI(acfg.drift_factor,
+                            flags.GetDouble("drift-factor", 2.0));
+    ZT_ASSIGN_OR_RETURN_CLI(const int64_t plan_variants,
+                            flags.GetInt("plan-variants", 4));
+    if (adapt_every < 1 || drift_after < 0 || plan_variants < 1) {
+      return Fail(Status::InvalidArgument(
+          "--adapt-every and --plan-variants must be >= 1, "
+          "--drift-after >= 0"));
+    }
+    acfg.adapt_every = static_cast<size_t>(adapt_every);
+    acfg.drift_after = static_cast<size_t>(drift_after);
+    acfg.plan_variants = static_cast<size_t>(plan_variants);
+
+    FleetSimConfig cfg;
+    cfg.requests = static_cast<size_t>(requests);
+    cfg.threads = static_cast<size_t>(threads);
+    cfg.replicas = static_cast<size_t>(replicas);
+    cfg.tenants = static_cast<size_t>(tenants);
+    cfg.restart_delay_ms = restart_delay_ms;
+    cfg.hedge = !flags.GetBool("no-hedge");
+    cfg.deadline_ms = deadline_ms;
+    cfg.root_seed = root_seed;
+    return RunAdaptServeSim(format, plan.value(), model.get(), &fallback,
+                            sopts, cfg, acfg);
+  }
 
   if (replicas > 0) {
     FleetSimConfig cfg;
@@ -1211,6 +1529,103 @@ int CmdServeSim(const FlagParser& flags) {
               << chaos.injected_failures() << " injected failure(s)\n"
               << stats.ToText() << "\nmetrics registry:\n"
               << obs::MetricsRegistry::Global()->ToText();
+  }
+  return 0;
+}
+
+/// Registry maintenance: list versions, seed an initial version from a
+/// model file, promote/reject a candidate, roll back the live version.
+int CmdAdapt(const FlagParser& flags) {
+  const std::string registry_path = flags.GetString("registry");
+  if (registry_path.empty()) {
+    return Fail(Status::InvalidArgument("--registry is required"));
+  }
+  ZT_ASSIGN_OR_RETURN_CLI(const OutputFormat format, ParseFormat(flags));
+  ZT_ASSIGN_OR_RETURN_CLI(
+      std::unique_ptr<core::registry::ModelRegistry> registry,
+      core::registry::ModelRegistry::Open(registry_path));
+
+  const std::string init_from = flags.GetString("init-from");
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t promote_id,
+                          flags.GetInt("promote", 0));
+  ZT_ASSIGN_OR_RETURN_CLI(const int64_t reject_id, flags.GetInt("reject", 0));
+  const bool rollback = flags.GetBool("rollback");
+  const int actions = (init_from.empty() ? 0 : 1) + (promote_id > 0 ? 1 : 0) +
+                      (reject_id > 0 ? 1 : 0) + (rollback ? 1 : 0);
+  if (actions > 1) {
+    return Fail(Status::InvalidArgument(
+        "--init-from, --promote, --reject and --rollback are mutually "
+        "exclusive"));
+  }
+
+  if (!init_from.empty()) {
+    ZT_ASSIGN_OR_RETURN_CLI(std::unique_ptr<core::ZeroTuneModel> model,
+                            core::ZeroTuneModel::LoadFromFile(init_from));
+    core::registry::VersionInfo info;
+    info.source = "initial";
+    ZT_ASSIGN_OR_RETURN_CLI(const uint64_t id,
+                            registry->Publish(model.get(), info));
+    const Status promoted = registry->Promote(id, 0.0);
+    if (!promoted.ok()) return Fail(promoted);
+  } else if (promote_id > 0) {
+    const Status s =
+        registry->Promote(static_cast<uint64_t>(promote_id), 0.0);
+    if (!s.ok()) return Fail(s);
+  } else if (reject_id > 0) {
+    const Status s = registry->Reject(static_cast<uint64_t>(reject_id));
+    if (!s.ok()) return Fail(s);
+  } else if (rollback) {
+    auto back = registry->Rollback();
+    if (!back.ok()) return Fail(back.status());
+  }
+
+  const std::vector<core::registry::VersionInfo> versions =
+      registry->Versions();
+  const std::vector<core::registry::QuarantinedVersion> quarantined =
+      registry->Quarantined();
+  if (format == OutputFormat::kJson) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"root\": \"" << JsonEscape(registry->root())
+       << "\", \"live_version\": " << registry->live_version()
+       << ", \"versions\": [";
+    for (size_t i = 0; i < versions.size(); ++i) {
+      const core::registry::VersionInfo& v = versions[i];
+      os << (i > 0 ? ", " : "") << "{\"id\": " << v.id << ", \"state\": \""
+         << core::registry::VersionStateName(v.state)
+         << "\", \"parent\": " << v.parent
+         << ", \"created_seq\": " << v.created_seq
+         << ", \"median_qerror\": " << JsonNum(v.median_qerror)
+         << ", \"source\": \"" << JsonEscape(v.source) << "\"}";
+    }
+    os << "], \"quarantined\": [";
+    for (size_t i = 0; i < quarantined.size(); ++i) {
+      const core::registry::QuarantinedVersion& q = quarantined[i];
+      os << (i > 0 ? ", " : "") << "{\"id\": " << q.id << ", \"file\": \""
+         << JsonEscape(q.file) << "\", \"reason\": \""
+         << JsonEscape(q.reason) << "\"}";
+    }
+    os << "]}";
+    std::cout << os.str() << "\n";
+    return 0;
+  }
+  std::cout << "registry " << registry->root() << ": live version "
+            << registry->live_version() << ", " << versions.size()
+            << " version(s), " << quarantined.size() << " quarantined\n";
+  if (!versions.empty()) {
+    TextTable table({"Id", "State", "Parent", "Seq", "Median q-error",
+                     "Source"});
+    for (const core::registry::VersionInfo& v : versions) {
+      table.AddRow({std::to_string(v.id),
+                    core::registry::VersionStateName(v.state),
+                    std::to_string(v.parent), std::to_string(v.created_seq),
+                    TextTable::Fmt(v.median_qerror), v.source});
+    }
+    table.Print(std::cout);
+  }
+  for (const core::registry::QuarantinedVersion& q : quarantined) {
+    std::cout << "quarantined version " << q.id << ": " << q.file << " ("
+              << q.reason << ")\n";
   }
   return 0;
 }
@@ -1285,6 +1700,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(flags);
   if (command == "lint") return CmdLint(flags);
   if (command == "serve-sim") return RunWithObs(flags, CmdServeSim);
+  if (command == "adapt") return CmdAdapt(flags);
   if (command == "dot") return CmdDot(flags);
   PrintUsage();
   return command == "help" ? 0 : 1;
