@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the micro-perf trajectory (encoder / message-passing / readout
+# kernels plus end-to-end PredictBatch, each under scalar / simd / fp32 /
+# int8) and writes bench/BENCH_micro_perf.json.
+#
+# Usage: scripts/bench_micro_perf.sh [build-dir]
+#   scripts/bench_micro_perf.sh          # ./build
+# Honors ZEROTUNE_BENCH_FAST=1 (fewer, shorter samples).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out="${repo_root}/bench/BENCH_micro_perf.json"
+
+cmake --build "${build_dir}" --target bench_micro_perf -j "$(nproc)" >&2
+bin="${build_dir}/bench/bench_micro_perf"
+[[ -x "${bin}" ]] || { echo "bench_micro_perf not found at ${bin}" >&2; exit 1; }
+
+"${bin}" --trajectory > "${out}"
+echo "wrote ${out}" >&2
+python3 -m json.tool "${out}" > /dev/null

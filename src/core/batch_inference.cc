@@ -1,18 +1,20 @@
 #include "core/batch_inference.h"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
-#include <map>
 #include <optional>
-#include <tuple>
 #include <unordered_map>
 #include <utility>
 
 #include "core/features.h"
 #include "core/plan_graph.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
+#include "nn/quantized.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,16 +24,74 @@ namespace {
 
 using nn::Matrix;
 
+// FNV-1a over the byte representation of a double sequence, run as four
+// interleaved streams so the 64-bit multiplies pipeline instead of
+// forming one serial dependency chain (feature rows are ~50 words, and
+// the interner hashes every row of every candidate). Bitwise matching is
+// exactly what the intern/dedup transforms need: identical bytes
+// guarantee identical downstream arithmetic, and featurization is
+// deterministic so equal inputs produce equal bytes. Only dispersion
+// matters — every table that uses this confirms bucket hits by comparing
+// the full key bytes.
+uint64_t HashDoubles(const double* p, size_t n, uint64_t seed) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h0 = seed;
+  uint64_t h1 = seed ^ 0x9E3779B97F4A7C15ull;
+  uint64_t h2 = seed ^ 0xC2B2AE3D27D4EB4Full;
+  uint64_t h3 = seed ^ 0x165667B19E3779F9ull;
+  uint64_t w[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::memcpy(w, p + i, sizeof w);
+    h0 = (h0 ^ w[0]) * kPrime;
+    h1 = (h1 ^ w[1]) * kPrime;
+    h2 = (h2 ^ w[2]) * kPrime;
+    h3 = (h3 ^ w[3]) * kPrime;
+  }
+  for (; i < n; ++i) {
+    std::memcpy(w, p + i, sizeof w[0]);
+    h0 = (h0 ^ w[0]) * kPrime;
+  }
+  h0 = (h0 ^ h1) * kPrime;
+  h0 = (h0 ^ h2) * kPrime;
+  h0 = (h0 ^ h3) * kPrime;
+  return h0;
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+
+uint64_t HashInts(const int* p, size_t n, uint64_t seed) {
+  uint64_t hsh = seed;
+  for (size_t i = 0; i < n; ++i) {
+    hsh ^= static_cast<uint64_t>(static_cast<uint32_t>(p[i]));
+    hsh *= 1099511628211ull;
+  }
+  return hsh;
+}
+
 // Interns feature vectors so each distinct row is pushed through an
 // encoder MLP exactly once per batch. Candidates enumerated for one query
 // share most operator rows (only parallelism features vary) and all
-// resource rows, so the win is large in the optimizer's hot loop.
+// resource rows, so the win is large in the optimizer's hot loop. Rows
+// are matched bitwise (hash bucket + memcmp), which is cheaper than the
+// lexicographic compares of an ordered map on this hot path.
 class RowInterner {
  public:
   size_t Intern(const std::vector<double>& row) {
-    auto [it, inserted] = ids_.emplace(row, rows_.size());
-    if (inserted) rows_.push_back(&it->first);
-    return it->second;
+    const uint64_t hsh = HashDoubles(row.data(), row.size(), kFnvOffset);
+    auto& bucket = ids_[hsh];
+    for (size_t id : bucket) {
+      const std::vector<double>& have = rows_[id];
+      if (have.size() == row.size() &&
+          std::memcmp(have.data(), row.data(),
+                      row.size() * sizeof(double)) == 0) {
+        return id;
+      }
+    }
+    const size_t id = rows_.size();
+    rows_.push_back(row);
+    bucket.push_back(id);
+    return id;
   }
 
   size_t num_unique() const { return rows_.size(); }
@@ -40,33 +100,29 @@ class RowInterner {
   // encoder call. Empty matrix when nothing was interned.
   Matrix Stacked() const {
     if (rows_.empty()) return Matrix();
-    Matrix out(rows_.size(), rows_[0]->size());
+    Matrix out(rows_.size(), rows_[0].size());
     for (size_t r = 0; r < rows_.size(); ++r) {
-      for (size_t c = 0; c < rows_[r]->size(); ++c) {
-        out(r, c) = (*rows_[r])[c];
-      }
+      std::memcpy(out.data() + r * out.cols(), rows_[r].data(),
+                  rows_[r].size() * sizeof(double));
     }
     return out;
   }
 
  private:
-  std::map<std::vector<double>, size_t> ids_;
-  std::vector<const std::vector<double>*> rows_;
+  std::unordered_map<uint64_t, std::vector<size_t>> ids_;
+  std::vector<std::vector<double>> rows_;
 };
 
 // Plans whose graphs share topology (operator DAG + sink) and cluster
-// encoding can share the resource-exchange stage and be row-batched
-// through every operator-side stage.
-using GroupKey = std::tuple<std::vector<int>,               // topo_order
-                            std::vector<std::vector<int>>,  // upstreams
-                            int,                            // sink_index
-                            std::vector<size_t>>;           // resource row ids
-
+// encoding share the resource-exchange stage and are row-batched through
+// every operator-side stage. res_state holds the shared exchange output
+// in the precision the batch runs at (exactly one of the two is filled).
 struct Group {
   std::vector<size_t> members;       // indices into `plans` / `graphs`
   std::vector<size_t> res_row_ids;   // interned resource rows
   const PlanGraph* shape = nullptr;  // representative graph (topology)
-  Matrix res_state;                  // n_res × h, shared by all members
+  Matrix res_state;                  // n_res × h (fp64 batches)
+  nn::FloatBuffer res_state_f32;     // n_res × h (quantized batches)
 };
 
 // Pointer to the start of row `r` (Matrix is row-major; the const
@@ -79,86 +135,446 @@ const double* RowPtr(const Matrix& m, size_t r) {
 // column `col0` — the value side of nn::ConcatCols.
 void CopyIntoRow(Matrix& dst, size_t r, size_t col0, const double* src,
                  size_t src_cols) {
-  for (size_t c = 0; c < src_cols; ++c) dst(r, col0 + c) = src[c];
+  std::memcpy(dst.data() + r * dst.cols() + col0, src,
+              src_cols * sizeof(double));
 }
 
 // Mean of selected rows, written into row `r` of `dst` at `col0`.
-// Replicates nn::MeanAll's value: sum in the given order, then multiply
-// by 1/n — bit-identical to the sequential forward pass.
+// kernels::MeanRowsF64 replicates nn::MeanAll's value in both kernel
+// implementations: sum in the given order, then multiply by 1/n —
+// bit-identical to the sequential forward pass.
 void MeanIntoRow(Matrix& dst, size_t r, size_t col0,
                  const std::vector<const double*>& rows, size_t cols) {
-  const double inv = 1.0 / static_cast<double>(rows.size());
-  for (size_t c = 0; c < cols; ++c) {
-    double acc = rows[0][c];
-    for (size_t i = 1; i < rows.size(); ++i) acc += rows[i][c];
-    dst(r, col0 + c) = acc * inv;
-  }
+  nn::kernels::MeanRowsF64(dst.data() + r * dst.cols() + col0, rows.data(),
+                           rows.size(), cols);
 }
 
-// Forwards only the unique rows of `input` through `mlp` and scatters the
-// outputs back into place. Identical input rows produce identical output
-// rows, so this is bit-identical to forwarding every row — but candidates
-// in a batch share large parts of their message-passing state (operators
-// whose upstream cone has the same degrees compute the same row), and
-// those shared rows cost one MLP pass instead of one per candidate.
-Matrix ForwardRowsDeduped(const nn::Mlp& mlp, Matrix input) {
-  const size_t rows = input.rows();
-  if (rows <= 1) return mlp.ForwardValue(std::move(input));
-  const size_t cols = input.cols();
-  // Rows are matched on their exact byte representation (FNV-1a over the
-  // doubles, memcmp on collision) — cheaper than lexicographic map
-  // compares and exactly what bit-identity requires.
-  auto hash_row = [cols](const double* p) {
-    uint64_t hsh = 1469598103934665603ull;
-    for (size_t i = 0; i < cols; ++i) {
-      uint64_t w;
-      std::memcpy(&w, &p[i], sizeof w);
-      hsh ^= w;
-      hsh *= 1099511628211ull;
+// Owns the per-batch quantized conversions when precision != kFp64.
+struct QuantizedBlocks {
+  nn::QuantizedMlp op_encoder;
+  nn::QuantizedMlp res_encoder;
+  nn::QuantizedMlp flow_update;
+  nn::QuantizedMlp res_update;
+  nn::QuantizedMlp map_message;
+  nn::QuantizedMlp map_update;
+  nn::QuantizedMlp flow_update2;
+  nn::QuantizedMlp readout;
+
+  static QuantizedBlocks From(const ZeroTuneModel::GnnBlocks& b,
+                              nn::QuantKind kind) {
+    return QuantizedBlocks{
+        nn::QuantizedMlp::FromMlp(*b.op_encoder, kind),
+        nn::QuantizedMlp::FromMlp(*b.res_encoder, kind),
+        nn::QuantizedMlp::FromMlp(*b.flow_update, kind),
+        nn::QuantizedMlp::FromMlp(*b.res_update, kind),
+        nn::QuantizedMlp::FromMlp(*b.map_message, kind),
+        nn::QuantizedMlp::FromMlp(*b.map_update, kind),
+        nn::QuantizedMlp::FromMlp(*b.flow_update2, kind),
+        nn::QuantizedMlp::FromMlp(*b.readout, kind),
+    };
+  }
+};
+
+// Interns variable-length uint32 keys: equal keys get equal ids, handed
+// out densely in first-seen order. The message-passing stages build keys
+// from content-unique ids (interned encoder rows, previous-stage state
+// ids, unique message ids), so equal keys are *guaranteed* to name
+// bitwise-identical input rows — dedup by key never merges rows that
+// differ. Distinct keys for coincidentally equal rows only cost a
+// redundant MLP row, never a wrong result. Compared with hashing the
+// 2h-double input rows per stage (the previous design), keys are a few
+// words long, and no B-row input assembly or output scatter is needed.
+class IntKeyInterner {
+ public:
+  /// Prepares the table for up to `expected` inserts, discarding all
+  /// previously interned keys. Reuses the slot array across calls (a
+  /// generation counter marks live slots), so a chunk's dozens of
+  /// per-operator dedup rounds cost zero allocations after the first.
+  void Reset(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;  // load factor ≤ 0.5
+    if (slots_.size() < cap) slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    if (gen_ == UINT32_MAX) {  // wrap: wipe stale generations
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+      gen_ = 0;
     }
-    return hsh;
-  };
-  // hash -> [(representative row, unique id)]; collisions resolved by
-  // byte comparison.
-  std::unordered_map<uint64_t, std::vector<std::pair<size_t, size_t>>> ids;
-  ids.reserve(rows);
-  std::vector<size_t> remap(rows);
-  size_t unique = 0;
-  for (size_t r = 0; r < rows; ++r) {
-    const double* src = input.data() + r * cols;
-    auto& bucket = ids[hash_row(src)];
-    size_t found = SIZE_MAX;
-    for (const auto& [row0, uid] : bucket) {
-      if (std::memcmp(src, input.data() + row0 * cols,
-                      cols * sizeof(double)) == 0) {
-        found = uid;
-        break;
+    ++gen_;
+    keys_.clear();
+    spans_.clear();
+  }
+
+  uint32_t Intern(const uint32_t* key, size_t len) {
+    uint64_t hsh = kFnvOffset;
+    for (size_t i = 0; i < len; ++i) {
+      hsh = (hsh ^ key[i]) * 1099511628211ull;
+    }
+    // FNV's low bits are weak for power-of-two tables; fold in the top.
+    size_t idx = static_cast<size_t>(hsh ^ (hsh >> 32)) & mask_;
+    for (;; idx = (idx + 1) & mask_) {
+      Slot& s = slots_[idx];
+      if (s.gen != gen_) {  // free slot: first time this key is seen
+        const auto uid = static_cast<uint32_t>(spans_.size());
+        s.gen = gen_;
+        s.hash = hsh;
+        s.uid = uid;
+        spans_.push_back(Span{static_cast<uint32_t>(keys_.size()),
+                              static_cast<uint32_t>(len)});
+        keys_.insert(keys_.end(), key, key + len);
+        return uid;
+      }
+      if (s.hash != hsh) continue;
+      const Span sp = spans_[s.uid];
+      if (sp.len == len &&
+          std::memcmp(keys_.data() + sp.off, key,
+                      len * sizeof(uint32_t)) == 0) {
+        return s.uid;
       }
     }
-    if (found == SIZE_MAX) {
-      found = unique++;
-      bucket.emplace_back(r, found);
+  }
+
+  size_t num_unique() const { return spans_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t gen = 0;
+    uint32_t uid = 0;
+  };
+  struct Span {
+    uint32_t off, len;
+  };
+  std::vector<Slot> slots_;  // open addressing, linear probing
+  size_t mask_ = 0;
+  uint32_t gen_ = 0;
+  std::vector<uint32_t> keys_;  // interned keys back to back
+  std::vector<Span> spans_;
+};
+
+// One message-passing stage's dedup result for a chunk: candidate b's
+// state is unique row remap[b], and unique row u was first produced by
+// candidate uniq_rep[u] (whose inputs the executor reads to assemble it).
+struct StageDedup {
+  std::vector<uint32_t> remap;     // candidate -> unique row index
+  std::vector<uint32_t> uniq_rep;  // unique row -> representative candidate
+};
+
+// The integer skeleton of one chunk's message passing: which rows are
+// distinct at every stage and how candidates map onto them. Built once
+// per chunk from interned ids only — no floating-point data is touched —
+// and then executed at either precision. Keys are content-unique ids, so
+// equal keys guarantee bitwise-identical stage inputs at fp64 (and
+// identical fp32 inputs after rounding, since rounding is a function of
+// the bits).
+struct ChunkPlan {
+  size_t B = 0;
+  std::vector<StageDedup> flow;    // stage 1, per operator
+  std::vector<StageDedup> mapped;  // stage 3b, per operator
+  std::vector<StageDedup> flow2;   // stage 4, per operator
+  // Unique mapping edges across the chunk (stage 3a) and, per
+  // (candidate, operator) in CSR layout, the incoming unique-message ids
+  // in mapping-edge order — the order Forward() pushes them into the
+  // mean.
+  std::vector<const PlanGraph::MappingEdge*> uniq_edges;
+  std::vector<uint32_t> inc_off;  // B*n_ops+1 offsets into inc_uids
+  std::vector<uint32_t> inc_uids;
+};
+
+ChunkPlan BuildChunkPlan(const Group& group, size_t begin, size_t end,
+                         const std::vector<PlanGraph>& graphs,
+                         const std::vector<std::vector<size_t>>& op_row_ids) {
+  const PlanGraph& shape = *group.shape;
+  const size_t n_ops = shape.num_operators();
+  const size_t B = end - begin;
+  ChunkPlan plan;
+  plan.B = B;
+  plan.flow.resize(n_ops);
+  plan.mapped.resize(n_ops);
+  plan.flow2.resize(n_ops);
+
+  std::vector<uint32_t> key;  // scratch: current candidate's key
+  IntKeyInterner keys;        // reused across every dedup round below
+
+  // Stage 1: bottom-up data-flow pass. A candidate's state row is
+  // determined by its interned encoder row and its upstream state ids,
+  // so that integer tuple is the dedup key.
+  for (int id : shape.topo_order) {
+    const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
+    const size_t klen = 1 + ups.size();
+    keys.Reset(B);
+    StageDedup& sd = plan.flow[static_cast<size_t>(id)];
+    sd.remap.resize(B);
+    key.resize(klen);
+    for (size_t b = 0; b < B; ++b) {
+      const size_t pl = group.members[begin + b];
+      key[0] =
+          static_cast<uint32_t>(op_row_ids[pl][static_cast<size_t>(id)]);
+      for (size_t j = 0; j < ups.size(); ++j) {
+        key[1 + j] = plan.flow[static_cast<size_t>(ups[j])].remap[b];
+      }
+      const uint32_t uid = keys.Intern(key.data(), klen);
+      if (uid == sd.uniq_rep.size()) {
+        sd.uniq_rep.push_back(static_cast<uint32_t>(b));
+      }
+      sd.remap[b] = uid;
     }
-    remap[r] = found;
   }
-  if (unique == rows) return mlp.ForwardValue(std::move(input));
-  Matrix compact(unique, cols);
-  size_t next = 0;
-  for (size_t r = 0; r < rows && next < unique; ++r) {
-    if (remap[r] == next) {
-      std::copy(input.data() + r * cols, input.data() + (r + 1) * cols,
-                compact.data() + next * cols);
-      ++next;
+
+  // Stage 3a: mapping messages. A message row is determined by the
+  // resource index (which names the shared res_state row) and the edge's
+  // feature bytes, so edges dedup on that pair across the whole chunk.
+  // The key packs the index plus the raw feature words — bitwise feature
+  // equality is exactly word equality, so the interner's compare matches
+  // the row-level dedup semantics.
+  std::vector<uint32_t> edge_uid;  // per (candidate, edge), in edge order
+  std::vector<size_t> edge_off(B + 1, 0);
+  {
+    assert(FeatureEncoder::MappingDim() == 2 &&
+           "edge key packing assumes 2 mapping features");
+    keys.Reset(B * 16);
+    uint32_t ekey[1 + 2 * 2];
+    for (size_t b = 0; b < B; ++b) {
+      edge_off[b] = edge_uid.size();
+      const PlanGraph& g = graphs[group.members[begin + b]];
+      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
+        ekey[0] = static_cast<uint32_t>(e.resource_index);
+        std::memcpy(ekey + 1, e.features.data(), 2 * sizeof(double));
+        const uint32_t uid = keys.Intern(ekey, 5);
+        if (uid == plan.uniq_edges.size()) plan.uniq_edges.push_back(&e);
+        edge_uid.push_back(uid);
+      }
+    }
+    edge_off[B] = edge_uid.size();
+  }
+
+  // CSR of incoming unique-message ids per (candidate, operator).
+  plan.inc_off.assign(B * n_ops + 1, 0);
+  plan.inc_uids.resize(edge_uid.size());
+  {
+    for (size_t b = 0; b < B; ++b) {
+      const PlanGraph& g = graphs[group.members[begin + b]];
+      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
+        ++plan.inc_off[b * n_ops + static_cast<size_t>(e.operator_index) + 1];
+      }
+    }
+    for (size_t i = 1; i <= B * n_ops; ++i) {
+      plan.inc_off[i] += plan.inc_off[i - 1];
+    }
+    std::vector<uint32_t> cursor(plan.inc_off.begin(), plan.inc_off.end() - 1);
+    for (size_t b = 0; b < B; ++b) {
+      const PlanGraph& g = graphs[group.members[begin + b]];
+      size_t pos = edge_off[b];
+      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
+        plan.inc_uids[cursor[b * n_ops +
+                             static_cast<size_t>(e.operator_index)]++] =
+            edge_uid[pos++];
+      }
     }
   }
-  const Matrix uniq_out = mlp.ForwardValue(std::move(compact));
-  Matrix out(rows, uniq_out.cols());
-  for (size_t r = 0; r < rows; ++r) {
-    const double* src = uniq_out.data() + remap[r] * uniq_out.cols();
-    std::copy(src, src + uniq_out.cols(), out.data() + r * out.cols());
+
+  // Stage 3b: residual map_update per operator. Key = (state id,
+  // incoming message ids in edge order); the residual sum shares the
+  // update's remap because the key pins the state id.
+  for (size_t i = 0; i < n_ops; ++i) {
+    keys.Reset(B);
+    StageDedup& sd = plan.mapped[i];
+    sd.remap.resize(B);
+    for (size_t b = 0; b < B; ++b) {
+      const uint32_t lo = plan.inc_off[b * n_ops + i];
+      const uint32_t hi = plan.inc_off[b * n_ops + i + 1];
+      key.clear();
+      key.push_back(plan.flow[i].remap[b]);
+      key.insert(key.end(), plan.inc_uids.begin() + lo,
+                 plan.inc_uids.begin() + hi);
+      const uint32_t uid = keys.Intern(key.data(), key.size());
+      if (uid == sd.uniq_rep.size()) {
+        sd.uniq_rep.push_back(static_cast<uint32_t>(b));
+      }
+      sd.remap[b] = uid;
+    }
   }
-  return out;
+
+  // Stage 4: second bottom-up pass, same key shape as stage 1 with the
+  // mapped ids in place of encoder rows.
+  for (int id : shape.topo_order) {
+    const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
+    const size_t klen = 1 + ups.size();
+    keys.Reset(B);
+    StageDedup& sd = plan.flow2[static_cast<size_t>(id)];
+    sd.remap.resize(B);
+    key.resize(klen);
+    for (size_t b = 0; b < B; ++b) {
+      key[0] = plan.mapped[static_cast<size_t>(id)].remap[b];
+      for (size_t j = 0; j < ups.size(); ++j) {
+        key[1 + j] = plan.flow2[static_cast<size_t>(ups[j])].remap[b];
+      }
+      const uint32_t uid = keys.Intern(key.data(), klen);
+      if (uid == sd.uniq_rep.size()) {
+        sd.uniq_rep.push_back(static_cast<uint32_t>(b));
+      }
+      sd.remap[b] = uid;
+    }
+  }
+
+  return plan;
 }
+
+// The five MLP blocks an executor forwards through (encoders run before
+// chunking, res_update runs per group).
+enum class Block { kFlowUpdate, kMapMessage, kMapUpdate, kFlowUpdate2,
+                   kReadout };
+
+// fp64 execution: nn::Matrix buffers and the model's own Mlps. This path
+// replicates the sequential Forward() arithmetic bit for bit (see the
+// kernel numerics contract), which the exact-equality tests in
+// tests/predict_batch_test.cc pin down.
+struct F64Engine {
+  using Scalar = double;
+  using Buf = Matrix;
+
+  const ZeroTuneModel::GnnBlocks& blocks;
+  const Matrix& op_encoded;
+  const Matrix& res_state;
+
+  static Buf Alloc(size_t rows, size_t cols, bool zero) {
+    return zero ? Matrix(rows, cols) : Matrix::Uninitialized(rows, cols);
+  }
+  static double* Row(Buf& m, size_t r) { return m.data() + r * m.cols(); }
+  static const double* Row(const Buf& m, size_t r) {
+    return m.data() + r * m.cols();
+  }
+  const double* OpRow(size_t row_id) const {
+    return RowPtr(op_encoded, row_id);
+  }
+  const double* ResStateRow(size_t idx) const {
+    return RowPtr(res_state, idx);
+  }
+  static void CopyRow(double* dst, const double* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(double));
+  }
+  static void LoadMapFeatures(double* dst,
+                              const std::array<double, 2>& f) {
+    dst[0] = f[0];
+    dst[1] = f[1];
+  }
+  static void Mean(double* dst, const double* const* rows, size_t count,
+                   size_t n) {
+    nn::kernels::MeanRowsF64(dst, rows, count, n);
+  }
+  static void Add(double* acc, const double* x, size_t n) {
+    nn::kernels::AddF64(acc, x, n);
+  }
+  Buf Forward(Block blk, Buf&& in) const {
+    switch (blk) {
+      case Block::kFlowUpdate:
+        return blocks.flow_update->ForwardValue(std::move(in));
+      case Block::kMapMessage:
+        return blocks.map_message->ForwardValue(std::move(in));
+      case Block::kMapUpdate:
+        return blocks.map_update->ForwardValue(std::move(in));
+      case Block::kFlowUpdate2:
+        return blocks.flow_update2->ForwardValue(std::move(in));
+      case Block::kReadout:
+        return blocks.readout->ForwardValue(std::move(in));
+    }
+    return Matrix();
+  }
+  static CostPrediction Decode(const ZeroTuneModel& model, const Buf& m,
+                               size_t r) {
+    Matrix row = Matrix::Uninitialized(1, m.cols());
+    CopyRow(row.data(), Row(m, r), m.cols());
+    return model.DecodeOutput(row);
+  }
+};
+
+// fp32 execution: flat float buffers and QuantizedMlp::ForwardRows — the
+// whole message-passing state stays in fp32, so the only fp64 work per
+// chunk is decoding one readout row per distinct sink state. Serves both
+// quantized kinds (kInt8 keeps fp32 activations).
+struct F32Engine {
+  using Scalar = float;
+  struct Buf {
+    nn::FloatBuffer v;
+    size_t cols = 0;
+  };
+
+  const QuantizedBlocks& blocks;
+  const nn::FloatBuffer& op_encoded;  // h floats per unique operator row
+  const nn::FloatBuffer& res_state;   // h floats per resource
+  size_t h = 0;
+
+  static Buf Alloc(size_t rows, size_t cols, bool zero) {
+    // `zero` marks buffers whose ZeroState halves are read before being
+    // written; everything else is fully overwritten by the assembly
+    // loops, so FloatBuffer skips the fill.
+    Buf b;
+    b.cols = cols;
+    if (zero) {
+      b.v.assign(rows * cols, 0.0f);
+    } else {
+      b.v.resize(rows * cols);
+    }
+    return b;
+  }
+  static float* Row(Buf& b, size_t r) { return b.v.data() + r * b.cols; }
+  static const float* Row(const Buf& b, size_t r) {
+    return b.v.data() + r * b.cols;
+  }
+  const float* OpRow(size_t row_id) const {
+    return op_encoded.data() + row_id * h;
+  }
+  const float* ResStateRow(size_t idx) const {
+    return res_state.data() + idx * h;
+  }
+  static void CopyRow(float* dst, const float* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(float));
+  }
+  static void LoadMapFeatures(float* dst, const std::array<double, 2>& f) {
+    dst[0] = static_cast<float>(f[0]);
+    dst[1] = static_cast<float>(f[1]);
+  }
+  static void Mean(float* dst, const float* const* rows, size_t count,
+                   size_t n) {
+    nn::kernels::MeanRowsF32(dst, rows, count, n);
+  }
+  static void Add(float* acc, const float* x, size_t n) {
+    nn::kernels::AddF32(acc, x, n);
+  }
+  Buf Forward(Block blk, Buf&& in) const {
+    const nn::QuantizedMlp* mlp = nullptr;
+    switch (blk) {
+      case Block::kFlowUpdate:
+        mlp = &blocks.flow_update;
+        break;
+      case Block::kMapMessage:
+        mlp = &blocks.map_message;
+        break;
+      case Block::kMapUpdate:
+        mlp = &blocks.map_update;
+        break;
+      case Block::kFlowUpdate2:
+        mlp = &blocks.flow_update2;
+        break;
+      case Block::kReadout:
+        mlp = &blocks.readout;
+        break;
+    }
+    Buf out;
+    const size_t rows = in.cols > 0 ? in.v.size() / in.cols : 0;
+    mlp->ForwardRows(in.v.data(), rows, &out.v);
+    out.cols = mlp->out_features();
+    return out;
+  }
+  static CostPrediction Decode(const ZeroTuneModel& model, const Buf& b,
+                               size_t r) {
+    Matrix row = Matrix::Uninitialized(1, b.cols);
+    const float* src = Row(b, r);
+    for (size_t c = 0; c < b.cols; ++c) {
+      row.data()[c] = static_cast<double>(src[c]);
+    }
+    return model.DecodeOutput(row);
+  }
+};
 
 // Shared resource-node exchange (Forward() stage 2). Depends only on the
 // cluster encoding, so it runs once per structure group regardless of how
@@ -184,139 +600,240 @@ Matrix ComputeResourceState(const ZeroTuneModel::GnnBlocks& blocks,
   return blocks.res_update->ForwardValue(std::move(input));
 }
 
-// Scores members [begin, end) of one structure group and writes the
-// decoded predictions into `out` at each member's original plan index.
-// Per-row arithmetic never crosses rows, so results are independent of
-// how members are chunked across threads.
-void ScoreChunk(const ZeroTuneModel& model,
-                const ZeroTuneModel::GnnBlocks& blocks, const Group& group,
-                size_t begin, size_t end,
-                const std::vector<PlanGraph>& graphs,
-                const std::vector<std::vector<size_t>>& op_row_ids,
-                const Matrix& op_encoded,
-                std::vector<CostPrediction>& out) {
-  const size_t h = model.config().hidden_dim;
+// fp32 twin of ComputeResourceState over flat buffers.
+nn::FloatBuffer ComputeResourceStateF32(
+    const QuantizedBlocks& blocks, const nn::FloatBuffer& res_encoded,
+    const std::vector<size_t>& res_row_ids, size_t h) {
+  const size_t n_res = res_row_ids.size();
+  // Explicitly zeroed: the peer half stays ZeroState when n_res == 1.
+  nn::FloatBuffer input(n_res * 2 * h, 0.0f);
+  std::vector<const float*> peers;
+  for (size_t i = 0; i < n_res; ++i) {
+    const float* self = res_encoded.data() + res_row_ids[i] * h;
+    std::memcpy(input.data() + i * 2 * h, self, h * sizeof(float));
+    if (n_res > 1) {
+      peers.clear();
+      for (size_t j = 0; j < n_res; ++j) {
+        if (j != i) peers.push_back(res_encoded.data() + res_row_ids[j] * h);
+      }
+      nn::kernels::MeanRowsF32(input.data() + i * 2 * h + h, peers.data(),
+                               peers.size(), h);
+    }
+  }
+  nn::FloatBuffer out;
+  blocks.res_update.ForwardRows(input.data(), n_res, &out);
+  return out;
+}
+
+// Runs one chunk's message passing + readout at the engine's precision,
+// assembling only the distinct rows the ChunkPlan identified. Per-row
+// arithmetic never crosses rows, so results are independent of how
+// members are chunked across threads.
+template <typename Engine>
+void ExecuteChunk(const Engine& eng, const ChunkPlan& plan,
+                  const ZeroTuneModel& model, const Group& group,
+                  size_t begin,
+                  const std::vector<std::vector<size_t>>& op_row_ids,
+                  size_t h, std::vector<CostPrediction>& out) {
+  using Buf = typename Engine::Buf;
+  using T = typename Engine::Scalar;
   const PlanGraph& shape = *group.shape;
   const size_t n_ops = shape.num_operators();
-  const size_t B = end - begin;
+  const size_t B = plan.B;
 
   // optional<> so the span can end exactly where message passing hands
   // off to the readout below.
   std::optional<obs::Span> mp_span;
   mp_span.emplace("batch_inference/message_passing");
   mp_span->AddArg("candidates", std::to_string(B));
+  std::optional<obs::Span> stage_span;
+  std::vector<const T*> rows;  // scratch: mean inputs
 
-  // Stage 1: bottom-up data-flow pass, one row-batched flow_update call
-  // per operator across the chunk's candidates.
-  std::vector<Matrix> state(n_ops);
-  std::vector<const double*> rows;
+  // Stage 1: bottom-up data-flow pass over the distinct rows.
+  stage_span.emplace("batch_inference/mp_flow");
+  std::vector<Buf> state(n_ops);
   for (int id : shape.topo_order) {
     const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
-    Matrix input(B, 2 * h);
-    for (size_t b = 0; b < B; ++b) {
-      const size_t plan = group.members[begin + b];
-      const size_t row = op_row_ids[plan][static_cast<size_t>(id)];
-      CopyIntoRow(input, b, 0, RowPtr(op_encoded, row), h);
+    const StageDedup& sd = plan.flow[static_cast<size_t>(id)];
+    const size_t uniq = sd.uniq_rep.size();
+    // Sources keep the zero-filled upstream half (ZeroState); with
+    // upstreams every element is written, so skip the fill.
+    Buf input = Engine::Alloc(uniq, 2 * h, ups.empty());
+    for (size_t u = 0; u < uniq; ++u) {
+      const size_t b = sd.uniq_rep[u];
+      const size_t pl = group.members[begin + b];
+      T* dst = Engine::Row(input, u);
+      Engine::CopyRow(dst, eng.OpRow(op_row_ids[pl][static_cast<size_t>(id)]),
+                      h);
       if (!ups.empty()) {
         rows.clear();
-        for (int u : ups) rows.push_back(RowPtr(state[static_cast<size_t>(u)], b));
-        MeanIntoRow(input, b, h, rows, h);
-      }
-    }
-    state[static_cast<size_t>(id)] =
-        ForwardRowsDeduped(*blocks.flow_update, std::move(input));
-  }
-
-  // Stage 3a: mapping messages. Candidates in one group can still differ
-  // in mapping structure (degrees change which nodes host instances), so
-  // edges are flattened across the whole chunk into one map_message call
-  // and scattered back per (candidate, operator).
-  const size_t map_dim = FeatureEncoder::MappingDim();
-  size_t total_edges = 0;
-  for (size_t b = 0; b < B; ++b) {
-    total_edges += graphs[group.members[begin + b]].mapping_edges.size();
-  }
-  Matrix messages;
-  if (total_edges > 0) {
-    Matrix edge_in(total_edges, h + map_dim);
-    size_t row = 0;
-    for (size_t b = 0; b < B; ++b) {
-      const PlanGraph& g = graphs[group.members[begin + b]];
-      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
-        CopyIntoRow(edge_in, row, 0,
-                    RowPtr(group.res_state, static_cast<size_t>(e.resource_index)),
-                    h);
-        CopyIntoRow(edge_in, row, h, e.features.data(), e.features.size());
-        ++row;
-      }
-    }
-    messages = ForwardRowsDeduped(*blocks.map_message, std::move(edge_in));
-  }
-
-  // Mean incoming message per (candidate, operator), in mapping-edge
-  // order — the order Forward() pushes them into `incoming`.
-  std::vector<size_t> edge_offset(B);
-  {
-    size_t row = 0;
-    for (size_t b = 0; b < B; ++b) {
-      edge_offset[b] = row;
-      row += graphs[group.members[begin + b]].mapping_edges.size();
-    }
-  }
-  // Stage 3b: residual map_update per operator across candidates.
-  std::vector<Matrix> mapped(n_ops);
-  std::vector<std::vector<const double*>> incoming(B);
-  for (size_t i = 0; i < n_ops; ++i) {
-    Matrix input(B, 2 * h);
-    for (size_t b = 0; b < B; ++b) {
-      CopyIntoRow(input, b, 0, RowPtr(state[i], b), h);
-      const PlanGraph& g = graphs[group.members[begin + b]];
-      incoming[b].clear();
-      for (size_t e = 0; e < g.mapping_edges.size(); ++e) {
-        if (static_cast<size_t>(g.mapping_edges[e].operator_index) == i) {
-          incoming[b].push_back(RowPtr(messages, edge_offset[b] + e));
+        for (int up : ups) {
+          rows.push_back(Engine::Row(state[static_cast<size_t>(up)],
+                                     plan.flow[static_cast<size_t>(up)]
+                                         .remap[b]));
         }
+        Engine::Mean(dst + h, rows.data(), rows.size(), h);
       }
-      if (!incoming[b].empty()) MeanIntoRow(input, b, h, incoming[b], h);
     }
-    Matrix upd = ForwardRowsDeduped(*blocks.map_update, std::move(input));
-    mapped[i] = std::move(state[i]);
-    mapped[i].Add(upd);  // residual, like nn::Add(state, update)
+    obs::Span mlp_span("batch_inference/mp_mlp");
+    state[static_cast<size_t>(id)] =
+        eng.Forward(Block::kFlowUpdate, std::move(input));
+  }
+
+  // Stage 3a: forward each distinct mapping message once.
+  stage_span.emplace("batch_inference/mp_map_message");
+  Buf messages{};
+  if (!plan.uniq_edges.empty()) {
+    const size_t map_dim = FeatureEncoder::MappingDim();
+    Buf edge_in = Engine::Alloc(plan.uniq_edges.size(), h + map_dim, false);
+    for (size_t u = 0; u < plan.uniq_edges.size(); ++u) {
+      const PlanGraph::MappingEdge& e = *plan.uniq_edges[u];
+      T* dst = Engine::Row(edge_in, u);
+      Engine::CopyRow(dst,
+                      eng.ResStateRow(static_cast<size_t>(e.resource_index)),
+                      h);
+      Engine::LoadMapFeatures(dst + h, e.features);
+    }
+    obs::Span mlp_span("batch_inference/mp_mlp");
+    messages = eng.Forward(Block::kMapMessage, std::move(edge_in));
+  }
+
+  // Stage 3b: residual map_update per operator.
+  stage_span.emplace("batch_inference/mp_map_update");
+  std::vector<Buf> mapped(n_ops);
+  for (size_t i = 0; i < n_ops; ++i) {
+    const StageDedup& sd = plan.mapped[i];
+    const size_t uniq = sd.uniq_rep.size();
+    // Zero message half when no incoming edges.
+    Buf input = Engine::Alloc(uniq, 2 * h, true);
+    for (size_t u = 0; u < uniq; ++u) {
+      const size_t b = sd.uniq_rep[u];
+      T* dst = Engine::Row(input, u);
+      Engine::CopyRow(dst, Engine::Row(state[i], plan.flow[i].remap[b]), h);
+      const uint32_t lo = plan.inc_off[b * n_ops + i];
+      const uint32_t hi = plan.inc_off[b * n_ops + i + 1];
+      if (lo != hi) {
+        rows.clear();
+        for (uint32_t e = lo; e < hi; ++e) {
+          rows.push_back(Engine::Row(messages, plan.inc_uids[e]));
+        }
+        Engine::Mean(dst + h, rows.data(), rows.size(), h);
+      }
+    }
+    Buf upd;
+    {
+      obs::Span mlp_span("batch_inference/mp_mlp");
+      upd = eng.Forward(Block::kMapUpdate, std::move(input));
+    }
+    Buf res = Engine::Alloc(uniq, h, false);
+    for (size_t u = 0; u < uniq; ++u) {
+      const size_t b = sd.uniq_rep[u];
+      T* drow = Engine::Row(res, u);
+      Engine::CopyRow(drow, Engine::Row(state[i], plan.flow[i].remap[b]), h);
+      Engine::Add(drow, Engine::Row(upd, u), h);  // residual
+    }
+    mapped[i] = std::move(res);
   }
 
   // Stage 4: second bottom-up pass over the resource-aware states.
-  std::vector<Matrix> final_state(n_ops);
+  stage_span.emplace("batch_inference/mp_flow2");
+  std::vector<Buf> final_state(n_ops);
   for (int id : shape.topo_order) {
     const auto& ups = shape.operator_upstreams[static_cast<size_t>(id)];
-    Matrix input(B, 2 * h);
-    for (size_t b = 0; b < B; ++b) {
-      CopyIntoRow(input, b, 0, RowPtr(mapped[static_cast<size_t>(id)], b), h);
+    const StageDedup& sd = plan.flow2[static_cast<size_t>(id)];
+    const size_t uniq = sd.uniq_rep.size();
+    Buf input = Engine::Alloc(uniq, 2 * h, ups.empty());
+    const std::vector<uint32_t>& mp_remap =
+        plan.mapped[static_cast<size_t>(id)].remap;
+    for (size_t u = 0; u < uniq; ++u) {
+      const size_t b = sd.uniq_rep[u];
+      T* dst = Engine::Row(input, u);
+      Engine::CopyRow(
+          dst, Engine::Row(mapped[static_cast<size_t>(id)], mp_remap[b]), h);
       if (!ups.empty()) {
         rows.clear();
-        for (int u : ups) {
-          rows.push_back(RowPtr(final_state[static_cast<size_t>(u)], b));
+        for (int up : ups) {
+          rows.push_back(Engine::Row(final_state[static_cast<size_t>(up)],
+                                     plan.flow2[static_cast<size_t>(up)]
+                                         .remap[b]));
         }
-        MeanIntoRow(input, b, h, rows, h);
+        Engine::Mean(dst + h, rows.data(), rows.size(), h);
       }
     }
-    Matrix upd = ForwardRowsDeduped(*blocks.flow_update2, std::move(input));
-    final_state[static_cast<size_t>(id)] =
-        std::move(mapped[static_cast<size_t>(id)]);
-    final_state[static_cast<size_t>(id)].Add(upd);
+    Buf upd;
+    {
+      obs::Span mlp_span("batch_inference/mp_mlp");
+      upd = eng.Forward(Block::kFlowUpdate2, std::move(input));
+    }
+    Buf res = Engine::Alloc(uniq, h, false);
+    for (size_t u = 0; u < uniq; ++u) {
+      const size_t b = sd.uniq_rep[u];
+      T* drow = Engine::Row(res, u);
+      Engine::CopyRow(
+          drow, Engine::Row(mapped[static_cast<size_t>(id)], mp_remap[b]), h);
+      Engine::Add(drow, Engine::Row(upd, u), h);  // residual
+    }
+    final_state[static_cast<size_t>(id)] = std::move(res);
   }
 
+  stage_span.reset();
   mp_span.reset();
   obs::Span readout_span("batch_inference/readout");
   readout_span.AddArg("candidates", std::to_string(B));
 
-  // Readout at the sink, decoded row by row.
-  Matrix readout = blocks.readout->ForwardValue(
-      std::move(final_state[static_cast<size_t>(shape.sink_index)]));
-  for (size_t b = 0; b < B; ++b) {
-    Matrix row(1, readout.cols());
-    for (size_t c = 0; c < readout.cols(); ++c) row(0, c) = readout(b, c);
-    out[group.members[begin + b]] = model.DecodeOutput(row);
+  // Readout at the sink: forward and decode each distinct sink state
+  // once, then fan the decoded predictions out to the candidates.
+  const StageDedup& sink = plan.flow2[static_cast<size_t>(shape.sink_index)];
+  Buf readout =
+      eng.Forward(Block::kReadout,
+                  std::move(final_state[static_cast<size_t>(shape.sink_index)]));
+  std::vector<CostPrediction> decoded(sink.uniq_rep.size());
+  for (size_t u = 0; u < decoded.size(); ++u) {
+    decoded[u] = Engine::Decode(model, readout, u);
   }
+  for (size_t b = 0; b < B; ++b) {
+    out[group.members[begin + b]] = decoded[sink.remap[b]];
+  }
+}
+
+// Scores members [begin, end) of one structure group and writes the
+// decoded predictions into `out` at each member's original plan index.
+void ScoreChunk(const ZeroTuneModel& model,
+                const ZeroTuneModel::GnnBlocks& raw,
+                const QuantizedBlocks* quant, const Matrix& op_encoded,
+                const nn::FloatBuffer& op_encoded_f32, const Group& group,
+                size_t begin, size_t end,
+                const std::vector<PlanGraph>& graphs,
+                const std::vector<std::vector<size_t>>& op_row_ids,
+                std::vector<CostPrediction>& out) {
+  const size_t h = model.config().hidden_dim;
+  ChunkPlan plan;
+  {
+    obs::Span span("batch_inference/mp_plan");
+    plan = BuildChunkPlan(group, begin, end, graphs, op_row_ids);
+  }
+  if (quant != nullptr) {
+    const F32Engine eng{*quant, op_encoded_f32, group.res_state_f32, h};
+    ExecuteChunk(eng, plan, model, group, begin, op_row_ids, h, out);
+  } else {
+    const F64Engine eng{raw, op_encoded, group.res_state};
+    ExecuteChunk(eng, plan, model, group, begin, op_row_ids, h, out);
+  }
+}
+
+// Stacks `interner`'s unique rows, narrows them to fp32 and runs them
+// through a quantized encoder in one batched call.
+nn::FloatBuffer EncodeStackedF32(const nn::QuantizedMlp& encoder,
+                                 const RowInterner& interner) {
+  if (interner.num_unique() == 0) return {};
+  const Matrix stacked = interner.Stacked();
+  nn::FloatBuffer in(stacked.size());
+  for (size_t i = 0; i < stacked.size(); ++i) {
+    in[i] = static_cast<float>(stacked.data()[i]);
+  }
+  nn::FloatBuffer out;
+  encoder.ForwardRows(in.data(), stacked.rows(), &out);
+  return out;
 }
 
 }  // namespace
@@ -340,15 +857,18 @@ Result<std::vector<CostPrediction>> BatchedPredict(
 
   // Validation stays sequential so the reported failing index is the
   // first bad plan, matching the per-plan fallback path.
-  for (size_t i = 0; i < n; ++i) {
-    if (plans[i] == nullptr) {
-      return Status::InvalidArgument("PredictBatch: plan #" +
-                                     std::to_string(i) + " is null");
-    }
-    Status s = plans[i]->Validate();
-    if (!s.ok()) {
-      return s.Annotated("PredictBatch: plan #" + std::to_string(i) + " of " +
-                         std::to_string(n) + " failed");
+  {
+    obs::Span span("batch_inference/validate");
+    for (size_t i = 0; i < n; ++i) {
+      if (plans[i] == nullptr) {
+        return Status::InvalidArgument("PredictBatch: plan #" +
+                                       std::to_string(i) + " is null");
+      }
+      Status s = plans[i]->Validate();
+      if (!s.ok()) {
+        return s.Annotated("PredictBatch: plan #" + std::to_string(i) +
+                           " of " + std::to_string(n) + " failed");
+      }
     }
   }
 
@@ -369,81 +889,202 @@ Result<std::vector<CostPrediction>> BatchedPredict(
   std::vector<std::vector<size_t>> op_row_ids(n);
   std::vector<std::vector<size_t>> res_row_ids(n);
   size_t op_total = 0, res_total = 0;
-  for (size_t i = 0; i < n; ++i) {
-    op_row_ids[i].reserve(graphs[i].num_operators());
-    for (const auto& f : graphs[i].operator_features) {
-      op_row_ids[i].push_back(op_rows.Intern(f));
+  {
+    obs::Span span("batch_inference/intern");
+    for (size_t i = 0; i < n; ++i) {
+      op_row_ids[i].reserve(graphs[i].num_operators());
+      for (const auto& f : graphs[i].operator_features) {
+        op_row_ids[i].push_back(op_rows.Intern(f));
+      }
+      res_row_ids[i].reserve(graphs[i].num_resources());
+      for (const auto& f : graphs[i].resource_features) {
+        res_row_ids[i].push_back(res_rows.Intern(f));
+      }
+      op_total += graphs[i].num_operators();
+      res_total += graphs[i].num_resources();
     }
-    res_row_ids[i].reserve(graphs[i].num_resources());
-    for (const auto& f : graphs[i].resource_features) {
-      res_row_ids[i].push_back(res_rows.Intern(f));
-    }
-    op_total += graphs[i].num_operators();
-    res_total += graphs[i].num_resources();
   }
-  const ZeroTuneModel::GnnBlocks blocks = model.blocks();
-  const Matrix op_encoded =
-      op_rows.num_unique() > 0
-          ? blocks.op_encoder->ForwardValue(op_rows.Stacked())
-          : Matrix();
-  const Matrix res_encoded =
-      res_rows.num_unique() > 0
-          ? blocks.res_encoder->ForwardValue(res_rows.Stacked())
-          : Matrix();
+  // View the blocks at the configured inference precision. Quantized
+  // conversion snapshots the current parameters per batch (~hidden_dim²
+  // floats per block), which is noise next to scoring even one candidate
+  // and keeps the quantized view coherent with online weight updates.
+  const ZeroTuneModel::GnnBlocks raw = model.blocks();
+  const InferencePrecision precision = model.config().precision;
+  std::optional<QuantizedBlocks> quant;
+  if (precision != InferencePrecision::kFp64) {
+    obs::Span span("batch_inference/quantize_blocks");
+    quant.emplace(QuantizedBlocks::From(
+        raw, precision == InferencePrecision::kInt8 ? nn::QuantKind::kInt8
+                                                    : nn::QuantKind::kFp32));
+  }
+  batch_span.AddArg("precision", InferencePrecisionName(precision));
+  batch_span.AddArg("isa", nn::kernels::IsaName(nn::kernels::ActiveIsa()));
+
+  // Encoder outputs in the precision the batch runs at: fp64 matrices
+  // for the exact path, flat fp32 rows for the quantized engines (which
+  // keep all downstream state in fp32 — see F32Engine).
+  Matrix op_encoded, res_encoded;
+  nn::FloatBuffer op_encoded_f32, res_encoded_f32;
+  {
+    obs::Span span("batch_inference/encode");
+    if (quant.has_value()) {
+      op_encoded_f32 = EncodeStackedF32(quant->op_encoder, op_rows);
+      res_encoded_f32 = EncodeStackedF32(quant->res_encoder, res_rows);
+    } else {
+      if (op_rows.num_unique() > 0) {
+        op_encoded = raw.op_encoder->ForwardValue(op_rows.Stacked());
+      }
+      if (res_rows.num_unique() > 0) {
+        res_encoded = raw.res_encoder->ForwardValue(res_rows.Stacked());
+      }
+    }
+  }
 
   // Dedup identical candidates wholesale: the prediction is a pure
   // function of the feature graph, so plans whose graphs match row-for-row
   // (structure, interned encoder rows, and mapping edges) score once and
   // the result fans out. Reconfiguration and multi-query scoring re-submit
   // overlapping candidate sets, where this collapses most of the batch.
-  using EdgeSig = std::tuple<int, int, std::vector<double>>;
-  using PlanSig = std::tuple<std::vector<size_t>,            // op row ids
-                             std::vector<size_t>,            // res row ids
-                             std::vector<int>,               // topo_order
-                             std::vector<std::vector<int>>,  // upstreams
-                             int,                            // sink_index
-                             std::vector<EdgeSig>>;          // mapping edges
+  // Candidates are matched by hashing the full signature (FNV-1a) and
+  // confirming field-by-field on bucket hits; mapping-edge features
+  // compare bitwise, matching the row-level dedup semantics above.
   std::vector<size_t> canonical(n);
   std::vector<size_t> reps;
   {
     obs::Span span("batch_inference/dedup");
-    std::map<PlanSig, size_t> seen;
-    std::vector<EdgeSig> edges;
-    for (size_t i = 0; i < n; ++i) {
-      edges.clear();
-      edges.reserve(graphs[i].mapping_edges.size());
-      for (const PlanGraph::MappingEdge& e : graphs[i].mapping_edges) {
-        edges.emplace_back(e.operator_index, e.resource_index, e.features);
+    auto sig_hash = [&](size_t i) {
+      const PlanGraph& g = graphs[i];
+      uint64_t hsh = kFnvOffset;
+      for (size_t id : op_row_ids[i]) {
+        hsh = (hsh ^ static_cast<uint64_t>(id)) * 1099511628211ull;
       }
-      PlanSig sig{op_row_ids[i], res_row_ids[i], graphs[i].topo_order,
-                  graphs[i].operator_upstreams, graphs[i].sink_index, edges};
-      auto [it, inserted] = seen.emplace(std::move(sig), i);
-      canonical[i] = it->second;
-      if (inserted) reps.push_back(i);
+      for (size_t id : res_row_ids[i]) {
+        hsh = (hsh ^ static_cast<uint64_t>(id)) * 1099511628211ull;
+      }
+      hsh = HashInts(g.topo_order.data(), g.topo_order.size(), hsh);
+      for (const auto& ups : g.operator_upstreams) {
+        hsh = (hsh ^ (ups.size() + 1)) * 1099511628211ull;
+        hsh = HashInts(ups.data(), ups.size(), hsh);
+      }
+      hsh = (hsh ^ static_cast<uint64_t>(
+                       static_cast<uint32_t>(g.sink_index))) *
+            1099511628211ull;
+      for (const PlanGraph::MappingEdge& e : g.mapping_edges) {
+        hsh = (hsh ^ static_cast<uint64_t>(
+                         static_cast<uint32_t>(e.operator_index))) *
+              1099511628211ull;
+        hsh = (hsh ^ static_cast<uint64_t>(
+                         static_cast<uint32_t>(e.resource_index))) *
+              1099511628211ull;
+        hsh = HashDoubles(e.features.data(), e.features.size(), hsh);
+      }
+      return hsh;
+    };
+    auto sig_equal = [&](size_t a, size_t b) {
+      const PlanGraph& ga = graphs[a];
+      const PlanGraph& gb = graphs[b];
+      if (op_row_ids[a] != op_row_ids[b] ||
+          res_row_ids[a] != res_row_ids[b] ||
+          ga.sink_index != gb.sink_index || ga.topo_order != gb.topo_order ||
+          ga.operator_upstreams != gb.operator_upstreams ||
+          ga.mapping_edges.size() != gb.mapping_edges.size()) {
+        return false;
+      }
+      for (size_t e = 0; e < ga.mapping_edges.size(); ++e) {
+        const PlanGraph::MappingEdge& ea = ga.mapping_edges[e];
+        const PlanGraph::MappingEdge& eb = gb.mapping_edges[e];
+        if (ea.operator_index != eb.operator_index ||
+            ea.resource_index != eb.resource_index ||
+            std::memcmp(ea.features.data(), eb.features.data(),
+                        ea.features.size() * sizeof(double)) != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::unordered_map<uint64_t, std::vector<size_t>> seen;
+    seen.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto& bucket = seen[sig_hash(i)];
+      size_t rep = SIZE_MAX;
+      for (size_t j : bucket) {
+        if (sig_equal(i, j)) {
+          rep = j;
+          break;
+        }
+      }
+      if (rep == SIZE_MAX) {
+        rep = i;
+        bucket.push_back(i);
+        reps.push_back(i);
+      }
+      canonical[i] = rep;
     }
   }
 
   // Group the representative plans by structure so each group shares one
-  // resource-exchange pass and row-batches the operator stages.
-  std::map<GroupKey, size_t> group_ids;
+  // resource-exchange pass and row-batches the operator stages. Groups
+  // are matched by hash + field-compare (like the dedup above) — cheaper
+  // than an ordered map keyed on copies of the topology vectors.
   std::vector<Group> groups;
-  for (size_t i : reps) {
-    GroupKey key{graphs[i].topo_order, graphs[i].operator_upstreams,
-                 graphs[i].sink_index, res_row_ids[i]};
-    auto [it, inserted] = group_ids.emplace(std::move(key), groups.size());
-    if (inserted) {
-      Group g;
-      g.res_row_ids = res_row_ids[i];
-      g.shape = &graphs[i];
-      groups.push_back(std::move(g));
+  {
+    obs::Span span("batch_inference/group");
+    auto group_hash = [&](size_t i) {
+      const PlanGraph& g = graphs[i];
+      uint64_t hsh = kFnvOffset;
+      hsh = HashInts(g.topo_order.data(), g.topo_order.size(), hsh);
+      for (const auto& ups : g.operator_upstreams) {
+        hsh = (hsh ^ (ups.size() + 1)) * 1099511628211ull;
+        hsh = HashInts(ups.data(), ups.size(), hsh);
+      }
+      hsh = (hsh ^ static_cast<uint64_t>(
+                       static_cast<uint32_t>(g.sink_index))) *
+            1099511628211ull;
+      for (size_t id : res_row_ids[i]) {
+        hsh = (hsh ^ static_cast<uint64_t>(id)) * 1099511628211ull;
+      }
+      return hsh;
+    };
+    auto group_matches = [&](size_t i, const Group& g) {
+      const PlanGraph& a = graphs[i];
+      const PlanGraph& b = *g.shape;
+      return a.sink_index == b.sink_index && a.topo_order == b.topo_order &&
+             a.operator_upstreams == b.operator_upstreams &&
+             res_row_ids[i] == g.res_row_ids;
+    };
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    for (size_t i : reps) {
+      auto& bucket = buckets[group_hash(i)];
+      size_t gid = SIZE_MAX;
+      for (size_t c : bucket) {
+        if (group_matches(i, groups[c])) {
+          gid = c;
+          break;
+        }
+      }
+      if (gid == SIZE_MAX) {
+        gid = groups.size();
+        Group g;
+        g.res_row_ids = res_row_ids[i];
+        g.shape = &graphs[i];
+        groups.push_back(std::move(g));
+        bucket.push_back(gid);
+      }
+      groups[gid].members.push_back(i);
     }
-    groups[it->second].members.push_back(i);
   }
 
   const size_t h = model.config().hidden_dim;
-  for (Group& g : groups) {
-    if (!g.res_row_ids.empty()) {
-      g.res_state = ComputeResourceState(blocks, res_encoded, g.res_row_ids, h);
+  {
+    obs::Span span("batch_inference/resource_state");
+    for (Group& g : groups) {
+      if (g.res_row_ids.empty()) continue;
+      if (quant.has_value()) {
+        g.res_state_f32 =
+            ComputeResourceStateF32(*quant, res_encoded_f32, g.res_row_ids, h);
+      } else {
+        g.res_state = ComputeResourceState(raw, res_encoded, g.res_row_ids, h);
+      }
     }
   }
 
@@ -484,8 +1125,9 @@ Result<std::vector<CostPrediction>> BatchedPredict(
   }
   ParallelFor(pool, chunks.size(), [&](size_t c) {
     const Chunk& chunk = chunks[c];
-    ScoreChunk(model, blocks, groups[chunk.group], chunk.begin, chunk.end,
-               graphs, op_row_ids, op_encoded, out);
+    ScoreChunk(model, raw, quant.has_value() ? &*quant : nullptr, op_encoded,
+               op_encoded_f32, groups[chunk.group], chunk.begin, chunk.end,
+               graphs, op_row_ids, out);
   });
 
   // Fan scored representatives out to their duplicates.

@@ -1,5 +1,7 @@
 #include "core/features.h"
 
+#include <array>
+
 #include <cmath>
 
 namespace zerotune::core {
@@ -12,6 +14,24 @@ using dsp::OperatorType;
 using dsp::WindowSpec;
 
 double Log1p(double v) { return std::log1p(std::max(v, 0.0)); }
+
+/// Log1p over small non-negative integers, memoized: the encoder hits it
+/// with parallelism degrees, grouping numbers and tuple widths, which
+/// repeat across every candidate of a tuning sweep (libm's log1p is the
+/// next-largest featurization cost after allocation). Entries are Log1p
+/// outputs, so results stay bit-identical to the direct call.
+double Log1pInt(int v) {
+  static const std::array<double, 257>& table = *[] {
+    auto* t = new std::array<double, 257>();
+    for (size_t i = 0; i < t->size(); ++i) {
+      (*t)[i] = Log1p(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return v >= 0 && v < static_cast<int>(table.size())
+             ? table[static_cast<size_t>(v)]
+             : Log1p(static_cast<double>(v));
+}
 
 void OneHot(std::vector<double>* out, int value, int cardinality,
             bool enabled) {
@@ -60,6 +80,16 @@ std::vector<double> FeatureEncoder::EncodeOperator(
     const dsp::ParallelQueryPlan& plan, int op_id,
     const FeatureConfig& config) {
   const dsp::QueryPlan& q = plan.logical();
+  return EncodeOperator(plan, op_id, config, q.EstimatedInputRates(),
+                        q.EstimatedOutputRates(), plan.GroupingNumbers());
+}
+
+std::vector<double> FeatureEncoder::EncodeOperator(
+    const dsp::ParallelQueryPlan& plan, int op_id, const FeatureConfig& config,
+    const std::vector<double>& est_in_rates,
+    const std::vector<double>& est_out_rates,
+    const std::vector<int>& grouping_numbers) {
+  const dsp::QueryPlan& q = plan.logical();
   const Operator& op = q.op(op_id);
   const bool op_on = config.operator_features;
   const bool par_on = config.parallelism_features;
@@ -72,30 +102,28 @@ std::vector<double> FeatureEncoder::EncodeOperator(
   OneHot(&f, static_cast<int>(op.type), 5, /*enabled=*/true);
 
   // Parallelism-related.
-  Push(&f, Log1p(plan.parallelism(op_id)), par_on);
+  Push(&f, Log1pInt(plan.parallelism(op_id)), par_on);
   OneHot(&f, static_cast<int>(plan.placement(op_id).partitioning), 3, par_on);
-  Push(&f, Log1p(plan.GroupingNumber(op_id)), par_on);
+  Push(&f, Log1pInt(grouping_numbers[static_cast<size_t>(op_id)]), par_on);
 
   // Data-related.
-  double width_in = 0.0;
+  int width_in = 0;
   for (int u : q.upstreams(op_id)) {
-    width_in += static_cast<double>(q.op(u).output_schema.width());
+    width_in += static_cast<int>(q.op(u).output_schema.width());
   }
   if (op.type == OperatorType::kSource) {
-    width_in = static_cast<double>(op.source.schema.width());
+    width_in = static_cast<int>(op.source.schema.width());
   }
-  Push(&f, Log1p(width_in), op_on);
-  Push(&f, Log1p(static_cast<double>(op.output_schema.width())), op_on);
+  Push(&f, Log1pInt(width_in), op_on);
+  Push(&f, Log1pInt(static_cast<int>(op.output_schema.width())), op_on);
   SchemaComposition(&f, op.output_schema, op_on);
   Push(&f, q.OperatorSelectivity(op_id), op_on);
   Push(&f,
        op.type == OperatorType::kSource ? Log1p(op.source.event_rate) : 0.0,
        op_on);
-  const std::vector<double> est_in = q.EstimatedInputRates();
-  const std::vector<double> est_out = q.EstimatedOutputRates();
-  const double in_rate = est_in[static_cast<size_t>(op_id)];
+  const double in_rate = est_in_rates[static_cast<size_t>(op_id)];
   Push(&f, Log1p(in_rate), op_on);
-  Push(&f, Log1p(est_out[static_cast<size_t>(op_id)]), op_on);
+  Push(&f, Log1p(est_out_rates[static_cast<size_t>(op_id)]), op_on);
   // Per-instance load mixes data and parallelism information, so it is
   // only active when *both* groups are enabled (otherwise the
   // operator-only ablation would see the parallelism degree through it).
@@ -163,6 +191,15 @@ std::vector<double> FeatureEncoder::EncodeResource(
 std::vector<double> FeatureEncoder::EncodeMapping(
     const dsp::ParallelQueryPlan& plan, int op_id, size_t node_idx,
     const FeatureConfig& config) {
+  std::array<double, 2> f{};
+  EncodeMapping(plan, op_id, node_idx, config, &f);
+  return std::vector<double>(f.begin(), f.end());
+}
+
+void FeatureEncoder::EncodeMapping(const dsp::ParallelQueryPlan& plan,
+                                   int op_id, size_t node_idx,
+                                   const FeatureConfig& config,
+                                   std::array<double, 2>* out) {
   const bool on = config.resource_features || config.parallelism_features;
   const auto& nodes = plan.placement(op_id).instance_nodes;
   double instances_here = 0.0;
@@ -171,11 +208,8 @@ std::vector<double> FeatureEncoder::EncodeMapping(
   }
   const double degree =
       std::max(1.0, static_cast<double>(plan.parallelism(op_id)));
-  std::vector<double> f;
-  f.reserve(MappingDim());
-  Push(&f, Log1p(instances_here) / 5.0, on);  // log1p(128) ≈ 4.86
-  Push(&f, instances_here / degree, on);
-  return f;
+  (*out)[0] = on ? Log1p(instances_here) / 5.0 : 0.0;  // log1p(128) ≈ 4.86
+  (*out)[1] = on ? instances_here / degree : 0.0;
 }
 
 std::vector<std::string> FeatureEncoder::OperatorFeatureNames() {

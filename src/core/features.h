@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <array>
 #include <vector>
 
 #include "dsp/parallel_plan.h"
@@ -64,6 +65,18 @@ class FeatureEncoder {
       const dsp::ParallelQueryPlan& plan, int op_id,
       const FeatureConfig& config);
 
+  /// Same encoding with the plan-wide estimated rate vectors
+  /// (QueryPlan::EstimatedInputRates/EstimatedOutputRates) and grouping
+  /// numbers (ParallelQueryPlan::GroupingNumbers) precomputed by the
+  /// caller. Both propagations walk the whole DAG, so graph builders
+  /// encoding every operator must hoist them to once per plan instead of
+  /// paying O(V²) — bit-identical to the overload above.
+  static std::vector<double> EncodeOperator(
+      const dsp::ParallelQueryPlan& plan, int op_id,
+      const FeatureConfig& config, const std::vector<double>& est_in_rates,
+      const std::vector<double>& est_out_rates,
+      const std::vector<int>& grouping_numbers);
+
   /// Features of cluster node `node_idx`.
   static std::vector<double> EncodeResource(
       const dsp::ParallelQueryPlan& plan, size_t node_idx,
@@ -75,6 +88,12 @@ class FeatureEncoder {
   static std::vector<double> EncodeMapping(const dsp::ParallelQueryPlan& plan,
                                            int op_id, size_t node_idx,
                                            const FeatureConfig& config);
+
+  /// Allocation-free variant writing the MappingDim() features in place
+  /// (the graph builder's hot path stores them inline).
+  static void EncodeMapping(const dsp::ParallelQueryPlan& plan, int op_id,
+                            size_t node_idx, const FeatureConfig& config,
+                            std::array<double, 2>* out);
 
   /// Human-readable names of the operator feature slots (for debugging
   /// and the ablation report).

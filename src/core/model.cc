@@ -22,6 +22,18 @@ NodePtr ZeroState(size_t dim) { return Constant(Matrix(1, dim)); }
 
 }  // namespace
 
+const char* InferencePrecisionName(InferencePrecision p) {
+  switch (p) {
+    case InferencePrecision::kFp64:
+      return "fp64";
+    case InferencePrecision::kFp32:
+      return "fp32";
+    case InferencePrecision::kInt8:
+      return "int8";
+  }
+  return "fp64";
+}
+
 ZeroTuneModel::ZeroTuneModel(ModelConfig config) : config_(config) {
   Rng rng(config_.seed);
   const size_t h = config_.hidden_dim;
@@ -106,7 +118,8 @@ nn::NodePtr ZeroTuneModel::Forward(const PlanGraph& graph) const {
   for (const PlanGraph::MappingEdge& e : graph.mapping_edges) {
     NodePtr msg = map_message_->Forward(
         ConcatCols({res_state[static_cast<size_t>(e.resource_index)],
-                    Constant(Matrix::RowVector(e.features))}));
+                    Constant(Matrix::RowVector(e.features.data(),
+                                               e.features.size()))}));
     incoming[static_cast<size_t>(e.operator_index)].push_back(std::move(msg));
   }
   std::vector<NodePtr> mapped(n_ops);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 namespace zerotune::core {
 
@@ -18,6 +17,11 @@ PlanGraph BuildPerInstanceGraph(const dsp::ParallelQueryPlan& plan,
                                 const FeatureConfig& config) {
   PlanGraph g;
   const dsp::QueryPlan& q = plan.logical();
+  // Rate and chain propagation walk the whole DAG; hoist them out of the
+  // per-operator encoder calls (bit-identical, avoids O(V²)).
+  std::vector<double> est_in, est_out;
+  q.EstimatedRates(&est_in, &est_out);
+  const std::vector<int> grouping = plan.GroupingNumbers();
 
   // Node index layout: contiguous blocks of instances per operator.
   std::vector<int> base(q.num_operators(), 0);
@@ -31,8 +35,8 @@ PlanGraph BuildPerInstanceGraph(const dsp::ParallelQueryPlan& plan,
 
   for (const dsp::Operator& op : q.operators()) {
     const int degree = plan.parallelism(op.id);
-    const std::vector<double> features =
-        FeatureEncoder::EncodeOperator(plan, op.id, config);
+    const std::vector<double> features = FeatureEncoder::EncodeOperator(
+        plan, op.id, config, est_in, est_out, grouping);
     for (int i = 0; i < degree; ++i) {
       const int node = base[static_cast<size_t>(op.id)] + i;
       g.operator_features[static_cast<size_t>(node)] = features;
@@ -106,12 +110,16 @@ PlanGraph BuildPlanGraph(const dsp::ParallelQueryPlan& plan,
   }
   PlanGraph g;
   const dsp::QueryPlan& q = plan.logical();
+  // Hoisted rate and chain propagation, as in BuildPerInstanceGraph above.
+  std::vector<double> est_in, est_out;
+  q.EstimatedRates(&est_in, &est_out);
+  const std::vector<int> grouping = plan.GroupingNumbers();
 
   g.operator_features.reserve(q.num_operators());
   g.operator_upstreams.reserve(q.num_operators());
   for (const dsp::Operator& op : q.operators()) {
-    g.operator_features.push_back(
-        FeatureEncoder::EncodeOperator(plan, op.id, config));
+    g.operator_features.push_back(FeatureEncoder::EncodeOperator(
+        plan, op.id, config, est_in, est_out, grouping));
     g.operator_upstreams.push_back(q.upstreams(op.id));
     for (int d : q.downstreams(op.id)) {
       g.data_edges.emplace_back(op.id, d);
@@ -134,20 +142,22 @@ PlanGraph BuildPlanGraph(const dsp::ParallelQueryPlan& plan,
 
   // One mapping edge per (operator, hosting node) pair. When the plan is
   // unplaced, every operator maps to every node with its average share.
+  std::vector<int> hosts;
   for (const dsp::Operator& op : q.operators()) {
     const auto& nodes = plan.placement(op.id).instance_nodes;
-    std::set<int> hosts(nodes.begin(), nodes.end());
+    hosts.assign(nodes.begin(), nodes.end());
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
     if (hosts.empty()) {
-      for (size_t n = 0; n < n_nodes; ++n) hosts.insert(static_cast<int>(n));
+      for (size_t n = 0; n < n_nodes; ++n) hosts.push_back(static_cast<int>(n));
     }
     for (int n : hosts) {
       PlanGraph::MappingEdge e;
       e.operator_index = op.id;
       e.resource_index = n;
-      e.features = FeatureEncoder::EncodeMapping(plan, op.id,
-                                                 static_cast<size_t>(n),
-                                                 config);
-      g.mapping_edges.push_back(std::move(e));
+      FeatureEncoder::EncodeMapping(plan, op.id, static_cast<size_t>(n),
+                                    config, &e.features);
+      g.mapping_edges.push_back(e);
     }
   }
   return g;

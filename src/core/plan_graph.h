@@ -1,6 +1,7 @@
 #ifndef ZEROTUNE_CORE_PLAN_GRAPH_H_
 #define ZEROTUNE_CORE_PLAN_GRAPH_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,10 @@ struct PlanGraph {
   struct MappingEdge {
     int operator_index = 0;  // index into operator_features
     int resource_index = 0;  // index into resource_features
-    std::vector<double> features;
+    // Fixed MappingDim()-wide feature pair, inline so building a graph
+    // costs no per-edge heap allocation (the batch engine builds one
+    // graph per candidate on its hot path).
+    std::array<double, 2> features{};
   };
 
   /// Feature vector per logical operator, indexed by operator id.

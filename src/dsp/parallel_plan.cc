@@ -97,6 +97,18 @@ int ParallelQueryPlan::GroupingNumber(int op_id) const {
       std::count(chains.begin(), chains.end(), my_chain));
 }
 
+std::vector<int> ParallelQueryPlan::GroupingNumbers() const {
+  const std::vector<int> chains = ComputeChains();
+  // Chain ids are dense in [0, num_operators).
+  std::vector<int> per_chain(chains.size(), 0);
+  for (int c : chains) ++per_chain[static_cast<size_t>(c)];
+  std::vector<int> out(chains.size());
+  for (size_t i = 0; i < chains.size(); ++i) {
+    out[i] = per_chain[static_cast<size_t>(chains[i])];
+  }
+  return out;
+}
+
 bool ParallelQueryPlan::IsChainedWithUpstream(int op_id) const {
   const auto& ups = logical_.upstreams(op_id);
   if (ups.size() != 1) return false;

@@ -76,6 +76,12 @@ class ParallelQueryPlan {
   /// "grouping number" transferable feature; 1 = unchained).
   int GroupingNumber(int op_id) const;
 
+  /// Grouping numbers for all operators, indexed by operator id. One
+  /// chain computation for the whole plan — callers encoding every
+  /// operator (the graph builders) use this instead of paying a full
+  /// ComputeChains() per GroupingNumber(id) call.
+  std::vector<int> GroupingNumbers() const;
+
   /// True when the operator executes in the same chain (same task slot) as
   /// its single upstream — no network/serialization cost on that edge.
   bool IsChainedWithUpstream(int op_id) const;

@@ -236,6 +236,25 @@ std::vector<double> QueryPlan::EstimatedInputRates() const {
   return in;
 }
 
+void QueryPlan::EstimatedRates(std::vector<double>* in,
+                               std::vector<double>* out) const {
+  in->assign(operators_.size(), 0.0);
+  out->assign(operators_.size(), 0.0);
+  // Insertion order is topological (see TopologicalOrder).
+  for (const Operator& op : operators_) {
+    const size_t id = static_cast<size_t>(op.id);
+    if (op.type == OperatorType::kSource) {
+      (*in)[id] = op.source.event_rate;
+      (*out)[id] = op.source.event_rate;
+      continue;
+    }
+    double rate = 0.0;
+    for (int u : upstreams_[id]) rate += (*out)[static_cast<size_t>(u)];
+    (*in)[id] = rate;
+    (*out)[id] = rate * OperatorSelectivity(op.id);
+  }
+}
+
 std::vector<double> QueryPlan::EstimatedOutputRates() const {
   std::vector<double> in = EstimatedInputRates();
   std::vector<double> out(operators_.size(), 0.0);

@@ -86,6 +86,10 @@ class QueryPlan {
   /// event rates through selectivities (Def. 3). Join inputs sum both
   /// branches. Indexed by operator id.
   std::vector<double> EstimatedInputRates() const;
+
+  /// One-pass variant filling both rate vectors (the graph builder calls
+  /// this once per candidate; value-identical to the two getters).
+  void EstimatedRates(std::vector<double>* in, std::vector<double>* out) const;
   /// Same propagation, output side: out = in · sel (Eq. 2). Note that the
   /// aggregate selectivity of Def. 6 (groups per window / window size)
   /// already folds the window-length reduction into sel.

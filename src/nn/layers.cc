@@ -2,8 +2,33 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
+
+#include "nn/kernels.h"
 
 namespace zerotune::nn {
+
+namespace {
+
+/// Maps the activations that have a fused kernel form. Returns false for
+/// tanh/sigmoid, which stay on the libm-based ActivateValue path.
+bool ToFusedAct(Activation act, kernels::FusedAct* fused) {
+  switch (act) {
+    case Activation::kNone:
+      *fused = kernels::FusedAct::kNone;
+      return true;
+    case Activation::kRelu:
+      *fused = kernels::FusedAct::kRelu;
+      return true;
+    case Activation::kLeakyRelu:
+      *fused = kernels::FusedAct::kLeakyRelu;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 NodePtr Activate(const NodePtr& x, Activation act) {
   switch (act) {
@@ -59,12 +84,20 @@ NodePtr Linear::Forward(const NodePtr& x) const {
 }
 
 Matrix Linear::ForwardValue(const Matrix& x) const {
+  return ForwardValue(x, Activation::kNone);
+}
+
+Matrix Linear::ForwardValue(const Matrix& x, Activation act) const {
   assert(x.cols() == in_features_);
-  Matrix out = Matrix::MatMul(x, weight_->value);
-  const Matrix& b = bias_->value;
-  for (size_t r = 0; r < out.rows(); ++r) {
-    for (size_t c = 0; c < out.cols(); ++c) out(r, c) += b(0, c);
-  }
+  // GemmRowMajorF64 overwrites every element, so skip the zero-fill.
+  Matrix out = Matrix::Uninitialized(x.rows(), out_features_);
+  kernels::GemmRowMajorF64(x.data(), x.rows(), in_features_,
+                           weight_->value.data(), out_features_, out.data());
+  kernels::FusedAct fused = kernels::FusedAct::kNone;
+  const bool fusable = ToFusedAct(act, &fused);
+  kernels::BiasActRowsF64(out.data(), bias_->value.data(), out.rows(),
+                          out_features_, fused);
+  if (!fusable) out = ActivateValue(std::move(out), act);
   return out;
 }
 
@@ -92,11 +125,11 @@ NodePtr Mlp::Forward(const NodePtr& x) const {
 
 Matrix Mlp::ForwardValue(Matrix x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
-    x = layers_[i].ForwardValue(x);
     const bool is_last = (i + 1 == layers_.size());
-    if (!is_last || options_.activate_output) {
-      x = ActivateValue(std::move(x), options_.activation);
-    }
+    const Activation act = (!is_last || options_.activate_output)
+                               ? options_.activation
+                               : Activation::kNone;
+    x = layers_[i].ForwardValue(x, act);
   }
   return x;
 }

@@ -37,12 +37,25 @@ class Linear {
   NodePtr Forward(const NodePtr& x) const;
 
   /// Inference-only forward on raw values: y = x·W + b with no autograd
-  /// graph. Row r of the result is bit-identical to Forward() on row r
-  /// alone, so callers may batch arbitrarily many inputs per call.
+  /// graph, routed through the nn::kernels layer. Row r of the result
+  /// never depends on the other rows, so callers may batch arbitrarily
+  /// many inputs per call. Under the scalar kernels (ZEROTUNE_DISABLE_SIMD
+  /// or ForceScalar) this is bit-identical to Forward() per row; under
+  /// AVX2+FMA it differs only by fused rounding in the dot products (see
+  /// nn/kernels.h for the bound).
   Matrix ForwardValue(const Matrix& x) const;
+
+  /// ForwardValue with the activation fused into the bias kernel when the
+  /// activation has a fused form (none/relu/leaky-relu); tanh/sigmoid fall
+  /// back to ActivateValue. Same numerics contract as ForwardValue.
+  Matrix ForwardValue(const Matrix& x, Activation act) const;
 
   size_t in_features() const { return in_features_; }
   size_t out_features() const { return out_features_; }
+
+  /// Raw parameter values, consumed by nn::QuantizedMlp's converter.
+  const Matrix& weight_value() const { return weight_->value; }
+  const Matrix& bias_value() const { return bias_->value; }
 
  private:
   size_t in_features_;
@@ -74,11 +87,17 @@ class Mlp {
   NodePtr Forward(const NodePtr& x) const;
 
   /// Inference-only forward on raw values (see Linear::ForwardValue):
-  /// row-batched, no graph allocation, bit-identical per row to Forward().
+  /// row-batched, no graph allocation. Bit-identical per row to Forward()
+  /// under the scalar kernels; tolerance-equal (FMA rounding only) under
+  /// SIMD.
   Matrix ForwardValue(Matrix x) const;
 
   size_t in_features() const { return layers_.front().in_features(); }
   size_t out_features() const { return layers_.back().out_features(); }
+
+  /// Layer handles and options, consumed by nn::QuantizedMlp's converter.
+  const std::vector<Linear>& layers() const { return layers_; }
+  const Options& options() const { return options_; }
 
  private:
   std::vector<Linear> layers_;

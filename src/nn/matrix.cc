@@ -3,17 +3,25 @@
 #include <algorithm>
 #include <sstream>
 
+#include "nn/kernels.h"
+
 namespace zerotune::nn {
 
 Matrix Matrix::RowVector(const std::vector<double>& values) {
-  Matrix m(1, values.size());
-  std::copy(values.begin(), values.end(), m.data_.begin());
+  return RowVector(values.data(), values.size());
+}
+
+Matrix Matrix::RowVector(const double* values, size_t n) {
+  Matrix m = Matrix::Uninitialized(1, n);
+  std::copy(values, values + n, m.data_.begin());
   return m;
 }
 
 void Matrix::Add(const Matrix& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // AddF64 is element-wise and bit-identical in both kernel
+  // implementations, so this is safe for training paths too.
+  kernels::AddF64(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::AddScaled(const Matrix& other, double scale) {

@@ -1,0 +1,12 @@
+// ztlint fixture: ZT-S007 — raw SIMD intrinsics outside the kernel
+// layer (src/nn/kernels_avx2.cc is the only allowed home).
+#include <immintrin.h>
+
+double SumFour(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m128d lo = _mm256_castpd256_pd128(v);
+  (void)lo;
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}

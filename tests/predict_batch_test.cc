@@ -1,9 +1,15 @@
-// PredictBatch parity: the batched inference path must be bit-identical
-// to per-plan Predict() for the GNN (with and without thread-pool
-// sharding) and for every baseline predictor, across empty, single, and
-// mixed-structure batches.
+// PredictBatch parity: the batched inference path must match per-plan
+// Predict() for the GNN (with and without thread-pool sharding) and for
+// every baseline predictor, across empty, single, and mixed-structure
+// batches. "Match" depends on the active kernel implementation: under
+// the scalar kernels (ZEROTUNE_DISABLE_SIMD builds, or any build on a
+// CPU without AVX2+FMA) batched results are bit-identical to sequential
+// Predict(); under the AVX2+FMA kernels the batched path uses fused
+// multiply-adds that the sequential autograd path does not, so parity is
+// a documented relative tolerance instead (see nn/kernels.h).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -17,6 +23,7 @@
 #include "core/enumeration.h"
 #include "core/model.h"
 #include "core/oracle_predictor.h"
+#include "nn/kernels.h"
 
 namespace zerotune::core {
 namespace {
@@ -115,23 +122,72 @@ void ExpectBitIdentical(const CostPredictor& predictor,
   }
 }
 
+// Relative-tolerance bound for the GNN's batched-vs-sequential parity
+// under the AVX2+FMA kernels. The sequential path runs scalar autograd
+// arithmetic while the batched path runs FMA-fused dot products; each
+// fused multiply-add perturbs a length-k sum by O(k·2⁻⁵³) relative, and
+// the perturbation passes through ~8 MLP blocks plus the exp() in
+// DecodeOutput. Observed divergence is ~1e-13 relative; 1e-9 leaves four
+// orders of magnitude of headroom without masking real batching bugs
+// (which produce O(1) differences).
+constexpr double kSimdRelTolerance = 1e-9;
+
+void ExpectRelNear(double a, double b, size_t plan_idx, const char* what) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  EXPECT_LE(std::abs(a - b), kSimdRelTolerance * scale)
+      << what << " diverged on plan #" << plan_idx << ": batched=" << a
+      << " sequential=" << b;
+}
+
+// GNN parity: exact under the scalar kernels, relative-tolerance under
+// SIMD (see the file comment).
+void ExpectGnnParity(const CostPredictor& predictor,
+                     const std::vector<ParallelQueryPlan>& plans) {
+  if (nn::kernels::ActiveIsa() == nn::kernels::Isa::kScalar) {
+    ExpectBitIdentical(predictor, plans);
+    return;
+  }
+  Result<std::vector<CostPrediction>> batched =
+      PredictBatch(predictor, plans);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched.value().size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    Result<CostPrediction> single = predictor.Predict(plans[i]);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    ExpectRelNear(batched.value()[i].latency_ms, single.value().latency_ms, i,
+                  "latency_ms");
+    ExpectRelNear(batched.value()[i].throughput_tps,
+                  single.value().throughput_tps, i, "throughput_tps");
+  }
+}
+
 TEST(PredictBatchTest, GnnBatchedMatchesSequentialExactly) {
   const std::unique_ptr<ZeroTuneModel> model = MakeModel();
+  ExpectGnnParity(*model, MixedBatch());
+}
+
+// The batched path must stay bit-identical to itself regardless of ISA
+// choice being scalar: forcing the scalar kernels must reproduce the
+// sequential arithmetic exactly even in a SIMD-enabled build.
+TEST(PredictBatchTest, GnnBatchedMatchesSequentialExactlyUnderForcedScalar) {
+  nn::kernels::ForceScalar(true);
+  const std::unique_ptr<ZeroTuneModel> model = MakeModel();
   ExpectBitIdentical(*model, MixedBatch());
+  nn::kernels::ForceScalar(false);
 }
 
 TEST(PredictBatchTest, GnnParityHoldsUnderThreadPoolSharding) {
   std::unique_ptr<ZeroTuneModel> model = MakeModel();
   ThreadPool pool(4);
   model->set_thread_pool(&pool);
-  ExpectBitIdentical(*model, MixedBatch());
+  ExpectGnnParity(*model, MixedBatch());
 }
 
 TEST(PredictBatchTest, GnnParityHoldsForMaskedFeatureConfigs) {
   for (FeatureConfig fc :
        {FeatureConfig::OperatorOnly(), FeatureConfig::ParallelismAndResource(),
         FeatureConfig::PerInstance()}) {
-    ExpectBitIdentical(*MakeModel(fc), MixedBatch());
+    ExpectGnnParity(*MakeModel(fc), MixedBatch());
   }
 }
 
@@ -146,7 +202,7 @@ TEST(PredictBatchTest, EmptyBatchReturnsEmptyVector) {
 TEST(PredictBatchTest, SingleElementBatchMatchesPredict) {
   const std::unique_ptr<ZeroTuneModel> model = MakeModel();
   const Cluster c = Cluster::Homogeneous("m510", 4).value();
-  ExpectBitIdentical(*model, {Deploy(LinearQuery(), c, 2)});
+  ExpectGnnParity(*model, {Deploy(LinearQuery(), c, 2)});
 }
 
 TEST(PredictBatchTest, NullPlanFailsWithIndex) {

@@ -96,6 +96,14 @@ TEST(ZtLintRulesTest, RawMutexTypesFire) {
   EXPECT_GE(r.error_count(), 3u);  // include, lock_guard line, member
 }
 
+TEST(ZtLintRulesTest, RawSimdIntrinsicsFire) {
+  const LintReport r = LintFixture("bad_simd.cc");
+  EXPECT_TRUE(r.Has("ZT-S007"));
+  // The include, the load line, the cast line, and the store line each
+  // fire once (one finding per rule per line).
+  EXPECT_EQ(r.error_count(), 4u);
+}
+
 TEST(ZtLintRulesTest, CleanFixtureIsClean) {
   const LintReport r = LintFixture("good.cc");
   EXPECT_TRUE(r.Clean()) << r.ToText();
@@ -115,6 +123,16 @@ TEST(ZtLintSemanticsTest, AllowlistedFilesPass) {
       SourceLinter::LintContents("src/core/foo.cc", clock_impl);
   EXPECT_TRUE(elsewhere.Has("ZT-S001"));
   EXPECT_TRUE(elsewhere.Has("ZT-S006"));
+}
+
+TEST(ZtLintSemanticsTest, KernelTranslationUnitMayUseIntrinsics) {
+  const std::string src = "__m256d v = _mm256_setzero_pd();\n";
+  EXPECT_TRUE(
+      SourceLinter::LintContents("src/nn/kernels_avx2.cc", src).Clean());
+  // The same line anywhere else bypasses the dispatch layer.
+  const LintReport elsewhere =
+      SourceLinter::LintContents("src/core/model.cc", src);
+  EXPECT_TRUE(elsewhere.Has("ZT-S007"));
 }
 
 TEST(ZtLintSemanticsTest, ThisThreadDoesNotTripThreadRule) {
@@ -191,7 +209,7 @@ TEST(ZtLintBinaryTest, DirectoryWalkFindsEveryFixture) {
       RunZtlint("--format json " + std::string(ZT_ZTLINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 2) << r.output;
   for (const char* code : {"ZT-S001", "ZT-S002", "ZT-S003", "ZT-S004",
-                           "ZT-S005", "ZT-S006"}) {
+                           "ZT-S005", "ZT-S006", "ZT-S007"}) {
     EXPECT_NE(r.output.find(code), std::string::npos) << code;
   }
 }

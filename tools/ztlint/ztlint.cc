@@ -233,6 +233,18 @@ const std::vector<TokenRule>& TokenRules() {
        "raw standard-library lock",
        "use the annotated Mutex/SharedMutex wrappers and RAII guards of "
        "common/mutex.h so -Wthread-safety sees the critical section"},
+      {"ZT-S007",
+       Severity::kError,
+       {{"_mm256_", true, false},
+        {"_mm_", true, false},
+        {"__m256", true, false},
+        {"__m128", true, false},
+        {"#include <immintrin.h>", false, false}},
+       {"nn/kernels.h", "nn/kernels.cc", "nn/kernels_avx2.cc"},
+       "raw SIMD intrinsic",
+       "keep vector intrinsics inside src/nn/kernels_avx2.cc behind the "
+       "nn/kernels.h dispatch layer so every call site retains a portable "
+       "scalar fallback"},
   };
   return *rules;
 }
